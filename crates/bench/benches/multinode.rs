@@ -1,0 +1,42 @@
+//! Criterion: distributed supersteps vs the single-node engine, and the
+//! cost of the dedup filter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bfs_core::engine::{BfsEngine, BfsOptions};
+use bfs_graph::gen::rmat::{rmat, RmatConfig};
+use bfs_graph::rng::rng_from_seed;
+use bfs_multinode::{DistBfs, DistOptions};
+use bfs_platform::Topology;
+
+fn bench_multinode(c: &mut Criterion) {
+    let g = rmat(&RmatConfig::paper(14, 8), &mut rng_from_seed(1));
+    let src = bfs_graph::stats::nth_non_isolated(&g, 0).unwrap();
+    let mut group = c.benchmark_group("multinode");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_edges()));
+    group.bench_function("single_node_engine", |b| {
+        let engine = BfsEngine::new(&g, Topology::host(), BfsOptions::default());
+        b.iter(|| black_box(engine.run(src).stats.traversed_edges));
+    });
+    for nodes in [2usize, 8] {
+        for dedup in [false, true] {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("dist_{nodes}_nodes"),
+                    if dedup { "dedup" } else { "no-dedup" },
+                ),
+                &g,
+                |b, g| {
+                    let d = DistBfs::new(g, DistOptions { nodes, dedup });
+                    b.iter(|| black_box(d.run(src).traversed_edges));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multinode);
+criterion_main!(benches);

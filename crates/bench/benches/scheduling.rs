@@ -1,0 +1,48 @@
+//! Criterion: wall-clock traversal time per work-distribution scheme (the
+//! Figure 5 axes on the host).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bfs_core::engine::{BfsEngine, BfsOptions, Scheduling};
+use bfs_graph::gen::stress::stress_bipartite;
+use bfs_graph::gen::uniform::uniform_random;
+use bfs_graph::rng::rng_from_seed;
+use bfs_platform::Topology;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let graphs = [
+        ("UR", uniform_random(1 << 15, 8, &mut rng_from_seed(1))),
+        ("stress", stress_bipartite(1 << 15, 8, &mut rng_from_seed(2))),
+    ];
+    let mut group = c.benchmark_group("scheduling");
+    group.sample_size(10);
+    for (name, g) in &graphs {
+        group.throughput(Throughput::Elements(g.num_edges()));
+        for scheduling in [
+            Scheduling::NoMultiSocketOpt,
+            Scheduling::SocketAwareStatic,
+            Scheduling::LoadBalanced,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("{scheduling:?}")),
+                g,
+                |b, g| {
+                    let engine = BfsEngine::new(
+                        g,
+                        Topology::synthetic(2, 2),
+                        BfsOptions {
+                            scheduling,
+                            ..Default::default()
+                        },
+                    );
+                    b.iter(|| black_box(engine.run(0).stats.traversed_edges));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion: wall-clock traversal time per VIS scheme (the Figure 4 axes
+//! measured on the host rather than the simulated machine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bfs_core::engine::{BfsEngine, BfsOptions};
+use bfs_core::VisScheme;
+use bfs_graph::gen::uniform::uniform_random;
+use bfs_graph::rng::rng_from_seed;
+use bfs_platform::Topology;
+
+fn bench_vis(c: &mut Criterion) {
+    let g = uniform_random(1 << 15, 8, &mut rng_from_seed(42));
+    let edges = g.num_edges();
+    let mut group = c.benchmark_group("vis_schemes");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges));
+    for vis in VisScheme::ALL {
+        group.bench_with_input(BenchmarkId::new("engine", format!("{vis:?}")), &g, |b, g| {
+            let engine = BfsEngine::new(
+                g,
+                Topology::host(),
+                BfsOptions {
+                    vis,
+                    ..Default::default()
+                },
+            );
+            b.iter(|| black_box(engine.run(0).stats.traversed_edges));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vis);
+criterion_main!(benches);

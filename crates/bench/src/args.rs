@@ -1,0 +1,112 @@
+//! Minimal argument parsing shared by the harness binaries (no external
+//! CLI crate: two flags don't justify a dependency).
+
+/// Common flags: `--scale F` (multiply default workload sizes), `--seed N`,
+/// `--json PATH` (dump rows as JSON), `--full` (paper-complete sweeps).
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Multiplier on the default (already shrunken) workload sizes.
+    pub scale: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+    /// Run the full sweep (largest configurations included).
+    pub full: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            seed: 20120521, // IPDPS 2012 opening day
+            json: None,
+            full: false,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`; panics with a usage message on bad input.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    #[allow(clippy::should_implement_trait)] // not a collection; keeps call sites obvious
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    out.scale = v.parse().expect("--scale needs a number");
+                    assert!(out.scale > 0.0, "--scale must be positive");
+                }
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    out.seed = v.parse().expect("--seed needs an integer");
+                }
+                "--json" => {
+                    out.json = Some(it.next().expect("--json needs a path"));
+                }
+                "--full" => out.full = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: [--scale F] [--seed N] [--json PATH] [--full]"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other:?} (try --help)"),
+            }
+        }
+        out
+    }
+
+    /// Scales a default size, keeping at least `min`.
+    pub fn sized(&self, default: usize, min: usize) -> usize {
+        ((default as f64 * self.scale) as usize).max(min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> HarnessArgs {
+        HarnessArgs::from_iter(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, 1.0);
+        assert!(!a.full);
+        assert!(a.json.is_none());
+    }
+
+    #[test]
+    fn all_flags() {
+        let a = parse(&["--scale", "0.5", "--seed", "7", "--json", "/tmp/x.json", "--full"]);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.json.as_deref(), Some("/tmp/x.json"));
+        assert!(a.full);
+    }
+
+    #[test]
+    fn sized_scales_with_floor() {
+        let mut a = parse(&[]);
+        a.scale = 0.001;
+        assert_eq!(a.sized(1000, 64), 64);
+        a.scale = 2.0;
+        assert_eq!(a.sized(1000, 64), 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown() {
+        parse(&["--bogus"]);
+    }
+}

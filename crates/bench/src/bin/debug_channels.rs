@@ -1,0 +1,58 @@
+//! Diagnostic: per-channel, per-phase cycle decomposition for the Figure 5
+//! configurations (not part of the reproduction; used to sanity-check the
+//! simulator's bottleneck attribution).
+
+use bfs_bench::runs::{run_sim, ScaledSetup};
+use bfs_bench::table::{fmt_f, Table};
+use bfs_bench::HarnessArgs;
+use bfs_core::engine::Scheduling;
+use bfs_core::sim::SimBfsConfig;
+use bfs_graph::gen::stress::stress_bipartite;
+use bfs_graph::gen::uniform::uniform_random;
+use bfs_graph::rng::stream_rng;
+use bfs_memsim::Channel;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let setup = ScaledSetup::default();
+    let n = args.sized(1 << 16, 1 << 12);
+    for (name, g) in [
+        ("UR deg8", uniform_random(n, 8, &mut stream_rng(args.seed, 1))),
+        ("Stress deg32", stress_bipartite(n, 32, &mut stream_rng(args.seed, 2))),
+    ] {
+        println!("== {name}, |V| = {n} ==");
+        let mut t = Table::new([
+            "scheme", "DRAMr", "DRAMw", "QPI", "QPImig", "LLC->L2", "L2->LLC", "walk", "cyc/edge",
+        ]);
+        for (label, scheduling, interleave) in [
+            ("no-opt g128", Scheduling::NoMultiSocketOpt, 128),
+            ("no-opt g8", Scheduling::NoMultiSocketOpt, 8),
+            ("no-opt g1", Scheduling::NoMultiSocketOpt, 1),
+            ("static g8", Scheduling::SocketAwareStatic, 8),
+            ("balanced g8", Scheduling::LoadBalanced, 8),
+            ("balanced g1", Scheduling::LoadBalanced, 1),
+        ] {
+            let cfg = SimBfsConfig {
+                machine: setup.machine,
+                scheduling,
+                interleave,
+                ..Default::default()
+            };
+            let (cpe, _m, r) = run_sim(&g, &cfg, &setup.bandwidth, 0);
+            let e = r.traversed_edges as f64;
+            let by = |c: Channel| r.machine.ledger().total(None, None, Some(c), None) as f64 / e;
+            t.row([
+                label.to_string(),
+                fmt_f(by(Channel::DramRead)),
+                fmt_f(by(Channel::DramWrite)),
+                fmt_f(by(Channel::Qpi)),
+                fmt_f(by(Channel::QpiMigration)),
+                fmt_f(by(Channel::LlcToL2)),
+                fmt_f(by(Channel::L2ToLlc)),
+                fmt_f(by(Channel::PageWalk)),
+                fmt_f(cpe),
+            ]);
+        }
+        println!("{t}\n");
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 4: relative performance of VIS representations vs the no-VIS
+//! baseline on Uniformly Random graphs of growing size.
+//!
+//! Series (paper legend): no-VIS / atomic bit ("A. Vis") / atomic-free byte
+//! / atomic-free bit / atomic-free partitioned bit, plus the analytical
+//! model's prediction for the best scheme. Run on the simulated machine at
+//! `1/DEFAULT_SHRINK` of paper scale (cache sizes shrink alongside, so the
+//! "VIS fits / byte fits / nothing fits" regime boundaries land on the same
+//! rows as the paper's 2M / 8M / 64M / 256M).
+
+use bfs_bench::runs::{model_for_graph, run_sim, ScaledSetup};
+use bfs_bench::table::{fmt_f, Table, TableWriter};
+use bfs_bench::HarnessArgs;
+use bfs_core::engine::Scheduling;
+use bfs_core::sim::SimBfsConfig;
+use bfs_core::VisScheme;
+use bfs_graph::gen::uniform::uniform_random;
+use bfs_graph::rng::stream_rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    paper_vertices: u64,
+    sim_vertices: usize,
+    degree: u32,
+    scheme: String,
+    cycles_per_edge: f64,
+    speedup_vs_novis: f64,
+    model_cycles_per_edge: Option<f64>,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let setup = ScaledSetup::default();
+    let degree = 16u32;
+    let mut paper_sizes: Vec<u64> = vec![2 << 20, 8 << 20, 64 << 20];
+    if args.full {
+        paper_sizes.push(256 << 20);
+    }
+    println!(
+        "Figure 4 — VIS representations on UR graphs (degree {degree}), simulated 2-socket X5570 at 1/{} scale\n",
+        setup.shrink
+    );
+    let mut t = Table::new([
+        "|V| (paper)",
+        "|V| (sim)",
+        "scheme",
+        "cyc/edge",
+        "rel. perf vs no-VIS",
+        "model cyc/edge",
+    ]);
+    let mut rows = Vec::new();
+    for &pv in &paper_sizes {
+        let n = ((setup.shrink_vertices(pv) as f64 * args.scale) as usize).max(1 << 12);
+        let mut rng = stream_rng(args.seed, pv);
+        let g = uniform_random(n, degree, &mut rng);
+        // Series: (label, vis scheme, N_VIS override).
+        let series: [(&str, VisScheme, Option<usize>); 5] = [
+            ("no-VIS", VisScheme::None, Some(1)),
+            ("atomic bit", VisScheme::AtomicBit, Some(1)),
+            ("A.F. byte", VisScheme::Byte, Some(1)),
+            ("A.F. bit", VisScheme::Bit, Some(1)),
+            ("A.F. bit partitioned", VisScheme::Bit, None),
+        ];
+        let mut base_cpe = None;
+        for (label, vis, n_vis) in series {
+            let cfg = SimBfsConfig {
+                machine: setup.machine,
+                vis,
+                scheduling: Scheduling::LoadBalanced,
+                n_vis_override: n_vis,
+                ..Default::default()
+            };
+            let (cpe, _mteps, r) = run_sim(&g, &cfg, &setup.bandwidth, 0);
+            let base = *base_cpe.get_or_insert(cpe);
+            let model = if label == "A.F. bit partitioned" {
+                Some(
+                    model_for_graph(&g, &setup.spec, 0, 0.5)
+                        .multi_socket
+                        .total,
+                )
+            } else {
+                None
+            };
+            t.row([
+                format!("{}M", pv >> 20),
+                format!("{n}"),
+                label.to_string(),
+                fmt_f(cpe),
+                fmt_f(base / cpe),
+                model.map(fmt_f).unwrap_or_else(|| "-".into()),
+            ]);
+            rows.push(Row {
+                paper_vertices: pv,
+                sim_vertices: n,
+                degree,
+                scheme: label.into(),
+                cycles_per_edge: cpe,
+                speedup_vs_novis: base / cpe,
+                model_cycles_per_edge: model,
+            });
+            drop(r);
+        }
+    }
+    println!("{t}");
+    println!("paper: atomic bit ≈ no-VIS (≤1.1x); byte 1.4–2x at 8M; bit beats byte; partitioned +1.3x at 256M");
+    if let Some(path) = &args.json {
+        TableWriter::write_json(path, &rows).expect("write json");
+        println!("rows written to {path}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Figure 8: cycles per traversed edge in Phase I, Phase II and
+//! Rearrangement — simulated measurement vs the analytical model — for
+//! R-MAT and Uniformly Random graphs of varying size and degree. The paper
+//! reports agreement within 5–10% on average.
+
+use bfs_bench::runs::{run_sim, ScaledSetup};
+use bfs_bench::table::{fmt_f, Table, TableWriter};
+use bfs_bench::HarnessArgs;
+use bfs_core::sim::SimBfsConfig;
+use bfs_graph::gen::rmat::{rmat, RmatConfig};
+use bfs_graph::gen::uniform::uniform_random;
+use bfs_graph::rng::stream_rng;
+use bfs_graph::stats::traversal_shape;
+use bfs_graph::CsrGraph;
+use bfs_model::{predict, GraphParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    family: String,
+    paper_vertices: u64,
+    degree: u32,
+    sim_phase1: f64,
+    sim_phase2: f64,
+    sim_rearrange: f64,
+    sim_total: f64,
+    model_phase1: f64,
+    model_phase2: f64,
+    model_rearrange: f64,
+    model_total: f64,
+    total_gap_pct: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let setup = ScaledSetup::default();
+    let mut configs: Vec<(&str, u64, u32)> = vec![
+        ("RMAT", 4 << 20, 8),
+        ("RMAT", 8 << 20, 8),
+        ("RMAT", 8 << 20, 16),
+        ("UR", 4 << 20, 8),
+        ("UR", 8 << 20, 8),
+        ("UR", 8 << 20, 16),
+    ];
+    if args.full {
+        configs.extend([("RMAT", 32 << 20, 8), ("UR", 32 << 20, 8)]);
+    }
+    println!(
+        "Figure 8 — per-phase cycles/edge: simulated measurement vs analytical model (2 sockets, 1/{} scale)\n",
+        setup.shrink
+    );
+    let mut t = Table::new([
+        "graph", "|V| (paper)", "deg",
+        "P-I sim", "P-I model",
+        "P-II sim", "P-II model",
+        "Rearr sim", "Rearr model",
+        "total sim", "total model", "gap",
+    ]);
+    let mut rows = Vec::new();
+    let mut gaps = Vec::new();
+    for (family, pv, degree) in configs {
+        let n = ((setup.shrink_vertices(pv) as f64 * args.scale) as usize).max(1 << 12);
+        let (g, alpha): (CsrGraph, f64) = match family {
+            "UR" => (
+                uniform_random(n, degree, &mut stream_rng(args.seed, pv + degree as u64)),
+                0.5,
+            ),
+            _ => (
+                rmat(
+                    &RmatConfig::paper((n as f64).log2().round() as u32, degree),
+                    &mut stream_rng(args.seed, pv + degree as u64),
+                ),
+                0.6,
+            ),
+        };
+        let src = bfs_graph::stats::nth_non_isolated(&g, 0).expect("graph has edges");
+        let cfg = SimBfsConfig {
+            machine: setup.machine,
+            ..Default::default()
+        };
+        let (_tot, _m, r) = run_sim(&g, &cfg, &setup.bandwidth, src);
+        let sim = r.phase_cycles(&setup.bandwidth);
+
+        let shape = traversal_shape(&g, src);
+        let params = GraphParams {
+            num_vertices: g.num_vertices() as u64,
+            visited_vertices: shape.visited_vertices,
+            traversed_edges: shape.traversed_edges,
+            depth: shape.depth,
+        };
+        let p = predict(&setup.spec, &params, alpha);
+        let gap =
+            (sim.total() - p.multi_socket.total).abs() / p.multi_socket.total * 100.0;
+        gaps.push(gap);
+        t.row([
+            family.to_string(),
+            format!("{}M", pv >> 20),
+            degree.to_string(),
+            fmt_f(sim.phase1),
+            fmt_f(p.multi_socket.phase1),
+            fmt_f(sim.phase2),
+            fmt_f(p.multi_socket.phase2),
+            fmt_f(sim.rearrange),
+            fmt_f(p.multi_socket.rearrange),
+            fmt_f(sim.total()),
+            fmt_f(p.multi_socket.total),
+            format!("{gap:.0}%"),
+        ]);
+        rows.push(Row {
+            family: family.into(),
+            paper_vertices: pv,
+            degree,
+            sim_phase1: sim.phase1,
+            sim_phase2: sim.phase2,
+            sim_rearrange: sim.rearrange,
+            sim_total: sim.total(),
+            model_phase1: p.multi_socket.phase1,
+            model_phase2: p.multi_socket.phase2,
+            model_rearrange: p.multi_socket.rearrange,
+            model_total: p.multi_socket.total,
+            total_gap_pct: gap,
+        });
+    }
+    println!("{t}");
+    let avg = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    println!("average |gap| = {avg:.1}%  (paper: model matches measurement within 5-10% on average)");
+    if let Some(path) = &args.json {
+        TableWriter::write_json(path, &rows).expect("write json");
+        println!("rows written to {path}");
+    }
+}

@@ -1,0 +1,56 @@
+//! §V-C / Appendix D worked example: the R-MAT graph with |V| = 8M and
+//! degree 8, traced through every equation of the analytical model, printed
+//! next to the paper's quoted values.
+
+use bfs_bench::table::{fmt_f, Table};
+use bfs_model::{predict, GraphParams, MachineSpec};
+
+fn main() {
+    let machine = MachineSpec::xeon_x5570_2s();
+    let g = GraphParams::paper_rmat_8m_deg8();
+    let alpha = 0.6; // measured by the paper for a=0.57 R-MAT graphs
+    let p = predict(&machine, &g, alpha);
+
+    println!("§V-C worked example: R-MAT |V| = 8M, degree 8, alpha = {alpha}\n");
+    println!(
+        "inputs: |V'| = {}  |E'| = {}  rho' = {}  D = {}  N_VIS = {}  N_PBV = {}\n",
+        g.visited_vertices,
+        g.traversed_edges,
+        fmt_f(g.rho_prime()),
+        g.depth,
+        p.n_vis,
+        p.n_pbv
+    );
+
+    let mut t = Table::new(["Quantity", "Model", "Paper"]);
+    t.row(["Phase-I DDR bytes/edge (IV.1a)".to_string(), fmt_f(p.phase1_ddr_bpe), "21.7".into()]);
+    t.row(["Phase-II DDR bytes/edge (IV.1b)".to_string(), fmt_f(p.phase2_ddr_bpe), "13.54".into()]);
+    t.row(["Phase-II LLC bytes/edge (IV.1c)".to_string(), fmt_f(p.phase2_llc_bpe), "51.1".into()]);
+    t.row(["Rearrange bytes/edge (IV.1d)".to_string(), fmt_f(p.rearrange_bpe), "1.6".into()]);
+    t.row(["1-socket Phase-I cycles/edge".to_string(), fmt_f(p.single_socket.phase1), "2.88".into()]);
+    t.row(["1-socket Phase-II cycles/edge".to_string(), fmt_f(p.single_socket.phase2), "3.80".into()]);
+    t.row([
+        "1-socket total cycles/edge".to_string(),
+        fmt_f(p.single_socket.total),
+        "6.89 (appendix sum; §V-C rounds to 6.48)".into(),
+    ]);
+    t.row(["2-socket Phase-I cycles/edge".to_string(), fmt_f(p.multi_socket.phase1), "1.62".into()]);
+    t.row(["2-socket Phase-II cycles/edge".to_string(), fmt_f(p.multi_socket.phase2), "1.75".into()]);
+    t.row(["2-socket rearrange cycles/edge".to_string(), fmt_f(p.multi_socket.rearrange), "0.10".into()]);
+    t.row(["2-socket total cycles/edge".to_string(), fmt_f(p.multi_socket.total), "3.47".into()]);
+    t.row(["2-socket MTEPS (model)".to_string(), fmt_f(p.mteps_multi), "844".into()]);
+    t.row(["2-socket MTEPS (paper measured)".to_string(), "-".into(), "820 (3% off its model)".into()]);
+    println!("{t}");
+
+    // Appendix C bandwidth example.
+    let m4 = MachineSpec::nehalem_ex_4s();
+    let bal = bfs_model::runtime::effective_bandwidth_balanced(&m4, 0.7) / m4.bw_dram;
+    let sta = bfs_model::runtime::effective_bandwidth_static(&m4, 0.7) / m4.bw_dram;
+    println!("\nAppendix C example (N_S = 4, alpha = 0.7):");
+    println!(
+        "  effective bandwidth balanced = {} x B_M (paper: 2.7), static = {} x B_M (paper: 1.42), gain = {}x (paper: 1.9X)",
+        fmt_f(bal),
+        fmt_f(sta),
+        fmt_f(bal / sta)
+    );
+}

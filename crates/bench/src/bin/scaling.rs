@@ -1,0 +1,107 @@
+//! Socket-count scaling: §V-B's forward-looking claims — near-linear
+//! 2-socket scaling ("around 1.98X for UR, and 1.93X for RMAT") and "our
+//! model further predicts that we will scale by another 1.8X on a 4-socket
+//! Nehalem-EX system" — swept over 1/2/4 simulated sockets with the model
+//! alongside.
+
+use bfs_bench::runs::{run_sim, ScaledSetup};
+use bfs_bench::table::{fmt_f, Table, TableWriter};
+use bfs_bench::HarnessArgs;
+use bfs_core::sim::SimBfsConfig;
+use bfs_graph::gen::rmat::{rmat, RmatConfig};
+use bfs_graph::gen::uniform::uniform_random;
+use bfs_graph::rng::stream_rng;
+use bfs_graph::stats::{nth_non_isolated, traversal_shape};
+use bfs_memsim::MachineConfig;
+use bfs_model::{predict, GraphParams, MachineSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    family: String,
+    sockets: usize,
+    sim_cycles_per_edge: f64,
+    sim_speedup_vs_1s: f64,
+    model_cycles_per_edge: f64,
+    model_speedup_vs_1s: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let setup = ScaledSetup::default();
+    let n = args.sized(1 << 17, 1 << 12);
+    println!("Socket scaling sweep — |V|(sim) = {n}, simulated X5570 geometry at 1/{}\n", setup.shrink);
+    let mut t = Table::new([
+        "family", "sockets", "sim cyc/edge", "sim speedup", "model cyc/edge", "model speedup",
+    ]);
+    let mut rows = Vec::new();
+    for family in ["UR", "RMAT"] {
+        let (g, alpha) = match family {
+            "UR" => (
+                uniform_random(n, 8, &mut stream_rng(args.seed, 1)),
+                0.5f64,
+            ),
+            _ => (
+                rmat(
+                    &RmatConfig::paper((n as f64).log2().round() as u32, 8),
+                    &mut stream_rng(args.seed, 2),
+                ),
+                0.6,
+            ),
+        };
+        let src = nth_non_isolated(&g, 0).unwrap();
+        let shape = traversal_shape(&g, src);
+        let params = GraphParams {
+            num_vertices: g.num_vertices() as u64,
+            visited_vertices: shape.visited_vertices,
+            traversed_edges: shape.traversed_edges,
+            depth: shape.depth,
+        };
+        let mut sim_base = None;
+        let mut model_base = None;
+        for sockets in [1usize, 2, 4] {
+            let machine = MachineConfig {
+                sockets,
+                cores_per_socket: 4,
+                ..setup.machine
+            };
+            let cfg = SimBfsConfig {
+                machine,
+                ..Default::default()
+            };
+            let (sim_cpe, _, _) = run_sim(&g, &cfg, &setup.bandwidth, src);
+            let spec = MachineSpec {
+                sockets,
+                l2_bytes: machine.l2_bytes,
+                llc_bytes: machine.llc_bytes,
+                ..MachineSpec::xeon_x5570_2s()
+            };
+            let a = alpha.max(1.0 / sockets as f64);
+            let model_cpe = predict(&spec, &params, a).multi_socket.total;
+            let sb = *sim_base.get_or_insert(sim_cpe);
+            let mb = *model_base.get_or_insert(model_cpe);
+            t.row([
+                family.to_string(),
+                sockets.to_string(),
+                fmt_f(sim_cpe),
+                fmt_f(sb / sim_cpe),
+                fmt_f(model_cpe),
+                fmt_f(mb / model_cpe),
+            ]);
+            rows.push(Row {
+                family: family.into(),
+                sockets,
+                sim_cycles_per_edge: sim_cpe,
+                sim_speedup_vs_1s: sb / sim_cpe,
+                model_cycles_per_edge: model_cpe,
+                model_speedup_vs_1s: mb / model_cpe,
+            });
+        }
+    }
+    println!("{t}");
+    println!("paper: ~1.98x (UR) / ~1.93x (RMAT) on 2 sockets; model predicts a further ~1.8x on 4 sockets");
+    if let Some(path) = &args.json {
+        TableWriter::write_json(path, &rows).expect("write json");
+        println!("rows written to {path}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Table I: platform characteristics of the (simulated) dual-socket Intel
+//! Xeon X5570 — the machine constants every other experiment consumes.
+
+use bfs_bench::table::Table;
+use bfs_memsim::MachineConfig;
+use bfs_model::MachineSpec;
+
+fn main() {
+    let spec = MachineSpec::xeon_x5570_2s();
+    let geo = MachineConfig::xeon_x5570_2s();
+    let mut t = Table::new(["Platform Characteristic", "Performance", "Paper (Table I)"]);
+    t.row([
+        "Sockets x cores".to_string(),
+        format!("{} x {}", geo.sockets, geo.cores_per_socket),
+        "2 x 4 @ 2.93 GHz".into(),
+    ]);
+    t.row([
+        "Core frequency".to_string(),
+        format!("{} GHz", spec.freq_ghz),
+        "2.93 GHz".into(),
+    ]);
+    t.row([
+        "Achievable DDR BW".to_string(),
+        format!("2 x {} GB/s (peak 2 x {} GB/s)", spec.bw_dram, spec.bw_dram_peak),
+        "2 x 22 GBps (peak 2 x 32 GBps)".into(),
+    ]);
+    t.row([
+        "Read BW from LLC -> L2".to_string(),
+        format!("2 x {} GB/s", spec.bw_llc_to_l2),
+        "2 x 85 GBps".into(),
+    ]);
+    t.row([
+        "Write BW from L2 -> LLC".to_string(),
+        format!("2 x {} GB/s", spec.bw_l2_to_llc),
+        "2 x 26 GBps".into(),
+    ]);
+    t.row([
+        "QPI BW per direction".to_string(),
+        format!("{} GB/s", spec.bw_qpi),
+        "11 GBps".into(),
+    ]);
+    t.row([
+        "L2 per core".to_string(),
+        format!("{} KB", spec.l2_bytes >> 10),
+        "256 KB".into(),
+    ]);
+    t.row([
+        "Shared LLC per socket".to_string(),
+        format!("{} MB", spec.llc_bytes >> 20),
+        "8 MB".into(),
+    ]);
+    t.row([
+        "DTLB entries / page".to_string(),
+        format!("{} / {} B", geo.tlb_entries, geo.page_bytes),
+        "512 / 4 KB".into(),
+    ]);
+    println!("Table I — Platform characteristics (simulated dual-socket Xeon X5570)\n");
+    println!("{t}");
+}

@@ -1,0 +1,74 @@
+//! Table II: characteristics of the real-world-graph proxies, printed next
+//! to the paper's reported numbers. Default fraction keeps the largest
+//! proxy around one million vertices; `--scale` raises it toward paper
+//! size on bigger machines.
+
+use bfs_bench::table::{fmt_f, fmt_n, Table, TableWriter};
+use bfs_bench::HarnessArgs;
+use bfs_graph::gen::proxy::ProxySpec;
+use bfs_graph::stats::{nth_non_isolated, summarize};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    category: String,
+    paper_vertices: u64,
+    paper_edges: u64,
+    paper_depth: u32,
+    vertices: u64,
+    edges: u64,
+    avg_degree: f64,
+    depth: u32,
+    edge_coverage: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    // Default: 1/64 of paper scale, capped so Toy++ stays ~1M vertices.
+    let base_fraction = (1.0 / 256.0) * args.scale;
+    println!(
+        "Table II — real-world graph proxies at fraction {base_fraction:.5} of paper size"
+    );
+    println!("(depth of lattice proxies shrinks ~sqrt(fraction); see DESIGN.md)\n");
+    let mut t = Table::new([
+        "Graph", "Category", "V (paper)", "E (paper)", "Depth (paper)", "V (proxy)",
+        "E (proxy, dir.)", "AvgDeg", "Depth", "EdgeCov",
+    ]);
+    let mut rows = Vec::new();
+    for spec in ProxySpec::all() {
+        let fraction = base_fraction.min(1.0);
+        let g = spec.generate_seeded(fraction, args.seed);
+        let src = nth_non_isolated(&g, 0).expect("proxy has edges");
+        let s = summarize(&g, src);
+        t.row([
+            spec.name.to_string(),
+            spec.category.to_string(),
+            fmt_n(spec.paper_vertices),
+            fmt_n(spec.paper_edges),
+            spec.paper_depth.to_string(),
+            fmt_n(s.num_vertices),
+            fmt_n(s.num_edges),
+            fmt_f(s.avg_degree),
+            s.bfs_depth.to_string(),
+            format!("{:.1}%", s.edge_coverage * 100.0),
+        ]);
+        rows.push(Row {
+            name: spec.name.into(),
+            category: spec.category.into(),
+            paper_vertices: spec.paper_vertices,
+            paper_edges: spec.paper_edges,
+            paper_depth: spec.paper_depth,
+            vertices: s.num_vertices,
+            edges: s.num_edges,
+            avg_degree: s.avg_degree,
+            depth: s.bfs_depth,
+            edge_coverage: s.edge_coverage,
+        });
+    }
+    println!("{t}");
+    if let Some(path) = &args.json {
+        TableWriter::write_json(path, &rows).expect("write json");
+        println!("rows written to {path}");
+    }
+}

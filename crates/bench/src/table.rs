@@ -1,0 +1,172 @@
+//! Plain-text table rendering + JSON row dumping for the harness binaries.
+
+use std::io::Write;
+
+/// A column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(c);
+                for _ in c.len()..widths[i] {
+                    out.push(' ');
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&self.header, &widths, &mut out);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Writes serializable rows to a JSON file when the harness was given
+/// `--json`.
+pub struct TableWriter;
+
+impl TableWriter {
+    /// Serializes `rows` to `path` as a JSON array.
+    pub fn write_json<T: serde::Serialize>(path: &str, rows: &[T]) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        let s = serde_json::to_string_pretty(rows)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        f.write_all(s.as_bytes())?;
+        f.write_all(b"\n")
+    }
+}
+
+/// Formats a float with sensible experiment precision.
+pub fn fmt_f(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let a = x.abs();
+    if a >= 1000.0 {
+        format!("{x:.0}")
+    } else if a >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Formats a count with thousands separators (`1_234_567`).
+pub fn fmt_n(x: u64) -> String {
+    let s = x.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(["name", "v"]);
+        t.row(["a", "1"]).row(["long-name", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("long-name  22"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(fmt_f(1234.567), "1235");
+        assert_eq!(fmt_f(12.34), "12.3");
+        assert_eq!(fmt_f(1.2345), "1.234");
+        assert_eq!(fmt_f(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn count_formats() {
+        assert_eq!(fmt_n(5), "5");
+        assert_eq!(fmt_n(1234), "1_234");
+        assert_eq!(fmt_n(1_234_567), "1_234_567");
+    }
+
+    #[test]
+    fn json_write_roundtrip() {
+        let path = std::env::temp_dir().join("bfs_bench_table_test.json");
+        let path = path.to_str().unwrap();
+        #[derive(serde::Serialize)]
+        struct R {
+            a: u32,
+        }
+        TableWriter::write_json(path, &[R { a: 1 }, R { a: 2 }]).unwrap();
+        let s = std::fs::read_to_string(path).unwrap();
+        assert!(s.contains("\"a\": 2"));
+        std::fs::remove_file(path).ok();
+    }
+}

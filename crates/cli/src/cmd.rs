@@ -1,0 +1,396 @@
+//! Subcommand implementations.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use bfs_core::engine::{BfsEngine, BfsOptions, Scheduling};
+use bfs_core::serial::serial_bfs;
+use bfs_core::sim::{simulate_bfs, SimBfsConfig};
+use bfs_core::validate::validate_bfs_tree;
+use bfs_core::VisScheme;
+use bfs_graph::gen::grid::{grid3d_stencil, road_network, Stencil};
+use bfs_graph::gen::proxy::ProxySpec;
+use bfs_graph::gen::rmat::{rmat, RmatConfig};
+use bfs_graph::gen::smallworld::watts_strogatz;
+use bfs_graph::gen::stress::stress_bipartite;
+use bfs_graph::gen::uniform::uniform_random;
+use bfs_graph::rng::rng_from_seed;
+use bfs_graph::stats::{nth_non_isolated, summarize};
+use bfs_graph::CsrGraph;
+use bfs_memsim::{BandwidthSpec, MachineConfig};
+use bfs_model::{predict, GraphParams, MachineSpec};
+use bfs_multinode::{DistBfs, DistOptions};
+use bfs_platform::Topology;
+
+use crate::opts::Opts;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+fastbfs — fast single-node BFS (IPDPS 2012 reproduction)
+
+subcommands:
+  gen      generate a graph        --family ur|rmat|graph500|stress|road|grid3d|ws|proxy:<name>
+                                   [--scale S | --vertices N] [--degree D] [--edge-factor F]
+                                   [--seed K] -o FILE[.txt]
+  info     graph statistics        -i FILE [--source V]
+  run      threaded traversal      -i FILE [--source V] [--runs K] [--threads T] [--sockets S]
+                                   [--vis none|atomic|atomic-test|byte|bit]
+                                   [--scheduling naive|static|load-balanced]
+                                   [--no-rearrange] [--validate]
+  sim      simulated X5570 run     -i FILE [--source V] [--shrink F] [same engine flags]
+  model    analytical prediction   --vertices N --degree D --depth DEP
+                                   [--visited N] [--edges E] [--alpha A] [--sockets S]
+  dist     multi-node traversal    -i FILE [--nodes N] [--no-dedup] [--source V] [--validate]
+  convert  text <-> binary         -i FILE -o FILE
+";
+
+fn load_graph(path: &str) -> Result<CsrGraph, String> {
+    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    if path.ends_with(".txt") {
+        bfs_graph::io::read_edge_list(&mut BufReader::new(f))
+    } else {
+        bfs_graph::io::read_binary(&mut BufReader::new(f))
+    }
+    .map_err(|e| format!("read {path}: {e}"))
+}
+
+fn save_graph(g: &CsrGraph, path: &str) -> Result<(), String> {
+    let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let mut w = BufWriter::new(f);
+    if path.ends_with(".txt") {
+        bfs_graph::io::write_edge_list(g, &mut w)
+    } else {
+        bfs_graph::io::write_binary(g, &mut w)
+    }
+    .map_err(|e| format!("write {path}: {e}"))
+}
+
+fn parse_vis(s: &str) -> Result<VisScheme, String> {
+    Ok(match s {
+        "none" => VisScheme::None,
+        "atomic" => VisScheme::AtomicBit,
+        "atomic-test" => VisScheme::AtomicBitTest,
+        "byte" => VisScheme::Byte,
+        "bit" => VisScheme::Bit,
+        _ => return Err(format!("unknown --vis {s:?}")),
+    })
+}
+
+fn parse_scheduling(s: &str) -> Result<Scheduling, String> {
+    Ok(match s {
+        "naive" => Scheduling::NoMultiSocketOpt,
+        "static" => Scheduling::SocketAwareStatic,
+        "load-balanced" => Scheduling::LoadBalanced,
+        _ => return Err(format!("unknown --scheduling {s:?}")),
+    })
+}
+
+fn engine_options(o: &Opts) -> Result<BfsOptions, String> {
+    Ok(BfsOptions {
+        vis: parse_vis(o.get("vis").unwrap_or("bit"))?,
+        scheduling: parse_scheduling(o.get("scheduling").unwrap_or("load-balanced"))?,
+        rearrange: !o.has("no-rearrange"),
+        ..Default::default()
+    })
+}
+
+fn pick_source(g: &CsrGraph, o: &Opts) -> Result<u32, String> {
+    match o.get("source") {
+        Some(v) => v.parse().map_err(|_| "--source expects a vertex id".into()),
+        None => nth_non_isolated(g, 0).ok_or_else(|| "graph has no edges".into()),
+    }
+}
+
+/// `fastbfs gen`
+pub fn gen(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &[])?;
+    let family = o.require("family")?;
+    let seed: u64 = o.num("seed", 42)?;
+    let mut rng = rng_from_seed(seed);
+    let out = o.require("o")?.to_string();
+    let g: CsrGraph = if let Some(name) = family.strip_prefix("proxy:") {
+        let spec = ProxySpec::all()
+            .into_iter()
+            .find(|s| s.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown proxy {name:?}"))?;
+        let fraction: f64 = o.num("fraction", 1.0 / 512.0)?;
+        spec.generate(fraction, &mut rng)
+    } else {
+        let scale: u32 = o.num("scale", 14)?;
+        let vertices: usize = o.num("vertices", 1usize << scale)?;
+        let degree: u32 = o.num("degree", 8)?;
+        match family {
+            "ur" => uniform_random(vertices, degree, &mut rng),
+            "rmat" => rmat(&RmatConfig::paper(scale, o.num("edge-factor", degree)?), &mut rng),
+            "graph500" => rmat(
+                &RmatConfig::graph500(scale, o.num("edge-factor", 16)?),
+                &mut rng,
+            ),
+            "stress" => stress_bipartite(vertices, degree, &mut rng),
+            "road" => {
+                let side = (vertices as f64).sqrt().round().max(2.0) as usize;
+                road_network(side, side, 0.2, side / 16, &mut rng)
+            }
+            "grid3d" => {
+                let side = (vertices as f64).cbrt().round().max(2.0) as usize;
+                grid3d_stencil(side, side, side, Stencil::TwentySix)
+            }
+            "ws" => watts_strogatz(vertices, (degree / 2).max(1), 0.05, &mut rng),
+            _ => return Err(format!("unknown family {family:?}")),
+        }
+    };
+    save_graph(&g, &out)?;
+    println!(
+        "wrote {out}: {} vertices, {} directed edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    Ok(())
+}
+
+/// `fastbfs info`
+pub fn info(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &[])?;
+    let g = load_graph(o.require("i")?)?;
+    let src = pick_source(&g, &o)?;
+    let s = summarize(&g, src);
+    println!("vertices:        {}", s.num_vertices);
+    println!("directed edges:  {}", s.num_edges);
+    println!("avg degree:      {:.2}", s.avg_degree);
+    println!("max degree:      {}", s.max_degree);
+    println!("isolated:        {}", s.isolated_vertices);
+    println!("bfs depth:       {} (from {src})", s.bfs_depth);
+    println!("edge coverage:   {:.1}%", s.edge_coverage * 100.0);
+    println!("symmetric:       {}", g.is_symmetric());
+    Ok(())
+}
+
+/// `fastbfs run`
+pub fn run(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["validate", "no-rearrange"])?;
+    let g = load_graph(o.require("i")?)?;
+    let src = pick_source(&g, &o)?;
+    let runs: usize = o.num("runs", 1)?;
+    let sockets: usize = o.num("sockets", 1)?;
+    let threads: usize = o.num("threads", bfs_platform::pin::host_cores())?;
+    let topo = Topology::synthetic(sockets, threads.div_ceil(sockets).max(1));
+    let engine = BfsEngine::new(&g, topo, engine_options(&o)?);
+    println!(
+        "engine: {} sockets x {} lanes, N_VIS {}, N_PBV {}",
+        topo.sockets,
+        topo.lanes_per_socket,
+        engine.geometry().n_vis,
+        engine.geometry().n_bins
+    );
+    for k in 0..runs {
+        let out = engine.run(src);
+        println!(
+            "run {k}: depth {}, |V'| {}, |E'| {}, {:.2} MTEPS (I {:?}, II {:?}, R {:?})",
+            out.stats.steps,
+            out.stats.visited_vertices,
+            out.stats.traversed_edges,
+            out.stats.mteps(),
+            out.stats.phase1_time,
+            out.stats.phase2_time,
+            out.stats.rearrange_time,
+        );
+        if o.has("validate") {
+            let reference = serial_bfs(&g, src);
+            if out.depths != reference.depths {
+                return Err("depths differ from serial BFS".into());
+            }
+            validate_bfs_tree(&g, src, &out.depths, &out.parents)
+                .map_err(|e| format!("invalid BFS tree: {e}"))?;
+            println!("run {k}: validated");
+        }
+    }
+    Ok(())
+}
+
+/// `fastbfs sim`
+pub fn sim(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["no-rearrange", "no-prefetch"])?;
+    let g = load_graph(o.require("i")?)?;
+    let src = pick_source(&g, &o)?;
+    let shrink: u64 = o.num("shrink", 64)?;
+    let cfg = SimBfsConfig {
+        machine: MachineConfig::xeon_x5570_2s().scaled_down(shrink),
+        vis: parse_vis(o.get("vis").unwrap_or("bit"))?,
+        scheduling: parse_scheduling(o.get("scheduling").unwrap_or("load-balanced"))?,
+        rearrange: !o.has("no-rearrange"),
+        prefetch: !o.has("no-prefetch"),
+        ..Default::default()
+    };
+    let bw = BandwidthSpec::xeon_x5570();
+    let r = simulate_bfs(&g, &cfg, src);
+    let c = r.phase_cycles(&bw);
+    println!("simulated dual-socket X5570 (caches 1/{shrink}):");
+    println!("  traversed edges: {}", r.traversed_edges);
+    println!("  Phase I:     {:.3} cyc/edge", c.phase1);
+    println!("  Phase II:    {:.3} cyc/edge", c.phase2);
+    println!("  Rearrange:   {:.3} cyc/edge", c.rearrange);
+    println!("  total:       {:.3} cyc/edge = {:.0} MTEPS", c.total(), r.mteps(&bw));
+    let report = r.report();
+    println!(
+        "  DDR traffic: {:.1} B/edge, atomic ops: {}",
+        report.ddr_bytes_per_edge(None, r.traversed_edges),
+        r.atomic_ops
+    );
+    Ok(())
+}
+
+/// `fastbfs model`
+pub fn model(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &[])?;
+    let vertices: u64 = o.require_num("vertices")?;
+    let degree: u32 = o.num("degree", 8)?;
+    let depth: u32 = o.num("depth", 8)?;
+    let visited: u64 = o.num("visited", vertices)?;
+    let edges: u64 = o.num("edges", visited * 2 * degree as u64)?;
+    let alpha: f64 = o.num("alpha", 0.5)?;
+    let sockets: usize = o.num("sockets", 2)?;
+    let spec = MachineSpec {
+        sockets,
+        ..MachineSpec::xeon_x5570_2s()
+    };
+    let params = GraphParams {
+        num_vertices: vertices,
+        visited_vertices: visited,
+        traversed_edges: edges,
+        depth,
+    };
+    let p = predict(&spec, &params, alpha.max(1.0 / sockets as f64));
+    println!("N_VIS {}  N_PBV {}  rho' {:.2}", p.n_vis, p.n_pbv, params.rho_prime());
+    println!(
+        "bytes/edge: P-I {:.2}  P-II {:.2}  LLC {:.2}  R {:.2}",
+        p.phase1_ddr_bpe, p.phase2_ddr_bpe, p.phase2_llc_bpe, p.rearrange_bpe
+    );
+    println!(
+        "1 socket:  {:.2} cyc/edge = {:.0} MTEPS",
+        p.single_socket.total, p.mteps_single
+    );
+    println!(
+        "{} sockets: {:.2} cyc/edge = {:.0} MTEPS (alpha {alpha})",
+        sockets, p.multi_socket.total, p.mteps_multi
+    );
+    Ok(())
+}
+
+/// `fastbfs dist`
+pub fn dist(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["no-dedup", "validate"])?;
+    let g = load_graph(o.require("i")?)?;
+    let src = pick_source(&g, &o)?;
+    let options = DistOptions {
+        nodes: o.num("nodes", 4)?,
+        dedup: !o.has("no-dedup"),
+    };
+    let out = DistBfs::new(&g, options).run(src);
+    println!(
+        "{} nodes: depth {}, |V'| {}, |E'| {}",
+        options.nodes, out.supersteps, out.visited_vertices, out.traversed_edges
+    );
+    println!(
+        "remote traffic: {} bytes total ({:.2} B/edge), bottleneck egress {} bytes",
+        out.traffic.total_remote(),
+        out.remote_bytes_per_edge(),
+        out.traffic.max_node_egress()
+    );
+    if o.has("validate") {
+        let reference = serial_bfs(&g, src);
+        if out.depths != reference.depths {
+            return Err("depths differ from serial BFS".into());
+        }
+        validate_bfs_tree(&g, src, &out.depths, &out.parents)
+            .map_err(|e| format!("invalid BFS tree: {e}"))?;
+        println!("validated");
+    }
+    Ok(())
+}
+
+/// `fastbfs convert`
+pub fn convert(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &[])?;
+    let g = load_graph(o.require("i")?)?;
+    save_graph(&g, o.require("o")?)?;
+    println!(
+        "converted: {} vertices, {} directed edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("fastbfs_test_{name}_{}", std::process::id()))
+            .to_str()
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn gen_info_run_roundtrip() {
+        let path = tmp("g1.fbfs");
+        gen(&s(&["--family", "ur", "--vertices", "500", "--degree", "4", "-o", &path])).unwrap();
+        info(&s(&["-i", &path])).unwrap();
+        run(&s(&["-i", &path, "--validate", "--runs", "2"])).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn gen_text_and_convert() {
+        let txt = tmp("g2.txt");
+        let bin = tmp("g2.fbfs");
+        gen(&s(&["--family", "rmat", "--scale", "8", "-o", &txt])).unwrap();
+        convert(&s(&["-i", &txt, "-o", &bin])).unwrap();
+        let a = load_graph(&txt).unwrap();
+        let b = load_graph(&bin).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&txt).ok();
+        std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn sim_and_dist_commands() {
+        let path = tmp("g3.fbfs");
+        gen(&s(&["--family", "stress", "--vertices", "400", "--degree", "6", "-o", &path]))
+            .unwrap();
+        sim(&s(&["-i", &path, "--shrink", "256"])).unwrap();
+        dist(&s(&["-i", &path, "--nodes", "3", "--validate"])).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn model_command() {
+        model(&s(&["--vertices", "8388608", "--degree", "8", "--depth", "6", "--alpha", "0.6"]))
+            .unwrap();
+    }
+
+    #[test]
+    fn proxy_generation() {
+        let path = tmp("g4.fbfs");
+        gen(&s(&[
+            "--family", "proxy:facebook", "--fraction", "0.0005", "-o", &path,
+        ]))
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(gen(&s(&["--family", "nope", "-o", "/tmp/x"])).is_err());
+        assert!(info(&s(&["-i", "/definitely/not/here"])).is_err());
+        assert!(parse_vis("wrong").is_err());
+        assert!(parse_scheduling("wrong").is_err());
+        assert!(model(&s(&[])).is_err());
+    }
+}

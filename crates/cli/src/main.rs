@@ -1,0 +1,39 @@
+//! `fastbfs` — the command-line front end of the reproduction.
+//!
+//! ```text
+//! fastbfs gen   --family rmat --scale 18 --edge-factor 16 -o graph.fbfs
+//! fastbfs info  -i graph.fbfs
+//! fastbfs run   -i graph.fbfs --runs 5 --validate
+//! fastbfs sim   -i graph.fbfs --scheduling load-balanced
+//! fastbfs model --vertices 8388608 --degree 8 --depth 6 --alpha 0.6
+//! fastbfs dist  -i graph.fbfs --nodes 8
+//! fastbfs convert -i graph.txt -o graph.fbfs
+//! ```
+
+mod cmd;
+mod opts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = dispatch(&args) {
+        eprintln!("fastbfs: error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd::gen(&args[1..]),
+        Some("info") => cmd::info(&args[1..]),
+        Some("run") => cmd::run(&args[1..]),
+        Some("sim") => cmd::sim(&args[1..]),
+        Some("model") => cmd::model(&args[1..]),
+        Some("dist") => cmd::dist(&args[1..]),
+        Some("convert") => cmd::convert(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{}", cmd::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?} (try --help)")),
+    }
+}

@@ -1,0 +1,337 @@
+//! Load-balanced, locality-aware division of binned work (§III-B3(a)).
+//!
+//! At a phase boundary every thread has produced per-bin streams
+//! (`PBV_t` bins in Phase I → Phase II, `BV_t` frontier chunks between
+//! steps). The division problem: hand each socket an *equal number of
+//! entries* while keeping each socket's share *contiguous in bin order*, so
+//! that a socket receives a few complete bins and at most two partial bins —
+//! bounded cross-socket sharing with perfect balance.
+//!
+//! The mechanism is an exact prefix split of the concatenated streams
+//! (bin-major, owner-thread-minor). Splitting directly into
+//! `N_S × lanes` parts nests the socket boundaries (threads are numbered
+//! socket-major), so the per-thread division used by the engine and the
+//! per-socket story of the paper coincide.
+//!
+//! [`divide_static`] implements the comparison scheme ("Multi-Socket aware",
+//! Figure 5): bins are pinned to their home socket regardless of size,
+//! trading balance for zero cross-socket bin traffic.
+
+use serde::{Deserialize, Serialize};
+
+/// One input stream: the words of bin `bin` produced by thread `owner`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stream {
+    /// Bin index (destination-vertex range).
+    pub bin: usize,
+    /// Thread that produced the stream.
+    pub owner: usize,
+    /// Stream length in words.
+    pub len: usize,
+}
+
+/// One unit of assigned work: the window `range` of the stream
+/// `(bin, owner)`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Bin index.
+    pub bin: usize,
+    /// Thread that produced the underlying stream.
+    pub owner: usize,
+    /// Word window within that stream.
+    pub range: std::ops::Range<usize>,
+}
+
+impl Segment {
+    /// Window length in words.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// True for an empty window.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+}
+
+fn align_down(x: usize, align: usize) -> usize {
+    x / align * align
+}
+
+/// Splits the concatenation of `streams` (in the given order) into `parts`
+/// contiguous shares of equal word count (±`align`), with every segment
+/// boundary aligned to `align` words *within its stream*. Streams of
+/// non-multiple-of-`align` length are rejected (the Pairs encoding always
+/// produces even-length streams).
+///
+/// Returns one segment list per part, in stream order.
+pub fn divide_even(streams: &[Stream], parts: usize, align: usize) -> Vec<Vec<Segment>> {
+    assert!(parts > 0, "need at least one part");
+    assert!(align > 0, "alignment must be positive");
+    for s in streams {
+        assert_eq!(
+            s.len % align,
+            0,
+            "stream (bin {}, owner {}) length {} not aligned to {align}",
+            s.bin,
+            s.owner,
+            s.len
+        );
+    }
+    let total: usize = streams.iter().map(|s| s.len).sum();
+    let mut out = vec![Vec::new(); parts];
+    // Part boundaries in the global word order.
+    let bound = |i: usize| {
+        if i >= parts {
+            total
+        } else {
+            align_down(total * i / parts, align)
+        }
+    };
+    let mut global = 0usize; // global offset of the current stream's start
+    for s in streams {
+        if s.len == 0 {
+            global += s.len;
+            continue;
+        }
+        let (s_lo, s_hi) = (global, global + s.len);
+        // Which parts overlap [s_lo, s_hi)?
+        for (p, seg_list) in out.iter_mut().enumerate() {
+            let (p_lo, p_hi) = (bound(p), bound(p + 1));
+            let lo = p_lo.max(s_lo);
+            let hi = p_hi.min(s_hi);
+            if lo < hi {
+                seg_list.push(Segment {
+                    bin: s.bin,
+                    owner: s.owner,
+                    range: lo - s_lo..hi - s_lo,
+                });
+            }
+        }
+        global = s_hi;
+    }
+    out
+}
+
+/// Static bin→socket assignment (the "Multi-Socket aware" scheme of
+/// Figure 5): every stream goes to the socket `bin_socket(bin)` owning its
+/// bin; each socket's streams are then divided evenly among its `lanes`
+/// threads. Threads are numbered socket-major (`socket · lanes + lane`).
+pub fn divide_static(
+    streams: &[Stream],
+    bin_socket: impl Fn(usize) -> usize,
+    sockets: usize,
+    lanes: usize,
+    align: usize,
+) -> Vec<Vec<Segment>> {
+    assert!(sockets > 0 && lanes > 0);
+    let mut per_socket: Vec<Vec<Stream>> = vec![Vec::new(); sockets];
+    for s in streams {
+        let sk = bin_socket(s.bin);
+        assert!(sk < sockets, "bin {} maps to missing socket {sk}", s.bin);
+        per_socket[sk].push(*s);
+    }
+    let mut out = Vec::with_capacity(sockets * lanes);
+    for sk in per_socket {
+        out.extend(divide_even(&sk, lanes, align));
+    }
+    out
+}
+
+/// Word share per socket under a bin→socket map — the measured `α` of §IV
+/// (max fraction of accesses from any socket's memory) comes from this.
+pub fn socket_shares(
+    streams: &[Stream],
+    bin_socket: impl Fn(usize) -> usize,
+    sockets: usize,
+) -> Vec<usize> {
+    let mut shares = vec![0usize; sockets];
+    for s in streams {
+        shares[bin_socket(s.bin)] += s.len;
+    }
+    shares
+}
+
+/// `α` = max socket share / total (1/N_S = perfectly uniform, 1.0 = fully
+/// skewed). Returns `1/sockets` when there is no work.
+pub fn alpha(shares: &[usize]) -> f64 {
+    let total: usize = shares.iter().sum();
+    if total == 0 {
+        return 1.0 / shares.len().max(1) as f64;
+    }
+    *shares.iter().max().unwrap() as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lens(parts: &[Vec<Segment>]) -> Vec<usize> {
+        parts
+            .iter()
+            .map(|p| p.iter().map(|s| s.len()).sum())
+            .collect()
+    }
+
+    fn streams(ls: &[usize]) -> Vec<Stream> {
+        ls.iter()
+            .enumerate()
+            .map(|(i, &len)| Stream {
+                bin: i,
+                owner: 0,
+                len,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn even_division_is_exactly_even() {
+        let s = streams(&[10, 10, 10, 10]);
+        let parts = divide_even(&s, 4, 1);
+        assert_eq!(lens(&parts), vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn covers_everything_exactly_once() {
+        let s = streams(&[7, 0, 13, 5, 1]);
+        for parts_n in [1usize, 2, 3, 7] {
+            let parts = divide_even(&s, parts_n, 1);
+            let total: usize = lens(&parts).iter().sum();
+            assert_eq!(total, 26);
+            // Reconstruct per-stream coverage.
+            for (i, st) in s.iter().enumerate() {
+                let mut covered = vec![false; st.len];
+                for p in &parts {
+                    for seg in p {
+                        if seg.bin == i {
+                            for k in seg.range.clone() {
+                                assert!(!covered[k], "double coverage");
+                                covered[k] = true;
+                            }
+                        }
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "gap in stream {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn shares_differ_by_at_most_align() {
+        let s = streams(&[997, 13, 501, 7]);
+        let parts = divide_even(&s, 5, 1);
+        let l = lens(&parts);
+        let (mn, mx) = (l.iter().min().unwrap(), l.iter().max().unwrap());
+        assert!(mx - mn <= 1, "{l:?}");
+    }
+
+    #[test]
+    fn skewed_single_bin_is_still_balanced() {
+        // The stress case: everything lands in one bin; the even division
+        // must split that bin across all parts (partial bins).
+        let s = streams(&[0, 1000, 0, 0]);
+        let parts = divide_even(&s, 4, 1);
+        assert_eq!(lens(&parts), vec![250, 250, 250, 250]);
+        // Each part holds exactly one partial segment of bin 1.
+        for p in &parts {
+            assert_eq!(p.len(), 1);
+            assert_eq!(p[0].bin, 1);
+        }
+    }
+
+    #[test]
+    fn at_most_two_partial_bins_per_socket() {
+        // 8 equal bins over 2 sockets (parts): boundary lands on a bin edge
+        // → whole bins only. Uneven bins → at most 2 partial per part.
+        let s = streams(&[10, 20, 30, 5, 25, 10, 15, 12]);
+        let parts = divide_even(&s, 2, 1);
+        for p in &parts {
+            let full_bins = p
+                .iter()
+                .filter(|seg| seg.len() == s[seg.bin].len)
+                .count();
+            let partial = p.len() - full_bins;
+            assert!(partial <= 2, "part has {partial} partial bins");
+        }
+    }
+
+    #[test]
+    fn pair_alignment_respected() {
+        let mut s = streams(&[10, 14, 6, 8]);
+        s.iter_mut().for_each(|st| st.owner = st.bin);
+        let parts = divide_even(&s, 3, 2);
+        for p in &parts {
+            for seg in p {
+                assert_eq!(seg.range.start % 2, 0);
+                assert_eq!(seg.range.end % 2, 0);
+            }
+        }
+        let total: usize = lens(&parts).iter().sum();
+        assert_eq!(total, 38);
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned")]
+    fn rejects_misaligned_stream() {
+        divide_even(&streams(&[3]), 2, 2);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_parts() {
+        let parts = divide_even(&[], 3, 1);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(|p| p.is_empty()));
+    }
+
+    #[test]
+    fn static_division_pins_bins_to_sockets() {
+        // 4 bins, sockets own pairs: 0,1 → socket 0; 2,3 → socket 1.
+        let s = streams(&[100, 100, 10, 10]);
+        let parts = divide_static(&s, |b| b / 2, 2, 2, 1);
+        // threads 0,1 (socket 0) share 200; threads 2,3 (socket 1) share 20.
+        assert_eq!(lens(&parts), vec![100, 100, 10, 10]);
+        for (t, p) in parts.iter().enumerate() {
+            for seg in p {
+                assert_eq!(seg.bin / 2, t / 2, "bin crossed its socket");
+            }
+        }
+    }
+
+    #[test]
+    fn static_division_exhibits_imbalance_balanced_fixes_it() {
+        let s = streams(&[1000, 0, 0, 0]); // all work in socket 0's bin
+        let stat = divide_static(&s, |b| b / 2, 2, 1, 1);
+        assert_eq!(lens(&stat), vec![1000, 0]);
+        let bal = divide_even(&s, 2, 1);
+        assert_eq!(lens(&bal), vec![500, 500]);
+    }
+
+    #[test]
+    fn alpha_metric() {
+        assert!((alpha(&[50, 50]) - 0.5).abs() < 1e-12);
+        assert!((alpha(&[60, 40]) - 0.6).abs() < 1e-12);
+        assert!((alpha(&[100, 0]) - 1.0).abs() < 1e-12);
+        assert!((alpha(&[0, 0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn socket_shares_sum_to_total() {
+        let s = streams(&[10, 20, 30, 40]);
+        let shares = socket_shares(&s, |b| b % 2, 2);
+        assert_eq!(shares, vec![40, 60]);
+    }
+
+    #[test]
+    fn multi_owner_streams_keep_owner_identity() {
+        let s = vec![
+            Stream { bin: 0, owner: 0, len: 4 },
+            Stream { bin: 0, owner: 1, len: 4 },
+            Stream { bin: 1, owner: 0, len: 4 },
+        ];
+        let parts = divide_even(&s, 3, 1);
+        let all: Vec<&Segment> = parts.iter().flatten().collect();
+        assert!(all.iter().any(|seg| seg.owner == 1));
+        let total: usize = all.iter().map(|seg| seg.len()).sum();
+        assert_eq!(total, 12);
+    }
+}

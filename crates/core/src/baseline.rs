@@ -1,0 +1,222 @@
+//! Re-implementations of prior work used as comparison points.
+//!
+//! §V compares against the previous best reported numbers, re-measured "on
+//! our system" — the methodology reproduced here by implementing the
+//! competing algorithms on the same substrate:
+//!
+//! * [`atomic_parallel_bfs`] — the Agarwal et al. scheme (the paper's main
+//!   comparison, Figure 6): level-synchronous parallel BFS with a **bit
+//!   vector updated by LOCK-prefixed atomic OR** and exactly-once vertex
+//!   claims, shared frontier chunks, and no locality-aware placement,
+//!   binning, rearrangement, SIMD or prefetch.
+//! * [`no_vis_parallel_bfs`] — the "no VIS array" series of Figure 4:
+//!   identical structure but every edge checks the `DP` word directly.
+
+use bfs_graph::CsrGraph;
+use bfs_platform::{SocketPool, Topology};
+
+use crate::balance::{divide_even, Stream};
+use crate::cell::ThreadOwned;
+use crate::dp::{DepthParent, INF_DEPTH};
+use crate::engine::BfsOutput;
+use crate::stats::TraversalStats;
+use crate::vis::{Vis, VisScheme};
+use crate::VertexId;
+
+/// Agarwal-style atomic-bitmap BFS: test-first bitmap probes with a LOCK
+/// `fetch_or` claim per vertex (their tuned protocol), shared frontier, no
+/// locality machinery.
+pub fn atomic_parallel_bfs(graph: &CsrGraph, topology: Topology, source: VertexId) -> BfsOutput {
+    flat_parallel_bfs(graph, topology, source, VisScheme::AtomicBitTest)
+}
+
+/// The literal Figure 2(a) variant: a LOCK `fetch_or` per edge.
+pub fn atomic_per_edge_parallel_bfs(
+    graph: &CsrGraph,
+    topology: Topology,
+    source: VertexId,
+) -> BfsOutput {
+    flat_parallel_bfs(graph, topology, source, VisScheme::AtomicBit)
+}
+
+/// Direct-DP parallel BFS (no VIS filter at all).
+pub fn no_vis_parallel_bfs(graph: &CsrGraph, topology: Topology, source: VertexId) -> BfsOutput {
+    flat_parallel_bfs(graph, topology, source, VisScheme::None)
+}
+
+/// Shared skeleton: level-synchronous expansion with per-thread output
+/// queues and even frontier chunking — the structure of prior multicore BFS
+/// work, without any of the paper's locality machinery.
+fn flat_parallel_bfs(
+    graph: &CsrGraph,
+    topology: Topology,
+    source: VertexId,
+    scheme: VisScheme,
+) -> BfsOutput {
+    topology.validate();
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let t0 = std::time::Instant::now();
+    let nthreads = topology.total_threads();
+    let dp = DepthParent::new(n);
+    let vis = Vis::new(scheme, n);
+    dp.set(source, 0, source);
+    vis.mark(source);
+
+    let bv_cur = ThreadOwned::from_fn(nthreads, |t| {
+        if t == 0 {
+            vec![source]
+        } else {
+            Vec::new()
+        }
+    });
+    let bv_next: ThreadOwned<Vec<VertexId>> = ThreadOwned::from_fn(nthreads, |_| Vec::new());
+    let totals = [
+        std::sync::atomic::AtomicU64::new(0),
+        std::sync::atomic::AtomicU64::new(0),
+    ];
+
+    let pool = SocketPool::new(topology);
+    let enqueued: Vec<u64> = pool.run(|ctx| {
+        use std::sync::atomic::Ordering;
+        let tid = ctx.thread_id;
+        let mut my_enqueued = 0u64;
+        let mut step = 1u32;
+        loop {
+            assert!(step <= n as u32 + 1, "BFS failed to terminate");
+            if tid == 0 {
+                totals[(step & 1) as usize].store(0, Ordering::Relaxed);
+            }
+            ctx.barrier();
+            let streams: Vec<Stream> = (0..nthreads)
+                .map(|t| Stream {
+                    bin: t,
+                    owner: t,
+                    len: bv_cur.read(t, |f| f.len()),
+                })
+                .collect();
+            let segments = divide_even(&streams, nthreads, 1).swap_remove(tid);
+            let mine = bv_next.with_mut(tid, |next| {
+                for seg in &segments {
+                    bv_cur.read(seg.owner, |frontier| {
+                        for &u in &frontier[seg.range.clone()] {
+                            for &v in graph.neighbors(u) {
+                                match scheme {
+                                    VisScheme::AtomicBit | VisScheme::AtomicBitTest => {
+                                        // LOCK OR claims exactly once; DP
+                                        // write needs no guard.
+                                        if !vis.definitely_visited_or_mark(v) {
+                                            dp.set(v, step, u);
+                                            next.push(v);
+                                        }
+                                    }
+                                    _ => {
+                                        if dp.claim_atomic(v, step, u) {
+                                            next.push(v);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+                next.len() as u64
+            });
+            my_enqueued += mine;
+            totals[(step & 1) as usize].fetch_add(mine, Ordering::Relaxed);
+            ctx.barrier();
+            let total = totals[(step & 1) as usize].load(Ordering::Relaxed);
+            bv_cur.with_mut(tid, |cur| {
+                bv_next.with_mut(tid, |next| {
+                    std::mem::swap(cur, next);
+                    next.clear();
+                });
+            });
+            ctx.barrier();
+            if total == 0 {
+                break;
+            }
+            step += 1;
+        }
+        my_enqueued
+    });
+
+    let total_time = t0.elapsed();
+    let (depths, parents) = dp.into_arrays();
+    let mut visited = 0u64;
+    let mut traversed = 0u64;
+    let mut max_depth = 0u32;
+    #[allow(clippy::needless_range_loop)] // v is a vertex id used against two arrays
+    for v in 0..n {
+        if depths[v] != INF_DEPTH {
+            visited += 1;
+            traversed += graph.degree(v as u32) as u64;
+            max_depth = max_depth.max(depths[v]);
+        }
+    }
+    let enq: u64 = enqueued.iter().sum();
+    BfsOutput {
+        depths,
+        parents,
+        stats: TraversalStats {
+            steps: max_depth,
+            visited_vertices: visited,
+            traversed_edges: traversed,
+            duplicate_enqueues: (enq + 1).saturating_sub(visited),
+            frontier_sizes: Vec::new(),
+            total_time,
+            ..Default::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::serial_bfs;
+    use crate::validate::validate_bfs_tree;
+    use bfs_graph::gen::classic::{lollipop, path};
+    use bfs_graph::gen::rmat::{rmat, RmatConfig};
+    use bfs_graph::gen::uniform::uniform_random;
+    use bfs_graph::rng::rng_from_seed;
+
+    #[test]
+    fn atomic_baseline_matches_serial() {
+        let g = uniform_random(1500, 8, &mut rng_from_seed(1));
+        let out = atomic_parallel_bfs(&g, Topology::synthetic(2, 2), 0);
+        let r = serial_bfs(&g, 0);
+        assert_eq!(out.depths, r.depths);
+        validate_bfs_tree(&g, 0, &out.depths, &out.parents).unwrap();
+        // Atomic claims are exactly-once: no duplicates possible.
+        assert_eq!(out.stats.duplicate_enqueues, 0);
+    }
+
+    #[test]
+    fn no_vis_baseline_matches_serial() {
+        let g = rmat(&RmatConfig::paper(10, 4), &mut rng_from_seed(2));
+        let src = bfs_graph::stats::nth_non_isolated(&g, 0).unwrap();
+        let out = no_vis_parallel_bfs(&g, Topology::synthetic(2, 2), src);
+        let r = serial_bfs(&g, src);
+        assert_eq!(out.depths, r.depths);
+        validate_bfs_tree(&g, src, &out.depths, &out.parents).unwrap();
+    }
+
+    #[test]
+    fn classic_shapes() {
+        for g in [path(9), lollipop(5, 7)] {
+            let out = atomic_parallel_bfs(&g, Topology::synthetic(1, 4), 0);
+            let r = serial_bfs(&g, 0);
+            assert_eq!(out.depths, r.depths);
+            assert_eq!(out.stats.steps, r.max_depth);
+        }
+    }
+
+    #[test]
+    fn stats_counts_match_serial() {
+        let g = uniform_random(600, 4, &mut rng_from_seed(3));
+        let out = atomic_parallel_bfs(&g, Topology::synthetic(2, 2), 0);
+        let r = serial_bfs(&g, 0);
+        assert_eq!(out.stats.visited_vertices, r.visited);
+        assert_eq!(out.stats.traversed_edges, r.traversed_edges);
+    }
+}

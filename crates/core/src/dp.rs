@@ -1,0 +1,226 @@
+//! The packed depth+parent (`DP`) array.
+//!
+//! §III-B: "Our algorithm stores the *depth* and *parent* of each vertex
+//! together in an array, denoted by DP — initialized to INF." §III-A:
+//! "Using 8/16/32/64-bits to represent the depth and parent values ensures
+//! that the updates to DP are always consistent."
+//!
+//! Each entry is one 64-bit word — depth in the high 32 bits, parent in the
+//! low 32 — written with a single `Relaxed` atomic store. A plain aligned
+//! 8-byte `mov` is exactly what the paper relies on ("the underlying
+//! architecture guarantees atomic reads/writes"); Rust expresses that legal
+//! racy access as a relaxed atomic, which compiles to the same instruction
+//! on x86-64. No read-modify-write (LOCK-prefixed) operation ever touches
+//! this array in the atomic-free schemes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::VertexId;
+
+/// Depth value meaning "not yet assigned" (the paper's INF).
+pub const INF_DEPTH: u32 = u32::MAX;
+
+const INF_WORD: u64 = u64::MAX;
+
+#[inline]
+fn pack(depth: u32, parent: VertexId) -> u64 {
+    ((depth as u64) << 32) | parent as u64
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, VertexId) {
+    ((word >> 32) as u32, word as u32)
+}
+
+/// The `DP` array: one atomic word per vertex.
+pub struct DepthParent {
+    words: Box<[AtomicU64]>,
+}
+
+impl DepthParent {
+    /// All-INF array for `n` vertices.
+    pub fn new(n: usize) -> Self {
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU64::new(INF_WORD));
+        Self {
+            words: v.into_boxed_slice(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when sized for zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Resets every entry to INF (single-threaded, between runs).
+    pub fn reset(&mut self) {
+        for w in self.words.iter_mut() {
+            *w.get_mut() = INF_WORD;
+        }
+    }
+
+    /// True if `v` has been assigned a depth (racy snapshot; stable within a
+    /// step for vertices assigned in earlier steps).
+    #[inline]
+    pub fn is_assigned(&self, v: VertexId) -> bool {
+        self.words[v as usize].load(Ordering::Relaxed) != INF_WORD
+    }
+
+    /// Atomic-free claim: if `v` is unassigned, store `(depth, parent)` with
+    /// a single relaxed store and return `true`.
+    ///
+    /// Two threads can both observe INF and both store — the benign race of
+    /// §III-A: both run the same step, so both write the same depth (possibly
+    /// different parents), and the BFS tree stays valid. The caller may
+    /// therefore enqueue `v` twice; the paper measured ≤ 0.2% such
+    /// duplicates.
+    #[inline]
+    pub fn claim_relaxed(&self, v: VertexId, depth: u32, parent: VertexId) -> bool {
+        debug_assert_ne!(depth, INF_DEPTH);
+        let w = &self.words[v as usize];
+        if w.load(Ordering::Relaxed) != INF_WORD {
+            return false;
+        }
+        w.store(pack(depth, parent), Ordering::Relaxed);
+        true
+    }
+
+    /// Exactly-once claim via compare-exchange — the LOCK-prefixed update
+    /// used by the atomic baseline (Figure 2(a)).
+    #[inline]
+    pub fn claim_atomic(&self, v: VertexId, depth: u32, parent: VertexId) -> bool {
+        debug_assert_ne!(depth, INF_DEPTH);
+        self.words[v as usize]
+            .compare_exchange(
+                INF_WORD,
+                pack(depth, parent),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Unconditional store (used to seed the source vertex).
+    #[inline]
+    pub fn set(&self, v: VertexId, depth: u32, parent: VertexId) {
+        self.words[v as usize].store(pack(depth, parent), Ordering::Relaxed);
+    }
+
+    /// `(depth, parent)` of `v`, or `None` if unassigned.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> Option<(u32, VertexId)> {
+        let w = self.words[v as usize].load(Ordering::Relaxed);
+        (w != INF_WORD).then(|| unpack(w))
+    }
+
+    /// Depth of `v` (INF_DEPTH if unassigned).
+    #[inline]
+    pub fn depth(&self, v: VertexId) -> u32 {
+        match self.get(v) {
+            Some((d, _)) => d,
+            None => INF_DEPTH,
+        }
+    }
+
+    /// Extracts plain `(depths, parents)` vectors (end of traversal).
+    pub fn into_arrays(self) -> (Vec<u32>, Vec<VertexId>) {
+        let mut depths = Vec::with_capacity(self.len());
+        let mut parents = Vec::with_capacity(self.len());
+        for w in self.words.iter() {
+            let word = w.load(Ordering::Relaxed);
+            if word == INF_WORD {
+                depths.push(INF_DEPTH);
+                parents.push(VertexId::MAX);
+            } else {
+                let (d, p) = unpack(word);
+                depths.push(d);
+                parents.push(p);
+            }
+        }
+        (depths, parents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_inf() {
+        let dp = DepthParent::new(4);
+        assert_eq!(dp.len(), 4);
+        assert!((0..4u32).all(|v| dp.get(v).is_none()));
+        assert_eq!(dp.depth(2), INF_DEPTH);
+    }
+
+    #[test]
+    fn claim_relaxed_first_wins_then_blocks() {
+        let dp = DepthParent::new(2);
+        assert!(dp.claim_relaxed(1, 3, 0));
+        assert!(!dp.claim_relaxed(1, 4, 0));
+        assert_eq!(dp.get(1), Some((3, 0)));
+    }
+
+    #[test]
+    fn claim_atomic_is_exactly_once() {
+        let dp = DepthParent::new(1);
+        assert!(dp.claim_atomic(0, 1, 0));
+        assert!(!dp.claim_atomic(0, 1, 0));
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_extremes() {
+        let dp = DepthParent::new(1);
+        dp.set(0, 0, u32::MAX - 1);
+        assert_eq!(dp.get(0), Some((0, u32::MAX - 1)));
+        dp.set(0, u32::MAX - 1, 0);
+        assert_eq!(dp.get(0), Some((u32::MAX - 1, 0)));
+    }
+
+    #[test]
+    fn reset_restores_inf() {
+        let mut dp = DepthParent::new(3);
+        dp.set(1, 5, 2);
+        dp.reset();
+        assert!(dp.get(1).is_none());
+    }
+
+    #[test]
+    fn into_arrays_matches_state() {
+        let dp = DepthParent::new(3);
+        dp.set(0, 0, 0);
+        dp.set(2, 1, 0);
+        let (d, p) = dp.into_arrays();
+        assert_eq!(d, vec![0, INF_DEPTH, 1]);
+        assert_eq!(p, vec![0, VertexId::MAX, 0]);
+    }
+
+    #[test]
+    fn concurrent_same_step_claims_agree_on_depth() {
+        // The benign race: many threads claim the same vertex with the same
+        // depth but different parents. Afterwards the depth must be that
+        // step's depth and the parent one of the claimants'.
+        use std::sync::Arc;
+        let dp = Arc::new(DepthParent::new(1));
+        let handles: Vec<_> = (0..8u32)
+            .map(|t| {
+                let dp = Arc::clone(&dp);
+                std::thread::spawn(move || dp.claim_relaxed(0, 7, t))
+            })
+            .collect();
+        let wins = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&won| won)
+            .count();
+        assert!(wins >= 1, "at least one claim must succeed");
+        let (d, p) = dp.get(0).unwrap();
+        assert_eq!(d, 7);
+        assert!(p < 8);
+    }
+}

@@ -1,0 +1,703 @@
+//! The complete load-balanced locality-aware BFS traversal (Figure 3).
+//!
+//! One SPMD region runs the per-step loop on every thread of the topology:
+//!
+//! ```text
+//! for (step = 1; ; step++)
+//!   Phase I   divide BV_t^C across threads (load-balanced);
+//!             for each assigned frontier vertex: prefetch Adj, bin its
+//!             neighbors into the thread's N_PBV PBV bins (SIMD kernel),
+//!             broadcasting the parent marker
+//!   barrier
+//!   Phase II  divide the PBV bins across threads (whole bins + ≤2 partial
+//!             bins per socket, in bin order so each VIS partition stays
+//!             cache-resident); for each (parent, v): VIS filter → DP claim
+//!             → append v to the thread-local BV_t^N
+//!             rearrange BV_t^N by Adj page window (TLB)
+//!   barrier   sum frontier sizes; stop when empty; swap BV arrays
+//! ```
+//!
+//! Scheduling modes reproduce the three series of Figure 5; the VIS scheme
+//! reproduces the series of Figure 4.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bfs_graph::CsrGraph;
+use bfs_platform::{SocketPool, Topology};
+
+use crate::balance::{divide_even, divide_static, Segment, Stream};
+use crate::cell::ThreadOwned;
+use crate::dp::{DepthParent, INF_DEPTH};
+use crate::frontier::rearrange_frontier;
+use crate::pbv::{decode_window, BinGeometry, BinSet, PbvEncoding, ResolvedEncoding};
+use crate::prefetch::{prefetch_slice_element, DEFAULT_PREFETCH_DISTANCE};
+use crate::simd::{bin_indices, BinKernel};
+use crate::stats::TraversalStats;
+use crate::vis::{Vis, VisScheme};
+use crate::VertexId;
+
+/// Work-distribution scheme (the Figure 5 series).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Scheduling {
+    /// No multi-socket optimization: single-phase expansion, threads update
+    /// VIS/DP directly from neighbor lists (maximum ping-pong).
+    NoMultiSocketOpt,
+    /// Two-phase with bins statically pinned to their home socket
+    /// ("Multi-Socket aware"): no cross-socket bin traffic, but
+    /// load-imbalance when bins are skewed.
+    SocketAwareStatic,
+    /// Two-phase with the even prefix split of §III-B3(a): whole bins plus
+    /// at most two partial bins per socket.
+    #[default]
+    LoadBalanced,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BfsOptions {
+    /// VIS representation (Figure 4 series).
+    pub vis: VisScheme,
+    /// Work distribution (Figure 5 series).
+    pub scheduling: Scheduling,
+    /// Override the `N_VIS` partition count (default: the §III-A LLC rule).
+    pub n_vis_override: Option<usize>,
+    /// TLB-aware frontier rearrangement (§III-B3(b)).
+    pub rearrange: bool,
+    /// Adjacency prefetch distance in frontier entries (0 disables).
+    pub prefetch_distance: usize,
+    /// Bin-index kernel.
+    pub bin_kernel: BinKernel,
+    /// PBV stream encoding.
+    pub encoding: PbvEncoding,
+}
+
+impl Default for BfsOptions {
+    fn default() -> Self {
+        Self {
+            vis: VisScheme::Bit,
+            scheduling: Scheduling::LoadBalanced,
+            n_vis_override: None,
+            rearrange: true,
+            prefetch_distance: DEFAULT_PREFETCH_DISTANCE,
+            bin_kernel: BinKernel::Simd,
+            encoding: PbvEncoding::Auto,
+        }
+    }
+}
+
+/// Traversal output: depth and parent per vertex plus statistics.
+#[derive(Clone, Debug)]
+pub struct BfsOutput {
+    /// Depth per vertex (`INF_DEPTH` when unreached).
+    pub depths: Vec<u32>,
+    /// Parent per vertex (`VertexId::MAX` when unreached; source parents
+    /// itself).
+    pub parents: Vec<VertexId>,
+    /// Run statistics.
+    pub stats: TraversalStats,
+}
+
+/// Per-thread mutable traversal state (each field family lives in its own
+/// [`ThreadOwned`] so the write/read epochs of the two phases never overlap
+/// on one cell).
+struct Counters {
+    enqueued: u64,
+    binning_ops: u64,
+    phase1: Duration,
+    phase2: Duration,
+    rearrange: Duration,
+}
+
+/// The BFS engine: graph + topology + options.
+pub struct BfsEngine<'g> {
+    graph: &'g CsrGraph,
+    topology: Topology,
+    pool: SocketPool,
+    options: BfsOptions,
+    geometry: BinGeometry,
+    encoding: ResolvedEncoding,
+}
+
+impl<'g> BfsEngine<'g> {
+    /// Builds an engine. The bin geometry follows §III-A/§III-C(1) from the
+    /// topology's LLC size unless overridden.
+    pub fn new(graph: &'g CsrGraph, topology: Topology, options: BfsOptions) -> Self {
+        topology.validate();
+        assert!(
+            graph.num_vertices() <= bfs_graph::MAX_VERTICES,
+            "graph too large for the marker encoding"
+        );
+        let n = graph.num_vertices();
+        let geometry = match options.n_vis_override {
+            Some(nv) => BinGeometry::with_n_vis(n, topology.sockets, nv),
+            None => BinGeometry::from_llc(n, topology.sockets, topology.llc_bytes),
+        };
+        let rho_estimate = graph.average_degree().max(1.0);
+        let encoding = options.encoding.resolve(geometry.n_bins, rho_estimate);
+        Self {
+            graph,
+            topology,
+            pool: SocketPool::new(topology),
+            options,
+            geometry,
+            encoding,
+        }
+    }
+
+    /// The engine's bin geometry (N_VIS, N_PBV, bin↔socket map).
+    pub fn geometry(&self) -> &BinGeometry {
+        &self.geometry
+    }
+
+    /// The resolved PBV encoding.
+    pub fn encoding(&self) -> ResolvedEncoding {
+        self.encoding
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &BfsOptions {
+        &self.options
+    }
+
+    /// Runs a traversal from `source`.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    pub fn run(&self, source: VertexId) -> BfsOutput {
+        let n = self.graph.num_vertices();
+        assert!((source as usize) < n, "source out of range");
+        let t0 = Instant::now();
+        let nthreads = self.topology.total_threads();
+
+        let dp = DepthParent::new(n);
+        let vis = Vis::new(self.options.vis, n);
+        dp.set(source, 0, source);
+        vis.mark(source);
+
+        // Per-thread buffer families (see `cell` for the epoch protocol).
+        let bv_cur = ThreadOwned::from_fn(nthreads, |t| {
+            if t == 0 {
+                vec![source]
+            } else {
+                Vec::new()
+            }
+        });
+        let bv_next: ThreadOwned<Vec<VertexId>> = ThreadOwned::from_fn(nthreads, |_| Vec::new());
+        let bins = ThreadOwned::from_fn(nthreads, |_| {
+            BinSet::new(self.geometry.n_bins, self.encoding)
+        });
+        let scratch: ThreadOwned<(Vec<VertexId>, Vec<u32>)> =
+            ThreadOwned::from_fn(nthreads, |_| (Vec::new(), Vec::new()));
+
+        // Frontier-size accumulators, double-buffered by step parity (reset
+        // happens a full barrier before the next use of a slot).
+        let totals = [AtomicU64::new(0), AtomicU64::new(0)];
+        let frontier_log = parking_lot_free_log(n);
+
+        let counters = self.pool.run(|ctx| {
+            let tid = ctx.thread_id;
+            let mut c = Counters {
+                enqueued: 0,
+                binning_ops: 0,
+                phase1: Duration::ZERO,
+                phase2: Duration::ZERO,
+                rearrange: Duration::ZERO,
+            };
+            let mut step: u32 = 1;
+            loop {
+                assert!(
+                    step <= n as u32 + 1,
+                    "BFS failed to terminate after {step} steps"
+                );
+                if tid == 0 {
+                    totals[(step & 1) as usize].store(0, Ordering::Relaxed);
+                }
+                let p1 = Instant::now();
+                match self.options.scheduling {
+                    Scheduling::NoMultiSocketOpt => {
+                        self.expand_direct(ctx.thread_id, nthreads, &bv_cur, &bv_next, &dp, &vis, step, &mut c);
+                    }
+                    _ => {
+                        self.phase_one(tid, nthreads, &bv_cur, &bins, &mut c);
+                    }
+                }
+                c.phase1 += p1.elapsed();
+                ctx.barrier();
+
+                if self.options.scheduling != Scheduling::NoMultiSocketOpt {
+                    let p2 = Instant::now();
+                    self.phase_two(tid, nthreads, &bins, &bv_next, &dp, &vis, step, &mut c);
+                    c.phase2 += p2.elapsed();
+                }
+
+                if self.options.rearrange {
+                    let pr = Instant::now();
+                    scratch.with_mut(tid, |(tmp, _)| {
+                        bv_next.with_mut(tid, |f| {
+                            rearrange_frontier(
+                                f,
+                                self.graph,
+                                self.topology.page_bytes,
+                                self.topology.tlb_entries,
+                                tmp,
+                            );
+                        });
+                    });
+                    c.rearrange += pr.elapsed();
+                }
+                let mine = bv_next.with_mut(tid, |f| f.len() as u64);
+                c.enqueued += mine;
+                totals[(step & 1) as usize].fetch_add(mine, Ordering::Relaxed);
+                ctx.barrier();
+                let total = totals[(step & 1) as usize].load(Ordering::Relaxed);
+                if tid == 0 {
+                    frontier_log.with_mut(0, |log| log.push(total));
+                }
+                // Swap own frontier buffers; clear the consumed one.
+                bv_cur.with_mut(tid, |cur| {
+                    bv_next.with_mut(tid, |next| {
+                        std::mem::swap(cur, next);
+                        next.clear();
+                    });
+                });
+                ctx.barrier();
+                if total == 0 {
+                    break;
+                }
+                step += 1;
+            }
+            c
+        });
+
+        let total_time = t0.elapsed();
+        let (depths, parents) = dp.into_arrays();
+        let mut visited = 0u64;
+        let mut traversed = 0u64;
+        #[allow(clippy::needless_range_loop)] // v is a vertex id used against two arrays
+        for v in 0..n {
+            if depths[v] != INF_DEPTH {
+                visited += 1;
+                traversed += self.graph.degree(v as u32) as u64;
+            }
+        }
+        let frontier_sizes: Vec<u64> =
+            frontier_log.with_mut(0, |log| log.iter().copied().filter(|&s| s > 0).collect());
+        let enqueued: u64 = counters.iter().map(|c| c.enqueued).sum();
+        let stats = TraversalStats {
+            steps: frontier_sizes.len() as u32,
+            visited_vertices: visited,
+            traversed_edges: traversed,
+            duplicate_enqueues: (enqueued + 1).saturating_sub(visited),
+            frontier_sizes,
+            phase1_time: counters.iter().map(|c| c.phase1).max().unwrap_or_default(),
+            phase2_time: counters.iter().map(|c| c.phase2).max().unwrap_or_default(),
+            rearrange_time: counters
+                .iter()
+                .map(|c| c.rearrange)
+                .max()
+                .unwrap_or_default(),
+            total_time,
+            binning_ops: counters.iter().map(|c| c.binning_ops).sum(),
+        };
+        BfsOutput {
+            depths,
+            parents,
+            stats,
+        }
+    }
+
+    /// Phase I: bin the neighbors of this thread's share of the frontier.
+    fn phase_one(
+        &self,
+        tid: usize,
+        nthreads: usize,
+        bv_cur: &ThreadOwned<Vec<VertexId>>,
+        bins: &ThreadOwned<BinSet>,
+        c: &mut Counters,
+    ) {
+        // Deterministic division: every thread derives the same plan from
+        // the (now read-only) frontier lengths.
+        let streams: Vec<Stream> = (0..nthreads)
+            .map(|t| Stream {
+                bin: t,
+                owner: t,
+                len: bv_cur.read(t, |f| f.len()),
+            })
+            .collect();
+        let my_segments: Vec<Segment> = match self.options.scheduling {
+            Scheduling::SocketAwareStatic => {
+                let lanes = self.topology.lanes_per_socket;
+                divide_static(&streams, |b| b / lanes, self.topology.sockets, lanes, 1)
+                    .swap_remove(tid)
+            }
+            _ => divide_even(&streams, nthreads, 1).swap_remove(tid),
+        };
+        let pref = self.options.prefetch_distance;
+        let offsets = self.graph.offsets();
+        let raw = self.graph.raw_neighbors();
+        bins.with_mut(tid, |my_bins| {
+            my_bins.clear();
+            let mut idx_buf: Vec<u32> = Vec::new();
+            for seg in &my_segments {
+                bv_cur.read(seg.owner, |frontier| {
+                    let window = &frontier[seg.range.clone()];
+                    for (k, &u) in window.iter().enumerate() {
+                        if pref > 0 {
+                            if let Some(&next_u) = window.get(k + pref) {
+                                // Prefetch the adjacency pointer and the
+                                // first neighbor line (§III-C(3)).
+                                prefetch_slice_element(offsets, next_u as usize);
+                                let off = offsets[next_u as usize] as usize;
+                                prefetch_slice_element(raw, off);
+                            }
+                        }
+                        let neighbors = self.graph.neighbors(u);
+                        my_bins.begin_vertex(u);
+                        c.binning_ops += bin_indices(
+                            self.options.bin_kernel,
+                            neighbors,
+                            self.geometry.bin_shift,
+                            &mut idx_buf,
+                        );
+                        for (&v, &b) in neighbors.iter().zip(idx_buf.iter()) {
+                            my_bins.push_neighbor(b as usize, v);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Phase II: walk assigned bin windows, filter through VIS, claim DP,
+    /// build the next frontier.
+    #[allow(clippy::too_many_arguments)]
+    fn phase_two(
+        &self,
+        tid: usize,
+        nthreads: usize,
+        bins: &ThreadOwned<BinSet>,
+        bv_next: &ThreadOwned<Vec<VertexId>>,
+        dp: &DepthParent,
+        vis: &Vis,
+        step: u32,
+        _c: &mut Counters,
+    ) {
+        let align = self.encoding.alignment();
+        // Bin-major stream order: a part's share is contiguous in bin order,
+        // which is both the locality story (§III-B3(a)) and the VIS
+        // partition residency story (§III-A).
+        let mut streams = Vec::with_capacity(self.geometry.n_bins * nthreads);
+        for b in 0..self.geometry.n_bins {
+            for t in 0..nthreads {
+                streams.push(Stream {
+                    bin: b,
+                    owner: t,
+                    len: bins.read(t, |bs| bs.bin_len(b)),
+                });
+            }
+        }
+        let my_segments: Vec<Segment> = match self.options.scheduling {
+            Scheduling::SocketAwareStatic => divide_static(
+                &streams,
+                |b| self.geometry.socket_of_bin(b),
+                self.topology.sockets,
+                self.topology.lanes_per_socket,
+                align,
+            )
+            .swap_remove(tid),
+            _ => divide_even(&streams, nthreads, align).swap_remove(tid),
+        };
+        bv_next.with_mut(tid, |next| {
+            for seg in &my_segments {
+                bins.read(seg.owner, |bs| {
+                    decode_window(
+                        bs.bin(seg.bin),
+                        seg.range.start,
+                        seg.range.end,
+                        self.encoding,
+                        |parent, v| {
+                            if vis.definitely_visited_or_mark(v) {
+                                return;
+                            }
+                            let claimed = match self.options.vis {
+                                // The atomic fetch_or already guarantees
+                                // exactly-once, so the DP write is a plain
+                                // store (Figure 2(a)).
+                                VisScheme::AtomicBit | VisScheme::AtomicBitTest => {
+                                    dp.set(v, step, parent);
+                                    true
+                                }
+                                _ => dp.claim_relaxed(v, step, parent),
+                            };
+                            if claimed {
+                                next.push(v);
+                            }
+                        },
+                    );
+                });
+            }
+        });
+    }
+
+    /// Single-phase expansion for [`Scheduling::NoMultiSocketOpt`]: no
+    /// binning, direct spatially-incoherent VIS/DP updates.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_direct(
+        &self,
+        tid: usize,
+        nthreads: usize,
+        bv_cur: &ThreadOwned<Vec<VertexId>>,
+        bv_next: &ThreadOwned<Vec<VertexId>>,
+        dp: &DepthParent,
+        vis: &Vis,
+        step: u32,
+        _c: &mut Counters,
+    ) {
+        let streams: Vec<Stream> = (0..nthreads)
+            .map(|t| Stream {
+                bin: t,
+                owner: t,
+                len: bv_cur.read(t, |f| f.len()),
+            })
+            .collect();
+        let my_segments = divide_even(&streams, nthreads, 1).swap_remove(tid);
+        let pref = self.options.prefetch_distance;
+        let offsets = self.graph.offsets();
+        bv_next.with_mut(tid, |next| {
+            for seg in &my_segments {
+                bv_cur.read(seg.owner, |frontier| {
+                    let window = &frontier[seg.range.clone()];
+                    for (k, &u) in window.iter().enumerate() {
+                        if pref > 0 {
+                            if let Some(&next_u) = window.get(k + pref) {
+                                prefetch_slice_element(offsets, next_u as usize);
+                            }
+                        }
+                        for &v in self.graph.neighbors(u) {
+                            if vis.definitely_visited_or_mark(v) {
+                                continue;
+                            }
+                            let claimed = match self.options.vis {
+                                VisScheme::AtomicBit | VisScheme::AtomicBitTest => {
+                                    dp.set(v, step, u);
+                                    true
+                                }
+                                _ => dp.claim_relaxed(v, step, u),
+                            };
+                            if claimed {
+                                next.push(v);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// A single-cell `ThreadOwned` used as a leader-only log (keeps the cell
+/// protocol uniform instead of adding a mutex for one vector — only thread 0
+/// ever touches it during the run).
+fn parking_lot_free_log(capacity_hint: usize) -> ThreadOwned<Vec<u64>> {
+    ThreadOwned::from_fn(1, |_| Vec::with_capacity(capacity_hint.min(1024)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::serial_bfs;
+    use crate::validate::validate_bfs_tree;
+    use bfs_graph::gen::classic::{binary_tree, lollipop, path, star, two_cliques};
+    use bfs_graph::gen::rmat::{rmat, RmatConfig};
+    use bfs_graph::gen::stress::stress_bipartite;
+    use bfs_graph::gen::uniform::uniform_random;
+    use bfs_graph::rng::rng_from_seed;
+
+    fn check_against_serial(g: &CsrGraph, source: VertexId, topo: Topology, opts: BfsOptions) {
+        let engine = BfsEngine::new(g, topo, opts);
+        let out = engine.run(source);
+        let reference = serial_bfs(g, source);
+        assert_eq!(
+            out.depths, reference.depths,
+            "depths diverge (opts {opts:?})"
+        );
+        validate_bfs_tree(g, source, &out.depths, &out.parents).unwrap();
+        assert_eq!(out.stats.visited_vertices, reference.visited);
+        assert_eq!(out.stats.traversed_edges, reference.traversed_edges);
+        assert_eq!(out.stats.steps, reference.max_depth);
+    }
+
+    #[test]
+    fn classic_graphs_all_schedulings() {
+        for scheduling in [
+            Scheduling::NoMultiSocketOpt,
+            Scheduling::SocketAwareStatic,
+            Scheduling::LoadBalanced,
+        ] {
+            for g in [path(17), star(9), binary_tree(31), lollipop(6, 10)] {
+                check_against_serial(
+                    &g,
+                    0,
+                    Topology::synthetic(2, 2),
+                    BfsOptions {
+                        scheduling,
+                        ..Default::default()
+                    },
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_vis_schemes_match_serial_on_random_graphs() {
+        let g = uniform_random(2000, 8, &mut rng_from_seed(42));
+        for vis in VisScheme::ALL {
+            check_against_serial(
+                &g,
+                0,
+                Topology::synthetic(2, 2),
+                BfsOptions {
+                    vis,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn rmat_with_many_threads_and_partitions() {
+        let g = rmat(&RmatConfig::paper(11, 8), &mut rng_from_seed(7));
+        let src = bfs_graph::stats::nth_non_isolated(&g, 0).unwrap();
+        check_against_serial(
+            &g,
+            src,
+            Topology::synthetic(2, 4),
+            BfsOptions {
+                n_vis_override: Some(4),
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn stress_graph_all_schedulings() {
+        let g = stress_bipartite(512, 6, &mut rng_from_seed(3));
+        for scheduling in [
+            Scheduling::NoMultiSocketOpt,
+            Scheduling::SocketAwareStatic,
+            Scheduling::LoadBalanced,
+        ] {
+            check_against_serial(
+                &g,
+                0,
+                Topology::synthetic(2, 2),
+                BfsOptions {
+                    scheduling,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn pairs_and_markers_encodings_agree() {
+        let g = uniform_random(1000, 4, &mut rng_from_seed(9));
+        for encoding in [PbvEncoding::Markers, PbvEncoding::Pairs, PbvEncoding::Auto] {
+            check_against_serial(
+                &g,
+                0,
+                Topology::synthetic(2, 2),
+                BfsOptions {
+                    encoding,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn no_rearrange_no_prefetch_scalar_kernel() {
+        let g = uniform_random(800, 6, &mut rng_from_seed(5));
+        check_against_serial(
+            &g,
+            0,
+            Topology::synthetic(1, 3),
+            BfsOptions {
+                rearrange: false,
+                prefetch_distance: 0,
+                bin_kernel: BinKernel::Scalar,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_terminates() {
+        let g = two_cliques(10, 10);
+        check_against_serial(&g, 0, Topology::synthetic(2, 2), BfsOptions::default());
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = CsrGraph::empty(1);
+        let engine = BfsEngine::new(&g, Topology::synthetic(1, 2), BfsOptions::default());
+        let out = engine.run(0);
+        assert_eq!(out.depths, vec![0]);
+        assert_eq!(out.stats.visited_vertices, 1);
+        assert_eq!(out.stats.steps, 0);
+    }
+
+    #[test]
+    fn oversubscribed_threads_on_tiny_graph() {
+        let g = path(3);
+        check_against_serial(&g, 1, Topology::synthetic(4, 4), BfsOptions::default());
+    }
+
+    #[test]
+    fn duplicate_rate_is_tiny() {
+        let g = uniform_random(5000, 16, &mut rng_from_seed(11));
+        let engine = BfsEngine::new(&g, Topology::synthetic(2, 2), BfsOptions::default());
+        let out = engine.run(0);
+        assert!(
+            out.stats.duplicate_rate() < 0.01,
+            "duplicate rate {} far above the paper's 0.2%",
+            out.stats.duplicate_rate()
+        );
+    }
+
+    #[test]
+    fn frontier_sizes_sum_to_visited_minus_source() {
+        let g = uniform_random(1000, 4, &mut rng_from_seed(13));
+        let engine = BfsEngine::new(&g, Topology::synthetic(2, 2), BfsOptions::default());
+        let out = engine.run(0);
+        let sum: u64 = out.stats.frontier_sizes.iter().sum();
+        assert_eq!(
+            sum + out.stats.duplicate_enqueues,
+            out.stats.visited_vertices - 1 + out.stats.duplicate_enqueues
+        );
+        assert!(sum >= out.stats.visited_vertices - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn rejects_bad_source() {
+        let g = path(3);
+        BfsEngine::new(&g, Topology::synthetic(1, 1), BfsOptions::default()).run(9);
+    }
+
+    #[test]
+    fn geometry_is_exposed() {
+        let g = uniform_random(1 << 12, 4, &mut rng_from_seed(1));
+        let engine = BfsEngine::new(
+            &g,
+            Topology::synthetic(2, 2),
+            BfsOptions {
+                n_vis_override: Some(2),
+                ..Default::default()
+            },
+        );
+        assert_eq!(engine.geometry().n_vis, 2);
+        assert_eq!(engine.geometry().n_bins, 4);
+    }
+}

@@ -1,0 +1,75 @@
+//! The paper's contribution: lock- and atomic-free, cache-friendly,
+//! load-balanced BFS traversal for multi-socket CPUs.
+//!
+//! Module map (paper section in parentheses):
+//!
+//! * [`dp`] — the packed depth+parent array `DP` written with single aligned
+//!   stores, the linchpin of the atomic-free correctness argument (§III-A).
+//! * [`vis`] — the `VIS` visited-filter schemes compared in Figure 4: no
+//!   filter, atomic bitmap (Agarwal-style), and the paper's atomic-free byte
+//!   and bit arrays (§III-A).
+//! * [`cell`] — `ThreadOwned<T>`: the phase-separated single-writer cells
+//!   that let the SPMD region publish per-thread `BV`/`PBV` buffers across
+//!   barriers without locks.
+//! * [`pbv`] — Potential Boundary Vertex bins: geometry (`N_VIS`, `N_PBV`,
+//!   bin↔socket alignment), parent-marker and (parent, vertex) encodings
+//!   (§III-B3, §III-C(4), §III-C(6)).
+//! * [`simd`] — scalar and SSE bin-index kernels with instruction-proxy
+//!   counters (§III-C(4)).
+//! * [`balance`] — the load-balanced, locality-aware division of binned work
+//!   across sockets and threads: every socket gets an even share of vertices
+//!   as a few whole bins plus at most two partial bins (§III-B3(a)).
+//! * [`frontier`] — per-thread boundary-vertex arrays and the one-pass
+//!   TLB-aware rearrangement (§III-B3(b), §III-C(7)).
+//! * [`prefetch`] — software prefetch of adjacency lists (§III-C(3)).
+//! * [`partitioned`] — the §III-B2 socket-partitioned adjacency storage
+//!   over the NUMA arena emulation.
+//! * [`engine`] — the complete two-phase traversal of Figure 3.
+//! * [`serial`] — the textbook BFS of Figure 1, the correctness oracle.
+//! * [`baseline`] — re-implementations of prior work compared against in
+//!   Figures 4 and 6 (atomic-bitmap parallel BFS).
+//! * [`validate`] — Graph500-style BFS-tree validation.
+//! * [`stats`] — traversal statistics (traversed edges, steps, phase times).
+//! * [`sim`] — replay of the algorithm on the simulated machine of
+//!   `bfs-memsim`, producing the traffic measurements behind Figures 4/5/8.
+//!
+//! # Example
+//!
+//! ```
+//! use bfs_core::{BfsEngine, BfsOptions};
+//! use bfs_graph::gen::uniform::uniform_random;
+//! use bfs_graph::rng::rng_from_seed;
+//! use bfs_platform::Topology;
+//!
+//! let graph = uniform_random(1000, 6, &mut rng_from_seed(1));
+//! let engine = BfsEngine::new(&graph, Topology::synthetic(2, 2), BfsOptions::default());
+//! let out = engine.run(0);
+//! assert_eq!(out.depths[0], 0);
+//! assert!(out.stats.visited_vertices > 900);
+//! bfs_core::validate::validate_bfs_tree(&graph, 0, &out.depths, &out.parents).unwrap();
+//! ```
+
+pub mod balance;
+pub mod baseline;
+pub mod cell;
+pub mod dp;
+pub mod engine;
+pub mod frontier;
+pub mod partitioned;
+pub mod pbv;
+pub mod prefetch;
+pub mod serial;
+pub mod sim;
+pub mod simd;
+pub mod stats;
+pub mod validate;
+pub mod vis;
+
+pub use dp::{DepthParent, INF_DEPTH};
+pub use engine::{BfsEngine, BfsOptions, BfsOutput, Scheduling};
+pub use pbv::PbvEncoding;
+pub use stats::TraversalStats;
+pub use vis::VisScheme;
+
+/// Vertex id, re-exported from the graph crate.
+pub type VertexId = bfs_graph::VertexId;

@@ -1,0 +1,178 @@
+//! Socket-partitioned adjacency storage (§III-B2).
+//!
+//! "For a multi-socket CPU, we evenly divide the Adj array amongst the
+//! available sockets ... we store the Adj array for the first |V_NS|
+//! vertices on the first socket, the next |V_NS| vertices on the second
+//! socket and so on."
+//!
+//! `PartitionedCsr` realizes that layout over the [`bfs_platform::arena`]
+//! emulation: one neighbor buffer per socket (each homed on its socket and
+//! recorded in the arena ledger) plus per-socket offset arrays. The view it
+//! exposes is equivalent to [`CsrGraph`] — property-tested — so experiments
+//! can measure placement effects (via the arena ledger and the simulated
+//! machine's `Boundaries` placement, which mirrors exactly this split)
+//! without the traversal code changing.
+
+use bfs_graph::CsrGraph;
+use bfs_platform::arena::{NumaArena, SocketBuf};
+use bfs_platform::topology::vertices_per_socket;
+
+use crate::VertexId;
+
+/// A CSR adjacency split into per-socket stripes at the `|V_NS|` boundary.
+pub struct PartitionedCsr {
+    /// Vertices per socket stripe (power of two).
+    stripe: usize,
+    /// Total vertices.
+    num_vertices: usize,
+    /// Per-socket local offsets (`local_count + 1` entries each).
+    offsets: Vec<SocketBuf<u64>>,
+    /// Per-socket neighbor storage.
+    neighbors: Vec<SocketBuf<VertexId>>,
+}
+
+impl PartitionedCsr {
+    /// Splits `graph` across `sockets` socket arenas, recording every
+    /// allocation in `arena`.
+    pub fn from_graph(graph: &CsrGraph, sockets: usize, arena: &NumaArena) -> Self {
+        assert!(sockets > 0);
+        assert_eq!(arena.sockets(), sockets, "arena/socket mismatch");
+        let n = graph.num_vertices();
+        let stripe = vertices_per_socket(n, sockets);
+        let mut offsets = Vec::with_capacity(sockets);
+        let mut neighbors = Vec::with_capacity(sockets);
+        for s in 0..sockets {
+            let lo = (s * stripe).min(n);
+            let hi = ((s + 1) * stripe).min(n);
+            let mut local_offsets: SocketBuf<u64> = arena.alloc_on(s, hi - lo + 1);
+            let base = graph.offsets()[lo];
+            let len = (graph.offsets()[hi] - base) as usize;
+            let mut local_neighbors: SocketBuf<VertexId> = arena.alloc_on(s, len);
+            for (i, v) in (lo..=hi).enumerate() {
+                local_offsets[i] = graph.offsets()[v] - base;
+            }
+            local_neighbors
+                .copy_from_slice(&graph.raw_neighbors()[base as usize..base as usize + len]);
+            offsets.push(local_offsets);
+            neighbors.push(local_neighbors);
+        }
+        Self {
+            stripe,
+            num_vertices: n,
+            offsets,
+            neighbors,
+        }
+    }
+
+    /// Total vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// `|V_NS|`.
+    pub fn stripe(&self) -> usize {
+        self.stripe
+    }
+
+    /// Number of socket stripes.
+    pub fn sockets(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// `Socket_Id(v) = v >> log2(|V_NS|)`, clamped.
+    #[inline]
+    pub fn socket_of(&self, v: VertexId) -> usize {
+        ((v as usize) / self.stripe).min(self.sockets() - 1)
+    }
+
+    /// Neighbor slice of `v`, served from its home socket's buffer.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let s = self.socket_of(v);
+        let local = (v as usize) - (s * self.stripe).min(self.num_vertices);
+        let off = &self.offsets[s];
+        &self.neighbors[s][off[local] as usize..off[local + 1] as usize]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        let s = self.socket_of(v);
+        let local = (v as usize) - (s * self.stripe).min(self.num_vertices);
+        (self.offsets[s][local + 1] - self.offsets[s][local]) as u32
+    }
+
+    /// Neighbor bytes homed on socket `s` — the quantity the experiments
+    /// compare against an even split.
+    pub fn socket_bytes(&self, s: usize) -> u64 {
+        (self.neighbors[s].len() * std::mem::size_of::<VertexId>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfs_graph::gen::rmat::{rmat, RmatConfig};
+    use bfs_graph::gen::uniform::uniform_random;
+    use bfs_graph::rng::rng_from_seed;
+
+    fn check_equivalence(g: &CsrGraph, sockets: usize) {
+        let arena = NumaArena::new(sockets);
+        let p = PartitionedCsr::from_graph(g, sockets, &arena);
+        assert_eq!(p.num_vertices(), g.num_vertices());
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(p.neighbors(v), g.neighbors(v), "vertex {v}");
+            assert_eq!(p.degree(v), g.degree(v), "vertex {v}");
+        }
+        // Every byte is attributed to some socket.
+        let total: u64 = (0..sockets).map(|s| p.socket_bytes(s)).sum();
+        assert_eq!(total, g.adjacency_bytes());
+    }
+
+    #[test]
+    fn equivalent_to_flat_csr() {
+        let g = uniform_random(1000, 7, &mut rng_from_seed(1));
+        for sockets in [1, 2, 3, 4] {
+            check_equivalence(&g, sockets);
+        }
+    }
+
+    #[test]
+    fn rmat_with_skewed_lists() {
+        let g = rmat(&RmatConfig::paper(11, 8), &mut rng_from_seed(2));
+        check_equivalence(&g, 2);
+    }
+
+    #[test]
+    fn socket_mapping_follows_vns_rule() {
+        let g = uniform_random(12, 2, &mut rng_from_seed(3));
+        let arena = NumaArena::new(2);
+        let p = PartitionedCsr::from_graph(&g, 2, &arena);
+        assert_eq!(p.stripe(), 8);
+        assert_eq!(p.socket_of(0), 0);
+        assert_eq!(p.socket_of(7), 0);
+        assert_eq!(p.socket_of(8), 1);
+        assert_eq!(p.socket_of(11), 1);
+    }
+
+    #[test]
+    fn arena_ledger_records_placement() {
+        let g = uniform_random(4096, 8, &mut rng_from_seed(4));
+        let arena = NumaArena::new(2);
+        let p = PartitionedCsr::from_graph(&g, 2, &arena);
+        // UR graph: neighbor bytes split evenly (within a few %).
+        let (a, b) = (p.socket_bytes(0) as f64, p.socket_bytes(1) as f64);
+        assert!((a / b - 1.0).abs() < 0.1, "UR split should be even: {a} vs {b}");
+        // Arena saw both allocations.
+        assert!(arena.bytes_on(0) > 0 && arena.bytes_on(1) > 0);
+        assert!(arena.imbalance() < 1.2);
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        check_equivalence(&CsrGraph::empty(0), 2);
+        check_equivalence(&CsrGraph::empty(5), 4);
+        let g = uniform_random(1, 3, &mut rng_from_seed(5));
+        check_equivalence(&g, 2);
+    }
+}

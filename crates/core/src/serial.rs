@@ -1,0 +1,126 @@
+//! Serial reference BFS — the baseline of Figure 1 and the correctness
+//! oracle for every parallel variant.
+
+use bfs_graph::CsrGraph;
+
+use crate::dp::INF_DEPTH;
+use crate::VertexId;
+
+/// Output of a serial traversal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SerialBfs {
+    /// Depth per vertex (`INF_DEPTH` = unreached).
+    pub depths: Vec<u32>,
+    /// Parent per vertex (`VertexId::MAX` = unreached; the source is its own
+    /// parent).
+    pub parents: Vec<VertexId>,
+    /// Number of BFS levels below the source.
+    pub max_depth: u32,
+    /// Vertices assigned a depth (|V′|).
+    pub visited: u64,
+    /// Traversed edges (|E′|): sum of degrees of visited vertices.
+    pub traversed_edges: u64,
+}
+
+/// Textbook synchronous BFS (Figure 1): iterate boundary sets, update depth
+/// and parent of unvisited neighbors.
+pub fn serial_bfs(graph: &CsrGraph, source: VertexId) -> SerialBfs {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut depths = vec![INF_DEPTH; n];
+    let mut parents = vec![VertexId::MAX; n];
+    depths[source as usize] = 0;
+    parents[source as usize] = source;
+    let mut frontier = vec![source];
+    let mut next = Vec::new();
+    let mut depth = 0u32;
+    let mut visited = 1u64;
+    let mut traversed = graph.degree(source) as u64;
+    let mut max_depth = 0;
+    while !frontier.is_empty() {
+        next.clear();
+        for &u in &frontier {
+            for &v in graph.neighbors(u) {
+                if depths[v as usize] == INF_DEPTH {
+                    depths[v as usize] = depth + 1;
+                    parents[v as usize] = u;
+                    next.push(v);
+                    visited += 1;
+                    traversed += graph.degree(v) as u64;
+                    max_depth = depth + 1;
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        depth += 1;
+    }
+    SerialBfs {
+        depths,
+        parents,
+        max_depth,
+        visited,
+        traversed_edges: traversed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfs_graph::gen::classic::{binary_tree, path, star, two_cliques};
+    use bfs_graph::gen::rmat::{rmat, RmatConfig};
+    use bfs_graph::rng::rng_from_seed;
+    use bfs_graph::stats::traversal_shape;
+
+    #[test]
+    fn path_depths_and_parents() {
+        let g = path(5);
+        let r = serial_bfs(&g, 0);
+        assert_eq!(r.depths, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.parents, vec![0, 0, 1, 2, 3]);
+        assert_eq!(r.max_depth, 4);
+        assert_eq!(r.visited, 5);
+    }
+
+    #[test]
+    fn star_from_leaf() {
+        let g = star(4);
+        let r = serial_bfs(&g, 3);
+        assert_eq!(r.depths, vec![1, 2, 2, 0]);
+        assert_eq!(r.parents[0], 3);
+        assert_eq!(r.max_depth, 2);
+    }
+
+    #[test]
+    fn binary_tree_counts() {
+        let g = binary_tree(15);
+        let r = serial_bfs(&g, 0);
+        assert_eq!(r.max_depth, 3);
+        assert_eq!(r.traversed_edges, g.num_edges());
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_inf() {
+        let g = two_cliques(3, 2);
+        let r = serial_bfs(&g, 0);
+        assert_eq!(r.visited, 3);
+        assert_eq!(r.depths[3], INF_DEPTH);
+        assert_eq!(r.parents[4], VertexId::MAX);
+    }
+
+    #[test]
+    fn agrees_with_graph_stats_oracle() {
+        let g = rmat(&RmatConfig::paper(10, 8), &mut rng_from_seed(3));
+        let src = bfs_graph::stats::nth_non_isolated(&g, 0).unwrap();
+        let r = serial_bfs(&g, src);
+        let s = traversal_shape(&g, src);
+        assert_eq!(r.visited, s.visited_vertices);
+        assert_eq!(r.traversed_edges, s.traversed_edges);
+        assert_eq!(r.max_depth, s.depth);
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn rejects_bad_source() {
+        serial_bfs(&path(3), 9);
+    }
+}

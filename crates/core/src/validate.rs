@@ -1,0 +1,225 @@
+//! Graph500-style BFS output validation.
+//!
+//! The paper claims its racy atomic-free protocol still yields "the correct
+//! depth for all vertices, and a valid BFS tree". This module checks both
+//! halves independently of any reference traversal:
+//!
+//! 1. the source has depth 0 and is its own parent;
+//! 2. every reached non-source vertex has a parent that is reached, adjacent
+//!    to it in the graph, and exactly one level shallower;
+//! 3. depths never differ by more than 1 across any edge (the BFS frontier
+//!    property, which also proves every reachable vertex was reached);
+//! 4. unreached vertices have no parent.
+//!
+//! These are the Graph500 result-validation rules adapted to a
+//! depth-and-parent output.
+
+use bfs_graph::CsrGraph;
+
+use crate::dp::INF_DEPTH;
+use crate::VertexId;
+
+/// A validation failure, with enough context to debug the traversal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Output arrays sized differently from the graph.
+    WrongLength { expected: usize, got: usize },
+    /// Source depth or parent is wrong.
+    BadSource { depth: u32, parent: VertexId },
+    /// A vertex has a depth but no valid parent.
+    BadParent {
+        vertex: VertexId,
+        parent: VertexId,
+        reason: &'static str,
+    },
+    /// depth(child) != depth(parent) + 1.
+    BadParentDepth {
+        vertex: VertexId,
+        depth: u32,
+        parent_depth: u32,
+    },
+    /// An edge connects depths differing by more than 1 (some vertex was
+    /// reachable earlier than its assigned depth, or was never reached).
+    EdgeDepthGap {
+        u: VertexId,
+        v: VertexId,
+        du: u32,
+        dv: u32,
+    },
+    /// An unreached vertex has a parent assigned.
+    GhostParent { vertex: VertexId },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates `(depths, parents)` as a BFS forest rooted at `source`.
+pub fn validate_bfs_tree(
+    graph: &CsrGraph,
+    source: VertexId,
+    depths: &[u32],
+    parents: &[VertexId],
+) -> Result<(), ValidationError> {
+    let n = graph.num_vertices();
+    if depths.len() != n || parents.len() != n {
+        return Err(ValidationError::WrongLength {
+            expected: n,
+            got: depths.len().min(parents.len()),
+        });
+    }
+    if depths[source as usize] != 0 || parents[source as usize] != source {
+        return Err(ValidationError::BadSource {
+            depth: depths[source as usize],
+            parent: parents[source as usize],
+        });
+    }
+    for v in 0..n as VertexId {
+        let d = depths[v as usize];
+        if d == INF_DEPTH {
+            if parents[v as usize] != VertexId::MAX {
+                return Err(ValidationError::GhostParent { vertex: v });
+            }
+            continue;
+        }
+        if v != source {
+            let p = parents[v as usize];
+            if p == VertexId::MAX || p as usize >= n {
+                return Err(ValidationError::BadParent {
+                    vertex: v,
+                    parent: p,
+                    reason: "missing or out of range",
+                });
+            }
+            // Parent must be adjacent: edge (p, v) must exist.
+            if !graph.neighbors(p).contains(&v) {
+                return Err(ValidationError::BadParent {
+                    vertex: v,
+                    parent: p,
+                    reason: "no edge from parent",
+                });
+            }
+            let pd = depths[p as usize];
+            if pd == INF_DEPTH || pd + 1 != d {
+                return Err(ValidationError::BadParentDepth {
+                    vertex: v,
+                    depth: d,
+                    parent_depth: pd,
+                });
+            }
+        }
+    }
+    // Frontier property over every edge (also catches unreached-but-
+    // reachable vertices: an edge from depth d to INF fails).
+    for (u, v) in graph.edges() {
+        let (du, dv) = (depths[u as usize], depths[v as usize]);
+        match (du == INF_DEPTH, dv == INF_DEPTH) {
+            (true, true) => {}
+            (false, false) => {
+                if du.abs_diff(dv) > 1 {
+                    return Err(ValidationError::EdgeDepthGap { u, v, du, dv });
+                }
+            }
+            _ => return Err(ValidationError::EdgeDepthGap { u, v, du, dv }),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::serial_bfs;
+    use bfs_graph::gen::classic::{path, star, two_cliques};
+    use bfs_graph::gen::rmat::{rmat, RmatConfig};
+    use bfs_graph::rng::rng_from_seed;
+
+    #[test]
+    fn serial_output_validates() {
+        for g in [path(10), star(7), two_cliques(4, 3)] {
+            let r = serial_bfs(&g, 0);
+            validate_bfs_tree(&g, 0, &r.depths, &r.parents).unwrap();
+        }
+        let g = rmat(&RmatConfig::paper(10, 8), &mut rng_from_seed(1));
+        let src = bfs_graph::stats::nth_non_isolated(&g, 0).unwrap();
+        let r = serial_bfs(&g, src);
+        validate_bfs_tree(&g, src, &r.depths, &r.parents).unwrap();
+    }
+
+    #[test]
+    fn detects_wrong_source() {
+        let g = path(3);
+        let err = validate_bfs_tree(&g, 0, &[1, 1, 2], &[0, 0, 1]).unwrap_err();
+        assert!(matches!(err, ValidationError::BadSource { .. }));
+    }
+
+    #[test]
+    fn detects_non_edge_parent() {
+        let g = path(4); // 0-1-2-3
+        // claim parent(3) = 0, which is not adjacent.
+        let err =
+            validate_bfs_tree(&g, 0, &[0, 1, 2, 1], &[0, 0, 1, 0]).unwrap_err();
+        assert!(matches!(err, ValidationError::BadParent { vertex: 3, .. }));
+    }
+
+    #[test]
+    fn detects_depth_gap_across_edge() {
+        let g = path(4);
+        // depth(2) wrong: 5 instead of 2.
+        let err =
+            validate_bfs_tree(&g, 0, &[0, 1, 5, 3], &[0, 0, 1, 2]).unwrap_err();
+        assert!(matches!(
+            err,
+            ValidationError::BadParentDepth { .. } | ValidationError::EdgeDepthGap { .. }
+        ));
+    }
+
+    #[test]
+    fn detects_unreached_but_reachable() {
+        let g = path(3);
+        let err = validate_bfs_tree(
+            &g,
+            0,
+            &[0, 1, INF_DEPTH],
+            &[0, 0, VertexId::MAX],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ValidationError::EdgeDepthGap { .. }));
+    }
+
+    #[test]
+    fn detects_ghost_parent() {
+        let g = two_cliques(2, 2);
+        let err = validate_bfs_tree(
+            &g,
+            0,
+            &[0, 1, INF_DEPTH, INF_DEPTH],
+            &[0, 0, 1, VertexId::MAX],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ValidationError::GhostParent { vertex: 2 }));
+    }
+
+    #[test]
+    fn detects_wrong_length() {
+        let g = path(3);
+        let err = validate_bfs_tree(&g, 0, &[0, 1], &[0, 0]).unwrap_err();
+        assert!(matches!(err, ValidationError::WrongLength { .. }));
+    }
+
+    #[test]
+    fn alternative_valid_parents_accepted() {
+        // A diamond: 0-1, 0-2, 1-3, 2-3. Both 1 and 2 are valid parents of 3.
+        let g = bfs_graph::CsrGraph::from_parts(
+            vec![0, 2, 4, 6, 8],
+            vec![1, 2, 0, 3, 0, 3, 1, 2],
+        );
+        for p3 in [1u32, 2] {
+            validate_bfs_tree(&g, 0, &[0, 1, 1, 2], &[0, 0, 0, p3]).unwrap();
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Small graph algorithms supporting the experiments: transpose, induced
+//! subgraphs, connected components, and degeneracy-style source picking.
+//!
+//! These are substrate utilities (workload preparation, result analysis),
+//! not the paper's contribution — the traversal engine lives in `bfs-core`.
+
+use crate::builder::{BuildOptions, GraphBuilder};
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// Transposes a directed graph (reverses every edge) in `O(|V| + |E|)`.
+/// For symmetric (undirected-doubled) graphs the result equals the input.
+pub fn transpose(g: &CsrGraph) -> CsrGraph {
+    let n = g.num_vertices();
+    let mut offsets = vec![0u64; n + 1];
+    for (_, v) in g.edges() {
+        offsets[v as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor = offsets.clone();
+    let mut neighbors = vec![0 as VertexId; g.num_edges() as usize];
+    for (u, v) in g.edges() {
+        neighbors[cursor[v as usize] as usize] = u;
+        cursor[v as usize] += 1;
+    }
+    CsrGraph::from_parts(offsets, neighbors)
+}
+
+/// Extracts the subgraph induced by `vertices` (which are relabeled
+/// `0..vertices.len()` in the given order). Edges to vertices outside the
+/// set are dropped.
+pub fn induced_subgraph(g: &CsrGraph, vertices: &[VertexId]) -> CsrGraph {
+    let mut remap = vec![VertexId::MAX; g.num_vertices()];
+    for (new, &old) in vertices.iter().enumerate() {
+        assert!(
+            remap[old as usize] == VertexId::MAX,
+            "duplicate vertex {old} in induced set"
+        );
+        remap[old as usize] = new as VertexId;
+    }
+    let mut b = GraphBuilder::new(vertices.len(), BuildOptions::directed_raw());
+    for (new, &old) in vertices.iter().enumerate() {
+        for &w in g.neighbors(old) {
+            let nw = remap[w as usize];
+            if nw != VertexId::MAX {
+                b.add_edge(new as VertexId, nw);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Connected components (treating edges as undirected): returns
+/// `(component_id per vertex, component count)`. Component ids are assigned
+/// in order of discovery from vertex 0 upward.
+pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    // For directed inputs we need reverse reachability too; build the
+    // transpose once if the graph is not symmetric.
+    let reverse = if g.is_symmetric() {
+        None
+    } else {
+        Some(transpose(g))
+    };
+    for start in 0..n {
+        if comp[start] != u32::MAX {
+            continue;
+        }
+        comp[start] = count;
+        stack.push(start as VertexId);
+        while let Some(u) = stack.pop() {
+            let mut visit = |v: VertexId| {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = count;
+                    stack.push(v);
+                }
+            };
+            for &v in g.neighbors(u) {
+                visit(v);
+            }
+            if let Some(rev) = &reverse {
+                for &v in rev.neighbors(u) {
+                    visit(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count as usize)
+}
+
+/// Size of the largest connected component and one vertex inside it — the
+/// canonical source choice for coverage-sensitive experiments ("We traverse
+/// over 98% of all edges in the original graph in each of our runs").
+pub fn largest_component_source(g: &CsrGraph) -> Option<(VertexId, usize)> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return None;
+    }
+    let (comp, count) = connected_components(g);
+    let mut sizes = vec![0usize; count];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let best = (0..count).max_by_key(|&c| sizes[c])?;
+    let v = (0..n).find(|&v| comp[v] as usize == best)? as VertexId;
+    Some((v, sizes[best]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::classic::{path, star, two_cliques};
+    use crate::gen::rmat::{rmat, RmatConfig};
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let mut b = GraphBuilder::new(3, BuildOptions::directed_raw());
+        b.add_edge(0, 1).add_edge(0, 2).add_edge(1, 2);
+        let g = b.build();
+        let t = transpose(&g);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert!(t.neighbors(0).is_empty());
+        assert_eq!(t.num_edges(), 3);
+    }
+
+    #[test]
+    fn transpose_of_symmetric_graph_is_itself() {
+        let g = star(5);
+        let t = transpose(&g);
+        // Same edge multiset (ordering within lists may differ).
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = t.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity_on_edges() {
+        let g = rmat(&RmatConfig::paper(8, 4), &mut rng_from_seed(1));
+        let tt = transpose(&transpose(&g));
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = tt.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = path(5); // 0-1-2-3-4
+        let sub = induced_subgraph(&g, &[1, 2, 4]);
+        assert_eq!(sub.num_vertices(), 3);
+        // Only 1-2 survives (both directions); 4 is isolated in the set.
+        assert_eq!(sub.neighbors(0), &[1]);
+        assert_eq!(sub.neighbors(1), &[0]);
+        assert!(sub.neighbors(2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vertex")]
+    fn induced_subgraph_rejects_duplicates() {
+        induced_subgraph(&path(3), &[1, 1]);
+    }
+
+    #[test]
+    fn components_of_two_cliques() {
+        let g = two_cliques(4, 3);
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert!(comp[..4].iter().all(|&c| c == comp[0]));
+        assert!(comp[4..].iter().all(|&c| c == comp[4]));
+        assert_ne!(comp[0], comp[4]);
+    }
+
+    #[test]
+    fn components_treat_directed_edges_as_undirected() {
+        let mut b = GraphBuilder::new(4, BuildOptions::directed_raw());
+        b.add_edge(0, 1).add_edge(2, 1); // 2 → 1 only
+        let g = b.build();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 2); // {0,1,2} and {3}
+        assert_eq!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn largest_component_source_picks_the_big_one() {
+        let g = two_cliques(3, 7);
+        let (src, size) = largest_component_source(&g).unwrap();
+        assert_eq!(size, 7);
+        assert!(src >= 3);
+        assert!(largest_component_source(&CsrGraph::empty(0)).is_none());
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_components() {
+        let g = CsrGraph::empty(3);
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 3);
+    }
+}

@@ -1,0 +1,248 @@
+//! Compressed-sparse-row graph storage.
+//!
+//! `CsrGraph` is the runtime equivalent of the paper's 2-D adjacency array:
+//! the `offsets` array plays the role of the per-vertex pointer
+//! (`Adj[i]`), and `offsets[i+1] - offsets[i]` the inline neighbor count
+//! (`Adj[i][0]`). Keeping offsets as `u64` allows edge counts beyond 4G while
+//! neighbor ids stay 4 bytes, matching the traffic constants of §IV.
+
+use serde::{Deserialize, Serialize};
+
+use crate::VertexId;
+
+/// An immutable directed graph in CSR form. For undirected inputs, both
+/// orientations of each edge are stored (the convention used by the paper and
+/// by Graph500).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    offsets: Box<[u64]>,
+    neighbors: Box<[VertexId]>,
+}
+
+impl CsrGraph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent: `offsets` must be non-empty,
+    /// non-decreasing, start at 0 and end at `neighbors.len()`, and every
+    /// neighbor id must be `< offsets.len() - 1`.
+    pub fn from_parts(offsets: Vec<u64>, neighbors: Vec<VertexId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must contain at least one entry");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            neighbors.len() as u64,
+            "offsets must end at neighbors.len()"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        let n = (offsets.len() - 1) as u64;
+        assert!(
+            neighbors.iter().all(|&v| (v as u64) < n),
+            "neighbor id out of range"
+        );
+        Self {
+            offsets: offsets.into_boxed_slice(),
+            neighbors: neighbors.into_boxed_slice(),
+        }
+    }
+
+    /// A graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            offsets: vec![0u64; n + 1].into_boxed_slice(),
+            neighbors: Box::new([]),
+        }
+    }
+
+    /// Number of vertices, `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored directed edges, `|E|` (an undirected edge counts
+    /// twice).
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as u32
+    }
+
+    /// Neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Byte offset of vertex `v`'s adjacency list within the neighbor array.
+    /// Used by the TLB-rearrangement histogram (§III-B3(b)) and by the memory
+    /// simulator to attribute `Adj` traffic to pages and sockets.
+    #[inline]
+    pub fn adjacency_byte_offset(&self, v: VertexId) -> u64 {
+        self.offsets[v as usize] * std::mem::size_of::<VertexId>() as u64
+    }
+
+    /// Total size of the neighbor array in bytes — the paper's `|Adj|`.
+    #[inline]
+    pub fn adjacency_bytes(&self) -> u64 {
+        self.neighbors.len() as u64 * std::mem::size_of::<VertexId>() as u64
+    }
+
+    /// Raw offsets array (`|V| + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Raw concatenated neighbor array.
+    #[inline]
+    pub fn raw_neighbors(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+
+    /// Average out-degree over all vertices (the paper's ρ when restricted to
+    /// the reachable set; see [`crate::stats`] for ρ′).
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Iterates over all `(source, destination)` pairs in CSR order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// True if each edge `(u, v)` has a reverse edge `(v, u)` with equal
+    /// multiplicity — i.e. the graph is a valid undirected graph in the
+    /// doubled-edge convention.
+    pub fn is_symmetric(&self) -> bool {
+        let mut fwd: Vec<(VertexId, VertexId)> = self.edges().collect();
+        let mut rev: Vec<(VertexId, VertexId)> = self.edges().map(|(u, v)| (v, u)).collect();
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        fwd == rev
+    }
+
+    /// Heap footprint in bytes (offsets + neighbors).
+    pub fn memory_bytes(&self) -> u64 {
+        (self.offsets.len() * std::mem::size_of::<u64>()) as u64 + self.adjacency_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 - 1, 0 - 2, 1 - 3, 2 - 3 (undirected, doubled)
+        CsrGraph::from_parts(
+            vec![0, 2, 4, 6, 8],
+            vec![1, 2, 0, 3, 0, 3, 1, 2],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(3), &[1, 2]);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 0);
+            assert!(g.neighbors(v).is_empty());
+        }
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = CsrGraph::empty(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let g = diamond();
+        assert!(g.is_symmetric());
+        let d = CsrGraph::from_parts(vec![0, 1, 1], vec![1]); // 0 -> 1 only
+        assert!(!d.is_symmetric());
+    }
+
+    #[test]
+    fn edge_iterator_matches_csr() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(
+            edges,
+            vec![(0, 1), (0, 2), (1, 0), (1, 3), (2, 0), (2, 3), (3, 1), (3, 2)]
+        );
+    }
+
+    #[test]
+    fn byte_offsets() {
+        let g = diamond();
+        assert_eq!(g.adjacency_byte_offset(0), 0);
+        assert_eq!(g.adjacency_byte_offset(1), 8);
+        assert_eq!(g.adjacency_bytes(), 32);
+        assert_eq!(g.memory_bytes(), 5 * 8 + 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "neighbor id out of range")]
+    fn rejects_out_of_range_neighbor() {
+        CsrGraph::from_parts(vec![0, 1], vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_decreasing_offsets() {
+        CsrGraph::from_parts(vec![0, 2, 1, 2], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must end")]
+    fn rejects_bad_tail() {
+        CsrGraph::from_parts(vec![0, 1], vec![0, 0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = diamond();
+        let s = serde_json::to_string(&g).unwrap();
+        let g2: CsrGraph = serde_json::from_str(&s).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn self_loops_and_multi_edges_are_representable() {
+        let g = CsrGraph::from_parts(vec![0, 3, 3], vec![0, 1, 1]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.neighbors(0), &[0, 1, 1]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! A second scale-free family alongside R-MAT: each new vertex attaches `m`
+//! edges to existing vertices with probability proportional to their current
+//! degree. Where R-MAT controls skew via quadrant probabilities, BA grows it
+//! organically — useful for checking that the engine's load-balancing
+//! results are not artifacts of the R-MAT generation process (the paper's
+//! α ≈ 0.6 measurement is specific to R-MAT's id-correlated skew; BA skew is
+//! id-uncorrelated after permutation).
+
+use rand::Rng;
+
+use crate::builder::{BuildOptions, GraphBuilder};
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// Barabási–Albert graph: `n` vertices, `m` attachments per new vertex.
+/// The first `m + 1` vertices form a seed clique. Attachment sampling uses
+/// the classic trick of drawing uniformly from the flat endpoint list, which
+/// is exactly degree-proportional.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
+    assert!(m >= 1, "need at least one attachment per vertex");
+    let mut b = GraphBuilder::new(
+        n,
+        BuildOptions {
+            symmetrize: true,
+            dedup: false,
+            drop_self_loops: false,
+            sort_neighbors: false,
+        },
+    );
+    if n == 0 {
+        return b.build();
+    }
+    let seed = (m + 1).min(n);
+    // Flat endpoint list: every edge contributes both endpoints, so a
+    // uniform draw is degree-proportional.
+    let mut endpoints: Vec<VertexId> = Vec::new();
+    for i in 0..seed {
+        for j in (i + 1)..seed {
+            b.add_edge(i as VertexId, j as VertexId);
+            endpoints.push(i as VertexId);
+            endpoints.push(j as VertexId);
+        }
+    }
+    for v in seed..n {
+        for _ in 0..m {
+            let target = if endpoints.is_empty() {
+                0
+            } else {
+                endpoints[rng.random_range(0..endpoints.len())]
+            };
+            b.add_edge(v as VertexId, target);
+            endpoints.push(v as VertexId);
+            endpoints.push(target);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use crate::stats::bfs_depth_histogram;
+
+    #[test]
+    fn edge_count_is_exact() {
+        let n = 2000;
+        let m = 3;
+        let g = barabasi_albert(n, m, &mut rng_from_seed(1));
+        let seed_edges = (m + 1) * m / 2;
+        let grown = (n - m - 1) * m;
+        assert_eq!(g.num_edges(), 2 * (seed_edges + grown) as u64);
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = barabasi_albert(5000, 2, &mut rng_from_seed(2));
+        let avg = g.average_degree();
+        let max = (0..5000u32).map(|v| g.degree(v)).max().unwrap() as f64;
+        assert!(
+            max > 10.0 * avg,
+            "BA max degree {max} should dwarf average {avg}"
+        );
+    }
+
+    #[test]
+    fn graph_is_connected_and_shallow() {
+        let g = barabasi_albert(3000, 2, &mut rng_from_seed(3));
+        let (hist, reached) = bfs_depth_histogram(&g, 0);
+        assert_eq!(reached, 3000, "BA growth keeps the graph connected");
+        assert!(hist.len() < 12, "scale-free diameter is tiny, got {}", hist.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = barabasi_albert(500, 3, &mut rng_from_seed(4));
+        let b = barabasi_albert(500, 3, &mut rng_from_seed(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(barabasi_albert(0, 2, &mut rng_from_seed(5)).num_vertices(), 0);
+        let g = barabasi_albert(1, 2, &mut rng_from_seed(5));
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+        let g = barabasi_albert(2, 5, &mut rng_from_seed(5));
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 2); // seed pair only
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attachment")]
+    fn rejects_zero_m() {
+        barabasi_albert(10, 0, &mut rng_from_seed(6));
+    }
+}

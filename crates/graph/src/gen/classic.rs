@@ -1,0 +1,152 @@
+//! Deterministic classic graphs used by the test suites: their BFS structure
+//! is known in closed form, giving exact oracles for depth, parent validity,
+//! frontier sizes and traversed-edge counts.
+
+use crate::builder::{BuildOptions, GraphBuilder};
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// Path 0 – 1 – 2 – … – (n−1).
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n, BuildOptions::default());
+    for i in 1..n {
+        b.add_edge((i - 1) as VertexId, i as VertexId);
+    }
+    b.build()
+}
+
+/// Cycle on `n` vertices (requires `n >= 3` to be simple; smaller n produce
+/// the corresponding degenerate multigraph).
+pub fn cycle(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n, BuildOptions::default());
+    if n >= 2 {
+        for i in 0..n {
+            b.add_edge(i as VertexId, ((i + 1) % n) as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// Star: vertex 0 joined to all others.
+pub fn star(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n, BuildOptions::default());
+    for i in 1..n {
+        b.add_edge(0, i as VertexId);
+    }
+    b.build()
+}
+
+/// Complete graph on `n` vertices.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n, BuildOptions::default());
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i as VertexId, j as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree with `n` vertices in heap order (children of `i` are
+/// `2i+1`, `2i+2`).
+pub fn binary_tree(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n, BuildOptions::default());
+    for i in 1..n {
+        b.add_edge(((i - 1) / 2) as VertexId, i as VertexId);
+    }
+    b.build()
+}
+
+/// Two disjoint cliques of sizes `a` and `b` — a minimal disconnected case.
+pub fn two_cliques(a: usize, b_sz: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(a + b_sz, BuildOptions::default());
+    for i in 0..a {
+        for j in (i + 1)..a {
+            b.add_edge(i as VertexId, j as VertexId);
+        }
+    }
+    for i in 0..b_sz {
+        for j in (i + 1)..b_sz {
+            b.add_edge((a + i) as VertexId, (a + j) as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// "Lollipop": a clique of size `k` attached to a path of length `p` — mixes
+/// a dense frontier burst with a long low-degree tail in one graph.
+pub fn lollipop(k: usize, p: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(k + p, BuildOptions::default());
+    for i in 0..k {
+        for j in (i + 1)..k {
+            b.add_edge(i as VertexId, j as VertexId);
+        }
+    }
+    for i in 0..p {
+        let u = if i == 0 { 0 } else { (k + i - 1) as VertexId };
+        b.add_edge(u, (k + i) as VertexId);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::bfs_depth_histogram;
+
+    #[test]
+    fn path_depths() {
+        let g = path(10);
+        let (hist, reached) = bfs_depth_histogram(&g, 0);
+        assert_eq!(reached, 10);
+        assert_eq!(hist, vec![1; 10]); // one vertex per depth
+    }
+
+    #[test]
+    fn cycle_depths() {
+        let g = cycle(8);
+        let (hist, _) = bfs_depth_histogram(&g, 0);
+        assert_eq!(hist, vec![1, 2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn star_depths() {
+        let g = star(6);
+        let (hist, _) = bfs_depth_histogram(&g, 0);
+        assert_eq!(hist, vec![1, 5]);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 5 * 4);
+        let (hist, _) = bfs_depth_histogram(&g, 2);
+        assert_eq!(hist, vec![1, 4]);
+    }
+
+    #[test]
+    fn binary_tree_depths() {
+        let g = binary_tree(7);
+        let (hist, _) = bfs_depth_histogram(&g, 0);
+        assert_eq!(hist, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn two_cliques_disconnect() {
+        let g = two_cliques(3, 4);
+        let (_, reached) = bfs_depth_histogram(&g, 0);
+        assert_eq!(reached, 3);
+        let (_, reached_b) = bfs_depth_histogram(&g, 3);
+        assert_eq!(reached_b, 4);
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(4, 5);
+        let (hist, reached) = bfs_depth_histogram(&g, 1);
+        assert_eq!(reached, 9);
+        // depth 0: {1}; depth 1: rest of clique {0,2,3}; depth 2: first path
+        // vertex (attached to 0); then the path tail.
+        assert_eq!(hist, vec![1, 3, 1, 1, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Lattice and stencil generators — proxies for road networks and mesh-based
+//! sparse matrices (Table II).
+//!
+//! * [`grid2d`] / [`road_network`] — 2-D lattices. USA road graphs have
+//!   average degree ≈ 2.4 and BFS depths in the thousands; a 2-D lattice with
+//!   randomly deleted edges and a few long-range shortcuts reproduces that
+//!   regime (low degree, huge diameter, high spatial coherence in the natural
+//!   vertex order).
+//! * [`grid3d_stencil`] — 3-D grids with 6- or 26-point stencils, proxying
+//!   mesh matrices such as Cage15 (ρ ≈ 19) and Nlpkkt160 (ρ ≈ 27, and —
+//!   notably — a layered structure that stresses socket load balance, which
+//!   the paper calls out: "we see similar characteristics in some of our
+//!   real-world graphs including the Nlpkkt160 graph").
+
+use rand::Rng;
+
+use crate::builder::{BuildOptions, GraphBuilder};
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// Plain 2-D lattice of `width × height` vertices with 4-neighborhood.
+/// Vertex `(x, y)` has id `y * width + x`.
+pub fn grid2d(width: usize, height: usize) -> CsrGraph {
+    let n = width * height;
+    let mut b = GraphBuilder::new(n, BuildOptions::default());
+    for y in 0..height {
+        for x in 0..width {
+            let u = (y * width + x) as VertexId;
+            if x + 1 < width {
+                b.add_edge(u, u + 1);
+            }
+            if y + 1 < height {
+                b.add_edge(u, u + width as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Road-network proxy: a serpentine 2-D lattice. Every horizontal road is
+/// present and rows are joined end-to-end in a boustrophedon pattern (so the
+/// graph is always connected); each vertical road is kept independently with
+/// probability `vertical_keep`, and `shortcuts` random long-range highways
+/// are added. Average degree ≈ `2 + 2·vertical_keep`, so `vertical_keep ≈
+/// 0.2` lands on the 2.4 of the USA road graphs while the BFS depth stays
+/// `Θ(width + height)` — the low-degree huge-diameter regime of Table II.
+pub fn road_network<R: Rng + ?Sized>(
+    width: usize,
+    height: usize,
+    vertical_keep: f64,
+    shortcuts: usize,
+    rng: &mut R,
+) -> CsrGraph {
+    assert!(
+        (0.0..=1.0).contains(&vertical_keep),
+        "vertical_keep must be a probability"
+    );
+    let n = width * height;
+    let mut b = GraphBuilder::new(n, BuildOptions::default());
+    for y in 0..height {
+        for x in 0..width {
+            let u = (y * width + x) as VertexId;
+            if x + 1 < width {
+                b.add_edge(u, u + 1);
+            }
+            if y + 1 < height && rng.random::<f64>() < vertical_keep {
+                b.add_edge(u, u + width as VertexId);
+            }
+        }
+    }
+    // Boustrophedon row joins: row y ends connect to row y+1 at alternating
+    // sides, forming a Hamiltonian backbone.
+    for y in 1..height {
+        let (u, v) = if y % 2 == 1 {
+            // join at the right edge
+            ((y * width - 1) as VertexId, ((y + 1) * width - 1) as VertexId)
+        } else {
+            // join at the left edge
+            (((y - 1) * width) as VertexId, (y * width) as VertexId)
+        };
+        b.add_edge(u, v);
+    }
+    if n > 0 {
+        for _ in 0..shortcuts {
+            let u = rng.random_range(0..n as u64) as VertexId;
+            let v = rng.random_range(0..n as u64) as VertexId;
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Stencil shape for [`grid3d_stencil`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stencil {
+    /// Faces only: 6 neighbors.
+    Six,
+    /// Faces, edges and corners: 26 neighbors.
+    TwentySix,
+}
+
+/// 3-D grid with the given stencil. Vertex `(x, y, z)` has id
+/// `(z * ny + y) * nx + x`.
+pub fn grid3d_stencil(nx: usize, ny: usize, nz: usize, stencil: Stencil) -> CsrGraph {
+    let n = nx * ny * nz;
+    let mut b = GraphBuilder::new(n, BuildOptions::default());
+    let id = |x: usize, y: usize, z: usize| ((z * ny + y) * nx + x) as VertexId;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let u = id(x, y, z);
+                // Enumerate only "forward" offsets so each undirected edge is
+                // added once; the builder symmetrizes.
+                let offsets: &[(isize, isize, isize)] = match stencil {
+                    Stencil::Six => &[(1, 0, 0), (0, 1, 0), (0, 0, 1)],
+                    Stencil::TwentySix => &[
+                        (1, 0, 0),
+                        (0, 1, 0),
+                        (0, 0, 1),
+                        (1, 1, 0),
+                        (1, -1, 0),
+                        (1, 0, 1),
+                        (1, 0, -1),
+                        (0, 1, 1),
+                        (0, 1, -1),
+                        (1, 1, 1),
+                        (1, 1, -1),
+                        (1, -1, 1),
+                        (1, -1, -1),
+                    ],
+                };
+                for &(dx, dy, dz) in offsets {
+                    let (xx, yy, zz) = (
+                        x as isize + dx,
+                        y as isize + dy,
+                        z as isize + dz,
+                    );
+                    if xx >= 0
+                        && yy >= 0
+                        && zz >= 0
+                        && (xx as usize) < nx
+                        && (yy as usize) < ny
+                        && (zz as usize) < nz
+                    {
+                        b.add_edge(u, id(xx as usize, yy as usize, zz as usize));
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use crate::stats::bfs_depth_histogram;
+
+    #[test]
+    fn grid2d_counts() {
+        let g = grid2d(4, 3);
+        assert_eq!(g.num_vertices(), 12);
+        // 2*w*h - w - h undirected edges, doubled.
+        assert_eq!(g.num_edges(), 2 * (2 * 12 - 4 - 3) as u64);
+        assert!(g.is_symmetric());
+        // Corner has degree 2, interior degree 4.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn grid2d_diameter_is_linear() {
+        let g = grid2d(32, 2);
+        let (depths, _) = bfs_depth_histogram(&g, 0);
+        let max_depth = depths.len() as u32 - 1;
+        assert_eq!(max_depth, 32); // (31, 1) is 31+1 hops from (0, 0)
+    }
+
+    #[test]
+    fn road_network_stays_connected_and_sparse() {
+        let g = road_network(50, 50, 0.2, 20, &mut rng_from_seed(1));
+        let (_, reached) = bfs_depth_histogram(&g, 0);
+        assert_eq!(reached, 2500, "backbone must keep the graph connected");
+        let avg = g.average_degree();
+        assert!(
+            (1.8..3.0).contains(&avg),
+            "road proxy average degree {avg} out of the USA-road regime"
+        );
+    }
+
+    #[test]
+    fn road_network_zero_keep_is_a_serpentine_path() {
+        let g = road_network(4, 3, 0.0, 0, &mut rng_from_seed(2));
+        let (_, reached) = bfs_depth_histogram(&g, 0);
+        assert_eq!(reached, 12);
+        // Hamiltonian backbone: 11 undirected edges, doubled.
+        assert_eq!(g.num_edges(), 22);
+    }
+
+    #[test]
+    fn grid3d_six_point_counts() {
+        let g = grid3d_stencil(3, 3, 3, Stencil::Six);
+        assert_eq!(g.num_vertices(), 27);
+        // Undirected edges: 3 directions * 2*3*3 each = 54, doubled = 108.
+        assert_eq!(g.num_edges(), 108);
+        assert_eq!(g.degree(13), 6); // center
+    }
+
+    #[test]
+    fn grid3d_26_point_center_degree() {
+        let g = grid3d_stencil(3, 3, 3, Stencil::TwentySix);
+        assert_eq!(g.degree(13), 26);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        assert_eq!(grid2d(0, 5).num_vertices(), 0);
+        assert_eq!(grid2d(1, 1).num_edges(), 0);
+        let g = grid3d_stencil(1, 1, 4, Stencil::Six);
+        assert_eq!(g.num_edges(), 6); // path of 4
+    }
+}

@@ -1,0 +1,225 @@
+//! R-MAT (Recursive MATrix) graph generator.
+//!
+//! Implements the generator of Chakrabarti, Zhan & Faloutsos (SDM 2004) with
+//! the paper's parameterization: *"We use the parameters a=0.57, b=c=0.19 and
+//! d=0.05 for generating small world RMAT graphs. These parameters are
+//! identical to the ones used for generating synthetic instances in the
+//! Graph 500 BFS benchmark."* (§V). The Graph500 `scale`/`edgefactor`
+//! convention (|V| = 2^scale, |E| = edgefactor·|V|) is provided for the
+//! Toy++ experiment, including the benchmark's random vertex relabeling,
+//! which destroys the id-locality that raw recursive placement would give.
+
+use rand::Rng;
+
+use crate::builder::{BuildOptions, GraphBuilder};
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// R-MAT quadrant probabilities plus size parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatConfig {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Undirected edges generated = `edge_factor * 2^scale`.
+    pub edge_factor: u32,
+    /// Quadrant probabilities; must sum to 1.
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// `d = 1 - a - b - c` is implied and checked.
+    pub d: f64,
+    /// Per-level ±10% noise on the quadrant probabilities, as used by the
+    /// reference Graph500 generator to avoid exact self-similarity.
+    pub noise: bool,
+    /// Apply a random permutation to vertex ids (the Graph500 convention;
+    /// the paper explicitly does not *undo* such permutations: "we take in
+    /// the input graphs as given").
+    pub permute: bool,
+}
+
+impl RmatConfig {
+    /// The paper's §V configuration at a given scale and edge factor.
+    pub fn paper(scale: u32, edge_factor: u32) -> Self {
+        Self {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+            noise: false,
+            permute: true,
+        }
+    }
+
+    /// Graph500 synthetic instance (same quadrant probabilities, noise on).
+    pub fn graph500(scale: u32, edge_factor: u32) -> Self {
+        Self {
+            noise: true,
+            ..Self::paper(scale, edge_factor)
+        }
+    }
+
+    /// Number of vertices, `2^scale`.
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+
+    /// Number of generated undirected edges.
+    pub fn num_edges(&self) -> u64 {
+        self.edge_factor as u64 * self.num_vertices() as u64
+    }
+
+    fn validate(&self) {
+        let s = self.a + self.b + self.c + self.d;
+        assert!(
+            (s - 1.0).abs() < 1e-9,
+            "R-MAT probabilities must sum to 1 (got {s})"
+        );
+        assert!(self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0);
+        assert!(self.scale < 31, "scale must leave the sign bit free");
+    }
+}
+
+/// Draws one edge by recursive quadrant descent.
+fn rmat_edge<R: Rng + ?Sized>(cfg: &RmatConfig, rng: &mut R) -> (VertexId, VertexId) {
+    let mut u = 0u64;
+    let mut v = 0u64;
+    for level in 0..cfg.scale {
+        let (mut a, mut b, mut c) = (cfg.a, cfg.b, cfg.c);
+        if cfg.noise {
+            // Graph500 reference: multiply each prob by U(0.95, 1.05)-style
+            // noise and renormalize.
+            let na = a * (0.95 + 0.1 * rng.random::<f64>());
+            let nb = b * (0.95 + 0.1 * rng.random::<f64>());
+            let nc = c * (0.95 + 0.1 * rng.random::<f64>());
+            let nd = cfg.d * (0.95 + 0.1 * rng.random::<f64>());
+            let s = na + nb + nc + nd;
+            a = na / s;
+            b = nb / s;
+            c = nc / s;
+        }
+        let r: f64 = rng.random();
+        let bit = 1u64 << (cfg.scale - 1 - level);
+        if r < a {
+            // top-left: no bits set
+        } else if r < a + b {
+            v |= bit;
+        } else if r < a + b + c {
+            u |= bit;
+        } else {
+            u |= bit;
+            v |= bit;
+        }
+    }
+    (u as VertexId, v as VertexId)
+}
+
+/// Generates the edge list only (pre-permutation), for callers that want to
+/// post-process edges themselves.
+pub fn rmat_edges<R: Rng + ?Sized>(cfg: &RmatConfig, rng: &mut R) -> Vec<(VertexId, VertexId)> {
+    cfg.validate();
+    (0..cfg.num_edges()).map(|_| rmat_edge(cfg, rng)).collect()
+}
+
+/// Generates a symmetrized R-MAT graph.
+pub fn rmat<R: Rng + ?Sized>(cfg: &RmatConfig, rng: &mut R) -> CsrGraph {
+    cfg.validate();
+    let mut b = GraphBuilder::new(
+        cfg.num_vertices(),
+        BuildOptions {
+            symmetrize: true,
+            dedup: false,
+            drop_self_loops: false,
+            sort_neighbors: false,
+        },
+    );
+    b.add_edges(rmat_edges(cfg, rng));
+    if cfg.permute {
+        b.permute_vertices(rng);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn sizes_match_config() {
+        let cfg = RmatConfig::paper(10, 8);
+        let g = rmat(&cfg, &mut rng_from_seed(1));
+        assert_eq!(g.num_vertices(), 1024);
+        assert_eq!(g.num_edges(), 2 * 8 * 1024);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = RmatConfig::graph500(8, 4);
+        let a = rmat(&cfg, &mut rng_from_seed(3));
+        let b = rmat(&cfg, &mut rng_from_seed(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skewed_degree_distribution() {
+        // Power-law-ish: the max degree should far exceed the average, unlike
+        // a UR graph.
+        let cfg = RmatConfig::paper(12, 8);
+        let g = rmat(&cfg, &mut rng_from_seed(5));
+        let avg = g.average_degree();
+        let max = (0..g.num_vertices() as VertexId)
+            .map(|v| g.degree(v))
+            .max()
+            .unwrap() as f64;
+        assert!(
+            max > 6.0 * avg,
+            "expected heavy skew: max {max}, avg {avg}"
+        );
+        // And some isolated vertices exist (the paper relies on this:
+        // |V'| < |V| for RMAT).
+        let isolated = (0..g.num_vertices() as VertexId)
+            .filter(|&v| g.degree(v) == 0)
+            .count();
+        assert!(isolated > 0, "expected isolated vertices in an R-MAT graph");
+    }
+
+    #[test]
+    fn unpermuted_rmat_biases_low_ids() {
+        // With a = 0.57 the mass concentrates at small ids before permutation.
+        let cfg = RmatConfig {
+            permute: false,
+            ..RmatConfig::paper(12, 8)
+        };
+        let g = rmat(&cfg, &mut rng_from_seed(6));
+        let n = g.num_vertices() as u64;
+        let lower_half: u64 = (0..(n / 2) as VertexId).map(|v| g.degree(v) as u64).sum();
+        assert!(
+            lower_half * 3 > g.num_edges() * 2,
+            "lower half should hold > 2/3 of edge endpoints"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_probabilities() {
+        let cfg = RmatConfig {
+            a: 0.9,
+            b: 0.9,
+            c: 0.0,
+            d: 0.0,
+            ..RmatConfig::paper(4, 4)
+        };
+        rmat(&cfg, &mut rng_from_seed(1));
+    }
+
+    #[test]
+    fn scale_zero_is_a_single_vertex() {
+        let cfg = RmatConfig::paper(0, 4);
+        let g = rmat(&cfg, &mut rng_from_seed(1));
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 8); // 4 self-loops doubled
+    }
+}

@@ -1,0 +1,108 @@
+//! Watts–Strogatz small-world generator.
+//!
+//! Used as a diameter-tunable proxy for the University-of-Florida inputs of
+//! Table II (FreeScale1: depth 128, Wikipedia: depth 460): a ring lattice has
+//! diameter `n / (2k)`, and rewiring a fraction `beta` of edges to random
+//! targets interpolates smoothly down to log-diameter. Choosing `beta` small
+//! dials the BFS depth into the hundreds while keeping realistic degree
+//! (≈ 2k) and some locality — exactly the middle ground those matrices
+//! occupy between road networks and social networks.
+
+use rand::Rng;
+
+use crate::builder::{BuildOptions, GraphBuilder};
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// Watts–Strogatz graph: ring of `n` vertices, each joined to its `k`
+/// clockwise neighbors, with each edge rewired (new random endpoint) with
+/// probability `beta`.
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    k: u32,
+    beta: f64,
+    rng: &mut R,
+) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    assert!(n == 0 || (k as usize) < n, "k must be < n");
+    let mut b = GraphBuilder::new(
+        n,
+        BuildOptions {
+            symmetrize: true,
+            dedup: false,
+            drop_self_loops: false,
+            sort_neighbors: false,
+        },
+    );
+    if n > 1 {
+        for u in 0..n {
+            for j in 1..=k as usize {
+                let v = (u + j) % n;
+                if rng.random::<f64>() < beta {
+                    // Rewire the far endpoint to a uniform target distinct
+                    // from u (self-loops would inflate the edge count without
+                    // contributing traversal work).
+                    let mut w = rng.random_range(0..n as u64) as usize;
+                    if w == u {
+                        w = (w + 1) % n;
+                    }
+                    b.add_edge(u as VertexId, w as VertexId);
+                } else {
+                    b.add_edge(u as VertexId, v as VertexId);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use crate::stats::bfs_depth_histogram;
+
+    #[test]
+    fn ring_lattice_when_beta_zero() {
+        let g = watts_strogatz(12, 2, 0.0, &mut rng_from_seed(1));
+        assert_eq!(g.num_edges(), 2 * 12 * 2);
+        // every vertex has degree 2k = 4
+        assert!((0..12).all(|v| g.degree(v) == 4));
+        let (depths, reached) = bfs_depth_histogram(&g, 0);
+        assert_eq!(reached, 12);
+        assert_eq!(depths.len() as u32 - 1, 3); // diameter n/(2k) = 3
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let mut rng = rng_from_seed(2);
+        let ring = watts_strogatz(2000, 2, 0.0, &mut rng);
+        let sw = watts_strogatz(2000, 2, 0.1, &mut rng);
+        let d_ring = bfs_depth_histogram(&ring, 0).0.len();
+        let d_sw = bfs_depth_histogram(&sw, 0).0.len();
+        assert!(
+            d_sw * 4 < d_ring,
+            "rewired diameter {d_sw} should be far below ring {d_ring}"
+        );
+    }
+
+    #[test]
+    fn edge_count_is_exact_regardless_of_beta() {
+        let g = watts_strogatz(100, 3, 0.5, &mut rng_from_seed(3));
+        assert_eq!(g.num_edges(), 2 * 100 * 3);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(watts_strogatz(0, 0, 0.0, &mut rng_from_seed(4)).num_vertices(), 0);
+        let g = watts_strogatz(1, 0, 0.0, &mut rng_from_seed(4));
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be < n")]
+    fn rejects_k_too_large() {
+        watts_strogatz(4, 4, 0.0, &mut rng_from_seed(5));
+    }
+}

@@ -1,0 +1,148 @@
+//! Uniformly Random (UR) graphs.
+//!
+//! §V of the paper: *"Uniformly Random (UR) graphs where all |V| vertices
+//! have the same degree d and all d neighbors are chosen randomly"*, and
+//! (footnote 5) *"random graphs where both source and destination vertices of
+//! each edge are chosen randomly"*. Both are provided.
+
+use rand::Rng;
+
+use crate::builder::{BuildOptions, GraphBuilder};
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// UR graph: every vertex gets exactly `degree` outgoing edges to uniformly
+/// random destinations; the graph is then symmetrized (so the *out*-degree of
+/// the built graph averages `2·degree`, matching the paper's edge accounting
+/// where an undirected edge is traversed from both sides).
+///
+/// Self-loops and duplicate targets are permitted, as in GTGraph's generator;
+/// pass the result through [`BuildOptions::undirected_simple`] semantics
+/// yourself if a simple graph is needed.
+pub fn uniform_random<R: Rng + ?Sized>(
+    num_vertices: usize,
+    degree: u32,
+    rng: &mut R,
+) -> CsrGraph {
+    let mut b = GraphBuilder::new(
+        num_vertices,
+        BuildOptions {
+            symmetrize: true,
+            dedup: false,
+            drop_self_loops: false,
+            sort_neighbors: false,
+        },
+    );
+    if num_vertices > 0 {
+        let n = num_vertices as u64;
+        for u in 0..num_vertices as VertexId {
+            for _ in 0..degree {
+                let v = rng.random_range(0..n) as VertexId;
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Directed variant of [`uniform_random`]: each vertex gets exactly `degree`
+/// out-neighbors and no symmetrization is applied. Useful when a fixed,
+/// perfectly uniform out-degree is required (e.g. the analytical-model
+/// validation sweeps where ρ′ must equal `degree` exactly).
+pub fn uniform_random_directed<R: Rng + ?Sized>(
+    num_vertices: usize,
+    degree: u32,
+    rng: &mut R,
+) -> CsrGraph {
+    let mut b = GraphBuilder::new(num_vertices, BuildOptions::directed_raw());
+    if num_vertices > 0 {
+        let n = num_vertices as u64;
+        for u in 0..num_vertices as VertexId {
+            for _ in 0..degree {
+                b.add_edge(u, rng.random_range(0..n) as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random-endpoint graph (paper footnote 5): `num_edges` undirected edges
+/// with both endpoints chosen uniformly. Degrees follow a binomial
+/// distribution rather than being constant.
+pub fn random_endpoint<R: Rng + ?Sized>(
+    num_vertices: usize,
+    num_edges: u64,
+    rng: &mut R,
+) -> CsrGraph {
+    let mut b = GraphBuilder::new(num_vertices, BuildOptions::default());
+    if num_vertices > 0 {
+        let n = num_vertices as u64;
+        for _ in 0..num_edges {
+            let u = rng.random_range(0..n) as VertexId;
+            let v = rng.random_range(0..n) as VertexId;
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn ur_graph_has_expected_edge_count() {
+        let g = uniform_random(1000, 8, &mut rng_from_seed(1));
+        assert_eq!(g.num_vertices(), 1000);
+        assert_eq!(g.num_edges(), 2 * 1000 * 8); // symmetrized
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn ur_directed_has_constant_out_degree() {
+        let g = uniform_random_directed(500, 4, &mut rng_from_seed(2));
+        assert!((0..500).all(|v| g.degree(v) == 4));
+        assert_eq!(g.num_edges(), 2000);
+    }
+
+    #[test]
+    fn ur_is_deterministic_per_seed() {
+        let a = uniform_random(256, 4, &mut rng_from_seed(9));
+        let b = uniform_random(256, 4, &mut rng_from_seed(9));
+        assert_eq!(a, b);
+        let c = uniform_random(256, 4, &mut rng_from_seed(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ur_neighbors_look_uniform() {
+        // Chi-square-lite: with 64 vertices and 64*64 draws, every vertex
+        // should be hit a plausible number of times.
+        let g = uniform_random_directed(64, 64, &mut rng_from_seed(3));
+        let mut hits = vec![0u32; 64];
+        for (_, v) in g.edges() {
+            hits[v as usize] += 1;
+        }
+        // mean 64, std ~8; allow ±5 sigma.
+        assert!(hits.iter().all(|&h| (24..=104).contains(&h)), "{hits:?}");
+    }
+
+    #[test]
+    fn random_endpoint_edge_count() {
+        let g = random_endpoint(100, 300, &mut rng_from_seed(4));
+        assert_eq!(g.num_edges(), 600);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let g = uniform_random(0, 8, &mut rng_from_seed(5));
+        assert_eq!(g.num_vertices(), 0);
+        let g = uniform_random(1, 3, &mut rng_from_seed(5));
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 6); // three self-loops, doubled
+        let g = uniform_random(10, 0, &mut rng_from_seed(5));
+        assert_eq!(g.num_edges(), 0);
+    }
+}

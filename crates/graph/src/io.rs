@@ -1,0 +1,228 @@
+//! Graph serialization: text edge lists (DIMACS-challenge-style `u v` lines,
+//! as used for the USA road inputs) and a compact binary format for caching
+//! generated benchmark graphs between runs.
+
+use std::io::{self, BufRead, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::builder::{BuildOptions, GraphBuilder};
+use crate::csr::CsrGraph;
+use crate::Edge;
+
+/// Magic prefix of the binary format.
+pub const BINARY_MAGIC: &[u8; 8] = b"FBFSGRF1";
+
+/// Writes `graph` as a text edge list: a header comment, then one `u v` line
+/// per stored directed edge.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, w: &mut W) -> io::Result<()> {
+    writeln!(
+        w,
+        "# fast-bfs edge list: {} vertices, {} directed edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    writeln!(w, "# v {}", graph.num_vertices())?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Reads a text edge list. Lines starting with `#`, `%` or `c` are comments;
+/// a `# v N` comment pins the vertex count (otherwise it is 1 + max id).
+/// Edges are loaded as-given (directed, no symmetrization) so a round-trip
+/// through [`write_edge_list`] is exact.
+pub fn read_edge_list<R: BufRead>(r: &mut R) -> io::Result<CsrGraph> {
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut pinned_n: Option<usize> = None;
+    let mut max_id: u64 = 0;
+    let mut line = String::new();
+    let mut seen_any = false;
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("# v ") {
+            pinned_n = Some(rest.trim().parse().map_err(bad_data)?);
+            continue;
+        }
+        if t.starts_with('#') || t.starts_with('%') || t.starts_with('c') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u: u32 = it.next().ok_or_else(|| bad("missing source"))?.parse().map_err(bad_data)?;
+        let v: u32 = it.next().ok_or_else(|| bad("missing target"))?.parse().map_err(bad_data)?;
+        max_id = max_id.max(u as u64).max(v as u64);
+        edges.push((u, v));
+        seen_any = true;
+    }
+    let n = pinned_n.unwrap_or(if seen_any { max_id as usize + 1 } else { 0 });
+    let mut b = GraphBuilder::new(n, BuildOptions::directed_raw());
+    b.add_edges(edges);
+    Ok(b.build())
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn bad_data<E: std::fmt::Display>(e: E) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Encodes `graph` into the binary cache format:
+/// `MAGIC | n: u64 | m: u64 | offsets: (n+1) × u64 | neighbors: m × u32`,
+/// all little-endian.
+pub fn to_binary(graph: &CsrGraph) -> Bytes {
+    let n = graph.num_vertices();
+    let m = graph.num_edges() as usize;
+    let mut buf = BytesMut::with_capacity(8 + 16 + (n + 1) * 8 + m * 4);
+    buf.put_slice(BINARY_MAGIC);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(m as u64);
+    for &o in graph.offsets() {
+        buf.put_u64_le(o);
+    }
+    for &v in graph.raw_neighbors() {
+        buf.put_u32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes the binary cache format produced by [`to_binary`].
+pub fn from_binary(mut data: &[u8]) -> io::Result<CsrGraph> {
+    if data.len() < 24 || &data[..8] != BINARY_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    data.advance(8);
+    let n = data.get_u64_le() as usize;
+    let m = data.get_u64_le() as usize;
+    let need = (n + 1)
+        .checked_mul(8)
+        .and_then(|x| m.checked_mul(4).map(|y| x + y))
+        .ok_or_else(|| bad("size overflow"))?;
+    if data.remaining() != need {
+        return Err(bad("truncated or oversized payload"));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(data.get_u64_le());
+    }
+    let mut neighbors = Vec::with_capacity(m);
+    for _ in 0..m {
+        neighbors.push(data.get_u32_le());
+    }
+    if offsets.first() != Some(&0)
+        || offsets.last() != Some(&(m as u64))
+        || offsets.windows(2).any(|w| w[0] > w[1])
+        || neighbors.iter().any(|&v| v as usize >= n)
+    {
+        return Err(bad("inconsistent CSR payload"));
+    }
+    Ok(CsrGraph::from_parts(offsets, neighbors))
+}
+
+/// Writes the binary format to a stream.
+pub fn write_binary<W: Write>(graph: &CsrGraph, w: &mut W) -> io::Result<()> {
+    w.write_all(&to_binary(graph))
+}
+
+/// Reads the binary format from a stream.
+pub fn read_binary<R: Read>(r: &mut R) -> io::Result<CsrGraph> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    from_binary(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::classic::{binary_tree, path};
+    use crate::gen::rmat::{rmat, RmatConfig};
+    use crate::rng::rng_from_seed;
+    use std::io::BufReader;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = binary_tree(9);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_handles_comments_and_blank_lines() {
+        let text = "# comment\n% more\nc dimacs\n\n0 1\n1 2\n";
+        let g = read_edge_list(&mut BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_pins_vertex_count() {
+        let text = "# v 10\n0 1\n";
+        let g = read_edge_list(&mut BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        let text = "0 x\n";
+        assert!(read_edge_list(&mut BufReader::new(text.as_bytes())).is_err());
+        let text = "0\n";
+        assert!(read_edge_list(&mut BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let g = read_edge_list(&mut BufReader::new("".as_bytes())).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = rmat(&RmatConfig::paper(8, 4), &mut rng_from_seed(1));
+        let bytes = to_binary(&g);
+        let g2 = from_binary(&bytes).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip_via_streams() {
+        let g = path(17);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&mut &buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = path(5);
+        let bytes = to_binary(&g).to_vec();
+        assert!(from_binary(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(from_binary(&bad_magic).is_err());
+        let mut bad_neighbor = bytes.clone();
+        let last = bad_neighbor.len() - 1;
+        bad_neighbor[last] = 0xFF; // neighbor id out of range
+        assert!(from_binary(&bad_neighbor).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_inconsistent_offsets() {
+        let g = path(3);
+        let mut bytes = to_binary(&g).to_vec();
+        // offsets start right after magic + 16; corrupt offsets[0].
+        bytes[24] = 9;
+        assert!(from_binary(&bytes).is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! Simulated address space: named regions with socket placement.
+//!
+//! Mirrors the allocation policy of §III-B: `Adj`, `DP` and `VIS` are evenly
+//! divided between socket memories (contiguous stripes with the power-of-two
+//! `|V_NS|` rule), while each thread's `BV_t` and `PBV_t` live wholly on that
+//! thread's socket (`numa_alloc_onnode`).
+
+use serde::{Deserialize, Serialize};
+
+/// Handle to a region; also the structure tag used by the traffic ledger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegionId(pub u16);
+
+/// Where a region's bytes live.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Entire region on one socket (thread-local structures).
+    Fixed(usize),
+    /// Contiguous stripes of `stripe_bytes` across all sockets in order, the
+    /// last socket absorbing any tail (`DP`/`VIS` policy).
+    Striped { stripe_bytes: u64 },
+    /// Explicit cut points: socket `s` owns `[cuts[s-1], cuts[s])` with
+    /// `cuts[-1] = 0` and the last socket owning the tail. Used for `Adj`,
+    /// whose per-socket byte extents follow the (uneven) adjacency offsets
+    /// of the `|V_NS|` vertex split. `cuts` must be sorted and have
+    /// `sockets - 1` entries.
+    Boundaries(Vec<u64>),
+}
+
+#[derive(Clone, Debug)]
+struct Region {
+    name: String,
+    base: u64,
+    len: u64,
+    placement: Placement,
+}
+
+/// Allocator and home-socket oracle for the simulated machine.
+#[derive(Clone, Debug)]
+pub struct AddressSpace {
+    regions: Vec<Region>,
+    next_base: u64,
+    sockets: usize,
+    page: u64,
+}
+
+impl AddressSpace {
+    /// Address space for a machine with `sockets` sockets; regions are
+    /// aligned to `page` bytes (power of two).
+    pub fn new(sockets: usize, page: u64) -> Self {
+        assert!(sockets > 0);
+        assert!(page.is_power_of_two());
+        Self {
+            regions: Vec::new(),
+            next_base: page, // keep address 0 unused to catch bugs
+            sockets,
+            page,
+        }
+    }
+
+    /// Number of sockets.
+    pub fn sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// Allocates a region of `len` bytes with the given placement; returns
+    /// its id. Zero-length regions are allowed (e.g. an empty frontier).
+    pub fn alloc(&mut self, name: &str, len: u64, placement: Placement) -> RegionId {
+        match &placement {
+            Placement::Fixed(s) => {
+                assert!(*s < self.sockets, "placement socket out of range");
+            }
+            Placement::Striped { stripe_bytes } => {
+                assert!(*stripe_bytes > 0, "stripe must be non-empty");
+            }
+            Placement::Boundaries(cuts) => {
+                assert_eq!(
+                    cuts.len(),
+                    self.sockets - 1,
+                    "need sockets - 1 cut points"
+                );
+                assert!(cuts.windows(2).all(|w| w[0] <= w[1]), "cuts must be sorted");
+            }
+        }
+        let id = RegionId(u16::try_from(self.regions.len()).expect("too many regions"));
+        let base = self.next_base;
+        // Zero-length regions still reserve a page so each region has a
+        // distinct base address.
+        self.next_base = base
+            .checked_add(len.max(1))
+            .and_then(|e| e.checked_next_multiple_of(self.page))
+            .expect("address space exhausted");
+        self.regions.push(Region {
+            name: name.to_string(),
+            base,
+            len,
+            placement,
+        });
+        id
+    }
+
+    /// Global byte address of `offset` within `region`.
+    #[inline]
+    pub fn addr(&self, region: RegionId, offset: u64) -> u64 {
+        let r = &self.regions[region.0 as usize];
+        debug_assert!(
+            offset < r.len.max(1),
+            "offset {offset} out of region '{}' (len {})",
+            r.name,
+            r.len
+        );
+        r.base + offset
+    }
+
+    /// Home socket of `offset` within `region`.
+    #[inline]
+    pub fn home_socket(&self, region: RegionId, offset: u64) -> usize {
+        let r = &self.regions[region.0 as usize];
+        match &r.placement {
+            Placement::Fixed(s) => *s,
+            Placement::Striped { stripe_bytes } => {
+                ((offset / stripe_bytes) as usize).min(self.sockets - 1)
+            }
+            Placement::Boundaries(cuts) => cuts.partition_point(|&c| c <= offset),
+        }
+    }
+
+    /// Region owning a global address (linear scan; used only by diagnostics
+    /// and tests).
+    pub fn region_of_addr(&self, addr: u64) -> Option<RegionId> {
+        self.regions
+            .iter()
+            .position(|r| addr >= r.base && addr < r.base + r.len.max(1))
+            .map(|i| RegionId(i as u16))
+    }
+
+    /// Region name (for reports).
+    pub fn name(&self, region: RegionId) -> &str {
+        &self.regions[region.0 as usize].name
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self, region: RegionId) -> u64 {
+        self.regions[region.0 as usize].len
+    }
+
+    /// True if no regions are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_page_aligned_and_disjoint() {
+        let mut a = AddressSpace::new(2, 4096);
+        let r1 = a.alloc("adj", 100, Placement::Fixed(0));
+        let r2 = a.alloc("dp", 5000, Placement::Fixed(1));
+        assert_eq!(a.addr(r1, 0) % 4096, 0);
+        assert_eq!(a.addr(r2, 0) % 4096, 0);
+        assert!(a.addr(r2, 0) >= a.addr(r1, 0) + 100);
+        assert_ne!(a.addr(r1, 0), 0, "address zero must stay unused");
+    }
+
+    #[test]
+    fn fixed_placement_homes_everywhere_on_socket() {
+        let mut a = AddressSpace::new(4, 64);
+        let r = a.alloc("bv", 1000, Placement::Fixed(3));
+        assert_eq!(a.home_socket(r, 0), 3);
+        assert_eq!(a.home_socket(r, 999), 3);
+    }
+
+    #[test]
+    fn striped_placement_follows_stripes() {
+        let mut a = AddressSpace::new(2, 64);
+        let r = a.alloc("vis", 100, Placement::Striped { stripe_bytes: 64 });
+        assert_eq!(a.home_socket(r, 0), 0);
+        assert_eq!(a.home_socket(r, 63), 0);
+        assert_eq!(a.home_socket(r, 64), 1);
+        // tail clamps to last socket
+        assert_eq!(a.home_socket(r, 99), 1);
+    }
+
+    #[test]
+    fn striped_tail_clamps_to_last_socket() {
+        let mut a = AddressSpace::new(2, 64);
+        let r = a.alloc("x", 300, Placement::Striped { stripe_bytes: 64 });
+        assert_eq!(a.home_socket(r, 299), 1); // stripe 4 clamps to socket 1
+    }
+
+    #[test]
+    fn region_of_addr_finds_owner() {
+        let mut a = AddressSpace::new(1, 64);
+        let r1 = a.alloc("a", 10, Placement::Fixed(0));
+        let r2 = a.alloc("b", 10, Placement::Fixed(0));
+        assert_eq!(a.region_of_addr(a.addr(r1, 5)), Some(r1));
+        assert_eq!(a.region_of_addr(a.addr(r2, 0)), Some(r2));
+        assert_eq!(a.region_of_addr(0), None);
+    }
+
+    #[test]
+    fn zero_length_regions_are_allowed() {
+        let mut a = AddressSpace::new(1, 64);
+        let r = a.alloc("empty", 0, Placement::Fixed(0));
+        assert_eq!(a.len(r), 0);
+        let r2 = a.alloc("next", 8, Placement::Fixed(0));
+        assert_ne!(a.addr(r2, 0), a.addr(r, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_placement_on_missing_socket() {
+        let mut a = AddressSpace::new(2, 64);
+        a.alloc("bad", 10, Placement::Fixed(2));
+    }
+
+    #[test]
+    fn boundaries_placement_follows_cuts() {
+        let mut a = AddressSpace::new(3, 64);
+        let r = a.alloc("adj", 1000, Placement::Boundaries(vec![100, 500]));
+        assert_eq!(a.home_socket(r, 0), 0);
+        assert_eq!(a.home_socket(r, 99), 0);
+        assert_eq!(a.home_socket(r, 100), 1);
+        assert_eq!(a.home_socket(r, 499), 1);
+        assert_eq!(a.home_socket(r, 500), 2);
+        assert_eq!(a.home_socket(r, 999), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cut points")]
+    fn boundaries_must_match_socket_count() {
+        let mut a = AddressSpace::new(3, 64);
+        a.alloc("adj", 1000, Placement::Boundaries(vec![100]));
+    }
+
+    #[test]
+    fn names_are_kept() {
+        let mut a = AddressSpace::new(1, 64);
+        let r = a.alloc("Adj", 10, Placement::Fixed(0));
+        assert_eq!(a.name(r), "Adj");
+        assert_eq!(a.num_regions(), 1);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! Traffic ledger: the simulator's uncore performance counters.
+//!
+//! Every byte moved is attributed along four axes — execution phase (the
+//! paper's Phase I / Phase II / Rearrangement split of Figure 8), socket,
+//! channel, and data-structure region — so any figure's metric is a fold
+//! over this table.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::RegionId;
+
+/// Which leg of the memory system carried the bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Channel {
+    /// DRAM → LLC on the home socket (read/fill).
+    DramRead,
+    /// LLC → DRAM write-back on the home socket.
+    DramWrite,
+    /// Bytes over the inter-socket link for remote fills and write-backs
+    /// (accompanying a home-socket DRAM or LLC access).
+    Qpi,
+    /// Bytes over the inter-socket link for **dirty-line migrations** —
+    /// a modified line stolen by the other socket. This is the
+    /// "ping-ponging" of §III-B3; beyond link occupancy, each migration
+    /// stalls the stealing core on the coherence protocol, which the
+    /// simulated-run reports charge as a per-event latency penalty.
+    QpiMigration,
+    /// LLC → per-core L2 fills.
+    LlcToL2,
+    /// L2 → LLC write-backs.
+    L2ToLlc,
+    /// Page-walk traffic caused by TLB misses (one descriptor line per
+    /// miss) — what the §III-B3(b) rearrangement exists to reduce.
+    PageWalk,
+}
+
+impl Channel {
+    /// All channels, for iteration in reports.
+    pub const ALL: [Channel; 7] = [
+        Channel::DramRead,
+        Channel::DramWrite,
+        Channel::Qpi,
+        Channel::QpiMigration,
+        Channel::LlcToL2,
+        Channel::L2ToLlc,
+        Channel::PageWalk,
+    ];
+}
+
+/// Execution phase tag (Figure 8's decomposition).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Phase {
+    /// Setup / untagged accesses.
+    #[default]
+    Other,
+    /// Phase I: frontier expansion and PBV binning.
+    PhaseOne,
+    /// Phase II: VIS/DP updates and next-frontier construction.
+    PhaseTwo,
+    /// The BV_t^N rearrangement pass.
+    Rearrange,
+}
+
+impl Phase {
+    /// All phases, for iteration in reports.
+    pub const ALL: [Phase; 4] = [Phase::Other, Phase::PhaseOne, Phase::PhaseTwo, Phase::Rearrange];
+}
+
+/// One attribution key.
+pub type Key = (Phase, usize, Channel, RegionId);
+
+/// Byte counters keyed by (phase, socket, channel, region).
+#[derive(Clone, Debug, Default)]
+pub struct TrafficLedger {
+    bytes: HashMap<Key, u64>,
+    phase: Phase,
+}
+
+
+impl TrafficLedger {
+    /// Fresh, empty ledger in [`Phase::Other`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the phase tag applied to subsequent charges.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    /// Current phase tag.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Charges `bytes` on `channel` of `socket` for `region`.
+    #[inline]
+    pub fn charge(&mut self, socket: usize, channel: Channel, region: RegionId, bytes: u64) {
+        *self.bytes.entry((self.phase, socket, channel, region)).or_insert(0) += bytes;
+    }
+
+    /// Total bytes matching the given filters (`None` = any).
+    pub fn total(
+        &self,
+        phase: Option<Phase>,
+        socket: Option<usize>,
+        channel: Option<Channel>,
+        region: Option<RegionId>,
+    ) -> u64 {
+        self.bytes
+            .iter()
+            .filter(|((p, s, c, r), _)| {
+                phase.is_none_or(|x| x == *p)
+                    && socket.is_none_or(|x| x == *s)
+                    && channel.is_none_or(|x| x == *c)
+                    && region.is_none_or(|x| x == *r)
+            })
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Maximum over sockets of the bytes on `channel` (optionally within a
+    /// phase). This is the bottleneck-socket quantity the paper's model
+    /// divides by per-socket bandwidth.
+    pub fn max_socket_bytes(&self, phase: Option<Phase>, channel: Channel) -> u64 {
+        let sockets: std::collections::HashSet<usize> =
+            self.bytes.keys().map(|(_, s, _, _)| *s).collect();
+        sockets
+            .into_iter()
+            .map(|s| self.total(phase, Some(s), Some(channel), None))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Clears all counters (phase tag is preserved).
+    pub fn reset(&mut self) {
+        self.bytes.clear();
+    }
+
+    /// Raw iteration over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &u64)> {
+        self.bytes.iter()
+    }
+
+    /// Merges another ledger's counters into this one.
+    pub fn merge(&mut self, other: &TrafficLedger) {
+        for (k, v) in other.iter() {
+            *self.bytes.entry(*k).or_insert(0) += *v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R0: RegionId = RegionId(0);
+    const R1: RegionId = RegionId(1);
+
+    #[test]
+    fn charges_accumulate_under_current_phase() {
+        let mut l = TrafficLedger::new();
+        l.charge(0, Channel::DramRead, R0, 64);
+        l.set_phase(Phase::PhaseOne);
+        l.charge(0, Channel::DramRead, R0, 64);
+        l.charge(1, Channel::Qpi, R1, 128);
+        assert_eq!(l.total(None, None, None, None), 256);
+        assert_eq!(l.total(Some(Phase::PhaseOne), None, None, None), 192);
+        assert_eq!(l.total(None, Some(1), None, None), 128);
+        assert_eq!(l.total(None, None, Some(Channel::DramRead), None), 128);
+        assert_eq!(l.total(None, None, None, Some(R1)), 128);
+    }
+
+    #[test]
+    fn max_socket_bytes_picks_bottleneck() {
+        let mut l = TrafficLedger::new();
+        l.charge(0, Channel::DramRead, R0, 100);
+        l.charge(1, Channel::DramRead, R0, 300);
+        assert_eq!(l.max_socket_bytes(None, Channel::DramRead), 300);
+        assert_eq!(l.max_socket_bytes(None, Channel::Qpi), 0);
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_phase() {
+        let mut l = TrafficLedger::new();
+        l.set_phase(Phase::Rearrange);
+        l.charge(0, Channel::L2ToLlc, R0, 7);
+        l.reset();
+        assert_eq!(l.total(None, None, None, None), 0);
+        assert_eq!(l.phase(), Phase::Rearrange);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = TrafficLedger::new();
+        a.charge(0, Channel::DramRead, R0, 10);
+        let mut b = TrafficLedger::new();
+        b.charge(0, Channel::DramRead, R0, 5);
+        b.charge(0, Channel::Qpi, R0, 3);
+        a.merge(&b);
+        assert_eq!(a.total(None, None, Some(Channel::DramRead), None), 15);
+        assert_eq!(a.total(None, None, Some(Channel::Qpi), None), 3);
+    }
+
+    #[test]
+    fn channel_and_phase_enumerations_are_complete() {
+        assert_eq!(Channel::ALL.len(), 7);
+        assert_eq!(Phase::ALL.len(), 4);
+    }
+}

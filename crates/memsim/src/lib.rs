@@ -1,0 +1,51 @@
+//! Deterministic memory-hierarchy simulator.
+//!
+//! The paper's Figures 4, 5 and 8 are statements about *data movement*: bytes
+//! transferred between DRAM and LLC, between LLC and the core-private caches,
+//! and across the QPI link, per traversed edge, attributed to individual data
+//! structures (`Adj`, `DP`, `VIS`, `BV_t`, `PBV_t`). Lacking the paper's
+//! dual-socket Nehalem, this crate reproduces those measurements in software:
+//!
+//! * [`cache::SetAssocCache`] — a set-associative LRU cache at cache-line
+//!   granularity with dirty bits and eviction reporting.
+//! * [`address::AddressSpace`] — named regions with socket-placement policies
+//!   mirroring the paper's allocation scheme (§III-B): `Adj`/`DP`/`VIS`
+//!   striped across sockets, `BV_t`/`PBV_t` homed on their owner's socket.
+//! * [`machine::SimMachine`] — per-core L2s, per-socket shared LLCs, DRAM
+//!   channels per socket, and a QPI link with MESI-like ownership tracking so
+//!   the cache-line ping-ponging of §III-B3 shows up as measurable traffic.
+//! * [`ledger::TrafficLedger`] — byte counters keyed by (phase, socket,
+//!   channel, region), the simulator's equivalent of the uncore performance
+//!   counters the paper reads.
+//! * [`report::TrafficReport`] / [`report::BandwidthSpec`] — conversion of
+//!   byte counts into cycles-per-edge using the Table I achievable
+//!   bandwidths, giving "simulated measured" numbers comparable against the
+//!   analytical model.
+//!
+//! The simulator is *functional*, not timing-accurate: it orders accesses as
+//! the traversal issues them and models occupancy, capacity and coherence,
+//! which is exactly the level the paper's own analytical model works at.
+
+//! # Example
+//!
+//! ```
+//! use bfs_memsim::{Channel, MachineConfig, Placement, SimMachine};
+//!
+//! let mut m = SimMachine::new(MachineConfig::single_socket(1));
+//! let dp = m.alloc("DP", 1 << 20, Placement::Fixed(0));
+//! m.read(0, dp, 0, 8);            // cold: one line from DRAM
+//! assert_eq!(m.ledger().total(None, None, Some(Channel::DramRead), None), 64);
+//! m.read(0, dp, 0, 8);            // warm: free
+//! assert_eq!(m.ledger().total(None, None, Some(Channel::DramRead), None), 64);
+//! ```
+
+pub mod address;
+pub mod cache;
+pub mod ledger;
+pub mod machine;
+pub mod report;
+
+pub use address::{Placement, RegionId};
+pub use ledger::{Channel, Phase};
+pub use machine::{CacheStats, MachineConfig, SimMachine};
+pub use report::{BandwidthSpec, CycleBreakdown, TrafficReport};

@@ -1,0 +1,749 @@
+//! The simulated multi-socket machine.
+//!
+//! Models the parts of the dual-socket Nehalem that the paper's evaluation
+//! measures: per-core L2s and TLBs, per-socket *inclusive* shared LLCs (the
+//! Nehalem L3 is inclusive, which the back-invalidation logic here relies
+//! on), per-socket DRAM channels, and the QPI link. Coherence is a
+//! directory-style MESI approximation at socket granularity — enough to make
+//! the cache-line ping-ponging of unpartitioned VIS updates (§III-B3) show up
+//! as QPI bytes, which is the effect Figure 5 quantifies.
+//!
+//! The simulator is functional (no timing): each access immediately updates
+//! cache state and charges the traffic ledger. Bytes are later converted to
+//! cycles by [`crate::report`].
+
+use std::collections::HashMap;
+
+use crate::address::{AddressSpace, Placement, RegionId};
+use crate::cache::{Access, SetAssocCache};
+use crate::ledger::{Channel, Phase, TrafficLedger};
+
+/// Geometry of the simulated machine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineConfig {
+    /// Number of sockets (`N_S`).
+    pub sockets: usize,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+    /// Cache line size in bytes (`L`).
+    pub line_bytes: u64,
+    /// Per-core L2 capacity in bytes (`|L2|`).
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_assoc: usize,
+    /// Per-socket LLC capacity in bytes (`|C|`).
+    pub llc_bytes: u64,
+    /// LLC associativity.
+    pub llc_assoc: usize,
+    /// Page size for TLB modeling.
+    pub page_bytes: u64,
+    /// Per-core TLB entries (0 disables TLB modeling).
+    pub tlb_entries: usize,
+}
+
+impl MachineConfig {
+    /// The paper's dual-socket Xeon X5570: 2 × 4 cores, 256 KB 8-way L2,
+    /// 8 MB 16-way inclusive LLC, 64 B lines, 4 KB pages, 512-entry DTLB.
+    pub fn xeon_x5570_2s() -> Self {
+        Self {
+            sockets: 2,
+            cores_per_socket: 4,
+            line_bytes: 64,
+            l2_bytes: 256 << 10,
+            l2_assoc: 8,
+            llc_bytes: 8 << 20,
+            llc_assoc: 16,
+            page_bytes: 4096,
+            tlb_entries: 512,
+        }
+    }
+
+    /// Same per-socket geometry, one socket with `cores` cores.
+    pub fn single_socket(cores: usize) -> Self {
+        Self {
+            sockets: 1,
+            cores_per_socket: cores,
+            ..Self::xeon_x5570_2s()
+        }
+    }
+
+    /// Shrinks every capacity (L2, LLC, TLB reach) by `factor` so that
+    /// scaled-down graphs exercise the same capacity *ratios* as the paper's
+    /// full-size runs (DESIGN.md "Scaling note").
+    pub fn scaled_down(&self, factor: u64) -> Self {
+        assert!(factor >= 1);
+        Self {
+            l2_bytes: (self.l2_bytes / factor).max(self.line_bytes * self.l2_assoc as u64),
+            llc_bytes: (self.llc_bytes / factor).max(self.line_bytes * self.llc_assoc as u64),
+            tlb_entries: (self.tlb_entries / factor as usize).max(4),
+            ..*self
+        }
+    }
+
+    /// Total cores.
+    pub fn total_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    fn validate(&self) {
+        assert!(self.sockets > 0 && self.cores_per_socket > 0);
+        assert!(self.line_bytes.is_power_of_two());
+        assert!(self.page_bytes.is_power_of_two() && self.page_bytes >= self.line_bytes);
+        assert!(self.l2_bytes >= self.line_bytes && self.llc_bytes >= self.line_bytes);
+        assert!(self.l2_assoc > 0 && self.llc_assoc > 0);
+        assert!(self.sockets <= 8, "directory uses an 8-bit presence mask");
+    }
+}
+
+/// Directory entry for one cache line.
+#[derive(Clone, Copy, Debug, Default)]
+struct LineState {
+    /// Bitmask of sockets whose LLC may hold the line.
+    present: u8,
+    /// Socket holding the line modified, if any.
+    dirty_in: Option<u8>,
+    /// Home socket (cached to avoid re-deriving from the address space).
+    home: u8,
+    /// Owning region (for attributing victim write-backs).
+    region: RegionId,
+}
+
+/// Aggregate hit/miss counters per hierarchy level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub l2_hits: u64,
+    pub l2_misses: u64,
+    pub llc_hits: u64,
+    pub llc_misses: u64,
+    pub tlb_hits: u64,
+    pub tlb_misses: u64,
+}
+
+impl CacheStats {
+    /// L2 hit rate in [0, 1]; 1.0 when no accesses occurred.
+    pub fn l2_hit_rate(&self) -> f64 {
+        rate(self.l2_hits, self.l2_misses)
+    }
+
+    /// LLC hit rate among L2 misses.
+    pub fn llc_hit_rate(&self) -> f64 {
+        rate(self.llc_hits, self.llc_misses)
+    }
+
+    /// TLB hit rate.
+    pub fn tlb_hit_rate(&self) -> f64 {
+        rate(self.tlb_hits, self.tlb_misses)
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        1.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// The simulated machine: caches + directory + ledger + address space.
+pub struct SimMachine {
+    cfg: MachineConfig,
+    space: AddressSpace,
+    l2: Vec<SetAssocCache>,
+    tlb: Vec<SetAssocCache>,
+    llc: Vec<SetAssocCache>,
+    directory: HashMap<u64, LineState>,
+    ledger: TrafficLedger,
+    stats: CacheStats,
+}
+
+impl SimMachine {
+    /// Builds the machine.
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.validate();
+        let l2_lines = (cfg.l2_bytes / cfg.line_bytes) as usize;
+        let llc_lines = (cfg.llc_bytes / cfg.line_bytes) as usize;
+        Self {
+            cfg,
+            space: AddressSpace::new(cfg.sockets, cfg.page_bytes),
+            l2: (0..cfg.total_cores())
+                .map(|_| SetAssocCache::new(l2_lines, cfg.l2_assoc))
+                .collect(),
+            tlb: (0..cfg.total_cores())
+                .map(|_| SetAssocCache::new(cfg.tlb_entries.max(1), 4))
+                .collect(),
+            llc: (0..cfg.sockets)
+                .map(|_| SetAssocCache::new(llc_lines, cfg.llc_assoc))
+                .collect(),
+            directory: HashMap::new(),
+            ledger: TrafficLedger::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Aggregate hit/miss counters since construction (or the last
+    /// [`reset_stats`](Self::reset_stats)).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears the hit/miss counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Machine geometry.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Allocates a named region; see [`AddressSpace::alloc`].
+    pub fn alloc(&mut self, name: &str, len: u64, placement: Placement) -> RegionId {
+        self.space.alloc(name, len, placement)
+    }
+
+    /// The address space (read-only).
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// The traffic ledger (read-only).
+    pub fn ledger(&self) -> &TrafficLedger {
+        &self.ledger
+    }
+
+    /// Sets the phase tag for subsequent accesses.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.ledger.set_phase(phase);
+    }
+
+    /// Clears the ledger (cache state is preserved — use between warm-up and
+    /// measurement).
+    pub fn reset_ledger(&mut self) {
+        self.ledger.reset();
+    }
+
+    /// Clears caches, TLBs and directory (cold restart).
+    pub fn reset_caches(&mut self) {
+        for c in &mut self.l2 {
+            c.clear();
+        }
+        for t in &mut self.tlb {
+            t.clear();
+        }
+        for c in &mut self.llc {
+            c.clear();
+        }
+        self.directory.clear();
+    }
+
+    #[inline]
+    fn socket_of_core(&self, core: usize) -> usize {
+        core / self.cfg.cores_per_socket
+    }
+
+    /// Simulates a read of `len` bytes at `offset` in `region` by `core`.
+    pub fn read(&mut self, core: usize, region: RegionId, offset: u64, len: u64) {
+        self.access(core, region, offset, len, false)
+    }
+
+    /// Simulates a write of `len` bytes at `offset` in `region` by `core`.
+    pub fn write(&mut self, core: usize, region: RegionId, offset: u64, len: u64) {
+        self.access(core, region, offset, len, true)
+    }
+
+    /// Common access path: split into lines, touch TLB and cache hierarchy.
+    fn access(&mut self, core: usize, region: RegionId, offset: u64, len: u64, write: bool) {
+        if len == 0 {
+            return;
+        }
+        assert!(core < self.cfg.total_cores(), "core {core} out of range");
+        let line_sz = self.cfg.line_bytes;
+        let start = self.space.addr(region, offset);
+        let end = start + len - 1;
+        debug_assert!(
+            offset + len <= self.space.len(region).max(1),
+            "access past end of region '{}'",
+            self.space.name(region)
+        );
+        let first_line = start / line_sz;
+        let last_line = end / line_sz;
+        for line in first_line..=last_line {
+            self.touch_tlb(core, region, line * line_sz);
+            self.touch_line(core, region, line, write);
+        }
+    }
+
+    /// TLB lookup for the page containing `addr`; a miss charges one
+    /// page-table-entry read of page-walk traffic on the page's home socket.
+    /// (Upper levels of the walk hit the paging-structure caches; charging a
+    /// full line per miss would overstate the cost the paper's model — which
+    /// ignores walks entirely — tolerates.)
+    fn touch_tlb(&mut self, core: usize, region: RegionId, addr: u64) {
+        if self.cfg.tlb_entries == 0 {
+            return;
+        }
+        const PTE_BYTES: u64 = 8;
+        let page = addr / self.cfg.page_bytes;
+        if matches!(self.tlb[core].access(page, false), Access::Miss { .. }) {
+            self.stats.tlb_misses += 1;
+            let home = self.home_of(region, addr);
+            self.ledger
+                .charge(home, Channel::PageWalk, region, PTE_BYTES);
+        } else {
+            self.stats.tlb_hits += 1;
+        }
+    }
+
+    #[inline]
+    fn home_of(&self, region: RegionId, addr: u64) -> usize {
+        // Placement is defined on region offsets.
+        let base = self.space.addr(region, 0);
+        self.space.home_socket(region, addr - base)
+    }
+
+    /// Core of the line-state machine: L2 → LLC → remote/home, with
+    /// coherence side effects.
+    fn touch_line(&mut self, core: usize, region: RegionId, line: u64, write: bool) {
+        let socket = self.socket_of_core(core);
+        let line_sz = self.cfg.line_bytes;
+        let home = self.home_of(region, line * line_sz) as u8;
+        let state = *self.directory.entry(line).or_insert(LineState {
+            present: 0,
+            dirty_in: None,
+            home,
+            region,
+        });
+
+        // Write by this socket while another socket holds copies: invalidate
+        // them (back-invalidating their L2s — the LLC is inclusive). A dirty
+        // remote copy migrates over QPI.
+        if write {
+            self.invalidate_other_sockets(line, socket, state);
+        }
+
+        match self.l2[core].access(line, write) {
+            Access::Hit => {
+                self.stats.l2_hits += 1;
+                self.note_presence(line, socket, write);
+                return;
+            }
+            Access::Miss { dirty_victim } => {
+                self.stats.l2_misses += 1;
+                if let Some(victim) = dirty_victim {
+                    self.writeback_l2_victim(socket, victim);
+                }
+            }
+        }
+
+        // L2 missed: consult this socket's LLC.
+        match self.llc[socket].access(line, false) {
+            Access::Hit => {
+                self.stats.llc_hits += 1;
+                self.ledger
+                    .charge(socket, Channel::LlcToL2, region, line_sz);
+            }
+            Access::Miss { dirty_victim } => {
+                self.stats.llc_misses += 1;
+                if let Some(victim) = dirty_victim {
+                    self.writeback_llc_victim(socket, victim);
+                }
+                self.fill_from_beyond_socket(line, socket, region, state);
+                self.ledger
+                    .charge(socket, Channel::LlcToL2, region, line_sz);
+            }
+        }
+        self.note_presence(line, socket, write);
+    }
+
+    /// Fetches a line absent from this socket's LLC: from a remote dirty
+    /// owner, from the home socket's LLC, or from home DRAM.
+    fn fill_from_beyond_socket(
+        &mut self,
+        line: u64,
+        socket: usize,
+        region: RegionId,
+        state: LineState,
+    ) {
+        let line_sz = self.cfg.line_bytes;
+        let home = state.home as usize;
+        match state.dirty_in {
+            Some(owner) if owner as usize != socket => {
+                // Cache-to-cache transfer of a modified line + implicit
+                // write-back to home memory (MESI M→S on remote read).
+                self.ledger
+                    .charge(socket, Channel::QpiMigration, region, line_sz);
+                self.ledger
+                    .charge(home, Channel::DramWrite, region, line_sz);
+                if let Some(e) = self.directory.get_mut(&line) {
+                    e.dirty_in = None;
+                }
+            }
+            _ => {
+                let in_home_llc = home != socket && self.llc[home].contains(line);
+                if home == socket {
+                    self.ledger
+                        .charge(home, Channel::DramRead, region, line_sz);
+                } else {
+                    // Remote fetch: bytes cross QPI; they come from the home
+                    // LLC if resident there, otherwise from home DRAM.
+                    self.ledger.charge(socket, Channel::Qpi, region, line_sz);
+                    if !in_home_llc {
+                        self.ledger
+                            .charge(home, Channel::DramRead, region, line_sz);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes the line from every other socket's caches; a dirty remote
+    /// copy is charged as a QPI migration. This is the ping-pong mechanism.
+    fn invalidate_other_sockets(&mut self, line: u64, socket: usize, state: LineState) {
+        let line_sz = self.cfg.line_bytes;
+        for other in 0..self.cfg.sockets {
+            if other == socket || state.present & (1 << other) == 0 {
+                continue;
+            }
+            let was_in_llc = self.llc[other].invalidate(line).is_some();
+            let mut was_dirty_l2 = false;
+            for lane in 0..self.cfg.cores_per_socket {
+                let c = other * self.cfg.cores_per_socket + lane;
+                if let Some(dirty) = self.l2[c].invalidate(line) {
+                    was_dirty_l2 |= dirty;
+                }
+            }
+            let was_dirty = was_dirty_l2 || state.dirty_in == Some(other as u8);
+            if was_dirty && (was_in_llc || was_dirty_l2) {
+                // Modified data migrates to the writer across QPI: the
+                // ping-pong event.
+                self.ledger
+                    .charge(socket, Channel::QpiMigration, state.region, line_sz);
+            }
+            if let Some(e) = self.directory.get_mut(&line) {
+                e.present &= !(1 << other);
+                if e.dirty_in == Some(other as u8) {
+                    e.dirty_in = None;
+                }
+            }
+        }
+    }
+
+    fn note_presence(&mut self, line: u64, socket: usize, write: bool) {
+        if let Some(e) = self.directory.get_mut(&line) {
+            e.present |= 1 << socket;
+            if write {
+                e.dirty_in = Some(socket as u8);
+            }
+        }
+    }
+
+    /// L2 dirty victim: write back into this socket's LLC.
+    fn writeback_l2_victim(&mut self, socket: usize, victim: u64) {
+        let region = self
+            .directory
+            .get(&victim)
+            .map(|e| e.region)
+            .unwrap_or(RegionId(u16::MAX));
+        self.ledger
+            .charge(socket, Channel::L2ToLlc, region, self.cfg.line_bytes);
+        // Mark dirty in LLC so a later LLC eviction writes to DRAM. If the
+        // inclusive LLC no longer holds the line (back-invalidated), the
+        // write-back goes straight to memory.
+        match self.llc[socket].access(victim, true) {
+            Access::Hit => {}
+            Access::Miss { dirty_victim } => {
+                if let Some(v2) = dirty_victim {
+                    self.writeback_llc_victim(socket, v2);
+                }
+            }
+        }
+    }
+
+    /// LLC dirty victim: write back to the line's home DRAM (crossing QPI if
+    /// the home is remote), and back-invalidate the socket's L2s (inclusion).
+    fn writeback_llc_victim(&mut self, socket: usize, victim: u64) {
+        let (home, region) = self
+            .directory
+            .get(&victim)
+            .map(|e| (e.home as usize, e.region))
+            .unwrap_or((socket, RegionId(u16::MAX)));
+        self.ledger
+            .charge(home, Channel::DramWrite, region, self.cfg.line_bytes);
+        if home != socket {
+            self.ledger
+                .charge(socket, Channel::Qpi, region, self.cfg.line_bytes);
+        }
+        for lane in 0..self.cfg.cores_per_socket {
+            let c = socket * self.cfg.cores_per_socket + lane;
+            self.l2[c].invalidate(victim);
+        }
+        if let Some(e) = self.directory.get_mut(&victim) {
+            e.present &= !(1 << socket);
+            if e.dirty_in == Some(socket as u8) {
+                e.dirty_in = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_machine(sockets: usize) -> SimMachine {
+        SimMachine::new(MachineConfig {
+            sockets,
+            cores_per_socket: 2,
+            line_bytes: 64,
+            l2_bytes: 256, // 4 lines
+            l2_assoc: 2,
+            llc_bytes: 1024, // 16 lines
+            llc_assoc: 4,
+            page_bytes: 4096,
+            tlb_entries: 0, // disable TLB noise in traffic assertions
+        })
+    }
+
+    #[test]
+    fn cold_read_charges_dram_and_llc_fill() {
+        let mut m = tiny_machine(1);
+        let r = m.alloc("a", 4096, Placement::Fixed(0));
+        m.read(0, r, 0, 4);
+        let l = m.ledger();
+        assert_eq!(l.total(None, None, Some(Channel::DramRead), None), 64);
+        assert_eq!(l.total(None, None, Some(Channel::LlcToL2), None), 64);
+        assert_eq!(l.total(None, None, Some(Channel::Qpi), None), 0);
+    }
+
+    #[test]
+    fn warm_read_is_free() {
+        let mut m = tiny_machine(1);
+        let r = m.alloc("a", 4096, Placement::Fixed(0));
+        m.read(0, r, 0, 4);
+        m.reset_ledger();
+        m.read(0, r, 0, 4);
+        assert_eq!(m.ledger().total(None, None, None, None), 0);
+    }
+
+    #[test]
+    fn access_spanning_lines_touches_each_line() {
+        let mut m = tiny_machine(1);
+        let r = m.alloc("a", 4096, Placement::Fixed(0));
+        m.read(0, r, 60, 8); // crosses a 64 B boundary
+        assert_eq!(m.ledger().total(None, None, Some(Channel::DramRead), None), 128);
+    }
+
+    #[test]
+    fn llc_hit_after_l2_eviction_charges_llc_fill_only() {
+        let mut m = tiny_machine(1);
+        let r = m.alloc("a", 1 << 16, Placement::Fixed(0));
+        // L2 holds 4 lines (2 sets x 2 ways); stream 8 lines mapping to the
+        // same sets to evict line 0 from L2 while it stays in the LLC.
+        for i in 0..8u64 {
+            m.read(0, r, i * 64, 4);
+        }
+        m.reset_ledger();
+        m.read(0, r, 0, 4);
+        let l = m.ledger();
+        assert_eq!(l.total(None, None, Some(Channel::DramRead), None), 0, "line still in LLC");
+        assert_eq!(l.total(None, None, Some(Channel::LlcToL2), None), 64);
+    }
+
+    #[test]
+    fn dirty_l2_eviction_writes_back_to_llc() {
+        let mut m = tiny_machine(1);
+        let r = m.alloc("a", 1 << 16, Placement::Fixed(0));
+        m.write(0, r, 0, 4);
+        m.reset_ledger();
+        for i in 1..16u64 {
+            m.read(0, r, i * 64, 4);
+        }
+        assert!(
+            m.ledger().total(None, None, Some(Channel::L2ToLlc), None) >= 64,
+            "dirty line 0 must be written back to LLC"
+        );
+    }
+
+    #[test]
+    fn llc_capacity_eviction_writes_dirty_lines_to_dram() {
+        let mut m = tiny_machine(1);
+        let r = m.alloc("a", 1 << 20, Placement::Fixed(0));
+        m.write(0, r, 0, 4);
+        m.reset_ledger();
+        // Stream far past LLC capacity (16 lines).
+        for i in 1..256u64 {
+            m.read(0, r, i * 64, 4);
+        }
+        assert!(
+            m.ledger().total(None, None, Some(Channel::DramWrite), None) >= 64,
+            "dirty line must eventually reach DRAM"
+        );
+    }
+
+    #[test]
+    fn remote_read_crosses_qpi() {
+        let mut m = tiny_machine(2);
+        let r = m.alloc("a", 4096, Placement::Fixed(1));
+        m.read(0, r, 0, 4); // core 0 is on socket 0; data homed on socket 1
+        let l = m.ledger();
+        assert_eq!(l.total(None, Some(0), Some(Channel::Qpi), None), 64);
+        assert_eq!(l.total(None, Some(1), Some(Channel::DramRead), None), 64);
+        assert_eq!(l.total(None, Some(0), Some(Channel::DramRead), None), 0);
+    }
+
+    #[test]
+    fn write_ping_pong_generates_qpi_traffic() {
+        let mut m = tiny_machine(2);
+        let r = m.alloc("vis", 4096, Placement::Fixed(0));
+        let remote_core = 2; // socket 1
+        m.write(0, r, 0, 1); // socket 0 dirties the line
+        m.reset_ledger();
+        m.write(remote_core, r, 0, 1); // socket 1 steals it
+        let qpi_1 = m
+            .ledger()
+            .total(None, None, Some(Channel::QpiMigration), None);
+        assert!(qpi_1 >= 64, "stealing a dirty line must migrate it, got {qpi_1}");
+        m.reset_ledger();
+        m.write(0, r, 0, 1); // socket 0 steals it back: ping-pong
+        let qpi_2 = m
+            .ledger()
+            .total(None, None, Some(Channel::QpiMigration), None);
+        assert!(qpi_2 >= 64, "ping-pong must migrate again, got {qpi_2}");
+    }
+
+    #[test]
+    fn single_socket_private_line_never_crosses_qpi() {
+        let mut m = tiny_machine(2);
+        let r = m.alloc("bv", 4096, Placement::Fixed(0));
+        for _ in 0..10 {
+            m.write(0, r, 0, 4);
+            m.read(1, r, 0, 4); // same socket, other core
+        }
+        assert_eq!(m.ledger().total(None, None, Some(Channel::Qpi), None), 0);
+    }
+
+    #[test]
+    fn striped_region_homes_split_dram_traffic() {
+        let mut m = tiny_machine(2);
+        let r = m.alloc("dp", 8192, Placement::Striped { stripe_bytes: 4096 });
+        m.read(0, r, 0, 4); // stripe 0 → socket 0
+        m.read(2, r, 4096, 4); // stripe 1 → socket 1, core on socket 1
+        let l = m.ledger();
+        assert_eq!(l.total(None, Some(0), Some(Channel::DramRead), None), 64);
+        assert_eq!(l.total(None, Some(1), Some(Channel::DramRead), None), 64);
+        assert_eq!(l.total(None, None, Some(Channel::Qpi), None), 0);
+    }
+
+    #[test]
+    fn tlb_misses_charge_page_walks() {
+        let mut m = SimMachine::new(MachineConfig {
+            tlb_entries: 2,
+            ..MachineConfig::single_socket(1)
+        });
+        let r = m.alloc("adj", 1 << 20, Placement::Fixed(0));
+        // Touch 8 distinct pages with a 2-entry TLB: every touch misses,
+        // each charging one 8-byte PTE read.
+        for p in 0..8u64 {
+            m.read(0, r, p * 4096, 4);
+        }
+        let walks = m.ledger().total(None, None, Some(Channel::PageWalk), None);
+        assert_eq!(walks, 8 * 8);
+        m.reset_ledger();
+        // Re-touching the last page hits the TLB.
+        m.read(0, r, 7 * 4096, 8);
+        assert_eq!(m.ledger().total(None, None, Some(Channel::PageWalk), None), 0);
+    }
+
+    #[test]
+    fn reset_caches_makes_reads_cold_again() {
+        let mut m = tiny_machine(1);
+        let r = m.alloc("a", 4096, Placement::Fixed(0));
+        m.read(0, r, 0, 4);
+        m.reset_caches();
+        m.reset_ledger();
+        m.read(0, r, 0, 4);
+        assert_eq!(m.ledger().total(None, None, Some(Channel::DramRead), None), 64);
+    }
+
+    #[test]
+    fn phase_tags_flow_to_ledger() {
+        let mut m = tiny_machine(1);
+        let r = m.alloc("a", 4096, Placement::Fixed(0));
+        m.set_phase(Phase::PhaseOne);
+        m.read(0, r, 0, 4);
+        m.set_phase(Phase::PhaseTwo);
+        m.read(0, r, 64, 4);
+        let l = m.ledger();
+        assert_eq!(l.total(Some(Phase::PhaseOne), None, Some(Channel::DramRead), None), 64);
+        assert_eq!(l.total(Some(Phase::PhaseTwo), None, Some(Channel::DramRead), None), 64);
+    }
+
+    #[test]
+    fn zero_length_access_is_a_no_op() {
+        let mut m = tiny_machine(1);
+        let r = m.alloc("a", 4096, Placement::Fixed(0));
+        m.read(0, r, 0, 0);
+        assert_eq!(m.ledger().total(None, None, None, None), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "core")]
+    fn rejects_core_out_of_range() {
+        let mut m = tiny_machine(1);
+        let r = m.alloc("a", 4096, Placement::Fixed(0));
+        m.read(99, r, 0, 4);
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut m = SimMachine::new(MachineConfig::single_socket(1));
+        let r = m.alloc("a", 1 << 16, Placement::Fixed(0));
+        m.read(0, r, 0, 4); // cold: L2 miss, LLC miss, TLB miss
+        let s = m.stats();
+        assert_eq!(s.l2_misses, 1);
+        assert_eq!(s.llc_misses, 1);
+        assert_eq!(s.tlb_misses, 1);
+        m.read(0, r, 0, 4); // warm: all hits
+        let s = m.stats();
+        assert_eq!(s.l2_hits, 1);
+        assert_eq!(s.tlb_hits, 1);
+        assert!(s.l2_hit_rate() > 0.49 && s.l2_hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut m = SimMachine::new(MachineConfig::single_socket(1));
+        let r = m.alloc("a", 4096, Placement::Fixed(0));
+        m.read(0, r, 0, 4);
+        m.reset_stats();
+        assert_eq!(m.stats(), CacheStats::default());
+        assert_eq!(m.stats().tlb_hit_rate(), 1.0); // vacuous
+    }
+
+    #[test]
+    fn llc_hit_rate_counts_only_l2_misses() {
+        let mut m = SimMachine::new(MachineConfig {
+            l2_bytes: 128, // 2 lines
+            l2_assoc: 1,
+            ..MachineConfig::single_socket(1)
+        });
+        let r = m.alloc("a", 1 << 16, Placement::Fixed(0));
+        // Touch 8 lines (fills LLC), then re-touch: L2 too small, LLC holds.
+        for i in 0..8u64 {
+            m.read(0, r, i * 64, 4);
+        }
+        m.reset_stats();
+        for i in 0..8u64 {
+            m.read(0, r, i * 64, 4);
+        }
+        let s = m.stats();
+        assert!(s.llc_hits >= 6, "warm lines should hit LLC: {s:?}");
+        assert_eq!(s.llc_misses, 0);
+    }
+}

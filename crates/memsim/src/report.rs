@@ -1,0 +1,241 @@
+//! Conversion of ledger byte counts into cycles — the simulator's analogue
+//! of the paper's "measured cycles per traversed edge" (Figure 8).
+//!
+//! The paper's model adds up the time each channel takes on the bottleneck
+//! socket (Appendix B: "we need to add up the times"); this module applies
+//! the same arithmetic to simulated traffic, using the Table I achievable
+//! bandwidths, so model and "measurement" are compared on equal footing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::RegionId;
+use crate::ledger::{Channel, Phase, TrafficLedger};
+
+/// Achievable bandwidths (Table I) plus core frequency.
+/// All bandwidths are *per socket* except QPI, which is per link direction.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthSpec {
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Achievable DDR bandwidth per socket, GB/s (`B_M`).
+    pub dram_gbps: f64,
+    /// Peak DDR bandwidth per socket, GB/s (`B_Mmax`).
+    pub dram_peak_gbps: f64,
+    /// Read bandwidth LLC → L2 per socket, GB/s.
+    pub llc_to_l2_gbps: f64,
+    /// Write bandwidth L2 → LLC per socket, GB/s.
+    pub l2_to_llc_gbps: f64,
+    /// QPI bandwidth per direction, GB/s.
+    pub qpi_gbps: f64,
+}
+
+impl BandwidthSpec {
+    /// Table I of the paper (dual-socket Xeon X5570): 2.93 GHz cores,
+    /// 22 GB/s achievable DDR per socket (32 peak), 85 GB/s LLC→L2,
+    /// 26 GB/s L2→LLC, 11 GB/s QPI per direction.
+    pub fn xeon_x5570() -> Self {
+        Self {
+            freq_ghz: 2.93,
+            dram_gbps: 22.0,
+            dram_peak_gbps: 32.0,
+            llc_to_l2_gbps: 85.0,
+            l2_to_llc_gbps: 26.0,
+            qpi_gbps: 11.0,
+        }
+    }
+
+    /// Cycles to move `bytes` at `gbps`: `bytes / (GB/s) = ns`, times GHz.
+    pub fn cycles_for(&self, bytes: u64, gbps: f64) -> f64 {
+        assert!(gbps > 0.0);
+        bytes as f64 / gbps * self.freq_ghz
+    }
+}
+
+/// Per-channel cycle decomposition for one phase (or the whole run).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    pub dram: f64,
+    pub qpi: f64,
+    pub llc_to_l2: f64,
+    pub l2_to_llc: f64,
+    pub page_walk: f64,
+}
+
+impl CycleBreakdown {
+    /// Total cycles. DRAM and QPI legs overlap in time for remote accesses
+    /// (the same bytes are read from the home DRAM *while* crossing the
+    /// link), so — like the reciprocal-sum composition of eqn IV.3 — the
+    /// slower of the two governs; the cache-interface legs are additive, as
+    /// in eqn IV.2.
+    pub fn total(&self) -> f64 {
+        self.dram.max(self.qpi) + self.llc_to_l2 + self.l2_to_llc + self.page_walk
+    }
+}
+
+/// A snapshot of a ledger with the machinery to express the paper's metrics.
+#[derive(Clone, Debug)]
+pub struct TrafficReport<'a> {
+    ledger: &'a TrafficLedger,
+}
+
+impl<'a> TrafficReport<'a> {
+    /// Wraps a ledger.
+    pub fn new(ledger: &'a TrafficLedger) -> Self {
+        Self { ledger }
+    }
+
+    /// Total bytes on `channel` (optionally restricted to a phase/region).
+    pub fn bytes(&self, phase: Option<Phase>, channel: Channel, region: Option<RegionId>) -> u64 {
+        self.ledger.total(phase, None, Some(channel), region)
+    }
+
+    /// Bytes per traversed edge for a channel, the unit of Eqns IV.1a–d.
+    pub fn bytes_per_edge(&self, phase: Option<Phase>, channel: Channel, edges: u64) -> f64 {
+        assert!(edges > 0, "edge count must be positive");
+        self.bytes(phase, channel, None) as f64 / edges as f64
+    }
+
+    /// DDR traffic per edge (read + write + page walks), the paper's
+    /// `DT_M` quantity.
+    pub fn ddr_bytes_per_edge(&self, phase: Option<Phase>, edges: u64) -> f64 {
+        self.bytes_per_edge(phase, Channel::DramRead, edges)
+            + self.bytes_per_edge(phase, Channel::DramWrite, edges)
+            + self.bytes_per_edge(phase, Channel::PageWalk, edges)
+    }
+
+    /// Cycle decomposition for `phase` (None = whole run). Each channel is
+    /// charged at its bottleneck socket against per-socket bandwidth, then
+    /// the channels are summed (Appendix B/C arithmetic).
+    pub fn cycles(&self, phase: Option<Phase>, bw: &BandwidthSpec) -> CycleBreakdown {
+        let max = |c: Channel| self.max_socket_bytes(phase, c);
+        CycleBreakdown {
+            dram: bw.cycles_for(
+                max(Channel::DramRead) + max(Channel::DramWrite),
+                bw.dram_gbps,
+            ),
+            qpi: bw.cycles_for(
+                max(Channel::Qpi) + max(Channel::QpiMigration),
+                bw.qpi_gbps,
+            ),
+            llc_to_l2: bw.cycles_for(max(Channel::LlcToL2), bw.llc_to_l2_gbps),
+            l2_to_llc: bw.cycles_for(max(Channel::L2ToLlc), bw.l2_to_llc_gbps),
+            page_walk: bw.cycles_for(max(Channel::PageWalk), bw.dram_gbps),
+        }
+    }
+
+    /// Cycles per traversed edge for `phase`.
+    pub fn cycles_per_edge(&self, phase: Option<Phase>, bw: &BandwidthSpec, edges: u64) -> f64 {
+        assert!(edges > 0);
+        self.cycles(phase, bw).total() / edges as f64
+    }
+
+    /// Traversal rate in millions of edges per second implied by the cycle
+    /// count: `edges / (cycles / freq)`.
+    pub fn mteps(&self, bw: &BandwidthSpec, edges: u64) -> f64 {
+        let cycles = self.cycles(None, bw).total();
+        if cycles == 0.0 {
+            return f64::INFINITY;
+        }
+        let seconds = cycles / (bw.freq_ghz * 1e9);
+        edges as f64 / seconds / 1e6
+    }
+
+    fn max_socket_bytes(&self, phase: Option<Phase>, channel: Channel) -> u64 {
+        self.ledger.max_socket_bytes(phase, channel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: RegionId = RegionId(0);
+
+    fn spec() -> BandwidthSpec {
+        BandwidthSpec::xeon_x5570()
+    }
+
+    #[test]
+    fn table_one_constants() {
+        let s = spec();
+        assert_eq!(s.freq_ghz, 2.93);
+        assert_eq!(s.dram_gbps, 22.0);
+        assert_eq!(s.qpi_gbps, 11.0);
+    }
+
+    #[test]
+    fn cycles_for_matches_hand_math() {
+        let s = spec();
+        // 22 GB at 22 GB/s = 1 s = 2.93e9 cycles.
+        let c = s.cycles_for(22_000_000_000, 22.0);
+        assert!((c - 2.93e9).abs() / 2.93e9 < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_sums_channels() {
+        let mut l = TrafficLedger::new();
+        l.charge(0, Channel::DramRead, R, 2200); // 100ns -> 293 cycles
+        l.charge(0, Channel::Qpi, R, 1100); // 100ns -> 293 cycles
+        let r = TrafficReport::new(&l);
+        let b = r.cycles(None, &spec());
+        assert!((b.dram - 293.0).abs() < 1e-9);
+        assert!((b.qpi - 293.0).abs() < 1e-9);
+        // DRAM and QPI overlap: the max governs.
+        assert!((b.total() - 293.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_socket_governs() {
+        let mut l = TrafficLedger::new();
+        l.charge(0, Channel::DramRead, R, 100);
+        l.charge(1, Channel::DramRead, R, 500);
+        let r = TrafficReport::new(&l);
+        let b = r.cycles(None, &spec());
+        assert!((b.dram - spec().cycles_for(500, 22.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_per_edge_division() {
+        let mut l = TrafficLedger::new();
+        l.charge(0, Channel::DramRead, R, 640);
+        let r = TrafficReport::new(&l);
+        assert!((r.bytes_per_edge(None, Channel::DramRead, 10) - 64.0).abs() < 1e-12);
+        assert!((r.ddr_bytes_per_edge(None, 10) - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mteps_round_trip() {
+        let mut l = TrafficLedger::new();
+        // 22 GB of DRAM traffic = 1 second at 22 GB/s; 1e6 edges → 1 edge/µs
+        // → 1 MTEPS.
+        l.charge(0, Channel::DramRead, R, 22_000_000_000);
+        let r = TrafficReport::new(&l);
+        assert!((r.mteps(&spec(), 1_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ledger_is_infinite_mteps() {
+        let l = TrafficLedger::new();
+        assert!(TrafficReport::new(&l).mteps(&spec(), 100).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "edge count")]
+    fn rejects_zero_edges() {
+        let l = TrafficLedger::new();
+        TrafficReport::new(&l).bytes_per_edge(None, Channel::DramRead, 0);
+    }
+
+    #[test]
+    fn phase_filter_separates() {
+        let mut l = TrafficLedger::new();
+        l.set_phase(Phase::PhaseOne);
+        l.charge(0, Channel::DramRead, R, 100);
+        l.set_phase(Phase::PhaseTwo);
+        l.charge(0, Channel::DramRead, R, 900);
+        let r = TrafficReport::new(&l);
+        assert_eq!(r.bytes(Some(Phase::PhaseOne), Channel::DramRead, None), 100);
+        assert_eq!(r.bytes(Some(Phase::PhaseTwo), Channel::DramRead, None), 900);
+        assert_eq!(r.bytes(None, Channel::DramRead, None), 1000);
+    }
+}

@@ -1,0 +1,270 @@
+//! Appendix C in full: per-structure effective bandwidths and the detailed
+//! multi-socket composition.
+//!
+//! §IV defines four access-skew parameters — `α_Adj`, `α_BVC`, `α_PBVt`,
+//! `α_DP` — and the appendix derives the effective bandwidth for `Adj`
+//! (eqn IV.3), noting "Similar exp. can be derived for BV_t^C, BV_t^N,
+//! PBV_t and DP". This module provides those expressions, decomposes the
+//! eqn IV.1a/IV.1b traffic by data structure, and composes a multi-socket
+//! run time in which every structure is charged at its own effective
+//! bandwidth — the fully-spelled-out version of what
+//! [`crate::runtime::multi_socket_cycles`] approximates with a single α.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::MachineSpec;
+use crate::params::GraphParams;
+use crate::runtime::{effective_bandwidth_balanced, vis_bandwidth, PhaseCycles};
+
+/// Which data structure an access stream targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Structure {
+    /// The adjacency array (striped by `|V_NS|`).
+    Adj,
+    /// Current/next boundary-vertex arrays (thread-local).
+    Bv,
+    /// PBV bins (thread-local, but read cross-socket by the balanced split).
+    Pbv,
+    /// The depth+parent array (striped).
+    Dp,
+    /// The visited filter (striped, cache-resident).
+    Vis,
+}
+
+/// The four skew parameters of §IV (max fraction of accesses served from
+/// any one socket's memory), with the paper's measured R-MAT values as a
+/// constructor.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AccessSkew {
+    pub alpha_adj: f64,
+    pub alpha_bv: f64,
+    pub alpha_pbv: f64,
+    pub alpha_dp: f64,
+}
+
+impl AccessSkew {
+    /// Uniform access (UR graphs): every α = 1/N_S.
+    pub fn uniform(sockets: usize) -> Self {
+        let a = 1.0 / sockets as f64;
+        Self {
+            alpha_adj: a,
+            alpha_bv: a,
+            alpha_pbv: a,
+            alpha_dp: a,
+        }
+    }
+
+    /// The paper's measured R-MAT skew: "an average of 60% of the enqueued
+    /// vertices are assigned to one socket (α_Adj = 0.6)"; the same skew
+    /// propagates to the structures keyed by vertex id.
+    pub fn rmat_paper(sockets: usize) -> Self {
+        let a = (0.6f64).max(1.0 / sockets as f64);
+        Self {
+            alpha_adj: a,
+            alpha_bv: a,
+            alpha_pbv: a,
+            alpha_dp: a,
+        }
+    }
+
+    /// The stress case: everything on one socket per step.
+    pub fn stress() -> Self {
+        Self {
+            alpha_adj: 1.0,
+            alpha_bv: 1.0,
+            alpha_pbv: 1.0,
+            alpha_dp: 1.0,
+        }
+    }
+
+    fn for_structure(&self, s: Structure) -> f64 {
+        match s {
+            Structure::Adj => self.alpha_adj,
+            Structure::Bv => self.alpha_bv,
+            Structure::Pbv => self.alpha_pbv,
+            Structure::Dp | Structure::Vis => self.alpha_dp,
+        }
+    }
+}
+
+/// Effective bandwidth (GB/s) for one structure under the load-balanced
+/// scheme: eqn IV.3 for the DRAM-resident structures, eqn IV.4 for the
+/// cache-resident VIS (which is expressed per edge, so callers use
+/// [`vis_cycles_per_edge`] instead of dividing bytes by it directly).
+pub fn structure_bandwidth(
+    machine: &MachineSpec,
+    structure: Structure,
+    skew: &AccessSkew,
+    rho_prime: f64,
+) -> f64 {
+    match structure {
+        Structure::Vis => vis_bandwidth(machine, rho_prime),
+        s => effective_bandwidth_balanced(machine, skew.for_structure(s).max(1.0 / machine.sockets as f64)),
+    }
+}
+
+/// Per-structure DDR bytes per traversed edge, decomposed from the
+/// Appendix A derivation:
+///
+/// * Phase I — `Adj`: `4 + 2L/ρ′` (neighbor stream + pointer line);
+///   `BV`: `4/ρ′`; `PBV` writes: `8 + 8·N_PBV/ρ′`.
+/// * Phase II — `PBV` reads: `4 + 4·N_PBV/ρ′`; VIS sweep:
+///   `(|V|/|V′|)·D/(8ρ′)`; `DP`: `2L/ρ′`; `BV` writes: `8/ρ′`.
+/// * Rearrangement — `BV`: `24/ρ′`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StructureTraffic {
+    pub phase1_adj: f64,
+    pub phase1_bv: f64,
+    pub phase1_pbv: f64,
+    pub phase2_pbv: f64,
+    pub phase2_vis_sweep: f64,
+    pub phase2_dp: f64,
+    pub phase2_bv: f64,
+    pub rearrange_bv: f64,
+}
+
+impl StructureTraffic {
+    /// Phase-I total (must equal eqn IV.1a).
+    pub fn phase1_total(&self) -> f64 {
+        self.phase1_adj + self.phase1_bv + self.phase1_pbv
+    }
+
+    /// Phase-II DDR total (must equal eqn IV.1b).
+    pub fn phase2_total(&self) -> f64 {
+        self.phase2_pbv + self.phase2_vis_sweep + self.phase2_dp + self.phase2_bv
+    }
+}
+
+/// Decomposes the model traffic by structure.
+pub fn structure_traffic(machine: &MachineSpec, g: &GraphParams) -> StructureTraffic {
+    let rho = g.rho_prime();
+    let l = machine.cache_line as f64;
+    let n_pbv = machine.n_pbv(g.num_vertices) as f64;
+    let v_ratio = g.num_vertices as f64 / g.visited_vertices as f64;
+    StructureTraffic {
+        phase1_adj: 4.0 + 2.0 * l / rho,
+        phase1_bv: 4.0 / rho,
+        phase1_pbv: 8.0 + 8.0 * n_pbv / rho,
+        phase2_pbv: 4.0 + 4.0 * n_pbv / rho,
+        phase2_vis_sweep: v_ratio * g.depth as f64 / (8.0 * rho),
+        phase2_dp: 2.0 * l / rho,
+        phase2_bv: 8.0 / rho,
+        rearrange_bv: 24.0 / rho,
+    }
+}
+
+/// VIS LLC-side cycles per edge on `N_S` sockets (the eqn IV.1c traffic at
+/// the eqn IV.4-style scaled interfaces).
+pub fn vis_cycles_per_edge(machine: &MachineSpec, g: &GraphParams) -> f64 {
+    let ns = machine.sockets as f64;
+    let rho = g.rho_prime();
+    let l = machine.cache_line as f64;
+    let vis = MachineSpec::vis_bytes(g.num_vertices) as f64;
+    let n_vis = machine.n_vis(g.num_vertices) as f64;
+    let partition = vis / n_vis;
+    let miss = (1.0 - ns * machine.l2_bytes as f64 / partition).clamp(0.0, 1.0);
+    miss * (machine.cycles_per_edge(l / rho, ns * machine.bw_l2_to_llc)
+        + machine.cycles_per_edge(l, ns * machine.bw_llc_to_l2))
+}
+
+/// The fully-decomposed multi-socket prediction: every structure charged at
+/// its own effective bandwidth, VIS at the eqn IV.4-style LLC interfaces,
+/// rearrangement thread-local.
+pub fn multi_socket_cycles_detailed(
+    machine: &MachineSpec,
+    g: &GraphParams,
+    skew: &AccessSkew,
+) -> PhaseCycles {
+    g.validate();
+    machine.validate();
+    let rho = g.rho_prime();
+    let t = structure_traffic(machine, g);
+    let bw = |s: Structure| structure_bandwidth(machine, s, skew, rho);
+    let ns = machine.sockets as f64;
+    let cyc = |bytes: f64, gbps: f64| machine.freq_ghz / gbps * bytes;
+    PhaseCycles {
+        phase1: cyc(t.phase1_adj, bw(Structure::Adj))
+            + cyc(t.phase1_bv, ns * machine.bw_dram) // thread-local writes
+            + cyc(t.phase1_pbv, ns * machine.bw_dram),
+        phase2: cyc(t.phase2_pbv, bw(Structure::Pbv))
+            + cyc(t.phase2_vis_sweep, ns * machine.bw_dram)
+            + cyc(t.phase2_dp, bw(Structure::Dp))
+            + cyc(t.phase2_bv, ns * machine.bw_dram)
+            + vis_cycles_per_edge(machine, g),
+        rearrange: cyc(t.rearrange_bv, ns * machine.bw_dram),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::multi_socket_cycles;
+    use crate::traffic;
+
+    fn machine() -> MachineSpec {
+        MachineSpec::xeon_x5570_2s()
+    }
+
+    #[test]
+    fn decomposition_sums_to_the_published_equations() {
+        let g = GraphParams::paper_rmat_8m_deg8();
+        let t = structure_traffic(&machine(), &g);
+        assert!((t.phase1_total() - traffic::phase1_ddr(&machine(), &g)).abs() < 1e-9);
+        assert!((t.phase2_total() - traffic::phase2_ddr(&machine(), &g)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detailed_model_tracks_the_single_alpha_model() {
+        // With every α equal, the detailed composition should land near the
+        // aggregate one (it charges local structures at full bandwidth, so
+        // it sits slightly below).
+        let g = GraphParams::paper_rmat_8m_deg8();
+        let skew = AccessSkew::rmat_paper(2);
+        let detailed = multi_socket_cycles_detailed(&machine(), &g, &skew).total();
+        let aggregate = multi_socket_cycles(&machine(), &g, 0.6).total();
+        let ratio = detailed / aggregate;
+        assert!(
+            (0.7..1.2).contains(&ratio),
+            "detailed {detailed:.2} vs aggregate {aggregate:.2}"
+        );
+    }
+
+    #[test]
+    fn uniform_skew_is_fastest() {
+        let g = GraphParams::uniform_ideal(16 << 20, 8, 10);
+        let m = machine();
+        let uni = multi_socket_cycles_detailed(&m, &g, &AccessSkew::uniform(2)).total();
+        let rmat = multi_socket_cycles_detailed(&m, &g, &AccessSkew::rmat_paper(2)).total();
+        let stress = multi_socket_cycles_detailed(&m, &g, &AccessSkew::stress()).total();
+        assert!(uni <= rmat + 1e-12);
+        assert!(rmat <= stress + 1e-12);
+    }
+
+    #[test]
+    fn per_structure_bandwidths_are_ordered_sensibly() {
+        let m = machine();
+        let skew = AccessSkew {
+            alpha_adj: 0.9,
+            alpha_bv: 0.5,
+            alpha_pbv: 0.5,
+            alpha_dp: 0.6,
+        };
+        let badj = structure_bandwidth(&m, Structure::Adj, &skew, 16.0);
+        let bbv = structure_bandwidth(&m, Structure::Bv, &skew, 16.0);
+        assert!(badj < bbv, "more skew → less bandwidth");
+        // VIS bandwidth grows with degree.
+        let v8 = structure_bandwidth(&m, Structure::Vis, &skew, 8.0);
+        let v64 = structure_bandwidth(&m, Structure::Vis, &skew, 64.0);
+        assert!(v64 > v8);
+    }
+
+    #[test]
+    fn skew_constructors() {
+        let u = AccessSkew::uniform(4);
+        assert!((u.alpha_adj - 0.25).abs() < 1e-12);
+        let r = AccessSkew::rmat_paper(2);
+        assert!((r.alpha_dp - 0.6).abs() < 1e-12);
+        let s = AccessSkew::stress();
+        assert_eq!(s.alpha_adj, 1.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! The analytical performance model of §IV.
+//!
+//! The paper's model predicts, from graph shape and machine constants alone,
+//! the bytes moved per traversed edge in each phase of the two-phase BFS
+//! (eqns IV.1a–IV.1d), the single-socket execution time in cycles per edge
+//! (IV.2), and the effective bandwidths — and hence run time — on multiple
+//! sockets (IV.3, IV.4). §V-C/Appendix D validate it against measurements to
+//! within 5–10%; this crate reproduces the arithmetic exactly and carries the
+//! paper's worked example (R-MAT, |V| = 8M, degree 8) as unit tests.
+//!
+//! Layout:
+//! * [`machine::MachineSpec`] — Table I constants plus cache geometry, and
+//!   the `N_VIS` / `N_PBV` sizing rules of §III-A and §III-C(1).
+//! * [`params::GraphParams`] — the traversal-shape inputs |V|, |V′|, |E′|, D.
+//! * [`traffic`] — eqns IV.1a–IV.1d (bytes per traversed edge).
+//! * [`runtime`] — eqn IV.2 (single socket) and the Appendix C/D multi-socket
+//!   composition, with eqns IV.3 and IV.4 for effective bandwidths.
+//! * [`appendix`] — the Appendix C per-structure effective bandwidths and
+//!   the fully-decomposed multi-socket composition.
+//! * [`predict()`] — one-call end-to-end predictions used by the figure
+//!   harnesses.
+
+pub mod appendix;
+pub mod machine;
+pub mod params;
+pub mod predict;
+pub mod runtime;
+pub mod traffic;
+
+pub use machine::MachineSpec;
+pub use params::GraphParams;
+pub use predict::{predict, PhaseCycles, Prediction};

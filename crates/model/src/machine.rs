@@ -1,0 +1,167 @@
+//! Machine constants (Table I) and the structure-sizing rules.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything the model needs to know about the machine: Table I bandwidths
+/// plus the cache geometry of §V. All bandwidths are per socket except QPI
+/// (per link direction), following the paper's "2 ×" convention.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Number of sockets, `N_S`.
+    pub sockets: usize,
+    /// Core frequency in GHz (`Freq`).
+    pub freq_ghz: f64,
+    /// Achievable DDR bandwidth per socket in GB/s (`B_M`).
+    pub bw_dram: f64,
+    /// Peak DDR bandwidth per socket in GB/s (`B_Mmax`).
+    pub bw_dram_peak: f64,
+    /// Read bandwidth LLC → L2 per socket in GB/s (`B_LLC→L2`).
+    pub bw_llc_to_l2: f64,
+    /// Write bandwidth L2 → LLC per socket in GB/s (`B_L2→LLC`).
+    pub bw_l2_to_llc: f64,
+    /// QPI bandwidth per direction in GB/s (`B_QPI`).
+    pub bw_qpi: f64,
+    /// Cache line size in bytes (`L`).
+    pub cache_line: u64,
+    /// Per-core private L2 in bytes (`|L2|`).
+    pub l2_bytes: u64,
+    /// Per-socket LLC in bytes (`|C|`).
+    pub llc_bytes: u64,
+}
+
+impl MachineSpec {
+    /// Table I: the dual-socket Intel Xeon X5570.
+    pub fn xeon_x5570_2s() -> Self {
+        Self {
+            sockets: 2,
+            freq_ghz: 2.93,
+            bw_dram: 22.0,
+            bw_dram_peak: 32.0,
+            bw_llc_to_l2: 85.0,
+            bw_l2_to_llc: 26.0,
+            bw_qpi: 11.0,
+            cache_line: 64,
+            l2_bytes: 256 << 10,
+            llc_bytes: 8 << 20,
+        }
+    }
+
+    /// Same machine restricted to one socket.
+    pub fn xeon_x5570_1s() -> Self {
+        Self {
+            sockets: 1,
+            ..Self::xeon_x5570_2s()
+        }
+    }
+
+    /// A hypothetical 4-socket Nehalem-EX-style machine (the paper's model
+    /// "predicts that we will scale by another 1.8X on a 4-socket
+    /// Nehalem-EX system").
+    pub fn nehalem_ex_4s() -> Self {
+        Self {
+            sockets: 4,
+            ..Self::xeon_x5570_2s()
+        }
+    }
+
+    /// `|VIS|` in bytes for a graph with `num_vertices` vertices: one bit per
+    /// vertex (§III-A).
+    pub fn vis_bytes(num_vertices: u64) -> u64 {
+        num_vertices.div_ceil(8)
+    }
+
+    /// `N_VIS = max(1, ceil(|V| / (4·|C|)))` — the number of VIS partitions
+    /// needed so each partition occupies at most half the LLC (§III-A; the
+    /// bit array holds 8 vertices per byte, hence the 4 in the denominator:
+    /// `|VIS|/N_VIS = |V|/(8·N_VIS) ≤ |C|/2`).
+    pub fn n_vis(&self, num_vertices: u64) -> u64 {
+        num_vertices.div_ceil(4 * self.llc_bytes).max(1)
+    }
+
+    /// `N_PBV = N_S · N_VIS` (§III-B3).
+    pub fn n_pbv(&self, num_vertices: u64) -> u64 {
+        self.sockets as u64 * self.n_vis(num_vertices)
+    }
+
+    /// Cycles to move `bytes_per_edge` bytes at `gbps`, per edge:
+    /// `Freq / B × bytes` with GB/s ≡ bytes/ns.
+    pub fn cycles_per_edge(&self, bytes_per_edge: f64, gbps: f64) -> f64 {
+        assert!(gbps > 0.0);
+        self.freq_ghz / gbps * bytes_per_edge
+    }
+
+    /// Validates physical sanity.
+    pub fn validate(&self) {
+        assert!(self.sockets >= 1);
+        assert!(self.freq_ghz > 0.0);
+        assert!(self.bw_dram > 0.0 && self.bw_dram_peak >= self.bw_dram);
+        assert!(self.bw_llc_to_l2 > 0.0 && self.bw_l2_to_llc > 0.0 && self.bw_qpi > 0.0);
+        assert!(self.cache_line.is_power_of_two());
+        assert!(self.l2_bytes > 0 && self.llc_bytes > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_values() {
+        let m = MachineSpec::xeon_x5570_2s();
+        m.validate();
+        assert_eq!(m.sockets, 2);
+        assert_eq!(m.freq_ghz, 2.93);
+        assert_eq!(m.bw_dram, 22.0);
+        assert_eq!(m.bw_qpi, 11.0);
+        assert_eq!(m.llc_bytes, 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn vis_sizing_examples_from_the_paper() {
+        // §III-A example: |V| = 256M, |C| = 16 MB (two sockets' LLCs pooled
+        // in the example) → |VIS| = 32 MB, N_VIS = 4.
+        assert_eq!(MachineSpec::vis_bytes(256 << 20), 32 << 20);
+        let m = MachineSpec {
+            llc_bytes: 16 << 20,
+            ..MachineSpec::xeon_x5570_2s()
+        };
+        assert_eq!(m.n_vis(256 << 20), 4);
+    }
+
+    #[test]
+    fn n_vis_is_one_for_small_graphs() {
+        let m = MachineSpec::xeon_x5570_2s();
+        // §V-C example: |V| = 8M → N_VIS = 1 on the 8 MB LLC.
+        assert_eq!(m.n_vis(8 << 20), 1);
+        assert_eq!(m.n_pbv(8 << 20), 2);
+    }
+
+    #[test]
+    fn n_vis_partition_fits_half_llc() {
+        let m = MachineSpec::xeon_x5570_2s();
+        for shift in 20..31u32 {
+            let v = 1u64 << shift;
+            let n_vis = m.n_vis(v);
+            let partition = MachineSpec::vis_bytes(v).div_ceil(n_vis);
+            assert!(
+                partition <= m.llc_bytes / 2,
+                "|V|=2^{shift}: partition {partition} exceeds half LLC"
+            );
+        }
+    }
+
+    #[test]
+    fn cycles_per_edge_math() {
+        let m = MachineSpec::xeon_x5570_2s();
+        // 22 bytes/edge at 22 GB/s = 1 ns/edge = 2.93 cycles/edge.
+        assert!((m.cycles_per_edge(22.0, 22.0) - 2.93).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vis_bytes_rounds_up() {
+        assert_eq!(MachineSpec::vis_bytes(1), 1);
+        assert_eq!(MachineSpec::vis_bytes(8), 1);
+        assert_eq!(MachineSpec::vis_bytes(9), 2);
+        assert_eq!(MachineSpec::vis_bytes(0), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Traversal-shape inputs to the model (§IV notation).
+
+use serde::{Deserialize, Serialize};
+
+/// The graph-dependent quantities of the model: |V| (total vertices), |V′|
+/// (vertices assigned a depth), |E′| (traversed edges), and the BFS depth D.
+/// ρ′ = |E′|/|V′| is derived.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GraphParams {
+    /// Total vertices in the graph, `|V|`.
+    pub num_vertices: u64,
+    /// Vertices assigned a depth during the traversal, `|V′|`.
+    pub visited_vertices: u64,
+    /// Traversed edges, `|E′|` (sum of degrees over visited vertices).
+    pub traversed_edges: u64,
+    /// BFS depth `D` (number of levels below the root).
+    pub depth: u32,
+}
+
+impl GraphParams {
+    /// `ρ′ = |E′| / |V′|`.
+    pub fn rho_prime(&self) -> f64 {
+        assert!(self.visited_vertices > 0, "no visited vertices");
+        self.traversed_edges as f64 / self.visited_vertices as f64
+    }
+
+    /// The §V-C worked example: R-MAT with |V| = 8M and degree 8, for which
+    /// "|V′| = 4M, |E′| = 61.2M, hence ρ′ is 15.3" and D = 6.
+    ///
+    /// The paper mixes conventions: ρ′ = 15.3 uses decimal millions
+    /// (61.2e6 / 4e6) while "|VIS| = 8M bits, factor (1 − 1/4)" uses binary
+    /// mebi (2²³ bits = 1 MiB against a 256 KiB L2). This constructor keeps
+    /// both quoted numbers exact: binary |V|, decimal |V′| and |E′|.
+    pub fn paper_rmat_8m_deg8() -> Self {
+        Self {
+            num_vertices: 8 << 20,
+            visited_vertices: 4_000_000,
+            traversed_edges: 61_200_000,
+            depth: 6,
+        }
+    }
+
+    /// An idealized uniformly-random graph where every vertex is reached and
+    /// every edge traversed: |V′| = |V|, |E′| = |V|·2·degree (undirected
+    /// doubling), with the given depth.
+    pub fn uniform_ideal(num_vertices: u64, degree: u32, depth: u32) -> Self {
+        Self {
+            num_vertices,
+            visited_vertices: num_vertices,
+            traversed_edges: num_vertices * 2 * degree as u64,
+            depth,
+        }
+    }
+
+    /// Basic sanity: |V′| ≤ |V|, at least one vertex visited.
+    pub fn validate(&self) {
+        assert!(self.visited_vertices > 0, "model needs |V'| > 0");
+        assert!(
+            self.visited_vertices <= self.num_vertices,
+            "|V'| cannot exceed |V|"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worked_example_rho() {
+        let p = GraphParams::paper_rmat_8m_deg8();
+        p.validate();
+        assert!((p.rho_prime() - 15.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_ideal_shape() {
+        let p = GraphParams::uniform_ideal(1000, 8, 5);
+        assert_eq!(p.traversed_edges, 16_000);
+        assert!((p.rho_prime() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn rejects_overfull_visited_set() {
+        GraphParams {
+            num_vertices: 10,
+            visited_vertices: 11,
+            traversed_edges: 0,
+            depth: 0,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,142 @@
+//! End-to-end predictions: the one-call API the figure harnesses use.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::MachineSpec;
+use crate::params::GraphParams;
+use crate::runtime::{self, PhaseCycles as RtPhaseCycles};
+use crate::traffic;
+
+/// Serializable per-phase cycles (mirror of [`runtime::PhaseCycles`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseCycles {
+    pub phase1: f64,
+    pub phase2: f64,
+    pub rearrange: f64,
+    pub total: f64,
+}
+
+impl From<RtPhaseCycles> for PhaseCycles {
+    fn from(c: RtPhaseCycles) -> Self {
+        Self {
+            phase1: c.phase1,
+            phase2: c.phase2,
+            rearrange: c.rearrange,
+            total: c.total(),
+        }
+    }
+}
+
+/// A full model prediction for one (machine, graph, skew) triple.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Bytes per traversed edge, eqns IV.1a / IV.1b / IV.1c / IV.1d.
+    pub phase1_ddr_bpe: f64,
+    pub phase2_ddr_bpe: f64,
+    pub phase2_llc_bpe: f64,
+    pub rearrange_bpe: f64,
+    /// Eqn IV.2 on one socket of the machine.
+    pub single_socket: PhaseCycles,
+    /// Appendix C/D composition on all sockets at access skew `alpha`.
+    pub multi_socket: PhaseCycles,
+    /// Million traversed edges per second on one socket.
+    pub mteps_single: f64,
+    /// Million traversed edges per second on all sockets.
+    pub mteps_multi: f64,
+    /// The skew used (`α_Adj`, max fraction of accesses from one socket).
+    pub alpha: f64,
+    /// Number of VIS partitions the machine requires for this graph.
+    pub n_vis: u64,
+    /// Number of PBV bins.
+    pub n_pbv: u64,
+}
+
+/// Runs the whole model. `alpha` is the access skew `α_Adj ∈ [1/N_S, 1]`
+/// (use `1/N_S` for uniformly random graphs, ≈0.6 for the paper's R-MAT
+/// parameters, 1.0 for the bipartite stress case).
+///
+/// # Example — the paper's §V-C worked example
+///
+/// ```
+/// use bfs_model::{predict, GraphParams, MachineSpec};
+///
+/// let p = predict(
+///     &MachineSpec::xeon_x5570_2s(),
+///     &GraphParams::paper_rmat_8m_deg8(),
+///     0.6,
+/// );
+/// assert!((p.phase1_ddr_bpe - 21.7).abs() < 0.05); // eqn IV.1a
+/// assert!((770.0..920.0).contains(&p.mteps_multi)); // paper: 844 predicted
+/// ```
+pub fn predict(machine: &MachineSpec, g: &GraphParams, alpha: f64) -> Prediction {
+    let t = traffic::phase_traffic(machine, g);
+    let single = runtime::single_socket_cycles(machine, g);
+    let multi = runtime::multi_socket_cycles(machine, g, alpha);
+    Prediction {
+        phase1_ddr_bpe: t.phase1_ddr,
+        phase2_ddr_bpe: t.phase2_ddr,
+        phase2_llc_bpe: t.phase2_llc,
+        rearrange_bpe: t.rearrange_ddr,
+        single_socket: single.into(),
+        multi_socket: multi.into(),
+        mteps_single: runtime::mteps(machine, single.total()),
+        mteps_multi: runtime::mteps(machine, multi.total()),
+        alpha,
+        n_vis: machine.n_vis(g.num_vertices),
+        n_pbv: machine.n_pbv(g.num_vertices),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worked_example_end_to_end() {
+        let p = predict(
+            &MachineSpec::xeon_x5570_2s(),
+            &GraphParams::paper_rmat_8m_deg8(),
+            0.6,
+        );
+        assert_eq!(p.n_vis, 1);
+        assert_eq!(p.n_pbv, 2);
+        assert!((p.phase1_ddr_bpe - 21.7).abs() < 0.05);
+        assert!((p.phase2_ddr_bpe - 13.54).abs() < 0.05);
+        assert!((p.phase2_llc_bpe - 51.1).abs() < 0.1);
+        assert!((p.rearrange_bpe - 1.6).abs() < 0.05);
+        assert!((770.0..920.0).contains(&p.mteps_multi), "{}", p.mteps_multi);
+        assert!(p.mteps_multi > p.mteps_single);
+    }
+
+    #[test]
+    fn prediction_serializes() {
+        let p = predict(
+            &MachineSpec::xeon_x5570_2s(),
+            &GraphParams::uniform_ideal(1 << 20, 8, 12),
+            0.5,
+        );
+        let s = serde_json::to_string(&p).unwrap();
+        let p2: Prediction = serde_json::from_str(&s).unwrap();
+        // serde_json's default float parse may be off by an ULP (the
+        // `float_roundtrip` feature trades speed for exactness); compare
+        // with a tolerance far below any quantity we report.
+        assert_eq!((p.n_vis, p.n_pbv), (p2.n_vis, p2.n_pbv));
+        for (a, b) in [
+            (p.phase1_ddr_bpe, p2.phase1_ddr_bpe),
+            (p.single_socket.total, p2.single_socket.total),
+            (p.multi_socket.total, p2.multi_socket.total),
+            (p.mteps_multi, p2.mteps_multi),
+        ] {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn higher_skew_never_speeds_things_up() {
+        let m = MachineSpec::xeon_x5570_2s();
+        let g = GraphParams::uniform_ideal(16 << 20, 8, 10);
+        let uniform = predict(&m, &g, 0.5);
+        let skewed = predict(&m, &g, 0.9);
+        assert!(skewed.multi_socket.total >= uniform.multi_socket.total);
+    }
+}

@@ -1,0 +1,177 @@
+//! Eqns IV.1a–IV.1d: bytes transferred per traversed edge.
+//!
+//! Derivations (Appendix A):
+//!
+//! * **Phase I** (IV.1a): reading `BV_t^C` (4 B/vertex), the adjacency
+//!   pointer line (L B/vertex), the neighbor lists (L(1 + 4ρ′/L) B/vertex),
+//!   and writing the `PBV` bins (8(N_PBV + ρ′) B/vertex — writes also bring
+//!   the line in for reading). Per edge:
+//!   `DT_M^I = 12 + (4 + 2L + 8·N_PBV) / ρ′`.
+//! * **Phase II DDR** (IV.1b): reading `PBV` back (4(N_PBV + ρ′)), one full
+//!   sweep of all VIS partitions per step (D·|VIS| total), the `DP` update
+//!   (2L per assigned vertex), and writing `BV_t^N` (8 B/vertex). Per edge:
+//!   `DT_M^II = 4 + (8 + 2L + 4·N_PBV + (|V|/|V′|)·D/8) / ρ′`.
+//! * **Phase II LLC** (IV.1c): VIS accesses are served from LLC (or a
+//!   remote L2) when the partition doesn't fit in the core's L2; an L2 hit
+//!   probability of `|L2| / (|VIS|/N_VIS)` scales it:
+//!   `DT_LLC^II = (1 − |L2|·N_VIS/|VIS|) · (L/ρ′ + L)`.
+//! * **Rearrangement** (IV.1d): histogram read (4), scatter to a temp array
+//!   (8, write-allocate), read back (4) and copy into `BV_t^N` (8) per
+//!   boundary vertex: `DT^R = 24/ρ′`.
+
+use crate::machine::MachineSpec;
+use crate::params::GraphParams;
+
+/// Bytes per traversed edge moved in each phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTraffic {
+    /// `DT_M^{Phase-I}` (IV.1a), DDR bytes/edge.
+    pub phase1_ddr: f64,
+    /// `DT_M^{Phase-II}` (IV.1b), DDR bytes/edge.
+    pub phase2_ddr: f64,
+    /// `DT_LLC^{Phase-II}` (IV.1c), LLC-internal bytes/edge.
+    pub phase2_llc: f64,
+    /// `DT_M^{Rearrange}` (IV.1d), DDR bytes/edge.
+    pub rearrange_ddr: f64,
+}
+
+impl PhaseTraffic {
+    /// Total DDR bytes per edge (excludes the LLC-internal VIS traffic).
+    pub fn total_ddr(&self) -> f64 {
+        self.phase1_ddr + self.phase2_ddr + self.rearrange_ddr
+    }
+}
+
+/// Eqn IV.1a.
+pub fn phase1_ddr(machine: &MachineSpec, g: &GraphParams) -> f64 {
+    let rho = g.rho_prime();
+    let l = machine.cache_line as f64;
+    let n_pbv = machine.n_pbv(g.num_vertices) as f64;
+    12.0 + (4.0 + 2.0 * l + 8.0 * n_pbv) / rho
+}
+
+/// Eqn IV.1b.
+pub fn phase2_ddr(machine: &MachineSpec, g: &GraphParams) -> f64 {
+    let rho = g.rho_prime();
+    let l = machine.cache_line as f64;
+    let n_pbv = machine.n_pbv(g.num_vertices) as f64;
+    let v_ratio = g.num_vertices as f64 / g.visited_vertices as f64;
+    4.0 + (8.0 + 2.0 * l + 4.0 * n_pbv + v_ratio * g.depth as f64 / 8.0) / rho
+}
+
+/// The `(1 − |L2| / (|VIS|/N_VIS))` factor of IV.1c — the probability that a
+/// VIS access misses the core-private L2 — clamped to `[0, 1]` (for small
+/// graphs the partition fits entirely in L2 and the traffic vanishes).
+pub fn vis_l2_miss_factor(machine: &MachineSpec, g: &GraphParams) -> f64 {
+    let vis = MachineSpec::vis_bytes(g.num_vertices) as f64;
+    let n_vis = machine.n_vis(g.num_vertices) as f64;
+    let partition = vis / n_vis;
+    (1.0 - machine.l2_bytes as f64 / partition).clamp(0.0, 1.0)
+}
+
+/// Eqn IV.1c.
+pub fn phase2_llc(machine: &MachineSpec, g: &GraphParams) -> f64 {
+    let rho = g.rho_prime();
+    let l = machine.cache_line as f64;
+    vis_l2_miss_factor(machine, g) * (l / rho + l)
+}
+
+/// Eqn IV.1d.
+pub fn rearrange_ddr(g: &GraphParams) -> f64 {
+    24.0 / g.rho_prime()
+}
+
+/// All four quantities at once.
+pub fn phase_traffic(machine: &MachineSpec, g: &GraphParams) -> PhaseTraffic {
+    g.validate();
+    machine.validate();
+    PhaseTraffic {
+        phase1_ddr: phase1_ddr(machine, g),
+        phase2_ddr: phase2_ddr(machine, g),
+        phase2_llc: phase2_llc(machine, g),
+        rearrange_ddr: rearrange_ddr(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worked_example() -> (MachineSpec, GraphParams) {
+        (
+            MachineSpec::xeon_x5570_2s(),
+            GraphParams::paper_rmat_8m_deg8(),
+        )
+    }
+
+    /// Appendix D: "Plugging in Phase-I results in 21.7 bytes/edge of DDR
+    /// traffic (Eqn. IV.1a)".
+    #[test]
+    fn phase1_matches_appendix_d() {
+        let (m, g) = worked_example();
+        assert!((phase1_ddr(&m, &g) - 21.7).abs() < 0.05);
+    }
+
+    /// Appendix D: "the Phase-II DDR traffic is 13.54 bytes/edge".
+    #[test]
+    fn phase2_matches_appendix_d() {
+        let (m, g) = worked_example();
+        assert!((phase2_ddr(&m, &g) - 13.54).abs() < 0.05);
+    }
+
+    /// Appendix D: "The LLC traffic for Phase-II is 51.1 bytes/edge".
+    #[test]
+    fn phase2_llc_matches_appendix_d() {
+        let (m, g) = worked_example();
+        assert!((phase2_llc(&m, &g) - 51.1).abs() < 0.1);
+        assert!((vis_l2_miss_factor(&m, &g) - 0.75).abs() < 1e-9);
+    }
+
+    /// Appendix D: "rearrangement only takes 1.6 bytes/edge".
+    #[test]
+    fn rearrange_matches_appendix_d() {
+        let (_, g) = worked_example();
+        assert!((rearrange_ddr(&g) - 1.57).abs() < 0.02);
+    }
+
+    #[test]
+    fn small_graph_vis_fits_in_l2_and_llc_traffic_vanishes() {
+        let m = MachineSpec::xeon_x5570_2s();
+        // 1M vertices → VIS = 128 KB < 256 KB L2.
+        let g = GraphParams::uniform_ideal(1 << 20, 8, 10);
+        assert_eq!(vis_l2_miss_factor(&m, &g), 0.0);
+        assert_eq!(phase2_llc(&m, &g), 0.0);
+    }
+
+    #[test]
+    fn traffic_decreases_with_degree() {
+        let m = MachineSpec::xeon_x5570_2s();
+        let lo = phase_traffic(&m, &GraphParams::uniform_ideal(16 << 20, 4, 10));
+        let hi = phase_traffic(&m, &GraphParams::uniform_ideal(16 << 20, 32, 10));
+        assert!(
+            hi.total_ddr() < lo.total_ddr(),
+            "per-edge DDR traffic must shrink as degree amortizes per-vertex costs"
+        );
+    }
+
+    #[test]
+    fn more_partitions_cost_more_binning_traffic() {
+        // Bigger graph → more N_PBV bins → more per-vertex bin traffic.
+        let m = MachineSpec::xeon_x5570_2s();
+        let small = GraphParams::uniform_ideal(16 << 20, 8, 10);
+        let big = GraphParams::uniform_ideal(256 << 20, 8, 10);
+        assert!(m.n_pbv(big.num_vertices) > m.n_pbv(small.num_vertices));
+        assert!(phase1_ddr(&m, &big) > phase1_ddr(&m, &small));
+    }
+
+    #[test]
+    fn deep_graphs_pay_for_vis_sweeps() {
+        let m = MachineSpec::xeon_x5570_2s();
+        let shallow = GraphParams::uniform_ideal(16 << 20, 2, 5);
+        let deep = GraphParams::uniform_ideal(16 << 20, 2, 5000);
+        assert!(
+            phase2_ddr(&m, &deep) > 2.0 * phase2_ddr(&m, &shallow),
+            "the D·|VIS| resweep term must dominate for road-network depths"
+        );
+    }
+}

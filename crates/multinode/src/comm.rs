@@ -1,0 +1,216 @@
+//! The simulated interconnect: per-superstep all-to-all frontier exchange.
+//!
+//! At the end of each local expansion, every node has produced
+//! `(parent, vertex)` messages destined for the vertices' owners. The
+//! network delivers them between supersteps and accounts the bytes each
+//! link carried — the quantity a real MPI implementation pays for, and the
+//! reason the single-node efficiency the paper optimizes matters: the paper
+//! argues one fast node replaces a 256-node cluster *because* cross-node
+//! bandwidth is the scaling bottleneck.
+//!
+//! An optional **per-node dedup filter** (a local bitmap of already-sent
+//! vertices, the standard Graph500 optimization) suppresses re-sends of
+//! vertices this node already forwarded — the distributed analogue of the
+//! paper's VIS filter.
+
+use bfs_graph::VertexId;
+use serde::{Deserialize, Serialize};
+
+use crate::partition::Partition;
+
+/// One frontier message: claim `vertex` with `parent`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    pub parent: VertexId,
+    pub vertex: VertexId,
+}
+
+/// Bytes one message occupies on the wire (two 32-bit ids, as in the PBV
+/// pair encoding).
+pub const MESSAGE_BYTES: u64 = 8;
+
+/// Per-link traffic accounting: `bytes[src][dst]`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LinkTraffic {
+    nodes: usize,
+    bytes: Vec<u64>,
+}
+
+impl LinkTraffic {
+    fn new(nodes: usize) -> Self {
+        Self {
+            nodes,
+            bytes: vec![0; nodes * nodes],
+        }
+    }
+
+    /// Bytes sent from `src` to `dst` so far.
+    pub fn between(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.nodes + dst]
+    }
+
+    /// Total bytes over all links (excluding node-local "sends").
+    pub fn total_remote(&self) -> u64 {
+        let mut t = 0;
+        for s in 0..self.nodes {
+            for d in 0..self.nodes {
+                if s != d {
+                    t += self.between(s, d);
+                }
+            }
+        }
+        t
+    }
+
+    /// Maximum bytes any single node sent to remote peers (the bottleneck
+    /// sender).
+    pub fn max_node_egress(&self) -> u64 {
+        (0..self.nodes)
+            .map(|s| {
+                (0..self.nodes)
+                    .filter(|&d| d != s)
+                    .map(|d| self.between(s, d))
+                    .sum()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The all-to-all exchange fabric with per-node send buffers.
+#[derive(Clone, Debug)]
+pub struct Exchange {
+    partition: Partition,
+    /// `outbox[src][dst]` — messages staged this superstep.
+    outbox: Vec<Vec<Vec<Message>>>,
+    /// Per-node already-forwarded filter (dedup), one bit per global vertex.
+    sent_filter: Option<Vec<Vec<u64>>>,
+    traffic: LinkTraffic,
+}
+
+impl Exchange {
+    /// New fabric; `dedup` enables the per-node already-sent filter.
+    pub fn new(partition: Partition, dedup: bool) -> Self {
+        let words = partition.num_vertices.div_ceil(64);
+        Self {
+            partition,
+            outbox: vec![vec![Vec::new(); partition.nodes]; partition.nodes],
+            sent_filter: dedup.then(|| vec![vec![0u64; words]; partition.nodes]),
+            traffic: LinkTraffic::new(partition.nodes),
+        }
+    }
+
+    /// Traffic accounted so far.
+    pub fn traffic(&self) -> &LinkTraffic {
+        &self.traffic
+    }
+
+    /// Stages a message from `src` toward `vertex`'s owner. Returns `false`
+    /// if the dedup filter suppressed it.
+    pub fn send(&mut self, src: usize, m: Message) -> bool {
+        if let Some(filters) = &mut self.sent_filter {
+            let f = &mut filters[src];
+            let (w, b) = ((m.vertex / 64) as usize, m.vertex % 64);
+            if f[w] & (1 << b) != 0 {
+                return false;
+            }
+            f[w] |= 1 << b;
+        }
+        let dst = self.partition.owner(m.vertex);
+        self.outbox[src][dst].push(m);
+        true
+    }
+
+    /// Delivers all staged messages: returns `inbox[dst]` and accounts the
+    /// link bytes. Node-local messages are delivered free of traffic.
+    pub fn deliver(&mut self) -> Vec<Vec<Message>> {
+        let nodes = self.partition.nodes;
+        let mut inbox: Vec<Vec<Message>> = vec![Vec::new(); nodes];
+        for src in 0..nodes {
+            #[allow(clippy::needless_range_loop)] // dst indexes outbox and inbox
+            for dst in 0..nodes {
+                let staged = std::mem::take(&mut self.outbox[src][dst]);
+                if !staged.is_empty() {
+                    self.traffic.bytes[src * nodes + dst] +=
+                        staged.len() as u64 * MESSAGE_BYTES;
+                    inbox[dst].extend(staged);
+                }
+            }
+        }
+        inbox
+    }
+
+    /// Number of messages currently staged (all nodes).
+    pub fn staged(&self) -> usize {
+        self.outbox.iter().flatten().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(parent: u32, vertex: u32) -> Message {
+        Message { parent, vertex }
+    }
+
+    #[test]
+    fn routes_by_owner_and_accounts_bytes() {
+        let p = Partition::new(16, 2); // stripe 8
+        let mut x = Exchange::new(p, false);
+        assert!(x.send(0, msg(1, 3))); // local to node 0
+        assert!(x.send(0, msg(1, 9))); // remote to node 1
+        assert!(x.send(1, msg(2, 9))); // local to node 1
+        assert_eq!(x.staged(), 3);
+        let inbox = x.deliver();
+        assert_eq!(inbox[0], vec![msg(1, 3)]);
+        assert_eq!(inbox[1], vec![msg(1, 9), msg(2, 9)]);
+        assert_eq!(x.traffic().between(0, 1), MESSAGE_BYTES);
+        assert_eq!(x.traffic().total_remote(), MESSAGE_BYTES);
+        assert_eq!(x.staged(), 0);
+    }
+
+    #[test]
+    fn dedup_suppresses_repeats_per_sender() {
+        let p = Partition::new(16, 2);
+        let mut x = Exchange::new(p, true);
+        assert!(x.send(0, msg(1, 9)));
+        assert!(!x.send(0, msg(2, 9)), "same vertex from same node suppressed");
+        assert!(x.send(1, msg(3, 9)), "different sender not suppressed");
+        let inbox = x.deliver();
+        assert_eq!(inbox[1].len(), 2);
+    }
+
+    #[test]
+    fn no_dedup_forwards_everything() {
+        let p = Partition::new(16, 2);
+        let mut x = Exchange::new(p, false);
+        assert!(x.send(0, msg(1, 9)));
+        assert!(x.send(0, msg(2, 9)));
+        assert_eq!(x.deliver()[1].len(), 2);
+        assert_eq!(x.traffic().between(0, 1), 2 * MESSAGE_BYTES);
+    }
+
+    #[test]
+    fn egress_bottleneck() {
+        let p = Partition::new(32, 4); // stripe 8
+        let mut x = Exchange::new(p, false);
+        // node 0 sends 3 remote messages; node 1 sends 1.
+        x.send(0, msg(0, 9));
+        x.send(0, msg(0, 17));
+        x.send(0, msg(0, 25));
+        x.send(1, msg(0, 2));
+        x.deliver();
+        assert_eq!(x.traffic().max_node_egress(), 3 * MESSAGE_BYTES);
+        assert_eq!(x.traffic().total_remote(), 4 * MESSAGE_BYTES);
+    }
+
+    #[test]
+    fn deliver_on_empty_fabric() {
+        let p = Partition::new(8, 2);
+        let mut x = Exchange::new(p, true);
+        let inbox = x.deliver();
+        assert!(inbox.iter().all(|i| i.is_empty()));
+        assert_eq!(x.traffic().total_remote(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Multi-node BFS on top of the single-node engine.
+//!
+//! The paper closes with: *"Our algorithm is useful as a building block for
+//! efficient multi-node implementations, and allows these implementations
+//! to ride the trend of increasing per-node compute and bandwidth
+//! resources."* This crate realizes that building block as a simulated
+//! cluster: the classic 1-D partitioned level-synchronous BFS (Yoo et al.
+//! BlueGene/L, Graph500 reference MPI code) where each node runs a full
+//! single-node traversal step over its vertex shard and exchanges frontier
+//! messages at superstep boundaries.
+//!
+//! * [`partition`] — 1-D vertex partitioning with the same power-of-two
+//!   stripe rule the paper uses for sockets (`|V_NS|` generalized to
+//!   `|V_N|` per node), and shard extraction into per-node local CSRs.
+//! * [`comm`] — the simulated interconnect: per-superstep all-to-all of
+//!   (parent, vertex) messages with per-link byte accounting and optional
+//!   message deduplication (the classic bandwidth optimization: a node
+//!   forwards each remote vertex at most once per step).
+//! * [`engine`] — the distributed driver: per-node frontiers, local VIS/DP
+//!   shards, superstep loop, and Graph500-style validation hooks.
+//!
+//! Everything is deterministic and runs in-process; "nodes" are data, not
+//! OS processes, so the crate measures *algorithmic* communication volume —
+//! the quantity a real MPI implementation would pay for.
+
+//! # Example
+//!
+//! ```
+//! use bfs_multinode::{DistBfs, DistOptions};
+//! use bfs_graph::gen::uniform::uniform_random;
+//! use bfs_graph::rng::rng_from_seed;
+//!
+//! let graph = uniform_random(500, 4, &mut rng_from_seed(1));
+//! let out = DistBfs::new(&graph, DistOptions { nodes: 4, dedup: true }).run(0);
+//! assert!(out.traffic.total_remote() > 0);
+//! assert_eq!(out.depths[0], 0);
+//! ```
+
+pub mod comm;
+pub mod engine;
+pub mod partition;
+
+pub use engine::{DistBfs, DistBfsOutput, DistOptions};
+pub use partition::{Partition, Shard};

@@ -1,0 +1,189 @@
+//! 1-D vertex partitioning and shard extraction.
+//!
+//! The paper's socket rule (§III-C(1)) generalized to cluster nodes: vertex
+//! `v` lives on node `v >> log2(|V_N|)` with `|V_N|` the per-node vertex
+//! count rounded up to a power of two. Each node stores the adjacency lists
+//! of its own vertices (a *shard*) — the layout of Yoo et al.'s BlueGene/L
+//! BFS and the Graph500 reference code's 1-D decomposition.
+
+use bfs_graph::{CsrGraph, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// The global partition: node count and the power-of-two stripe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Vertices per node (power of two).
+    pub stripe: usize,
+    /// Total vertices.
+    pub num_vertices: usize,
+}
+
+impl Partition {
+    /// Partition `num_vertices` across `nodes`.
+    pub fn new(num_vertices: usize, nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        Self {
+            nodes,
+            stripe: bfs_platform::topology::vertices_per_socket(num_vertices, nodes),
+            num_vertices,
+        }
+    }
+
+    /// Owning node of vertex `v`.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> usize {
+        ((v as usize) / self.stripe).min(self.nodes - 1)
+    }
+
+    /// Global vertex range owned by `node`.
+    pub fn range(&self, node: usize) -> std::ops::Range<usize> {
+        assert!(node < self.nodes);
+        let lo = (node * self.stripe).min(self.num_vertices);
+        let hi = ((node + 1) * self.stripe).min(self.num_vertices);
+        lo..hi
+    }
+
+    /// Local index of a vertex on its owner.
+    #[inline]
+    pub fn local(&self, v: VertexId) -> usize {
+        (v as usize) - self.range(self.owner(v)).start
+    }
+}
+
+/// One node's slice of the graph: the adjacency lists of its vertex range,
+/// with *global* neighbor ids (messages carry global ids).
+#[derive(Clone, Debug)]
+pub struct Shard {
+    /// Owning node.
+    pub node: usize,
+    /// Global id of the first local vertex.
+    pub base: VertexId,
+    /// Local CSR offsets (`local_count + 1`).
+    offsets: Vec<u64>,
+    /// Global neighbor ids.
+    neighbors: Vec<VertexId>,
+}
+
+impl Shard {
+    /// Number of local vertices.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the shard owns no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Local out-degree sum.
+    pub fn num_edges(&self) -> u64 {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Neighbors (global ids) of global vertex `v` (must be local).
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let l = (v - self.base) as usize;
+        &self.neighbors[self.offsets[l] as usize..self.offsets[l + 1] as usize]
+    }
+
+    /// True if `v` is owned by this shard.
+    pub fn owns(&self, v: VertexId) -> bool {
+        let l = v.wrapping_sub(self.base) as usize;
+        l < self.len()
+    }
+}
+
+/// Splits `graph` into per-node shards under `partition`.
+pub fn extract_shards(graph: &CsrGraph, partition: &Partition) -> Vec<Shard> {
+    assert_eq!(graph.num_vertices(), partition.num_vertices);
+    (0..partition.nodes)
+        .map(|node| {
+            let range = partition.range(node);
+            let base = range.start as VertexId;
+            let mut offsets = Vec::with_capacity(range.len() + 1);
+            let mut neighbors = Vec::new();
+            offsets.push(0u64);
+            for v in range {
+                neighbors.extend_from_slice(graph.neighbors(v as VertexId));
+                offsets.push(neighbors.len() as u64);
+            }
+            Shard {
+                node,
+                base,
+                offsets,
+                neighbors,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfs_graph::gen::classic::path;
+    use bfs_graph::gen::uniform::uniform_random;
+    use bfs_graph::rng::rng_from_seed;
+
+    #[test]
+    fn partition_rule_matches_socket_rule() {
+        let p = Partition::new(12, 2);
+        assert_eq!(p.stripe, 8);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(7), 0);
+        assert_eq!(p.owner(8), 1);
+        assert_eq!(p.range(0), 0..8);
+        assert_eq!(p.range(1), 8..12);
+        assert_eq!(p.local(9), 1);
+    }
+
+    #[test]
+    fn owner_clamps_to_last_node() {
+        let p = Partition::new(5, 4);
+        assert!(p.owner(4) < 4);
+        let mut covered = 0;
+        for node in 0..4 {
+            covered += p.range(node).len();
+        }
+        assert_eq!(covered, 5);
+    }
+
+    #[test]
+    fn shards_cover_the_graph_exactly() {
+        let g = uniform_random(1000, 5, &mut rng_from_seed(1));
+        let p = Partition::new(1000, 3);
+        let shards = extract_shards(&g, &p);
+        assert_eq!(shards.len(), 3);
+        let total_vertices: usize = shards.iter().map(|s| s.len()).sum();
+        let total_edges: u64 = shards.iter().map(|s| s.num_edges()).sum();
+        assert_eq!(total_vertices, 1000);
+        assert_eq!(total_edges, g.num_edges());
+        // Spot-check adjacency fidelity.
+        for v in [0u32, 499, 999] {
+            let shard = &shards[p.owner(v)];
+            assert!(shard.owns(v));
+            assert_eq!(shard.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn single_node_shard_is_whole_graph() {
+        let g = path(9);
+        let p = Partition::new(9, 1);
+        let shards = extract_shards(&g, &p);
+        assert_eq!(shards[0].len(), 9);
+        assert_eq!(shards[0].num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn owns_rejects_foreign_vertices() {
+        let g = path(16);
+        let p = Partition::new(16, 2);
+        let shards = extract_shards(&g, &p);
+        assert!(shards[0].owns(7));
+        assert!(!shards[0].owns(8));
+        assert!(shards[1].owns(8));
+        assert!(!shards[1].owns(7));
+    }
+}

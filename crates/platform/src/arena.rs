@@ -1,0 +1,222 @@
+//! NUMA allocation emulation (`numa_alloc_onnode`).
+//!
+//! On the paper's machine, `Adj`, `DP` and `VIS` are evenly divided between
+//! socket memories, while `BV_t` and `PBV_t` are allocated on each thread's
+//! local socket (§III-B, footnote 3). Real NUMA placement is invisible to a
+//! single-node Rust allocation, so this module reproduces the *policy* and
+//! makes it observable:
+//!
+//! * every allocation declares a home socket and is tracked in a per-socket
+//!   byte ledger, which experiments assert against (e.g. "DP is split evenly",
+//!   "each PBV bin lives on its owner's socket");
+//! * the home socket of any element can be queried, which is what the memory
+//!   simulator uses to charge local-DRAM vs QPI traffic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::topology::SocketId;
+
+/// Per-socket allocation ledger. Cheap to share (`&NumaArena`) across the
+/// structures of one BFS instance.
+#[derive(Debug)]
+pub struct NumaArena {
+    per_socket: Vec<AtomicU64>,
+}
+
+impl NumaArena {
+    /// Ledger for `sockets` sockets.
+    pub fn new(sockets: usize) -> Self {
+        assert!(sockets > 0);
+        Self {
+            per_socket: (0..sockets).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of sockets tracked.
+    pub fn sockets(&self) -> usize {
+        self.per_socket.len()
+    }
+
+    /// Records an allocation of `bytes` on `socket`.
+    pub fn record(&self, socket: SocketId, bytes: u64) {
+        self.per_socket[socket].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Bytes currently attributed to `socket`.
+    pub fn bytes_on(&self, socket: SocketId) -> u64 {
+        self.per_socket[socket].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes across sockets.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_socket
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Maximum imbalance ratio `max / mean` across sockets (1.0 = perfectly
+    /// even). Returns 1.0 when nothing is allocated.
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.sockets() as f64;
+        let max = (0..self.sockets())
+            .map(|s| self.bytes_on(s))
+            .max()
+            .unwrap() as f64;
+        max / mean
+    }
+
+    /// Allocates a zero-initialized buffer homed on `socket`.
+    pub fn alloc_on<T: Default + Clone>(&self, socket: SocketId, len: usize) -> SocketBuf<T> {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        self.record(socket, bytes);
+        SocketBuf {
+            data: vec![T::default(); len],
+            home: socket,
+        }
+    }
+
+    /// Allocates a buffer striped across sockets in contiguous ranges — the
+    /// "evenly divide the allocation amongst the socket memories" policy for
+    /// `DP` and `VIS`. Element `i`'s home is `socket_of(i)` per
+    /// [`InterleavedBuf::home_of`].
+    pub fn alloc_striped<T: Default + Clone>(&self, len: usize) -> InterleavedBuf<T> {
+        let sockets = self.sockets();
+        let per = crate::topology::vertices_per_socket(len, sockets);
+        for s in 0..sockets {
+            let start = (s * per).min(len);
+            let end = ((s + 1) * per).min(len);
+            self.record(s, ((end - start) * std::mem::size_of::<T>()) as u64);
+        }
+        InterleavedBuf {
+            data: vec![T::default(); len],
+            stripe: per,
+            sockets,
+        }
+    }
+}
+
+/// A buffer with a single home socket (thread-local `BV_t` / `PBV_t` style).
+#[derive(Debug, Clone)]
+pub struct SocketBuf<T> {
+    data: Vec<T>,
+    home: SocketId,
+}
+
+impl<T> SocketBuf<T> {
+    /// The socket this buffer is homed on.
+    pub fn home(&self) -> SocketId {
+        self.home
+    }
+}
+
+impl<T> std::ops::Deref for SocketBuf<T> {
+    type Target = Vec<T>;
+    fn deref(&self) -> &Vec<T> {
+        &self.data
+    }
+}
+
+impl<T> std::ops::DerefMut for SocketBuf<T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        &mut self.data
+    }
+}
+
+/// A buffer striped across sockets in contiguous power-of-two ranges
+/// (`DP` / `VIS` / `Adj` style).
+#[derive(Debug, Clone)]
+pub struct InterleavedBuf<T> {
+    data: Vec<T>,
+    stripe: usize,
+    sockets: usize,
+}
+
+impl<T> InterleavedBuf<T> {
+    /// Home socket of element `i`.
+    pub fn home_of(&self, i: usize) -> SocketId {
+        (i / self.stripe).min(self.sockets - 1)
+    }
+
+    /// Stripe length in elements (`|V_NS|` analogue).
+    pub fn stripe(&self) -> usize {
+        self.stripe
+    }
+}
+
+impl<T> std::ops::Deref for InterleavedBuf<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> std::ops::DerefMut for InterleavedBuf<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accounts_per_socket() {
+        let a = NumaArena::new(2);
+        let _b0: SocketBuf<u32> = a.alloc_on(0, 100);
+        let _b1: SocketBuf<u64> = a.alloc_on(1, 50);
+        assert_eq!(a.bytes_on(0), 400);
+        assert_eq!(a.bytes_on(1), 400);
+        assert_eq!(a.total_bytes(), 800);
+        assert!((a.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn striped_buffer_homes_match_vns_rule() {
+        let a = NumaArena::new(2);
+        let b: InterleavedBuf<u8> = a.alloc_striped(12); // stripe = 8
+        assert_eq!(b.stripe(), 8);
+        assert_eq!(b.home_of(0), 0);
+        assert_eq!(b.home_of(7), 0);
+        assert_eq!(b.home_of(8), 1);
+        assert_eq!(b.home_of(11), 1);
+        // ledger: 8 bytes on socket 0, 4 on socket 1.
+        assert_eq!(a.bytes_on(0), 8);
+        assert_eq!(a.bytes_on(1), 4);
+    }
+
+    #[test]
+    fn striped_buffer_single_socket() {
+        let a = NumaArena::new(1);
+        let b: InterleavedBuf<u32> = a.alloc_striped(10);
+        assert!((0..10).all(|i| b.home_of(i) == 0));
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        let a = NumaArena::new(2);
+        a.record(0, 300);
+        a.record(1, 100);
+        assert!((a.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_arena_imbalance_is_one() {
+        assert_eq!(NumaArena::new(4).imbalance(), 1.0);
+    }
+
+    #[test]
+    fn socket_buf_behaves_like_vec() {
+        let a = NumaArena::new(2);
+        let mut b: SocketBuf<u32> = a.alloc_on(1, 3);
+        b[0] = 7;
+        b.push(9);
+        assert_eq!(b.as_slice(), &[7, 0, 0, 9]);
+        assert_eq!(b.home(), 1);
+    }
+}

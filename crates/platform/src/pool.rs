@@ -1,0 +1,194 @@
+//! SPMD thread pool grouped by socket.
+//!
+//! The BFS engine runs as one bulk-synchronous SPMD region: every thread
+//! executes the per-step loop of Fig. 3 and meets the others at barriers.
+//! `SocketPool::run` spawns one scoped thread per (socket, lane) of the
+//! topology, optionally pins it, and passes it a [`ThreadCtx`] carrying its
+//! coordinates and the shared barrier. Scoped threads (crossbeam) let the
+//! region borrow the graph and all traversal state without `Arc`s.
+
+use crossbeam::thread;
+
+use crate::barrier::SenseBarrier;
+use crate::pin::pin_to_core;
+use crate::topology::{SocketId, Topology};
+
+/// A thread's identity inside an SPMD region.
+pub struct ThreadCtx<'a> {
+    /// Global thread id in `0..topology.total_threads()`.
+    pub thread_id: usize,
+    /// Socket this thread belongs to.
+    pub socket: SocketId,
+    /// Lane (core index) within the socket.
+    pub lane: usize,
+    /// The region's topology.
+    pub topology: Topology,
+    barrier: &'a SenseBarrier,
+}
+
+impl ThreadCtx<'_> {
+    /// Waits for all threads of the region; returns `true` on the leader.
+    pub fn barrier(&self) -> bool {
+        self.barrier.wait()
+    }
+
+    /// Total threads in the region.
+    pub fn num_threads(&self) -> usize {
+        self.topology.total_threads()
+    }
+
+    /// Range of global thread ids on this thread's socket.
+    pub fn socket_thread_range(&self) -> std::ops::Range<usize> {
+        let per = self.topology.lanes_per_socket;
+        let start = self.socket * per;
+        start..start + per
+    }
+}
+
+/// Runner for socket-grouped SPMD regions.
+#[derive(Clone, Debug)]
+pub struct SocketPool {
+    topology: Topology,
+}
+
+impl SocketPool {
+    /// Pool over `topology` (validated here).
+    pub fn new(topology: Topology) -> Self {
+        topology.validate();
+        Self { topology }
+    }
+
+    /// The pool's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Runs `f` on every thread of the topology simultaneously and returns
+    /// the per-thread results in thread-id order.
+    ///
+    /// Pinning policy: lanes are mapped round-robin over physical cores so
+    /// that, when the host has at least as many cores as the region has
+    /// threads, socket-mates share no core with other sockets' threads.
+    ///
+    /// # Panics
+    /// Propagates the first panic from any worker thread.
+    pub fn run<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(&ThreadCtx<'_>) -> R + Sync,
+        R: Send,
+    {
+        let n = self.topology.total_threads();
+        let barrier = SenseBarrier::new(n);
+        let topo = self.topology;
+        let f = &f;
+        let barrier_ref = &barrier;
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        let slots: Vec<_> = results.iter_mut().collect();
+        thread::scope(|scope| {
+            for (tid, slot) in slots.into_iter().enumerate() {
+                let (socket, lane) = topo.socket_lane(tid);
+                scope
+                    .builder()
+                    .name(format!("bfs-s{socket}-l{lane}"))
+                    .spawn(move |_| {
+                        if topo.pin_threads {
+                            let _ = pin_to_core(tid);
+                        }
+                        let ctx = ThreadCtx {
+                            thread_id: tid,
+                            socket,
+                            lane,
+                            topology: topo,
+                            barrier: barrier_ref,
+                        };
+                        *slot = Some(f(&ctx));
+                    })
+                    .expect("failed to spawn worker thread");
+            }
+        })
+        .expect("worker thread panicked");
+        results
+            .into_iter()
+            .map(|r| r.expect("worker did not produce a result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_thread_once() {
+        let pool = SocketPool::new(Topology::synthetic(2, 3));
+        let hits = AtomicUsize::new(0);
+        let ids = pool.run(|ctx| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            (ctx.thread_id, ctx.socket, ctx.lane)
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 6);
+        assert_eq!(
+            ids,
+            vec![(0, 0, 0), (1, 0, 1), (2, 0, 2), (3, 1, 0), (4, 1, 1), (5, 1, 2)]
+        );
+    }
+
+    #[test]
+    fn barrier_synchronizes_region() {
+        // Phase counter pattern: all threads must observe the leader's write
+        // from the previous episode.
+        let pool = SocketPool::new(Topology::synthetic(2, 2));
+        let phase = AtomicUsize::new(0);
+        pool.run(|ctx| {
+            for p in 1..=20usize {
+                if ctx.barrier() {
+                    phase.store(p, Ordering::Relaxed);
+                }
+                ctx.barrier();
+                assert_eq!(phase.load(Ordering::Relaxed), p);
+            }
+        });
+    }
+
+    #[test]
+    fn socket_thread_range_is_contiguous() {
+        let pool = SocketPool::new(Topology::synthetic(3, 2));
+        let ranges = pool.run(|ctx| ctx.socket_thread_range());
+        assert_eq!(ranges[0], 0..2);
+        assert_eq!(ranges[3], 2..4);
+        assert_eq!(ranges[5], 4..6);
+    }
+
+    #[test]
+    fn results_preserve_thread_order() {
+        let pool = SocketPool::new(Topology::synthetic(1, 8));
+        let out = pool.run(|ctx| ctx.thread_id * 10);
+        assert_eq!(out, (0..8).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn oversubscription_works() {
+        // 32 threads on whatever the host has.
+        let pool = SocketPool::new(Topology::synthetic(4, 8));
+        let out = pool.run(|ctx| {
+            for _ in 0..5 {
+                ctx.barrier();
+            }
+            ctx.num_threads()
+        });
+        assert!(out.iter().all(|&n| n == 32));
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let pool = SocketPool::new(Topology::synthetic(1, 2));
+        pool.run(|ctx| {
+            if ctx.thread_id == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,78 @@
+//! Analytical-model explorer: the "projecting performance for graphs with
+//! different topologies" use-case of §IV. Sweeps graph size, degree, depth
+//! and socket count through the model and prints where each configuration's
+//! bottleneck lies — the design-space analysis the paper offers the model
+//! for ("provides suggestions for improving graph traversal performance on
+//! future architectures").
+//!
+//! ```sh
+//! cargo run --release -p bfs-core --example model_explorer
+//! ```
+
+use bfs_model::{predict, GraphParams, MachineSpec};
+
+fn row(machine: &MachineSpec, g: &GraphParams, alpha: f64) {
+    let p = predict(machine, g, alpha);
+    let dominant = if p.phase2_llc_bpe > p.phase1_ddr_bpe + p.phase2_ddr_bpe {
+        "LLC (VIS reads)"
+    } else if p.phase2_ddr_bpe > p.phase1_ddr_bpe {
+        "DDR Phase II"
+    } else {
+        "DDR Phase I"
+    };
+    println!(
+        "|V|=2^{:2}  deg={:3}  D={:5}  N_VIS={}  -> {:7.2} cyc/edge, {:6.0} MTEPS on {} socket(s); dominant: {}",
+        (g.num_vertices as f64).log2() as u32,
+        (g.traversed_edges / g.visited_vertices.max(1)) / 2,
+        g.depth,
+        p.n_vis,
+        p.multi_socket.total,
+        p.mteps_multi,
+        machine.sockets,
+        dominant
+    );
+}
+
+fn main() {
+    let m2 = MachineSpec::xeon_x5570_2s();
+
+    println!("— Size sweep (UR-like, degree 16, shallow) —");
+    for scale in [20u32, 23, 26, 28, 30] {
+        let v = 1u64 << scale;
+        row(&m2, &GraphParams::uniform_ideal(v, 16, 8), 0.5);
+    }
+
+    println!("\n— Degree sweep (|V| = 2^24) —");
+    for deg in [2u32, 4, 8, 16, 32, 64, 128] {
+        row(&m2, &GraphParams::uniform_ideal(1 << 24, deg, 8), 0.5);
+    }
+
+    println!("\n— Depth sweep (road-like, |V| = 2^23, degree 2) —");
+    for depth in [10u32, 100, 1000, 6000] {
+        row(&m2, &GraphParams::uniform_ideal(1 << 23, 2, depth), 0.5);
+    }
+
+    println!("\n— Socket scaling at alpha = 0.6 (R-MAT skew) —");
+    for sockets in [1usize, 2, 4] {
+        let m = MachineSpec {
+            sockets,
+            ..MachineSpec::xeon_x5570_2s()
+        };
+        row(
+            &m,
+            &GraphParams::paper_rmat_8m_deg8(),
+            (0.6f64).max(1.0 / sockets as f64),
+        );
+    }
+
+    println!("\n— Future machine: double the bandwidths (per-node trend the paper banks on) —");
+    let future = MachineSpec {
+        bw_dram: 44.0,
+        bw_dram_peak: 64.0,
+        bw_llc_to_l2: 170.0,
+        bw_l2_to_llc: 52.0,
+        bw_qpi: 22.0,
+        ..m2
+    };
+    row(&future, &GraphParams::paper_rmat_8m_deg8(), 0.6);
+}

@@ -1,0 +1,85 @@
+//! Social-network scenario: the workload from the paper's introduction —
+//! reachability / friend-of-friend queries over a power-law graph.
+//!
+//! Builds an Orkut-like proxy (R-MAT, heavy-tailed degrees, tiny diameter),
+//! runs BFS from several seeds, and answers two classic product questions:
+//! how many users are within k hops, and what is the shortest friend chain
+//! between two users (reconstructed from the parent array).
+//!
+//! ```sh
+//! cargo run --release -p bfs-core --example social_network
+//! ```
+
+use bfs_core::engine::{BfsEngine, BfsOptions};
+use bfs_core::INF_DEPTH;
+use bfs_graph::gen::proxy::ProxySpec;
+use bfs_graph::stats::nth_non_isolated;
+use bfs_platform::Topology;
+
+fn main() {
+    // Facebook-like proxy at 1/512 of the paper's scale.
+    let spec = ProxySpec::all()
+        .into_iter()
+        .find(|s| s.name == "Facebook")
+        .unwrap();
+    let graph = spec.generate_seeded(1.0 / 512.0, 7);
+    println!(
+        "social proxy: {} users, {} friendships (directed), max degree {}",
+        graph.num_vertices(),
+        graph.num_edges() / 2,
+        (0..graph.num_vertices() as u32)
+            .map(|v| graph.degree(v))
+            .max()
+            .unwrap()
+    );
+
+    let engine = BfsEngine::new(&graph, Topology::host(), BfsOptions::default());
+
+    // Run from 3 different seed users, as the paper does (5 random sources).
+    for seed in 0..3 {
+        let source = nth_non_isolated(&graph, seed * 97).expect("source");
+        let out = engine.run(source);
+
+        // "How many users within k hops?"
+        let mut within = vec![0u64; (out.stats.steps + 2) as usize];
+        for &d in &out.depths {
+            if d != INF_DEPTH {
+                within[d as usize] += 1;
+            }
+        }
+        let mut cumulative = 0u64;
+        let reach: Vec<String> = within
+            .iter()
+            .take_while(|&&n| n > 0)
+            .map(|n| {
+                cumulative += n;
+                format!("{cumulative}")
+            })
+            .collect();
+        println!(
+            "user {source}: reached {} of {} users in {} hops ({:.1} MTEPS); cumulative by hop: [{}]",
+            out.stats.visited_vertices,
+            graph.num_vertices(),
+            out.stats.steps,
+            out.stats.mteps(),
+            reach.join(", ")
+        );
+
+        // "Shortest friend chain" to the farthest user.
+        let far = (0..graph.num_vertices() as u32)
+            .filter(|&v| out.depths[v as usize] != INF_DEPTH)
+            .max_by_key(|&v| out.depths[v as usize])
+            .unwrap();
+        let mut chain = vec![far];
+        let mut cur = far;
+        while cur != source {
+            cur = out.parents[cur as usize];
+            chain.push(cur);
+        }
+        chain.reverse();
+        println!(
+            "  farthest user {far} at depth {}: chain {:?}",
+            out.depths[far as usize], chain
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Adversarial and degenerate configurations: the engine must stay correct
+//! (or fail loudly) under pathological geometry, oversubscription, forced
+//! partial-bin boundaries, hostile graphs, and corrupted I/O.
+
+use bfs_core::engine::{BfsEngine, BfsOptions, Scheduling};
+use bfs_core::pbv::PbvEncoding;
+use bfs_core::serial::serial_bfs;
+use bfs_core::validate::validate_bfs_tree;
+use bfs_graph::builder::{BuildOptions, GraphBuilder};
+use bfs_graph::gen::classic::{path, star};
+use bfs_graph::gen::uniform::uniform_random;
+use bfs_graph::rng::stream_rng;
+use bfs_graph::CsrGraph;
+use bfs_platform::Topology;
+
+fn assert_correct(g: &CsrGraph, src: u32, opts: BfsOptions, topo: Topology) {
+    let reference = serial_bfs(g, src);
+    let out = BfsEngine::new(g, topo, opts).run(src);
+    assert_eq!(out.depths, reference.depths);
+    validate_bfs_tree(g, src, &out.depths, &out.parents).unwrap();
+}
+
+#[test]
+fn one_vertex_per_thread_and_fewer() {
+    // 16 threads, 3 vertices: most threads idle every phase.
+    let g = path(3);
+    assert_correct(&g, 0, BfsOptions::default(), Topology::synthetic(4, 4));
+    // 16 threads, 1 vertex.
+    let g = CsrGraph::empty(1);
+    let out = BfsEngine::new(&g, Topology::synthetic(4, 4), BfsOptions::default()).run(0);
+    assert_eq!(out.depths, vec![0]);
+}
+
+#[test]
+fn tiny_bins_force_partial_bin_sharing() {
+    // N_VIS = 64 partitions on a 512-vertex graph: bin width 4 vertices,
+    // every socket's share is mostly partial bins.
+    let g = uniform_random(512, 4, &mut stream_rng(1, 0));
+    assert_correct(
+        &g,
+        0,
+        BfsOptions {
+            n_vis_override: Some(64),
+            ..Default::default()
+        },
+        Topology::synthetic(2, 2),
+    );
+}
+
+#[test]
+fn bin_count_exceeding_vertices() {
+    // More bins than vertices: most bins permanently empty.
+    let g = path(9);
+    assert_correct(
+        &g,
+        0,
+        BfsOptions {
+            n_vis_override: Some(256),
+            ..Default::default()
+        },
+        Topology::synthetic(2, 2),
+    );
+}
+
+#[test]
+fn more_sockets_than_meaningful_vertex_stripes() {
+    let g = path(5);
+    for lanes in [1, 3] {
+        assert_correct(&g, 2, BfsOptions::default(), Topology::synthetic(8, lanes));
+    }
+}
+
+#[test]
+fn heavy_oversubscription_terminates() {
+    // 64 threads on one host core; yield-based barrier must keep making
+    // progress through hundreds of BFS steps.
+    let g = path(300);
+    assert_correct(&g, 0, BfsOptions::default(), Topology::synthetic(8, 8));
+}
+
+#[test]
+fn hub_and_spoke_hot_bin() {
+    // A star with 20k leaves: one step with a frontier of 1 vertex whose
+    // entire edge list lands in a handful of bins — extreme Phase-I skew.
+    let g = star(20_000);
+    for scheduling in [
+        Scheduling::SocketAwareStatic,
+        Scheduling::LoadBalanced,
+    ] {
+        assert_correct(
+            &g,
+            0,
+            BfsOptions {
+                scheduling,
+                ..Default::default()
+            },
+            Topology::synthetic(2, 4),
+        );
+    }
+}
+
+#[test]
+fn all_self_loops_graph() {
+    let mut b = GraphBuilder::new(8, BuildOptions::directed_raw());
+    for v in 0..8 {
+        b.add_edge(v, v);
+    }
+    let g = b.build();
+    let out = BfsEngine::new(&g, Topology::synthetic(2, 2), BfsOptions::default()).run(3);
+    assert_eq!(out.stats.visited_vertices, 1);
+    assert_eq!(out.depths[3], 0);
+}
+
+#[test]
+fn parallel_multi_edges_do_not_duplicate_work_unboundedly() {
+    // 2 vertices joined by 1000 parallel edges.
+    let mut b = GraphBuilder::new(2, BuildOptions::default());
+    for _ in 0..1000 {
+        b.add_edge(0, 1);
+    }
+    let g = b.build();
+    let out = BfsEngine::new(&g, Topology::synthetic(2, 2), BfsOptions::default()).run(0);
+    assert_eq!(out.depths, vec![0, 1]);
+    assert_eq!(out.stats.steps, 1);
+}
+
+#[test]
+fn max_vertex_id_boundary() {
+    // Vertex ids near the top of the non-marker range still encode/decode.
+    let n = 1 << 20;
+    let mut b = GraphBuilder::new(n, BuildOptions::default());
+    b.add_edge(0, (n - 1) as u32);
+    b.add_edge((n - 1) as u32, (n / 2) as u32);
+    let g = b.build();
+    assert_correct(
+        &g,
+        0,
+        BfsOptions {
+            encoding: PbvEncoding::Markers,
+            ..Default::default()
+        },
+        Topology::synthetic(2, 2),
+    );
+}
+
+#[test]
+fn prefetch_distance_larger_than_frontier() {
+    let g = uniform_random(64, 4, &mut stream_rng(2, 0));
+    assert_correct(
+        &g,
+        0,
+        BfsOptions {
+            prefetch_distance: 10_000,
+            ..Default::default()
+        },
+        Topology::synthetic(2, 2),
+    );
+}
+
+#[test]
+fn corrupted_binary_graphs_are_rejected_not_crashing() {
+    let g = uniform_random(100, 4, &mut stream_rng(3, 0));
+    let bytes = bfs_graph::io::to_binary(&g).to_vec();
+    // Flip every byte position in the header region one at a time.
+    for i in 0..24.min(bytes.len()) {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0xA5;
+        // Must either error out or produce a structurally valid graph —
+        // never panic or produce out-of-range neighbors.
+        if let Ok(g2) = bfs_graph::io::from_binary(&corrupt) {
+            let n = g2.num_vertices();
+            assert!(g2.raw_neighbors().iter().all(|&v| (v as usize) < n));
+        }
+    }
+}
+
+#[test]
+fn zero_prefetch_zero_rearrange_minimal_config() {
+    let g = uniform_random(256, 3, &mut stream_rng(4, 0));
+    assert_correct(
+        &g,
+        0,
+        BfsOptions {
+            prefetch_distance: 0,
+            rearrange: false,
+            n_vis_override: Some(1),
+            vis: bfs_core::VisScheme::None,
+            scheduling: Scheduling::NoMultiSocketOpt,
+            ..Default::default()
+        },
+        Topology::synthetic(1, 1),
+    );
+}

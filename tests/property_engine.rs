@@ -1,0 +1,125 @@
+//! Property-based tests of the engine and its protocol invariants, driven
+//! by proptest over arbitrary graphs (self-loops, multi-edges, isolated
+//! vertices, disconnected components included).
+
+use bfs_core::engine::{BfsEngine, BfsOptions, Scheduling};
+use bfs_core::pbv::PbvEncoding;
+use bfs_core::serial::serial_bfs;
+use bfs_core::validate::validate_bfs_tree;
+use bfs_core::VisScheme;
+use bfs_graph::builder::{BuildOptions, GraphBuilder};
+use bfs_graph::CsrGraph;
+use bfs_platform::Topology;
+use proptest::prelude::*;
+
+/// Arbitrary graph: up to `max_n` vertices, arbitrary directed edges
+/// (symmetrized), possibly with self-loops and duplicates.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (1..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(
+                n,
+                BuildOptions {
+                    symmetrize: true,
+                    dedup: false,
+                    drop_self_loops: false,
+                    sort_neighbors: false,
+                },
+            );
+            b.add_edges(edges);
+            b.build()
+        })
+    })
+}
+
+fn arb_options() -> impl Strategy<Value = BfsOptions> {
+    (
+        prop_oneof![
+            Just(VisScheme::None),
+            Just(VisScheme::AtomicBit),
+            Just(VisScheme::Byte),
+            Just(VisScheme::Bit),
+        ],
+        prop_oneof![
+            Just(Scheduling::NoMultiSocketOpt),
+            Just(Scheduling::SocketAwareStatic),
+            Just(Scheduling::LoadBalanced),
+        ],
+        prop_oneof![
+            Just(PbvEncoding::Auto),
+            Just(PbvEncoding::Markers),
+            Just(PbvEncoding::Pairs),
+        ],
+        1usize..=4,   // n_vis
+        any::<bool>(), // rearrange
+        0usize..=8,   // prefetch distance
+    )
+        .prop_map(|(vis, scheduling, encoding, n_vis, rearrange, pref)| BfsOptions {
+            vis,
+            scheduling,
+            encoding,
+            n_vis_override: Some(n_vis),
+            rearrange,
+            prefetch_distance: pref,
+            ..Default::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    /// The headline invariant of §III-A: for any graph, any configuration,
+    /// any source — the racy atomic-free engine computes exactly the serial
+    /// depths and a valid BFS forest.
+    #[test]
+    fn engine_depths_always_match_serial(
+        g in arb_graph(120, 400),
+        opts in arb_options(),
+        src_pick in 0usize..32,
+        sockets in 1usize..=3,
+        lanes in 1usize..=3,
+    ) {
+        let src = (src_pick % g.num_vertices()) as u32;
+        let reference = serial_bfs(&g, src);
+        let out = BfsEngine::new(&g, Topology::synthetic(sockets, lanes), opts).run(src);
+        prop_assert_eq!(&out.depths, &reference.depths);
+        prop_assert!(validate_bfs_tree(&g, src, &out.depths, &out.parents).is_ok());
+        prop_assert_eq!(out.stats.visited_vertices, reference.visited);
+        prop_assert_eq!(out.stats.traversed_edges, reference.traversed_edges);
+        prop_assert_eq!(out.stats.steps, reference.max_depth);
+    }
+
+    /// Frontier sizes reported by the engine sum to the visited set (plus
+    /// duplicate enqueues) and each step's frontier is bounded by the total
+    /// vertex count.
+    #[test]
+    fn frontier_accounting_is_consistent(
+        g in arb_graph(80, 240),
+        src_pick in 0usize..16,
+    ) {
+        let src = (src_pick % g.num_vertices()) as u32;
+        let out = BfsEngine::new(&g, Topology::synthetic(2, 2), BfsOptions::default()).run(src);
+        let sum: u64 = out.stats.frontier_sizes.iter().sum();
+        prop_assert_eq!(sum, out.stats.visited_vertices - 1 + out.stats.duplicate_enqueues);
+        for &f in &out.stats.frontier_sizes {
+            prop_assert!(f <= g.num_vertices() as u64 + out.stats.duplicate_enqueues);
+        }
+    }
+
+    /// Determinism: two runs with identical inputs produce identical depth
+    /// arrays (parents may differ across *threads' race outcomes* only when
+    /// racy schemes run on racy schedules; depths never differ).
+    #[test]
+    fn engine_depths_are_deterministic(
+        g in arb_graph(60, 200),
+        opts in arb_options(),
+    ) {
+        let engine = BfsEngine::new(&g, Topology::synthetic(2, 2), opts);
+        let a = engine.run(0);
+        let b = engine.run(0);
+        prop_assert_eq!(a.depths, b.depths);
+    }
+}

@@ -1,0 +1,177 @@
+//! The Figure 8 contract as a test: simulated measurement and analytical
+//! model agree on per-edge traffic and cycles within stated tolerances, and
+//! both reproduce the §V-C worked example's structure.
+
+use bfs_core::sim::{simulate_bfs, SimBfsConfig};
+use bfs_graph::gen::rmat::{rmat, RmatConfig};
+use bfs_graph::gen::uniform::uniform_random;
+use bfs_graph::rng::stream_rng;
+use bfs_graph::stats::{nth_non_isolated, traversal_shape};
+use bfs_memsim::{BandwidthSpec, Channel, MachineConfig, Phase};
+use bfs_model::{predict, GraphParams, MachineSpec};
+
+/// 1/64-scale machine, as used by the figure harnesses.
+fn scaled() -> (MachineConfig, MachineSpec) {
+    let mc = MachineConfig::xeon_x5570_2s().scaled_down(64);
+    let spec = MachineSpec {
+        l2_bytes: mc.l2_bytes,
+        llc_bytes: mc.llc_bytes,
+        ..MachineSpec::xeon_x5570_2s()
+    };
+    (mc, spec)
+}
+
+fn params_for(g: &bfs_graph::CsrGraph, src: u32) -> GraphParams {
+    let shape = traversal_shape(g, src);
+    GraphParams {
+        num_vertices: g.num_vertices() as u64,
+        visited_vertices: shape.visited_vertices,
+        traversed_edges: shape.traversed_edges,
+        depth: shape.depth,
+    }
+}
+
+#[test]
+fn simulated_phase1_ddr_tracks_eqn_iv1a() {
+    let (mc, spec) = scaled();
+    let g = uniform_random(1 << 17, 8, &mut stream_rng(1, 1));
+    let r = simulate_bfs(
+        &g,
+        &SimBfsConfig {
+            machine: mc,
+            ..Default::default()
+        },
+        0,
+    );
+    let report = r.report();
+    let sim = report.ddr_bytes_per_edge(Some(Phase::PhaseOne), r.traversed_edges);
+    let model = bfs_model::traffic::phase1_ddr(&spec, &params_for(&g, 0));
+    let gap = (sim - model).abs() / model;
+    assert!(
+        gap < 0.30,
+        "Phase-I DDR per edge: sim {sim:.1} vs model {model:.1} ({:.0}% gap)",
+        gap * 100.0
+    );
+}
+
+#[test]
+fn simulated_phase2_llc_tracks_eqn_iv1c() {
+    // The cache-resident VIS term: LLC-hit read traffic in Phase II should
+    // approximate (1 - L2/(VIS/N_VIS)) * (L/rho + L).
+    let (mc, spec) = scaled();
+    let g = uniform_random(1 << 17, 8, &mut stream_rng(2, 2));
+    let r = simulate_bfs(
+        &g,
+        &SimBfsConfig {
+            machine: mc,
+            ..Default::default()
+        },
+        0,
+    );
+    let ledger = r.machine.ledger();
+    let p2 = |c: Channel| ledger.total(Some(Phase::PhaseTwo), None, Some(c), None);
+    let llc_hit = p2(Channel::LlcToL2)
+        .saturating_sub(p2(Channel::DramRead) + p2(Channel::Qpi) + p2(Channel::QpiMigration));
+    let sim = llc_hit as f64 / r.traversed_edges as f64;
+    let model = bfs_model::traffic::phase2_llc(&spec, &params_for(&g, 0));
+    let gap = (sim - model).abs() / model.max(1.0);
+    assert!(
+        gap < 0.5,
+        "Phase-II LLC per edge: sim {sim:.1} vs model {model:.1}"
+    );
+}
+
+#[test]
+fn total_cycles_agree_within_figure8_tolerance() {
+    // The paper's headline: 5-10% average agreement. We allow 15% per-point
+    // on the scaled simulator (the figure harness reports the average).
+    let (mc, spec) = scaled();
+    let bw = BandwidthSpec::xeon_x5570();
+    let mut gaps = Vec::new();
+    for (family, seed, deg) in [("UR", 3u64, 8u32), ("UR", 4, 16), ("RMAT", 5, 8)] {
+        let g = match family {
+            "UR" => uniform_random(1 << 17, deg, &mut stream_rng(seed, 0)),
+            _ => rmat(&RmatConfig::paper(17, deg), &mut stream_rng(seed, 0)),
+        };
+        let src = nth_non_isolated(&g, 0).unwrap();
+        let r = simulate_bfs(
+            &g,
+            &SimBfsConfig {
+                machine: mc,
+                ..Default::default()
+            },
+            src,
+        );
+        let sim = r.phase_cycles(&bw).total();
+        let alpha = if family == "RMAT" { 0.6 } else { 0.5 };
+        let model = predict(&spec, &params_for(&g, src), alpha).multi_socket.total;
+        let gap = (sim - model).abs() / model;
+        gaps.push(gap);
+        assert!(
+            gap < 0.25,
+            "{family} deg {deg}: sim {sim:.2} vs model {model:.2} cyc/edge ({:.0}%)",
+            gap * 100.0
+        );
+    }
+    let avg = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    assert!(avg < 0.15, "average gap {:.0}% exceeds Figure 8 tolerance", avg * 100.0);
+}
+
+#[test]
+fn worked_example_regime_holds_at_scale() {
+    // The §V-C R-MAT example scaled 1/64: |V| = 128K, degree 8. The measured
+    // traversal shape must land in the paper's regime (about half the
+    // vertices visited, rho' ≈ 2x the nominal degree) and the predicted
+    // 2-socket speedup over 1 socket must be near the paper's 1.87x
+    // (6.48→3.47).
+    let g = rmat(&RmatConfig::paper(17, 8), &mut stream_rng(6, 0));
+    let src = nth_non_isolated(&g, 0).unwrap();
+    let p = params_for(&g, src);
+    // At 1/64 scale the R-MAT visited fraction sits a little lower and ρ′ a
+    // little higher than the paper's full-scale 0.5 / 15.3 (smaller scales
+    // concentrate more edges on fewer reachable vertices); the regime —
+    // roughly half the graph visited at roughly 2× nominal degree — is what
+    // must hold.
+    let frac = p.visited_vertices as f64 / p.num_vertices as f64;
+    assert!((0.25..0.8).contains(&frac), "visited fraction {frac}");
+    assert!((10.0..32.0).contains(&p.rho_prime()), "rho' {}", p.rho_prime());
+    let spec2 = MachineSpec::xeon_x5570_2s();
+    let spec1 = MachineSpec::xeon_x5570_1s();
+    let two = predict(&spec2, &p, 0.6).multi_socket.total;
+    let one = predict(&spec1, &p, 1.0).single_socket.total;
+    let speedup = one / two;
+    assert!(
+        (1.5..2.2).contains(&speedup),
+        "2-socket model speedup {speedup} out of the paper's range"
+    );
+}
+
+#[test]
+fn atomic_scheme_is_never_better_than_atomic_free_in_sim() {
+    // Figure 4's ordering: the LOCK-based bitmap never beats the atomic-free
+    // bit scheme.
+    let (mc, _) = scaled();
+    let bw = BandwidthSpec::xeon_x5570();
+    for seed in 0..3u64 {
+        let g = uniform_random(1 << 15, 8, &mut stream_rng(40 + seed, 0));
+        let run = |vis| {
+            simulate_bfs(
+                &g,
+                &SimBfsConfig {
+                    machine: mc,
+                    vis,
+                    ..Default::default()
+                },
+                0,
+            )
+            .phase_cycles(&bw)
+            .total()
+        };
+        let atomic = run(bfs_core::VisScheme::AtomicBit);
+        let free = run(bfs_core::VisScheme::Bit);
+        assert!(
+            free < atomic,
+            "seed {seed}: atomic-free {free:.2} must beat atomic {atomic:.2}"
+        );
+    }
+}
