@@ -111,6 +111,29 @@ fn bench_dp_claims(c: &mut Criterion) {
     group.finish();
 }
 
+/// Tracing overhead: a full engine run with the disabled [`NoopSink`]
+/// (which must cost the same as an untraced run — `run` *is*
+/// `run_traced(&NoopSink)`) against one recording into a [`RingSink`].
+fn bench_trace_overhead(c: &mut Criterion) {
+    use bfs_core::engine::{BfsEngine, BfsOptions};
+    use bfs_graph::gen::uniform::uniform_random;
+    use bfs_platform::Topology;
+    use bfs_trace::{NoopSink, RingSink};
+
+    let g = uniform_random(1 << 14, 8, &mut rng_from_seed(7));
+    let engine = BfsEngine::new(&g, Topology::synthetic(1, 4), BfsOptions::default());
+    let mut group = c.benchmark_group("trace_overhead");
+    group.throughput(Throughput::Elements(g.num_edges()));
+    group.bench_function("noop_sink", |b| {
+        b.iter(|| black_box(engine.run_traced(0, &NoopSink).stats.steps));
+    });
+    group.bench_function("ring_sink", |b| {
+        let ring = RingSink::new(65536);
+        b.iter(|| black_box(engine.run_traced(0, &ring).stats.steps));
+    });
+    group.finish();
+}
+
 fn bench_barrier(c: &mut Criterion) {
     c.bench_function("sense_barrier_1_thread_x1000", |b| {
         let bar = SenseBarrier::new(1);
@@ -128,6 +151,7 @@ criterion_group!(
     bench_divide,
     bench_vis_probe,
     bench_dp_claims,
+    bench_trace_overhead,
     bench_barrier
 );
 criterion_main!(benches);

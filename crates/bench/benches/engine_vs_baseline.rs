@@ -14,8 +14,14 @@ use bfs_platform::Topology;
 
 fn bench_engines(c: &mut Criterion) {
     let graphs = [
-        ("UR-32k-d8", uniform_random(1 << 15, 8, &mut rng_from_seed(1))),
-        ("RMAT-15-8", rmat(&RmatConfig::paper(15, 8), &mut rng_from_seed(2))),
+        (
+            "UR-32k-d8",
+            uniform_random(1 << 15, 8, &mut rng_from_seed(1)),
+        ),
+        (
+            "RMAT-15-8",
+            rmat(&RmatConfig::paper(15, 8), &mut rng_from_seed(2)),
+        ),
     ];
     let mut group = c.benchmark_group("engine_vs_baseline");
     group.sample_size(10);
@@ -30,7 +36,13 @@ fn bench_engines(c: &mut Criterion) {
             b.iter(|| black_box(engine.run(src).stats.traversed_edges));
         });
         group.bench_with_input(BenchmarkId::new("agarwal", *name), g, |b, g| {
-            b.iter(|| black_box(atomic_parallel_bfs(g, Topology::host(), src).stats.traversed_edges));
+            b.iter(|| {
+                black_box(
+                    atomic_parallel_bfs(g, Topology::host(), src)
+                        .stats
+                        .traversed_edges,
+                )
+            });
         });
     }
     group.finish();

@@ -13,7 +13,10 @@ use bfs_platform::Topology;
 fn bench_scheduling(c: &mut Criterion) {
     let graphs = [
         ("UR", uniform_random(1 << 15, 8, &mut rng_from_seed(1))),
-        ("stress", stress_bipartite(1 << 15, 8, &mut rng_from_seed(2))),
+        (
+            "stress",
+            stress_bipartite(1 << 15, 8, &mut rng_from_seed(2)),
+        ),
     ];
     let mut group = c.benchmark_group("scheduling");
     group.sample_size(10);

@@ -17,17 +17,21 @@ fn bench_vis(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(edges));
     for vis in VisScheme::ALL {
-        group.bench_with_input(BenchmarkId::new("engine", format!("{vis:?}")), &g, |b, g| {
-            let engine = BfsEngine::new(
-                g,
-                Topology::host(),
-                BfsOptions {
-                    vis,
-                    ..Default::default()
-                },
-            );
-            b.iter(|| black_box(engine.run(0).stats.traversed_edges));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("engine", format!("{vis:?}")),
+            &g,
+            |b, g| {
+                let engine = BfsEngine::new(
+                    g,
+                    Topology::host(),
+                    BfsOptions {
+                        vis,
+                        ..Default::default()
+                    },
+                );
+                b.iter(|| black_box(engine.run(0).stats.traversed_edges));
+            },
+        );
     }
     group.finish();
 }

@@ -53,9 +53,7 @@ impl HarnessArgs {
                 }
                 "--full" => out.full = true,
                 "--help" | "-h" => {
-                    eprintln!(
-                        "flags: [--scale F] [--seed N] [--json PATH] [--full]"
-                    );
+                    eprintln!("flags: [--scale F] [--seed N] [--json PATH] [--full]");
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other:?} (try --help)"),
@@ -88,7 +86,15 @@ mod tests {
 
     #[test]
     fn all_flags() {
-        let a = parse(&["--scale", "0.5", "--seed", "7", "--json", "/tmp/x.json", "--full"]);
+        let a = parse(&[
+            "--scale",
+            "0.5",
+            "--seed",
+            "7",
+            "--json",
+            "/tmp/x.json",
+            "--full",
+        ]);
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.seed, 7);
         assert_eq!(a.json.as_deref(), Some("/tmp/x.json"));

@@ -101,13 +101,18 @@ fn main() {
         t.row([dist.to_string(), fmt_f(mteps)]);
     }
     println!("{t}");
-    println!("(prefetch effects require a real memory hierarchy; on small hosts this is near-neutral)\n");
+    println!(
+        "(prefetch effects require a real memory hierarchy; on small hosts this is near-neutral)\n"
+    );
 
     // 4. Encoding: markers vs pairs at low degree with many bins.
     println!("Ablation 4 — PBV encoding, degree 2 graph, N_VIS forced to 8 (N_PBV = 16 >= rho)\n");
     let sparse = uniform_random(n, 2, &mut stream_rng(args.seed, 2));
     let mut t = Table::new(["encoding", "Phase-I DDR B/edge", "cyc/edge"]);
-    for (label, enc) in [("markers", PbvEncoding::Markers), ("pairs", PbvEncoding::Pairs)] {
+    for (label, enc) in [
+        ("markers", PbvEncoding::Markers),
+        ("pairs", PbvEncoding::Pairs),
+    ] {
         let cfg = SimBfsConfig {
             machine: setup.machine,
             encoding: enc,
@@ -120,5 +125,7 @@ fn main() {
         t.row([label.to_string(), fmt_f(p1), fmt_f(cpe)]);
     }
     println!("{t}");
-    println!("paper (footnote 4): (parent, vertex) pairs are more space-efficient when N_PBV >= rho");
+    println!(
+        "paper (footnote 4): (parent, vertex) pairs are more space-efficient when N_PBV >= rho"
+    );
 }

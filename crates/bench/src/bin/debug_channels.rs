@@ -1,24 +1,34 @@
 //! Diagnostic: per-channel, per-phase cycle decomposition for the Figure 5
 //! configurations (not part of the reproduction; used to sanity-check the
 //! simulator's bottleneck attribution).
+//!
+//! The per-channel columns are rebuilt from the `MemStepEvent` stream of a
+//! traced replay rather than read off the ledger directly — exercising the
+//! sink path end to end (the per-step deltas must reconstruct the totals).
 
-use bfs_bench::runs::{run_sim, ScaledSetup};
+use bfs_bench::runs::ScaledSetup;
 use bfs_bench::table::{fmt_f, Table};
 use bfs_bench::HarnessArgs;
 use bfs_core::engine::Scheduling;
-use bfs_core::sim::SimBfsConfig;
+use bfs_core::sim::{simulate_bfs_traced, SimBfsConfig};
 use bfs_graph::gen::stress::stress_bipartite;
 use bfs_graph::gen::uniform::uniform_random;
 use bfs_graph::rng::stream_rng;
-use bfs_memsim::Channel;
+use bfs_trace::{RingSink, TraceEvent};
 
 fn main() {
     let args = HarnessArgs::parse();
     let setup = ScaledSetup::default();
     let n = args.sized(1 << 16, 1 << 12);
     for (name, g) in [
-        ("UR deg8", uniform_random(n, 8, &mut stream_rng(args.seed, 1))),
-        ("Stress deg32", stress_bipartite(n, 32, &mut stream_rng(args.seed, 2))),
+        (
+            "UR deg8",
+            uniform_random(n, 8, &mut stream_rng(args.seed, 1)),
+        ),
+        (
+            "Stress deg32",
+            stress_bipartite(n, 32, &mut stream_rng(args.seed, 2)),
+        ),
     ] {
         println!("== {name}, |V| = {n} ==");
         let mut t = Table::new([
@@ -38,20 +48,30 @@ fn main() {
                 interleave,
                 ..Default::default()
             };
-            let (cpe, _m, r) = run_sim(&g, &cfg, &setup.bandwidth, 0);
+            let ring = RingSink::new(65536);
+            let r = simulate_bfs_traced(&g, &cfg, 0, &ring);
+            let cpe = r.phase_cycles(&setup.bandwidth).total();
             let e = r.traversed_edges as f64;
-            let by = |c: Channel| r.machine.ledger().total(None, None, Some(c), None) as f64 / e;
-            t.row([
-                label.to_string(),
-                fmt_f(by(Channel::DramRead)),
-                fmt_f(by(Channel::DramWrite)),
-                fmt_f(by(Channel::Qpi)),
-                fmt_f(by(Channel::QpiMigration)),
-                fmt_f(by(Channel::LlcToL2)),
-                fmt_f(by(Channel::L2ToLlc)),
-                fmt_f(by(Channel::PageWalk)),
-                fmt_f(cpe),
-            ]);
+            let mut sums = [0u64; 7];
+            for ev in ring.into_events() {
+                if let TraceEvent::MemStep(m) = ev {
+                    for (s, b) in sums.iter_mut().zip([
+                        m.dram_read,
+                        m.dram_write,
+                        m.qpi,
+                        m.qpi_migration,
+                        m.llc_to_l2,
+                        m.l2_to_llc,
+                        m.page_walk,
+                    ]) {
+                        *s += b;
+                    }
+                }
+            }
+            let mut row = vec![label.to_string()];
+            row.extend(sums.iter().map(|&b| fmt_f(b as f64 / e)));
+            row.push(fmt_f(cpe));
+            t.row(row);
         }
         println!("{t}\n");
     }

@@ -74,11 +74,7 @@ fn main() {
             let (cpe, _mteps, r) = run_sim(&g, &cfg, &setup.bandwidth, 0);
             let base = *base_cpe.get_or_insert(cpe);
             let model = if label == "A.F. bit partitioned" {
-                Some(
-                    model_for_graph(&g, &setup.spec, 0, 0.5)
-                        .multi_socket
-                        .total,
-                )
+                Some(model_for_graph(&g, &setup.spec, 0, 0.5).multi_socket.total)
             } else {
                 None
             };

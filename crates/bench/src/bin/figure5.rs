@@ -33,7 +33,12 @@ fn main() {
         "Figure 5 — multi-socket schemes on UR / RMAT / Stress graphs, |V|(sim) = {n} (paper 16M), 2 simulated sockets\n"
     );
     let mut t = Table::new([
-        "graph", "degree", "scheme", "cyc/edge", "rel. perf", "QPI B/edge",
+        "graph",
+        "degree",
+        "scheme",
+        "cyc/edge",
+        "rel. perf",
+        "QPI B/edge",
     ]);
     let mut rows = Vec::new();
     for degree in [8u32, 32] {

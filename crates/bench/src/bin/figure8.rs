@@ -50,11 +50,18 @@ fn main() {
         setup.shrink
     );
     let mut t = Table::new([
-        "graph", "|V| (paper)", "deg",
-        "P-I sim", "P-I model",
-        "P-II sim", "P-II model",
-        "Rearr sim", "Rearr model",
-        "total sim", "total model", "gap",
+        "graph",
+        "|V| (paper)",
+        "deg",
+        "P-I sim",
+        "P-I model",
+        "P-II sim",
+        "P-II model",
+        "Rearr sim",
+        "Rearr model",
+        "total sim",
+        "total model",
+        "gap",
     ]);
     let mut rows = Vec::new();
     let mut gaps = Vec::new();
@@ -89,8 +96,7 @@ fn main() {
             depth: shape.depth,
         };
         let p = predict(&setup.spec, &params, alpha);
-        let gap =
-            (sim.total() - p.multi_socket.total).abs() / p.multi_socket.total * 100.0;
+        let gap = (sim.total() - p.multi_socket.total).abs() / p.multi_socket.total * 100.0;
         gaps.push(gap);
         t.row([
             family.to_string(),
@@ -123,7 +129,9 @@ fn main() {
     }
     println!("{t}");
     let avg = gaps.iter().sum::<f64>() / gaps.len() as f64;
-    println!("average |gap| = {avg:.1}%  (paper: model matches measurement within 5-10% on average)");
+    println!(
+        "average |gap| = {avg:.1}%  (paper: model matches measurement within 5-10% on average)"
+    );
     if let Some(path) = &args.json {
         TableWriter::write_json(path, &rows).expect("write json");
         println!("rows written to {path}");

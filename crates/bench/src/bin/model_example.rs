@@ -23,23 +23,71 @@ fn main() {
     );
 
     let mut t = Table::new(["Quantity", "Model", "Paper"]);
-    t.row(["Phase-I DDR bytes/edge (IV.1a)".to_string(), fmt_f(p.phase1_ddr_bpe), "21.7".into()]);
-    t.row(["Phase-II DDR bytes/edge (IV.1b)".to_string(), fmt_f(p.phase2_ddr_bpe), "13.54".into()]);
-    t.row(["Phase-II LLC bytes/edge (IV.1c)".to_string(), fmt_f(p.phase2_llc_bpe), "51.1".into()]);
-    t.row(["Rearrange bytes/edge (IV.1d)".to_string(), fmt_f(p.rearrange_bpe), "1.6".into()]);
-    t.row(["1-socket Phase-I cycles/edge".to_string(), fmt_f(p.single_socket.phase1), "2.88".into()]);
-    t.row(["1-socket Phase-II cycles/edge".to_string(), fmt_f(p.single_socket.phase2), "3.80".into()]);
+    t.row([
+        "Phase-I DDR bytes/edge (IV.1a)".to_string(),
+        fmt_f(p.phase1_ddr_bpe),
+        "21.7".into(),
+    ]);
+    t.row([
+        "Phase-II DDR bytes/edge (IV.1b)".to_string(),
+        fmt_f(p.phase2_ddr_bpe),
+        "13.54".into(),
+    ]);
+    t.row([
+        "Phase-II LLC bytes/edge (IV.1c)".to_string(),
+        fmt_f(p.phase2_llc_bpe),
+        "51.1".into(),
+    ]);
+    t.row([
+        "Rearrange bytes/edge (IV.1d)".to_string(),
+        fmt_f(p.rearrange_bpe),
+        "1.6".into(),
+    ]);
+    t.row([
+        "1-socket Phase-I cycles/edge".to_string(),
+        fmt_f(p.single_socket.phase1),
+        "2.88".into(),
+    ]);
+    t.row([
+        "1-socket Phase-II cycles/edge".to_string(),
+        fmt_f(p.single_socket.phase2),
+        "3.80".into(),
+    ]);
     t.row([
         "1-socket total cycles/edge".to_string(),
         fmt_f(p.single_socket.total),
         "6.89 (appendix sum; §V-C rounds to 6.48)".into(),
     ]);
-    t.row(["2-socket Phase-I cycles/edge".to_string(), fmt_f(p.multi_socket.phase1), "1.62".into()]);
-    t.row(["2-socket Phase-II cycles/edge".to_string(), fmt_f(p.multi_socket.phase2), "1.75".into()]);
-    t.row(["2-socket rearrange cycles/edge".to_string(), fmt_f(p.multi_socket.rearrange), "0.10".into()]);
-    t.row(["2-socket total cycles/edge".to_string(), fmt_f(p.multi_socket.total), "3.47".into()]);
-    t.row(["2-socket MTEPS (model)".to_string(), fmt_f(p.mteps_multi), "844".into()]);
-    t.row(["2-socket MTEPS (paper measured)".to_string(), "-".into(), "820 (3% off its model)".into()]);
+    t.row([
+        "2-socket Phase-I cycles/edge".to_string(),
+        fmt_f(p.multi_socket.phase1),
+        "1.62".into(),
+    ]);
+    t.row([
+        "2-socket Phase-II cycles/edge".to_string(),
+        fmt_f(p.multi_socket.phase2),
+        "1.75".into(),
+    ]);
+    t.row([
+        "2-socket rearrange cycles/edge".to_string(),
+        fmt_f(p.multi_socket.rearrange),
+        "0.10".into(),
+    ]);
+    t.row([
+        "2-socket total cycles/edge".to_string(),
+        fmt_f(p.multi_socket.total),
+        "3.47".into(),
+    ]);
+    t.row([
+        "2-socket MTEPS (model)".to_string(),
+        fmt_f(p.mteps_multi),
+        "844".into(),
+    ]);
+    t.row([
+        "2-socket MTEPS (paper measured)".to_string(),
+        "-".into(),
+        "820 (3% off its model)".into(),
+    ]);
     println!("{t}");
 
     // Appendix C bandwidth example.

@@ -30,17 +30,22 @@ fn main() {
     let args = HarnessArgs::parse();
     let setup = ScaledSetup::default();
     let n = args.sized(1 << 17, 1 << 12);
-    println!("Socket scaling sweep — |V|(sim) = {n}, simulated X5570 geometry at 1/{}\n", setup.shrink);
+    println!(
+        "Socket scaling sweep — |V|(sim) = {n}, simulated X5570 geometry at 1/{}\n",
+        setup.shrink
+    );
     let mut t = Table::new([
-        "family", "sockets", "sim cyc/edge", "sim speedup", "model cyc/edge", "model speedup",
+        "family",
+        "sockets",
+        "sim cyc/edge",
+        "sim speedup",
+        "model cyc/edge",
+        "model speedup",
     ]);
     let mut rows = Vec::new();
     for family in ["UR", "RMAT"] {
         let (g, alpha) = match family {
-            "UR" => (
-                uniform_random(n, 8, &mut stream_rng(args.seed, 1)),
-                0.5f64,
-            ),
+            "UR" => (uniform_random(n, 8, &mut stream_rng(args.seed, 1)), 0.5f64),
             _ => (
                 rmat(
                     &RmatConfig::paper((n as f64).log2().round() as u32, 8),

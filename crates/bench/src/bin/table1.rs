@@ -21,7 +21,10 @@ fn main() {
     ]);
     t.row([
         "Achievable DDR BW".to_string(),
-        format!("2 x {} GB/s (peak 2 x {} GB/s)", spec.bw_dram, spec.bw_dram_peak),
+        format!(
+            "2 x {} GB/s (peak 2 x {} GB/s)",
+            spec.bw_dram, spec.bw_dram_peak
+        ),
         "2 x 22 GBps (peak 2 x 32 GBps)".into(),
     ]);
     t.row([

@@ -27,13 +27,19 @@ fn main() {
     let args = HarnessArgs::parse();
     // Default: 1/64 of paper scale, capped so Toy++ stays ~1M vertices.
     let base_fraction = (1.0 / 256.0) * args.scale;
-    println!(
-        "Table II — real-world graph proxies at fraction {base_fraction:.5} of paper size"
-    );
+    println!("Table II — real-world graph proxies at fraction {base_fraction:.5} of paper size");
     println!("(depth of lattice proxies shrinks ~sqrt(fraction); see DESIGN.md)\n");
     let mut t = Table::new([
-        "Graph", "Category", "V (paper)", "E (paper)", "Depth (paper)", "V (proxy)",
-        "E (proxy, dir.)", "AvgDeg", "Depth", "EdgeCov",
+        "Graph",
+        "Category",
+        "V (paper)",
+        "E (paper)",
+        "Depth (paper)",
+        "V (proxy)",
+        "E (proxy, dir.)",
+        "AvgDeg",
+        "Depth",
+        "EdgeCov",
     ]);
     let mut rows = Vec::new();
     for spec in ProxySpec::all() {

@@ -141,12 +141,8 @@ mod tests {
     fn engine_and_sim_and_model_agree_on_edges() {
         let g = uniform_random(2000, 4, &mut rng_from_seed(1));
         let setup = ScaledSetup::new(256);
-        let (wall, edges) = run_engine_wall(
-            &g,
-            Topology::synthetic(2, 2),
-            BfsOptions::default(),
-            0,
-        );
+        let (wall, edges) =
+            run_engine_wall(&g, Topology::synthetic(2, 2), BfsOptions::default(), 0);
         assert!(wall > 0.0);
         let (cpe, mteps, r) = run_sim(
             &g,

@@ -5,7 +5,7 @@ use std::io::{BufReader, BufWriter};
 
 use bfs_core::engine::{BfsEngine, BfsOptions, Scheduling};
 use bfs_core::serial::serial_bfs;
-use bfs_core::sim::{simulate_bfs, SimBfsConfig};
+use bfs_core::sim::{simulate_bfs, simulate_bfs_traced, SimBfsConfig};
 use bfs_core::validate::validate_bfs_tree;
 use bfs_core::VisScheme;
 use bfs_graph::gen::grid::{grid3d_stencil, road_network, Stencil};
@@ -21,6 +21,7 @@ use bfs_memsim::{BandwidthSpec, MachineConfig};
 use bfs_model::{predict, GraphParams, MachineSpec};
 use bfs_multinode::{DistBfs, DistOptions};
 use bfs_platform::Topology;
+use bfs_trace::{JsonlSink, RingSink, TeeSink};
 
 use crate::opts::Opts;
 
@@ -37,6 +38,8 @@ subcommands:
                                    [--vis none|atomic|atomic-test|byte|bit]
                                    [--scheduling naive|static|load-balanced]
                                    [--no-rearrange] [--validate]
+  trace    traced traversal        (-i FILE | --family ... [gen flags]) [same engine flags]
+                                   [--out FILE.jsonl] [--with-sim] — per-step events + summary
   sim      simulated X5570 run     -i FILE [--source V] [--shrink F] [same engine flags]
   model    analytical prediction   --vertices N --degree D --depth DEP
                                    [--visited N] [--edges E] [--alpha A] [--sockets S]
@@ -101,14 +104,13 @@ fn pick_source(g: &CsrGraph, o: &Opts) -> Result<u32, String> {
     }
 }
 
-/// `fastbfs gen`
-pub fn gen(args: &[String]) -> Result<(), String> {
-    let o = Opts::parse(args, &[])?;
+/// Builds the graph a `--family ...` option set describes (shared by `gen`
+/// and `trace`).
+fn generate_family(o: &Opts) -> Result<CsrGraph, String> {
     let family = o.require("family")?;
     let seed: u64 = o.num("seed", 42)?;
     let mut rng = rng_from_seed(seed);
-    let out = o.require("o")?.to_string();
-    let g: CsrGraph = if let Some(name) = family.strip_prefix("proxy:") {
+    Ok(if let Some(name) = family.strip_prefix("proxy:") {
         let spec = ProxySpec::all()
             .into_iter()
             .find(|s| s.name.eq_ignore_ascii_case(name))
@@ -121,7 +123,10 @@ pub fn gen(args: &[String]) -> Result<(), String> {
         let degree: u32 = o.num("degree", 8)?;
         match family {
             "ur" => uniform_random(vertices, degree, &mut rng),
-            "rmat" => rmat(&RmatConfig::paper(scale, o.num("edge-factor", degree)?), &mut rng),
+            "rmat" => rmat(
+                &RmatConfig::paper(scale, o.num("edge-factor", degree)?),
+                &mut rng,
+            ),
             "graph500" => rmat(
                 &RmatConfig::graph500(scale, o.num("edge-factor", 16)?),
                 &mut rng,
@@ -138,7 +143,14 @@ pub fn gen(args: &[String]) -> Result<(), String> {
             "ws" => watts_strogatz(vertices, (degree / 2).max(1), 0.05, &mut rng),
             _ => return Err(format!("unknown family {family:?}")),
         }
-    };
+    })
+}
+
+/// `fastbfs gen`
+pub fn gen(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &[])?;
+    let out = o.require("o")?.to_string();
+    let g = generate_family(&o)?;
     save_graph(&g, &out)?;
     println!(
         "wrote {out}: {} vertices, {} directed edges",
@@ -207,6 +219,66 @@ pub fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `fastbfs trace`
+pub fn trace(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["no-rearrange", "with-sim"])?;
+    let g = match o.get("i") {
+        Some(path) => load_graph(path)?,
+        None if o.get("family").is_some() => generate_family(&o)?,
+        None => return Err("trace needs -i FILE or --family ...".into()),
+    };
+    let src = pick_source(&g, &o)?;
+    let sockets: usize = o.num("sockets", 1)?;
+    let threads: usize = o.num("threads", bfs_platform::pin::host_cores())?;
+    let topo = Topology::synthetic(sockets, threads.div_ceil(sockets).max(1));
+    let engine = BfsEngine::new(&g, topo, engine_options(&o)?);
+
+    // Everything lands in the ring (for the summary); --out tees a JSONL
+    // stream alongside.
+    let ring = RingSink::new(65536);
+    let jsonl = match o.get("out") {
+        Some(path) => {
+            let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            Some(JsonlSink::new(BufWriter::new(f)))
+        }
+        None => None,
+    };
+    let out = match &jsonl {
+        Some(j) => engine.run_traced(src, &TeeSink::new(&ring, j)),
+        None => engine.run_traced(src, &ring),
+    };
+    if o.has("with-sim") {
+        let cfg = SimBfsConfig {
+            machine: MachineConfig::xeon_x5570_2s().scaled_down(o.num("shrink", 64)?),
+            vis: parse_vis(o.get("vis").unwrap_or("bit"))?,
+            scheduling: parse_scheduling(o.get("scheduling").unwrap_or("load-balanced"))?,
+            rearrange: !o.has("no-rearrange"),
+            ..Default::default()
+        };
+        match &jsonl {
+            Some(j) => simulate_bfs_traced(&g, &cfg, src, &TeeSink::new(&ring, j)),
+            None => simulate_bfs_traced(&g, &cfg, src, &ring),
+        };
+    }
+    if let Some(j) = jsonl {
+        if j.errors() > 0 {
+            return Err(format!("{} JSONL write errors", j.errors()));
+        }
+        j.into_inner().map_err(|e| format!("flush --out: {e}"))?;
+        let events = ring.len() + ring.dropped() as usize;
+        println!("wrote {} events to {}", events, o.get("out").unwrap());
+    }
+    println!(
+        "depth {}, |V'| {}, |E'| {}, {:.2} MTEPS",
+        out.stats.steps,
+        out.stats.visited_vertices,
+        out.stats.traversed_edges,
+        out.stats.mteps(),
+    );
+    println!("{}", bfs_trace::summarize(&ring.snapshot()));
+    Ok(())
+}
+
 /// `fastbfs sim`
 pub fn sim(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args, &["no-rearrange", "no-prefetch"])?;
@@ -229,7 +301,11 @@ pub fn sim(args: &[String]) -> Result<(), String> {
     println!("  Phase I:     {:.3} cyc/edge", c.phase1);
     println!("  Phase II:    {:.3} cyc/edge", c.phase2);
     println!("  Rearrange:   {:.3} cyc/edge", c.rearrange);
-    println!("  total:       {:.3} cyc/edge = {:.0} MTEPS", c.total(), r.mteps(&bw));
+    println!(
+        "  total:       {:.3} cyc/edge = {:.0} MTEPS",
+        c.total(),
+        r.mteps(&bw)
+    );
     let report = r.report();
     println!(
         "  DDR traffic: {:.1} B/edge, atomic ops: {}",
@@ -260,7 +336,12 @@ pub fn model(args: &[String]) -> Result<(), String> {
         depth,
     };
     let p = predict(&spec, &params, alpha.max(1.0 / sockets as f64));
-    println!("N_VIS {}  N_PBV {}  rho' {:.2}", p.n_vis, p.n_pbv, params.rho_prime());
+    println!(
+        "N_VIS {}  N_PBV {}  rho' {:.2}",
+        p.n_vis,
+        p.n_pbv,
+        params.rho_prime()
+    );
     println!(
         "bytes/edge: P-I {:.2}  P-II {:.2}  LLC {:.2}  R {:.2}",
         p.phase1_ddr_bpe, p.phase2_ddr_bpe, p.phase2_llc_bpe, p.rearrange_bpe
@@ -340,7 +421,17 @@ mod tests {
     #[test]
     fn gen_info_run_roundtrip() {
         let path = tmp("g1.fbfs");
-        gen(&s(&["--family", "ur", "--vertices", "500", "--degree", "4", "-o", &path])).unwrap();
+        gen(&s(&[
+            "--family",
+            "ur",
+            "--vertices",
+            "500",
+            "--degree",
+            "4",
+            "-o",
+            &path,
+        ]))
+        .unwrap();
         info(&s(&["-i", &path])).unwrap();
         run(&s(&["-i", &path, "--validate", "--runs", "2"])).unwrap();
         std::fs::remove_file(&path).ok();
@@ -362,24 +453,93 @@ mod tests {
     #[test]
     fn sim_and_dist_commands() {
         let path = tmp("g3.fbfs");
-        gen(&s(&["--family", "stress", "--vertices", "400", "--degree", "6", "-o", &path]))
-            .unwrap();
+        gen(&s(&[
+            "--family",
+            "stress",
+            "--vertices",
+            "400",
+            "--degree",
+            "6",
+            "-o",
+            &path,
+        ]))
+        .unwrap();
         sim(&s(&["-i", &path, "--shrink", "256"])).unwrap();
         dist(&s(&["-i", &path, "--nodes", "3", "--validate"])).unwrap();
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
+    fn trace_command_writes_valid_jsonl() {
+        use bfs_trace::TraceEvent;
+        let path = tmp("t1.jsonl");
+        trace(&s(&[
+            "--family",
+            "ur",
+            "--vertices",
+            "600",
+            "--degree",
+            "5",
+            "--threads",
+            "4",
+            "--out",
+            &path,
+            "--with-sim",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("every line is a valid event"))
+            .collect();
+        let runs = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Run(_)))
+            .count();
+        let steps = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Step(_)))
+            .count();
+        let mem = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::MemStep(_)))
+            .count();
+        assert_eq!(runs, 2, "one engine run event + one memsim run event");
+        assert!(steps >= 1, "one step event per BFS level");
+        assert!(mem >= 1, "--with-sim adds per-step traffic events");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_requires_a_graph() {
+        assert!(trace(&s(&["--out", "/tmp/x.jsonl"])).is_err());
+    }
+
+    #[test]
     fn model_command() {
-        model(&s(&["--vertices", "8388608", "--degree", "8", "--depth", "6", "--alpha", "0.6"]))
-            .unwrap();
+        model(&s(&[
+            "--vertices",
+            "8388608",
+            "--degree",
+            "8",
+            "--depth",
+            "6",
+            "--alpha",
+            "0.6",
+        ]))
+        .unwrap();
     }
 
     #[test]
     fn proxy_generation() {
         let path = tmp("g4.fbfs");
         gen(&s(&[
-            "--family", "proxy:facebook", "--fraction", "0.0005", "-o", &path,
+            "--family",
+            "proxy:facebook",
+            "--fraction",
+            "0.0005",
+            "-o",
+            &path,
         ]))
         .unwrap();
         std::fs::remove_file(&path).ok();

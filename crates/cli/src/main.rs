@@ -4,6 +4,7 @@
 //! fastbfs gen   --family rmat --scale 18 --edge-factor 16 -o graph.fbfs
 //! fastbfs info  -i graph.fbfs
 //! fastbfs run   -i graph.fbfs --runs 5 --validate
+//! fastbfs trace --family rmat --scale 16 --out trace.jsonl
 //! fastbfs sim   -i graph.fbfs --scheduling load-balanced
 //! fastbfs model --vertices 8388608 --degree 8 --depth 6 --alpha 0.6
 //! fastbfs dist  -i graph.fbfs --nodes 8
@@ -26,6 +27,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("gen") => cmd::gen(&args[1..]),
         Some("info") => cmd::info(&args[1..]),
         Some("run") => cmd::run(&args[1..]),
+        Some("trace") => cmd::trace(&args[1..]),
         Some("sim") => cmd::sim(&args[1..]),
         Some("model") => cmd::model(&args[1..]),
         Some("dist") => cmd::dist(&args[1..]),

@@ -74,7 +74,11 @@ mod tests {
 
     #[test]
     fn values_and_switches() {
-        let o = parse(&["--scale", "18", "--validate", "-o", "x.bin"], &["validate"]).unwrap();
+        let o = parse(
+            &["--scale", "18", "--validate", "-o", "x.bin"],
+            &["validate"],
+        )
+        .unwrap();
         assert_eq!(o.get("scale"), Some("18"));
         assert_eq!(o.get("o"), Some("x.bin"));
         assert!(o.has("validate"));

@@ -246,10 +246,7 @@ mod tests {
         let s = streams(&[10, 20, 30, 5, 25, 10, 15, 12]);
         let parts = divide_even(&s, 2, 1);
         for p in &parts {
-            let full_bins = p
-                .iter()
-                .filter(|seg| seg.len() == s[seg.bin].len)
-                .count();
+            let full_bins = p.iter().filter(|seg| seg.len() == s[seg.bin].len).count();
             let partial = p.len() - full_bins;
             assert!(partial <= 2, "part has {partial} partial bins");
         }
@@ -324,9 +321,21 @@ mod tests {
     #[test]
     fn multi_owner_streams_keep_owner_identity() {
         let s = vec![
-            Stream { bin: 0, owner: 0, len: 4 },
-            Stream { bin: 0, owner: 1, len: 4 },
-            Stream { bin: 1, owner: 0, len: 4 },
+            Stream {
+                bin: 0,
+                owner: 0,
+                len: 4,
+            },
+            Stream {
+                bin: 0,
+                owner: 1,
+                len: 4,
+            },
+            Stream {
+                bin: 1,
+                owner: 0,
+                len: 4,
+            },
         ];
         let parts = divide_even(&s, 3, 1);
         let all: Vec<&Segment> = parts.iter().flatten().collect();

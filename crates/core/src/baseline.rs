@@ -14,6 +14,7 @@
 
 use bfs_graph::CsrGraph;
 use bfs_platform::{SocketPool, Topology};
+use bfs_trace::{NoopSink, RunEvent, StepEvent, ThreadStep, TraceEvent, TraceSink};
 
 use crate::balance::{divide_even, Stream};
 use crate::cell::ThreadOwned;
@@ -27,7 +28,17 @@ use crate::VertexId;
 /// `fetch_or` claim per vertex (their tuned protocol), shared frontier, no
 /// locality machinery.
 pub fn atomic_parallel_bfs(graph: &CsrGraph, topology: Topology, source: VertexId) -> BfsOutput {
-    flat_parallel_bfs(graph, topology, source, VisScheme::AtomicBitTest)
+    flat_parallel_bfs(graph, topology, source, VisScheme::AtomicBitTest, &NoopSink)
+}
+
+/// [`atomic_parallel_bfs`] with per-step events into `sink`.
+pub fn atomic_parallel_bfs_traced(
+    graph: &CsrGraph,
+    topology: Topology,
+    source: VertexId,
+    sink: &dyn TraceSink,
+) -> BfsOutput {
+    flat_parallel_bfs(graph, topology, source, VisScheme::AtomicBitTest, sink)
 }
 
 /// The literal Figure 2(a) variant: a LOCK `fetch_or` per edge.
@@ -36,12 +47,32 @@ pub fn atomic_per_edge_parallel_bfs(
     topology: Topology,
     source: VertexId,
 ) -> BfsOutput {
-    flat_parallel_bfs(graph, topology, source, VisScheme::AtomicBit)
+    flat_parallel_bfs(graph, topology, source, VisScheme::AtomicBit, &NoopSink)
 }
 
 /// Direct-DP parallel BFS (no VIS filter at all).
 pub fn no_vis_parallel_bfs(graph: &CsrGraph, topology: Topology, source: VertexId) -> BfsOutput {
-    flat_parallel_bfs(graph, topology, source, VisScheme::None)
+    flat_parallel_bfs(graph, topology, source, VisScheme::None, &NoopSink)
+}
+
+/// [`no_vis_parallel_bfs`] with per-step events into `sink`.
+pub fn no_vis_parallel_bfs_traced(
+    graph: &CsrGraph,
+    topology: Topology,
+    source: VertexId,
+    sink: &dyn TraceSink,
+) -> BfsOutput {
+    flat_parallel_bfs(graph, topology, source, VisScheme::None, sink)
+}
+
+fn baseline_name(scheme: VisScheme) -> &'static str {
+    match scheme {
+        VisScheme::AtomicBitTest => "baseline-atomic",
+        VisScheme::AtomicBit => "baseline-atomic-per-edge",
+        VisScheme::None => "baseline-no-vis",
+        VisScheme::Byte => "baseline-byte",
+        VisScheme::Bit => "baseline-bit",
+    }
 }
 
 /// Shared skeleton: level-synchronous expansion with per-thread output
@@ -52,29 +83,47 @@ fn flat_parallel_bfs(
     topology: Topology,
     source: VertexId,
     scheme: VisScheme,
+    sink: &dyn TraceSink,
 ) -> BfsOutput {
     topology.validate();
     let n = graph.num_vertices();
     assert!((source as usize) < n, "source out of range");
     let t0 = std::time::Instant::now();
     let nthreads = topology.total_threads();
+    let tracing = sink.enabled();
+    if tracing {
+        sink.record(&TraceEvent::Run(RunEvent {
+            engine: baseline_name(scheme).to_string(),
+            vertices: n as u64,
+            edges: graph.num_edges(),
+            source,
+            sockets: topology.sockets,
+            lanes_per_socket: topology.lanes_per_socket,
+            threads: nthreads,
+            n_vis: None,
+            n_pbv: None,
+            encoding: None,
+            scheduling: None,
+            vis: Some(format!("{scheme:?}")),
+            nodes: None,
+        }));
+    }
     let dp = DepthParent::new(n);
     let vis = Vis::new(scheme, n);
     dp.set(source, 0, source);
     vis.mark(source);
 
-    let bv_cur = ThreadOwned::from_fn(nthreads, |t| {
-        if t == 0 {
-            vec![source]
-        } else {
-            Vec::new()
-        }
-    });
+    let bv_cur = ThreadOwned::from_fn(nthreads, |t| if t == 0 { vec![source] } else { Vec::new() });
     let bv_next: ThreadOwned<Vec<VertexId>> = ThreadOwned::from_fn(nthreads, |_| Vec::new());
     let totals = [
         std::sync::atomic::AtomicU64::new(0),
         std::sync::atomic::AtomicU64::new(0),
     ];
+    // Per-thread (expansion nanos, enqueued) for the leader's step event.
+    let step_scratch: ThreadOwned<(u64, u64)> = ThreadOwned::from_fn(nthreads, |_| (0, 0));
+    // `frontier_sizes[0]` is the source frontier (see `TraversalStats`).
+    let frontier_log = crate::engine::parking_lot_free_log(n);
+    frontier_log.with_mut(0, |log| log.push(1));
 
     let pool = SocketPool::new(topology);
     let enqueued: Vec<u64> = pool.run(|ctx| {
@@ -88,6 +137,7 @@ fn flat_parallel_bfs(
                 totals[(step & 1) as usize].store(0, Ordering::Relaxed);
             }
             ctx.barrier();
+            let expand_t0 = tracing.then(std::time::Instant::now);
             let streams: Vec<Stream> = (0..nthreads)
                 .map(|t| Stream {
                     bin: t,
@@ -123,9 +173,18 @@ fn flat_parallel_bfs(
                 next.len() as u64
             });
             my_enqueued += mine;
+            if let Some(t) = expand_t0 {
+                step_scratch.with_mut(tid, |s| *s = (t.elapsed().as_nanos() as u64, mine));
+            }
             totals[(step & 1) as usize].fetch_add(mine, Ordering::Relaxed);
             ctx.barrier();
             let total = totals[(step & 1) as usize].load(Ordering::Relaxed);
+            if tid == 0 && total > 0 {
+                frontier_log.with_mut(0, |log| log.push(total));
+                if tracing {
+                    emit_baseline_step(sink, step, total, nthreads, &step_scratch, &dp, n);
+                }
+            }
             bv_cur.with_mut(tid, |cur| {
                 bv_next.with_mut(tid, |next| {
                     std::mem::swap(cur, next);
@@ -155,6 +214,8 @@ fn flat_parallel_bfs(
         }
     }
     let enq: u64 = enqueued.iter().sum();
+    let frontier_sizes: Vec<u64> = frontier_log.with_mut(0, std::mem::take);
+    debug_assert_eq!(frontier_sizes.len() as u32 - 1, max_depth);
     BfsOutput {
         depths,
         parents,
@@ -163,11 +224,43 @@ fn flat_parallel_bfs(
             visited_vertices: visited,
             traversed_edges: traversed,
             duplicate_enqueues: (enq + 1).saturating_sub(visited),
-            frontier_sizes: Vec::new(),
+            frontier_sizes,
             total_time,
             ..Default::default()
         },
     }
+}
+
+/// Baseline step event: expansion time reported as `phase1_ns` (the flat
+/// skeleton has no Phase II or rearrangement), no bin occupancy.
+fn emit_baseline_step(
+    sink: &dyn TraceSink,
+    step: u32,
+    total: u64,
+    nthreads: usize,
+    step_scratch: &ThreadOwned<(u64, u64)>,
+    dp: &DepthParent,
+    n: usize,
+) {
+    let threads: Vec<ThreadStep> = (0..nthreads)
+        .map(|t| {
+            step_scratch.read(t, |&(expand_ns, enqueued)| ThreadStep {
+                thread: t,
+                phase1_ns: expand_ns,
+                phase2_ns: 0,
+                rearrange_ns: 0,
+                enqueued,
+            })
+        })
+        .collect();
+    let claimed = (0..n as u32).filter(|&v| dp.depth(v) == step).count() as u64;
+    sink.record(&TraceEvent::Step(StepEvent {
+        step,
+        frontier: total,
+        duplicates: total.saturating_sub(claimed),
+        threads,
+        bin_occupancy: Vec::new(),
+    }));
 }
 
 #[cfg(test)]
@@ -208,6 +301,61 @@ mod tests {
             let r = serial_bfs(&g, 0);
             assert_eq!(out.depths, r.depths);
             assert_eq!(out.stats.steps, r.max_depth);
+        }
+    }
+
+    #[test]
+    fn frontier_sizes_follow_the_convention() {
+        let g = uniform_random(900, 6, &mut rng_from_seed(7));
+        let out = atomic_parallel_bfs(&g, Topology::synthetic(2, 2), 0);
+        assert_eq!(out.stats.frontier_sizes[0], 1);
+        assert_eq!(
+            out.stats.steps,
+            out.stats.frontier_sizes.len() as u32 - 1,
+            "steps must count depth levels past the source"
+        );
+        assert!(out.stats.frontier_sizes.iter().all(|&f| f > 0));
+        let sum: u64 = out.stats.frontier_sizes[1..].iter().sum();
+        assert_eq!(
+            sum,
+            out.stats.visited_vertices - 1 + out.stats.duplicate_enqueues
+        );
+    }
+
+    #[test]
+    fn traced_baseline_emits_run_and_step_events() {
+        use bfs_trace::RingSink;
+        let g = uniform_random(1200, 8, &mut rng_from_seed(5));
+        let ring = RingSink::new(4096);
+        let out = atomic_parallel_bfs_traced(&g, Topology::synthetic(2, 2), 0, &ring);
+        let events = ring.into_events();
+        let runs: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Run(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].engine, "baseline-atomic");
+        assert_eq!(runs[0].vertices, 1200);
+        assert_eq!(runs[0].n_pbv, None);
+        let steps: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Step(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(steps.len() as u32, out.stats.steps);
+        for (i, s) in steps.iter().enumerate() {
+            assert_eq!(s.step, i as u32 + 1);
+            assert_eq!(s.frontier, out.stats.frontier_sizes[i + 1]);
+            assert_eq!(s.threads.len(), 4);
+            let enq: u64 = s.threads.iter().map(|t| t.enqueued).sum();
+            assert_eq!(enq, s.frontier);
+            assert!(s.bin_occupancy.is_empty());
+            assert_eq!(s.duplicates, 0, "atomic claims are exactly-once");
         }
     }
 

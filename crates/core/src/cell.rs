@@ -70,7 +70,7 @@ impl<T> ThreadOwned<T> {
         let _guard = BorrowGuard::exclusive(&self.borrows[owner]);
         // SAFETY: the epoch contract guarantees no concurrent access to this
         // cell; debug builds enforce it dynamically.
-        
+
         unsafe { f(&mut *self.cells[owner].get()) }
     }
 
@@ -84,7 +84,7 @@ impl<T> ThreadOwned<T> {
         #[cfg(debug_assertions)]
         let _guard = BorrowGuard::shared(&self.borrows[i]);
         // SAFETY: see contract.
-        
+
         unsafe { f(&*self.cells[i].get()) }
     }
 

@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 
 use bfs_graph::CsrGraph;
 use bfs_platform::{SocketPool, Topology};
+use bfs_trace::{NoopSink, RunEvent, StepEvent, ThreadStep, TraceEvent, TraceSink};
 
 use crate::balance::{divide_even, divide_static, Segment, Stream};
 use crate::cell::ThreadOwned;
@@ -109,6 +110,18 @@ struct Counters {
     rearrange: Duration,
 }
 
+/// Per-thread, per-step measurements, overwritten each step. The owning
+/// thread writes its cell during the step; the leader reads every cell
+/// between the step's last two barriers to assemble a
+/// [`StepEvent`] — the same epoch protocol as the frontier buffers.
+#[derive(Clone, Copy, Default)]
+struct StepScratch {
+    phase1_ns: u64,
+    phase2_ns: u64,
+    rearrange_ns: u64,
+    enqueued: u64,
+}
+
 /// The BFS engine: graph + topology + options.
 pub struct BfsEngine<'g> {
     graph: &'g CsrGraph,
@@ -165,10 +178,41 @@ impl<'g> BfsEngine<'g> {
     /// # Panics
     /// Panics if `source` is out of range.
     pub fn run(&self, source: VertexId) -> BfsOutput {
+        self.run_traced(source, &NoopSink)
+    }
+
+    /// Runs a traversal from `source`, emitting one [`RunEvent`] and one
+    /// [`StepEvent`] per BFS level into `sink`.
+    ///
+    /// Event assembly (per-thread timing vectors, bin occupancies, the `DP`
+    /// scan behind per-step duplicate counts) only happens when
+    /// `sink.enabled()`; with a [`NoopSink`] this is exactly [`run`](Self::run).
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    pub fn run_traced(&self, source: VertexId, sink: &dyn TraceSink) -> BfsOutput {
         let n = self.graph.num_vertices();
         assert!((source as usize) < n, "source out of range");
         let t0 = Instant::now();
         let nthreads = self.topology.total_threads();
+        let tracing = sink.enabled();
+        if tracing {
+            sink.record(&TraceEvent::Run(RunEvent {
+                engine: "engine".to_string(),
+                vertices: n as u64,
+                edges: self.graph.num_edges(),
+                source,
+                sockets: self.topology.sockets,
+                lanes_per_socket: self.topology.lanes_per_socket,
+                threads: nthreads,
+                n_vis: Some(self.geometry.n_vis),
+                n_pbv: Some(self.geometry.n_bins),
+                encoding: Some(format!("{:?}", self.encoding)),
+                scheduling: Some(format!("{:?}", self.options.scheduling)),
+                vis: Some(format!("{:?}", self.options.vis)),
+                nodes: None,
+            }));
+        }
 
         let dp = DepthParent::new(n);
         let vis = Vis::new(self.options.vis, n);
@@ -176,24 +220,23 @@ impl<'g> BfsEngine<'g> {
         vis.mark(source);
 
         // Per-thread buffer families (see `cell` for the epoch protocol).
-        let bv_cur = ThreadOwned::from_fn(nthreads, |t| {
-            if t == 0 {
-                vec![source]
-            } else {
-                Vec::new()
-            }
-        });
+        let bv_cur =
+            ThreadOwned::from_fn(nthreads, |t| if t == 0 { vec![source] } else { Vec::new() });
         let bv_next: ThreadOwned<Vec<VertexId>> = ThreadOwned::from_fn(nthreads, |_| Vec::new());
         let bins = ThreadOwned::from_fn(nthreads, |_| {
             BinSet::new(self.geometry.n_bins, self.encoding)
         });
         let scratch: ThreadOwned<(Vec<VertexId>, Vec<u32>)> =
             ThreadOwned::from_fn(nthreads, |_| (Vec::new(), Vec::new()));
+        let step_scratch: ThreadOwned<StepScratch> =
+            ThreadOwned::from_fn(nthreads, |_| StepScratch::default());
 
         // Frontier-size accumulators, double-buffered by step parity (reset
         // happens a full barrier before the next use of a slot).
         let totals = [AtomicU64::new(0), AtomicU64::new(0)];
+        // `frontier_sizes[0]` is the source frontier (see `TraversalStats`).
         let frontier_log = parking_lot_free_log(n);
+        frontier_log.with_mut(0, |log| log.push(1));
 
         let counters = self.pool.run(|ctx| {
             let tid = ctx.thread_id;
@@ -216,21 +259,34 @@ impl<'g> BfsEngine<'g> {
                 let p1 = Instant::now();
                 match self.options.scheduling {
                     Scheduling::NoMultiSocketOpt => {
-                        self.expand_direct(ctx.thread_id, nthreads, &bv_cur, &bv_next, &dp, &vis, step, &mut c);
+                        self.expand_direct(
+                            ctx.thread_id,
+                            nthreads,
+                            &bv_cur,
+                            &bv_next,
+                            &dp,
+                            &vis,
+                            step,
+                            &mut c,
+                        );
                     }
                     _ => {
-                        self.phase_one(tid, nthreads, &bv_cur, &bins, &mut c);
+                        self.phase_one(tid, nthreads, &bv_cur, &bins, &scratch, &mut c);
                     }
                 }
-                c.phase1 += p1.elapsed();
+                let d1 = p1.elapsed();
+                c.phase1 += d1;
                 ctx.barrier();
 
+                let mut d2 = Duration::ZERO;
                 if self.options.scheduling != Scheduling::NoMultiSocketOpt {
                     let p2 = Instant::now();
                     self.phase_two(tid, nthreads, &bins, &bv_next, &dp, &vis, step, &mut c);
-                    c.phase2 += p2.elapsed();
+                    d2 = p2.elapsed();
+                    c.phase2 += d2;
                 }
 
+                let mut dr = Duration::ZERO;
                 if self.options.rearrange {
                     let pr = Instant::now();
                     scratch.with_mut(tid, |(tmp, _)| {
@@ -244,15 +300,37 @@ impl<'g> BfsEngine<'g> {
                             );
                         });
                     });
-                    c.rearrange += pr.elapsed();
+                    dr = pr.elapsed();
+                    c.rearrange += dr;
                 }
                 let mine = bv_next.with_mut(tid, |f| f.len() as u64);
                 c.enqueued += mine;
+                if tracing {
+                    step_scratch.with_mut(tid, |s| {
+                        *s = StepScratch {
+                            phase1_ns: d1.as_nanos() as u64,
+                            phase2_ns: d2.as_nanos() as u64,
+                            rearrange_ns: dr.as_nanos() as u64,
+                            enqueued: mine,
+                        };
+                    });
+                }
                 totals[(step & 1) as usize].fetch_add(mine, Ordering::Relaxed);
                 ctx.barrier();
                 let total = totals[(step & 1) as usize].load(Ordering::Relaxed);
-                if tid == 0 {
+                if tid == 0 && total > 0 {
                     frontier_log.with_mut(0, |log| log.push(total));
+                    if tracing {
+                        self.emit_step_event(
+                            sink,
+                            step,
+                            total,
+                            nthreads,
+                            &step_scratch,
+                            &bins,
+                            &dp,
+                        );
+                    }
                 }
                 // Swap own frontier buffers; clear the consumed one.
                 bv_cur.with_mut(tid, |cur| {
@@ -281,11 +359,10 @@ impl<'g> BfsEngine<'g> {
                 traversed += self.graph.degree(v as u32) as u64;
             }
         }
-        let frontier_sizes: Vec<u64> =
-            frontier_log.with_mut(0, |log| log.iter().copied().filter(|&s| s > 0).collect());
+        let frontier_sizes: Vec<u64> = frontier_log.with_mut(0, std::mem::take);
         let enqueued: u64 = counters.iter().map(|c| c.enqueued).sum();
         let stats = TraversalStats {
-            steps: frontier_sizes.len() as u32,
+            steps: frontier_sizes.len() as u32 - 1,
             visited_vertices: visited,
             traversed_edges: traversed,
             duplicate_enqueues: (enqueued + 1).saturating_sub(visited),
@@ -307,6 +384,57 @@ impl<'g> BfsEngine<'g> {
         }
     }
 
+    /// Assembles and records the step's [`StepEvent`] on the leader, between
+    /// the step's last two barriers: every thread's `step_scratch` and bins
+    /// are in their read epoch, and nobody writes `DP` until the next step.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_step_event(
+        &self,
+        sink: &dyn TraceSink,
+        step: u32,
+        total: u64,
+        nthreads: usize,
+        step_scratch: &ThreadOwned<StepScratch>,
+        bins: &ThreadOwned<BinSet>,
+        dp: &DepthParent,
+    ) {
+        let threads: Vec<ThreadStep> = (0..nthreads)
+            .map(|t| {
+                step_scratch.read(t, |s| ThreadStep {
+                    thread: t,
+                    phase1_ns: s.phase1_ns,
+                    phase2_ns: s.phase2_ns,
+                    rearrange_ns: s.rearrange_ns,
+                    enqueued: s.enqueued,
+                })
+            })
+            .collect();
+        let bin_occupancy: Vec<u64> = if self.options.scheduling == Scheduling::NoMultiSocketOpt {
+            Vec::new()
+        } else {
+            (0..self.geometry.n_bins)
+                .map(|b| {
+                    (0..nthreads)
+                        .map(|t| bins.read(t, |bs| bs.bin_len(b)) as u64)
+                        .sum()
+                })
+                .collect()
+        };
+        // Distinct vertices claimed this step: an O(|V|) relaxed scan, paid
+        // only when tracing. Enqueues beyond that are the benign-race
+        // duplicates of this step.
+        let claimed = (0..self.graph.num_vertices() as u32)
+            .filter(|&v| dp.depth(v) == step)
+            .count() as u64;
+        sink.record(&TraceEvent::Step(StepEvent {
+            step,
+            frontier: total,
+            duplicates: total.saturating_sub(claimed),
+            threads,
+            bin_occupancy,
+        }));
+    }
+
     /// Phase I: bin the neighbors of this thread's share of the frontier.
     fn phase_one(
         &self,
@@ -314,6 +442,7 @@ impl<'g> BfsEngine<'g> {
         nthreads: usize,
         bv_cur: &ThreadOwned<Vec<VertexId>>,
         bins: &ThreadOwned<BinSet>,
+        scratch: &ThreadOwned<(Vec<VertexId>, Vec<u32>)>,
         c: &mut Counters,
     ) {
         // Deterministic division: every thread derives the same plan from
@@ -336,36 +465,39 @@ impl<'g> BfsEngine<'g> {
         let pref = self.options.prefetch_distance;
         let offsets = self.graph.offsets();
         let raw = self.graph.raw_neighbors();
-        bins.with_mut(tid, |my_bins| {
-            my_bins.clear();
-            let mut idx_buf: Vec<u32> = Vec::new();
-            for seg in &my_segments {
-                bv_cur.read(seg.owner, |frontier| {
-                    let window = &frontier[seg.range.clone()];
-                    for (k, &u) in window.iter().enumerate() {
-                        if pref > 0 {
-                            if let Some(&next_u) = window.get(k + pref) {
-                                // Prefetch the adjacency pointer and the
-                                // first neighbor line (§III-C(3)).
-                                prefetch_slice_element(offsets, next_u as usize);
-                                let off = offsets[next_u as usize] as usize;
-                                prefetch_slice_element(raw, off);
+        // The bin-index buffer lives in the thread's scratch cell so its
+        // allocation is reused across steps instead of regrown each step.
+        scratch.with_mut(tid, |(_, idx_buf)| {
+            bins.with_mut(tid, |my_bins| {
+                my_bins.clear();
+                for seg in &my_segments {
+                    bv_cur.read(seg.owner, |frontier| {
+                        let window = &frontier[seg.range.clone()];
+                        for (k, &u) in window.iter().enumerate() {
+                            if pref > 0 {
+                                if let Some(&next_u) = window.get(k + pref) {
+                                    // Prefetch the adjacency pointer and the
+                                    // first neighbor line (§III-C(3)).
+                                    prefetch_slice_element(offsets, next_u as usize);
+                                    let off = offsets[next_u as usize] as usize;
+                                    prefetch_slice_element(raw, off);
+                                }
+                            }
+                            let neighbors = self.graph.neighbors(u);
+                            my_bins.begin_vertex(u);
+                            c.binning_ops += bin_indices(
+                                self.options.bin_kernel,
+                                neighbors,
+                                self.geometry.bin_shift,
+                                idx_buf,
+                            );
+                            for (&v, &b) in neighbors.iter().zip(idx_buf.iter()) {
+                                my_bins.push_neighbor(b as usize, v);
                             }
                         }
-                        let neighbors = self.graph.neighbors(u);
-                        my_bins.begin_vertex(u);
-                        c.binning_ops += bin_indices(
-                            self.options.bin_kernel,
-                            neighbors,
-                            self.geometry.bin_shift,
-                            &mut idx_buf,
-                        );
-                        for (&v, &b) in neighbors.iter().zip(idx_buf.iter()) {
-                            my_bins.push_neighbor(b as usize, v);
-                        }
-                    }
-                });
-            }
+                    });
+                }
+            });
         });
     }
 
@@ -499,7 +631,7 @@ impl<'g> BfsEngine<'g> {
 /// A single-cell `ThreadOwned` used as a leader-only log (keeps the cell
 /// protocol uniform instead of adding a mutex for one vector — only thread 0
 /// ever touches it during the run).
-fn parking_lot_free_log(capacity_hint: usize) -> ThreadOwned<Vec<u64>> {
+pub(crate) fn parking_lot_free_log(capacity_hint: usize) -> ThreadOwned<Vec<u64>> {
     ThreadOwned::from_fn(1, |_| Vec::with_capacity(capacity_hint.min(1024)))
 }
 
@@ -646,6 +778,8 @@ mod tests {
         assert_eq!(out.depths, vec![0]);
         assert_eq!(out.stats.visited_vertices, 1);
         assert_eq!(out.stats.steps, 0);
+        // The source frontier is logged even when nothing else is reached.
+        assert_eq!(out.stats.frontier_sizes, vec![1]);
     }
 
     #[test]
@@ -671,12 +805,59 @@ mod tests {
         let g = uniform_random(1000, 4, &mut rng_from_seed(13));
         let engine = BfsEngine::new(&g, Topology::synthetic(2, 2), BfsOptions::default());
         let out = engine.run(0);
-        let sum: u64 = out.stats.frontier_sizes.iter().sum();
+        // `frontier_sizes[0]` is the source; later entries are per-depth
+        // enqueues, duplicates included.
+        assert_eq!(out.stats.frontier_sizes[0], 1);
+        assert_eq!(out.stats.steps as usize, out.stats.frontier_sizes.len() - 1);
+        let sum: u64 = out.stats.frontier_sizes[1..].iter().sum();
         assert_eq!(
-            sum + out.stats.duplicate_enqueues,
+            sum,
             out.stats.visited_vertices - 1 + out.stats.duplicate_enqueues
         );
-        assert!(sum >= out.stats.visited_vertices - 1);
+    }
+
+    #[test]
+    fn traced_run_emits_run_and_step_events() {
+        use bfs_trace::{RingSink, TraceEvent};
+        let g = uniform_random(1500, 6, &mut rng_from_seed(21));
+        let engine = BfsEngine::new(&g, Topology::synthetic(2, 2), BfsOptions::default());
+        let ring = RingSink::new(4096);
+        let out = engine.run_traced(0, &ring);
+        let events = ring.snapshot();
+        let runs: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Run(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].engine, "engine");
+        assert_eq!(runs[0].vertices, 1500);
+        assert_eq!(runs[0].threads, 4);
+        assert_eq!(runs[0].n_pbv, Some(engine.geometry().n_bins));
+        let steps: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Step(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        // One step event per depth level, aligned with frontier_sizes[1..].
+        assert_eq!(steps.len(), out.stats.steps as usize);
+        for (i, s) in steps.iter().enumerate() {
+            assert_eq!(s.step as usize, i + 1);
+            assert_eq!(s.frontier, out.stats.frontier_sizes[i + 1]);
+            assert_eq!(s.threads.len(), 4);
+            let enq: u64 = s.threads.iter().map(|t| t.enqueued).sum();
+            assert_eq!(enq, s.frontier);
+            assert_eq!(s.bin_occupancy.len(), engine.geometry().n_bins);
+        }
+        // Per-step duplicates sum to the run's total.
+        let dups: u64 = steps.iter().map(|s| s.duplicates).sum();
+        assert_eq!(dups, out.stats.duplicate_enqueues);
+        // Tracing must not perturb results: depths match an untraced run.
+        assert_eq!(out.depths, engine.run(0).depths);
     }
 
     #[test]

@@ -162,7 +162,10 @@ mod tests {
         let p = PartitionedCsr::from_graph(&g, 2, &arena);
         // UR graph: neighbor bytes split evenly (within a few %).
         let (a, b) = (p.socket_bytes(0) as f64, p.socket_bytes(1) as f64);
-        assert!((a / b - 1.0).abs() < 0.1, "UR split should be even: {a} vs {b}");
+        assert!(
+            (a / b - 1.0).abs() < 0.1,
+            "UR split should be even: {a} vs {b}"
+        );
         // Arena saw both allocations.
         assert!(arena.bytes_on(0) > 0 && arena.bytes_on(1) > 0);
         assert!(arena.imbalance() < 1.2);

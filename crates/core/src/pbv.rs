@@ -375,7 +375,10 @@ mod tests {
             ResolvedEncoding::Markers
         );
         assert_eq!(PbvEncoding::Auto.resolve(16, 8.0), ResolvedEncoding::Pairs);
-        assert_eq!(PbvEncoding::Markers.resolve(16, 8.0), ResolvedEncoding::Markers);
+        assert_eq!(
+            PbvEncoding::Markers.resolve(16, 8.0),
+            ResolvedEncoding::Markers
+        );
     }
 
     #[test]
@@ -411,9 +414,13 @@ mod tests {
         bs.begin_vertex(2);
         bs.push_neighbor(0, 102);
         let mut out = Vec::new();
-        decode_window(bs.bin(0), 0, bs.bin_len(0), ResolvedEncoding::Markers, |p, v| {
-            out.push((p, v))
-        });
+        decode_window(
+            bs.bin(0),
+            0,
+            bs.bin_len(0),
+            ResolvedEncoding::Markers,
+            |p, v| out.push((p, v)),
+        );
         assert_eq!(out, vec![(1, 100), (1, 101), (2, 102)]);
     }
 
@@ -437,7 +444,9 @@ mod tests {
     fn decode_pairs_window() {
         let data = [1u32, 10, 2, 20, 3, 30];
         let mut out = Vec::new();
-        decode_window(&data, 2, 6, ResolvedEncoding::Pairs, |p, v| out.push((p, v)));
+        decode_window(&data, 2, 6, ResolvedEncoding::Pairs, |p, v| {
+            out.push((p, v))
+        });
         assert_eq!(out, vec![(2, 20), (3, 30)]);
     }
 
@@ -460,9 +469,13 @@ mod tests {
         // nothing for it and the second segment starts with it.
         let data = [encode_marker(1), 10, encode_marker(2), 20];
         let mut a = Vec::new();
-        decode_window(&data, 0, 2, ResolvedEncoding::Markers, |p, v| a.push((p, v)));
+        decode_window(&data, 0, 2, ResolvedEncoding::Markers, |p, v| {
+            a.push((p, v))
+        });
         let mut b = Vec::new();
-        decode_window(&data, 2, 4, ResolvedEncoding::Markers, |p, v| b.push((p, v)));
+        decode_window(&data, 2, 4, ResolvedEncoding::Markers, |p, v| {
+            b.push((p, v))
+        });
         assert_eq!(a, vec![(1, 10)]);
         assert_eq!(b, vec![(2, 20)]);
     }

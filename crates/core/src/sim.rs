@@ -24,6 +24,7 @@ use bfs_graph::CsrGraph;
 use bfs_memsim::{
     BandwidthSpec, Channel, MachineConfig, Phase, Placement, RegionId, SimMachine, TrafficReport,
 };
+use bfs_trace::{MemStepEvent, NoopSink, RunEvent, TraceEvent, TraceSink};
 
 use crate::balance::{divide_even, divide_static, Segment, Stream};
 use crate::dp::INF_DEPTH;
@@ -142,7 +143,11 @@ impl BottleneckLedger {
         }
         let mut step_max: HashMap<(Phase, Channel), u64> = HashMap::new();
         for (&(phase, socket, channel), &b) in &now {
-            let before = self.prev.get(&(phase, socket, channel)).copied().unwrap_or(0);
+            let before = self
+                .prev
+                .get(&(phase, socket, channel))
+                .copied()
+                .unwrap_or(0);
             let delta = b - before;
             let e = step_max.entry((phase, channel)).or_insert(0);
             *e = (*e).max(delta);
@@ -244,11 +249,12 @@ impl SimBfsResult {
         // 8 bytes are charged per walk (one PTE), so bytes/8 counts misses;
         // cores walk in parallel, so the per-socket average is the exposed
         // serial cost.
-        let adj_walks = self
-            .machine
-            .ledger()
-            .total(Some(phase), None, Some(Channel::PageWalk), Some(self.adj_region))
-            / 8;
+        let adj_walks = self.machine.ledger().total(
+            Some(phase),
+            None,
+            Some(Channel::PageWalk),
+            Some(self.adj_region),
+        ) / 8;
         let sockets = self.machine.config().sockets as u64;
         let stall = migrations as f64 * self.coherence_stall_cycles
             + (adj_walks / sockets) as f64 * self.tlb_walk_stall_cycles;
@@ -302,6 +308,21 @@ struct Regions {
 
 /// Runs a full simulated traversal of `graph` from `source`.
 pub fn simulate_bfs(graph: &CsrGraph, cfg: &SimBfsConfig, source: VertexId) -> SimBfsResult {
+    simulate_bfs_traced(graph, cfg, source, &NoopSink)
+}
+
+/// [`simulate_bfs`] emitting one [`RunEvent`] plus one [`MemStepEvent`] per
+/// executed step into `sink`.
+///
+/// Unlike the wall-clock engines (which log one event per *depth level*),
+/// the replay also emits the final, empty-frontier step: it still generates
+/// traffic, and per-channel deltas must sum to the ledger totals.
+pub fn simulate_bfs_traced(
+    graph: &CsrGraph,
+    cfg: &SimBfsConfig,
+    source: VertexId,
+    sink: &dyn TraceSink,
+) -> SimBfsResult {
     let n = graph.num_vertices();
     assert!((source as usize) < n, "source out of range");
     assert!(cfg.interleave > 0);
@@ -312,7 +333,29 @@ pub fn simulate_bfs(graph: &CsrGraph, cfg: &SimBfsConfig, source: VertexId) -> S
         Some(nv) => BinGeometry::with_n_vis(n, sockets, nv),
         None => BinGeometry::from_llc(n, sockets, mc.llc_bytes),
     };
-    let encoding = cfg.encoding.resolve(geometry.n_bins, graph.average_degree().max(1.0));
+    let encoding = cfg
+        .encoding
+        .resolve(geometry.n_bins, graph.average_degree().max(1.0));
+    let tracing = sink.enabled();
+    if tracing {
+        sink.record(&TraceEvent::Run(RunEvent {
+            engine: "memsim".to_string(),
+            vertices: n as u64,
+            edges: graph.num_edges(),
+            source,
+            sockets,
+            lanes_per_socket: nthreads / sockets,
+            threads: nthreads,
+            n_vis: Some(geometry.n_vis),
+            n_pbv: Some(geometry.n_bins),
+            encoding: Some(format!("{encoding:?}")),
+            scheduling: Some(format!("{:?}", cfg.scheduling)),
+            vis: Some(format!("{:?}", cfg.vis)),
+            nodes: None,
+        }));
+    }
+    // Running per-channel totals, so each step reports its delta.
+    let mut chan_prev = [0u64; Channel::ALL.len()];
     let mut machine = SimMachine::new(mc);
     let regions = alloc_regions(graph, &mut machine, &geometry, cfg, nthreads);
     let core_of = |t: usize| t; // virtual thread t runs on core t
@@ -361,7 +404,14 @@ pub fn simulate_bfs(graph: &CsrGraph, cfg: &SimBfsConfig, source: VertexId) -> S
             interleaved(&plan, cfg.interleave, |t, seg, lo, hi| {
                 for k in lo..hi {
                     let u = bv_cur[seg.owner][seg.range.start + k];
-                    sim_read_frontier(&mut machine, core_of(t), &regions, seg.owner, seg.range.start + k, true);
+                    sim_read_frontier(
+                        &mut machine,
+                        core_of(t),
+                        &regions,
+                        seg.owner,
+                        seg.range.start + k,
+                        true,
+                    );
                     sim_read_adjacency(&mut machine, core_of(t), &regions, graph, u);
                     if !cfg.prefetch {
                         adj_chains += 1;
@@ -394,7 +444,14 @@ pub fn simulate_bfs(graph: &CsrGraph, cfg: &SimBfsConfig, source: VertexId) -> S
             interleaved(&plan, cfg.interleave, |t, seg, lo, hi| {
                 for k in lo..hi {
                     let u = bv_cur[seg.owner][seg.range.start + k];
-                    sim_read_frontier(&mut machine, core_of(t), &regions, seg.owner, seg.range.start + k, true);
+                    sim_read_frontier(
+                        &mut machine,
+                        core_of(t),
+                        &regions,
+                        seg.owner,
+                        seg.range.start + k,
+                        true,
+                    );
                     sim_read_adjacency(&mut machine, core_of(t), &regions, graph, u);
                     if !cfg.prefetch {
                         adj_chains += 1;
@@ -508,6 +565,26 @@ pub fn simulate_bfs(graph: &CsrGraph, cfg: &SimBfsConfig, source: VertexId) -> S
 
         bottleneck.end_step(&machine);
         let total: usize = bv_next.iter().map(|f| f.len()).sum();
+        if tracing {
+            let mut delta = [0u64; Channel::ALL.len()];
+            for (i, &c) in Channel::ALL.iter().enumerate() {
+                let now = machine.ledger().total(None, None, Some(c), None);
+                delta[i] = now - chan_prev[i];
+                chan_prev[i] = now;
+            }
+            let by = |c: Channel| delta[Channel::ALL.iter().position(|&x| x == c).unwrap()];
+            sink.record(&TraceEvent::MemStep(MemStepEvent {
+                step,
+                frontier: total as u64,
+                dram_read: by(Channel::DramRead),
+                dram_write: by(Channel::DramWrite),
+                qpi: by(Channel::Qpi),
+                qpi_migration: by(Channel::QpiMigration),
+                llc_to_l2: by(Channel::LlcToL2),
+                l2_to_llc: by(Channel::L2ToLlc),
+                page_walk: by(Channel::PageWalk),
+            }));
+        }
         for t in 0..nthreads {
             std::mem::swap(&mut bv_cur[t], &mut bv_next[t]);
             bv_next[t].clear();
@@ -562,7 +639,9 @@ fn alloc_regions(
     let adj_idx = machine.alloc(
         "AdjIdx",
         (n + 1) * 8,
-        Placement::Striped { stripe_bytes: vns * 8 },
+        Placement::Striped {
+            stripe_bytes: vns * 8,
+        },
     );
     // Adj neighbor storage: cut at the byte offsets of the V_NS boundaries.
     let cuts: Vec<u64> = (1..sockets)
@@ -572,18 +651,24 @@ fn alloc_regions(
         })
         .collect();
     let adj = machine.alloc("Adj", (m * 4).max(1), Placement::Boundaries(cuts));
-    let dp = machine.alloc("DP", n.max(1) * 8, Placement::Striped { stripe_bytes: vns * 8 });
+    let dp = machine.alloc(
+        "DP",
+        n.max(1) * 8,
+        Placement::Striped {
+            stripe_bytes: vns * 8,
+        },
+    );
     let vis = match cfg.vis {
         VisScheme::None => None,
-        VisScheme::Byte => Some(machine.alloc(
-            "VIS",
-            n.max(1),
-            Placement::Striped { stripe_bytes: vns },
-        )),
+        VisScheme::Byte => {
+            Some(machine.alloc("VIS", n.max(1), Placement::Striped { stripe_bytes: vns }))
+        }
         VisScheme::Bit | VisScheme::AtomicBit | VisScheme::AtomicBitTest => Some(machine.alloc(
             "VIS",
             n.div_ceil(8).max(1),
-            Placement::Striped { stripe_bytes: (vns / 8).max(1) },
+            Placement::Striped {
+                stripe_bytes: (vns / 8).max(1),
+            },
         )),
     };
     let socket_of_thread = |t: usize| t / cores_per_socket;
@@ -793,10 +878,10 @@ fn sim_visit(
 mod tests {
     use super::*;
     use crate::serial::serial_bfs;
-    use bfs_memsim::Channel;
     use bfs_graph::gen::stress::stress_bipartite;
     use bfs_graph::gen::uniform::uniform_random;
     use bfs_graph::rng::rng_from_seed;
+    use bfs_memsim::Channel;
 
     fn small_machine(sockets: usize) -> MachineConfig {
         MachineConfig {
@@ -837,6 +922,76 @@ mod tests {
                 check_depths(&g, &cfg, 0);
             }
         }
+    }
+
+    #[test]
+    fn traced_sim_memstep_deltas_sum_to_ledger_totals() {
+        use bfs_trace::RingSink;
+        let g = uniform_random(500, 5, &mut rng_from_seed(9));
+        let cfg = SimBfsConfig {
+            machine: small_machine(2),
+            ..Default::default()
+        };
+        let ring = RingSink::new(4096);
+        let r = simulate_bfs_traced(&g, &cfg, 0, &ring);
+        let events = ring.into_events();
+        let runs: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Run(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].engine, "memsim");
+        assert!(runs[0].n_pbv.is_some());
+        let steps: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::MemStep(m) => Some(m),
+                _ => None,
+            })
+            .collect();
+        // One event per executed step: the depth levels plus the final
+        // empty-frontier step.
+        assert_eq!(steps.len() as u32, r.steps + 1);
+        assert_eq!(steps.last().unwrap().frontier, 0);
+        for (sums, chan) in [
+            (
+                steps.iter().map(|m| m.dram_read).sum::<u64>(),
+                Channel::DramRead,
+            ),
+            (
+                steps.iter().map(|m| m.dram_write).sum::<u64>(),
+                Channel::DramWrite,
+            ),
+            (steps.iter().map(|m| m.qpi).sum::<u64>(), Channel::Qpi),
+            (
+                steps.iter().map(|m| m.qpi_migration).sum::<u64>(),
+                Channel::QpiMigration,
+            ),
+            (
+                steps.iter().map(|m| m.llc_to_l2).sum::<u64>(),
+                Channel::LlcToL2,
+            ),
+            (
+                steps.iter().map(|m| m.l2_to_llc).sum::<u64>(),
+                Channel::L2ToLlc,
+            ),
+            (
+                steps.iter().map(|m| m.page_walk).sum::<u64>(),
+                Channel::PageWalk,
+            ),
+        ] {
+            assert_eq!(
+                sums,
+                r.machine.ledger().total(None, None, Some(chan), None),
+                "per-step deltas must reconstruct the {chan:?} total"
+            );
+        }
+        // The untraced run is unchanged by tracing.
+        let plain = simulate_bfs(&g, &cfg, 0);
+        assert_eq!(plain.depths, r.depths);
     }
 
     #[test]

@@ -28,12 +28,7 @@ impl BinKernel {
 
 /// Computes `out[i] = neighbors[i] >> shift` for all neighbors, returning
 /// the number of proxy instructions executed.
-pub fn bin_indices(
-    kernel: BinKernel,
-    neighbors: &[u32],
-    shift: u32,
-    out: &mut Vec<u32>,
-) -> u64 {
+pub fn bin_indices(kernel: BinKernel, neighbors: &[u32], shift: u32, out: &mut Vec<u32>) -> u64 {
     out.clear();
     out.reserve(neighbors.len());
     match kernel {

@@ -5,6 +5,19 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 /// Per-run statistics: the measurement side of §V.
+///
+/// # Frontier counting convention
+///
+/// `frontier_sizes` is indexed by depth: `frontier_sizes[0]` is always the
+/// source frontier (size 1), and `frontier_sizes[d]` for `d ≥ 1` is the
+/// number of vertices *enqueued* at depth `d` — duplicates from the benign
+/// §III-A claim race included. Consequently:
+///
+/// * `steps == frontier_sizes.len() - 1` (the number of depth levels past
+///   the source);
+/// * `frontier_sizes[1..].sum() == visited_vertices - 1 + duplicate_enqueues`.
+///
+/// Engines stop logging at the first empty level, so every entry is > 0.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct TraversalStats {
     /// BFS steps executed (= depth of the traversal).
@@ -14,7 +27,8 @@ pub struct TraversalStats {
     /// Traversed edges, |E′| (sum of degrees of visited vertices — the
     /// Graph500 counting convention behind "edges per second").
     pub traversed_edges: u64,
-    /// Frontier size after each step.
+    /// Enqueues per depth level, source included (see the type-level
+    /// convention notes).
     pub frontier_sizes: Vec<u64>,
     /// Duplicate enqueues caused by the benign claim race (§III-A measured
     /// "an increase of up to 0.2% for small graphs").

@@ -160,9 +160,8 @@ mod tests {
     #[test]
     fn detects_non_edge_parent() {
         let g = path(4); // 0-1-2-3
-        // claim parent(3) = 0, which is not adjacent.
-        let err =
-            validate_bfs_tree(&g, 0, &[0, 1, 2, 1], &[0, 0, 1, 0]).unwrap_err();
+                         // claim parent(3) = 0, which is not adjacent.
+        let err = validate_bfs_tree(&g, 0, &[0, 1, 2, 1], &[0, 0, 1, 0]).unwrap_err();
         assert!(matches!(err, ValidationError::BadParent { vertex: 3, .. }));
     }
 
@@ -170,8 +169,7 @@ mod tests {
     fn detects_depth_gap_across_edge() {
         let g = path(4);
         // depth(2) wrong: 5 instead of 2.
-        let err =
-            validate_bfs_tree(&g, 0, &[0, 1, 5, 3], &[0, 0, 1, 2]).unwrap_err();
+        let err = validate_bfs_tree(&g, 0, &[0, 1, 5, 3], &[0, 0, 1, 2]).unwrap_err();
         assert!(matches!(
             err,
             ValidationError::BadParentDepth { .. } | ValidationError::EdgeDepthGap { .. }
@@ -181,13 +179,7 @@ mod tests {
     #[test]
     fn detects_unreached_but_reachable() {
         let g = path(3);
-        let err = validate_bfs_tree(
-            &g,
-            0,
-            &[0, 1, INF_DEPTH],
-            &[0, 0, VertexId::MAX],
-        )
-        .unwrap_err();
+        let err = validate_bfs_tree(&g, 0, &[0, 1, INF_DEPTH], &[0, 0, VertexId::MAX]).unwrap_err();
         assert!(matches!(err, ValidationError::EdgeDepthGap { .. }));
     }
 
@@ -214,10 +206,7 @@ mod tests {
     #[test]
     fn alternative_valid_parents_accepted() {
         // A diamond: 0-1, 0-2, 1-3, 2-3. Both 1 and 2 are valid parents of 3.
-        let g = bfs_graph::CsrGraph::from_parts(
-            vec![0, 2, 4, 6, 8],
-            vec![1, 2, 0, 3, 0, 3, 1, 2],
-        );
+        let g = bfs_graph::CsrGraph::from_parts(vec![0, 2, 4, 6, 8], vec![1, 2, 0, 3, 0, 3, 1, 2]);
         for p3 in [1u32, 2] {
             validate_bfs_tree(&g, 0, &[0, 1, 1, 2], &[0, 0, 0, p3]).unwrap();
         }

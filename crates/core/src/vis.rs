@@ -242,7 +242,10 @@ mod tests {
         let t2 = b.load(Ordering::Relaxed);
         b.store(t1 | 0b01, Ordering::Relaxed);
         b.store(t2 | 0b10, Ordering::Relaxed);
-        assert!(!v.is_marked(0), "bit 0 was lost — the documented benign race");
+        assert!(
+            !v.is_marked(0),
+            "bit 0 was lost — the documented benign race"
+        );
         assert!(v.is_marked(1));
     }
 

@@ -27,7 +27,10 @@ impl CsrGraph {
     /// non-decreasing, start at 0 and end at `neighbors.len()`, and every
     /// neighbor id must be `< offsets.len() - 1`.
     pub fn from_parts(offsets: Vec<u64>, neighbors: Vec<VertexId>) -> Self {
-        assert!(!offsets.is_empty(), "offsets must contain at least one entry");
+        assert!(
+            !offsets.is_empty(),
+            "offsets must contain at least one entry"
+        );
         assert_eq!(offsets[0], 0, "offsets must start at 0");
         assert_eq!(
             *offsets.last().unwrap(),
@@ -149,10 +152,7 @@ mod tests {
 
     fn diamond() -> CsrGraph {
         // 0 - 1, 0 - 2, 1 - 3, 2 - 3 (undirected, doubled)
-        CsrGraph::from_parts(
-            vec![0, 2, 4, 6, 8],
-            vec![1, 2, 0, 3, 0, 3, 1, 2],
-        )
+        CsrGraph::from_parts(vec![0, 2, 4, 6, 8], vec![1, 2, 0, 3, 0, 3, 1, 2])
     }
 
     #[test]
@@ -200,7 +200,16 @@ mod tests {
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(
             edges,
-            vec![(0, 1), (0, 2), (1, 0), (1, 3), (2, 0), (2, 3), (3, 1), (3, 2)]
+            vec![
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 3),
+                (2, 0),
+                (2, 3),
+                (3, 1),
+                (3, 2)
+            ]
         );
     }
 

@@ -90,7 +90,11 @@ mod tests {
         let g = barabasi_albert(3000, 2, &mut rng_from_seed(3));
         let (hist, reached) = bfs_depth_histogram(&g, 0);
         assert_eq!(reached, 3000, "BA growth keeps the graph connected");
-        assert!(hist.len() < 12, "scale-free diameter is tiny, got {}", hist.len());
+        assert!(
+            hist.len() < 12,
+            "scale-free diameter is tiny, got {}",
+            hist.len()
+        );
     }
 
     #[test]
@@ -102,7 +106,10 @@ mod tests {
 
     #[test]
     fn degenerate_sizes() {
-        assert_eq!(barabasi_albert(0, 2, &mut rng_from_seed(5)).num_vertices(), 0);
+        assert_eq!(
+            barabasi_albert(0, 2, &mut rng_from_seed(5)).num_vertices(),
+            0
+        );
         let g = barabasi_albert(1, 2, &mut rng_from_seed(5));
         assert_eq!(g.num_vertices(), 1);
         assert_eq!(g.num_edges(), 0);

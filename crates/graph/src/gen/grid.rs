@@ -73,7 +73,10 @@ pub fn road_network<R: Rng + ?Sized>(
     for y in 1..height {
         let (u, v) = if y % 2 == 1 {
             // join at the right edge
-            ((y * width - 1) as VertexId, ((y + 1) * width - 1) as VertexId)
+            (
+                (y * width - 1) as VertexId,
+                ((y + 1) * width - 1) as VertexId,
+            )
         } else {
             // join at the left edge
             (((y - 1) * width) as VertexId, (y * width) as VertexId)
@@ -130,11 +133,7 @@ pub fn grid3d_stencil(nx: usize, ny: usize, nz: usize, stencil: Stencil) -> CsrG
                     ],
                 };
                 for &(dx, dy, dz) in offsets {
-                    let (xx, yy, zz) = (
-                        x as isize + dx,
-                        y as isize + dy,
-                        z as isize + dz,
-                    );
+                    let (xx, yy, zz) = (x as isize + dx, y as isize + dy, z as isize + dz);
                     if xx >= 0
                         && yy >= 0
                         && zz >= 0

@@ -67,16 +67,86 @@ impl ProxySpec {
     pub fn all() -> [ProxySpec; 10] {
         use ProxyKind::*;
         [
-            ProxySpec { kind: FreeScale1, name: "FreeScale1", category: "UF Sparse Matrix", paper_vertices: 3_430_000, paper_edges: 17_100_000, paper_depth: 128 },
-            ProxySpec { kind: Wikipedia, name: "Wikipedia", category: "UF Sparse Matrix", paper_vertices: 2_400_000, paper_edges: 41_900_000, paper_depth: 460 },
-            ProxySpec { kind: Cage15, name: "Cage15", category: "UF Sparse Matrix", paper_vertices: 5_150_000, paper_edges: 99_200_000, paper_depth: 50 },
-            ProxySpec { kind: Nlpkkt160, name: "Nlpkkt160", category: "UF Sparse Matrix", paper_vertices: 8_350_000, paper_edges: 225_400_000, paper_depth: 163 },
-            ProxySpec { kind: UsaWest, name: "USA-West", category: "USA Road Network", paper_vertices: 6_260_000, paper_edges: 15_240_000, paper_depth: 2873 },
-            ProxySpec { kind: UsaAll, name: "USA-All", category: "USA Road Network", paper_vertices: 23_940_000, paper_edges: 58_330_000, paper_depth: 6230 },
-            ProxySpec { kind: Orkut, name: "Orkut", category: "Social Network", paper_vertices: 3_070_000, paper_edges: 223_500_000, paper_depth: 7 },
-            ProxySpec { kind: Twitter, name: "Twitter", category: "Social Network", paper_vertices: 61_570_000, paper_edges: 1_468_360_000, paper_depth: 13 },
-            ProxySpec { kind: Facebook, name: "Facebook", category: "Social Network", paper_vertices: 2_940_000, paper_edges: 41_920_000, paper_depth: 11 },
-            ProxySpec { kind: ToyPlusPlus, name: "Toy++", category: "Graph500", paper_vertices: 256_000_000, paper_edges: 4_096_000_000, paper_depth: 6 },
+            ProxySpec {
+                kind: FreeScale1,
+                name: "FreeScale1",
+                category: "UF Sparse Matrix",
+                paper_vertices: 3_430_000,
+                paper_edges: 17_100_000,
+                paper_depth: 128,
+            },
+            ProxySpec {
+                kind: Wikipedia,
+                name: "Wikipedia",
+                category: "UF Sparse Matrix",
+                paper_vertices: 2_400_000,
+                paper_edges: 41_900_000,
+                paper_depth: 460,
+            },
+            ProxySpec {
+                kind: Cage15,
+                name: "Cage15",
+                category: "UF Sparse Matrix",
+                paper_vertices: 5_150_000,
+                paper_edges: 99_200_000,
+                paper_depth: 50,
+            },
+            ProxySpec {
+                kind: Nlpkkt160,
+                name: "Nlpkkt160",
+                category: "UF Sparse Matrix",
+                paper_vertices: 8_350_000,
+                paper_edges: 225_400_000,
+                paper_depth: 163,
+            },
+            ProxySpec {
+                kind: UsaWest,
+                name: "USA-West",
+                category: "USA Road Network",
+                paper_vertices: 6_260_000,
+                paper_edges: 15_240_000,
+                paper_depth: 2873,
+            },
+            ProxySpec {
+                kind: UsaAll,
+                name: "USA-All",
+                category: "USA Road Network",
+                paper_vertices: 23_940_000,
+                paper_edges: 58_330_000,
+                paper_depth: 6230,
+            },
+            ProxySpec {
+                kind: Orkut,
+                name: "Orkut",
+                category: "Social Network",
+                paper_vertices: 3_070_000,
+                paper_edges: 223_500_000,
+                paper_depth: 7,
+            },
+            ProxySpec {
+                kind: Twitter,
+                name: "Twitter",
+                category: "Social Network",
+                paper_vertices: 61_570_000,
+                paper_edges: 1_468_360_000,
+                paper_depth: 13,
+            },
+            ProxySpec {
+                kind: Facebook,
+                name: "Facebook",
+                category: "Social Network",
+                paper_vertices: 2_940_000,
+                paper_edges: 41_920_000,
+                paper_depth: 11,
+            },
+            ProxySpec {
+                kind: ToyPlusPlus,
+                name: "Toy++",
+                category: "Graph500",
+                paper_vertices: 256_000_000,
+                paper_edges: 4_096_000_000,
+                paper_depth: 6,
+            },
         ]
     }
 
@@ -153,7 +223,7 @@ pub fn depth_targeted_beta(n: usize, k: u32, target_depth: u32) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use crate::stats::{nth_non_isolated, summarize};
 
     #[test]

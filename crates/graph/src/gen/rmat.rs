@@ -174,10 +174,7 @@ mod tests {
             .map(|v| g.degree(v))
             .max()
             .unwrap() as f64;
-        assert!(
-            max > 6.0 * avg,
-            "expected heavy skew: max {max}, avg {avg}"
-        );
+        assert!(max > 6.0 * avg, "expected heavy skew: max {max}, avg {avg}");
         // And some isolated vertices exist (the paper relies on this:
         // |V'| < |V| for RMAT).
         let isolated = (0..g.num_vertices() as VertexId)

@@ -17,12 +17,7 @@ use crate::VertexId;
 /// Watts–Strogatz graph: ring of `n` vertices, each joined to its `k`
 /// clockwise neighbors, with each edge rewired (new random endpoint) with
 /// probability `beta`.
-pub fn watts_strogatz<R: Rng + ?Sized>(
-    n: usize,
-    k: u32,
-    beta: f64,
-    rng: &mut R,
-) -> CsrGraph {
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: u32, beta: f64, rng: &mut R) -> CsrGraph {
     assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
     assert!(n == 0 || (k as usize) < n, "k must be < n");
     let mut b = GraphBuilder::new(
@@ -94,7 +89,10 @@ mod tests {
 
     #[test]
     fn degenerate_sizes() {
-        assert_eq!(watts_strogatz(0, 0, 0.0, &mut rng_from_seed(4)).num_vertices(), 0);
+        assert_eq!(
+            watts_strogatz(0, 0, 0.0, &mut rng_from_seed(4)).num_vertices(),
+            0
+        );
         let g = watts_strogatz(1, 0, 0.0, &mut rng_from_seed(4));
         assert_eq!(g.num_vertices(), 1);
         assert_eq!(g.num_edges(), 0);

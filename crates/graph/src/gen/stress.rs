@@ -51,8 +51,7 @@ pub fn stress_bipartite<R: Rng + ?Sized>(
 /// Checks the defining property: every edge crosses the LOW/HIGH boundary.
 pub fn is_bipartite_split(g: &CsrGraph) -> bool {
     let half = (g.num_vertices() / 2) as VertexId;
-    g.edges()
-        .all(|(u, v)| (u < half) != (v < half))
+    g.edges().all(|(u, v)| (u < half) != (v < half))
 }
 
 #[cfg(test)]

@@ -19,11 +19,7 @@ use crate::VertexId;
 /// Self-loops and duplicate targets are permitted, as in GTGraph's generator;
 /// pass the result through [`BuildOptions::undirected_simple`] semantics
 /// yourself if a simple graph is needed.
-pub fn uniform_random<R: Rng + ?Sized>(
-    num_vertices: usize,
-    degree: u32,
-    rng: &mut R,
-) -> CsrGraph {
+pub fn uniform_random<R: Rng + ?Sized>(num_vertices: usize, degree: u32, rng: &mut R) -> CsrGraph {
     let mut b = GraphBuilder::new(
         num_vertices,
         BuildOptions {

@@ -56,8 +56,16 @@ pub fn read_edge_list<R: BufRead>(r: &mut R) -> io::Result<CsrGraph> {
             continue;
         }
         let mut it = t.split_whitespace();
-        let u: u32 = it.next().ok_or_else(|| bad("missing source"))?.parse().map_err(bad_data)?;
-        let v: u32 = it.next().ok_or_else(|| bad("missing target"))?.parse().map_err(bad_data)?;
+        let u: u32 = it
+            .next()
+            .ok_or_else(|| bad("missing source"))?
+            .parse()
+            .map_err(bad_data)?;
+        let v: u32 = it
+            .next()
+            .ok_or_else(|| bad("missing target"))?
+            .parse()
+            .map_err(bad_data)?;
         max_id = max_id.max(u as u64).max(v as u64);
         edges.push((u, v));
         seen_any = true;

@@ -8,7 +8,9 @@
 use serde::{Deserialize, Serialize};
 
 /// Handle to a region; also the structure tag used by the traffic ledger.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct RegionId(pub u16);
 
 /// Where a region's bytes live.
@@ -74,11 +76,7 @@ impl AddressSpace {
                 assert!(*stripe_bytes > 0, "stripe must be non-empty");
             }
             Placement::Boundaries(cuts) => {
-                assert_eq!(
-                    cuts.len(),
-                    self.sockets - 1,
-                    "need sockets - 1 cut points"
-                );
+                assert_eq!(cuts.len(), self.sockets - 1, "need sockets - 1 cut points");
                 assert!(cuts.windows(2).all(|w| w[0] <= w[1]), "cuts must be sorted");
             }
         }

@@ -50,8 +50,9 @@ impl Channel {
 }
 
 /// Execution phase tag (Figure 8's decomposition).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub enum Phase {
     /// Setup / untagged accesses.
     #[default]
@@ -66,7 +67,12 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, for iteration in reports.
-    pub const ALL: [Phase; 4] = [Phase::Other, Phase::PhaseOne, Phase::PhaseTwo, Phase::Rearrange];
+    pub const ALL: [Phase; 4] = [
+        Phase::Other,
+        Phase::PhaseOne,
+        Phase::PhaseTwo,
+        Phase::Rearrange,
+    ];
 }
 
 /// One attribution key.
@@ -78,7 +84,6 @@ pub struct TrafficLedger {
     bytes: HashMap<Key, u64>,
     phase: Phase,
 }
-
 
 impl TrafficLedger {
     /// Fresh, empty ledger in [`Phase::Other`].
@@ -99,7 +104,10 @@ impl TrafficLedger {
     /// Charges `bytes` on `channel` of `socket` for `region`.
     #[inline]
     pub fn charge(&mut self, socket: usize, channel: Channel, region: RegionId, bytes: u64) {
-        *self.bytes.entry((self.phase, socket, channel, region)).or_insert(0) += bytes;
+        *self
+            .bytes
+            .entry((self.phase, socket, channel, region))
+            .or_insert(0) += bytes;
     }
 
     /// Total bytes matching the given filters (`None` = any).

@@ -382,15 +382,13 @@ impl SimMachine {
             _ => {
                 let in_home_llc = home != socket && self.llc[home].contains(line);
                 if home == socket {
-                    self.ledger
-                        .charge(home, Channel::DramRead, region, line_sz);
+                    self.ledger.charge(home, Channel::DramRead, region, line_sz);
                 } else {
                     // Remote fetch: bytes cross QPI; they come from the home
                     // LLC if resident there, otherwise from home DRAM.
                     self.ledger.charge(socket, Channel::Qpi, region, line_sz);
                     if !in_home_llc {
-                        self.ledger
-                            .charge(home, Channel::DramRead, region, line_sz);
+                        self.ledger.charge(home, Channel::DramRead, region, line_sz);
                     }
                 }
             }
@@ -531,7 +529,10 @@ mod tests {
         let mut m = tiny_machine(1);
         let r = m.alloc("a", 4096, Placement::Fixed(0));
         m.read(0, r, 60, 8); // crosses a 64 B boundary
-        assert_eq!(m.ledger().total(None, None, Some(Channel::DramRead), None), 128);
+        assert_eq!(
+            m.ledger().total(None, None, Some(Channel::DramRead), None),
+            128
+        );
     }
 
     #[test]
@@ -546,7 +547,11 @@ mod tests {
         m.reset_ledger();
         m.read(0, r, 0, 4);
         let l = m.ledger();
-        assert_eq!(l.total(None, None, Some(Channel::DramRead), None), 0, "line still in LLC");
+        assert_eq!(
+            l.total(None, None, Some(Channel::DramRead), None),
+            0,
+            "line still in LLC"
+        );
         assert_eq!(l.total(None, None, Some(Channel::LlcToL2), None), 64);
     }
 
@@ -603,7 +608,10 @@ mod tests {
         let qpi_1 = m
             .ledger()
             .total(None, None, Some(Channel::QpiMigration), None);
-        assert!(qpi_1 >= 64, "stealing a dirty line must migrate it, got {qpi_1}");
+        assert!(
+            qpi_1 >= 64,
+            "stealing a dirty line must migrate it, got {qpi_1}"
+        );
         m.reset_ledger();
         m.write(0, r, 0, 1); // socket 0 steals it back: ping-pong
         let qpi_2 = m
@@ -652,7 +660,10 @@ mod tests {
         m.reset_ledger();
         // Re-touching the last page hits the TLB.
         m.read(0, r, 7 * 4096, 8);
-        assert_eq!(m.ledger().total(None, None, Some(Channel::PageWalk), None), 0);
+        assert_eq!(
+            m.ledger().total(None, None, Some(Channel::PageWalk), None),
+            0
+        );
     }
 
     #[test]
@@ -663,7 +674,10 @@ mod tests {
         m.reset_caches();
         m.reset_ledger();
         m.read(0, r, 0, 4);
-        assert_eq!(m.ledger().total(None, None, Some(Channel::DramRead), None), 64);
+        assert_eq!(
+            m.ledger().total(None, None, Some(Channel::DramRead), None),
+            64
+        );
     }
 
     #[test]
@@ -675,8 +689,14 @@ mod tests {
         m.set_phase(Phase::PhaseTwo);
         m.read(0, r, 64, 4);
         let l = m.ledger();
-        assert_eq!(l.total(Some(Phase::PhaseOne), None, Some(Channel::DramRead), None), 64);
-        assert_eq!(l.total(Some(Phase::PhaseTwo), None, Some(Channel::DramRead), None), 64);
+        assert_eq!(
+            l.total(Some(Phase::PhaseOne), None, Some(Channel::DramRead), None),
+            64
+        );
+        assert_eq!(
+            l.total(Some(Phase::PhaseTwo), None, Some(Channel::DramRead), None),
+            64
+        );
     }
 
     #[test]

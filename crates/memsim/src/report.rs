@@ -113,10 +113,7 @@ impl<'a> TrafficReport<'a> {
                 max(Channel::DramRead) + max(Channel::DramWrite),
                 bw.dram_gbps,
             ),
-            qpi: bw.cycles_for(
-                max(Channel::Qpi) + max(Channel::QpiMigration),
-                bw.qpi_gbps,
-            ),
+            qpi: bw.cycles_for(max(Channel::Qpi) + max(Channel::QpiMigration), bw.qpi_gbps),
             llc_to_l2: bw.cycles_for(max(Channel::LlcToL2), bw.llc_to_l2_gbps),
             l2_to_llc: bw.cycles_for(max(Channel::L2ToLlc), bw.l2_to_llc_gbps),
             page_walk: bw.cycles_for(max(Channel::PageWalk), bw.dram_gbps),

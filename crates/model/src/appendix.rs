@@ -99,7 +99,10 @@ pub fn structure_bandwidth(
 ) -> f64 {
     match structure {
         Structure::Vis => vis_bandwidth(machine, rho_prime),
-        s => effective_bandwidth_balanced(machine, skew.for_structure(s).max(1.0 / machine.sockets as f64)),
+        s => effective_bandwidth_balanced(
+            machine,
+            skew.for_structure(s).max(1.0 / machine.sockets as f64),
+        ),
     }
 }
 

@@ -44,8 +44,8 @@ pub fn effective_bandwidth_static(machine: &MachineSpec, alpha: f64) -> f64 {
 /// on each socket, overlapped with the QPI migration of updated lines.
 pub fn vis_bandwidth(machine: &MachineSpec, rho_prime: f64) -> f64 {
     let ns = machine.sockets as f64;
-    let per_socket = (rho_prime / machine.bw_llc_to_l2 + 1.0 / machine.bw_l2_to_llc)
-        .max(1.0 / machine.bw_qpi);
+    let per_socket =
+        (rho_prime / machine.bw_llc_to_l2 + 1.0 / machine.bw_l2_to_llc).max(1.0 / machine.bw_qpi);
     rho_prime * ns / per_socket
 }
 
@@ -227,7 +227,10 @@ mod tests {
             c.total()
         );
         let rate = mteps(&machine(), c.total());
-        assert!((770.0..920.0).contains(&rate), "expected ≈844 MTEPS, got {rate}");
+        assert!(
+            (770.0..920.0).contains(&rate),
+            "expected ≈844 MTEPS, got {rate}"
+        );
     }
 
     /// Appendix C example: N_S = 4, α = 0.7 → effective bandwidth 2.7·B_M

@@ -131,8 +131,7 @@ impl Exchange {
             for dst in 0..nodes {
                 let staged = std::mem::take(&mut self.outbox[src][dst]);
                 if !staged.is_empty() {
-                    self.traffic.bytes[src * nodes + dst] +=
-                        staged.len() as u64 * MESSAGE_BYTES;
+                    self.traffic.bytes[src * nodes + dst] += staged.len() as u64 * MESSAGE_BYTES;
                     inbox[dst].extend(staged);
                 }
             }
@@ -175,7 +174,10 @@ mod tests {
         let p = Partition::new(16, 2);
         let mut x = Exchange::new(p, true);
         assert!(x.send(0, msg(1, 9)));
-        assert!(!x.send(0, msg(2, 9)), "same vertex from same node suppressed");
+        assert!(
+            !x.send(0, msg(2, 9)),
+            "same vertex from same node suppressed"
+        );
         assert!(x.send(1, msg(3, 9)), "different sender not suppressed");
         let inbox = x.deliver();
         assert_eq!(inbox[1].len(), 2);

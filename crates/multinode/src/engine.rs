@@ -11,6 +11,7 @@
 
 use bfs_core::dp::INF_DEPTH;
 use bfs_graph::{CsrGraph, VertexId};
+use bfs_trace::{NoopSink, RunEvent, SuperstepEvent, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 
 use crate::comm::{Exchange, LinkTraffic, Message};
@@ -92,9 +93,33 @@ impl DistBfs {
 
     /// Runs a distributed traversal from `source`.
     pub fn run(&self, source: VertexId) -> DistBfsOutput {
+        self.run_traced(source, &NoopSink)
+    }
+
+    /// [`run`](Self::run) emitting one [`RunEvent`] plus one
+    /// [`SuperstepEvent`] per message-delivering superstep into `sink`.
+    pub fn run_traced(&self, source: VertexId, sink: &dyn TraceSink) -> DistBfsOutput {
         let n = self.partition.num_vertices;
         assert!((source as usize) < n, "source out of range");
         let nodes = self.options.nodes;
+        let tracing = sink.enabled();
+        if tracing {
+            sink.record(&TraceEvent::Run(RunEvent {
+                engine: "multinode".to_string(),
+                vertices: n as u64,
+                edges: self.degrees.iter().map(|&d| d as u64).sum(),
+                source,
+                sockets: nodes,
+                lanes_per_socket: 1,
+                threads: nodes,
+                n_vis: None,
+                n_pbv: None,
+                encoding: None,
+                scheduling: None,
+                vis: None,
+                nodes: Some(nodes),
+            }));
+        }
         let mut depths = vec![INF_DEPTH; n];
         let mut parents = vec![VertexId::MAX; n];
         depths[source as usize] = 0;
@@ -108,10 +133,7 @@ impl DistBfs {
         let mut supersteps = 0u32;
 
         loop {
-            assert!(
-                depth <= n as u32 + 1,
-                "distributed BFS failed to terminate"
-            );
+            assert!(depth <= n as u32 + 1, "distributed BFS failed to terminate");
             // (a) Local expansion: stage messages toward neighbors' owners.
             #[allow(clippy::needless_range_loop)] // node indexes shards and frontiers
             for node in 0..nodes {
@@ -123,19 +145,23 @@ impl DistBfs {
                         // what the exchange exists for). `depths` is one
                         // array here for convenience, but reads are
                         // restricted to the owner to stay faithful.
-                        if self.partition.owner(v) == node
-                            && depths[v as usize] != INF_DEPTH
-                        {
+                        if self.partition.owner(v) == node && depths[v as usize] != INF_DEPTH {
                             continue;
                         }
-                        exchange.send(node, Message { parent: u, vertex: v });
+                        exchange.send(
+                            node,
+                            Message {
+                                parent: u,
+                                vertex: v,
+                            },
+                        );
                     }
                 }
             }
             // (b) Exchange + owner-side claims (the single-node Phase II).
             let inbox = exchange.deliver();
             let delivered: u64 = inbox.iter().map(|i| i.len() as u64).sum();
-            let mut any = false;
+            let mut claimed = 0u64;
             for (node, msgs) in inbox.into_iter().enumerate() {
                 let next = &mut frontiers[node];
                 next.clear();
@@ -146,14 +172,21 @@ impl DistBfs {
                         *d = depth + 1;
                         parents[m.vertex as usize] = m.parent;
                         next.push(m.vertex);
-                        any = true;
+                        claimed += 1;
                     }
                 }
             }
             if delivered > 0 {
                 messages_per_step.push(delivered);
+                if tracing {
+                    sink.record(&TraceEvent::Superstep(SuperstepEvent {
+                        step: depth + 1,
+                        messages: delivered,
+                        frontier: claimed,
+                    }));
+                }
             }
-            if !any {
+            if claimed == 0 {
                 break;
             }
             depth += 1;
@@ -216,18 +249,53 @@ mod tests {
     #[test]
     fn matches_serial_on_random_and_rmat() {
         let g = uniform_random(3000, 6, &mut rng_from_seed(1));
-        check(&g, 0, DistOptions { nodes: 4, dedup: true });
+        check(
+            &g,
+            0,
+            DistOptions {
+                nodes: 4,
+                dedup: true,
+            },
+        );
         let g = rmat(&RmatConfig::paper(12, 8), &mut rng_from_seed(2));
         let src = bfs_graph::stats::nth_non_isolated(&g, 0).unwrap();
-        check(&g, src, DistOptions { nodes: 4, dedup: true });
-        check(&g, src, DistOptions { nodes: 4, dedup: false });
+        check(
+            &g,
+            src,
+            DistOptions {
+                nodes: 4,
+                dedup: true,
+            },
+        );
+        check(
+            &g,
+            src,
+            DistOptions {
+                nodes: 4,
+                dedup: false,
+            },
+        );
     }
 
     #[test]
     fn dedup_reduces_traffic_without_changing_results() {
         let g = uniform_random(2000, 16, &mut rng_from_seed(3));
-        let with = check(&g, 0, DistOptions { nodes: 4, dedup: true });
-        let without = check(&g, 0, DistOptions { nodes: 4, dedup: false });
+        let with = check(
+            &g,
+            0,
+            DistOptions {
+                nodes: 4,
+                dedup: true,
+            },
+        );
+        let without = check(
+            &g,
+            0,
+            DistOptions {
+                nodes: 4,
+                dedup: false,
+            },
+        );
         assert!(
             with.traffic.total_remote() < without.traffic.total_remote(),
             "dedup must cut remote bytes: {} vs {}",
@@ -239,7 +307,14 @@ mod tests {
     #[test]
     fn single_node_run_has_zero_remote_traffic() {
         let g = uniform_random(500, 4, &mut rng_from_seed(4));
-        let out = check(&g, 0, DistOptions { nodes: 1, dedup: true });
+        let out = check(
+            &g,
+            0,
+            DistOptions {
+                nodes: 1,
+                dedup: true,
+            },
+        );
         assert_eq!(out.traffic.total_remote(), 0);
     }
 
@@ -248,15 +323,84 @@ mod tests {
         // The paper's cluster argument: the same traversal pays more
         // interconnect traffic the more nodes it spans.
         let g = uniform_random(4000, 8, &mut rng_from_seed(5));
-        let b2 = check(&g, 0, DistOptions { nodes: 2, dedup: true }).remote_bytes_per_edge();
-        let b8 = check(&g, 0, DistOptions { nodes: 8, dedup: true }).remote_bytes_per_edge();
-        assert!(b8 > b2, "8-node traffic/edge {b8} should exceed 2-node {b2}");
+        let b2 = check(
+            &g,
+            0,
+            DistOptions {
+                nodes: 2,
+                dedup: true,
+            },
+        )
+        .remote_bytes_per_edge();
+        let b8 = check(
+            &g,
+            0,
+            DistOptions {
+                nodes: 8,
+                dedup: true,
+            },
+        )
+        .remote_bytes_per_edge();
+        assert!(
+            b8 > b2,
+            "8-node traffic/edge {b8} should exceed 2-node {b2}"
+        );
+    }
+
+    #[test]
+    fn traced_run_emits_run_and_superstep_events() {
+        use bfs_trace::RingSink;
+        let g = uniform_random(1000, 6, &mut rng_from_seed(6));
+        let opts = DistOptions {
+            nodes: 3,
+            dedup: true,
+        };
+        let ring = RingSink::new(4096);
+        let out = DistBfs::new(&g, opts).run_traced(0, &ring);
+        let events = ring.into_events();
+        let runs: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Run(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].engine, "multinode");
+        assert_eq!(runs[0].nodes, Some(3));
+        assert_eq!(runs[0].vertices, 1000);
+        let steps: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Superstep(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(steps.len(), out.messages_per_step.len());
+        let mut claimed_total = 0u64;
+        for (i, s) in steps.iter().enumerate() {
+            assert_eq!(s.step, i as u32 + 1);
+            assert_eq!(s.messages, out.messages_per_step[i]);
+            assert!(s.frontier <= s.messages);
+            claimed_total += s.frontier;
+        }
+        // Every visit past the source is claimed in exactly one superstep.
+        assert_eq!(claimed_total, out.visited_vertices - 1);
+        // Tracing must not perturb the traversal.
+        assert_eq!(out.depths, DistBfs::new(&g, opts).run(0).depths);
     }
 
     #[test]
     fn message_counts_track_frontier_sizes() {
         let g = path(10);
-        let out = check(&g, 0, DistOptions { nodes: 2, dedup: false });
+        let out = check(
+            &g,
+            0,
+            DistOptions {
+                nodes: 2,
+                dedup: false,
+            },
+        );
         // Every superstep that advanced the frontier delivered messages,
         // and a path's per-step message count is tiny (the claiming edge
         // plus at most a couple of rejected back-edges at the boundary).

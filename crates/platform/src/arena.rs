@@ -63,10 +63,7 @@ impl NumaArena {
             return 1.0;
         }
         let mean = total as f64 / self.sockets() as f64;
-        let max = (0..self.sockets())
-            .map(|s| self.bytes_on(s))
-            .max()
-            .unwrap() as f64;
+        let max = (0..self.sockets()).map(|s| self.bytes_on(s)).max().unwrap() as f64;
         max / mean
     }
 

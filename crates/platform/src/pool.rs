@@ -4,10 +4,8 @@
 //! executes the per-step loop of Fig. 3 and meets the others at barriers.
 //! `SocketPool::run` spawns one scoped thread per (socket, lane) of the
 //! topology, optionally pins it, and passes it a [`ThreadCtx`] carrying its
-//! coordinates and the shared barrier. Scoped threads (crossbeam) let the
-//! region borrow the graph and all traversal state without `Arc`s.
-
-use crossbeam::thread;
+//! coordinates and the shared barrier. Scoped threads (`std::thread::scope`)
+//! let the region borrow the graph and all traversal state without `Arc`s.
 
 use crate::barrier::SenseBarrier;
 use crate::pin::pin_to_core;
@@ -85,13 +83,14 @@ impl SocketPool {
         let mut results: Vec<Option<R>> = Vec::with_capacity(n);
         results.resize_with(n, || None);
         let slots: Vec<_> = results.iter_mut().collect();
-        thread::scope(|scope| {
+        // `std::thread::scope` joins every worker before returning and
+        // re-raises the first worker panic, so results are complete on exit.
+        std::thread::scope(|scope| {
             for (tid, slot) in slots.into_iter().enumerate() {
                 let (socket, lane) = topo.socket_lane(tid);
-                scope
-                    .builder()
+                std::thread::Builder::new()
                     .name(format!("bfs-s{socket}-l{lane}"))
-                    .spawn(move |_| {
+                    .spawn_scoped(scope, move || {
                         if topo.pin_threads {
                             let _ = pin_to_core(tid);
                         }
@@ -106,8 +105,7 @@ impl SocketPool {
                     })
                     .expect("failed to spawn worker thread");
             }
-        })
-        .expect("worker thread panicked");
+        });
         results
             .into_iter()
             .map(|r| r.expect("worker did not produce a result"))
@@ -131,7 +129,14 @@ mod tests {
         assert_eq!(hits.load(Ordering::Relaxed), 6);
         assert_eq!(
             ids,
-            vec![(0, 0, 0), (1, 0, 1), (2, 0, 2), (3, 1, 0), (4, 1, 1), (5, 1, 2)]
+            vec![
+                (0, 0, 0),
+                (1, 0, 1),
+                (2, 0, 2),
+                (3, 1, 0),
+                (4, 1, 1),
+                (5, 1, 2)
+            ]
         );
     }
 

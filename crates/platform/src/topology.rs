@@ -87,7 +87,10 @@ impl Topology {
     /// Validates invariants; call before handing to a pool.
     pub fn validate(&self) {
         assert!(self.sockets > 0, "need at least one socket");
-        assert!(self.lanes_per_socket > 0, "need at least one lane per socket");
+        assert!(
+            self.lanes_per_socket > 0,
+            "need at least one lane per socket"
+        );
         assert!(self.cache_line.is_power_of_two(), "cache line must be 2^k");
         assert!(self.page_bytes.is_power_of_two(), "page size must be 2^k");
         assert!(self.llc_bytes > 0 && self.l2_bytes > 0);

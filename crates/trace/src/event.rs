@@ -1,0 +1,272 @@
+//! Typed trace events.
+//!
+//! Every engine in the workspace (threaded, baselines, simulated replay,
+//! multi-node) emits the same small vocabulary: one [`RunEvent`] describing
+//! the run's geometry, then one per-step event — [`StepEvent`] for wall-clock
+//! engines, [`MemStepEvent`] for the memory-traffic replay, and
+//! [`SuperstepEvent`] for the distributed driver.
+//!
+//! The JSON form is one object per event with an `"event"` tag
+//! (`"run"`/`"step"`/`"mem_step"`/`"superstep"`) merged into the payload, so
+//! a JSONL trace is greppable by kind without nested unwrapping.
+
+use serde::{de_field, Deserialize, Error, Serialize, Value};
+
+/// Run-level geometry: emitted once, before the first step.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunEvent {
+    /// Which engine produced the trace (`"engine"`, `"baseline-*"`,
+    /// `"memsim"`, `"multinode"`).
+    pub engine: String,
+    /// Vertices in the input graph.
+    pub vertices: u64,
+    /// Directed edges in the input graph.
+    pub edges: u64,
+    /// Source vertex.
+    pub source: u32,
+    /// Sockets in the run's topology.
+    pub sockets: usize,
+    /// Lanes (cores) per socket.
+    pub lanes_per_socket: usize,
+    /// Total worker threads.
+    pub threads: usize,
+    /// `N_VIS` partitions (two-phase engines only).
+    pub n_vis: Option<usize>,
+    /// `N_PBV` bins (two-phase engines only).
+    pub n_pbv: Option<usize>,
+    /// Resolved PBV encoding (two-phase engines only).
+    pub encoding: Option<String>,
+    /// Scheduling mode (single-node engines only).
+    pub scheduling: Option<String>,
+    /// VIS scheme (single-node engines only).
+    pub vis: Option<String>,
+    /// Cluster nodes (multi-node driver only).
+    pub nodes: Option<usize>,
+}
+
+/// One thread's share of a step.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThreadStep {
+    /// Global thread id.
+    pub thread: usize,
+    /// Nanoseconds this thread spent in Phase I this step.
+    pub phase1_ns: u64,
+    /// Nanoseconds this thread spent in Phase II this step.
+    pub phase2_ns: u64,
+    /// Nanoseconds this thread spent rearranging its frontier this step.
+    pub rearrange_ns: u64,
+    /// Vertices this thread enqueued this step (duplicates included).
+    pub enqueued: u64,
+}
+
+/// One BFS step of a wall-clock engine.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepEvent {
+    /// Step number (= depth of the vertices claimed this step; step 1 claims
+    /// the source's neighbors).
+    pub step: u32,
+    /// Total enqueues this step (duplicates included) — the
+    /// `frontier_sizes[step]` entry of the run's stats.
+    pub frontier: u64,
+    /// Enqueues beyond the distinct vertices claimed this step (the benign
+    /// §III-A claim race).
+    pub duplicates: u64,
+    /// Per-thread phase timings and enqueue counts.
+    pub threads: Vec<ThreadStep>,
+    /// Entries binned per PBV bin this step, summed over threads (empty for
+    /// engines without Phase I binning).
+    pub bin_occupancy: Vec<u64>,
+}
+
+impl StepEvent {
+    /// The step's critical-path latency: the slowest thread's phase sum.
+    pub fn latency_ns(&self) -> u64 {
+        self.threads
+            .iter()
+            .map(|t| t.phase1_ns + t.phase2_ns + t.rearrange_ns)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One BFS step of the simulated-machine replay: per-channel byte deltas
+/// from the traffic ledger.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemStepEvent {
+    /// Step number.
+    pub step: u32,
+    /// Vertices enqueued this step across virtual threads.
+    pub frontier: u64,
+    /// DRAM fill bytes this step.
+    pub dram_read: u64,
+    /// DRAM write-back bytes this step.
+    pub dram_write: u64,
+    /// Inter-socket link bytes this step (fills + write-backs).
+    pub qpi: u64,
+    /// Dirty-line migration bytes this step (the §III-B3 ping-pong).
+    pub qpi_migration: u64,
+    /// LLC → L2 fill bytes this step.
+    pub llc_to_l2: u64,
+    /// L2 → LLC write-back bytes this step.
+    pub l2_to_llc: u64,
+    /// Page-walk bytes this step (TLB misses).
+    pub page_walk: u64,
+}
+
+/// One superstep of the distributed driver.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SuperstepEvent {
+    /// Superstep number (= depth of the vertices claimed).
+    pub step: u32,
+    /// Messages delivered through the exchange this superstep.
+    pub messages: u64,
+    /// Vertices newly claimed this superstep.
+    pub frontier: u64,
+}
+
+/// Any trace event. JSON form is the payload object with an added
+/// `"event"` tag field.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    Run(RunEvent),
+    Step(StepEvent),
+    MemStep(MemStepEvent),
+    Superstep(SuperstepEvent),
+}
+
+impl TraceEvent {
+    /// The `"event"` tag of this variant.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Run(_) => "run",
+            TraceEvent::Step(_) => "step",
+            TraceEvent::MemStep(_) => "mem_step",
+            TraceEvent::Superstep(_) => "superstep",
+        }
+    }
+}
+
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> Value {
+        let payload = match self {
+            TraceEvent::Run(e) => e.to_value(),
+            TraceEvent::Step(e) => e.to_value(),
+            TraceEvent::MemStep(e) => e.to_value(),
+            TraceEvent::Superstep(e) => e.to_value(),
+        };
+        let mut fields = vec![("event".to_string(), Value::Str(self.kind().to_string()))];
+        match payload {
+            Value::Object(pairs) => fields.extend(pairs),
+            other => fields.push(("payload".to_string(), other)),
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for TraceEvent {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let kind = String::from_value(de_field(v, "event")?)?;
+        Ok(match kind.as_str() {
+            "run" => TraceEvent::Run(RunEvent::from_value(v)?),
+            "step" => TraceEvent::Step(StepEvent::from_value(v)?),
+            "mem_step" => TraceEvent::MemStep(MemStepEvent::from_value(v)?),
+            "superstep" => TraceEvent::Superstep(SuperstepEvent::from_value(v)?),
+            other => return Err(Error::custom(format!("unknown event kind {other:?}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_event() -> TraceEvent {
+        TraceEvent::Step(StepEvent {
+            step: 3,
+            frontier: 17,
+            duplicates: 1,
+            threads: vec![
+                ThreadStep {
+                    thread: 0,
+                    phase1_ns: 100,
+                    phase2_ns: 200,
+                    rearrange_ns: 10,
+                    enqueued: 9,
+                },
+                ThreadStep {
+                    thread: 1,
+                    phase1_ns: 400,
+                    phase2_ns: 100,
+                    rearrange_ns: 0,
+                    enqueued: 8,
+                },
+            ],
+            bin_occupancy: vec![5, 12],
+        })
+    }
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let events = [
+            TraceEvent::Run(RunEvent {
+                engine: "engine".into(),
+                vertices: 100,
+                edges: 400,
+                source: 7,
+                sockets: 2,
+                lanes_per_socket: 2,
+                threads: 4,
+                n_vis: Some(2),
+                n_pbv: Some(4),
+                encoding: Some("Markers".into()),
+                scheduling: Some("LoadBalanced".into()),
+                vis: Some("Bit".into()),
+                nodes: None,
+            }),
+            step_event(),
+            TraceEvent::MemStep(MemStepEvent {
+                step: 1,
+                frontier: 4,
+                dram_read: 640,
+                dram_write: 64,
+                qpi: 128,
+                qpi_migration: 0,
+                llc_to_l2: 1024,
+                l2_to_llc: 256,
+                page_walk: 8,
+            }),
+            TraceEvent::Superstep(SuperstepEvent {
+                step: 2,
+                messages: 31,
+                frontier: 12,
+            }),
+        ];
+        for e in &events {
+            let json = serde_json::to_string(e).unwrap();
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, e, "roundtrip failed for {json}");
+        }
+    }
+
+    #[test]
+    fn json_carries_flat_event_tag() {
+        let json = serde_json::to_string(&step_event()).unwrap();
+        assert!(json.starts_with("{\"event\":\"step\""), "got {json}");
+        let v = serde_json::parse(&json).unwrap();
+        assert_eq!(v.get("step").and_then(serde::Value::as_u64), Some(3));
+    }
+
+    #[test]
+    fn latency_is_slowest_thread() {
+        match step_event() {
+            TraceEvent::Step(s) => assert_eq!(s.latency_ns(), 500),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let err = serde_json::from_str::<TraceEvent>("{\"event\":\"nope\"}");
+        assert!(err.is_err());
+    }
+}

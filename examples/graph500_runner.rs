@@ -55,7 +55,10 @@ fn main() {
     }
     // Graph500 reports the harmonic mean over roots.
     let harmonic = rates.len() as f64 / rates.iter().map(|r| 1.0 / r).sum::<f64>();
-    println!("harmonic-mean TEPS over {RUNS} roots: {:.2} MTEPS", harmonic / 1e6);
+    println!(
+        "harmonic-mean TEPS over {RUNS} roots: {:.2} MTEPS",
+        harmonic / 1e6
+    );
     println!(
         "(the paper reports ~1000 MTEPS for scale-28 Toy++ on the dual-socket X5570, halved to ~500 for Graph500-consistent reporting)"
     );

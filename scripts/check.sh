@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline tier-1 gate: everything CI requires, in the order that fails
+# fastest after a code change. All commands run with --offline semantics
+# (every dependency is vendored in-tree), so this works with no network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --offline -- -D warnings
+
+echo "==> all checks passed"

@@ -83,10 +83,7 @@ fn hub_and_spoke_hot_bin() {
     // A star with 20k leaves: one step with a frontier of 1 vertex whose
     // entire edge list lands in a handful of bins — extreme Phase-I skew.
     let g = star(20_000);
-    for scheduling in [
-        Scheduling::SocketAwareStatic,
-        Scheduling::LoadBalanced,
-    ] {
+    for scheduling in [Scheduling::SocketAwareStatic, Scheduling::LoadBalanced] {
         assert_correct(
             &g,
             0,

@@ -22,7 +22,10 @@ fn distributed_equals_single_node_engine_across_families() {
         ("rmat", rmat(&RmatConfig::paper(12, 8), &mut rng)),
         ("stress", stress_bipartite(1000, 6, &mut rng)),
         ("ba", barabasi_albert(1500, 3, &mut rng)),
-        ("proxy-road", ProxySpec::all()[4].generate_seeded(0.0008, 77)),
+        (
+            "proxy-road",
+            ProxySpec::all()[4].generate_seeded(0.0008, 77),
+        ),
     ];
     for (name, g) in graphs {
         let src = nth_non_isolated(&g, 0).unwrap();
@@ -45,7 +48,14 @@ fn remote_traffic_scales_with_cut_edges() {
     // the network — the worst case the paper's single-node pitch targets.
     let g = stress_bipartite(2048, 8, &mut stream_rng(78, 0));
     let src = 0u32;
-    let out = DistBfs::new(&g, DistOptions { nodes: 2, dedup: false }).run(src);
+    let out = DistBfs::new(
+        &g,
+        DistOptions {
+            nodes: 2,
+            dedup: false,
+        },
+    )
+    .run(src);
     let reference = serial_bfs(&g, src);
     assert_eq!(out.depths, reference.depths);
     // Without dedup, each traversed cross-edge ships one 8-byte message.
@@ -55,7 +65,14 @@ fn remote_traffic_scales_with_cut_edges() {
         "bipartite cut should make nearly every edge remote, got {bpe:.2} B/edge"
     );
     // Dedup collapses it to roughly one message per claimed vertex.
-    let deduped = DistBfs::new(&g, DistOptions { nodes: 2, dedup: true }).run(src);
+    let deduped = DistBfs::new(
+        &g,
+        DistOptions {
+            nodes: 2,
+            dedup: true,
+        },
+    )
+    .run(src);
     assert!(
         deduped.remote_bytes_per_edge() < bpe / 2.0,
         "dedup should cut the bipartite traffic at least in half"
@@ -65,7 +82,13 @@ fn remote_traffic_scales_with_cut_edges() {
 #[test]
 fn partition_balances_vertices_like_the_socket_rule() {
     let g = rmat(&RmatConfig::paper(10, 4), &mut stream_rng(79, 0));
-    let d = DistBfs::new(&g, DistOptions { nodes: 4, dedup: true });
+    let d = DistBfs::new(
+        &g,
+        DistOptions {
+            nodes: 4,
+            dedup: true,
+        },
+    );
     let p = d.partition();
     let mut counts = vec![0usize; 4];
     for v in 0..g.num_vertices() as u32 {

@@ -37,10 +37,7 @@ fn workload_suite(seed: u64) -> Vec<(String, CsrGraph)> {
             "grid3d-6".into(),
             grid3d_stencil(6, 6, 6, Stencil::TwentySix),
         ),
-        (
-            "road-40x25".into(),
-            road_network(40, 25, 0.2, 10, &mut rng),
-        ),
+        ("road-40x25".into(), road_network(40, 25, 0.2, 10, &mut rng)),
         ("ws-500".into(), watts_strogatz(500, 3, 0.05, &mut rng)),
         ("ur-2k-d6".into(), uniform_random(2000, 6, &mut rng)),
         (
@@ -51,10 +48,7 @@ fn workload_suite(seed: u64) -> Vec<(String, CsrGraph)> {
             "rmat-12-8".into(),
             rmat(&RmatConfig::paper(12, 8), &mut rng),
         ),
-        (
-            "stress-600-d5".into(),
-            stress_bipartite(600, 5, &mut rng),
-        ),
+        ("stress-600-d5".into(), stress_bipartite(600, 5, &mut rng)),
     ]
 }
 
@@ -65,11 +59,17 @@ fn check(name: &str, g: &CsrGraph, opts: BfsOptions, topo: Topology) {
     };
     let reference = serial_bfs(g, src);
     let out = BfsEngine::new(g, topo, opts).run(src);
-    assert_eq!(out.depths, reference.depths, "{name}: depths diverge ({opts:?})");
+    assert_eq!(
+        out.depths, reference.depths,
+        "{name}: depths diverge ({opts:?})"
+    );
     validate_bfs_tree(g, src, &out.depths, &out.parents)
         .unwrap_or_else(|e| panic!("{name}: invalid tree: {e} ({opts:?})"));
     assert_eq!(out.stats.visited_vertices, reference.visited, "{name}");
-    assert_eq!(out.stats.traversed_edges, reference.traversed_edges, "{name}");
+    assert_eq!(
+        out.stats.traversed_edges, reference.traversed_edges,
+        "{name}"
+    );
 }
 
 #[test]

@@ -50,19 +50,21 @@ fn arb_options() -> impl Strategy<Value = BfsOptions> {
             Just(PbvEncoding::Markers),
             Just(PbvEncoding::Pairs),
         ],
-        1usize..=4,   // n_vis
+        1usize..=4,    // n_vis
         any::<bool>(), // rearrange
-        0usize..=8,   // prefetch distance
+        0usize..=8,    // prefetch distance
     )
-        .prop_map(|(vis, scheduling, encoding, n_vis, rearrange, pref)| BfsOptions {
-            vis,
-            scheduling,
-            encoding,
-            n_vis_override: Some(n_vis),
-            rearrange,
-            prefetch_distance: pref,
-            ..Default::default()
-        })
+        .prop_map(
+            |(vis, scheduling, encoding, n_vis, rearrange, pref)| BfsOptions {
+                vis,
+                scheduling,
+                encoding,
+                n_vis_override: Some(n_vis),
+                rearrange,
+                prefetch_distance: pref,
+                ..Default::default()
+            },
+        )
 }
 
 proptest! {
@@ -102,9 +104,12 @@ proptest! {
     ) {
         let src = (src_pick % g.num_vertices()) as u32;
         let out = BfsEngine::new(&g, Topology::synthetic(2, 2), BfsOptions::default()).run(src);
-        let sum: u64 = out.stats.frontier_sizes.iter().sum();
+        prop_assert_eq!(out.stats.frontier_sizes[0], 1);
+        prop_assert_eq!(out.stats.steps as usize, out.stats.frontier_sizes.len() - 1);
+        let sum: u64 = out.stats.frontier_sizes[1..].iter().sum();
         prop_assert_eq!(sum, out.stats.visited_vertices - 1 + out.stats.duplicate_enqueues);
         for &f in &out.stats.frontier_sizes {
+            prop_assert!(f > 0);
             prop_assert!(f <= g.num_vertices() as u64 + out.stats.duplicate_enqueues);
         }
     }

@@ -25,10 +25,23 @@ fn proxy_regimes_match_table_ii_axes() {
                     spec.name,
                     s.avg_degree
                 );
-                assert!(s.bfs_depth > 40, "{}: road depth {}", spec.name, s.bfs_depth);
+                assert!(
+                    s.bfs_depth > 40,
+                    "{}: road depth {}",
+                    spec.name,
+                    s.bfs_depth
+                );
             }
-            ProxyKind::Orkut | ProxyKind::Twitter | ProxyKind::Facebook | ProxyKind::ToyPlusPlus => {
-                assert!(s.bfs_depth <= 25, "{}: social depth {}", spec.name, s.bfs_depth);
+            ProxyKind::Orkut
+            | ProxyKind::Twitter
+            | ProxyKind::Facebook
+            | ProxyKind::ToyPlusPlus => {
+                assert!(
+                    s.bfs_depth <= 25,
+                    "{}: social depth {}",
+                    spec.name,
+                    s.bfs_depth
+                );
                 assert!(
                     s.max_degree as f64 > 3.0 * s.avg_degree,
                     "{}: social skew",

@@ -104,7 +104,9 @@ fn total_cycles_agree_within_figure8_tolerance() {
         );
         let sim = r.phase_cycles(&bw).total();
         let alpha = if family == "RMAT" { 0.6 } else { 0.5 };
-        let model = predict(&spec, &params_for(&g, src), alpha).multi_socket.total;
+        let model = predict(&spec, &params_for(&g, src), alpha)
+            .multi_socket
+            .total;
         let gap = (sim - model).abs() / model;
         gaps.push(gap);
         assert!(
@@ -114,7 +116,11 @@ fn total_cycles_agree_within_figure8_tolerance() {
         );
     }
     let avg = gaps.iter().sum::<f64>() / gaps.len() as f64;
-    assert!(avg < 0.15, "average gap {:.0}% exceeds Figure 8 tolerance", avg * 100.0);
+    assert!(
+        avg < 0.15,
+        "average gap {:.0}% exceeds Figure 8 tolerance",
+        avg * 100.0
+    );
 }
 
 #[test]
@@ -134,7 +140,11 @@ fn worked_example_regime_holds_at_scale() {
     // must hold.
     let frac = p.visited_vertices as f64 / p.num_vertices as f64;
     assert!((0.25..0.8).contains(&frac), "visited fraction {frac}");
-    assert!((10.0..32.0).contains(&p.rho_prime()), "rho' {}", p.rho_prime());
+    assert!(
+        (10.0..32.0).contains(&p.rho_prime()),
+        "rho' {}",
+        p.rho_prime()
+    );
     let spec2 = MachineSpec::xeon_x5570_2s();
     let spec1 = MachineSpec::xeon_x5570_1s();
     let two = predict(&spec2, &p, 0.6).multi_socket.total;

@@ -1,0 +1,101 @@
+//! Property test of the frontier counting convention (see `TraversalStats`)
+//! across *every* Scheduling × VisScheme × PbvEncoding combination.
+//!
+//! For any graph and any configuration:
+//!
+//! * `frontier_sizes[0] == 1` (the source frontier);
+//! * every logged level is non-empty;
+//! * `steps == frontier_sizes.len() - 1 == ` the serial oracle's depth;
+//! * per-step enqueues sum to `visited_vertices - 1 + duplicate_enqueues`;
+//! * depths match the serial oracle exactly.
+
+use bfs_core::engine::{BfsEngine, BfsOptions, Scheduling};
+use bfs_core::pbv::PbvEncoding;
+use bfs_core::serial::serial_bfs;
+use bfs_core::VisScheme;
+use bfs_graph::builder::{BuildOptions, GraphBuilder};
+use bfs_graph::CsrGraph;
+use bfs_platform::Topology;
+use proptest::prelude::*;
+
+/// Arbitrary symmetrized graph with self-loops and multi-edges allowed.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (1..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(
+                n,
+                BuildOptions {
+                    symmetrize: true,
+                    dedup: false,
+                    drop_self_loops: false,
+                    sort_neighbors: false,
+                },
+            );
+            b.add_edges(edges);
+            b.build()
+        })
+    })
+}
+
+const SCHEDULINGS: [Scheduling; 3] = [
+    Scheduling::NoMultiSocketOpt,
+    Scheduling::SocketAwareStatic,
+    Scheduling::LoadBalanced,
+];
+
+const ENCODINGS: [PbvEncoding; 3] = [PbvEncoding::Auto, PbvEncoding::Markers, PbvEncoding::Pairs];
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn frontier_convention_holds_for_every_configuration(
+        g in arb_graph(60, 180),
+        src_pick in 0usize..16,
+    ) {
+        let src = (src_pick % g.num_vertices()) as u32;
+        let oracle = serial_bfs(&g, src);
+        for scheduling in SCHEDULINGS {
+            for vis in VisScheme::ALL {
+                for encoding in ENCODINGS {
+                    let opts = BfsOptions {
+                        vis,
+                        scheduling,
+                        encoding,
+                        ..Default::default()
+                    };
+                    let out =
+                        BfsEngine::new(&g, Topology::synthetic(2, 2), opts).run(src);
+                    let label = format!("{scheduling:?}/{vis:?}/{encoding:?}");
+                    prop_assert_eq!(
+                        &out.depths, &oracle.depths,
+                        "depths diverge under {}", &label
+                    );
+                    let fs = &out.stats.frontier_sizes;
+                    prop_assert_eq!(fs[0], 1, "missing source frontier under {}", &label);
+                    prop_assert!(
+                        fs.iter().all(|&f| f > 0),
+                        "empty level logged under {}", &label
+                    );
+                    prop_assert_eq!(
+                        out.stats.steps as usize, fs.len() - 1,
+                        "steps must count depth levels under {}", &label
+                    );
+                    prop_assert_eq!(
+                        out.stats.steps, oracle.max_depth,
+                        "depth disagrees with serial under {}", &label
+                    );
+                    let sum: u64 = fs[1..].iter().sum();
+                    prop_assert_eq!(
+                        sum,
+                        out.stats.visited_vertices - 1 + out.stats.duplicate_enqueues,
+                        "enqueue accounting broken under {}", &label
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Overhead guard for the tracing subsystem: a disabled sink must cost
+//! nothing. `BfsEngine::run` *is* `run_traced(&NoopSink)`, so the test
+//! pins the stronger property directly — the no-op traced path performs
+//! exactly as many heap allocations as an untraced run, while an enabled
+//! sink (which assembles per-step events) performs strictly more.
+//!
+//! A counting global allocator observes every allocation in the process,
+//! so this file holds a single `#[test]` (parallel tests would pollute the
+//! counter) and uses a single-threaded topology for determinism.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bfs_core::engine::{BfsEngine, BfsOptions};
+use bfs_graph::gen::uniform::uniform_random;
+use bfs_graph::rng::rng_from_seed;
+use bfs_platform::Topology;
+use bfs_trace::{NoopSink, RingSink};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn counted(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn noop_sink_does_not_allocate_beyond_an_untraced_run() {
+    let g = uniform_random(4000, 8, &mut rng_from_seed(11));
+    let engine = BfsEngine::new(&g, Topology::synthetic(1, 1), BfsOptions::default());
+    // Warm up once: lazy one-time allocations (thread-pool state, etc.)
+    // must not be charged to either side.
+    engine.run(0);
+
+    let untraced = counted(|| {
+        engine.run(0);
+    });
+    let noop = counted(|| {
+        engine.run_traced(0, &NoopSink);
+    });
+    assert_eq!(
+        noop, untraced,
+        "a disabled sink must not add a single allocation per run"
+    );
+
+    let ring = RingSink::new(4096);
+    let traced = counted(|| {
+        engine.run_traced(0, &ring);
+    });
+    assert!(
+        traced > noop,
+        "an enabled sink assembles events and must allocate (traced {traced} vs noop {noop})"
+    );
+    assert!(!ring.is_empty());
+}

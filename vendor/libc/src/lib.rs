@@ -1,0 +1,74 @@
+//! Offline stand-in for `libc`: just the CPU-affinity surface that
+//! `bfs-platform::pin` uses on Linux. The `sched_setaffinity` symbol is
+//! provided by the system C library at link time; `cpu_set_t` mirrors the
+//! glibc layout (a 1024-bit mask of unsigned longs).
+#![allow(non_snake_case)] // CPU_SET & friends keep their C names
+#![allow(non_camel_case_types)]
+
+pub type pid_t = i32;
+pub type size_t = usize;
+pub type c_int = i32;
+pub type c_ulong = u64;
+
+const CPU_SETSIZE: usize = 1024;
+const BITS_PER_WORD: usize = 8 * std::mem::size_of::<c_ulong>();
+
+/// glibc-compatible CPU set: 1024 bits.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [c_ulong; CPU_SETSIZE / BITS_PER_WORD],
+}
+
+/// Clears every CPU in the set.
+///
+/// # Safety
+/// Matches the libc API shape; safe in practice (pure bit manipulation).
+pub unsafe fn CPU_ZERO(set: &mut cpu_set_t) {
+    set.bits = [0; CPU_SETSIZE / BITS_PER_WORD];
+}
+
+/// Adds `cpu` to the set (out-of-range indices are ignored, as in glibc's
+/// `CPU_SET` macro when the index exceeds the set size).
+///
+/// # Safety
+/// Matches the libc API shape; safe in practice (pure bit manipulation).
+pub unsafe fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE {
+        set.bits[cpu / BITS_PER_WORD] |= 1 << (cpu % BITS_PER_WORD);
+    }
+}
+
+/// Returns whether `cpu` is in the set.
+///
+/// # Safety
+/// Matches the libc API shape; safe in practice (pure bit manipulation).
+pub unsafe fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE && set.bits[cpu / BITS_PER_WORD] & (1 << (cpu % BITS_PER_WORD)) != 0
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+    pub fn sched_getaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *mut cpu_set_t) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_test_bits() {
+        unsafe {
+            let mut s: cpu_set_t = std::mem::zeroed();
+            CPU_ZERO(&mut s);
+            assert!(!CPU_ISSET(3, &s));
+            CPU_SET(3, &mut s);
+            CPU_SET(64, &mut s);
+            CPU_SET(usize::MAX, &mut s); // ignored, must not panic
+            assert!(CPU_ISSET(3, &s));
+            assert!(CPU_ISSET(64, &s));
+            assert!(!CPU_ISSET(4, &s));
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! Offline stand-in for `proptest`: deterministic randomized property tests.
+//!
+//! Implements the subset this workspace's property suites use — the
+//! `proptest!` macro with `#![proptest_config(..)]`, integer-range / `any` /
+//! `Just` / tuple / `collection::vec` strategies, `prop_map`,
+//! `prop_flat_map`, `prop_oneof!`, and the `prop_assert*` macros. Cases are
+//! generated from a fixed-seed PRNG so failures reproduce exactly; there is
+//! no shrinking (the failure message reports the case index instead).
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic xorshift64* generator driving all case generation.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Fixed-seed RNG: every `cargo test` run sees the same cases.
+    pub fn deterministic() -> Self {
+        TestRng(0x9E37_79B9_7F4A_7C15)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, span)`; `span` must be nonzero.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+}
+
+/// Test-case generator.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// [`Strategy::prop_flat_map`] adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Constant strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Types with a default full-domain strategy via [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i32
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+/// Full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident : $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+}
+
+/// A type-erased generator arm of a [`Union`].
+pub type UnionArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// One-of strategy produced by [`prop_oneof!`]: uniform choice between
+/// type-erased alternatives.
+pub struct Union<V> {
+    arms: Vec<UnionArm<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<UnionArm<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    pub fn boxed<S>(s: S) -> Box<dyn Fn(&mut TestRng) -> V>
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        Box::new(move |rng| s.generate(rng))
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[i])(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Vec of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span + 1) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration (only `cases` is consulted by the stub).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+        Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (@config ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::deterministic();
+                $(let $arg = $strat;)+
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::generate(&$arg, &mut __rng);)+
+                    let __result: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(msg) = __result {
+                        panic!("proptest case {}/{} failed: {}", __case + 1, __config.cases, msg);
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@config ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("prop_assert!({}) failed", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "prop_assert!({}) failed: {}", stringify!($cond), format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(
+                format!("prop_assert_eq! failed: {:?} != {:?}", l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq! failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_ne! failed: both sides = {:?}",
+                l
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Union::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_respect_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..500 {
+            let x = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let y = (1usize..=4).generate(&mut rng);
+            assert!((1..=4).contains(&y));
+            let v = collection::vec(0u64..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 10));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![Just(1u32), Just(2u32)].prop_map(|v| v * 10);
+        let mut rng = TestRng::deterministic();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen, [10u32, 20].into_iter().collect());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_roundtrip(x in 0u64..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            let y = if flip { x } else { x + 1 };
+            prop_assert_ne!(y, x + 2);
+            prop_assert_eq!(y.min(x), x.min(y), "symmetric {}", y);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline stand-in for the `rand` crate (0.9-style method names).
+//!
+//! Provides a deterministic xoshiro256++ [`rngs::SmallRng`] seeded via
+//! SplitMix64, plus the generic surface this workspace uses: `Rng::random`,
+//! `Rng::random_range`, `Rng::random_bool`, `SeedableRng::seed_from_u64`, and
+//! `seq::SliceRandom::shuffle`. Streams are stable across runs for a given
+//! seed (the repo's generators rely on that for cached graphs), but are not
+//! bit-compatible with upstream rand.
+
+/// Minimal RNG core: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seeding entry point (only the `seed_from_u64` form is used here).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by [`Rng::random`].
+pub trait Random: Sized {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_uint {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_random_uint!(u8, u16, u32, u64, usize);
+
+impl Random for i32 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i32
+    }
+}
+
+impl Random for i64 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Random for bool {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges samplable by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (reject_sample(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (reject_sample(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Unbiased sampling of `[0, span)` by rejection (span > 0).
+fn reject_sample<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+/// User-facing RNG methods; blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn random<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, deterministic. Matches upstream
+    /// `SmallRng`'s role (not its exact stream).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias: the stub backs `StdRng` with the same generator.
+    pub type StdRng = SmallRng;
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling (Fisher–Yates).
+    pub trait SliceRandom {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = super::reject_sample(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(9);
+            (0..8).map(|_| r.random()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(9);
+            (0..8).map(|_| r.random()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(10);
+            (0..8).map(|_| r.random()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.random_range(3usize..10);
+            assert!((3..10).contains(&x));
+            let y = r.random_range(0u64..=5);
+            assert!(y <= 5);
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut v: Vec<u32> = (0..100).collect();
+        let mut r = SmallRng::seed_from_u64(4);
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "100-element shuffle left slice sorted");
+    }
+}

@@ -1,0 +1,459 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls that lower
+//! through `serde::Value` (this workspace's offline serde facade). The parser
+//! walks the raw `proc_macro::TokenStream` directly — no `syn`/`quote`, since
+//! the build environment has no registry access.
+//!
+//! Supported shapes (everything this workspace derives): structs with named
+//! fields, tuple structs, unit structs, and enums with unit / tuple / struct
+//! variants (externally tagged, like real serde). Generic parameters and
+//! `#[serde(...)]` attributes are not supported and raise a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive stub generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility until the `struct`/`enum` keyword.
+    let is_enum = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(_) => {}
+            None => return Err("serde_derive stub: no struct or enum found".into()),
+        }
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde_derive stub: expected type name, got {other:?}"
+            ))
+        }
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive stub: generic parameters on `{name}` are not supported"
+            ));
+        }
+    }
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && is_enum => {
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::NamedStruct {
+            name,
+            fields: parse_named_fields(g.stream())?,
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Item::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+        other => Err(format!(
+            "serde_derive stub: unsupported item body {other:?}"
+        )),
+    }
+}
+
+/// Parses `a: T, b: U<V, W>, ...` field names, skipping attributes,
+/// visibility, and type tokens (tracking `<`/`>` depth so commas inside
+/// generic arguments don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Skip attributes (doc comments included) and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match toks.next() {
+            None => return Ok(fields),
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive stub: expected field name, got {other:?}"
+                ))
+            }
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde_derive stub: expected `:`, got {other:?}")),
+        }
+        fields.push(name);
+        // Skip the type: consume until a top-level `,` or end of stream.
+        let mut angle_depth = 0i32;
+        loop {
+            match toks.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Counts top-level comma-separated segments of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut seg_has_tokens = false;
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(ref p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                seg_has_tokens = true;
+            }
+            TokenTree::Punct(ref p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                seg_has_tokens = true;
+            }
+            TokenTree::Punct(ref p) if p.as_char() == ',' && angle_depth == 0 => {
+                if seg_has_tokens {
+                    count += 1;
+                }
+                seg_has_tokens = false;
+            }
+            _ => seg_has_tokens = true,
+        }
+    }
+    if seg_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let name = match toks.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive stub: expected variant name, got {other:?}"
+                ))
+            }
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                toks.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                toks.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip an optional discriminant and the trailing comma.
+        loop {
+            match toks.next() {
+                None => return Ok(variants),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| format!("(String::from({f:?}), serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                     serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Array(vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn ser_variant_arm(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!("{ty}::{vn} => serde::Value::Str(String::from({vn:?})),\n"),
+        VariantKind::Tuple(1) => format!(
+            "{ty}::{vn}(f0) => serde::Value::Object(vec![(String::from({vn:?}), \
+             serde::Serialize::to_value(f0))]),\n"
+        ),
+        VariantKind::Tuple(arity) => {
+            let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+            let items: String = binds
+                .iter()
+                .map(|b| format!("serde::Serialize::to_value({b}),"))
+                .collect();
+            format!(
+                "{ty}::{vn}({}) => serde::Value::Object(vec![(String::from({vn:?}), \
+                 serde::Value::Array(vec![{items}]))]),\n",
+                binds.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let binds = fields.join(", ");
+            let pairs: String = fields
+                .iter()
+                .map(|f| format!("(String::from({f:?}), serde::Serialize::to_value({f})),"))
+                .collect();
+            format!(
+                "{ty}::{vn} {{ {binds} }} => serde::Value::Object(vec![(String::from({vn:?}), \
+                 serde::Value::Object(vec![{pairs}]))]),\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: serde::Deserialize::from_value(serde::de_field(v, {f:?})?)?,")
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                     Ok({name}(serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: String = (0..*arity)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         let items = v.as_array().ok_or_else(|| \
+                             serde::Error::custom(\"expected array\"))?;\n\
+                         if items.len() != {arity} {{\n\
+                             return Err(serde::Error::custom(\"wrong tuple arity\"));\n\
+                         }}\n\
+                         Ok({name}({inits}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                     Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),\n", v.name, v.name))
+                .collect();
+            let data_arms: String = variants.iter().map(|v| de_variant_arm(name, v)).collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match v {{\n\
+                             serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(serde::Error::custom(format!(\
+                                     \"unknown variant {{other}} of {name}\"))),\n\
+                             }},\n\
+                             serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                                 let (tag, inner) = &pairs[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     other => Err(serde::Error::custom(format!(\
+                                         \"unknown variant {{other}} of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(serde::Error::custom(format!(\
+                                 \"expected {name} variant, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn de_variant_arm(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!("{vn:?} => Ok({ty}::{vn}),\n"),
+        VariantKind::Tuple(1) => {
+            format!("{vn:?} => Ok({ty}::{vn}(serde::Deserialize::from_value(inner)?)),\n")
+        }
+        VariantKind::Tuple(arity) => {
+            let inits: String = (0..*arity)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "{vn:?} => {{\n\
+                     let items = inner.as_array().ok_or_else(|| \
+                         serde::Error::custom(\"expected array\"))?;\n\
+                     if items.len() != {arity} {{\n\
+                         return Err(serde::Error::custom(\"wrong variant arity\"));\n\
+                     }}\n\
+                     Ok({ty}::{vn}({inits}))\n\
+                 }}\n"
+            )
+        }
+        VariantKind::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: serde::Deserialize::from_value(serde::de_field(inner, {f:?})?)?,")
+                })
+                .collect();
+            format!("{vn:?} => Ok({ty}::{vn} {{ {inits} }}),\n")
+        }
+    }
+}
