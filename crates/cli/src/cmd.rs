@@ -3,8 +3,9 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
-use bfs_core::engine::{BfsEngine, BfsOptions, Scheduling};
+use bfs_core::engine::{BfsEngine, BfsOptions, BfsOutput, Scheduling};
 use bfs_core::serial::serial_bfs;
+use bfs_core::session::BfsSession;
 use bfs_core::sim::{simulate_bfs, simulate_bfs_traced, SimBfsConfig};
 use bfs_core::validate::validate_bfs_tree;
 use bfs_core::VisScheme;
@@ -15,7 +16,7 @@ use bfs_graph::gen::smallworld::watts_strogatz;
 use bfs_graph::gen::stress::stress_bipartite;
 use bfs_graph::gen::uniform::uniform_random;
 use bfs_graph::rng::rng_from_seed;
-use bfs_graph::stats::{nth_non_isolated, summarize};
+use bfs_graph::stats::{nth_non_isolated, random_roots, summarize};
 use bfs_graph::CsrGraph;
 use bfs_memsim::{BandwidthSpec, MachineConfig};
 use bfs_model::{predict, GraphParams, MachineSpec};
@@ -38,6 +39,10 @@ subcommands:
                                    [--vis none|atomic|atomic-test|byte|bit]
                                    [--scheduling naive|static|load-balanced]
                                    [--no-rearrange] [--validate]
+                                   [--sources N [--seed K]] — batched multi-source
+                                   queries over one warm session (Graph500-style
+                                   random roots; per-query latency, mean and
+                                   harmonic-mean MTEPS)
   trace    traced traversal        (-i FILE | --family ... [gen flags]) [same engine flags]
                                    [--out FILE.jsonl] [--with-sim] — per-step events + summary
   sim      simulated X5570 run     -i FILE [--source V] [--shrink F] [same engine flags]
@@ -181,11 +186,14 @@ pub fn info(args: &[String]) -> Result<(), String> {
 pub fn run(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args, &["validate", "no-rearrange"])?;
     let g = load_graph(o.require("i")?)?;
-    let src = pick_source(&g, &o)?;
-    let runs: usize = o.num("runs", 1)?;
     let sockets: usize = o.num("sockets", 1)?;
     let threads: usize = o.num("threads", bfs_platform::pin::host_cores())?;
     let topo = Topology::synthetic(sockets, threads.div_ceil(sockets).max(1));
+    if o.get("sources").is_some() {
+        return run_batch(&g, topo, &o);
+    }
+    let src = pick_source(&g, &o)?;
+    let runs: usize = o.num("runs", 1)?;
     let engine = BfsEngine::new(&g, topo, engine_options(&o)?);
     println!(
         "engine: {} sockets x {} lanes, N_VIS {}, N_PBV {}",
@@ -215,6 +223,70 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("invalid BFS tree: {e}"))?;
             println!("run {k}: validated");
         }
+    }
+    Ok(())
+}
+
+/// `fastbfs run --sources N`: batched multi-source queries over one warm
+/// [`BfsSession`], Graph500 style — random degree≥1 roots, per-query
+/// latency, and both mean and harmonic-mean MTEPS (the harmonic mean is the
+/// Graph500 aggregate: it weights every query's *time* equally, so slow
+/// outlier queries are not averaged away).
+fn run_batch(g: &CsrGraph, topo: Topology, o: &Opts) -> Result<(), String> {
+    let count: usize = o.num("sources", 16)?;
+    let seed: u64 = o.num("seed", 42)?;
+    let roots = random_roots(g, count, seed);
+    if roots.is_empty() {
+        return Err("graph has no edges".into());
+    }
+    let mut session = BfsSession::new(g, topo, engine_options(o)?);
+    println!(
+        "session: {} sockets x {} lanes, N_VIS {}, N_PBV {}, {} sources (seed {seed})",
+        topo.sockets,
+        topo.lanes_per_socket,
+        session.engine().geometry().n_vis,
+        session.engine().geometry().n_bins,
+        roots.len(),
+    );
+    let mut out = BfsOutput::default();
+    let mut mteps = Vec::with_capacity(roots.len());
+    let batch_start = std::time::Instant::now();
+    for (k, &root) in roots.iter().enumerate() {
+        session.run_reusing(root, &mut out);
+        let m = out.stats.mteps();
+        mteps.push(m);
+        println!(
+            "query {k}: root {root}, depth {}, |V'| {}, |E'| {}, {:.3} ms, {:.2} MTEPS",
+            out.stats.steps,
+            out.stats.visited_vertices,
+            out.stats.traversed_edges,
+            out.stats.total_time.as_secs_f64() * 1e3,
+            m,
+        );
+        if o.has("validate") {
+            let reference = serial_bfs(g, root);
+            if out.depths != reference.depths {
+                return Err(format!("query {k}: depths differ from serial BFS"));
+            }
+            validate_bfs_tree(g, root, &out.depths, &out.parents)
+                .map_err(|e| format!("query {k}: invalid BFS tree: {e}"))?;
+        }
+    }
+    let elapsed = batch_start.elapsed();
+    let mean = mteps.iter().sum::<f64>() / mteps.len() as f64;
+    let harmonic = if mteps.iter().all(|&m| m > 0.0) {
+        mteps.len() as f64 / mteps.iter().map(|m| 1.0 / m).sum::<f64>()
+    } else {
+        0.0
+    };
+    println!(
+        "batch: {} queries in {:.3} ms, {:.1} queries/s, mean {mean:.2} MTEPS, harmonic {harmonic:.2} MTEPS",
+        roots.len(),
+        elapsed.as_secs_f64() * 1e3,
+        roots.len() as f64 / elapsed.as_secs_f64(),
+    );
+    if o.has("validate") {
+        println!("validated {} queries", roots.len());
     }
     Ok(())
 }
@@ -434,6 +506,35 @@ mod tests {
         .unwrap();
         info(&s(&["-i", &path])).unwrap();
         run(&s(&["-i", &path, "--validate", "--runs", "2"])).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_sources_batch_mode() {
+        let path = tmp("g6.fbfs");
+        gen(&s(&[
+            "--family",
+            "ur",
+            "--vertices",
+            "400",
+            "--degree",
+            "4",
+            "-o",
+            &path,
+        ]))
+        .unwrap();
+        run(&s(&[
+            "-i",
+            &path,
+            "--sources",
+            "4",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+            "--validate",
+        ]))
+        .unwrap();
         std::fs::remove_file(&path).ok();
     }
 

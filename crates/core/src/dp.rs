@@ -1,17 +1,36 @@
-//! The packed depth+parent (`DP`) array.
+//! The packed depth+parent (`DP`) array, with epoch-stamped O(touched) reset.
 //!
 //! §III-B: "Our algorithm stores the *depth* and *parent* of each vertex
 //! together in an array, denoted by DP — initialized to INF." §III-A:
 //! "Using 8/16/32/64-bits to represent the depth and parent values ensures
 //! that the updates to DP are always consistent."
 //!
-//! Each entry is one 64-bit word — depth in the high 32 bits, parent in the
-//! low 32 — written with a single `Relaxed` atomic store. A plain aligned
-//! 8-byte `mov` is exactly what the paper relies on ("the underlying
-//! architecture guarantees atomic reads/writes"); Rust expresses that legal
-//! racy access as a relaxed atomic, which compiles to the same instruction
-//! on x86-64. No read-modify-write (LOCK-prefixed) operation ever touches
-//! this array in the atomic-free schemes.
+//! Each entry is one 64-bit word — written with a single `Relaxed` atomic
+//! store. A plain aligned 8-byte `mov` is exactly what the paper relies on
+//! ("the underlying architecture guarantees atomic reads/writes"); Rust
+//! expresses that legal racy access as a relaxed atomic, which compiles to
+//! the same instruction on x86-64. No read-modify-write (LOCK-prefixed)
+//! operation ever touches this array in the atomic-free schemes.
+//!
+//! # Epoch stamps (query-session fast path)
+//!
+//! The word layout is `[stamp : E | depth : 32-E | parent : 32]`. A vertex
+//! is *assigned* iff its stamp equals the array's current run epoch;
+//! anything else — including all the stale words a previous run left behind
+//! — reads as INF. [`DepthParent::advance_epoch`] therefore resets the whole
+//! array in O(1): it just bumps the epoch. When the epoch counter would wrap
+//! (after `2^E − 1` runs), the array is re-zeroed once — the documented
+//! periodic O(|V|) cost that keeps stale stamps from aliasing a live epoch.
+//!
+//! This preserves the §III-A atomic-free argument unchanged: a claim is
+//! still one relaxed load (stamp comparison) plus one relaxed aligned store
+//! of the whole word. Two same-step racers write identical `(stamp, depth)`
+//! bits and possibly different parents — the same benign race as before,
+//! with the same "any claimant's parent is a valid BFS parent" resolution.
+//!
+//! `E` defaults to as many bits as fit above the depth field for the given
+//! `|V|` (capped at [`MAX_EPOCH_BITS`]); depths can never exceed `|V| − 1`,
+//! so the depth field only needs `ceil(log2(|V|))` bits.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -20,31 +39,68 @@ use crate::VertexId;
 /// Depth value meaning "not yet assigned" (the paper's INF).
 pub const INF_DEPTH: u32 = u32::MAX;
 
-const INF_WORD: u64 = u64::MAX;
+/// Most epoch bits an array will take by default: 2^16 − 1 warm runs between
+/// full re-zeroes, leaving ≥ 16 bits of depth headroom.
+pub const MAX_EPOCH_BITS: u32 = 16;
 
-#[inline]
-fn pack(depth: u32, parent: VertexId) -> u64 {
-    ((depth as u64) << 32) | parent as u64
-}
-
-#[inline]
-fn unpack(word: u64) -> (u32, VertexId) {
-    ((word >> 32) as u32, word as u32)
-}
-
-/// The `DP` array: one atomic word per vertex.
+/// The `DP` array: one atomic word per vertex plus the current run epoch.
 pub struct DepthParent {
     words: Box<[AtomicU64]>,
+    /// Stamp field width in bits (1..=31). The depth field gets `32 − E`.
+    epoch_bits: u32,
+    /// Current run epoch, in `1..=2^E − 1` (stamp 0 is "zeroed, never
+    /// written").
+    epoch: u64,
+}
+
+/// Epoch bits for an `n`-vertex array: everything the depth field does not
+/// need, capped at [`MAX_EPOCH_BITS`], floor 1.
+fn default_epoch_bits(n: usize) -> u32 {
+    // Depths reach at most n − 1; bits_for(n - 1) = 64 - leading_zeros.
+    let max_depth = n.saturating_sub(1) as u64;
+    let depth_bits = (u64::BITS - max_depth.leading_zeros()).max(1);
+    32u32.saturating_sub(depth_bits).clamp(1, MAX_EPOCH_BITS)
 }
 
 impl DepthParent {
-    /// All-INF array for `n` vertices.
+    /// All-unassigned array for `n` vertices with the default stamp width.
     pub fn new(n: usize) -> Self {
+        Self::with_epoch_bits(n, default_epoch_bits(n))
+    }
+
+    /// All-unassigned array with an explicit stamp width (tests use tiny
+    /// widths to exercise wraparound).
+    ///
+    /// # Panics
+    /// Panics unless `1 <= epoch_bits <= 31` and depths up to `n − 1` fit in
+    /// the remaining `32 − epoch_bits` bits.
+    pub fn with_epoch_bits(n: usize, epoch_bits: u32) -> Self {
+        assert!(
+            (1..=31).contains(&epoch_bits),
+            "epoch_bits must be in 1..=31"
+        );
+        let depth_bits = 32 - epoch_bits;
+        assert!(
+            n.saturating_sub(1) < (1usize << depth_bits),
+            "{n} vertices need deeper depth field than {depth_bits} bits"
+        );
         let mut v = Vec::with_capacity(n);
-        v.resize_with(n, || AtomicU64::new(INF_WORD));
+        v.resize_with(n, || AtomicU64::new(0));
         Self {
             words: v.into_boxed_slice(),
+            epoch_bits,
+            epoch: 1,
         }
+    }
+
+    /// Stamp width in bits.
+    pub fn epoch_bits(&self) -> u32 {
+        self.epoch_bits
+    }
+
+    /// The current run epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of vertices.
@@ -57,36 +113,81 @@ impl DepthParent {
         self.words.is_empty()
     }
 
-    /// Resets every entry to INF (single-threaded, between runs).
-    pub fn reset(&mut self) {
-        for w in self.words.iter_mut() {
-            *w.get_mut() = INF_WORD;
+    #[inline]
+    fn stamp_shift(&self) -> u32 {
+        64 - self.epoch_bits
+    }
+
+    #[inline]
+    fn pack(&self, depth: u32, parent: VertexId) -> u64 {
+        debug_assert!(
+            (depth as u64) < (1u64 << (32 - self.epoch_bits)),
+            "depth {depth} overflows the {}-bit depth field",
+            32 - self.epoch_bits
+        );
+        (self.epoch << self.stamp_shift()) | ((depth as u64) << 32) | parent as u64
+    }
+
+    #[inline]
+    fn unpack(&self, word: u64) -> (u32, VertexId) {
+        let depth_mask = (1u64 << (32 - self.epoch_bits)) - 1;
+        (((word >> 32) & depth_mask) as u32, word as u32)
+    }
+
+    #[inline]
+    fn is_current(&self, word: u64) -> bool {
+        (word >> self.stamp_shift()) == self.epoch
+    }
+
+    /// O(1) between-runs reset: advances the run epoch so every stale entry
+    /// reads as INF. Returns `true` when the stamp space wrapped and the
+    /// array had to be fully re-zeroed (the periodic O(|V|) fallback).
+    pub fn advance_epoch(&mut self) -> bool {
+        let max_epoch = (1u64 << self.epoch_bits) - 1;
+        if self.epoch == max_epoch {
+            for w in self.words.iter_mut() {
+                *w.get_mut() = 0;
+            }
+            self.epoch = 1;
+            true
+        } else {
+            self.epoch += 1;
+            false
         }
     }
 
-    /// True if `v` has been assigned a depth (racy snapshot; stable within a
-    /// step for vertices assigned in earlier steps).
-    #[inline]
-    pub fn is_assigned(&self, v: VertexId) -> bool {
-        self.words[v as usize].load(Ordering::Relaxed) != INF_WORD
+    /// Full O(|V|) reset to the fresh state (single-threaded, between runs).
+    pub fn reset(&mut self) {
+        for w in self.words.iter_mut() {
+            *w.get_mut() = 0;
+        }
+        self.epoch = 1;
     }
 
-    /// Atomic-free claim: if `v` is unassigned, store `(depth, parent)` with
-    /// a single relaxed store and return `true`.
+    /// True if `v` has been assigned a depth this run (racy snapshot; stable
+    /// within a step for vertices assigned in earlier steps).
+    #[inline]
+    pub fn is_assigned(&self, v: VertexId) -> bool {
+        self.is_current(self.words[v as usize].load(Ordering::Relaxed))
+    }
+
+    /// Atomic-free claim: if `v` is unassigned this run, store
+    /// `(epoch, depth, parent)` with a single relaxed store and return
+    /// `true`.
     ///
-    /// Two threads can both observe INF and both store — the benign race of
-    /// §III-A: both run the same step, so both write the same depth (possibly
-    /// different parents), and the BFS tree stays valid. The caller may
-    /// therefore enqueue `v` twice; the paper measured ≤ 0.2% such
-    /// duplicates.
+    /// Two threads can both observe a stale stamp and both store — the
+    /// benign race of §III-A: both run the same step, so both write the same
+    /// depth (possibly different parents), and the BFS tree stays valid. The
+    /// caller may therefore enqueue `v` twice; the paper measured ≤ 0.2%
+    /// such duplicates.
     #[inline]
     pub fn claim_relaxed(&self, v: VertexId, depth: u32, parent: VertexId) -> bool {
         debug_assert_ne!(depth, INF_DEPTH);
         let w = &self.words[v as usize];
-        if w.load(Ordering::Relaxed) != INF_WORD {
+        if self.is_current(w.load(Ordering::Relaxed)) {
             return false;
         }
-        w.store(pack(depth, parent), Ordering::Relaxed);
+        w.store(self.pack(depth, parent), Ordering::Relaxed);
         true
     }
 
@@ -95,30 +196,38 @@ impl DepthParent {
     #[inline]
     pub fn claim_atomic(&self, v: VertexId, depth: u32, parent: VertexId) -> bool {
         debug_assert_ne!(depth, INF_DEPTH);
-        self.words[v as usize]
-            .compare_exchange(
-                INF_WORD,
-                pack(depth, parent),
+        let w = &self.words[v as usize];
+        let mut cur = w.load(Ordering::Relaxed);
+        loop {
+            if self.is_current(cur) {
+                return false;
+            }
+            match w.compare_exchange_weak(
+                cur,
+                self.pack(depth, parent),
                 Ordering::Relaxed,
                 Ordering::Relaxed,
-            )
-            .is_ok()
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
     }
 
     /// Unconditional store (used to seed the source vertex).
     #[inline]
     pub fn set(&self, v: VertexId, depth: u32, parent: VertexId) {
-        self.words[v as usize].store(pack(depth, parent), Ordering::Relaxed);
+        self.words[v as usize].store(self.pack(depth, parent), Ordering::Relaxed);
     }
 
-    /// `(depth, parent)` of `v`, or `None` if unassigned.
+    /// `(depth, parent)` of `v`, or `None` if unassigned this run.
     #[inline]
     pub fn get(&self, v: VertexId) -> Option<(u32, VertexId)> {
         let w = self.words[v as usize].load(Ordering::Relaxed);
-        (w != INF_WORD).then(|| unpack(w))
+        self.is_current(w).then(|| self.unpack(w))
     }
 
-    /// Depth of `v` (INF_DEPTH if unassigned).
+    /// Depth of `v` (INF_DEPTH if unassigned this run).
     #[inline]
     pub fn depth(&self, v: VertexId) -> u32 {
         match self.get(v) {
@@ -127,21 +236,32 @@ impl DepthParent {
         }
     }
 
-    /// Extracts plain `(depths, parents)` vectors (end of traversal).
-    pub fn into_arrays(self) -> (Vec<u32>, Vec<VertexId>) {
-        let mut depths = Vec::with_capacity(self.len());
-        let mut parents = Vec::with_capacity(self.len());
+    /// Copies the run's result into caller-owned `(depths, parents)` vectors
+    /// (cleared first, capacity reused) — the zero-allocation extraction the
+    /// warm session path uses.
+    pub fn fill_arrays(&self, depths: &mut Vec<u32>, parents: &mut Vec<VertexId>) {
+        depths.clear();
+        parents.clear();
+        depths.reserve(self.len());
+        parents.reserve(self.len());
         for w in self.words.iter() {
             let word = w.load(Ordering::Relaxed);
-            if word == INF_WORD {
-                depths.push(INF_DEPTH);
-                parents.push(VertexId::MAX);
-            } else {
-                let (d, p) = unpack(word);
+            if self.is_current(word) {
+                let (d, p) = self.unpack(word);
                 depths.push(d);
                 parents.push(p);
+            } else {
+                depths.push(INF_DEPTH);
+                parents.push(VertexId::MAX);
             }
         }
+    }
+
+    /// Extracts plain `(depths, parents)` vectors (end of traversal).
+    pub fn into_arrays(self) -> (Vec<u32>, Vec<VertexId>) {
+        let mut depths = Vec::new();
+        let mut parents = Vec::new();
+        self.fill_arrays(&mut depths, &mut parents);
         (depths, parents)
     }
 }
@@ -178,8 +298,12 @@ mod tests {
         let dp = DepthParent::new(1);
         dp.set(0, 0, u32::MAX - 1);
         assert_eq!(dp.get(0), Some((0, u32::MAX - 1)));
-        dp.set(0, u32::MAX - 1, 0);
-        assert_eq!(dp.get(0), Some((u32::MAX - 1, 0)));
+        // Largest depth the default field for a 1-vertex array allows is 0;
+        // exercise a big array's depth range instead.
+        let big = DepthParent::new(1 << 20);
+        let max_depth = (1u32 << (32 - big.epoch_bits())) - 1;
+        big.set(7, max_depth, 3);
+        assert_eq!(big.get(7), Some((max_depth, 3)));
     }
 
     #[test]
@@ -201,6 +325,84 @@ mod tests {
     }
 
     #[test]
+    fn advance_epoch_resets_in_o1() {
+        let mut dp = DepthParent::new(8);
+        dp.set(3, 2, 1);
+        assert!(dp.is_assigned(3));
+        assert!(!dp.advance_epoch(), "no wrap on the second epoch");
+        assert!(!dp.is_assigned(3), "stale stamp must read as INF");
+        assert_eq!(dp.depth(3), INF_DEPTH);
+        // The vertex is claimable again in the new epoch.
+        assert!(dp.claim_relaxed(3, 7, 0));
+        assert_eq!(dp.get(3), Some((7, 0)));
+    }
+
+    #[test]
+    fn tiny_stamp_width_wraps_with_full_rezero() {
+        // E = 2 → epochs {1, 2, 3}; the third advance must wrap and re-zero.
+        let mut dp = DepthParent::with_epoch_bits(4, 2);
+        assert_eq!(dp.epoch(), 1);
+        dp.set(0, 1, 0);
+        assert!(!dp.advance_epoch()); // epoch 2
+        assert!(!dp.advance_epoch()); // epoch 3
+        dp.set(1, 2, 0);
+        let wrapped = dp.advance_epoch(); // would be 4 == 2^2 → wrap
+        assert!(wrapped, "stamp space exhausted, full re-zero expected");
+        assert_eq!(dp.epoch(), 1);
+        // Neither the epoch-1 write nor the epoch-3 write may leak through.
+        assert!(dp.get(0).is_none());
+        assert!(dp.get(1).is_none());
+    }
+
+    #[test]
+    fn claims_stay_correct_across_many_epochs() {
+        let mut dp = DepthParent::with_epoch_bits(4, 2);
+        for run in 0..20u32 {
+            assert!(dp.claim_relaxed(2, run % 3, 1), "run {run}");
+            assert!(!dp.claim_relaxed(2, run % 3, 1));
+            assert!(dp.claim_atomic(3, run % 3, 2));
+            assert!(!dp.claim_atomic(3, run % 3, 2));
+            dp.advance_epoch();
+        }
+    }
+
+    #[test]
+    fn default_epoch_bits_scale_with_size() {
+        assert_eq!(DepthParent::new(1).epoch_bits(), MAX_EPOCH_BITS);
+        assert_eq!(DepthParent::new(1 << 20).epoch_bits(), 12);
+        // Near the marker-encoding ceiling the stamp narrows but survives.
+        assert_eq!(DepthParent::new(1 << 30).epoch_bits(), 2);
+        assert_eq!(DepthParent::new((1 << 31) - 1).epoch_bits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch_bits")]
+    fn rejects_zero_epoch_bits() {
+        DepthParent::with_epoch_bits(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth field")]
+    fn rejects_depth_field_too_narrow() {
+        DepthParent::with_epoch_bits(1 << 20, 16);
+    }
+
+    #[test]
+    fn fill_arrays_reuses_capacity() {
+        let dp = DepthParent::new(100);
+        dp.set(5, 1, 4);
+        let mut d = Vec::new();
+        let mut p = Vec::new();
+        dp.fill_arrays(&mut d, &mut p);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d[5], 1);
+        assert_eq!(p[5], 4);
+        let cap = d.capacity();
+        dp.fill_arrays(&mut d, &mut p);
+        assert_eq!(d.capacity(), cap, "second fill must not reallocate");
+    }
+
+    #[test]
     fn concurrent_same_step_claims_agree_on_depth() {
         // The benign race: many threads claim the same vertex with the same
         // depth but different parents. Afterwards the depth must be that
@@ -210,7 +412,7 @@ mod tests {
         let handles: Vec<_> = (0..8u32)
             .map(|t| {
                 let dp = Arc::clone(&dp);
-                std::thread::spawn(move || dp.claim_relaxed(0, 7, t))
+                std::thread::spawn(move || dp.claim_relaxed(0, 0, t))
             })
             .collect();
         let wins = handles
@@ -220,7 +422,7 @@ mod tests {
             .count();
         assert!(wins >= 1, "at least one claim must succeed");
         let (d, p) = dp.get(0).unwrap();
-        assert_eq!(d, 7);
+        assert_eq!(d, 0);
         assert!(p < 8);
     }
 }

@@ -88,7 +88,7 @@ impl Default for BfsOptions {
 }
 
 /// Traversal output: depth and parent per vertex plus statistics.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct BfsOutput {
     /// Depth per vertex (`INF_DEPTH` when unreached).
     pub depths: Vec<u32>,
@@ -120,6 +120,152 @@ struct StepScratch {
     phase2_ns: u64,
     rearrange_ns: u64,
     enqueued: u64,
+}
+
+/// Per-run traversal state: the `DP`/`VIS` arrays, every per-thread
+/// `ThreadOwned` buffer family, and the bookkeeping that lets all of it be
+/// reused across queries.
+///
+/// A fresh [`BfsEngine::run`] builds one of these, uses it once, and drops
+/// it. A [`crate::session::BfsSession`] keeps one alive: between runs
+/// [`prepare`](Self::prepare) resets `DP` in O(1) (epoch bump), `VIS` in
+/// O(touched vertices), and the frontier/bin buffers in O(threads) — no
+/// O(|V|) zeroing and no allocation on the warm path.
+pub(crate) struct RunState {
+    pub(crate) dp: DepthParent,
+    pub(crate) vis: Vis,
+    pub(crate) bv_cur: ThreadOwned<Vec<VertexId>>,
+    pub(crate) bv_next: ThreadOwned<Vec<VertexId>>,
+    pub(crate) bins: ThreadOwned<BinSet>,
+    pub(crate) scratch: ThreadOwned<(Vec<VertexId>, Vec<u32>)>,
+    step_scratch: ThreadOwned<StepScratch>,
+    /// Leader-only per-depth enqueue log (`frontier_sizes`).
+    frontier_log: ThreadOwned<Vec<u64>>,
+    /// Per-thread log of every vertex the run enqueued (sessions only):
+    /// exactly the set whose VIS storage the next `prepare` must clear.
+    touched: ThreadOwned<Vec<VertexId>>,
+    /// Whether the run loop records enqueued vertices into `touched`.
+    track_touched: bool,
+    runs: u64,
+    last_source: Option<VertexId>,
+}
+
+impl RunState {
+    /// Fresh state sized for `engine`. `track_touched` enables the touched
+    /// log a session needs for its O(touched) VIS reset; one-shot runs skip
+    /// the bookkeeping.
+    pub(crate) fn new(engine: &BfsEngine<'_>, track_touched: bool) -> Self {
+        Self::with_epoch_bits(engine, track_touched, None)
+    }
+
+    /// [`RunState::new`] with an explicit `DP` stamp width (tests use tiny
+    /// widths to exercise epoch wraparound).
+    pub(crate) fn with_epoch_bits(
+        engine: &BfsEngine<'_>,
+        track_touched: bool,
+        epoch_bits: Option<u32>,
+    ) -> Self {
+        let n = engine.graph.num_vertices();
+        let nthreads = engine.topology.total_threads();
+        Self {
+            dp: match epoch_bits {
+                Some(bits) => DepthParent::with_epoch_bits(n, bits),
+                None => DepthParent::new(n),
+            },
+            vis: Vis::new(engine.options.vis, n),
+            bv_cur: ThreadOwned::from_fn(nthreads, |_| Vec::new()),
+            bv_next: ThreadOwned::from_fn(nthreads, |_| Vec::new()),
+            bins: ThreadOwned::from_fn(nthreads, |_| {
+                BinSet::new(engine.geometry.n_bins, engine.encoding)
+            }),
+            scratch: ThreadOwned::from_fn(nthreads, |_| (Vec::new(), Vec::new())),
+            step_scratch: ThreadOwned::from_fn(nthreads, |_| StepScratch::default()),
+            frontier_log: ThreadOwned::from_fn(1, |_| Vec::new()),
+            touched: ThreadOwned::from_fn(nthreads, |_| Vec::new()),
+            track_touched,
+            runs: 0,
+            last_source: None,
+        }
+    }
+
+    /// Number of runs this state has served.
+    pub(crate) fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Sum of frontier/bin/scratch/touched buffer capacities in `u32`
+    /// words — the high-water storage the session retains across runs.
+    pub(crate) fn buffer_capacity_words(&self) -> usize {
+        let mut words = 0;
+        for t in 0..self.bv_cur.len() {
+            words += self.bv_cur.read(t, Vec::capacity);
+            words += self.bv_next.read(t, Vec::capacity);
+            words += self.bins.read(t, BinSet::capacity_words);
+            words += self.scratch.read(t, |(a, b)| a.capacity() + b.capacity());
+            words += self.touched.read(t, Vec::capacity);
+        }
+        words
+    }
+
+    /// Releases all retained frontier/bin/scratch capacity (the documented
+    /// shrink policy: buffers keep their high-water mark until the owner
+    /// explicitly shrinks; the next run regrows them).
+    pub(crate) fn shrink(&mut self) {
+        for f in self.bv_cur.iter_mut() {
+            *f = Vec::new();
+        }
+        for f in self.bv_next.iter_mut() {
+            *f = Vec::new();
+        }
+        for b in self.bins.iter_mut() {
+            b.shrink();
+        }
+        for (a, b) in self.scratch.iter_mut() {
+            *a = Vec::new();
+            *b = Vec::new();
+        }
+        for t in self.touched.iter_mut() {
+            *t = Vec::new();
+        }
+    }
+
+    /// Resets whatever the previous run dirtied and seeds `source`: `DP` by
+    /// epoch bump (O(1), with the documented periodic full re-zero on stamp
+    /// wraparound), `VIS` by clearing exactly the storage the previous run's
+    /// enqueued vertices cover (O(touched)), buffers by `clear` (capacity
+    /// kept).
+    pub(crate) fn prepare(&mut self, source: VertexId) {
+        if self.runs > 0 {
+            self.dp.advance_epoch();
+            // Split borrow: VIS is cleared from the touched lists in place.
+            let Self { vis, touched, .. } = self;
+            for list in touched.iter_mut() {
+                vis.clear_touched(list);
+                list.clear();
+            }
+            // The source is marked by `prepare` itself, never enqueued, so
+            // the touched lists do not cover it.
+            if let Some(s) = self.last_source.take() {
+                self.vis.clear_touched(&[s]);
+            }
+            for f in self.bv_cur.iter_mut() {
+                f.clear();
+            }
+            for f in self.bv_next.iter_mut() {
+                f.clear();
+            }
+            for log in self.frontier_log.iter_mut() {
+                log.clear();
+            }
+        }
+        self.runs += 1;
+        self.last_source = Some(source);
+        self.dp.set(source, 0, source);
+        self.vis.mark(source);
+        self.bv_cur.with_mut(0, |f| f.push(source));
+        // `frontier_sizes[0]` is the source frontier (see `TraversalStats`).
+        self.frontier_log.with_mut(0, |log| log.push(1));
+    }
 }
 
 /// The BFS engine: graph + topology + options.
@@ -191,6 +337,28 @@ impl<'g> BfsEngine<'g> {
     /// # Panics
     /// Panics if `source` is out of range.
     pub fn run_traced(&self, source: VertexId, sink: &dyn TraceSink) -> BfsOutput {
+        let mut state = RunState::new(self, false);
+        let mut out = BfsOutput::default();
+        self.run_with_state(&mut state, source, sink, "engine", &mut out);
+        out
+    }
+
+    /// The traversal core: resets and seeds `state` for `source`, runs the
+    /// SPMD region of Figure 3 on the persistent pool, and writes results
+    /// into `out`, reusing its allocations.
+    ///
+    /// [`run_traced`](Self::run_traced) calls this with a throwaway
+    /// [`RunState`]; a [`crate::session::BfsSession`] calls it with a
+    /// long-lived one, which is what makes warm queries allocation-free for
+    /// frontier, bin, `DP`, and `VIS` storage.
+    pub(crate) fn run_with_state(
+        &self,
+        state: &mut RunState,
+        source: VertexId,
+        sink: &dyn TraceSink,
+        engine_name: &str,
+        out: &mut BfsOutput,
+    ) {
         let n = self.graph.num_vertices();
         assert!((source as usize) < n, "source out of range");
         let t0 = Instant::now();
@@ -198,7 +366,7 @@ impl<'g> BfsEngine<'g> {
         let tracing = sink.enabled();
         if tracing {
             sink.record(&TraceEvent::Run(RunEvent {
-                engine: "engine".to_string(),
+                engine: engine_name.to_string(),
                 vertices: n as u64,
                 edges: self.graph.num_edges(),
                 source,
@@ -214,29 +382,15 @@ impl<'g> BfsEngine<'g> {
             }));
         }
 
-        let dp = DepthParent::new(n);
-        let vis = Vis::new(self.options.vis, n);
-        dp.set(source, 0, source);
-        vis.mark(source);
-
-        // Per-thread buffer families (see `cell` for the epoch protocol).
-        let bv_cur =
-            ThreadOwned::from_fn(nthreads, |t| if t == 0 { vec![source] } else { Vec::new() });
-        let bv_next: ThreadOwned<Vec<VertexId>> = ThreadOwned::from_fn(nthreads, |_| Vec::new());
-        let bins = ThreadOwned::from_fn(nthreads, |_| {
-            BinSet::new(self.geometry.n_bins, self.encoding)
-        });
-        let scratch: ThreadOwned<(Vec<VertexId>, Vec<u32>)> =
-            ThreadOwned::from_fn(nthreads, |_| (Vec::new(), Vec::new()));
-        let step_scratch: ThreadOwned<StepScratch> =
-            ThreadOwned::from_fn(nthreads, |_| StepScratch::default());
+        state.prepare(source);
+        // The SPMD region only needs shared access; per-thread mutation goes
+        // through the `ThreadOwned` cells.
+        let state = &*state;
+        let track_touched = state.track_touched;
 
         // Frontier-size accumulators, double-buffered by step parity (reset
         // happens a full barrier before the next use of a slot).
         let totals = [AtomicU64::new(0), AtomicU64::new(0)];
-        // `frontier_sizes[0]` is the source frontier (see `TraversalStats`).
-        let frontier_log = parking_lot_free_log(n);
-        frontier_log.with_mut(0, |log| log.push(1));
 
         let counters = self.pool.run(|ctx| {
             let tid = ctx.thread_id;
@@ -262,16 +416,23 @@ impl<'g> BfsEngine<'g> {
                         self.expand_direct(
                             ctx.thread_id,
                             nthreads,
-                            &bv_cur,
-                            &bv_next,
-                            &dp,
-                            &vis,
+                            &state.bv_cur,
+                            &state.bv_next,
+                            &state.dp,
+                            &state.vis,
                             step,
                             &mut c,
                         );
                     }
                     _ => {
-                        self.phase_one(tid, nthreads, &bv_cur, &bins, &scratch, &mut c);
+                        self.phase_one(
+                            tid,
+                            nthreads,
+                            &state.bv_cur,
+                            &state.bins,
+                            &state.scratch,
+                            &mut c,
+                        );
                     }
                 }
                 let d1 = p1.elapsed();
@@ -281,7 +442,16 @@ impl<'g> BfsEngine<'g> {
                 let mut d2 = Duration::ZERO;
                 if self.options.scheduling != Scheduling::NoMultiSocketOpt {
                     let p2 = Instant::now();
-                    self.phase_two(tid, nthreads, &bins, &bv_next, &dp, &vis, step, &mut c);
+                    self.phase_two(
+                        tid,
+                        nthreads,
+                        &state.bins,
+                        &state.bv_next,
+                        &state.dp,
+                        &state.vis,
+                        step,
+                        &mut c,
+                    );
                     d2 = p2.elapsed();
                     c.phase2 += d2;
                 }
@@ -289,8 +459,8 @@ impl<'g> BfsEngine<'g> {
                 let mut dr = Duration::ZERO;
                 if self.options.rearrange {
                     let pr = Instant::now();
-                    scratch.with_mut(tid, |(tmp, _)| {
-                        bv_next.with_mut(tid, |f| {
+                    state.scratch.with_mut(tid, |(tmp, _)| {
+                        state.bv_next.with_mut(tid, |f| {
                             rearrange_frontier(
                                 f,
                                 self.graph,
@@ -303,10 +473,17 @@ impl<'g> BfsEngine<'g> {
                     dr = pr.elapsed();
                     c.rearrange += dr;
                 }
-                let mine = bv_next.with_mut(tid, |f| f.len() as u64);
+                let mine = state.bv_next.with_mut(tid, |f| {
+                    if track_touched {
+                        // Log the vertices this run marks so the next
+                        // `prepare` can clear VIS in O(touched).
+                        state.touched.with_mut(tid, |t| t.extend_from_slice(f));
+                    }
+                    f.len() as u64
+                });
                 c.enqueued += mine;
                 if tracing {
-                    step_scratch.with_mut(tid, |s| {
+                    state.step_scratch.with_mut(tid, |s| {
                         *s = StepScratch {
                             phase1_ns: d1.as_nanos() as u64,
                             phase2_ns: d2.as_nanos() as u64,
@@ -319,22 +496,22 @@ impl<'g> BfsEngine<'g> {
                 ctx.barrier();
                 let total = totals[(step & 1) as usize].load(Ordering::Relaxed);
                 if tid == 0 && total > 0 {
-                    frontier_log.with_mut(0, |log| log.push(total));
+                    state.frontier_log.with_mut(0, |log| log.push(total));
                     if tracing {
                         self.emit_step_event(
                             sink,
                             step,
                             total,
                             nthreads,
-                            &step_scratch,
-                            &bins,
-                            &dp,
+                            &state.step_scratch,
+                            &state.bins,
+                            &state.dp,
                         );
                     }
                 }
                 // Swap own frontier buffers; clear the consumed one.
-                bv_cur.with_mut(tid, |cur| {
-                    bv_next.with_mut(tid, |next| {
+                state.bv_cur.with_mut(tid, |cur| {
+                    state.bv_next.with_mut(tid, |next| {
                         std::mem::swap(cur, next);
                         next.clear();
                     });
@@ -349,19 +526,24 @@ impl<'g> BfsEngine<'g> {
         });
 
         let total_time = t0.elapsed();
-        let (depths, parents) = dp.into_arrays();
+        state.dp.fill_arrays(&mut out.depths, &mut out.parents);
         let mut visited = 0u64;
         let mut traversed = 0u64;
         #[allow(clippy::needless_range_loop)] // v is a vertex id used against two arrays
         for v in 0..n {
-            if depths[v] != INF_DEPTH {
+            if out.depths[v] != INF_DEPTH {
                 visited += 1;
                 traversed += self.graph.degree(v as u32) as u64;
             }
         }
-        let frontier_sizes: Vec<u64> = frontier_log.with_mut(0, std::mem::take);
+        // Reuse `out`'s log allocation instead of taking the state's.
+        let mut frontier_sizes = std::mem::take(&mut out.stats.frontier_sizes);
+        frontier_sizes.clear();
+        state
+            .frontier_log
+            .read(0, |log| frontier_sizes.extend_from_slice(log));
         let enqueued: u64 = counters.iter().map(|c| c.enqueued).sum();
-        let stats = TraversalStats {
+        out.stats = TraversalStats {
             steps: frontier_sizes.len() as u32 - 1,
             visited_vertices: visited,
             traversed_edges: traversed,
@@ -377,11 +559,6 @@ impl<'g> BfsEngine<'g> {
             total_time,
             binning_ops: counters.iter().map(|c| c.binning_ops).sum(),
         };
-        BfsOutput {
-            depths,
-            parents,
-            stats,
-        }
     }
 
     /// Assembles and records the step's [`StepEvent`] on the leader, between

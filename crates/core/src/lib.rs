@@ -25,6 +25,8 @@
 //! * [`partitioned`] — the §III-B2 socket-partitioned adjacency storage
 //!   over the NUMA arena emulation.
 //! * [`engine`] — the complete two-phase traversal of Figure 3.
+//! * [`session`] — persistent query sessions: epoch-stamped O(touched)
+//!   state reset and batched multi-source BFS over one engine.
 //! * [`serial`] — the textbook BFS of Figure 1, the correctness oracle.
 //! * [`baseline`] — re-implementations of prior work compared against in
 //!   Figures 4 and 6 (atomic-bitmap parallel BFS).
@@ -59,6 +61,7 @@ pub mod partitioned;
 pub mod pbv;
 pub mod prefetch;
 pub mod serial;
+pub mod session;
 pub mod sim;
 pub mod simd;
 pub mod stats;
@@ -68,6 +71,7 @@ pub mod vis;
 pub use dp::{DepthParent, INF_DEPTH};
 pub use engine::{BfsEngine, BfsOptions, BfsOutput, Scheduling};
 pub use pbv::PbvEncoding;
+pub use session::BfsSession;
 pub use stats::TraversalStats;
 pub use vis::VisScheme;
 

@@ -259,6 +259,19 @@ impl BinSet {
     pub fn total_len(&self) -> usize {
         self.bins.iter().map(|b| b.len()).sum()
     }
+
+    /// Total capacity across bins in `u32` words — the high-water storage a
+    /// reused `BinSet` retains between runs.
+    pub fn capacity_words(&self) -> usize {
+        self.bins.iter().map(|b| b.capacity()).sum()
+    }
+
+    /// Releases all retained bin capacity (the bins stay, emptied).
+    pub fn shrink(&mut self) {
+        for b in &mut self.bins {
+            *b = Vec::new();
+        }
+    }
 }
 
 /// Decodes `(parent, neighbor)` units from a window `[start, end)` of a bin

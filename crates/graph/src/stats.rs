@@ -146,6 +146,34 @@ pub fn nth_non_isolated(g: &CsrGraph, skip: usize) -> Option<VertexId> {
         .nth(skip)
 }
 
+/// Samples `count` Graph500-style search keys: uniformly random vertices of
+/// non-zero degree, deterministic for a given seed. Keys are distinct while
+/// the graph has enough non-isolated vertices; after that, repeats are
+/// allowed (so small graphs can still serve large batches). Returns an
+/// empty vector when the graph has no edges.
+pub fn random_roots(g: &CsrGraph, count: usize, seed: u64) -> Vec<VertexId> {
+    use rand::Rng;
+    let n = g.num_vertices();
+    let non_isolated = (0..n as VertexId).filter(|&v| g.degree(v) > 0).count();
+    if non_isolated == 0 {
+        return Vec::new();
+    }
+    let mut rng = crate::rng::rng_from_seed(seed);
+    let mut roots = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::new();
+    while roots.len() < count {
+        let v = rng.random_range(0..n) as VertexId;
+        if g.degree(v) == 0 {
+            continue;
+        }
+        if seen.len() < non_isolated && !seen.insert(v) {
+            continue;
+        }
+        roots.push(v);
+    }
+    roots
+}
+
 /// Lower-bounds the diameter by iterated double sweep: BFS from `source`,
 /// jump to the farthest vertex found, repeat `sweeps` times. Exact on trees;
 /// a tight lower bound in practice (used to sanity-check the Table II
@@ -293,5 +321,25 @@ mod tests {
     fn empty_graph_stats() {
         let g = crate::CsrGraph::empty(0);
         assert_eq!(bfs_depth_histogram(&g, 0).1, 0);
+    }
+
+    #[test]
+    fn random_roots_are_reachable_deterministic_and_distinct() {
+        let g = two_cliques(4, 4);
+        // 8 vertices, all non-isolated: 8 distinct roots exist.
+        let roots = random_roots(&g, 8, 7);
+        let mut sorted = roots.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+        assert_eq!(roots, random_roots(&g, 8, 7), "same seed, same keys");
+        assert_ne!(roots, random_roots(&g, 8, 8), "seed changes the sample");
+        // Asking for more roots than non-isolated vertices allows repeats.
+        assert_eq!(random_roots(&g, 20, 1).len(), 20);
+        // Isolated vertices are never sampled.
+        let g = star(5); // center 0 plus 5 leaves, all degree >= 1
+        assert!(random_roots(&g, 12, 3).iter().all(|&v| g.degree(v) > 0));
+        // Edgeless graphs yield no roots.
+        assert!(random_roots(&crate::CsrGraph::empty(4), 3, 0).is_empty());
     }
 }

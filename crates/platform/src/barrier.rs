@@ -6,6 +6,11 @@
 //! reinitialization, and every thread spins on a single cached word (the
 //! *sense*) that flips once per episode.
 //!
+//! A `SenseBarrier` is reusable indefinitely — no per-episode or per-run
+//! reinitialization — which is what lets the persistent [`crate::pool::SocketPool`]
+//! allocate its two barriers (in-region and finish) once for its whole
+//! lifetime instead of once per run.
+//!
 //! Because this reproduction often runs more threads than the host has cores
 //! (the container exposes a single core while the paper's machine has eight),
 //! the wait loop spins briefly and then falls back to `thread::yield_now`;

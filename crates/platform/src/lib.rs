@@ -17,10 +17,12 @@
 //!   and between Phase I / Phase II: a sense-reversing spin barrier with
 //!   yield fallback (the host here has fewer cores than the paper's machine,
 //!   so pure spinning would deadlock the oversubscribed schedule).
-//! * [`pool::SocketPool`] — an SPMD region runner: spawns one thread per
-//!   (socket, lane), optionally pinned to physical cores via
-//!   `sched_setaffinity` (the libnuma stand-in), and hands each thread a
-//!   [`pool::ThreadCtx`] describing its place in the topology.
+//! * [`pool::SocketPool`] — a persistent SPMD region runner: spawns one
+//!   long-lived thread per (socket, lane), optionally pinned to physical
+//!   cores via `sched_setaffinity` (the libnuma stand-in), parks the workers
+//!   between runs, and hands each thread a [`pool::ThreadCtx`] describing
+//!   its place in the topology. A run costs a wake plus a barrier episode,
+//!   not N thread spawns — the fast path for query serving.
 
 pub mod arena;
 pub mod barrier;

@@ -1,11 +1,25 @@
-//! SPMD thread pool grouped by socket.
+//! Persistent SPMD thread pool grouped by socket.
 //!
 //! The BFS engine runs as one bulk-synchronous SPMD region: every thread
 //! executes the per-step loop of Fig. 3 and meets the others at barriers.
-//! `SocketPool::run` spawns one scoped thread per (socket, lane) of the
-//! topology, optionally pins it, and passes it a [`ThreadCtx`] carrying its
-//! coordinates and the shared barrier. Scoped threads (`std::thread::scope`)
-//! let the region borrow the graph and all traversal state without `Arc`s.
+//!
+//! Workers are **long-lived**: [`SocketPool::new`] spawns one thread per
+//! (socket, lane) of the topology, optionally pins it, and parks it on a
+//! condvar. Each [`SocketPool::run`] publishes a type-erased job under an
+//! epoch stamp, wakes the workers, and joins them on a finish barrier — a
+//! query costs one wake plus one barrier episode instead of N thread spawns
+//! and joins. Both barriers (the in-region barrier behind
+//! [`ThreadCtx::barrier`] and the caller-inclusive finish barrier) are
+//! allocated once for the pool's lifetime, not per run.
+//!
+//! The caller of `run` blocks until every worker has finished the job, so
+//! the job closure may borrow the graph and all traversal state without
+//! `Arc`s — the same borrowing guarantee `std::thread::scope` used to
+//! provide, now enforced by the finish barrier instead of a join.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 use crate::barrier::SenseBarrier;
 use crate::pin::pin_to_core;
@@ -43,17 +57,129 @@ impl ThreadCtx<'_> {
     }
 }
 
-/// Runner for socket-grouped SPMD regions.
-#[derive(Clone, Debug)]
+/// A published job: a pointer to the caller's (stack-held) closure plus a
+/// monomorphized trampoline that knows its concrete type. Raw pointers keep
+/// the borrow checker out of the hand-off; validity is guaranteed by the
+/// finish barrier (the caller cannot return from `run` — and therefore
+/// cannot invalidate the closure — before every worker is done with it).
+#[derive(Clone, Copy)]
+struct RawJob {
+    data: *const (),
+    call: unsafe fn(*const (), &ThreadCtx<'_>),
+}
+
+// SAFETY: the pointee is `Sync` (enforced by the bound on `run`) and outlives
+// every use (enforced by the finish barrier), so sending the pointer to the
+// workers is sound.
+unsafe impl Send for RawJob {}
+
+unsafe fn trampoline<F: Fn(&ThreadCtx<'_>) + Sync>(data: *const (), ctx: &ThreadCtx<'_>) {
+    // SAFETY: `data` was erased from an `&F` in `run_erased`, still borrowed
+    // by the caller blocked on the finish barrier.
+    unsafe { (*data.cast::<F>())(ctx) }
+}
+
+/// The start-side hand-off cell: workers sleep on the condvar until the
+/// epoch advances past the one they last served (or shutdown is flagged).
+struct JobSlot {
+    epoch: u64,
+    job: Option<RawJob>,
+    shutdown: bool,
+}
+
+/// State shared between the pool handle and its workers.
+struct PoolShared {
+    topology: Topology,
+    /// In-region barrier used by [`ThreadCtx::barrier`]; `n` participants.
+    region_barrier: SenseBarrier,
+    /// Run hand-back barrier: `n` workers + the caller of `run`. Its AcqRel
+    /// episode publishes every worker write (result slots included) to the
+    /// caller.
+    finish_barrier: SenseBarrier,
+    slot: Mutex<JobSlot>,
+    wake: Condvar,
+    /// First worker panic of the current run (re-raised by the caller).
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl PoolShared {
+    fn lock_slot(&self) -> std::sync::MutexGuard<'_, JobSlot> {
+        // A worker can only poison this mutex by panicking outside the
+        // caught job region, which the worker loop never does.
+        self.slot.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_panic(&self) -> std::sync::MutexGuard<'_, Option<Box<dyn std::any::Any + Send>>> {
+        self.panic.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Per-worker result slots, written only by the owning worker during a run
+/// and read by the caller after the finish barrier.
+struct ResultSlots<R>(Vec<std::cell::UnsafeCell<Option<R>>>);
+
+// SAFETY: slot `i` is written only by worker `i` during the run and read
+// only by the caller after the finish barrier's happens-before edge.
+unsafe impl<R: Send> Sync for ResultSlots<R> {}
+
+/// Runner for socket-grouped SPMD regions with persistent, parked workers.
 pub struct SocketPool {
     topology: Topology,
+    shared: Arc<PoolShared>,
+    /// Serializes concurrent `run` calls on one pool (the job slot and the
+    /// finish barrier assume a single outstanding region).
+    run_lock: Mutex<()>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SocketPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketPool")
+            .field("topology", &self.topology)
+            .field("workers", &self.handles.len())
+            .finish()
+    }
 }
 
 impl SocketPool {
-    /// Pool over `topology` (validated here).
+    /// Pool over `topology` (validated here). Spawns and, when requested,
+    /// pins every worker immediately; the workers then park until the first
+    /// [`run`](Self::run).
+    ///
+    /// Pinning policy: lanes are mapped round-robin over physical cores so
+    /// that, when the host has at least as many cores as the region has
+    /// threads, socket-mates share no core with other sockets' threads.
     pub fn new(topology: Topology) -> Self {
         topology.validate();
-        Self { topology }
+        let n = topology.total_threads();
+        let shared = Arc::new(PoolShared {
+            topology,
+            region_barrier: SenseBarrier::new(n),
+            finish_barrier: SenseBarrier::new(n + 1),
+            slot: Mutex::new(JobSlot {
+                epoch: 0,
+                job: None,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let handles = (0..n)
+            .map(|tid| {
+                let (socket, lane) = topology.socket_lane(tid);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bfs-s{socket}-l{lane}"))
+                    .spawn(move || worker_loop(tid, socket, lane, &shared))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self {
+            topology,
+            shared,
+            run_lock: Mutex::new(()),
+            handles,
+        }
     }
 
     /// The pool's topology.
@@ -64,59 +190,115 @@ impl SocketPool {
     /// Runs `f` on every thread of the topology simultaneously and returns
     /// the per-thread results in thread-id order.
     ///
-    /// Pinning policy: lanes are mapped round-robin over physical cores so
-    /// that, when the host has at least as many cores as the region has
-    /// threads, socket-mates share no core with other sockets' threads.
-    ///
     /// # Panics
-    /// Propagates the first panic from any worker thread.
+    /// Propagates the first panic from any worker thread. The pool remains
+    /// usable afterwards (workers survive job panics).
     pub fn run<F, R>(&self, f: F) -> Vec<R>
     where
         F: Fn(&ThreadCtx<'_>) -> R + Sync,
         R: Send,
     {
         let n = self.topology.total_threads();
-        let barrier = SenseBarrier::new(n);
-        let topo = self.topology;
-        let f = &f;
-        let barrier_ref = &barrier;
-        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
-        results.resize_with(n, || None);
-        let slots: Vec<_> = results.iter_mut().collect();
-        // `std::thread::scope` joins every worker before returning and
-        // re-raises the first worker panic, so results are complete on exit.
-        std::thread::scope(|scope| {
-            for (tid, slot) in slots.into_iter().enumerate() {
-                let (socket, lane) = topo.socket_lane(tid);
-                std::thread::Builder::new()
-                    .name(format!("bfs-s{socket}-l{lane}"))
-                    .spawn_scoped(scope, move || {
-                        if topo.pin_threads {
-                            let _ = pin_to_core(tid);
-                        }
-                        let ctx = ThreadCtx {
-                            thread_id: tid,
-                            socket,
-                            lane,
-                            topology: topo,
-                            barrier: barrier_ref,
-                        };
-                        *slot = Some(f(&ctx));
-                    })
-                    .expect("failed to spawn worker thread");
-            }
-        });
-        results
-            .into_iter()
-            .map(|r| r.expect("worker did not produce a result"))
+        let mut slots = ResultSlots((0..n).map(|_| std::cell::UnsafeCell::new(None)).collect());
+        {
+            let slots = &slots;
+            let wrapper = move |ctx: &ThreadCtx<'_>| {
+                let r = f(ctx);
+                // SAFETY: this worker owns slot `thread_id` for the run.
+                unsafe { *slots.0[ctx.thread_id].get() = Some(r) };
+            };
+            self.run_erased(&wrapper);
+        }
+        slots
+            .0
+            .iter_mut()
+            .map(|c| c.get_mut().take().expect("worker did not produce a result"))
             .collect()
+    }
+
+    /// Publishes the erased job, wakes the workers, and blocks on the finish
+    /// barrier until every worker has completed it.
+    fn run_erased<F: Fn(&ThreadCtx<'_>) + Sync>(&self, job: &F) {
+        let _guard = self.run_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let raw = RawJob {
+            data: (job as *const F).cast::<()>(),
+            call: trampoline::<F>,
+        };
+        {
+            let mut slot = self.shared.lock_slot();
+            slot.job = Some(raw);
+            slot.epoch += 1;
+        }
+        self.shared.wake.notify_all();
+        self.shared.finish_barrier.wait();
+        if let Some(payload) = self.shared.lock_panic().take() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for SocketPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.lock_slot();
+            slot.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The worker body: park until the epoch advances, run the job, meet the
+/// caller at the finish barrier, repeat. Job panics are caught so the worker
+/// (and the pool) survive them; the first payload is re-raised by the
+/// caller.
+fn worker_loop(tid: usize, socket: SocketId, lane: usize, shared: &PoolShared) {
+    if shared.topology.pin_threads {
+        let _ = pin_to_core(tid);
+    }
+    let mut seen = 0u64;
+    loop {
+        let raw = {
+            let mut slot = shared.lock_slot();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.epoch != seen {
+                    seen = slot.epoch;
+                    break slot.job.expect("epoch advanced without a job");
+                }
+                slot = shared.wake.wait(slot).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let ctx = ThreadCtx {
+            thread_id: tid,
+            socket,
+            lane,
+            topology: shared.topology,
+            barrier: &shared.region_barrier,
+        };
+        // SAFETY: the caller that published `raw` is blocked on the finish
+        // barrier below, keeping the closure alive and borrowed.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (raw.call)(raw.data, &ctx) }));
+        if let Err(payload) = result {
+            let mut first = shared.lock_panic();
+            if first.is_none() {
+                *first = Some(payload);
+            }
+        }
+        shared.finish_barrier.wait();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn runs_every_thread_once() {
@@ -195,5 +377,72 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn workers_are_reused_across_runs() {
+        // The whole point of the persistent pool: consecutive runs execute
+        // on the same parked OS threads, not freshly spawned ones.
+        let pool = SocketPool::new(Topology::synthetic(2, 2));
+        let first: HashSet<_> = pool
+            .run(|_| std::thread::current().id())
+            .into_iter()
+            .collect();
+        for _ in 0..10 {
+            let again: HashSet<_> = pool
+                .run(|_| std::thread::current().id())
+                .into_iter()
+                .collect();
+            assert_eq!(first, again, "run must reuse the parked workers");
+        }
+        assert_eq!(first.len(), 4);
+    }
+
+    #[test]
+    fn pool_survives_a_job_panic() {
+        let pool = SocketPool::new(Topology::synthetic(1, 3));
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                if ctx.thread_id == 0 {
+                    panic!("first run dies");
+                }
+            })
+        }));
+        assert!(r.is_err());
+        // Same workers, next query proceeds normally.
+        let out = pool.run(|ctx| ctx.thread_id);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn concurrent_runs_are_serialized() {
+        // Two threads sharing one pool must not interleave regions; the run
+        // lock serializes them and both complete.
+        let pool = SocketPool::new(Topology::synthetic(1, 2));
+        let log = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for label in ["a", "b"] {
+                let pool = &pool;
+                let log = &log;
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        pool.run(|ctx| {
+                            if ctx.thread_id == 0 {
+                                log.lock().unwrap().push(label);
+                            }
+                            ctx.barrier();
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(log.lock().unwrap().len(), 40);
+    }
+
+    #[test]
+    fn drop_joins_parked_workers() {
+        let pool = SocketPool::new(Topology::synthetic(1, 4));
+        pool.run(|_| ());
+        drop(pool); // must not hang
     }
 }

@@ -11,6 +11,9 @@ cargo build --release --offline
 echo "==> cargo test -q"
 cargo test -q --offline
 
+echo "==> cargo bench --no-run"
+cargo bench --no-run --offline
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

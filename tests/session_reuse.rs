@@ -1,0 +1,178 @@
+//! Property tests for persistent query sessions: a reused `BfsSession`
+//! must be observably identical (depths, tree validity, traversal stats) to
+//! a fresh `BfsEngine` per query, for every scheduling mode, VIS scheme,
+//! and PBV encoding, across back-to-back sources — including when a tiny
+//! epoch-stamp width forces the `DP` wraparound re-zero path every few
+//! queries.
+//!
+//! Parents and duplicate counts are exempt: the §III-A benign race makes
+//! them schedule-dependent even between two runs of the same engine. The
+//! invariants are the depth array and BFS-forest validity.
+
+use bfs_core::engine::{BfsEngine, BfsOptions, Scheduling};
+use bfs_core::pbv::PbvEncoding;
+use bfs_core::serial::serial_bfs;
+use bfs_core::session::BfsSession;
+use bfs_core::validate::validate_bfs_tree;
+use bfs_core::VisScheme;
+use bfs_graph::builder::{BuildOptions, GraphBuilder};
+use bfs_graph::CsrGraph;
+use bfs_platform::Topology;
+use proptest::prelude::*;
+
+/// Arbitrary graph: up to `max_n` vertices, arbitrary directed edges
+/// (symmetrized), possibly with self-loops and duplicates.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (1..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(
+                n,
+                BuildOptions {
+                    symmetrize: true,
+                    dedup: false,
+                    drop_self_loops: false,
+                    sort_neighbors: false,
+                },
+            );
+            b.add_edges(edges);
+            b.build()
+        })
+    })
+}
+
+fn arb_options() -> impl Strategy<Value = BfsOptions> {
+    (
+        prop_oneof![
+            Just(VisScheme::None),
+            Just(VisScheme::AtomicBit),
+            Just(VisScheme::AtomicBitTest),
+            Just(VisScheme::Byte),
+            Just(VisScheme::Bit),
+        ],
+        prop_oneof![
+            Just(Scheduling::NoMultiSocketOpt),
+            Just(Scheduling::SocketAwareStatic),
+            Just(Scheduling::LoadBalanced),
+        ],
+        prop_oneof![
+            Just(PbvEncoding::Auto),
+            Just(PbvEncoding::Markers),
+            Just(PbvEncoding::Pairs),
+        ],
+        1usize..=4,    // n_vis
+        any::<bool>(), // rearrange
+    )
+        .prop_map(|(vis, scheduling, encoding, n_vis, rearrange)| BfsOptions {
+            vis,
+            scheduling,
+            encoding,
+            n_vis_override: Some(n_vis),
+            rearrange,
+            ..Default::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        .. ProptestConfig::default()
+    })]
+
+    /// For any graph, configuration, and sequence of sources, the warm
+    /// session observes exactly what a fresh engine per query observes.
+    #[test]
+    fn session_matches_fresh_engine_for_back_to_back_sources(
+        g in arb_graph(100, 300),
+        opts in arb_options(),
+        picks in proptest::collection::vec(0usize..64, 2..=5),
+        sockets in 1usize..=2,
+        lanes in 1usize..=3,
+    ) {
+        let topo = Topology::synthetic(sockets, lanes);
+        let mut session = BfsSession::new(&g, topo, opts);
+        for pick in picks {
+            let src = (pick % g.num_vertices()) as u32;
+            let cold = BfsEngine::new(&g, topo, opts).run(src);
+            let warm = session.run(src);
+            prop_assert_eq!(&warm.depths, &cold.depths);
+            prop_assert!(validate_bfs_tree(&g, src, &warm.depths, &warm.parents).is_ok());
+            prop_assert_eq!(warm.stats.visited_vertices, cold.stats.visited_vertices);
+            prop_assert_eq!(warm.stats.traversed_edges, cold.stats.traversed_edges);
+            prop_assert_eq!(warm.stats.steps, cold.stats.steps);
+        }
+    }
+
+    /// A 1–3 bit epoch stamp wraps every 1–7 resets, exercising the full
+    /// `DP` re-zero fallback repeatedly within one short query sequence.
+    #[test]
+    fn epoch_wraparound_with_tiny_stamp_width_stays_correct(
+        g in arb_graph(80, 240),
+        opts in arb_options(),
+        picks in proptest::collection::vec(0usize..64, 6..=10),
+        epoch_bits in 1u32..=3,
+    ) {
+        let mut session =
+            BfsSession::with_epoch_bits(&g, Topology::synthetic(2, 2), opts, epoch_bits);
+        for pick in picks {
+            let src = (pick % g.num_vertices()) as u32;
+            let reference = serial_bfs(&g, src);
+            let out = session.run(src);
+            prop_assert_eq!(&out.depths, &reference.depths);
+            prop_assert!(validate_bfs_tree(&g, src, &out.depths, &out.parents).is_ok());
+        }
+    }
+
+    /// `run_batch` is exactly the fold of individual runs.
+    #[test]
+    fn run_batch_matches_individual_runs(
+        g in arb_graph(60, 200),
+        picks in proptest::collection::vec(0usize..64, 1..=4),
+    ) {
+        let sources: Vec<u32> = picks.iter().map(|p| (p % g.num_vertices()) as u32).collect();
+        let outs = BfsSession::new(&g, Topology::synthetic(2, 2), BfsOptions::default())
+            .run_batch(&sources);
+        prop_assert_eq!(outs.len(), sources.len());
+        for (&src, out) in sources.iter().zip(&outs) {
+            let reference = serial_bfs(&g, src);
+            prop_assert_eq!(&out.depths, &reference.depths);
+        }
+    }
+}
+
+/// The deterministic backstop behind the sampled property: every
+/// Scheduling × VisScheme × PbvEncoding combination, same session reused
+/// for back-to-back sources (the last repeating the first, so a stale-state
+/// leak from run 1 cannot hide).
+#[test]
+fn every_scheduling_vis_encoding_combo_survives_session_reuse() {
+    use bfs_graph::gen::uniform::uniform_random;
+    use bfs_graph::rng::rng_from_seed;
+
+    let g = uniform_random(600, 5, &mut rng_from_seed(3));
+    for vis in VisScheme::ALL {
+        for scheduling in [
+            Scheduling::NoMultiSocketOpt,
+            Scheduling::SocketAwareStatic,
+            Scheduling::LoadBalanced,
+        ] {
+            for encoding in [PbvEncoding::Auto, PbvEncoding::Markers, PbvEncoding::Pairs] {
+                let opts = BfsOptions {
+                    vis,
+                    scheduling,
+                    encoding,
+                    ..Default::default()
+                };
+                let mut session = BfsSession::new(&g, Topology::synthetic(2, 2), opts);
+                for src in [0u32, 123, 599, 0] {
+                    let reference = serial_bfs(&g, src);
+                    let out = session.run(src);
+                    assert_eq!(
+                        out.depths, reference.depths,
+                        "{vis:?} {scheduling:?} {encoding:?} source {src}"
+                    );
+                    validate_bfs_tree(&g, src, &out.depths, &out.parents).unwrap();
+                }
+            }
+        }
+    }
+}
