@@ -1,0 +1,130 @@
+//! Criterion: the direction-optimizing crossover.
+//!
+//! Two views of the same effect:
+//!
+//! * A per-level table (printed before the criterion series) comparing
+//!   forced-top-down against forced-bottom-up step latencies on an RMAT
+//!   graph. RMAT frontiers balloon in the middle levels, where the
+//!   bottom-up kernel's early-exit parent probing touches far fewer edges
+//!   than top-down's exhaustive neighbor expansion — those rows are where
+//!   bottom-up wins. The thin first and last levels stay top-down
+//!   territory, which is exactly the α/β scheduling argument.
+//! * Full-traversal criterion series for the three `DirectionPolicy`
+//!   variants; `Auto` should track the better of the two forced modes.
+//!
+//! Per-level latencies come from the tracing subsystem (`StepEvent`
+//! critical-path latency), minimized over a few repetitions to strip
+//! scheduling noise. Depths are direction-independent, so levels align
+//! across policies by construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bfs_core::engine::{BfsEngine, BfsOptions};
+use bfs_core::DirectionPolicy;
+use bfs_graph::gen::rmat::{rmat, RmatConfig};
+use bfs_graph::rng::rng_from_seed;
+use bfs_graph::CsrGraph;
+use bfs_platform::Topology;
+use bfs_trace::{RingSink, TraceEvent};
+
+/// Per-level `(frontier, latency_ns)`, minimized over `reps` traced runs.
+fn level_latencies(
+    g: &CsrGraph,
+    topo: Topology,
+    policy: DirectionPolicy,
+    source: u32,
+    reps: usize,
+) -> Vec<(u64, u64)> {
+    let engine = BfsEngine::new(
+        g,
+        topo,
+        BfsOptions {
+            direction: policy,
+            ..Default::default()
+        },
+    );
+    let mut best: Vec<(u64, u64)> = Vec::new();
+    for _ in 0..reps {
+        let ring = RingSink::new(4096);
+        engine.run_traced(source, &ring);
+        let mut levels: Vec<(u64, u64)> = ring
+            .snapshot()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Step(s) => Some((s.frontier, s.latency_ns())),
+                _ => None,
+            })
+            .collect();
+        if best.is_empty() {
+            best = std::mem::take(&mut levels);
+        } else {
+            for (b, l) in best.iter_mut().zip(&levels) {
+                b.1 = b.1.min(l.1);
+            }
+        }
+    }
+    best
+}
+
+fn fmt_us(ns: u64) -> String {
+    format!("{:.1} µs", ns as f64 / 1e3)
+}
+
+fn bench_direction_crossover(c: &mut Criterion) {
+    let g = rmat(&RmatConfig::paper(15, 8), &mut rng_from_seed(2));
+    let topo = Topology::host();
+    let source = bfs_graph::stats::nth_non_isolated(&g, 0).expect("graph has edges");
+
+    let td = level_latencies(&g, topo, DirectionPolicy::ForcedTopDown, source, 5);
+    let bu = level_latencies(&g, topo, DirectionPolicy::ForcedBottomUp, source, 5);
+    println!("direction crossover, RMAT scale 15 edge-factor 8, source {source}:");
+    println!("level  frontier    top-down      bottom-up     winner");
+    let mut bu_wins = 0usize;
+    for (level, ((frontier, td_ns), (_, bu_ns))) in td.iter().zip(&bu).enumerate() {
+        let winner = if bu_ns < td_ns {
+            bu_wins += 1;
+            "bottom-up"
+        } else {
+            "top-down"
+        };
+        println!(
+            "{:<6} {:<11} {:<13} {:<13} {winner}",
+            level + 1,
+            frontier,
+            fmt_us(*td_ns),
+            fmt_us(*bu_ns),
+        );
+    }
+    println!("bottom-up wins {bu_wins}/{} levels", td.len());
+
+    let traversed = BfsEngine::new(&g, topo, BfsOptions::default())
+        .run(source)
+        .stats
+        .traversed_edges;
+    let mut group = c.benchmark_group("direction_crossover");
+    group.sample_size(10);
+    // One element = one traversed edge, so criterion reports edges/second.
+    group.throughput(Throughput::Elements(traversed));
+    for (name, policy) in [
+        ("forced_top_down", DirectionPolicy::ForcedTopDown),
+        ("forced_bottom_up", DirectionPolicy::ForcedBottomUp),
+        ("auto", DirectionPolicy::auto()),
+    ] {
+        let engine = BfsEngine::new(
+            &g,
+            topo,
+            BfsOptions {
+                direction: policy,
+                ..Default::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new(name, "RMAT-15-8"), &engine, |b, e| {
+            b.iter(|| black_box(e.run(source).stats.visited_vertices));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_direction_crossover);
+criterion_main!(benches);

@@ -3,12 +3,13 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
+use bfs_core::direction::{DEFAULT_ALPHA, DEFAULT_BETA};
 use bfs_core::engine::{BfsEngine, BfsOptions, BfsOutput, Scheduling};
 use bfs_core::serial::serial_bfs;
 use bfs_core::session::BfsSession;
 use bfs_core::sim::{simulate_bfs, simulate_bfs_traced, SimBfsConfig};
 use bfs_core::validate::validate_bfs_tree;
-use bfs_core::VisScheme;
+use bfs_core::{Direction, DirectionPolicy, TraversalStats, VisScheme};
 use bfs_graph::gen::grid::{grid3d_stencil, road_network, Stencil};
 use bfs_graph::gen::proxy::ProxySpec;
 use bfs_graph::gen::rmat::{rmat, RmatConfig};
@@ -23,6 +24,7 @@ use bfs_model::{predict, GraphParams, MachineSpec};
 use bfs_multinode::{DistBfs, DistOptions};
 use bfs_platform::Topology;
 use bfs_trace::{JsonlSink, RingSink, TeeSink};
+use serde::Serialize;
 
 use crate::opts::Opts;
 
@@ -38,7 +40,12 @@ subcommands:
   run      threaded traversal      -i FILE [--source V] [--runs K] [--threads T] [--sockets S]
                                    [--vis none|atomic|atomic-test|byte|bit]
                                    [--scheduling naive|static|load-balanced]
+                                   [--direction auto|top-down|bottom-up]
+                                   [--alpha A] [--beta B] — direction-optimizing
+                                   switch thresholds (defaults 15/18)
                                    [--no-rearrange] [--validate]
+                                   [--json FILE] — per-query latency, MTEPS, and
+                                   per-level direction decisions as JSON
                                    [--sources N [--seed K]] — batched multi-source
                                    queries over one warm session (Graph500-style
                                    random roots; per-query latency, mean and
@@ -93,13 +100,38 @@ fn parse_scheduling(s: &str) -> Result<Scheduling, String> {
     })
 }
 
+/// Parses `--direction` (plus its `--alpha`/`--beta` thresholds). The CLI
+/// defaults to `auto` — unlike the library, whose default stays the
+/// paper-faithful forced top-down.
+fn parse_direction(o: &Opts) -> Result<DirectionPolicy, String> {
+    let alpha: f64 = o.num("alpha", DEFAULT_ALPHA)?;
+    let beta: f64 = o.num("beta", DEFAULT_BETA)?;
+    Ok(match o.get("direction").unwrap_or("auto") {
+        "auto" => DirectionPolicy::Auto { alpha, beta },
+        "top-down" => DirectionPolicy::ForcedTopDown,
+        "bottom-up" => DirectionPolicy::ForcedBottomUp,
+        s => return Err(format!("unknown --direction {s:?}")),
+    })
+}
+
 fn engine_options(o: &Opts) -> Result<BfsOptions, String> {
     Ok(BfsOptions {
         vis: parse_vis(o.get("vis").unwrap_or("bit"))?,
         scheduling: parse_scheduling(o.get("scheduling").unwrap_or("load-balanced"))?,
         rearrange: !o.has("no-rearrange"),
+        direction: parse_direction(o)?,
         ..Default::default()
     })
+}
+
+/// Compact per-level direction string: one `T`/`B` letter per BFS step.
+fn direction_string(dirs: &[Direction]) -> String {
+    dirs.iter()
+        .map(|d| match d {
+            Direction::TopDown => 'T',
+            Direction::BottomUp => 'B',
+        })
+        .collect()
 }
 
 fn pick_source(g: &CsrGraph, o: &Opts) -> Result<u32, String> {
@@ -182,6 +214,96 @@ pub fn info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// One query's row in the `--json` report.
+#[derive(Serialize)]
+struct QueryReport {
+    query: usize,
+    root: u32,
+    depth: u32,
+    visited_vertices: u64,
+    traversed_edges: u64,
+    latency_ms: f64,
+    mteps: f64,
+    bottom_up_steps: u32,
+    /// Per-level direction decisions, `"top-down"`/`"bottom-up"`, aligned
+    /// with BFS steps 1..=depth.
+    directions: Vec<String>,
+}
+
+impl QueryReport {
+    fn new(query: usize, root: u32, stats: &TraversalStats) -> Self {
+        QueryReport {
+            query,
+            root,
+            depth: stats.steps,
+            visited_vertices: stats.visited_vertices,
+            traversed_edges: stats.traversed_edges,
+            latency_ms: stats.total_time.as_secs_f64() * 1e3,
+            mteps: stats.mteps(),
+            bottom_up_steps: stats.bottom_up_steps(),
+            directions: stats
+                .step_directions
+                .iter()
+                .map(|d| d.as_str().to_string())
+                .collect(),
+        }
+    }
+}
+
+/// Batch-level aggregates in the `--json` report (multi-source runs only).
+#[derive(Serialize)]
+struct BatchReport {
+    queries: usize,
+    elapsed_ms: f64,
+    queries_per_sec: f64,
+    mean_mteps: f64,
+    harmonic_mteps: f64,
+}
+
+/// Top-level `--json` report for `fastbfs run`.
+#[derive(Serialize)]
+struct RunReport {
+    schema: String,
+    graph: String,
+    vertices: u64,
+    edges: u64,
+    sockets: usize,
+    lanes_per_socket: usize,
+    threads: usize,
+    vis: String,
+    scheduling: String,
+    direction: String,
+    queries: Vec<QueryReport>,
+    batch: Option<BatchReport>,
+}
+
+impl RunReport {
+    fn new(o: &Opts, g: &CsrGraph, topo: Topology) -> RunReport {
+        RunReport {
+            schema: "fastbfs-run-v1".to_string(),
+            graph: o.get("i").unwrap_or("").to_string(),
+            vertices: g.num_vertices() as u64,
+            edges: g.num_edges(),
+            sockets: topo.sockets,
+            lanes_per_socket: topo.lanes_per_socket,
+            threads: topo.sockets * topo.lanes_per_socket,
+            vis: o.get("vis").unwrap_or("bit").to_string(),
+            scheduling: o.get("scheduling").unwrap_or("load-balanced").to_string(),
+            direction: o.get("direction").unwrap_or("auto").to_string(),
+            queries: Vec::new(),
+            batch: None,
+        }
+    }
+
+    fn write(&self, path: &str) -> Result<(), String> {
+        let mut text = serde_json::to_string_pretty(self).map_err(|e| format!("--json: {e}"))?;
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {} queries to {path}", self.queries.len());
+        Ok(())
+    }
+}
+
 /// `fastbfs run`
 pub fn run(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args, &["validate", "no-rearrange"])?;
@@ -202,10 +324,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
         engine.geometry().n_vis,
         engine.geometry().n_bins
     );
+    let mut report = RunReport::new(&o, &g, topo);
     for k in 0..runs {
         let out = engine.run(src);
         println!(
-            "run {k}: depth {}, |V'| {}, |E'| {}, {:.2} MTEPS (I {:?}, II {:?}, R {:?})",
+            "run {k}: depth {}, |V'| {}, |E'| {}, {:.2} MTEPS (I {:?}, II {:?}, R {:?}), dirs {}",
             out.stats.steps,
             out.stats.visited_vertices,
             out.stats.traversed_edges,
@@ -213,6 +336,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             out.stats.phase1_time,
             out.stats.phase2_time,
             out.stats.rearrange_time,
+            direction_string(&out.stats.step_directions),
         );
         if o.has("validate") {
             let reference = serial_bfs(&g, src);
@@ -223,6 +347,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("invalid BFS tree: {e}"))?;
             println!("run {k}: validated");
         }
+        report.queries.push(QueryReport::new(k, src, &out.stats));
+    }
+    if let Some(path) = o.get("json") {
+        report.write(path)?;
     }
     Ok(())
 }
@@ -250,18 +378,20 @@ fn run_batch(g: &CsrGraph, topo: Topology, o: &Opts) -> Result<(), String> {
     );
     let mut out = BfsOutput::default();
     let mut mteps = Vec::with_capacity(roots.len());
+    let mut report = RunReport::new(o, g, topo);
     let batch_start = std::time::Instant::now();
     for (k, &root) in roots.iter().enumerate() {
         session.run_reusing(root, &mut out);
         let m = out.stats.mteps();
         mteps.push(m);
         println!(
-            "query {k}: root {root}, depth {}, |V'| {}, |E'| {}, {:.3} ms, {:.2} MTEPS",
+            "query {k}: root {root}, depth {}, |V'| {}, |E'| {}, {:.3} ms, {:.2} MTEPS, dirs {}",
             out.stats.steps,
             out.stats.visited_vertices,
             out.stats.traversed_edges,
             out.stats.total_time.as_secs_f64() * 1e3,
             m,
+            direction_string(&out.stats.step_directions),
         );
         if o.has("validate") {
             let reference = serial_bfs(g, root);
@@ -271,6 +401,7 @@ fn run_batch(g: &CsrGraph, topo: Topology, o: &Opts) -> Result<(), String> {
             validate_bfs_tree(g, root, &out.depths, &out.parents)
                 .map_err(|e| format!("query {k}: invalid BFS tree: {e}"))?;
         }
+        report.queries.push(QueryReport::new(k, root, &out.stats));
     }
     let elapsed = batch_start.elapsed();
     let mean = mteps.iter().sum::<f64>() / mteps.len() as f64;
@@ -287,6 +418,16 @@ fn run_batch(g: &CsrGraph, topo: Topology, o: &Opts) -> Result<(), String> {
     );
     if o.has("validate") {
         println!("validated {} queries", roots.len());
+    }
+    if let Some(path) = o.get("json") {
+        report.batch = Some(BatchReport {
+            queries: roots.len(),
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            queries_per_sec: roots.len() as f64 / elapsed.as_secs_f64(),
+            mean_mteps: mean,
+            harmonic_mteps: harmonic,
+        });
+        report.write(path)?;
     }
     Ok(())
 }
@@ -653,5 +794,83 @@ mod tests {
         assert!(parse_vis("wrong").is_err());
         assert!(parse_scheduling("wrong").is_err());
         assert!(model(&s(&[])).is_err());
+    }
+
+    #[test]
+    fn run_direction_flags_and_json_report() {
+        use serde::Value;
+        let path = tmp("g7.fbfs");
+        let json = tmp("r1.json");
+        gen(&s(&[
+            "--family",
+            "ur",
+            "--vertices",
+            "600",
+            "--degree",
+            "6",
+            "-o",
+            &path,
+        ]))
+        .unwrap();
+        // Both forced directions validate against the serial oracle.
+        run(&s(&["-i", &path, "--direction", "bottom-up", "--validate"])).unwrap();
+        run(&s(&["-i", &path, "--direction", "top-down", "--validate"])).unwrap();
+        assert!(run(&s(&["-i", &path, "--direction", "sideways"])).is_err());
+
+        // Single-source --json: one entry per --runs repetition, each with a
+        // per-level directions array.
+        run(&s(&[
+            "-i",
+            &path,
+            "--runs",
+            "2",
+            "--direction",
+            "bottom-up",
+            "--json",
+            &json,
+        ]))
+        .unwrap();
+        let v = serde_json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some("fastbfs-run-v1")
+        );
+        assert_eq!(
+            v.get("direction").and_then(Value::as_str),
+            Some("bottom-up")
+        );
+        let queries = match v.get("queries") {
+            Some(Value::Array(q)) => q,
+            other => panic!("queries missing: {other:?}"),
+        };
+        assert_eq!(queries.len(), 2);
+        let depth = queries[0].get("depth").and_then(Value::as_u64).unwrap();
+        match queries[0].get("directions") {
+            Some(Value::Array(d)) => {
+                assert_eq!(d.len() as u64, depth, "one direction per level");
+                assert!(d.iter().all(|x| x.as_str() == Some("bottom-up")));
+            }
+            other => panic!("directions missing: {other:?}"),
+        }
+        assert!(matches!(v.get("batch"), Some(Value::Null)));
+
+        // Batch --json adds the aggregate block.
+        run(&s(&[
+            "-i",
+            &path,
+            "--sources",
+            "3",
+            "--threads",
+            "2",
+            "--json",
+            &json,
+        ]))
+        .unwrap();
+        let v = serde_json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        let batch = v.get("batch").expect("batch block");
+        assert_eq!(batch.get("queries").and_then(Value::as_u64), Some(3));
+        assert!(batch.get("harmonic_mteps").is_some());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&json).ok();
     }
 }

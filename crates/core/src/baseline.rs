@@ -250,6 +250,7 @@ fn emit_baseline_step(
                 phase2_ns: 0,
                 rearrange_ns: 0,
                 enqueued,
+                edge_checks: 0,
             })
         })
         .collect();
@@ -258,6 +259,7 @@ fn emit_baseline_step(
         step,
         frontier: total,
         duplicates: total.saturating_sub(claimed),
+        direction: None,
         threads,
         bin_occupancy: Vec::new(),
     }));

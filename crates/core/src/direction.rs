@@ -1,0 +1,306 @@
+//! Direction-optimizing traversal: the per-level top-down / bottom-up
+//! decision and the dense frontier bitmap the bottom-up kernel scans.
+//!
+//! The paper's engine always expands the frontier *top-down*: every frontier
+//! vertex pushes its neighbors through the PBV/VIS/DP pipeline. On
+//! low-diameter scale-free graphs the middle levels touch most edges
+//! redundantly — nearly every neighbor is already visited. Direction-
+//! optimizing BFS (Beamer, Asanović, Patterson, SC'12) flips those levels
+//! *bottom-up*: scan the still-unvisited vertices and probe their neighbor
+//! lists for any parent in the current frontier, stopping at the first hit.
+//! A vertex with `k` frontier parents costs one edge check instead of `k`
+//! claim attempts.
+//!
+//! The switch heuristic is the classic α/β rule:
+//!
+//! * top-down → bottom-up when `m_f > m_u / α` (the frontier's out-edges
+//!   outgrow the unexplored edges by factor α);
+//! * bottom-up → top-down when `n_f < n / β` (the frontier shrinks back
+//!   below a 1/β fraction of all vertices).
+//!
+//! The defaults α = 15, β = 18 are the empirically tuned values from the
+//! Beamer SC'12 paper, also used by the GAP benchmark suite reference
+//! implementation.
+//!
+//! Bottom-up steps keep the substrate's §III-A story intact: the scan walks
+//! vertex ranges in bin order (one `VIS`/`DP` partition at a time, the same
+//! residency argument as Phase II), each vertex is claimed by exactly one
+//! thread (ranges are disjoint), so `DP` writes stay single aligned stores
+//! with no race at all — stronger than the benign claim race of the
+//! top-down path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::VertexId;
+
+/// Default α (top-down → bottom-up trigger): Beamer SC'12 / GAP value.
+pub const DEFAULT_ALPHA: f64 = 15.0;
+/// Default β (bottom-up → top-down trigger): Beamer SC'12 / GAP value.
+pub const DEFAULT_BETA: f64 = 18.0;
+
+/// The kernel a BFS level ran (or is about to run).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Expand the frontier through the two-phase PBV pipeline (Figure 3).
+    #[default]
+    TopDown,
+    /// Scan unvisited vertex ranges, probing neighbors against the frontier
+    /// bitmap.
+    BottomUp,
+}
+
+impl Direction {
+    /// Stable lowercase name used in traces and JSON reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::TopDown => "top-down",
+            Direction::BottomUp => "bottom-up",
+        }
+    }
+}
+
+/// Per-level direction selection.
+///
+/// The engine default is [`ForcedTopDown`](DirectionPolicy::ForcedTopDown):
+/// the paper's figure experiments measure the top-down pipeline, and the
+/// bottom-up kernel requires the graph's doubled-edge symmetric convention
+/// (out-neighbors = in-neighbors), which the engine cannot afford to verify
+/// per build. Opt into [`auto`](DirectionPolicy::auto) for hybrid traversal
+/// of undirected graphs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum DirectionPolicy {
+    /// Beamer-style switching on the α/β thresholds above.
+    Auto {
+        /// Top-down → bottom-up when `frontier_edges > unexplored_edges / α`.
+        alpha: f64,
+        /// Bottom-up → top-down when `frontier_vertices < n / β`.
+        beta: f64,
+    },
+    /// Every level top-down (the paper's engine, bit-for-bit).
+    #[default]
+    ForcedTopDown,
+    /// Every level bottom-up (crossover measurement; pays the full
+    /// unvisited scan even on tiny frontiers).
+    ForcedBottomUp,
+}
+
+/// The per-level quantities the α/β rule consumes. All of them are computed
+/// once per step from the accumulators every thread already maintains, so a
+/// decision costs four relaxed loads and two float compares.
+#[derive(Clone, Copy, Debug)]
+pub struct DecisionInputs {
+    /// `n_f`: vertices enqueued into the current frontier.
+    pub frontier_vertices: u64,
+    /// `m_f`: sum of out-degrees of the current frontier.
+    pub frontier_edges: u64,
+    /// `m_u`: directed edges incident to not-yet-claimed vertices
+    /// (approximated as total minus explored; exact enough for a heuristic).
+    pub unexplored_edges: u64,
+    /// `n`: vertices in the graph.
+    pub total_vertices: u64,
+}
+
+impl DirectionPolicy {
+    /// [`DirectionPolicy::Auto`] with the Beamer/GAP default thresholds.
+    pub fn auto() -> Self {
+        DirectionPolicy::Auto {
+            alpha: DEFAULT_ALPHA,
+            beta: DEFAULT_BETA,
+        }
+    }
+
+    /// Whether any level could run bottom-up (sizes the frontier bitmap:
+    /// zero words for a forced-top-down engine).
+    pub fn may_go_bottom_up(&self) -> bool {
+        !matches!(self, DirectionPolicy::ForcedTopDown)
+    }
+
+    /// The direction for the level about to run, given the direction the
+    /// previous level ran. Pure and deterministic: every thread evaluates it
+    /// on the same inputs and reaches the same answer without communication.
+    pub fn decide(&self, prev: Direction, i: DecisionInputs) -> Direction {
+        match *self {
+            DirectionPolicy::ForcedTopDown => Direction::TopDown,
+            DirectionPolicy::ForcedBottomUp => Direction::BottomUp,
+            DirectionPolicy::Auto { alpha, beta } => match prev {
+                Direction::TopDown => {
+                    if (i.frontier_edges as f64) * alpha.max(f64::MIN_POSITIVE)
+                        > i.unexplored_edges as f64
+                    {
+                        Direction::BottomUp
+                    } else {
+                        Direction::TopDown
+                    }
+                }
+                Direction::BottomUp => {
+                    if (i.frontier_vertices as f64) * beta.max(f64::MIN_POSITIVE)
+                        < i.total_vertices as f64
+                    {
+                        Direction::TopDown
+                    } else {
+                        Direction::BottomUp
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// Dense current-frontier bitmap for bottom-up steps: one bit per vertex,
+/// shared across threads.
+///
+/// The sparse per-thread frontier lists stay the engine's source of truth;
+/// at a direction switch (and on every bottom-up level) each thread ORs its
+/// own list into the bitmap (sparse → dense) before the barrier, and clears
+/// exactly those bits after the level's last read barrier — so the bitmap is
+/// all-zero between steps and across session reuse, with no O(|V|) sweep
+/// anywhere.
+///
+/// Bit layout follows vertex order, so a bin's bits are contiguous: scanning
+/// vertex ranges in bin order keeps the probed window of the bitmap
+/// cache-resident alongside the bin's `VIS`/`DP` stripe (§III-A).
+pub struct FrontierBitmap {
+    words: Box<[AtomicU64]>,
+}
+
+impl FrontierBitmap {
+    /// A bitmap covering `n` vertices (all bits clear). `n = 0` is valid and
+    /// allocates nothing — the forced-top-down engine's case.
+    pub fn new(n: usize) -> Self {
+        let words = (0..n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        Self { words }
+    }
+
+    /// Heap bytes held.
+    pub fn footprint(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Sets `v`'s bit (relaxed `fetch_or`; concurrent setters are fine).
+    #[inline]
+    pub fn set(&self, v: VertexId) {
+        self.words[(v >> 6) as usize].fetch_or(1 << (v & 63), Ordering::Relaxed);
+    }
+
+    /// Reads `v`'s bit (relaxed; callers sequence the read after the
+    /// publishing barrier).
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.words[(v >> 6) as usize].load(Ordering::Relaxed) & (1 << (v & 63)) != 0
+    }
+
+    /// ORs every vertex of `list` into the bitmap (the sparse → dense
+    /// conversion; each thread converts its own frontier list).
+    pub fn set_list(&self, list: &[VertexId]) {
+        for &v in list {
+            self.set(v);
+        }
+    }
+
+    /// Clears every vertex of `list` (the O(frontier) un-publish that keeps
+    /// the bitmap zero between steps without an O(|V|) sweep).
+    pub fn clear_list(&self, list: &[VertexId]) {
+        for &v in list {
+            self.words[(v >> 6) as usize].fetch_and(!(1 << (v & 63)), Ordering::Relaxed);
+        }
+    }
+
+    /// True when no bit is set (test hook for the clear protocol).
+    pub fn is_clear(&self) -> bool {
+        self.words.iter().all(|w| w.load(Ordering::Relaxed) == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(n_f: u64, m_f: u64, m_u: u64, n: u64) -> DecisionInputs {
+        DecisionInputs {
+            frontier_vertices: n_f,
+            frontier_edges: m_f,
+            unexplored_edges: m_u,
+            total_vertices: n,
+        }
+    }
+
+    #[test]
+    fn forced_policies_ignore_inputs() {
+        let i = inputs(1, 1, 1_000_000, 1_000_000);
+        for prev in [Direction::TopDown, Direction::BottomUp] {
+            assert_eq!(
+                DirectionPolicy::ForcedTopDown.decide(prev, i),
+                Direction::TopDown
+            );
+            assert_eq!(
+                DirectionPolicy::ForcedBottomUp.decide(prev, i),
+                Direction::BottomUp
+            );
+        }
+    }
+
+    #[test]
+    fn auto_switches_down_on_heavy_frontier_and_back_on_light() {
+        let p = DirectionPolicy::auto();
+        // Frontier edges dwarf the unexplored remainder → go bottom-up.
+        assert_eq!(
+            p.decide(Direction::TopDown, inputs(100, 900, 1_000, 1_000)),
+            Direction::BottomUp
+        );
+        // Tiny frontier early in the traversal → stay top-down.
+        assert_eq!(
+            p.decide(Direction::TopDown, inputs(1, 8, 1_000_000, 100_000)),
+            Direction::TopDown
+        );
+        // Frontier shrinks below n/β → return to top-down.
+        assert_eq!(
+            p.decide(Direction::BottomUp, inputs(10, 80, 500, 100_000)),
+            Direction::TopDown
+        );
+        // Frontier still covers most vertices → stay bottom-up.
+        assert_eq!(
+            p.decide(Direction::BottomUp, inputs(90_000, 100, 500, 100_000)),
+            Direction::BottomUp
+        );
+    }
+
+    #[test]
+    fn default_policy_is_forced_top_down() {
+        assert_eq!(DirectionPolicy::default(), DirectionPolicy::ForcedTopDown);
+        assert!(!DirectionPolicy::default().may_go_bottom_up());
+        assert!(DirectionPolicy::auto().may_go_bottom_up());
+        assert!(DirectionPolicy::ForcedBottomUp.may_go_bottom_up());
+    }
+
+    #[test]
+    fn bitmap_set_contains_clear_roundtrip() {
+        let bm = FrontierBitmap::new(200);
+        assert!(bm.is_clear());
+        bm.set_list(&[0, 63, 64, 127, 199]);
+        for v in [0u32, 63, 64, 127, 199] {
+            assert!(bm.contains(v));
+        }
+        assert!(!bm.contains(1));
+        assert!(!bm.contains(128));
+        bm.clear_list(&[0, 63, 64, 127, 199]);
+        assert!(bm.is_clear());
+    }
+
+    #[test]
+    fn empty_bitmap_is_free() {
+        let bm = FrontierBitmap::new(0);
+        assert_eq!(bm.footprint(), 0);
+        assert!(bm.is_clear());
+    }
+
+    #[test]
+    fn direction_serializes_stably() {
+        assert_eq!(Direction::TopDown.as_str(), "top-down");
+        assert_eq!(Direction::BottomUp.as_str(), "bottom-up");
+        let json = serde_json::to_string(&vec![Direction::TopDown, Direction::BottomUp]).unwrap();
+        let back: Vec<Direction> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, vec![Direction::TopDown, Direction::BottomUp]);
+    }
+}

@@ -29,6 +29,7 @@ use bfs_trace::{NoopSink, RunEvent, StepEvent, ThreadStep, TraceEvent, TraceSink
 
 use crate::balance::{divide_even, divide_static, Segment, Stream};
 use crate::cell::ThreadOwned;
+use crate::direction::{DecisionInputs, Direction, DirectionPolicy, FrontierBitmap};
 use crate::dp::{DepthParent, INF_DEPTH};
 use crate::frontier::rearrange_frontier;
 use crate::pbv::{decode_window, BinGeometry, BinSet, PbvEncoding, ResolvedEncoding};
@@ -71,6 +72,10 @@ pub struct BfsOptions {
     pub bin_kernel: BinKernel,
     /// PBV stream encoding.
     pub encoding: PbvEncoding,
+    /// Per-level direction selection (top-down vs bottom-up). The default
+    /// is forced top-down — the paper's engine unchanged; bottom-up levels
+    /// additionally require the symmetric doubled-edge graph convention.
+    pub direction: DirectionPolicy,
 }
 
 impl Default for BfsOptions {
@@ -83,6 +88,7 @@ impl Default for BfsOptions {
             prefetch_distance: DEFAULT_PREFETCH_DISTANCE,
             bin_kernel: BinKernel::Simd,
             encoding: PbvEncoding::Auto,
+            direction: DirectionPolicy::ForcedTopDown,
         }
     }
 }
@@ -105,6 +111,7 @@ pub struct BfsOutput {
 struct Counters {
     enqueued: u64,
     binning_ops: u64,
+    edge_checks: u64,
     phase1: Duration,
     phase2: Duration,
     rearrange: Duration,
@@ -120,6 +127,7 @@ struct StepScratch {
     phase2_ns: u64,
     rearrange_ns: u64,
     enqueued: u64,
+    edge_checks: u64,
 }
 
 /// Per-run traversal state: the `DP`/`VIS` arrays, every per-thread
@@ -139,8 +147,17 @@ pub(crate) struct RunState {
     pub(crate) bins: ThreadOwned<BinSet>,
     pub(crate) scratch: ThreadOwned<(Vec<VertexId>, Vec<u32>)>,
     step_scratch: ThreadOwned<StepScratch>,
+    /// Dense current-frontier bits for bottom-up levels (zero-sized for
+    /// forced-top-down engines). All-zero at every step boundary: each
+    /// thread ORs its frontier list in before the level and clears exactly
+    /// those bits after the level's last read barrier, so session reuse
+    /// needs no extra reset.
+    frontier_bitmap: FrontierBitmap,
     /// Leader-only per-depth enqueue log (`frontier_sizes`).
     frontier_log: ThreadOwned<Vec<u64>>,
+    /// Leader-only per-depth direction log (aligned with
+    /// `frontier_sizes[1..]`).
+    direction_log: ThreadOwned<Vec<Direction>>,
     /// Per-thread log of every vertex the run enqueued (sessions only):
     /// exactly the set whose VIS storage the next `prepare` must clear.
     touched: ThreadOwned<Vec<VertexId>>,
@@ -180,7 +197,13 @@ impl RunState {
             }),
             scratch: ThreadOwned::from_fn(nthreads, |_| (Vec::new(), Vec::new())),
             step_scratch: ThreadOwned::from_fn(nthreads, |_| StepScratch::default()),
+            frontier_bitmap: FrontierBitmap::new(if engine.options.direction.may_go_bottom_up() {
+                n
+            } else {
+                0
+            }),
             frontier_log: ThreadOwned::from_fn(1, |_| Vec::new()),
+            direction_log: ThreadOwned::from_fn(1, |_| Vec::new()),
             touched: ThreadOwned::from_fn(nthreads, |_| Vec::new()),
             track_touched,
             runs: 0,
@@ -255,6 +278,9 @@ impl RunState {
                 f.clear();
             }
             for log in self.frontier_log.iter_mut() {
+                log.clear();
+            }
+            for log in self.direction_log.iter_mut() {
                 log.clear();
             }
         }
@@ -388,76 +414,130 @@ impl<'g> BfsEngine<'g> {
         let state = &*state;
         let track_touched = state.track_touched;
 
-        // Frontier-size accumulators, double-buffered by step parity (reset
-        // happens a full barrier before the next use of a slot).
-        let totals = [AtomicU64::new(0), AtomicU64::new(0)];
+        // Frontier-size and frontier-out-degree accumulators, double-
+        // buffered by step parity (reset happens a full barrier before the
+        // next use of a slot). Slot 0 is pre-seeded with the source frontier
+        // so the step-1 direction decision sees `n_f = 1`,
+        // `m_f = deg(source)`.
+        let adaptive = matches!(self.options.direction, DirectionPolicy::Auto { .. });
+        let source_degree = self.graph.degree(source) as u64;
+        let totals = [AtomicU64::new(1), AtomicU64::new(0)];
+        let edge_totals = [AtomicU64::new(source_degree), AtomicU64::new(0)];
+        // Out-degrees of everything claimed so far (duplicates included):
+        // the explored side of the α rule's unexplored-edge estimate.
+        let explored = AtomicU64::new(source_degree);
 
         let counters = self.pool.run(|ctx| {
             let tid = ctx.thread_id;
             let mut c = Counters {
                 enqueued: 0,
                 binning_ops: 0,
+                edge_checks: 0,
                 phase1: Duration::ZERO,
                 phase2: Duration::ZERO,
                 rearrange: Duration::ZERO,
             };
+            // Direction of the level being executed. Every thread evaluates
+            // the same pure decision on accumulators that are stable between
+            // the previous step's last barrier and this step's first write,
+            // so all threads agree without extra communication.
+            let mut dir = Direction::TopDown;
             let mut step: u32 = 1;
             loop {
                 assert!(
                     step <= n as u32 + 1,
                     "BFS failed to terminate after {step} steps"
                 );
+                let prev_slot = ((step & 1) ^ 1) as usize;
+                dir = self.options.direction.decide(
+                    dir,
+                    DecisionInputs {
+                        frontier_vertices: totals[prev_slot].load(Ordering::Relaxed),
+                        frontier_edges: edge_totals[prev_slot].load(Ordering::Relaxed),
+                        unexplored_edges: self
+                            .graph
+                            .num_edges()
+                            .saturating_sub(explored.load(Ordering::Relaxed)),
+                        total_vertices: n as u64,
+                    },
+                );
                 if tid == 0 {
                     totals[(step & 1) as usize].store(0, Ordering::Relaxed);
+                    edge_totals[(step & 1) as usize].store(0, Ordering::Relaxed);
                 }
                 let p1 = Instant::now();
-                match self.options.scheduling {
-                    Scheduling::NoMultiSocketOpt => {
-                        self.expand_direct(
-                            ctx.thread_id,
-                            nthreads,
-                            &state.bv_cur,
-                            &state.bv_next,
-                            &state.dp,
-                            &state.vis,
-                            step,
-                            &mut c,
-                        );
+                match dir {
+                    // Bottom-up "Phase I": publish this thread's sparse
+                    // frontier list into the dense bitmap (sparse → dense
+                    // conversion; relaxed ORs, read only after the barrier).
+                    Direction::BottomUp => {
+                        state
+                            .bv_cur
+                            .read(tid, |f| state.frontier_bitmap.set_list(f));
                     }
-                    _ => {
-                        self.phase_one(
-                            tid,
-                            nthreads,
-                            &state.bv_cur,
-                            &state.bins,
-                            &state.scratch,
-                            &mut c,
-                        );
-                    }
+                    Direction::TopDown => match self.options.scheduling {
+                        Scheduling::NoMultiSocketOpt => {
+                            self.expand_direct(
+                                ctx.thread_id,
+                                nthreads,
+                                &state.bv_cur,
+                                &state.bv_next,
+                                &state.dp,
+                                &state.vis,
+                                step,
+                                &mut c,
+                            );
+                        }
+                        _ => {
+                            self.phase_one(
+                                tid,
+                                nthreads,
+                                &state.bv_cur,
+                                &state.bins,
+                                &state.scratch,
+                                &mut c,
+                            );
+                        }
+                    },
                 }
                 let d1 = p1.elapsed();
                 c.phase1 += d1;
                 ctx.barrier();
 
                 let mut d2 = Duration::ZERO;
-                if self.options.scheduling != Scheduling::NoMultiSocketOpt {
-                    let p2 = Instant::now();
-                    self.phase_two(
-                        tid,
-                        nthreads,
-                        &state.bins,
-                        &state.bv_next,
-                        &state.dp,
-                        &state.vis,
-                        step,
-                        &mut c,
-                    );
-                    d2 = p2.elapsed();
-                    c.phase2 += d2;
+                let checks_before = c.edge_checks;
+                match dir {
+                    Direction::BottomUp => {
+                        let p2 = Instant::now();
+                        self.bottom_up_step(tid, nthreads, state, step, &mut c);
+                        d2 = p2.elapsed();
+                        c.phase2 += d2;
+                    }
+                    Direction::TopDown
+                        if self.options.scheduling != Scheduling::NoMultiSocketOpt =>
+                    {
+                        let p2 = Instant::now();
+                        self.phase_two(
+                            tid,
+                            nthreads,
+                            &state.bins,
+                            &state.bv_next,
+                            &state.dp,
+                            &state.vis,
+                            step,
+                            &mut c,
+                        );
+                        d2 = p2.elapsed();
+                        c.phase2 += d2;
+                    }
+                    Direction::TopDown => {}
                 }
 
                 let mut dr = Duration::ZERO;
-                if self.options.rearrange {
+                // Bottom-up output is built by an ascending vertex scan, so
+                // it is already page-window sorted; rearranging would be a
+                // no-op pass.
+                if self.options.rearrange && dir == Direction::TopDown {
                     let pr = Instant::now();
                     state.scratch.with_mut(tid, |(tmp, _)| {
                         state.bv_next.with_mut(tid, |f| {
@@ -481,6 +561,17 @@ impl<'g> BfsEngine<'g> {
                     }
                     f.len() as u64
                 });
+                // Out-degree sum of this thread's enqueues: the next level's
+                // `m_f` and the explored-edge running total. Only the
+                // adaptive policy reads these, so forced policies skip the
+                // degree walk.
+                let mine_edges: u64 = if adaptive {
+                    state.bv_next.read(tid, |f| {
+                        f.iter().map(|&v| self.graph.degree(v) as u64).sum()
+                    })
+                } else {
+                    0
+                };
                 c.enqueued += mine;
                 if tracing {
                     state.step_scratch.with_mut(tid, |s| {
@@ -489,27 +580,44 @@ impl<'g> BfsEngine<'g> {
                             phase2_ns: d2.as_nanos() as u64,
                             rearrange_ns: dr.as_nanos() as u64,
                             enqueued: mine,
+                            edge_checks: c.edge_checks - checks_before,
                         };
                     });
                 }
                 totals[(step & 1) as usize].fetch_add(mine, Ordering::Relaxed);
+                if adaptive {
+                    edge_totals[(step & 1) as usize].fetch_add(mine_edges, Ordering::Relaxed);
+                    explored.fetch_add(mine_edges, Ordering::Relaxed);
+                }
                 ctx.barrier();
                 let total = totals[(step & 1) as usize].load(Ordering::Relaxed);
                 if tid == 0 && total > 0 {
                     state.frontier_log.with_mut(0, |log| log.push(total));
+                    state.direction_log.with_mut(0, |log| log.push(dir));
                     if tracing {
                         self.emit_step_event(
                             sink,
                             step,
                             total,
                             nthreads,
+                            dir,
                             &state.step_scratch,
                             &state.bins,
                             &state.dp,
                         );
                     }
                 }
-                // Swap own frontier buffers; clear the consumed one.
+                // Un-publish this thread's frontier bits — every bitmap
+                // reader is past the barrier above, and the next level's
+                // build starts after the barrier below, so the bitmap is
+                // all-zero at every step boundary (and at run end, which is
+                // what makes session reuse free). Then swap own frontier
+                // buffers and clear the consumed one.
+                if dir == Direction::BottomUp {
+                    state
+                        .bv_cur
+                        .read(tid, |f| state.frontier_bitmap.clear_list(f));
+                }
                 state.bv_cur.with_mut(tid, |cur| {
                     state.bv_next.with_mut(tid, |next| {
                         std::mem::swap(cur, next);
@@ -536,12 +644,17 @@ impl<'g> BfsEngine<'g> {
                 traversed += self.graph.degree(v as u32) as u64;
             }
         }
-        // Reuse `out`'s log allocation instead of taking the state's.
+        // Reuse `out`'s log allocations instead of taking the state's.
         let mut frontier_sizes = std::mem::take(&mut out.stats.frontier_sizes);
         frontier_sizes.clear();
         state
             .frontier_log
             .read(0, |log| frontier_sizes.extend_from_slice(log));
+        let mut step_directions = std::mem::take(&mut out.stats.step_directions);
+        step_directions.clear();
+        state
+            .direction_log
+            .read(0, |log| step_directions.extend_from_slice(log));
         let enqueued: u64 = counters.iter().map(|c| c.enqueued).sum();
         out.stats = TraversalStats {
             steps: frontier_sizes.len() as u32 - 1,
@@ -549,6 +662,8 @@ impl<'g> BfsEngine<'g> {
             traversed_edges: traversed,
             duplicate_enqueues: (enqueued + 1).saturating_sub(visited),
             frontier_sizes,
+            step_directions,
+            bottom_up_edge_checks: counters.iter().map(|c| c.edge_checks).sum(),
             phase1_time: counters.iter().map(|c| c.phase1).max().unwrap_or_default(),
             phase2_time: counters.iter().map(|c| c.phase2).max().unwrap_or_default(),
             rearrange_time: counters
@@ -571,6 +686,7 @@ impl<'g> BfsEngine<'g> {
         step: u32,
         total: u64,
         nthreads: usize,
+        dir: Direction,
         step_scratch: &ThreadOwned<StepScratch>,
         bins: &ThreadOwned<BinSet>,
         dp: &DepthParent,
@@ -583,10 +699,16 @@ impl<'g> BfsEngine<'g> {
                     phase2_ns: s.phase2_ns,
                     rearrange_ns: s.rearrange_ns,
                     enqueued: s.enqueued,
+                    edge_checks: s.edge_checks,
                 })
             })
             .collect();
-        let bin_occupancy: Vec<u64> = if self.options.scheduling == Scheduling::NoMultiSocketOpt {
+        // Bins are bypassed entirely on bottom-up levels, so their
+        // occupancies (from whichever top-down level last filled them) would
+        // be stale noise.
+        let bin_occupancy: Vec<u64> = if self.options.scheduling == Scheduling::NoMultiSocketOpt
+            || dir == Direction::BottomUp
+        {
             Vec::new()
         } else {
             (0..self.geometry.n_bins)
@@ -607,6 +729,7 @@ impl<'g> BfsEngine<'g> {
             step,
             frontier: total,
             duplicates: total.saturating_sub(claimed),
+            direction: Some(dir.as_str().to_string()),
             threads,
             bin_occupancy,
         }));
@@ -745,6 +868,89 @@ impl<'g> BfsEngine<'g> {
                         },
                     );
                 });
+            }
+        });
+    }
+
+    /// Bottom-up step kernel: scan this thread's share of the vertex space
+    /// in bin order, probing each unclaimed vertex's neighbor list against
+    /// the frontier bitmap and claiming on the first hit (early exit — a
+    /// vertex with `k` frontier parents costs 1 check instead of `k` claim
+    /// attempts).
+    ///
+    /// Work division reuses the prefix-split machinery of `balance.rs` over
+    /// one stream per bin (vertex ranges instead of PBV windows):
+    /// `LoadBalanced`/`NoMultiSocketOpt` take the even split,
+    /// `SocketAwareStatic` pins each bin's range to its home socket. Either
+    /// way a part's share is contiguous in bin order, so the scanned
+    /// `VIS`/`DP`/bitmap stripes stay cache-resident (§III-A) — and ranges
+    /// are disjoint, so every vertex has exactly one claiming thread and the
+    /// `DP` write is a single plain store with no race at all (stronger than
+    /// the benign top-down claim race).
+    ///
+    /// Correctness requires the repo's symmetric doubled-edge convention:
+    /// `neighbors(v)` must contain every frontier vertex that has an edge to
+    /// `v` (out-neighbors = in-neighbors).
+    fn bottom_up_step(
+        &self,
+        tid: usize,
+        nthreads: usize,
+        state: &RunState,
+        step: u32,
+        c: &mut Counters,
+    ) {
+        let geo = &self.geometry;
+        let streams: Vec<Stream> = (0..geo.n_bins)
+            .map(|b| Stream {
+                bin: b,
+                owner: 0,
+                len: geo.bin_vertex_range(b).len(),
+            })
+            .collect();
+        let my_segments: Vec<Segment> = match self.options.scheduling {
+            Scheduling::SocketAwareStatic => divide_static(
+                &streams,
+                |b| geo.socket_of_bin(b),
+                self.topology.sockets,
+                self.topology.lanes_per_socket,
+                1,
+            )
+            .swap_remove(tid),
+            _ => divide_even(&streams, nthreads, 1).swap_remove(tid),
+        };
+        let pref = self.options.prefetch_distance;
+        let offsets = self.graph.offsets();
+        let raw = self.graph.raw_neighbors();
+        let bitmap = &state.frontier_bitmap;
+        let dp = &state.dp;
+        let vis = &state.vis;
+        state.bv_next.with_mut(tid, |next| {
+            for seg in &my_segments {
+                let base = geo.bin_vertex_range(seg.bin).start as usize;
+                let lo = base + seg.range.start;
+                let hi = base + seg.range.end;
+                for u in lo..hi {
+                    if pref > 0 && u + pref < hi {
+                        // Prefetch the adjacency pointer and first neighbor
+                        // line of the vertex `pref` slots ahead (§III-C(3)).
+                        prefetch_slice_element(offsets, u + pref);
+                        let off = offsets[u + pref] as usize;
+                        prefetch_slice_element(raw, off);
+                    }
+                    let v = u as VertexId;
+                    if vis.is_marked(v) || dp.is_assigned(v) {
+                        continue;
+                    }
+                    for &parent in self.graph.neighbors(v) {
+                        c.edge_checks += 1;
+                        if bitmap.contains(parent) {
+                            dp.set(v, step, parent);
+                            vis.mark(v);
+                            next.push(v);
+                            break;
+                        }
+                    }
+                }
             }
         });
     }
@@ -1042,6 +1248,218 @@ mod tests {
     fn rejects_bad_source() {
         let g = path(3);
         BfsEngine::new(&g, Topology::synthetic(1, 1), BfsOptions::default()).run(9);
+    }
+
+    #[test]
+    fn forced_bottom_up_matches_serial_all_schedulings() {
+        for scheduling in [
+            Scheduling::NoMultiSocketOpt,
+            Scheduling::SocketAwareStatic,
+            Scheduling::LoadBalanced,
+        ] {
+            for g in [
+                path(17),
+                star(9),
+                binary_tree(31),
+                lollipop(6, 10),
+                two_cliques(10, 10),
+            ] {
+                check_against_serial(
+                    &g,
+                    0,
+                    Topology::synthetic(2, 2),
+                    BfsOptions {
+                        scheduling,
+                        direction: DirectionPolicy::ForcedBottomUp,
+                        ..Default::default()
+                    },
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forced_bottom_up_all_vis_schemes() {
+        let g = uniform_random(1500, 8, &mut rng_from_seed(23));
+        for vis in VisScheme::ALL {
+            check_against_serial(
+                &g,
+                0,
+                Topology::synthetic(2, 2),
+                BfsOptions {
+                    vis,
+                    direction: DirectionPolicy::ForcedBottomUp,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn auto_direction_matches_serial_on_rmat() {
+        let g = rmat(&RmatConfig::paper(11, 8), &mut rng_from_seed(7));
+        let src = bfs_graph::stats::nth_non_isolated(&g, 0).unwrap();
+        check_against_serial(
+            &g,
+            src,
+            Topology::synthetic(2, 4),
+            BfsOptions {
+                direction: DirectionPolicy::auto(),
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn direction_log_matches_policy_and_steps() {
+        let g = uniform_random(2500, 12, &mut rng_from_seed(41));
+        let topo = Topology::synthetic(2, 2);
+        let td = BfsEngine::new(
+            &g,
+            topo,
+            BfsOptions {
+                direction: DirectionPolicy::ForcedTopDown,
+                ..Default::default()
+            },
+        )
+        .run(0);
+        assert_eq!(td.stats.step_directions.len(), td.stats.steps as usize);
+        assert!(td
+            .stats
+            .step_directions
+            .iter()
+            .all(|&d| d == Direction::TopDown));
+        assert_eq!(td.stats.bottom_up_steps(), 0);
+        assert_eq!(td.stats.bottom_up_edge_checks, 0);
+
+        let bu = BfsEngine::new(
+            &g,
+            topo,
+            BfsOptions {
+                direction: DirectionPolicy::ForcedBottomUp,
+                ..Default::default()
+            },
+        )
+        .run(0);
+        assert_eq!(bu.stats.step_directions.len(), bu.stats.steps as usize);
+        assert!(bu
+            .stats
+            .step_directions
+            .iter()
+            .all(|&d| d == Direction::BottomUp));
+        assert!(bu.stats.bottom_up_edge_checks > 0);
+        assert_eq!(bu.depths, td.depths);
+
+        // A dense low-diameter graph flips the middle levels bottom-up and
+        // the tail back top-down under the default α/β.
+        let auto = BfsEngine::new(
+            &g,
+            topo,
+            BfsOptions {
+                direction: DirectionPolicy::auto(),
+                ..Default::default()
+            },
+        )
+        .run(0);
+        assert_eq!(auto.depths, td.depths);
+        assert!(
+            auto.stats.bottom_up_steps() > 0,
+            "auto never went bottom-up"
+        );
+        assert_eq!(
+            auto.stats.step_directions[0],
+            Direction::TopDown,
+            "a 12-degree source must not trigger the α rule at step 1"
+        );
+    }
+
+    #[test]
+    fn traced_bottom_up_steps_carry_direction_and_edge_checks() {
+        use bfs_trace::{RingSink, TraceEvent};
+        let g = uniform_random(1500, 6, &mut rng_from_seed(21));
+        let engine = BfsEngine::new(
+            &g,
+            Topology::synthetic(2, 2),
+            BfsOptions {
+                direction: DirectionPolicy::ForcedBottomUp,
+                ..Default::default()
+            },
+        );
+        let ring = RingSink::new(4096);
+        let out = engine.run_traced(0, &ring);
+        let steps: Vec<_> = ring
+            .snapshot()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Step(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(steps.len(), out.stats.steps as usize);
+        let mut checks = 0u64;
+        for s in &steps {
+            assert_eq!(s.direction.as_deref(), Some("bottom-up"));
+            assert!(
+                s.bin_occupancy.is_empty(),
+                "bottom-up levels bypass the bins"
+            );
+            checks += s.threads.iter().map(|t| t.edge_checks).sum::<u64>();
+        }
+        assert_eq!(checks, out.stats.bottom_up_edge_checks);
+    }
+
+    #[test]
+    fn frontier_bitmap_is_zero_between_runs_and_sized_by_policy() {
+        let g = uniform_random(1000, 6, &mut rng_from_seed(3));
+        let topo = Topology::synthetic(2, 2);
+        let engine = BfsEngine::new(
+            &g,
+            topo,
+            BfsOptions {
+                direction: DirectionPolicy::auto(),
+                ..Default::default()
+            },
+        );
+        let mut state = RunState::new(&engine, true);
+        let mut out = BfsOutput::default();
+        for src in [0u32, 500, 999] {
+            engine.run_with_state(&mut state, src, &NoopSink, "engine", &mut out);
+            assert!(
+                state.frontier_bitmap.is_clear(),
+                "bitmap must be all-zero at run end (source {src})"
+            );
+        }
+        // Forced-top-down engines pay nothing for the bitmap.
+        let td = BfsEngine::new(&g, topo, BfsOptions::default());
+        assert_eq!(RunState::new(&td, false).frontier_bitmap.footprint(), 0);
+    }
+
+    #[test]
+    fn aggressive_thresholds_switch_mid_traversal() {
+        // α huge → flip bottom-up as soon as the frontier has any edges;
+        // β tiny → flip straight back (the BU→TD rule fires when
+        // n_f·β < n), so the scheduler oscillates every level.
+        let g = uniform_random(800, 6, &mut rng_from_seed(9));
+        let out = BfsEngine::new(
+            &g,
+            Topology::synthetic(2, 2),
+            BfsOptions {
+                direction: DirectionPolicy::Auto {
+                    alpha: 1e12,
+                    beta: 1e-12,
+                },
+                ..Default::default()
+            },
+        )
+        .run(0);
+        let reference = serial_bfs(&g, 0);
+        assert_eq!(out.depths, reference.depths);
+        let dirs = &out.stats.step_directions;
+        assert!(dirs.contains(&Direction::BottomUp));
+        assert!(
+            dirs.windows(2).any(|w| w[0] != w[1]),
+            "expected a mid-traversal switch, got {dirs:?}"
+        );
     }
 
     #[test]

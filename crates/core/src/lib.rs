@@ -11,6 +11,9 @@
 //! * [`cell`] — `ThreadOwned<T>`: the phase-separated single-writer cells
 //!   that let the SPMD region publish per-thread `BV`/`PBV` buffers across
 //!   barriers without locks.
+//! * [`direction`] — the direction-optimizing extension (beyond the paper):
+//!   per-level top-down/bottom-up selection via Beamer-style α/β thresholds
+//!   and the dense frontier bitmap the bottom-up kernel probes.
 //! * [`pbv`] — Potential Boundary Vertex bins: geometry (`N_VIS`, `N_PBV`,
 //!   bin↔socket alignment), parent-marker and (parent, vertex) encodings
 //!   (§III-B3, §III-C(4), §III-C(6)).
@@ -54,6 +57,7 @@
 pub mod balance;
 pub mod baseline;
 pub mod cell;
+pub mod direction;
 pub mod dp;
 pub mod engine;
 pub mod frontier;
@@ -68,6 +72,7 @@ pub mod stats;
 pub mod validate;
 pub mod vis;
 
+pub use direction::{Direction, DirectionPolicy, FrontierBitmap};
 pub use dp::{DepthParent, INF_DEPTH};
 pub use engine::{BfsEngine, BfsOptions, BfsOutput, Scheduling};
 pub use pbv::PbvEncoding;

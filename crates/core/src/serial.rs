@@ -63,6 +63,60 @@ pub fn serial_bfs(graph: &CsrGraph, source: VertexId) -> SerialBfs {
     }
 }
 
+/// Serial *bottom-up* BFS: each level scans every unvisited vertex and
+/// probes its neighbor list for a parent at the current depth, claiming on
+/// the first hit — the reference semantics of the parallel bottom-up kernel
+/// (and, like it, correct only under the repo's symmetric doubled-edge
+/// convention where out-neighbors equal in-neighbors).
+///
+/// Depths, visit counts, and traversed edges are identical to
+/// [`serial_bfs`]; parents may differ (bottom-up picks the first frontier
+/// parent in neighbor-list order) but always satisfy the BFS-tree property
+/// `depth(parent(v)) == depth(v) - 1`.
+pub fn serial_bfs_bottom_up(graph: &CsrGraph, source: VertexId) -> SerialBfs {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut depths = vec![INF_DEPTH; n];
+    let mut parents = vec![VertexId::MAX; n];
+    depths[source as usize] = 0;
+    parents[source as usize] = source;
+    let mut visited = 1u64;
+    let mut traversed = graph.degree(source) as u64;
+    let mut max_depth = 0;
+    let mut depth = 0u32;
+    loop {
+        let mut claimed_any = false;
+        for v in 0..n as u32 {
+            if depths[v as usize] != INF_DEPTH {
+                continue;
+            }
+            if let Some(&p) = graph
+                .neighbors(v)
+                .iter()
+                .find(|&&p| depths[p as usize] == depth)
+            {
+                depths[v as usize] = depth + 1;
+                parents[v as usize] = p;
+                visited += 1;
+                traversed += graph.degree(v) as u64;
+                max_depth = depth + 1;
+                claimed_any = true;
+            }
+        }
+        if !claimed_any {
+            break;
+        }
+        depth += 1;
+    }
+    SerialBfs {
+        depths,
+        parents,
+        max_depth,
+        visited,
+        traversed_edges: traversed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +176,35 @@ mod tests {
     #[should_panic(expected = "source out of range")]
     fn rejects_bad_source() {
         serial_bfs(&path(3), 9);
+    }
+
+    #[test]
+    fn bottom_up_oracle_matches_top_down_oracle() {
+        use bfs_graph::gen::uniform::uniform_random;
+        let graphs = [
+            path(9),
+            star(7),
+            binary_tree(31),
+            two_cliques(5, 4),
+            uniform_random(400, 5, &mut rng_from_seed(12)),
+            rmat(&RmatConfig::paper(9, 8), &mut rng_from_seed(5)),
+        ];
+        for g in &graphs {
+            for src in [0u32, (g.num_vertices() as u32 - 1) / 2] {
+                let td = serial_bfs(g, src);
+                let bu = serial_bfs_bottom_up(g, src);
+                assert_eq!(bu.depths, td.depths);
+                assert_eq!(bu.visited, td.visited);
+                assert_eq!(bu.traversed_edges, td.traversed_edges);
+                assert_eq!(bu.max_depth, td.max_depth);
+                crate::validate::validate_bfs_tree(g, src, &bu.depths, &bu.parents).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn bottom_up_rejects_bad_source() {
+        serial_bfs_bottom_up(&path(3), 9);
     }
 }

@@ -256,6 +256,84 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_direction_switches_across_warm_queries() {
+        // Dense enough that the default α/β go bottom-up in the middle
+        // levels; every warm query re-decides per level over recycled
+        // VIS/DP/bitmap state.
+        let g = uniform_random(2500, 12, &mut rng_from_seed(19));
+        let opts = BfsOptions {
+            direction: crate::DirectionPolicy::auto(),
+            ..Default::default()
+        };
+        let mut session = BfsSession::new(&g, Topology::synthetic(2, 2), opts);
+        let mut out = BfsOutput::default();
+        for &source in &[0u32, 1250, 2499, 7, 0] {
+            session.run_reusing(source, &mut out);
+            let reference = serial_bfs(&g, source);
+            assert_eq!(out.depths, reference.depths, "source {source}");
+            validate_bfs_tree(&g, source, &out.depths, &out.parents).unwrap();
+            assert_eq!(
+                out.stats.step_directions.len(),
+                out.stats.steps as usize,
+                "source {source}"
+            );
+            assert!(
+                out.stats.bottom_up_steps() > 0,
+                "source {source}: expected a bottom-up middle level, got {:?}",
+                out.stats.step_directions
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_epoch_width_wraps_under_bottom_up() {
+        // The bottom-up kernel's unvisited scan reads DP/VIS stamps, so it
+        // must honor epoch resets exactly like top-down. 2 stamp bits →
+        // wrap twice over 8 queries, alternating forced directions.
+        let g = uniform_random(600, 4, &mut rng_from_seed(77));
+        for direction in [
+            crate::DirectionPolicy::ForcedBottomUp,
+            crate::DirectionPolicy::auto(),
+        ] {
+            let opts = BfsOptions {
+                direction,
+                ..Default::default()
+            };
+            let mut session = BfsSession::with_epoch_bits(&g, Topology::synthetic(2, 2), opts, 2);
+            for q in 0..8 {
+                let source = (q * 83 % 600) as VertexId;
+                let out = session.run(source);
+                let reference = serial_bfs(&g, source);
+                assert_eq!(
+                    out.depths, reference.depths,
+                    "query {q} source {source} ({direction:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_components_reset_cleanly_bottom_up() {
+        // Under forced bottom-up the kernel scans *all* vertices each level,
+        // including the unreachable clique — stale stamps there must not
+        // produce claims in a later query.
+        let g = two_cliques(10, 10);
+        let opts = BfsOptions {
+            direction: crate::DirectionPolicy::ForcedBottomUp,
+            ..Default::default()
+        };
+        let mut session = BfsSession::new(&g, Topology::synthetic(2, 2), opts);
+        let a = session.run(0);
+        let b = session.run(10);
+        let c = session.run(0);
+        assert_eq!(a.stats.visited_vertices, 10);
+        assert_eq!(b.stats.visited_vertices, 10);
+        assert_eq!(a.depths, c.depths);
+        assert_eq!(b.depths[0], crate::INF_DEPTH);
+        assert_eq!(a.depths[10], crate::INF_DEPTH);
+    }
+
+    #[test]
     fn batch_returns_one_output_per_source() {
         let g = star(9);
         let mut session = BfsSession::new(&g, Topology::synthetic(1, 2), BfsOptions::default());

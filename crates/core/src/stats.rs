@@ -4,6 +4,8 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
+use crate::direction::Direction;
+
 /// Per-run statistics: the measurement side of §V.
 ///
 /// # Frontier counting convention
@@ -33,6 +35,14 @@ pub struct TraversalStats {
     /// Duplicate enqueues caused by the benign claim race (§III-A measured
     /// "an increase of up to 0.2% for small graphs").
     pub duplicate_enqueues: u64,
+    /// Direction each level ran, aligned with `frontier_sizes[1..]`
+    /// (`step_directions[i]` is the level that enqueued
+    /// `frontier_sizes[i + 1]`). Empty for engines without a direction
+    /// scheduler (baselines, the simulator).
+    pub step_directions: Vec<Direction>,
+    /// Neighbor probes performed by bottom-up levels (the bottom-up
+    /// analogue of traversed edges; 0 for all-top-down runs).
+    pub bottom_up_edge_checks: u64,
     /// Wall time in Phase I across steps.
     pub phase1_time: Duration,
     /// Wall time in Phase II across steps.
@@ -47,12 +57,25 @@ pub struct TraversalStats {
 
 impl TraversalStats {
     /// Million traversed edges per second (the paper's headline metric).
+    ///
+    /// Convention: a zero-duration run reports `0.0`, not infinity — a
+    /// clock too coarse to see the traversal measured *nothing*, and 0.0
+    /// stays finite through downstream aggregation (JSON reports, harmonic
+    /// means) where an infinity would poison every sum it touches.
     pub fn mteps(&self) -> f64 {
         let secs = self.total_time.as_secs_f64();
         if secs == 0.0 {
-            return f64::INFINITY;
+            return 0.0;
         }
         self.traversed_edges as f64 / secs / 1e6
+    }
+
+    /// Number of levels that ran bottom-up.
+    pub fn bottom_up_steps(&self) -> u32 {
+        self.step_directions
+            .iter()
+            .filter(|&&d| d == Direction::BottomUp)
+            .count() as u32
     }
 
     /// ρ′ = |E′| / |V′|.
@@ -89,11 +112,32 @@ mod tests {
     }
 
     #[test]
-    fn zero_time_is_infinite_rate() {
-        let s = TraversalStats::default();
-        assert!(s.mteps().is_infinite());
+    fn zero_time_is_zero_rate() {
+        // The documented convention: un-measurable runs report 0.0 MTEPS so
+        // aggregates (means, JSON artifacts) stay finite.
+        let s = TraversalStats {
+            traversed_edges: 12345,
+            ..Default::default()
+        };
+        assert_eq!(s.total_time, Duration::ZERO);
+        assert_eq!(s.mteps(), 0.0);
         assert_eq!(s.rho_prime(), 0.0);
         assert_eq!(s.duplicate_rate(), 0.0);
+    }
+
+    #[test]
+    fn bottom_up_step_counting() {
+        let s = TraversalStats {
+            step_directions: vec![
+                Direction::TopDown,
+                Direction::BottomUp,
+                Direction::BottomUp,
+                Direction::TopDown,
+            ],
+            ..Default::default()
+        };
+        assert_eq!(s.bottom_up_steps(), 2);
+        assert_eq!(TraversalStats::default().bottom_up_steps(), 0);
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub struct ThreadStep {
     pub rearrange_ns: u64,
     /// Vertices this thread enqueued this step (duplicates included).
     pub enqueued: u64,
+    /// Neighbor probes this thread performed this step (bottom-up levels
+    /// only; 0 on top-down levels). On bottom-up levels `phase1_ns` covers
+    /// the sparse→dense bitmap publish and `phase2_ns` the range scan.
+    pub edge_checks: u64,
 }
 
 /// One BFS step of a wall-clock engine.
@@ -71,6 +75,10 @@ pub struct StepEvent {
     /// Enqueues beyond the distinct vertices claimed this step (the benign
     /// §III-A claim race).
     pub duplicates: u64,
+    /// Which kernel ran this level: `"top-down"` or `"bottom-up"`. `None`
+    /// for engines without a direction scheduler (and for traces written
+    /// before the field existed).
+    pub direction: Option<String>,
     /// Per-thread phase timings and enqueue counts.
     pub threads: Vec<ThreadStep>,
     /// Entries binned per PBV bin this step, summed over threads (empty for
@@ -185,6 +193,7 @@ mod tests {
             step: 3,
             frontier: 17,
             duplicates: 1,
+            direction: Some("top-down".to_string()),
             threads: vec![
                 ThreadStep {
                     thread: 0,
@@ -192,6 +201,7 @@ mod tests {
                     phase2_ns: 200,
                     rearrange_ns: 10,
                     enqueued: 9,
+                    edge_checks: 0,
                 },
                 ThreadStep {
                     thread: 1,
@@ -199,6 +209,7 @@ mod tests {
                     phase2_ns: 100,
                     rearrange_ns: 0,
                     enqueued: 8,
+                    edge_checks: 31,
                 },
             ],
             bin_occupancy: vec![5, 12],
@@ -260,6 +271,22 @@ mod tests {
     fn latency_is_slowest_thread() {
         match step_event() {
             TraceEvent::Step(s) => assert_eq!(s.latency_ns(), 500),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn step_event_without_direction_still_deserializes() {
+        // Traces written before the direction-optimizing extension carry no
+        // `direction` field; the Option absorbs the omission.
+        let json = "{\"event\":\"step\",\"step\":1,\"frontier\":4,\"duplicates\":0,\
+                    \"threads\":[],\"bin_occupancy\":[]}";
+        let e: TraceEvent = serde_json::from_str(json).unwrap();
+        match e {
+            TraceEvent::Step(s) => {
+                assert_eq!(s.direction, None);
+                assert_eq!(s.frontier, 4);
+            }
             _ => unreachable!(),
         }
     }

@@ -30,8 +30,9 @@
 //!     step: 1,
 //!     frontier: 8,
 //!     duplicates: 0,
+//!     direction: Some("top-down".to_string()),
 //!     threads: vec![ThreadStep { thread: 0, phase1_ns: 500, phase2_ns: 700,
-//!                                rearrange_ns: 100, enqueued: 8 }],
+//!                                rearrange_ns: 100, enqueued: 8, edge_checks: 0 }],
 //!     bin_occupancy: vec![8],
 //! }));
 //! let summary = summarize(&ring.snapshot());

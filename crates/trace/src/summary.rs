@@ -20,6 +20,8 @@ use crate::event::{StepEvent, TraceEvent};
 pub struct TraceSummary {
     /// Steps summarized.
     pub steps: usize,
+    /// Steps whose `direction` tag says they ran bottom-up.
+    pub bottom_up_steps: usize,
     /// Total enqueues across steps (duplicates included).
     pub total_frontier: u64,
     /// Total duplicate enqueues.
@@ -88,6 +90,10 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
     let total_duplicates: u64 = steps.iter().map(|s| s.duplicates).sum();
     TraceSummary {
         steps: steps.len(),
+        bottom_up_steps: steps
+            .iter()
+            .filter(|s| s.direction.as_deref() == Some("bottom-up"))
+            .count(),
         total_frontier,
         total_duplicates,
         peak_frontier: steps.iter().map(|s| s.frontier).max().unwrap_or(0),
@@ -124,8 +130,8 @@ impl fmt::Display for TraceSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "steps:           {} ({} enqueues, peak frontier {})",
-            self.steps, self.total_frontier, self.peak_frontier
+            "steps:           {} ({} bottom-up; {} enqueues, peak frontier {})",
+            self.steps, self.bottom_up_steps, self.total_frontier, self.peak_frontier
         )?;
         writeln!(
             f,
@@ -159,6 +165,11 @@ mod tests {
             step,
             frontier,
             duplicates: dups,
+            direction: if step.is_multiple_of(2) {
+                Some("bottom-up".to_string())
+            } else {
+                Some("top-down".to_string())
+            },
             threads: p1
                 .iter()
                 .zip(p2)
@@ -169,6 +180,7 @@ mod tests {
                     phase2_ns: b,
                     rearrange_ns: 0,
                     enqueued: frontier / p1.len() as u64,
+                    edge_checks: 0,
                 })
                 .collect(),
             bin_occupancy: Vec::new(),
@@ -217,6 +229,8 @@ mod tests {
         ];
         let s = summarize(&events);
         assert_eq!(s.steps, 2);
+        // The helper tags even steps bottom-up.
+        assert_eq!(s.bottom_up_steps, 1);
         assert_eq!(s.total_frontier, 30);
         assert_eq!(s.peak_frontier, 20);
         // Latencies: step1 max(100+300, 100+100)=400, step2 400.

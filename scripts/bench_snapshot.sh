@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Benchmark snapshot: builds the release CLI, generates a reference RMAT
+# workload, runs a batched multi-source query session with the adaptive
+# direction scheduler, and archives the machine-readable report as
+# BENCH_<timestamp>.json in the repo root. Keep a snapshot per machine /
+# per change to track MTEPS and per-level direction decisions over time.
+#
+# Usage: scripts/bench_snapshot.sh [scale] [sources]
+#   scale    RMAT scale (default 16 → 65k vertices, ~1M directed edges)
+#   sockets/threads default to the host topology.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-16}"
+SOURCES="${2:-16}"
+STAMP="$(date -u +%Y%m%dT%H%M%SZ)"
+GRAPH="$(mktemp /tmp/bench_snapshot_XXXXXX.fbfs)"
+OUT="BENCH_${STAMP}.json"
+trap 'rm -f "$GRAPH"' EXIT
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+FASTBFS=target/release/fastbfs
+
+echo "==> generating RMAT scale $SCALE"
+"$FASTBFS" gen --family rmat --scale "$SCALE" --edge-factor 8 --seed 42 -o "$GRAPH"
+
+echo "==> running $SOURCES sources with --direction auto"
+"$FASTBFS" run -i "$GRAPH" --sources "$SOURCES" --seed 7 --direction auto --json "$OUT"
+
+echo "==> snapshot written to $OUT"

@@ -11,6 +11,9 @@ cargo build --release --offline
 echo "==> cargo test -q"
 cargo test -q --offline
 
+echo "==> cargo test --doc"
+cargo test --doc --offline
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run --offline
 

@@ -2,11 +2,12 @@
 //! by proptest over arbitrary graphs (self-loops, multi-edges, isolated
 //! vertices, disconnected components included).
 
-use bfs_core::engine::{BfsEngine, BfsOptions, Scheduling};
+use bfs_core::engine::{BfsEngine, BfsOptions, BfsOutput, Scheduling};
 use bfs_core::pbv::PbvEncoding;
 use bfs_core::serial::serial_bfs;
+use bfs_core::session::BfsSession;
 use bfs_core::validate::validate_bfs_tree;
-use bfs_core::VisScheme;
+use bfs_core::{DirectionPolicy, VisScheme};
 use bfs_graph::builder::{BuildOptions, GraphBuilder};
 use bfs_graph::CsrGraph;
 use bfs_platform::Topology;
@@ -32,6 +33,21 @@ fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
     })
 }
 
+/// Arbitrary direction policy: both forced modes, the default α/β, and
+/// small randomized thresholds that force mid-traversal switches even on
+/// the tiny graphs proptest generates.
+fn arb_direction() -> impl Strategy<Value = DirectionPolicy> {
+    prop_oneof![
+        Just(DirectionPolicy::ForcedTopDown),
+        Just(DirectionPolicy::ForcedBottomUp),
+        Just(DirectionPolicy::auto()),
+        (1u32..640, 1u32..640).prop_map(|(a, b)| DirectionPolicy::Auto {
+            alpha: a as f64 / 10.0,
+            beta: b as f64 / 10.0,
+        }),
+    ]
+}
+
 fn arb_options() -> impl Strategy<Value = BfsOptions> {
     (
         prop_oneof![
@@ -50,15 +66,17 @@ fn arb_options() -> impl Strategy<Value = BfsOptions> {
             Just(PbvEncoding::Markers),
             Just(PbvEncoding::Pairs),
         ],
+        arb_direction(),
         1usize..=4,    // n_vis
         any::<bool>(), // rearrange
         0usize..=8,    // prefetch distance
     )
         .prop_map(
-            |(vis, scheduling, encoding, n_vis, rearrange, pref)| BfsOptions {
+            |(vis, scheduling, encoding, direction, n_vis, rearrange, pref)| BfsOptions {
                 vis,
                 scheduling,
                 encoding,
+                direction,
                 n_vis_override: Some(n_vis),
                 rearrange,
                 prefetch_distance: pref,
@@ -126,5 +144,27 @@ proptest! {
         let a = engine.run(0);
         let b = engine.run(0);
         prop_assert_eq!(a.depths, b.depths);
+    }
+
+    /// Back-to-back session queries under every direction policy — including
+    /// adaptive runs that switch kernel mid-traversal — stay correct over
+    /// VIS/DP/bitmap state recycled from arbitrary previous queries.
+    #[test]
+    fn session_queries_with_direction_switching_match_serial(
+        g in arb_graph(100, 300),
+        direction in arb_direction(),
+        roots in proptest::collection::vec(0usize..64, 1..=4),
+    ) {
+        let opts = BfsOptions { direction, ..Default::default() };
+        let mut session = BfsSession::new(&g, Topology::synthetic(2, 2), opts);
+        let mut out = BfsOutput::default();
+        for r in roots {
+            let src = (r % g.num_vertices()) as u32;
+            session.run_reusing(src, &mut out);
+            let reference = serial_bfs(&g, src);
+            prop_assert_eq!(&out.depths, &reference.depths);
+            prop_assert!(validate_bfs_tree(&g, src, &out.depths, &out.parents).is_ok());
+            prop_assert_eq!(out.stats.step_directions.len(), out.stats.steps as usize);
+        }
     }
 }

@@ -1,18 +1,22 @@
 //! Property test of the frontier counting convention (see `TraversalStats`)
-//! across *every* Scheduling × VisScheme × PbvEncoding combination.
+//! across *every* Scheduling × VisScheme × PbvEncoding × DirectionPolicy
+//! combination.
 //!
 //! For any graph and any configuration:
 //!
 //! * `frontier_sizes[0] == 1` (the source frontier);
 //! * every logged level is non-empty;
 //! * `steps == frontier_sizes.len() - 1 == ` the serial oracle's depth;
-//! * per-step enqueues sum to `visited_vertices - 1 + duplicate_enqueues`;
+//! * per-step enqueues sum to `visited_vertices - 1 + duplicate_enqueues`
+//!   (bottom-up levels claim each vertex exactly once, so they add no
+//!   duplicates and the identity survives direction switches);
+//! * `step_directions` logs exactly one decision per level;
 //! * depths match the serial oracle exactly.
 
 use bfs_core::engine::{BfsEngine, BfsOptions, Scheduling};
 use bfs_core::pbv::PbvEncoding;
 use bfs_core::serial::serial_bfs;
-use bfs_core::VisScheme;
+use bfs_core::{Direction, DirectionPolicy, VisScheme};
 use bfs_graph::builder::{BuildOptions, GraphBuilder};
 use bfs_graph::CsrGraph;
 use bfs_platform::Topology;
@@ -45,6 +49,16 @@ const SCHEDULINGS: [Scheduling; 3] = [
 
 const ENCODINGS: [PbvEncoding; 3] = [PbvEncoding::Auto, PbvEncoding::Markers, PbvEncoding::Pairs];
 
+// Moderate α/β so even proptest's tiny graphs exercise a mid-run switch.
+const DIRECTIONS: [DirectionPolicy; 3] = [
+    DirectionPolicy::ForcedTopDown,
+    DirectionPolicy::ForcedBottomUp,
+    DirectionPolicy::Auto {
+        alpha: 4.0,
+        beta: 4.0,
+    },
+];
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 8,
@@ -61,15 +75,17 @@ proptest! {
         for scheduling in SCHEDULINGS {
             for vis in VisScheme::ALL {
                 for encoding in ENCODINGS {
+                for direction in DIRECTIONS {
                     let opts = BfsOptions {
                         vis,
                         scheduling,
                         encoding,
+                        direction,
                         ..Default::default()
                     };
                     let out =
                         BfsEngine::new(&g, Topology::synthetic(2, 2), opts).run(src);
-                    let label = format!("{scheduling:?}/{vis:?}/{encoding:?}");
+                    let label = format!("{scheduling:?}/{vis:?}/{encoding:?}/{direction:?}");
                     prop_assert_eq!(
                         &out.depths, &oracle.depths,
                         "depths diverge under {}", &label
@@ -94,6 +110,23 @@ proptest! {
                         out.stats.visited_vertices - 1 + out.stats.duplicate_enqueues,
                         "enqueue accounting broken under {}", &label
                     );
+                    let dirs = &out.stats.step_directions;
+                    prop_assert_eq!(
+                        dirs.len(), out.stats.steps as usize,
+                        "one direction decision per level under {}", &label
+                    );
+                    match direction {
+                        DirectionPolicy::ForcedTopDown => prop_assert!(
+                            dirs.iter().all(|&d| d == Direction::TopDown),
+                            "forced top-down went bottom-up under {}", &label
+                        ),
+                        DirectionPolicy::ForcedBottomUp => prop_assert!(
+                            dirs.iter().all(|&d| d == Direction::BottomUp),
+                            "forced bottom-up went top-down under {}", &label
+                        ),
+                        DirectionPolicy::Auto { .. } => {}
+                    }
+                }
                 }
             }
         }
