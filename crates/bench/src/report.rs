@@ -1,0 +1,447 @@
+//! The `fastbfs-run-v1` JSON report: schema types, environment capture,
+//! and the regression-gate comparison behind `fastbfs bench-compare`.
+//!
+//! Schema evolution is additive-only: every field added after the first
+//! committed baseline is `Option<T>`, so PR-era reports keep parsing
+//! forever (the golden-file test pins this). The comparison never requires
+//! the optional fields.
+
+use serde::{Deserialize, Serialize};
+
+use bfs_core::TraversalStats;
+use bfs_metrics::MetricsSnapshot;
+
+/// Report schema identifier; bump only for breaking changes (so far: never).
+pub const SCHEMA: &str = "fastbfs-run-v1";
+
+/// One query's row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QueryReport {
+    pub query: usize,
+    pub root: u32,
+    pub depth: u32,
+    pub visited_vertices: u64,
+    pub traversed_edges: u64,
+    pub latency_ms: f64,
+    pub mteps: f64,
+    pub bottom_up_steps: u32,
+    /// Per-level direction decisions, `"top-down"`/`"bottom-up"`, aligned
+    /// with BFS steps 1..=depth.
+    pub directions: Vec<String>,
+}
+
+impl QueryReport {
+    /// Builds a row from a finished traversal's stats.
+    pub fn new(query: usize, root: u32, stats: &TraversalStats) -> Self {
+        QueryReport {
+            query,
+            root,
+            depth: stats.steps,
+            visited_vertices: stats.visited_vertices,
+            traversed_edges: stats.traversed_edges,
+            latency_ms: stats.total_time.as_secs_f64() * 1e3,
+            mteps: stats.mteps(),
+            bottom_up_steps: stats.bottom_up_steps(),
+            directions: stats
+                .step_directions
+                .iter()
+                .map(|d| d.as_str().to_string())
+                .collect(),
+        }
+    }
+}
+
+/// Batch-level aggregates (multi-source runs only).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BatchReport {
+    pub queries: usize,
+    pub elapsed_ms: f64,
+    pub queries_per_sec: f64,
+    pub mean_mteps: f64,
+    pub harmonic_mteps: f64,
+}
+
+/// Top-level report for `fastbfs run --json` (and the committed `BENCH_*`
+/// baselines).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    pub schema: String,
+    pub graph: String,
+    pub vertices: u64,
+    pub edges: u64,
+    pub sockets: usize,
+    pub lanes_per_socket: usize,
+    pub threads: usize,
+    pub vis: String,
+    pub scheduling: String,
+    pub direction: String,
+    /// Git revision of the producing build (additive, PR 4).
+    pub git_rev: Option<String>,
+    /// `rustc --version` of the producing build (additive, PR 4).
+    pub rustc: Option<String>,
+    /// Physical cores on the producing host (additive, PR 4).
+    pub host_cores: Option<usize>,
+    /// LLC bytes per socket of the run's topology (additive, PR 4).
+    pub llc_bytes: Option<u64>,
+    /// Metrics-registry snapshot covering the reported queries (additive,
+    /// PR 4).
+    pub metrics: Option<MetricsSnapshot>,
+    pub queries: Vec<QueryReport>,
+    pub batch: Option<BatchReport>,
+}
+
+impl RunReport {
+    /// Fills the environment header: git revision (when the working tree is
+    /// a repo), rustc version, and host core count. Failures leave fields
+    /// `None` — the report stays valid on hosts without git/rustc.
+    pub fn capture_environment(&mut self) {
+        self.git_rev = capture_cmd("git", &["rev-parse", "--short", "HEAD"]);
+        self.rustc = capture_cmd("rustc", &["--version"]);
+        self.host_cores = Some(bfs_platform::pin::host_cores());
+    }
+
+    /// Serializes to pretty JSON with a trailing newline.
+    pub fn to_json(&self) -> Result<String, String> {
+        let mut text =
+            serde_json::to_string_pretty(self).map_err(|e| format!("report to JSON: {e}"))?;
+        text.push('\n');
+        Ok(text)
+    }
+
+    /// Writes the report to `path`.
+    pub fn write(&self, path: &str) -> Result<(), String> {
+        std::fs::write(path, self.to_json()?).map_err(|e| format!("write {path}: {e}"))
+    }
+
+    /// Reads and validates a report from `path`.
+    pub fn read(path: &str) -> Result<RunReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let r: RunReport = serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+        if r.schema != SCHEMA {
+            return Err(format!(
+                "{path}: schema {:?}, expected {SCHEMA:?}",
+                r.schema
+            ));
+        }
+        Ok(r)
+    }
+
+    /// Harmonic-mean MTEPS across the report's queries (the Graph500
+    /// aggregate): prefers the batch block, falls back to recomputing from
+    /// the per-query rows. 0 when any query recorded 0 MTEPS.
+    pub fn harmonic_mteps(&self) -> f64 {
+        if let Some(b) = &self.batch {
+            return b.harmonic_mteps;
+        }
+        if self.queries.is_empty() || self.queries.iter().any(|q| q.mteps <= 0.0) {
+            return 0.0;
+        }
+        self.queries.len() as f64 / self.queries.iter().map(|q| 1.0 / q.mteps).sum::<f64>()
+    }
+
+    /// Nearest-rank percentile of per-query latency in milliseconds.
+    pub fn latency_percentile_ms(&self, p: f64) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        let mut lat: Vec<f64> = self.queries.iter().map(|q| q.latency_ms).collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((p / 100.0) * lat.len() as f64).ceil().max(1.0) as usize;
+        lat[rank.min(lat.len()) - 1]
+    }
+
+    /// Fraction of all executed BFS steps that ran bottom-up — the
+    /// direction-decision signature of the report's workload.
+    pub fn bottom_up_fraction(&self) -> f64 {
+        let steps: u64 = self.queries.iter().map(|q| q.depth as u64).sum();
+        if steps == 0 {
+            return 0.0;
+        }
+        let bu: u64 = self.queries.iter().map(|q| q.bottom_up_steps as u64).sum();
+        bu as f64 / steps as f64
+    }
+}
+
+fn capture_cmd(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    (!s.is_empty()).then_some(s)
+}
+
+/// Gate thresholds for [`compare`]. All are fractions (0.10 = 10%).
+#[derive(Clone, Copy, Debug)]
+pub struct CompareThresholds {
+    /// Max allowed harmonic-mean MTEPS drop, baseline → new.
+    pub max_mteps_drop: f64,
+    /// Max allowed rise in p50/p99 per-query latency.
+    pub max_latency_rise: f64,
+    /// Max allowed absolute change in the bottom-up step fraction (a drift
+    /// here means the direction heuristic started deciding differently).
+    pub max_direction_drift: f64,
+}
+
+impl Default for CompareThresholds {
+    fn default() -> Self {
+        Self {
+            max_mteps_drop: 0.10,
+            max_latency_rise: 0.25,
+            max_direction_drift: 0.25,
+        }
+    }
+}
+
+/// One gate check's result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CompareCheck {
+    pub name: String,
+    pub baseline: f64,
+    pub new: f64,
+    /// Signed relative delta for ratio checks, absolute delta for the
+    /// direction drift.
+    pub delta: f64,
+    pub limit: f64,
+    pub pass: bool,
+}
+
+/// The full gate verdict.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CompareOutcome {
+    pub checks: Vec<CompareCheck>,
+    /// Fields on which the two reports describe different workloads —
+    /// comparing those is apples-to-oranges and fails the gate unless
+    /// explicitly allowed.
+    pub workload_mismatch: Vec<String>,
+    pub pass: bool,
+}
+
+impl CompareOutcome {
+    /// Table rendering for the CLI.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for m in &self.workload_mismatch {
+            let _ = writeln!(out, "workload mismatch: {m}");
+        }
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12} {:>12} {:>9} {:>8}  verdict",
+            "check", "baseline", "new", "delta", "limit"
+        );
+        for c in &self.checks {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>12.3} {:>12.3} {:>8.1}% {:>7.1}%  {}",
+                c.name,
+                c.baseline,
+                c.new,
+                c.delta * 100.0,
+                c.limit * 100.0,
+                if c.pass { "ok" } else { "FAIL" }
+            );
+        }
+        let _ = writeln!(out, "gate: {}", if self.pass { "PASS" } else { "FAIL" });
+        out
+    }
+}
+
+/// The regression gate: diffs two `fastbfs-run-v1` reports. A check fails
+/// when the new report regresses past its threshold; improvements always
+/// pass. With `allow_mismatch` false, any workload-identity difference
+/// (graph shape, thread count, engine options, query count) fails the gate
+/// outright.
+pub fn compare(
+    base: &RunReport,
+    new: &RunReport,
+    t: &CompareThresholds,
+    allow_mismatch: bool,
+) -> CompareOutcome {
+    let mut mismatch = Vec::new();
+    let mut ident = |name: &str, a: &dyn std::fmt::Display, b: &dyn std::fmt::Display| {
+        let (a, b) = (a.to_string(), b.to_string());
+        if a != b {
+            mismatch.push(format!("{name}: baseline {a:?} vs new {b:?}"));
+        }
+    };
+    ident("vertices", &base.vertices, &new.vertices);
+    ident("edges", &base.edges, &new.edges);
+    ident("sockets", &base.sockets, &new.sockets);
+    ident("threads", &base.threads, &new.threads);
+    ident("vis", &base.vis, &new.vis);
+    ident("scheduling", &base.scheduling, &new.scheduling);
+    ident("direction", &base.direction, &new.direction);
+    ident("queries", &base.queries.len(), &new.queries.len());
+
+    let mut checks = Vec::new();
+    let ratio_drop = |b: f64, n: f64| if b > 0.0 { (b - n) / b } else { 0.0 };
+    let ratio_rise = |b: f64, n: f64| if b > 0.0 { (n - b) / b } else { 0.0 };
+
+    let (b, n) = (base.harmonic_mteps(), new.harmonic_mteps());
+    checks.push(CompareCheck {
+        name: "harmonic_mteps".into(),
+        baseline: b,
+        new: n,
+        delta: ratio_drop(b, n),
+        limit: t.max_mteps_drop,
+        pass: ratio_drop(b, n) <= t.max_mteps_drop,
+    });
+    for p in [50.0, 99.0] {
+        let (b, n) = (base.latency_percentile_ms(p), new.latency_percentile_ms(p));
+        checks.push(CompareCheck {
+            name: format!("latency_p{}_ms", p as u32),
+            baseline: b,
+            new: n,
+            delta: ratio_rise(b, n),
+            limit: t.max_latency_rise,
+            pass: ratio_rise(b, n) <= t.max_latency_rise,
+        });
+    }
+    let (b, n) = (base.bottom_up_fraction(), new.bottom_up_fraction());
+    let drift = (n - b).abs();
+    checks.push(CompareCheck {
+        name: "bottom_up_fraction".into(),
+        baseline: b,
+        new: n,
+        delta: drift,
+        limit: t.max_direction_drift,
+        pass: drift <= t.max_direction_drift,
+    });
+
+    let pass = checks.iter().all(|c| c.pass) && (allow_mismatch || mismatch.is_empty());
+    CompareOutcome {
+        checks,
+        workload_mismatch: mismatch,
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(mteps: &[f64], latencies: &[f64], bu: &[u32]) -> RunReport {
+        RunReport {
+            schema: SCHEMA.into(),
+            graph: "g.fbfs".into(),
+            vertices: 1024,
+            edges: 16384,
+            sockets: 1,
+            lanes_per_socket: 2,
+            threads: 2,
+            vis: "bit".into(),
+            scheduling: "load-balanced".into(),
+            direction: "auto".into(),
+            git_rev: None,
+            rustc: None,
+            host_cores: None,
+            llc_bytes: None,
+            metrics: None,
+            queries: mteps
+                .iter()
+                .zip(latencies)
+                .zip(bu)
+                .enumerate()
+                .map(|(i, ((&m, &l), &b))| QueryReport {
+                    query: i,
+                    root: i as u32,
+                    depth: 10,
+                    visited_vertices: 1000,
+                    traversed_edges: 16000,
+                    latency_ms: l,
+                    mteps: m,
+                    bottom_up_steps: b,
+                    directions: Vec::new(),
+                })
+                .collect(),
+            batch: None,
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(&[100.0, 120.0, 80.0], &[1.0, 0.8, 1.4], &[3, 3, 3]);
+        let out = compare(&r, &r, &CompareThresholds::default(), false);
+        assert!(out.pass, "{}", out.render_text());
+        assert!(out.workload_mismatch.is_empty());
+        assert!(out.checks.iter().all(|c| c.delta.abs() < 1e-12));
+    }
+
+    #[test]
+    fn synthetic_mteps_regression_fails() {
+        let base = report(&[100.0, 100.0], &[1.0, 1.0], &[0, 0]);
+        // 15% harmonic-MTEPS drop: past the default 10% gate.
+        let slow = report(&[85.0, 85.0], &[1.0, 1.0], &[0, 0]);
+        let out = compare(&base, &slow, &CompareThresholds::default(), false);
+        assert!(!out.pass);
+        let c = &out.checks[0];
+        assert_eq!(c.name, "harmonic_mteps");
+        assert!(!c.pass);
+        assert!((c.delta - 0.15).abs() < 1e-9);
+        // Improvements never fail.
+        let fast = report(&[200.0, 200.0], &[0.5, 0.5], &[0, 0]);
+        assert!(compare(&base, &fast, &CompareThresholds::default(), false).pass);
+    }
+
+    #[test]
+    fn latency_and_direction_gates_trip() {
+        let base = report(&[100.0; 4], &[1.0, 1.0, 1.0, 2.0], &[0, 0, 0, 0]);
+        let spiky = report(&[100.0; 4], &[1.0, 1.0, 1.0, 3.0], &[0, 0, 0, 0]);
+        let out = compare(&base, &spiky, &CompareThresholds::default(), false);
+        assert!(!out.pass, "p99 went 2.0 -> 3.0 ms");
+        assert!(out
+            .checks
+            .iter()
+            .any(|c| c.name == "latency_p99_ms" && !c.pass));
+
+        let drifted = report(&[100.0; 4], &[1.0, 1.0, 1.0, 2.0], &[5, 5, 5, 5]);
+        let out = compare(&base, &drifted, &CompareThresholds::default(), false);
+        assert!(!out.pass, "bottom-up fraction went 0 -> 0.5");
+        assert!(out
+            .checks
+            .iter()
+            .any(|c| c.name == "bottom_up_fraction" && !c.pass));
+    }
+
+    #[test]
+    fn workload_mismatch_fails_unless_allowed() {
+        let base = report(&[100.0], &[1.0], &[0]);
+        let mut other = report(&[100.0], &[1.0], &[0]);
+        other.vertices = 2048;
+        other.vis = "byte".into();
+        let strict = compare(&base, &other, &CompareThresholds::default(), false);
+        assert!(!strict.pass);
+        assert_eq!(strict.workload_mismatch.len(), 2);
+        let relaxed = compare(&base, &other, &CompareThresholds::default(), true);
+        assert!(relaxed.pass);
+    }
+
+    #[test]
+    fn harmonic_falls_back_to_query_rows() {
+        let mut r = report(&[50.0, 200.0], &[1.0, 1.0], &[0, 0]);
+        // harmonic(50, 200) = 80.
+        assert!((r.harmonic_mteps() - 80.0).abs() < 1e-9);
+        r.batch = Some(BatchReport {
+            queries: 2,
+            elapsed_ms: 2.0,
+            queries_per_sec: 1000.0,
+            mean_mteps: 125.0,
+            harmonic_mteps: 80.0,
+        });
+        assert_eq!(r.harmonic_mteps(), 80.0);
+    }
+
+    #[test]
+    fn report_roundtrips_and_captures_environment() {
+        let mut r = report(&[100.0], &[1.0], &[2]);
+        r.capture_environment();
+        // rustc exists in this build environment; git_rev may or may not.
+        assert!(r.rustc.as_deref().is_some_and(|s| s.contains("rustc")));
+        assert!(r.host_cores.unwrap_or(0) > 0);
+        let text = r.to_json().unwrap();
+        let back: RunReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.queries.len(), 1);
+        assert_eq!(back.rustc, r.rustc);
+    }
+}

@@ -3,13 +3,14 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
+use bfs_bench::report::{compare, BatchReport, CompareThresholds, QueryReport, RunReport, SCHEMA};
 use bfs_core::direction::{DEFAULT_ALPHA, DEFAULT_BETA};
 use bfs_core::engine::{BfsEngine, BfsOptions, BfsOutput, Scheduling};
 use bfs_core::serial::serial_bfs;
 use bfs_core::session::BfsSession;
 use bfs_core::sim::{simulate_bfs, simulate_bfs_traced, SimBfsConfig};
 use bfs_core::validate::validate_bfs_tree;
-use bfs_core::{Direction, DirectionPolicy, TraversalStats, VisScheme};
+use bfs_core::{Direction, DirectionPolicy, VisScheme};
 use bfs_graph::gen::grid::{grid3d_stencil, road_network, Stencil};
 use bfs_graph::gen::proxy::ProxySpec;
 use bfs_graph::gen::rmat::{rmat, RmatConfig};
@@ -20,10 +21,11 @@ use bfs_graph::rng::rng_from_seed;
 use bfs_graph::stats::{nth_non_isolated, random_roots, summarize};
 use bfs_graph::CsrGraph;
 use bfs_memsim::{BandwidthSpec, MachineConfig};
+use bfs_metrics::{AttributionContext, AttributionReport, MetricsSnapshot};
 use bfs_model::{predict, GraphParams, MachineSpec};
 use bfs_multinode::{DistBfs, DistOptions};
 use bfs_platform::Topology;
-use bfs_trace::{JsonlSink, RingSink, TeeSink};
+use bfs_trace::{JsonlSink, RingSink, TeeSink, TraceEvent, TraceSink};
 use serde::Serialize;
 
 use crate::opts::Opts;
@@ -52,11 +54,24 @@ subcommands:
                                    harmonic-mean MTEPS)
   trace    traced traversal        (-i FILE | --family ... [gen flags]) [same engine flags]
                                    [--out FILE.jsonl] [--with-sim] — per-step events + summary
+  metrics  model-vs-measured       (-i FILE | --family ... [gen flags]) [same engine flags]
+           attribution             [--sources N] [--seed K] [--model-alpha A]
+                                   [--format text|json|prom] — run a warm batch, then
+                                   join the always-on metrics registry against the §IV
+                                   model: achieved vs predicted GB/s per phase and per
+                                   step, per-socket load imbalance
   sim      simulated X5570 run     -i FILE [--source V] [--shrink F] [same engine flags]
   model    analytical prediction   --vertices N --degree D --depth DEP
                                    [--visited N] [--edges E] [--alpha A] [--sockets S]
   dist     multi-node traversal    -i FILE [--nodes N] [--no-dedup] [--source V] [--validate]
   convert  text <-> binary         -i FILE -o FILE
+  bench-compare                    BASELINE.json NEW.json — regression gate over two
+           perf regression gate    fastbfs-run-v1 reports (from run --json): harmonic
+                                   MTEPS, p50/p99 latency, direction-decision drift;
+                                   exits nonzero past threshold
+                                   [--max-mteps-drop F] [--max-latency-rise F]
+                                   [--max-direction-drift F] (fractions, defaults
+                                   0.10/0.25/0.25) [--allow-mismatch] [--quiet]
 ";
 
 fn load_graph(path: &str) -> Result<CsrGraph, String> {
@@ -214,94 +229,37 @@ pub fn info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// One query's row in the `--json` report.
-#[derive(Serialize)]
-struct QueryReport {
-    query: usize,
-    root: u32,
-    depth: u32,
-    visited_vertices: u64,
-    traversed_edges: u64,
-    latency_ms: f64,
-    mteps: f64,
-    bottom_up_steps: u32,
-    /// Per-level direction decisions, `"top-down"`/`"bottom-up"`, aligned
-    /// with BFS steps 1..=depth.
-    directions: Vec<String>,
+/// Seeds a [`RunReport`] (the shared `fastbfs-run-v1` schema from
+/// `bfs_bench::report`) from the CLI options, with the environment header —
+/// git revision, rustc, host cores, LLC size — already captured.
+fn new_report(o: &Opts, g: &CsrGraph, topo: Topology) -> RunReport {
+    let mut r = RunReport {
+        schema: SCHEMA.to_string(),
+        graph: o.get("i").unwrap_or("").to_string(),
+        vertices: g.num_vertices() as u64,
+        edges: g.num_edges(),
+        sockets: topo.sockets,
+        lanes_per_socket: topo.lanes_per_socket,
+        threads: topo.total_threads(),
+        vis: o.get("vis").unwrap_or("bit").to_string(),
+        scheduling: o.get("scheduling").unwrap_or("load-balanced").to_string(),
+        direction: o.get("direction").unwrap_or("auto").to_string(),
+        git_rev: None,
+        rustc: None,
+        host_cores: None,
+        llc_bytes: Some(topo.llc_bytes),
+        metrics: None,
+        queries: Vec::new(),
+        batch: None,
+    };
+    r.capture_environment();
+    r
 }
 
-impl QueryReport {
-    fn new(query: usize, root: u32, stats: &TraversalStats) -> Self {
-        QueryReport {
-            query,
-            root,
-            depth: stats.steps,
-            visited_vertices: stats.visited_vertices,
-            traversed_edges: stats.traversed_edges,
-            latency_ms: stats.total_time.as_secs_f64() * 1e3,
-            mteps: stats.mteps(),
-            bottom_up_steps: stats.bottom_up_steps(),
-            directions: stats
-                .step_directions
-                .iter()
-                .map(|d| d.as_str().to_string())
-                .collect(),
-        }
-    }
-}
-
-/// Batch-level aggregates in the `--json` report (multi-source runs only).
-#[derive(Serialize)]
-struct BatchReport {
-    queries: usize,
-    elapsed_ms: f64,
-    queries_per_sec: f64,
-    mean_mteps: f64,
-    harmonic_mteps: f64,
-}
-
-/// Top-level `--json` report for `fastbfs run`.
-#[derive(Serialize)]
-struct RunReport {
-    schema: String,
-    graph: String,
-    vertices: u64,
-    edges: u64,
-    sockets: usize,
-    lanes_per_socket: usize,
-    threads: usize,
-    vis: String,
-    scheduling: String,
-    direction: String,
-    queries: Vec<QueryReport>,
-    batch: Option<BatchReport>,
-}
-
-impl RunReport {
-    fn new(o: &Opts, g: &CsrGraph, topo: Topology) -> RunReport {
-        RunReport {
-            schema: "fastbfs-run-v1".to_string(),
-            graph: o.get("i").unwrap_or("").to_string(),
-            vertices: g.num_vertices() as u64,
-            edges: g.num_edges(),
-            sockets: topo.sockets,
-            lanes_per_socket: topo.lanes_per_socket,
-            threads: topo.sockets * topo.lanes_per_socket,
-            vis: o.get("vis").unwrap_or("bit").to_string(),
-            scheduling: o.get("scheduling").unwrap_or("load-balanced").to_string(),
-            direction: o.get("direction").unwrap_or("auto").to_string(),
-            queries: Vec::new(),
-            batch: None,
-        }
-    }
-
-    fn write(&self, path: &str) -> Result<(), String> {
-        let mut text = serde_json::to_string_pretty(self).map_err(|e| format!("--json: {e}"))?;
-        text.push('\n');
-        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
-        println!("wrote {} queries to {path}", self.queries.len());
-        Ok(())
-    }
+fn write_report(report: &RunReport, path: &str) -> Result<(), String> {
+    report.write(path)?;
+    println!("wrote {} queries to {path}", report.queries.len());
+    Ok(())
 }
 
 /// `fastbfs run`
@@ -316,7 +274,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
     let src = pick_source(&g, &o)?;
     let runs: usize = o.num("runs", 1)?;
-    let engine = BfsEngine::new(&g, topo, engine_options(&o)?);
+    let mut engine = BfsEngine::new(&g, topo, engine_options(&o)?);
     println!(
         "engine: {} sockets x {} lanes, N_VIS {}, N_PBV {}",
         topo.sockets,
@@ -324,7 +282,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         engine.geometry().n_vis,
         engine.geometry().n_bins
     );
-    let mut report = RunReport::new(&o, &g, topo);
+    let mut report = new_report(&o, &g, topo);
     for k in 0..runs {
         let out = engine.run(src);
         println!(
@@ -350,7 +308,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         report.queries.push(QueryReport::new(k, src, &out.stats));
     }
     if let Some(path) = o.get("json") {
-        report.write(path)?;
+        report.metrics = Some(engine.metrics_snapshot());
+        write_report(&report, path)?;
     }
     Ok(())
 }
@@ -378,7 +337,7 @@ fn run_batch(g: &CsrGraph, topo: Topology, o: &Opts) -> Result<(), String> {
     );
     let mut out = BfsOutput::default();
     let mut mteps = Vec::with_capacity(roots.len());
-    let mut report = RunReport::new(o, g, topo);
+    let mut report = new_report(o, g, topo);
     let batch_start = std::time::Instant::now();
     for (k, &root) in roots.iter().enumerate() {
         session.run_reusing(root, &mut out);
@@ -427,7 +386,8 @@ fn run_batch(g: &CsrGraph, topo: Topology, o: &Opts) -> Result<(), String> {
             mean_mteps: mean,
             harmonic_mteps: harmonic,
         });
-        report.write(path)?;
+        report.metrics = Some(session.metrics_snapshot());
+        write_report(&report, path)?;
     }
     Ok(())
 }
@@ -444,7 +404,7 @@ pub fn trace(args: &[String]) -> Result<(), String> {
     let sockets: usize = o.num("sockets", 1)?;
     let threads: usize = o.num("threads", bfs_platform::pin::host_cores())?;
     let topo = Topology::synthetic(sockets, threads.div_ceil(sockets).max(1));
-    let engine = BfsEngine::new(&g, topo, engine_options(&o)?);
+    let mut engine = BfsEngine::new(&g, topo, engine_options(&o)?);
 
     // Everything lands in the ring (for the summary); --out tees a JSONL
     // stream alongside.
@@ -473,6 +433,16 @@ pub fn trace(args: &[String]) -> Result<(), String> {
             None => simulate_bfs_traced(&g, &cfg, src, &ring),
         };
     }
+    // The registry snapshot closes the stream: consumers get the run's
+    // cumulative counters next to its per-step events.
+    let metrics_event = TraceEvent::Metrics(bfs_metrics::snapshot_to_trace_event(
+        &engine.metrics_snapshot(),
+        "trace",
+    ));
+    match &jsonl {
+        Some(j) => TeeSink::new(&ring, j).record(&metrics_event),
+        None => ring.record(&metrics_event),
+    }
     if let Some(j) = jsonl {
         if j.errors() > 0 {
             return Err(format!("{} JSONL write errors", j.errors()));
@@ -490,6 +460,121 @@ pub fn trace(args: &[String]) -> Result<(), String> {
     );
     println!("{}", bfs_trace::summarize(&ring.snapshot()));
     Ok(())
+}
+
+/// What `fastbfs metrics --format json` emits: the attribution joined with
+/// the raw registry snapshot it was computed from.
+#[derive(Serialize)]
+struct MetricsCliReport {
+    attribution: AttributionReport,
+    metrics: MetricsSnapshot,
+}
+
+/// `fastbfs metrics`: run a warm multi-source batch with the always-on
+/// registry recording, trace the final query through a ring sink for
+/// per-step rows, then join everything against the §IV model.
+pub fn metrics(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["no-rearrange"])?;
+    let g = match o.get("i") {
+        Some(path) => load_graph(path)?,
+        None if o.get("family").is_some() => generate_family(&o)?,
+        None => return Err("metrics needs -i FILE or --family ...".into()),
+    };
+    let sockets: usize = o.num("sockets", 1)?;
+    let threads: usize = o.num("threads", bfs_platform::pin::host_cores())?;
+    let topo = Topology::synthetic(sockets, threads.div_ceil(sockets).max(1));
+    let count: usize = o.num("sources", 8)?;
+    let seed: u64 = o.num("seed", 42)?;
+    let roots = random_roots(&g, count, seed);
+    if roots.is_empty() {
+        return Err("graph has no edges".into());
+    }
+    let format = o.get("format").unwrap_or("text");
+    if !matches!(format, "text" | "json" | "prom") {
+        return Err(format!("unknown --format {format:?} (text|json|prom)"));
+    }
+
+    let mut session = BfsSession::new(&g, topo, engine_options(&o)?);
+    let mut out = BfsOutput::default();
+    let ring = RingSink::new(65536);
+    for (k, &root) in roots.iter().enumerate() {
+        if k + 1 == roots.len() {
+            session.run_traced_reusing(root, &ring, &mut out);
+        } else {
+            session.run_reusing(root, &mut out);
+        }
+    }
+    let snap = session.metrics_snapshot();
+
+    let machine = MachineSpec {
+        sockets: topo.sockets,
+        ..MachineSpec::xeon_x5570_2s()
+    };
+    let alpha: f64 = o.num("model-alpha", 0.5)?;
+    let ctx = AttributionContext {
+        machine: &machine,
+        num_vertices: g.num_vertices() as u64,
+        lanes_per_socket: topo.lanes_per_socket,
+        alpha: alpha.max(1.0 / topo.sockets as f64),
+    };
+    let events = ring.snapshot();
+    let attribution = AttributionReport::build(&snap, &events, &ctx);
+
+    match format {
+        "json" => {
+            let r = MetricsCliReport {
+                attribution,
+                metrics: snap,
+            };
+            let text =
+                serde_json::to_string_pretty(&r).map_err(|e| format!("metrics to JSON: {e}"))?;
+            println!("{text}");
+        }
+        "prom" => print!("{}", bfs_metrics::prom::render(&snap)),
+        _ => print!("{}", attribution.render_text(&snap)),
+    }
+    Ok(())
+}
+
+/// `fastbfs bench-compare BASELINE.json NEW.json`: the perf regression
+/// gate. Diffs two `fastbfs run --json` reports and errors (→ exit 1) when
+/// the new one regresses past the thresholds or describes a different
+/// workload.
+pub fn bench_compare(args: &[String]) -> Result<(), String> {
+    // Leading non-flag tokens are the two positional report paths
+    // (`Opts::parse` accepts flags only).
+    let positional: Vec<&String> = args.iter().take_while(|a| !a.starts_with('-')).collect();
+    let &[baseline_path, new_path] = &positional[..] else {
+        return Err("bench-compare needs exactly two report paths (try --help)".into());
+    };
+    let o = Opts::parse(&args[2..], &["allow-mismatch", "quiet"])?;
+    let thresholds = CompareThresholds {
+        max_mteps_drop: o.num(
+            "max-mteps-drop",
+            CompareThresholds::default().max_mteps_drop,
+        )?,
+        max_latency_rise: o.num(
+            "max-latency-rise",
+            CompareThresholds::default().max_latency_rise,
+        )?,
+        max_direction_drift: o.num(
+            "max-direction-drift",
+            CompareThresholds::default().max_direction_drift,
+        )?,
+    };
+    let baseline = RunReport::read(baseline_path)?;
+    let new = RunReport::read(new_path)?;
+    let outcome = compare(&baseline, &new, &thresholds, o.has("allow-mismatch"));
+    if !o.has("quiet") {
+        print!("{}", outcome.render_text());
+    }
+    if outcome.pass {
+        Ok(())
+    } else {
+        Err(format!(
+            "regression gate failed: {new_path} vs {baseline_path}"
+        ))
+    }
 }
 
 /// `fastbfs sim`
@@ -746,9 +831,14 @@ mod tests {
             .iter()
             .filter(|e| matches!(e, TraceEvent::MemStep(_)))
             .count();
+        let metric_snaps = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Metrics(_)))
+            .count();
         assert_eq!(runs, 2, "one engine run event + one memsim run event");
         assert!(steps >= 1, "one step event per BFS level");
         assert!(mem >= 1, "--with-sim adds per-step traffic events");
+        assert_eq!(metric_snaps, 1, "the registry snapshot closes the stream");
         std::fs::remove_file(&path).ok();
     }
 
@@ -794,6 +884,102 @@ mod tests {
         assert!(parse_vis("wrong").is_err());
         assert!(parse_scheduling("wrong").is_err());
         assert!(model(&s(&[])).is_err());
+    }
+
+    #[test]
+    fn metrics_command_all_formats() {
+        for format in ["text", "json", "prom"] {
+            metrics(&s(&[
+                "--family",
+                "ur",
+                "--vertices",
+                "600",
+                "--degree",
+                "6",
+                "--sources",
+                "3",
+                "--threads",
+                "2",
+                "--format",
+                format,
+            ]))
+            .unwrap();
+        }
+        assert!(metrics(&s(&["--family", "ur", "--format", "csv"])).is_err());
+        assert!(metrics(&s(&["--sources", "2"])).is_err(), "needs a graph");
+    }
+
+    #[test]
+    fn bench_compare_gates_on_regression() {
+        let path = tmp("g8.fbfs");
+        let base = tmp("base.json");
+        let slow = tmp("slow.json");
+        gen(&s(&[
+            "--family",
+            "ur",
+            "--vertices",
+            "500",
+            "--degree",
+            "5",
+            "-o",
+            &path,
+        ]))
+        .unwrap();
+        run(&s(&[
+            "-i",
+            &path,
+            "--sources",
+            "4",
+            "--threads",
+            "2",
+            "--json",
+            &base,
+        ]))
+        .unwrap();
+
+        // Identical reports pass the gate.
+        bench_compare(&s(&[&base, &base])).unwrap();
+        bench_compare(&s(&[&base, &base, "--quiet", "--max-mteps-drop", "0.01"])).unwrap();
+
+        // A synthetic 20% harmonic-MTEPS regression trips the default 10%
+        // gate: scale every query's mteps down (and latency up) in a copy.
+        let mut slow_report = RunReport::read(&base).unwrap();
+        for q in &mut slow_report.queries {
+            q.mteps *= 0.8;
+            q.latency_ms /= 0.8;
+        }
+        if let Some(b) = &mut slow_report.batch {
+            b.harmonic_mteps *= 0.8;
+        }
+        slow_report.write(&slow).unwrap();
+        assert!(
+            bench_compare(&s(&[&base, &slow, "--quiet"])).is_err(),
+            "20% MTEPS drop must fail the default gate"
+        );
+        // ...but passes when the caller widens the thresholds.
+        bench_compare(&s(&[
+            &base,
+            &slow,
+            "--quiet",
+            "--max-mteps-drop",
+            "0.5",
+            "--max-latency-rise",
+            "0.5",
+        ]))
+        .unwrap();
+
+        // Workload mismatch fails strict mode, passes with --allow-mismatch.
+        let mut other = RunReport::read(&base).unwrap();
+        other.threads = 64;
+        other.write(&slow).unwrap();
+        assert!(bench_compare(&s(&[&base, &slow, "--quiet"])).is_err());
+        bench_compare(&s(&[&base, &slow, "--quiet", "--allow-mismatch"])).unwrap();
+
+        assert!(bench_compare(&s(&[&base])).is_err(), "needs two paths");
+        assert!(bench_compare(&s(&["/no/such.json", &base])).is_err());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&base).ok();
+        std::fs::remove_file(&slow).ok();
     }
 
     #[test]

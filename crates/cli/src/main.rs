@@ -5,6 +5,8 @@
 //! fastbfs info  -i graph.fbfs
 //! fastbfs run   -i graph.fbfs --runs 5 --validate
 //! fastbfs trace --family rmat --scale 16 --out trace.jsonl
+//! fastbfs metrics --family rmat --scale 16 --sources 8 --format json
+//! fastbfs bench-compare baseline.json new.json --max-mteps-drop 0.1
 //! fastbfs sim   -i graph.fbfs --scheduling load-balanced
 //! fastbfs model --vertices 8388608 --degree 8 --depth 6 --alpha 0.6
 //! fastbfs dist  -i graph.fbfs --nodes 8
@@ -28,6 +30,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("info") => cmd::info(&args[1..]),
         Some("run") => cmd::run(&args[1..]),
         Some("trace") => cmd::trace(&args[1..]),
+        Some("metrics") => cmd::metrics(&args[1..]),
+        Some("bench-compare") => cmd::bench_compare(&args[1..]),
         Some("sim") => cmd::sim(&args[1..]),
         Some("model") => cmd::model(&args[1..]),
         Some("dist") => cmd::dist(&args[1..]),

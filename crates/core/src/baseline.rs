@@ -262,6 +262,7 @@ fn emit_baseline_step(
         direction: None,
         threads,
         bin_occupancy: Vec::new(),
+        scattered: None,
     }));
 }
 

@@ -61,6 +61,13 @@ impl Direction {
     }
 }
 
+/// Number of per-level direction changes in a run's step-direction log
+/// (the `direction_switches` metric; 0 for forced policies and for runs
+/// the adaptive policy kept in one kernel).
+pub fn count_switches(dirs: &[Direction]) -> u64 {
+    dirs.windows(2).filter(|w| w[0] != w[1]).count() as u64
+}
+
 /// Per-level direction selection.
 ///
 /// The engine default is [`ForcedTopDown`](DirectionPolicy::ForcedTopDown):

@@ -24,12 +24,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use bfs_graph::CsrGraph;
+use bfs_metrics::{Counter as Metric, Hist as MetricHist, MetricsRegistry, MetricsSnapshot};
 use bfs_platform::{SocketPool, Topology};
 use bfs_trace::{NoopSink, RunEvent, StepEvent, ThreadStep, TraceEvent, TraceSink};
 
 use crate::balance::{divide_even, divide_static, Segment, Stream};
 use crate::cell::ThreadOwned;
-use crate::direction::{DecisionInputs, Direction, DirectionPolicy, FrontierBitmap};
+use crate::direction::{
+    count_switches, DecisionInputs, Direction, DirectionPolicy, FrontierBitmap,
+};
 use crate::dp::{DepthParent, INF_DEPTH};
 use crate::frontier::rearrange_frontier;
 use crate::pbv::{decode_window, BinGeometry, BinSet, PbvEncoding, ResolvedEncoding};
@@ -112,9 +115,18 @@ struct Counters {
     enqueued: u64,
     binning_ops: u64,
     edge_checks: u64,
+    /// Neighbors scattered (binned or directly expanded) on top-down levels.
+    scattered: u64,
+    /// `(parent, v)` entries decoded from PBV bins in Phase II.
+    bin_entries: u64,
     phase1: Duration,
     phase2: Duration,
+    /// The bottom-up share of `phase2` (the metrics registry reports the
+    /// two kernels separately; `TraversalStats` keeps the combined view).
+    bottom_up: Duration,
     rearrange: Duration,
+    /// Nanoseconds spent waiting at the three per-step barriers.
+    barrier_ns: u64,
 }
 
 /// Per-thread, per-step measurements, overwritten each step. The owning
@@ -128,6 +140,7 @@ struct StepScratch {
     rearrange_ns: u64,
     enqueued: u64,
     edge_checks: u64,
+    scattered: u64,
 }
 
 /// Per-run traversal state: the `DP`/`VIS` arrays, every per-thread
@@ -302,6 +315,9 @@ pub struct BfsEngine<'g> {
     options: BfsOptions,
     geometry: BinGeometry,
     encoding: ResolvedEncoding,
+    /// Always-on sharded metrics: one padded slot per pool thread plus a
+    /// driver slot; workers flush their private counters at region exit.
+    metrics: MetricsRegistry,
 }
 
 impl<'g> BfsEngine<'g> {
@@ -327,6 +343,7 @@ impl<'g> BfsEngine<'g> {
             options,
             geometry,
             encoding,
+            metrics: MetricsRegistry::new(topology.total_threads()),
         }
     }
 
@@ -343,6 +360,17 @@ impl<'g> BfsEngine<'g> {
     /// The options in effect.
     pub fn options(&self) -> &BfsOptions {
         &self.options
+    }
+
+    /// Merged view of the always-on metrics registry. `&mut self` proves no
+    /// traversal is in flight, so the merge needs no synchronization.
+    pub fn metrics_snapshot(&mut self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Zeroes every metrics slot (counters and histograms).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset()
     }
 
     /// Runs a traversal from `source`.
@@ -429,13 +457,21 @@ impl<'g> BfsEngine<'g> {
 
         let counters = self.pool.run(|ctx| {
             let tid = ctx.thread_id;
+            // Held for the whole region: per-step histogram observations go
+            // straight to the thread's padded slot; counter totals flush
+            // once at region exit. No allocation on this path.
+            let mut mw = self.metrics.writer(tid);
             let mut c = Counters {
                 enqueued: 0,
                 binning_ops: 0,
                 edge_checks: 0,
+                scattered: 0,
+                bin_entries: 0,
                 phase1: Duration::ZERO,
                 phase2: Duration::ZERO,
+                bottom_up: Duration::ZERO,
                 rearrange: Duration::ZERO,
+                barrier_ns: 0,
             };
             // Direction of the level being executed. Every thread evaluates
             // the same pure decision on accumulators that are stable between
@@ -465,6 +501,7 @@ impl<'g> BfsEngine<'g> {
                     totals[(step & 1) as usize].store(0, Ordering::Relaxed);
                     edge_totals[(step & 1) as usize].store(0, Ordering::Relaxed);
                 }
+                let scattered_before = c.scattered;
                 let p1 = Instant::now();
                 match dir {
                     // Bottom-up "Phase I": publish this thread's sparse
@@ -502,7 +539,7 @@ impl<'g> BfsEngine<'g> {
                 }
                 let d1 = p1.elapsed();
                 c.phase1 += d1;
-                ctx.barrier();
+                c.barrier_ns += ctx.timed_barrier().1;
 
                 let mut d2 = Duration::ZERO;
                 let checks_before = c.edge_checks;
@@ -512,6 +549,7 @@ impl<'g> BfsEngine<'g> {
                         self.bottom_up_step(tid, nthreads, state, step, &mut c);
                         d2 = p2.elapsed();
                         c.phase2 += d2;
+                        c.bottom_up += d2;
                     }
                     Direction::TopDown
                         if self.options.scheduling != Scheduling::NoMultiSocketOpt =>
@@ -573,6 +611,7 @@ impl<'g> BfsEngine<'g> {
                     0
                 };
                 c.enqueued += mine;
+                mw.observe(MetricHist::StepNs, (d1 + d2 + dr).as_nanos() as u64);
                 if tracing {
                     state.step_scratch.with_mut(tid, |s| {
                         *s = StepScratch {
@@ -581,6 +620,7 @@ impl<'g> BfsEngine<'g> {
                             rearrange_ns: dr.as_nanos() as u64,
                             enqueued: mine,
                             edge_checks: c.edge_checks - checks_before,
+                            scattered: c.scattered - scattered_before,
                         };
                     });
                 }
@@ -589,7 +629,7 @@ impl<'g> BfsEngine<'g> {
                     edge_totals[(step & 1) as usize].fetch_add(mine_edges, Ordering::Relaxed);
                     explored.fetch_add(mine_edges, Ordering::Relaxed);
                 }
-                ctx.barrier();
+                c.barrier_ns += ctx.timed_barrier().1;
                 let total = totals[(step & 1) as usize].load(Ordering::Relaxed);
                 if tid == 0 && total > 0 {
                     state.frontier_log.with_mut(0, |log| log.push(total));
@@ -624,12 +664,24 @@ impl<'g> BfsEngine<'g> {
                         next.clear();
                     });
                 });
-                ctx.barrier();
+                c.barrier_ns += ctx.timed_barrier().1;
                 if total == 0 {
                     break;
                 }
                 step += 1;
             }
+            // Flush the region's thread-scope totals into this thread's
+            // metrics slot: ten plain adds, once per query.
+            mw.add(Metric::Phase1Ns, c.phase1.as_nanos() as u64);
+            mw.add(Metric::Phase2Ns, (c.phase2 - c.bottom_up).as_nanos() as u64);
+            mw.add(Metric::BottomUpNs, c.bottom_up.as_nanos() as u64);
+            mw.add(Metric::RearrangeNs, c.rearrange.as_nanos() as u64);
+            mw.add(Metric::BarrierNs, c.barrier_ns);
+            mw.add(Metric::ScatteredEdges, c.scattered);
+            mw.add(Metric::BinEntries, c.bin_entries);
+            mw.add(Metric::EdgeChecks, c.edge_checks);
+            mw.add(Metric::Enqueued, c.enqueued);
+            mw.add(Metric::BinningOps, c.binning_ops);
             c
         });
 
@@ -674,6 +726,35 @@ impl<'g> BfsEngine<'g> {
             total_time,
             binning_ops: counters.iter().map(|c| c.binning_ops).sum(),
         };
+
+        // Driver-scope metrics: recorded once per query from the finished
+        // stats, so the hot loop carries no driver-side work at all.
+        let stats = &out.stats;
+        let mut dm = self.metrics.driver();
+        let td_steps = stats
+            .step_directions
+            .iter()
+            .filter(|d| **d == Direction::TopDown)
+            .count() as u64;
+        dm.add(Metric::Queries, 1);
+        dm.add(Metric::QueryNs, total_time.as_nanos() as u64);
+        dm.add(Metric::Steps, stats.steps as u64);
+        dm.add(Metric::TopDownSteps, td_steps);
+        dm.add(
+            Metric::BottomUpSteps,
+            stats.step_directions.len() as u64 - td_steps,
+        );
+        dm.add(
+            Metric::DirectionSwitches,
+            count_switches(&stats.step_directions),
+        );
+        dm.add(Metric::VisitedVertices, stats.visited_vertices);
+        dm.add(Metric::TraversedEdges, stats.traversed_edges);
+        dm.add(Metric::DuplicateEnqueues, stats.duplicate_enqueues);
+        dm.observe(MetricHist::QueryNs, total_time.as_nanos() as u64);
+        for &f in &stats.frontier_sizes {
+            dm.observe(MetricHist::FrontierSize, f);
+        }
     }
 
     /// Assembles and records the step's [`StepEvent`] on the leader, between
@@ -725,6 +806,13 @@ impl<'g> BfsEngine<'g> {
         let claimed = (0..self.graph.num_vertices() as u32)
             .filter(|&v| dp.depth(v) == step)
             .count() as u64;
+        // Bottom-up levels scatter nothing; `None` keeps the attribution
+        // report from treating them as zero-traffic top-down steps.
+        let scattered = (dir == Direction::TopDown).then(|| {
+            (0..nthreads)
+                .map(|t| step_scratch.read(t, |s| s.scattered))
+                .sum()
+        });
         sink.record(&TraceEvent::Step(StepEvent {
             step,
             frontier: total,
@@ -732,6 +820,7 @@ impl<'g> BfsEngine<'g> {
             direction: Some(dir.as_str().to_string()),
             threads,
             bin_occupancy,
+            scattered,
         }));
     }
 
@@ -784,6 +873,7 @@ impl<'g> BfsEngine<'g> {
                                 }
                             }
                             let neighbors = self.graph.neighbors(u);
+                            c.scattered += neighbors.len() as u64;
                             my_bins.begin_vertex(u);
                             c.binning_ops += bin_indices(
                                 self.options.bin_kernel,
@@ -813,7 +903,7 @@ impl<'g> BfsEngine<'g> {
         dp: &DepthParent,
         vis: &Vis,
         step: u32,
-        _c: &mut Counters,
+        c: &mut Counters,
     ) {
         let align = self.encoding.alignment();
         // Bin-major stream order: a part's share is contiguous in bin order,
@@ -849,6 +939,7 @@ impl<'g> BfsEngine<'g> {
                         seg.range.end,
                         self.encoding,
                         |parent, v| {
+                            c.bin_entries += 1;
                             if vis.definitely_visited_or_mark(v) {
                                 return;
                             }
@@ -967,7 +1058,7 @@ impl<'g> BfsEngine<'g> {
         dp: &DepthParent,
         vis: &Vis,
         step: u32,
-        _c: &mut Counters,
+        c: &mut Counters,
     ) {
         let streams: Vec<Stream> = (0..nthreads)
             .map(|t| Stream {
@@ -989,7 +1080,9 @@ impl<'g> BfsEngine<'g> {
                                 prefetch_slice_element(offsets, next_u as usize);
                             }
                         }
-                        for &v in self.graph.neighbors(u) {
+                        let neighbors = self.graph.neighbors(u);
+                        c.scattered += neighbors.len() as u64;
+                        for &v in neighbors {
                             if vis.definitely_visited_or_mark(v) {
                                 continue;
                             }
@@ -1475,5 +1568,72 @@ mod tests {
         );
         assert_eq!(engine.geometry().n_vis, 2);
         assert_eq!(engine.geometry().n_bins, 4);
+    }
+
+    #[test]
+    fn metrics_registry_records_phases_and_cross_checks() {
+        use bfs_metrics::{Counter, Hist};
+        let g = uniform_random(1 << 12, 8, &mut rng_from_seed(9));
+        let mut engine = BfsEngine::new(&g, Topology::synthetic(2, 2), BfsOptions::default());
+        let out = engine.run(0);
+        let snap = engine.metrics_snapshot();
+        assert_eq!(snap.total(Counter::Queries), 1);
+        assert_eq!(snap.total(Counter::Steps), out.stats.steps as u64);
+        assert_eq!(
+            snap.total(Counter::VisitedVertices),
+            out.stats.visited_vertices
+        );
+        assert_eq!(
+            snap.total(Counter::TraversedEdges),
+            out.stats.traversed_edges
+        );
+        // Forced top-down: no bottom-up work, and every scattered neighbor
+        // is decoded from a bin in Phase II — the two-phase invariant.
+        assert_eq!(snap.total(Counter::BottomUpSteps), 0);
+        assert_eq!(snap.total(Counter::BottomUpNs), 0);
+        assert_eq!(
+            snap.total(Counter::ScatteredEdges),
+            snap.total(Counter::BinEntries)
+        );
+        assert!(snap.total(Counter::ScatteredEdges) > 0);
+        assert!(snap.total(Counter::Phase1Ns) > 0);
+        assert!(snap.total(Counter::Phase2Ns) > 0);
+        assert!(snap.total(Counter::QueryNs) > 0);
+        // Per-step histogram: every thread observes once per loop iteration
+        // (the productive steps plus the final empty-frontier round).
+        assert_eq!(
+            snap.histogram(Hist::StepNs).count,
+            (out.stats.steps as u64 + 1) * 4
+        );
+        assert_eq!(snap.histogram(Hist::QueryNs).count, 1);
+        // A second query accumulates; reset zeroes.
+        engine.run(1);
+        let snap2 = engine.metrics_snapshot();
+        assert_eq!(snap2.total(Counter::Queries), 2);
+        engine.reset_metrics();
+        assert_eq!(engine.metrics_snapshot().total(Counter::Queries), 0);
+    }
+
+    #[test]
+    fn traced_steps_carry_scatter_counts() {
+        use bfs_trace::RingSink;
+        let g = uniform_random(1 << 10, 6, &mut rng_from_seed(3));
+        let engine = BfsEngine::new(&g, Topology::synthetic(1, 2), BfsOptions::default());
+        let ring = RingSink::new(4096);
+        engine.run_traced(0, &ring);
+        let steps: Vec<_> = ring
+            .snapshot()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Step(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert!(!steps.is_empty());
+        // Forced top-down: every step reports its scattered-neighbor count.
+        for s in &steps {
+            assert!(s.scattered.is_some(), "step {} lacks scattered", s.step);
+        }
+        assert!(steps.iter().any(|s| s.scattered.unwrap() > 0));
     }
 }

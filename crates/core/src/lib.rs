@@ -72,7 +72,7 @@ pub mod stats;
 pub mod validate;
 pub mod vis;
 
-pub use direction::{Direction, DirectionPolicy, FrontierBitmap};
+pub use direction::{count_switches, Direction, DirectionPolicy, FrontierBitmap};
 pub use dp::{DepthParent, INF_DEPTH};
 pub use engine::{BfsEngine, BfsOptions, BfsOutput, Scheduling};
 pub use pbv::PbvEncoding;

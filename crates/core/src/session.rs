@@ -97,6 +97,18 @@ impl<'g> BfsSession<'g> {
         self.state.runs()
     }
 
+    /// Merged view of the engine's always-on metrics registry (totals
+    /// accumulated across every query this session served since the last
+    /// [`reset_metrics`](Self::reset_metrics)).
+    pub fn metrics_snapshot(&mut self) -> bfs_metrics::MetricsSnapshot {
+        self.engine.metrics_snapshot()
+    }
+
+    /// Zeroes the engine's metrics registry.
+    pub fn reset_metrics(&mut self) {
+        self.engine.reset_metrics();
+    }
+
     /// Retained frontier/bin/scratch capacity in `u32` words — the
     /// high-water traversal footprint (excludes the fixed O(|V|) `DP`/`VIS`
     /// arrays).

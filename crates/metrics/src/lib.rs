@@ -1,0 +1,80 @@
+//! Always-on metrics for the fast-bfs reproduction.
+//!
+//! The paper's performance argument is a *bandwidth* argument: §IV predicts
+//! bytes-per-edge and cycles-per-edge for each phase of the two-phase
+//! algorithm, and §V validates the implementation by showing the measured
+//! numbers land within ~10% of those predictions. This crate makes that
+//! comparison a first-class, always-on artifact instead of a one-off
+//! experiment:
+//!
+//! * [`registry`] — the sharded [`MetricsRegistry`]: a fixed vocabulary of
+//!   19 counters + 3 power-of-two histograms, stored in one
+//!   cache-line-padded slot per engine thread (plus a driver slot). A
+//!   hot-path increment is a plain unsynchronized `u64` add into the
+//!   thread's own slot — no atomics, no locks, no allocation — which is
+//!   what lets the engine leave metrics on for every query.
+//! * [`snapshot`] — [`MetricsSnapshot`]: the merged, serializable view.
+//!   Taking one requires `&mut MetricsRegistry`, so the type system proves
+//!   no SPMD region is concurrently writing.
+//! * [`attribution`] — [`AttributionReport`]: the model-vs-measured join.
+//!   Measured per-phase busy time and work units are combined with the
+//!   §IV bytes-per-edge terms into achieved GB/s per phase, side by side
+//!   with the bandwidth the model says the phase should sustain; per-step
+//!   rows (from a trace) and per-socket load splits localize the gaps.
+//! * [`prom`] — Prometheus text exposition of a snapshot.
+//!
+//! Counter discipline: *thread-scope* counters (per-phase nanoseconds and
+//! traffic units) are accumulated in each worker's private locals during a
+//! query and flushed with a handful of [`MetricsWriter::add`] calls at
+//! region exit; *driver-scope* counters (query/step/traversal totals) are
+//! recorded once per query by the calling thread from the run's stats. The
+//! per-step histogram observation happens per thread per step — still just
+//! a few plain stores.
+
+pub mod attribution;
+pub mod prom;
+pub mod registry;
+pub mod snapshot;
+
+pub use attribution::{
+    AttributionContext, AttributionReport, PhaseAttribution, SocketLoad, StepAttribution,
+};
+pub use registry::{Counter, Hist, MetricsRegistry, MetricsWriter};
+pub use snapshot::{CounterSample, HistogramSnapshot, MetricsSnapshot, ThreadCounters};
+
+use bfs_trace::{MetricSample, MetricsEvent};
+
+/// Converts a snapshot's aggregated counters into a trace event, so JSONL
+/// traces can carry the registry totals alongside the per-step timeline.
+pub fn snapshot_to_trace_event(snap: &MetricsSnapshot, scope: &str) -> MetricsEvent {
+    MetricsEvent {
+        scope: scope.to_string(),
+        samples: snap
+            .counters
+            .iter()
+            .map(|c| MetricSample {
+                name: c.name.clone(),
+                value: c.value,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_converts_to_trace_event() {
+        let mut reg = MetricsRegistry::new(1);
+        {
+            let mut d = reg.driver();
+            d.add(Counter::Queries, 4);
+        }
+        let ev = snapshot_to_trace_event(&reg.snapshot(), "session");
+        assert_eq!(ev.scope, "session");
+        assert_eq!(ev.samples.len(), registry::NUM_COUNTERS);
+        let q = ev.samples.iter().find(|s| s.name == "queries").unwrap();
+        assert_eq!(q.value, 4);
+    }
+}

@@ -1,0 +1,150 @@
+//! Prometheus text exposition (version 0.0.4) of a [`MetricsSnapshot`].
+//!
+//! Naming: every series is prefixed `fastbfs_`. Aggregated counters become
+//! `fastbfs_<name>_total`; per-thread rows become
+//! `fastbfs_thread_<name>_total{thread="i"}`; histograms follow the
+//! standard `_bucket{le=...}` / `_sum` / `_count` convention with
+//! cumulative buckets at the registry's power-of-two bounds.
+
+use crate::registry::{bucket_upper_bound, Counter, Hist, HIST_BUCKETS};
+use crate::snapshot::MetricsSnapshot;
+
+/// Thread-scope counters worth a per-thread series (the load-imbalance
+/// signals); driver-scope totals stay aggregate-only to keep the page small.
+const PER_THREAD: [Counter; 6] = [
+    Counter::Phase1Ns,
+    Counter::Phase2Ns,
+    Counter::BottomUpNs,
+    Counter::RearrangeNs,
+    Counter::BarrierNs,
+    Counter::Enqueued,
+];
+
+/// Renders the snapshot as Prometheus text exposition.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for c in Counter::ALL {
+        let name = c.name();
+        let _ = writeln!(out, "# HELP fastbfs_{name}_total {}", help(c));
+        let _ = writeln!(out, "# TYPE fastbfs_{name}_total counter");
+        let _ = writeln!(out, "fastbfs_{name}_total {}", snap.total(c));
+    }
+    for c in PER_THREAD {
+        let name = c.name();
+        let _ = writeln!(out, "# TYPE fastbfs_thread_{name}_total counter");
+        for t in &snap.per_thread {
+            let _ = writeln!(
+                out,
+                "fastbfs_thread_{name}_total{{thread=\"{}\"}} {}",
+                t.thread, t.values[c as usize]
+            );
+        }
+    }
+    for h in Hist::ALL {
+        let hs = snap.histogram(h);
+        let name = h.name();
+        let _ = writeln!(out, "# TYPE fastbfs_{name} histogram");
+        let mut cum = 0u64;
+        for (i, &c) in hs.buckets.iter().enumerate() {
+            cum += c;
+            if c == 0 && i + 1 < HIST_BUCKETS {
+                continue; // keep the page sparse; cumulative sums stay exact
+            }
+            let le = if i + 1 >= HIST_BUCKETS {
+                "+Inf".to_string()
+            } else {
+                bucket_upper_bound(i).to_string()
+            };
+            let _ = writeln!(out, "fastbfs_{name}_bucket{{le=\"{le}\"}} {cum}");
+        }
+        if hs.buckets[HIST_BUCKETS - 1] == 0 {
+            let _ = writeln!(out, "fastbfs_{name}_bucket{{le=\"+Inf\"}} {cum}");
+        }
+        let _ = writeln!(out, "fastbfs_{name}_sum {}", hs.sum);
+        let _ = writeln!(out, "fastbfs_{name}_count {}", hs.count);
+    }
+    out
+}
+
+fn help(c: Counter) -> &'static str {
+    match c {
+        Counter::Queries => "BFS queries served",
+        Counter::QueryNs => "Query wall-clock nanoseconds",
+        Counter::Steps => "BFS steps executed",
+        Counter::TopDownSteps => "Steps run with the top-down kernel",
+        Counter::BottomUpSteps => "Steps run with the bottom-up kernel",
+        Counter::DirectionSwitches => "Per-level direction changes",
+        Counter::VisitedVertices => "Vertices visited",
+        Counter::TraversedEdges => "Edges traversed",
+        Counter::DuplicateEnqueues => "Benign-race duplicate enqueues",
+        Counter::Phase1Ns => "Phase I scatter nanoseconds (all threads)",
+        Counter::Phase2Ns => "Phase II bin-walk nanoseconds (all threads)",
+        Counter::BottomUpNs => "Bottom-up probe nanoseconds (all threads)",
+        Counter::RearrangeNs => "Frontier rearrangement nanoseconds (all threads)",
+        Counter::BarrierNs => "Barrier wait nanoseconds (all threads)",
+        Counter::ScatteredEdges => "Neighbors scattered into PBV bins",
+        Counter::BinEntries => "Entries decoded from PBV bins",
+        Counter::EdgeChecks => "Bottom-up neighbor probes",
+        Counter::Enqueued => "Successful depth claims (duplicates included)",
+        Counter::BinningOps => "SIMD bin-index kernel operations",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn exposition_has_totals_threads_and_cumulative_buckets() {
+        let mut reg = MetricsRegistry::new(2);
+        {
+            let mut w0 = reg.writer(0);
+            w0.add(Counter::Phase1Ns, 123);
+            w0.observe(Hist::StepNs, 5);
+            w0.observe(Hist::StepNs, 900);
+        }
+        {
+            let mut w1 = reg.writer(1);
+            w1.add(Counter::Phase1Ns, 77);
+        }
+        {
+            let mut d = reg.driver();
+            d.add(Counter::Queries, 3);
+        }
+        let text = render(&reg.snapshot());
+        assert!(text.contains("fastbfs_queries_total 3"), "{text}");
+        assert!(text.contains("fastbfs_phase1_ns_total 200"), "{text}");
+        assert!(
+            text.contains("fastbfs_thread_phase1_ns_total{thread=\"0\"} 123"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fastbfs_thread_phase1_ns_total{thread=\"1\"} 77"),
+            "{text}"
+        );
+        // 5 lands in the le="7" bucket, 900 in le="1023"; +Inf carries the
+        // full count.
+        assert!(
+            text.contains("fastbfs_step_ns_bucket{le=\"7\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fastbfs_step_ns_bucket{le=\"1023\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fastbfs_step_ns_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("fastbfs_step_ns_sum 905"), "{text}");
+        assert!(text.contains("fastbfs_step_ns_count 2"), "{text}");
+        // Every TYPE line is well-formed.
+        for line in text.lines().filter(|l| l.starts_with("# TYPE")) {
+            let parts: Vec<_> = line.split_whitespace().collect();
+            assert_eq!(parts.len(), 4, "{line}");
+            assert!(parts[3] == "counter" || parts[3] == "histogram", "{line}");
+        }
+    }
+}

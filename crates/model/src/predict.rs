@@ -51,6 +51,60 @@ pub struct Prediction {
     pub n_pbv: u64,
 }
 
+impl Prediction {
+    /// Per-phase cycles/edge at the given socket count: the multi-socket
+    /// composition when `sockets > 1`, else the single-socket eqn IV.2.
+    pub fn cycles_for(&self, sockets: usize) -> PhaseCycles {
+        if sockets > 1 {
+            self.multi_socket
+        } else {
+            self.single_socket
+        }
+    }
+
+    /// Predicted aggregate DDR bandwidth (GB/s) sustained during Phase I at
+    /// `freq_ghz`: bytes/edge over the modelled time/edge. The cycles are
+    /// whole-machine per-edge cycles (the same normalization `mteps` uses),
+    /// so no socket multiplier applies.
+    pub fn phase1_gbps(&self, freq_ghz: f64, sockets: usize) -> f64 {
+        phase_gbps(
+            self.phase1_ddr_bpe,
+            self.cycles_for(sockets).phase1,
+            freq_ghz,
+        )
+    }
+
+    /// Predicted aggregate DDR bandwidth (GB/s) during Phase II (the
+    /// LLC-hit traffic of eqn IV.1c is excluded — this is the
+    /// memory-controller view).
+    pub fn phase2_gbps(&self, freq_ghz: f64, sockets: usize) -> f64 {
+        phase_gbps(
+            self.phase2_ddr_bpe,
+            self.cycles_for(sockets).phase2,
+            freq_ghz,
+        )
+    }
+
+    /// Predicted aggregate DDR bandwidth (GB/s) during frontier
+    /// rearrangement.
+    pub fn rearrange_gbps(&self, freq_ghz: f64, sockets: usize) -> f64 {
+        phase_gbps(
+            self.rearrange_bpe,
+            self.cycles_for(sockets).rearrange,
+            freq_ghz,
+        )
+    }
+}
+
+/// `bpe` bytes/edge over `cpe` whole-machine cycles/edge at `freq_ghz`:
+/// GB/s = bytes / (cycles / GHz).
+fn phase_gbps(bpe: f64, cpe: f64, freq_ghz: f64) -> f64 {
+    if cpe <= 0.0 {
+        return 0.0;
+    }
+    bpe * freq_ghz / cpe
+}
+
 /// Runs the whole model. `alpha` is the access skew `α_Adj ∈ [1/N_S, 1]`
 /// (use `1/N_S` for uniformly random graphs, ≈0.6 for the paper's R-MAT
 /// parameters, 1.0 for the bipartite stress case).
@@ -129,6 +183,30 @@ mod tests {
         ] {
             assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn predicted_phase_bandwidth_is_positive_and_below_machine_peak() {
+        let m = MachineSpec::xeon_x5570_2s();
+        let p = predict(&m, &GraphParams::paper_rmat_8m_deg8(), 0.6);
+        for gbps in [
+            p.phase1_gbps(m.freq_ghz, m.sockets),
+            p.phase2_gbps(m.freq_ghz, m.sockets),
+            p.rearrange_gbps(m.freq_ghz, m.sockets),
+        ] {
+            assert!(gbps > 0.0, "{gbps}");
+            // No phase may be modelled above the machine's aggregate peak
+            // DRAM bandwidth.
+            assert!(
+                gbps <= m.bw_dram_peak * m.sockets as f64 + 1e-9,
+                "{gbps} vs peak {}",
+                m.bw_dram_peak * m.sockets as f64
+            );
+        }
+        // The helpers must agree with the raw formula on the multi-socket
+        // composition.
+        let manual = p.phase1_ddr_bpe * m.freq_ghz / p.multi_socket.phase1;
+        assert!((p.phase1_gbps(m.freq_ghz, m.sockets) - manual).abs() < 1e-12);
     }
 
     #[test]

@@ -23,14 +23,20 @@
 //!   between runs, and hands each thread a [`pool::ThreadCtx`] describing
 //!   its place in the topology. A run costs a wake plus a barrier episode,
 //!   not N thread spawns — the fast path for query serving.
+//! * [`padded::PerThreadSlots`] — cache-line-padded single-writer cells,
+//!   one per pool thread: the sharding primitive behind always-on metrics
+//!   (plain unsynchronized stores on the hot path, merged after the pool's
+//!   finish barrier).
 
 pub mod arena;
 pub mod barrier;
+pub mod padded;
 pub mod pin;
 pub mod pool;
 pub mod topology;
 
 pub use barrier::SenseBarrier;
+pub use padded::{CachePadded, PerThreadSlots};
 pub use pool::{SocketPool, ThreadCtx};
 pub use topology::{SocketId, Topology};
 

@@ -44,6 +44,16 @@ impl ThreadCtx<'_> {
         self.barrier.wait()
     }
 
+    /// [`barrier`](Self::barrier), additionally returning the nanoseconds
+    /// this thread spent waiting for the others — the per-thread barrier
+    /// cost a load-imbalance attribution wants (a thread that arrives last
+    /// waits ~0; the idle time shows up on the early arrivals).
+    pub fn timed_barrier(&self) -> (bool, u64) {
+        let t = std::time::Instant::now();
+        let leader = self.barrier.wait();
+        (leader, t.elapsed().as_nanos() as u64)
+    }
+
     /// Total threads in the region.
     pub fn num_threads(&self) -> usize {
         self.topology.total_threads()
@@ -337,6 +347,25 @@ mod tests {
                 assert_eq!(phase.load(Ordering::Relaxed), p);
             }
         });
+    }
+
+    #[test]
+    fn timed_barrier_reports_wait_and_elects_a_leader() {
+        let pool = SocketPool::new(Topology::synthetic(1, 3));
+        let results = pool.run(|ctx| {
+            // The slow thread sleeps before arriving; the others must
+            // observe a wait at least as long as its nap.
+            if ctx.thread_id == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            ctx.timed_barrier()
+        });
+        assert_eq!(results.iter().filter(|(leader, _)| *leader).count(), 1);
+        let max_wait = results.iter().map(|&(_, ns)| ns).max().unwrap();
+        assert!(
+            max_wait >= 10_000_000,
+            "fast threads must account the slow thread's 20ms, got {max_wait}ns"
+        );
     }
 
     #[test]

@@ -84,6 +84,10 @@ pub struct StepEvent {
     /// Entries binned per PBV bin this step, summed over threads (empty for
     /// engines without Phase I binning).
     pub bin_occupancy: Vec<u64>,
+    /// Neighbors scattered into PBV bins this step, summed over threads.
+    /// `None` on bottom-up levels (no Phase I scatter ran) and in traces
+    /// written before the field existed.
+    pub scattered: Option<u64>,
 }
 
 impl StepEvent {
@@ -121,6 +125,26 @@ pub struct MemStepEvent {
     pub page_walk: u64,
 }
 
+/// One named metric value inside a [`MetricsEvent`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Stable snake_case metric name (the metrics registry's vocabulary).
+    pub name: String,
+    /// Aggregated value at snapshot time.
+    pub value: u64,
+}
+
+/// A metrics-registry snapshot attached to a trace: emitted after the
+/// steps it covers (typically once, at end of run), so a JSONL trace can
+/// carry the counter totals alongside the per-step timeline.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsEvent {
+    /// What the snapshot covers (`"query"`, `"session"`, `"run"`).
+    pub scope: String,
+    /// Aggregated counter totals at snapshot time.
+    pub samples: Vec<MetricSample>,
+}
+
 /// One superstep of the distributed driver.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct SuperstepEvent {
@@ -140,6 +164,7 @@ pub enum TraceEvent {
     Step(StepEvent),
     MemStep(MemStepEvent),
     Superstep(SuperstepEvent),
+    Metrics(MetricsEvent),
 }
 
 impl TraceEvent {
@@ -150,6 +175,7 @@ impl TraceEvent {
             TraceEvent::Step(_) => "step",
             TraceEvent::MemStep(_) => "mem_step",
             TraceEvent::Superstep(_) => "superstep",
+            TraceEvent::Metrics(_) => "metrics",
         }
     }
 }
@@ -161,6 +187,7 @@ impl Serialize for TraceEvent {
             TraceEvent::Step(e) => e.to_value(),
             TraceEvent::MemStep(e) => e.to_value(),
             TraceEvent::Superstep(e) => e.to_value(),
+            TraceEvent::Metrics(e) => e.to_value(),
         };
         let mut fields = vec![("event".to_string(), Value::Str(self.kind().to_string()))];
         match payload {
@@ -179,6 +206,7 @@ impl Deserialize for TraceEvent {
             "step" => TraceEvent::Step(StepEvent::from_value(v)?),
             "mem_step" => TraceEvent::MemStep(MemStepEvent::from_value(v)?),
             "superstep" => TraceEvent::Superstep(SuperstepEvent::from_value(v)?),
+            "metrics" => TraceEvent::Metrics(MetricsEvent::from_value(v)?),
             other => return Err(Error::custom(format!("unknown event kind {other:?}"))),
         })
     }
@@ -213,6 +241,7 @@ mod tests {
                 },
             ],
             bin_occupancy: vec![5, 12],
+            scattered: Some(17),
         })
     }
 
@@ -251,6 +280,19 @@ mod tests {
                 messages: 31,
                 frontier: 12,
             }),
+            TraceEvent::Metrics(MetricsEvent {
+                scope: "query".into(),
+                samples: vec![
+                    MetricSample {
+                        name: "scattered_edges".into(),
+                        value: 400,
+                    },
+                    MetricSample {
+                        name: "barrier_ns".into(),
+                        value: 12345,
+                    },
+                ],
+            }),
         ];
         for e in &events {
             let json = serde_json::to_string(e).unwrap();
@@ -285,6 +327,7 @@ mod tests {
         match e {
             TraceEvent::Step(s) => {
                 assert_eq!(s.direction, None);
+                assert_eq!(s.scattered, None);
                 assert_eq!(s.frontier, 4);
             }
             _ => unreachable!(),

@@ -34,6 +34,7 @@
 //!     threads: vec![ThreadStep { thread: 0, phase1_ns: 500, phase2_ns: 700,
 //!                                rearrange_ns: 100, enqueued: 8, edge_checks: 0 }],
 //!     bin_occupancy: vec![8],
+//!     scattered: Some(8),
 //! }));
 //! let summary = summarize(&ring.snapshot());
 //! assert_eq!(summary.steps, 1);
@@ -44,6 +45,9 @@ pub mod event;
 pub mod sink;
 pub mod summary;
 
-pub use event::{MemStepEvent, RunEvent, StepEvent, SuperstepEvent, ThreadStep, TraceEvent};
+pub use event::{
+    MemStepEvent, MetricSample, MetricsEvent, RunEvent, StepEvent, SuperstepEvent, ThreadStep,
+    TraceEvent,
+};
 pub use sink::{JsonlSink, NoopSink, RingSink, TeeSink, TraceSink};
 pub use summary::{summarize, TraceSummary};

@@ -184,6 +184,7 @@ mod tests {
                 })
                 .collect(),
             bin_occupancy: Vec::new(),
+            scattered: None,
         })
     }
 

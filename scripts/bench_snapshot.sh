@@ -7,7 +7,9 @@
 #
 # Usage: scripts/bench_snapshot.sh [scale] [sources]
 #   scale    RMAT scale (default 16 → 65k vertices, ~1M directed edges)
-#   sockets/threads default to the host topology.
+#   sources  batched multi-source query count (default 16)
+# Sockets/threads default to the host topology. Compare two snapshots with
+# `fastbfs bench-compare OLD.json NEW.json`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,5 +30,11 @@ echo "==> generating RMAT scale $SCALE"
 
 echo "==> running $SOURCES sources with --direction auto"
 "$FASTBFS" run -i "$GRAPH" --sources "$SOURCES" --seed 7 --direction auto --json "$OUT"
+
+if [ ! -s "$OUT" ]; then
+    echo "error: $OUT missing or empty — the run produced no report" >&2
+    rm -f "$OUT"
+    exit 1
+fi
 
 echo "==> snapshot written to $OUT"

@@ -17,6 +17,25 @@ cargo test --doc --offline
 echo "==> cargo bench --no-run"
 cargo bench --no-run --offline
 
+echo "==> bench-compare smoke (regression gate against committed baseline)"
+BASELINE="$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)"
+if [ -n "$BASELINE" ]; then
+    # Tiny scale-10 run with the baseline's workload shape, then gate with
+    # wide tolerances: this smokes the report schema + comparison plumbing,
+    # not this host's absolute performance (hence --allow-mismatch: the
+    # committed baseline was recorded at full scale on another machine).
+    SMOKE_GRAPH="$(mktemp /tmp/check_smoke_XXXXXX.fbfs)"
+    SMOKE_OUT="$(mktemp /tmp/check_smoke_XXXXXX.json)"
+    trap 'rm -f "$SMOKE_GRAPH" "$SMOKE_OUT"' EXIT
+    target/release/fastbfs gen --family rmat --scale 10 --edge-factor 8 --seed 42 -o "$SMOKE_GRAPH"
+    target/release/fastbfs run -i "$SMOKE_GRAPH" --sources 4 --seed 7 --direction auto --json "$SMOKE_OUT"
+    target/release/fastbfs bench-compare "$SMOKE_OUT" "$SMOKE_OUT" --quiet
+    target/release/fastbfs bench-compare "$BASELINE" "$SMOKE_OUT" --allow-mismatch \
+        --max-mteps-drop 0.99 --max-latency-rise 100 --max-direction-drift 1.0
+else
+    echo "    (no BENCH_*.json baseline committed; skipping)"
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

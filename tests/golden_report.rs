@@ -1,0 +1,88 @@
+//! Golden-file back-compat: a `fastbfs-run-v1` report emitted by the PR 3
+//! binary (before the environment header and metrics block existed) must
+//! keep parsing through the current report types, and the fields added
+//! since must come back `None`.
+//!
+//! This pins the schema-evolution rule: additions to `RunReport` are
+//! `Option<T>` only; renames and removals are breaking and need a schema
+//! bump. If this test fails after you touched the report structs, you broke
+//! every committed `BENCH_*.json` baseline and external tooling parsing
+//! them — add an optional field instead.
+
+use bfs_bench::report::{compare, CompareThresholds, RunReport, SCHEMA};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/run_report_v1_pr3.json"
+);
+
+#[test]
+fn pr3_era_report_still_parses() {
+    let report = RunReport::read(GOLDEN).expect("PR 3 golden report must parse");
+    assert_eq!(report.schema, SCHEMA);
+
+    // Workload identity as captured when the golden was generated.
+    assert_eq!(report.vertices, 1024);
+    assert_eq!(report.edges, 16384);
+    assert_eq!(report.sockets, 1);
+    assert_eq!(report.lanes_per_socket, 2);
+    assert_eq!(report.threads, 2);
+    assert_eq!(report.vis, "bit");
+    assert_eq!(report.scheduling, "load-balanced");
+    assert_eq!(report.direction, "auto");
+
+    // Per-query rows survive with full fidelity.
+    assert_eq!(report.queries.len(), 4);
+    let q0 = &report.queries[0];
+    assert_eq!(q0.root, 317);
+    assert_eq!(q0.depth, 4);
+    assert_eq!(q0.visited_vertices, 807);
+    assert_eq!(q0.traversed_edges, 16384);
+    assert_eq!(q0.bottom_up_steps, 3);
+    assert_eq!(q0.directions.len(), q0.depth as usize);
+    assert!(q0.mteps > 0.0 && q0.latency_ms > 0.0);
+
+    // The batch block predates nothing — it was already optional in PR 3.
+    let batch = report.batch.as_ref().expect("golden was a batch run");
+    assert_eq!(batch.queries, 4);
+    assert!(batch.harmonic_mteps > 0.0);
+    assert!(batch.harmonic_mteps <= batch.mean_mteps + 1e-9);
+
+    // Fields added after PR 3 must be absent, not errors.
+    assert_eq!(report.git_rev, None);
+    assert_eq!(report.rustc, None);
+    assert_eq!(report.host_cores, None);
+    assert_eq!(report.llc_bytes, None);
+    assert!(report.metrics.is_none());
+}
+
+#[test]
+fn pr3_era_report_feeds_the_gate() {
+    // The regression gate must accept pre-metrics baselines: none of its
+    // inputs may depend on post-PR3 fields.
+    let report = RunReport::read(GOLDEN).unwrap();
+    assert!(report.harmonic_mteps() > 0.0);
+    assert!(report.latency_percentile_ms(50.0) > 0.0);
+    assert!(report.latency_percentile_ms(99.0) >= report.latency_percentile_ms(50.0));
+    let bu = report.bottom_up_fraction();
+    assert!(bu > 0.0 && bu < 1.0, "golden mixes directions: {bu}");
+
+    let out = compare(&report, &report, &CompareThresholds::default(), false);
+    assert!(
+        out.pass,
+        "self-comparison must pass:\n{}",
+        out.render_text()
+    );
+}
+
+#[test]
+fn reserialized_golden_roundtrips() {
+    // Writing a parsed old report back out and re-reading it must preserve
+    // the gate-relevant aggregates exactly.
+    let report = RunReport::read(GOLDEN).unwrap();
+    let text = report.to_json().unwrap();
+    let back: RunReport = serde_json::from_str(&text).unwrap();
+    assert_eq!(back.queries.len(), report.queries.len());
+    assert_eq!(back.harmonic_mteps(), report.harmonic_mteps());
+    assert_eq!(back.bottom_up_fraction(), report.bottom_up_fraction());
+}

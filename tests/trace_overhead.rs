@@ -4,16 +4,23 @@
 //! exactly as many heap allocations as an untraced run, while an enabled
 //! sink (which assembles per-step events) performs strictly more.
 //!
+//! The metrics twin lives here too: the always-on registry's hot path
+//! (`MetricsWriter::add`/`observe`) must be plain stores into preallocated
+//! padded slots — zero heap allocations — while the snapshot merge at
+//! region exit is allowed to build its `Vec`s.
+//!
 //! A counting global allocator observes every allocation in the process,
-//! so this file holds a single `#[test]` (parallel tests would pollute the
-//! counter) and uses a single-threaded topology for determinism.
+//! so the tests serialize on a mutex (parallel tests would pollute the
+//! counter) and use a single-threaded topology for determinism.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use bfs_core::engine::{BfsEngine, BfsOptions};
 use bfs_graph::gen::uniform::uniform_random;
 use bfs_graph::rng::rng_from_seed;
+use bfs_metrics::{Counter, Hist, MetricsRegistry};
 use bfs_platform::Topology;
 use bfs_trace::{NoopSink, RingSink};
 
@@ -46,8 +53,12 @@ fn counted(f: impl FnOnce()) -> u64 {
     ALLOCS.load(Ordering::Relaxed) - before
 }
 
+/// Serializes the tests sharing the process-global allocation counter.
+static SERIAL: Mutex<()> = Mutex::new(());
+
 #[test]
 fn noop_sink_does_not_allocate_beyond_an_untraced_run() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let g = uniform_random(4000, 8, &mut rng_from_seed(11));
     let engine = BfsEngine::new(&g, Topology::synthetic(1, 1), BfsOptions::default());
     // Warm up once: lazy one-time allocations (thread-pool state, etc.)
@@ -74,4 +85,62 @@ fn noop_sink_does_not_allocate_beyond_an_untraced_run() {
         "an enabled sink assembles events and must allocate (traced {traced} vs noop {noop})"
     );
     assert!(!ring.is_empty());
+}
+
+#[test]
+fn always_on_metrics_hot_path_does_not_allocate() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+
+    // The registry itself: worker and driver recording must be allocation-
+    // free no matter how many samples land (the slots are preallocated and
+    // the histograms are fixed arrays).
+    let mut reg = MetricsRegistry::new(2);
+    let hot = counted(|| {
+        let mut w = reg.writer(0);
+        for i in 0..10_000u64 {
+            w.add(Counter::ScatteredEdges, 3);
+            w.add(Counter::Phase1Ns, 250);
+            w.observe(Hist::StepNs, i * 97 + 1);
+        }
+        drop(w);
+        let mut d = reg.driver();
+        d.add(Counter::Queries, 1);
+        d.observe(Hist::QueryNs, 123_456);
+    });
+    assert_eq!(
+        hot, 0,
+        "counter add/observe must be plain stores into preallocated slots"
+    );
+    let snap = reg.snapshot();
+    assert_eq!(snap.total(Counter::ScatteredEdges), 30_000);
+    assert_eq!(snap.total(Counter::Queries), 1);
+
+    // The engine wiring: with the registry always on, a warm run still
+    // performs exactly as many allocations as before the instrumentation —
+    // i.e. the same count as a second warm run (nothing metrics-related
+    // accumulates per query).
+    let g = uniform_random(4000, 8, &mut rng_from_seed(11));
+    let mut engine = BfsEngine::new(&g, Topology::synthetic(1, 1), BfsOptions::default());
+    engine.run(0); // warm-up: one-time lazy allocations land here
+    let first = counted(|| {
+        engine.run(0);
+    });
+    let second = counted(|| {
+        engine.run(0);
+    });
+    assert_eq!(
+        first, second,
+        "warm queries must not accumulate metrics allocations"
+    );
+
+    // Draining the registry (snapshot => Vec building) may allocate; the
+    // next warm query after a snapshot is back to the steady-state count.
+    let _ = engine.metrics_snapshot();
+    let after_snapshot = counted(|| {
+        engine.run(0);
+    });
+    assert_eq!(
+        after_snapshot, second,
+        "snapshotting must not perturb the hot path"
+    );
 }
