@@ -86,6 +86,11 @@ pub struct RunReport {
     /// Metrics-registry snapshot covering the reported queries (additive,
     /// PR 4).
     pub metrics: Option<MetricsSnapshot>,
+    /// Hardware-event availability on the producing host, from
+    /// `bfs_perf::availability_string()`: `"available: cycles,..."` or
+    /// `"unavailable: <reason>"` (additive, PR 5). Lets `bench-compare`
+    /// warn when a counter-backed run is diffed against a model-only one.
+    pub hw_events: Option<String>,
     pub queries: Vec<QueryReport>,
     pub batch: Option<BatchReport>,
 }
@@ -98,6 +103,7 @@ impl RunReport {
         self.git_rev = capture_cmd("git", &["rev-parse", "--short", "HEAD"]);
         self.rustc = capture_cmd("rustc", &["--version"]);
         self.host_cores = Some(bfs_platform::pin::host_cores());
+        self.hw_events = Some(bfs_perf::availability_string());
     }
 
     /// Serializes to pretty JSON with a trailing newline.
@@ -214,6 +220,10 @@ pub struct CompareOutcome {
     /// comparing those is apples-to-oranges and fails the gate unless
     /// explicitly allowed.
     pub workload_mismatch: Vec<String>,
+    /// Advisory note when one report is counter-backed and the other is
+    /// model-only: the numbers are still comparable (the gate checks are
+    /// all timing-derived), but provenance differs. Never fails the gate.
+    pub hw_warning: Option<String>,
     pub pass: bool,
 }
 
@@ -224,6 +234,9 @@ impl CompareOutcome {
         let mut out = String::new();
         for m in &self.workload_mismatch {
             let _ = writeln!(out, "workload mismatch: {m}");
+        }
+        if let Some(w) = &self.hw_warning {
+            let _ = writeln!(out, "warning: {w}");
         }
         let _ = writeln!(
             out,
@@ -309,10 +322,28 @@ pub fn compare(
         pass: drift <= t.max_direction_drift,
     });
 
+    // Counter-backed vs model-only provenance: advisory only. Reports
+    // from before the field existed stay silent — warning on every diff
+    // against an old baseline would be noise.
+    let counter_backed = |r: &RunReport| r.hw_events.as_deref().map(|s| s.starts_with("available"));
+    let hw_warning = match (counter_backed(base), counter_backed(new)) {
+        (Some(b), Some(n)) if b != n => {
+            let label = |x: bool| if x { "counter-backed" } else { "model-only" };
+            Some(format!(
+                "hw-event provenance differs: baseline is {}, new is {} \
+                 (timing gates still apply; attribution rows are not comparable)",
+                label(b),
+                label(n)
+            ))
+        }
+        _ => None,
+    };
+
     let pass = checks.iter().all(|c| c.pass) && (allow_mismatch || mismatch.is_empty());
     CompareOutcome {
         checks,
         workload_mismatch: mismatch,
+        hw_warning,
         pass,
     }
 }
@@ -338,6 +369,7 @@ mod tests {
             host_cores: None,
             llc_bytes: None,
             metrics: None,
+            hw_events: None,
             queries: mteps
                 .iter()
                 .zip(latencies)
@@ -418,6 +450,33 @@ mod tests {
     }
 
     #[test]
+    fn hw_provenance_mismatch_warns_but_never_fails() {
+        let base = report(&[100.0], &[1.0], &[0]);
+        let new = report(&[100.0], &[1.0], &[0]);
+        // Both unknown (pre-hw-schema) → silent.
+        let out = compare(&base, &new, &CompareThresholds::default(), false);
+        assert!(out.hw_warning.is_none());
+        assert!(out.pass);
+
+        let mut counted = report(&[100.0], &[1.0], &[0]);
+        counted.hw_events = Some("available: cycles,instructions".into());
+        let mut modeled = report(&[100.0], &[1.0], &[0]);
+        modeled.hw_events = Some("unavailable: PMU not available".into());
+        let out = compare(&counted, &modeled, &CompareThresholds::default(), false);
+        let w = out.hw_warning.as_deref().expect("provenance differs");
+        assert!(
+            w.contains("counter-backed") && w.contains("model-only"),
+            "{w}"
+        );
+        assert!(out.pass, "a provenance warning must never fail the gate");
+        assert!(out.render_text().contains("warning: hw-event provenance"));
+
+        // One known, one unknown → still silent (old-baseline noise guard).
+        let out = compare(&counted, &base, &CompareThresholds::default(), false);
+        assert!(out.hw_warning.is_none());
+    }
+
+    #[test]
     fn harmonic_falls_back_to_query_rows() {
         let mut r = report(&[50.0, 200.0], &[1.0, 1.0], &[0, 0]);
         // harmonic(50, 200) = 80.
@@ -439,6 +498,12 @@ mod tests {
         // rustc exists in this build environment; git_rev may or may not.
         assert!(r.rustc.as_deref().is_some_and(|s| s.contains("rustc")));
         assert!(r.host_cores.unwrap_or(0) > 0);
+        // The hw-event header always resolves to one of the two shapes.
+        let hw = r.hw_events.as_deref().unwrap();
+        assert!(
+            hw.starts_with("available") || hw.starts_with("unavailable"),
+            "{hw}"
+        );
         let text = r.to_json().unwrap();
         let back: RunReport = serde_json::from_str(&text).unwrap();
         assert_eq!(back.queries.len(), 1);

@@ -60,7 +60,16 @@ subcommands:
                                    join the always-on metrics registry against the §IV
                                    model: achieved vs predicted GB/s per phase and per
                                    step, per-socket load imbalance
-  sim      simulated X5570 run     -i FILE [--source V] [--shrink F] [same engine flags]
+  serve    live metrics exporter  (-i FILE | --family ... [gen flags]) [same engine flags]
+                                   [--metrics-addr HOST:PORT] — long-running session
+                                   answering batched queries (round-robin roots) with a
+                                   background HTTP thread serving /metrics (Prometheus
+                                   0.0.4), /healthz, /snapshot (JSON), /quitquitquit
+                                   [--sources N] [--seed K] [--queries N] — stop querying
+                                   after N (0 = unlimited; exporter stays up either way)
+                                   [--addr-file PATH] — write the bound address (use with
+                                   port 0 for scripts)
+  sim      simulated X5570 run   -i FILE [--source V] [--shrink F] [same engine flags]
   model    analytical prediction   --vertices N --degree D --depth DEP
                                    [--visited N] [--edges E] [--alpha A] [--sockets S]
   dist     multi-node traversal    -i FILE [--nodes N] [--no-dedup] [--source V] [--validate]
@@ -74,7 +83,7 @@ subcommands:
                                    0.10/0.25/0.25) [--allow-mismatch] [--quiet]
 ";
 
-fn load_graph(path: &str) -> Result<CsrGraph, String> {
+pub(crate) fn load_graph(path: &str) -> Result<CsrGraph, String> {
     let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     if path.ends_with(".txt") {
         bfs_graph::io::read_edge_list(&mut BufReader::new(f))
@@ -129,7 +138,7 @@ fn parse_direction(o: &Opts) -> Result<DirectionPolicy, String> {
     })
 }
 
-fn engine_options(o: &Opts) -> Result<BfsOptions, String> {
+pub(crate) fn engine_options(o: &Opts) -> Result<BfsOptions, String> {
     Ok(BfsOptions {
         vis: parse_vis(o.get("vis").unwrap_or("bit"))?,
         scheduling: parse_scheduling(o.get("scheduling").unwrap_or("load-balanced"))?,
@@ -158,7 +167,7 @@ fn pick_source(g: &CsrGraph, o: &Opts) -> Result<u32, String> {
 
 /// Builds the graph a `--family ...` option set describes (shared by `gen`
 /// and `trace`).
-fn generate_family(o: &Opts) -> Result<CsrGraph, String> {
+pub(crate) fn generate_family(o: &Opts) -> Result<CsrGraph, String> {
     let family = o.require("family")?;
     let seed: u64 = o.num("seed", 42)?;
     let mut rng = rng_from_seed(seed);
@@ -249,6 +258,7 @@ fn new_report(o: &Opts, g: &CsrGraph, topo: Topology) -> RunReport {
         host_cores: None,
         llc_bytes: Some(topo.llc_bytes),
         metrics: None,
+        hw_events: None,
         queries: Vec::new(),
         batch: None,
     };
@@ -494,7 +504,18 @@ pub fn metrics(args: &[String]) -> Result<(), String> {
         return Err(format!("unknown --format {format:?} (text|json|prom)"));
     }
 
-    let mut session = BfsSession::new(&g, topo, engine_options(&o)?);
+    // Hardware counters ride along when the host allows them; otherwise
+    // the typed reason lands in the report as an explicit marker.
+    let opts = BfsOptions {
+        hw_counters: true,
+        ..engine_options(&o)?
+    };
+    let mut session = BfsSession::new(&g, topo, opts);
+    let hw_unavailable = session
+        .engine()
+        .hw_status()
+        .unavailable_reason()
+        .map(|r| r.to_string());
     let mut out = BfsOutput::default();
     let ring = RingSink::new(65536);
     for (k, &root) in roots.iter().enumerate() {
@@ -516,6 +537,8 @@ pub fn metrics(args: &[String]) -> Result<(), String> {
         num_vertices: g.num_vertices() as u64,
         lanes_per_socket: topo.lanes_per_socket,
         alpha: alpha.max(1.0 / topo.sockets as f64),
+        cache_line: topo.cache_line as usize,
+        hw_unavailable,
     };
     let events = ring.snapshot();
     let attribution = AttributionReport::build(&snap, &events, &ctx);

@@ -6,6 +6,7 @@
 //! fastbfs run   -i graph.fbfs --runs 5 --validate
 //! fastbfs trace --family rmat --scale 16 --out trace.jsonl
 //! fastbfs metrics --family rmat --scale 16 --sources 8 --format json
+//! fastbfs serve --family rmat --scale 16 --metrics-addr 127.0.0.1:9464
 //! fastbfs bench-compare baseline.json new.json --max-mteps-drop 0.1
 //! fastbfs sim   -i graph.fbfs --scheduling load-balanced
 //! fastbfs model --vertices 8388608 --degree 8 --depth 6 --alpha 0.6
@@ -15,6 +16,7 @@
 
 mod cmd;
 mod opts;
+mod serve;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +33,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("run") => cmd::run(&args[1..]),
         Some("trace") => cmd::trace(&args[1..]),
         Some("metrics") => cmd::metrics(&args[1..]),
+        Some("serve") => serve::serve(&args[1..]),
         Some("bench-compare") => cmd::bench_compare(&args[1..]),
         Some("sim") => cmd::sim(&args[1..]),
         Some("model") => cmd::model(&args[1..]),

@@ -1,0 +1,339 @@
+//! `fastbfs serve`: a long-running query session with a live Prometheus
+//! exporter.
+//!
+//! The driver thread answers batched BFS queries over one parked
+//! [`BfsSession`] (round-robin over Graph500-style random roots, hardware
+//! counters enabled when the host allows them); a background listener
+//! thread serves the session's always-on metrics registry over plain
+//! HTTP/1.1 — no async runtime, one `std::net::TcpListener`, short-lived
+//! `Connection: close` responses:
+//!
+//! * `/metrics`  — Prometheus text exposition (format 0.0.4), scrapeable
+//!   directly by a `static_configs` Prometheus job;
+//! * `/healthz`  — liveness probe, plain `ok`;
+//! * `/snapshot` — the full registry snapshot as JSON, plus the query
+//!   count and hardware-counter availability;
+//! * `/quitquitquit` — graceful shutdown: stops the listener and the
+//!   query loop, so scripts never have to `kill` the process.
+//!
+//! The driver re-renders both documents after every query, so scrapes are
+//! lock-cheap string copies and counter values are monotonically
+//! non-decreasing across scrapes (the registry only ever accumulates).
+
+use std::io::{Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use bfs_core::engine::{BfsOptions, BfsOutput};
+use bfs_core::session::BfsSession;
+use bfs_graph::stats::random_roots;
+use bfs_metrics::MetricsSnapshot;
+use bfs_platform::Topology;
+use serde::Serialize;
+
+use crate::cmd;
+use crate::opts::Opts;
+
+/// What the listener thread hands out; the driver swaps in fresh strings
+/// after every query.
+struct Shared {
+    prom: String,
+    snapshot_json: String,
+}
+
+/// `/snapshot` document. Owns its fields: the vendored serde derive has
+/// no lifetime-parameter support, and the doc is rebuilt per refresh
+/// anyway.
+#[derive(Serialize)]
+struct SnapshotDoc {
+    /// Queries the session has served so far.
+    queries: u64,
+    /// Hardware-counter availability: `"available"` or
+    /// `"unavailable: <reason>"`.
+    hw: String,
+    metrics: MetricsSnapshot,
+}
+
+/// `fastbfs serve`
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["no-rearrange"])?;
+    let g = match o.get("i") {
+        Some(path) => cmd::load_graph(path)?,
+        None if o.get("family").is_some() => cmd::generate_family(&o)?,
+        None => return Err("serve needs -i FILE or --family ...".into()),
+    };
+    let sockets: usize = o.num("sockets", 1)?;
+    let threads: usize = o.num("threads", bfs_platform::pin::host_cores())?;
+    let topo = Topology::synthetic(sockets, threads.div_ceil(sockets).max(1));
+    let count: usize = o.num("sources", 16)?;
+    let seed: u64 = o.num("seed", 42)?;
+    let roots = random_roots(&g, count, seed);
+    if roots.is_empty() {
+        return Err("graph has no edges".into());
+    }
+    // 0 = keep answering queries until shut down.
+    let query_limit: u64 = o.num("queries", 0u64)?;
+    let addr = o.get("metrics-addr").unwrap_or("127.0.0.1:9464");
+
+    let opts = BfsOptions {
+        hw_counters: true,
+        ..cmd::engine_options(&o)?
+    };
+    let mut session = BfsSession::new(&g, topo, opts);
+    let hw = match session.engine().hw_status().unavailable_reason() {
+        Some(r) => format!("unavailable: {r}"),
+        None => "available".to_string(),
+    };
+
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    // Port 0 binds an ephemeral port; the printed (and optionally written)
+    // address is the one that actually resolved.
+    println!("serving http://{local}/metrics (also /healthz /snapshot /quitquitquit)");
+    println!(
+        "session: {} sockets x {} lanes, {} roots, hw counters {hw}",
+        topo.sockets,
+        topo.lanes_per_socket,
+        roots.len()
+    );
+    if let Some(path) = o.get("addr-file") {
+        std::fs::write(path, local.to_string()).map_err(|e| format!("write {path}: {e}"))?;
+    }
+
+    let shared = Arc::new(Mutex::new(Shared {
+        prom: String::new(),
+        snapshot_json: String::new(),
+    }));
+    let stop = Arc::new(AtomicBool::new(false));
+    // Render once before accepting: the first scrape sees a real (all-zero)
+    // registry, never an empty body.
+    refresh(&mut session, &hw, &shared)?;
+    let http = {
+        let shared = Arc::clone(&shared);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || http_loop(&listener, &shared, &stop))
+    };
+
+    let mut out = BfsOutput::default();
+    let mut served = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        if query_limit > 0 && served >= query_limit {
+            // Batch done; stay up for scrapes until told to quit.
+            std::thread::sleep(Duration::from_millis(20));
+            continue;
+        }
+        let root = roots[(served % roots.len() as u64) as usize];
+        session.run_reusing(root, &mut out);
+        served += 1;
+        refresh(&mut session, &hw, &shared)?;
+        if served == query_limit {
+            println!("{served} queries served; still exporting (GET /quitquitquit to stop)");
+        }
+    }
+    http.join()
+        .map_err(|_| "listener thread panicked".to_string())?;
+    println!("shutdown after {served} queries");
+    Ok(())
+}
+
+/// Re-renders the two scrape documents from a fresh registry snapshot.
+fn refresh(session: &mut BfsSession<'_>, hw: &str, shared: &Mutex<Shared>) -> Result<(), String> {
+    let snap = session.metrics_snapshot();
+    let prom = bfs_metrics::prom::render(&snap);
+    let doc = SnapshotDoc {
+        queries: session.runs(),
+        hw: hw.to_string(),
+        metrics: snap,
+    };
+    let json = serde_json::to_string(&doc).map_err(|e| format!("snapshot to JSON: {e}"))?;
+    let mut s = shared.lock().map_err(|_| "shared state poisoned")?;
+    s.prom = prom;
+    s.snapshot_json = json;
+    Ok(())
+}
+
+/// Accept loop: one request per connection, until `/quitquitquit`.
+fn http_loop(listener: &TcpListener, shared: &Mutex<Shared>, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        let Ok(mut stream) = conn else { continue };
+        if respond(&mut stream, shared) {
+            stop.store(true, Ordering::Relaxed);
+            break;
+        }
+    }
+}
+
+/// Serves one request; returns true when it was the shutdown endpoint.
+fn respond(stream: &mut TcpStream, shared: &Mutex<Shared>) -> bool {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let Some(path) = read_request_path(stream) else {
+        return false;
+    };
+    let body_of = |f: fn(&Shared) -> String| {
+        shared
+            .lock()
+            .map(|s| f(&s))
+            .unwrap_or_else(|_| String::new())
+    };
+    let (status, ctype, body, quit) = match path.as_str() {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            body_of(|s| s.prom.clone()),
+            false,
+        ),
+        "/snapshot" => (
+            "200 OK",
+            "application/json",
+            body_of(|s| s.snapshot_json.clone()),
+            false,
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".into(), false),
+        "/quitquitquit" => ("200 OK", "text/plain; charset=utf-8", "bye\n".into(), true),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".into(),
+            false,
+        ),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+    quit
+}
+
+/// Reads one request's head and extracts the path of a `GET`; `None` on
+/// anything malformed (the connection is just dropped).
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = [0u8; 1024];
+    let mut req: Vec<u8> = Vec::new();
+    loop {
+        let n = stream.read(&mut buf).ok()?;
+        if n == 0 {
+            break;
+        }
+        req.extend_from_slice(&buf[..n]);
+        if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 4096 {
+            break;
+        }
+    }
+    let line = req.split(|&b| b == b'\r').next()?;
+    let line = std::str::from_utf8(line).ok()?;
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    parts.next().map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn endpoints_serve_and_quit_stops_the_loop() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shared = Arc::new(Mutex::new(Shared {
+            prom: "fastbfs_queries_total 7\n".into(),
+            snapshot_json: "{\"queries\":7}".into(),
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let http = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || http_loop(&listener, &shared, &stop))
+        };
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+        let prom = get(addr, "/metrics");
+        assert!(prom.contains("text/plain; version=0.0.4"), "{prom}");
+        assert!(prom.contains("fastbfs_queries_total 7"), "{prom}");
+        let snap = get(addr, "/snapshot");
+        assert!(snap.contains("application/json"), "{snap}");
+        assert!(snap.ends_with("{\"queries\":7}"), "{snap}");
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let bye = get(addr, "/quitquitquit");
+        assert!(bye.ends_with("bye\n"), "{bye}");
+        http.join().unwrap();
+        assert!(stop.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn serve_command_end_to_end_over_a_generated_graph() {
+        let addr_file =
+            std::env::temp_dir().join(format!("fastbfs_serve_test_{}", std::process::id()));
+        let addr_path = addr_file.to_str().unwrap().to_string();
+        let args: Vec<String> = [
+            "--family",
+            "ur",
+            "--vertices",
+            "400",
+            "--degree",
+            "4",
+            "--threads",
+            "2",
+            "--sources",
+            "3",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            &addr_path,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let driver = std::thread::spawn(move || serve(&args));
+        // The addr file appears once the listener is bound.
+        let addr: std::net::SocketAddr = {
+            let mut tries = 0;
+            loop {
+                match std::fs::read_to_string(&addr_file) {
+                    Ok(s) if !s.is_empty() => break s.parse().unwrap(),
+                    _ => {
+                        tries += 1;
+                        assert!(tries < 500, "listener never came up");
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            }
+        };
+        assert!(get(addr, "/healthz").ends_with("ok\n"));
+        // Unlimited queries: scrape twice and check the counter only grows.
+        let extract = |text: &str| -> u64 {
+            text.lines()
+                .find(|l| l.starts_with("fastbfs_queries_total"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+                .expect("queries counter present")
+        };
+        let a = extract(&get(addr, "/metrics"));
+        std::thread::sleep(Duration::from_millis(50));
+        let b = extract(&get(addr, "/metrics"));
+        assert!(b >= a, "counter went backwards: {a} -> {b}");
+        let snap = get(addr, "/snapshot");
+        assert!(snap.contains("\"hw\":"), "{snap}");
+        assert!(get(addr, "/quitquitquit").ends_with("bye\n"));
+        driver.join().unwrap().unwrap();
+        std::fs::remove_file(&addr_file).ok();
+    }
+}

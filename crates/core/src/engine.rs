@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 
 use bfs_graph::CsrGraph;
 use bfs_metrics::{Counter as Metric, Hist as MetricHist, MetricsRegistry, MetricsSnapshot};
+use bfs_perf::{PerfCounts, PerfGroup, PerfUnavailable, ENGINE_EVENTS};
 use bfs_platform::{SocketPool, Topology};
 use bfs_trace::{NoopSink, RunEvent, StepEvent, ThreadStep, TraceEvent, TraceSink};
 
@@ -79,6 +80,14 @@ pub struct BfsOptions {
     /// is forced top-down — the paper's engine unchanged; bottom-up levels
     /// additionally require the symmetric doubled-edge graph convention.
     pub direction: DirectionPolicy,
+    /// Sample hardware performance counters (cycles, instructions,
+    /// LLC/dTLB load misses via `bfs-perf`) at the phase seams and
+    /// accumulate them into the metrics registry. Off by default: each
+    /// seam costs one `read(2)` per thread per step. When requested but
+    /// unavailable (non-Linux, `perf_event_paranoid`, containers) the
+    /// engine runs identically and [`BfsEngine::hw_status`] carries the
+    /// typed reason.
+    pub hw_counters: bool,
 }
 
 impl Default for BfsOptions {
@@ -92,6 +101,73 @@ impl Default for BfsOptions {
             bin_kernel: BinKernel::Simd,
             encoding: PbvEncoding::Auto,
             direction: DirectionPolicy::ForcedTopDown,
+            hw_counters: false,
+        }
+    }
+}
+
+/// Hardware-counter state, decided once at engine construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HwCounterStatus {
+    /// [`BfsOptions::hw_counters`] was false; no probe was attempted.
+    Disabled,
+    /// The probe succeeded: each worker opens a per-thread counter group
+    /// per SPMD region and samples it at the phase seams.
+    Enabled,
+    /// Requested but unavailable; the engine runs without hardware
+    /// counters and the reason is carried for reporting.
+    Unavailable(PerfUnavailable),
+}
+
+impl HwCounterStatus {
+    /// The degradation reason, when there is one.
+    pub fn unavailable_reason(&self) -> Option<&PerfUnavailable> {
+        match self {
+            HwCounterStatus::Unavailable(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Per-thread hardware sampling state for one SPMD region: a counter
+/// group plus per-phase accumulators, all fixed-size (the warm path
+/// stays allocation-free). Phase indices follow
+/// [`bfs_metrics::Counter::HW_BY_PHASE`]: 0 = Phase I, 1 = Phase II,
+/// 2 = bottom-up, 3 = rearrangement.
+struct HwSampler {
+    group: PerfGroup,
+    last: PerfCounts,
+    acc: [PerfCounts; 4],
+}
+
+impl HwSampler {
+    /// Opens and enables this thread's group. `None` on any failure —
+    /// per-thread degradation even after a successful engine-level probe
+    /// (e.g. fd limits), never an error.
+    fn open() -> Option<Self> {
+        let mut group = PerfGroup::open(&ENGINE_EVENTS).ok()?;
+        group.enable();
+        let last = group.read_counts()?;
+        Some(Self {
+            group,
+            last,
+            acc: [PerfCounts::default(); 4],
+        })
+    }
+
+    /// Re-reads the counters, dropping the interval since the previous
+    /// read (used across barriers: wait time belongs to no phase).
+    fn resync(&mut self) {
+        if let Some(now) = self.group.read_counts() {
+            self.last = now;
+        }
+    }
+
+    /// Attributes the counters since the previous read to `phase`.
+    fn sample(&mut self, phase: usize) {
+        if let Some(now) = self.group.read_counts() {
+            self.acc[phase].accumulate(&now.delta(&self.last));
+            self.last = now;
         }
     }
 }
@@ -318,6 +394,9 @@ pub struct BfsEngine<'g> {
     /// Always-on sharded metrics: one padded slot per pool thread plus a
     /// driver slot; workers flush their private counters at region exit.
     metrics: MetricsRegistry,
+    /// Hardware-counter availability, probed once at construction when
+    /// [`BfsOptions::hw_counters`] is set.
+    hw: HwCounterStatus,
 }
 
 impl<'g> BfsEngine<'g> {
@@ -336,6 +415,14 @@ impl<'g> BfsEngine<'g> {
         };
         let rho_estimate = graph.average_degree().max(1.0);
         let encoding = options.encoding.resolve(geometry.n_bins, rho_estimate);
+        let hw = if options.hw_counters {
+            match bfs_perf::availability() {
+                Ok(()) => HwCounterStatus::Enabled,
+                Err(reason) => HwCounterStatus::Unavailable(reason),
+            }
+        } else {
+            HwCounterStatus::Disabled
+        };
         Self {
             graph,
             topology,
@@ -344,6 +431,7 @@ impl<'g> BfsEngine<'g> {
             geometry,
             encoding,
             metrics: MetricsRegistry::new(topology.total_threads()),
+            hw,
         }
     }
 
@@ -360,6 +448,13 @@ impl<'g> BfsEngine<'g> {
     /// The options in effect.
     pub fn options(&self) -> &BfsOptions {
         &self.options
+    }
+
+    /// Hardware-counter availability for this engine:
+    /// [`HwCounterStatus::Disabled`] unless requested via
+    /// [`BfsOptions::hw_counters`], then the probed outcome.
+    pub fn hw_status(&self) -> &HwCounterStatus {
+        &self.hw
     }
 
     /// Merged view of the always-on metrics registry. `&mut self` proves no
@@ -461,6 +556,14 @@ impl<'g> BfsEngine<'g> {
             // straight to the thread's padded slot; counter totals flush
             // once at region exit. No allocation on this path.
             let mut mw = self.metrics.writer(tid);
+            // Per-thread hardware counter group, sampled at the phase
+            // seams. None unless the construction-time probe succeeded;
+            // a thread-level open failure degrades that thread silently.
+            let mut hw = if self.hw == HwCounterStatus::Enabled {
+                HwSampler::open()
+            } else {
+                None
+            };
             let mut c = Counters {
                 enqueued: 0,
                 binning_ops: 0,
@@ -502,6 +605,11 @@ impl<'g> BfsEngine<'g> {
                     edge_totals[(step & 1) as usize].store(0, Ordering::Relaxed);
                 }
                 let scattered_before = c.scattered;
+                // Drop whatever accumulated since the last seam (loop
+                // bookkeeping, previous step's tail) from attribution.
+                if let Some(h) = hw.as_mut() {
+                    h.resync();
+                }
                 let p1 = Instant::now();
                 match dir {
                     // Bottom-up "Phase I": publish this thread's sparse
@@ -539,7 +647,16 @@ impl<'g> BfsEngine<'g> {
                 }
                 let d1 = p1.elapsed();
                 c.phase1 += d1;
+                // Phase I hardware sample, mirroring `Phase1Ns` semantics
+                // (on bottom-up levels this covers the bitmap publish);
+                // taken before the barrier so wait time stays out.
+                if let Some(h) = hw.as_mut() {
+                    h.sample(0);
+                }
                 c.barrier_ns += ctx.timed_barrier().1;
+                if let Some(h) = hw.as_mut() {
+                    h.resync();
+                }
 
                 let mut d2 = Duration::ZERO;
                 let checks_before = c.edge_checks;
@@ -550,6 +667,9 @@ impl<'g> BfsEngine<'g> {
                         d2 = p2.elapsed();
                         c.phase2 += d2;
                         c.bottom_up += d2;
+                        if let Some(h) = hw.as_mut() {
+                            h.sample(2);
+                        }
                     }
                     Direction::TopDown
                         if self.options.scheduling != Scheduling::NoMultiSocketOpt =>
@@ -567,6 +687,9 @@ impl<'g> BfsEngine<'g> {
                         );
                         d2 = p2.elapsed();
                         c.phase2 += d2;
+                        if let Some(h) = hw.as_mut() {
+                            h.sample(1);
+                        }
                     }
                     Direction::TopDown => {}
                 }
@@ -590,6 +713,9 @@ impl<'g> BfsEngine<'g> {
                     });
                     dr = pr.elapsed();
                     c.rearrange += dr;
+                    if let Some(h) = hw.as_mut() {
+                        h.sample(3);
+                    }
                 }
                 let mine = state.bv_next.with_mut(tid, |f| {
                     if track_touched {
@@ -682,6 +808,15 @@ impl<'g> BfsEngine<'g> {
             mw.add(Metric::EdgeChecks, c.edge_checks);
             mw.add(Metric::Enqueued, c.enqueued);
             mw.add(Metric::BinningOps, c.binning_ops);
+            // Hardware counters: 16 more adds when sampling ran, through
+            // the same unsynchronized per-slot path.
+            if let Some(h) = &hw {
+                for (phase, metrics) in Metric::HW_BY_PHASE.iter().enumerate() {
+                    for (event, &m) in metrics.iter().enumerate() {
+                        mw.add(m, h.acc[phase].get(event));
+                    }
+                }
+            }
             c
         });
 

@@ -74,7 +74,7 @@ pub mod vis;
 
 pub use direction::{count_switches, Direction, DirectionPolicy, FrontierBitmap};
 pub use dp::{DepthParent, INF_DEPTH};
-pub use engine::{BfsEngine, BfsOptions, BfsOutput, Scheduling};
+pub use engine::{BfsEngine, BfsOptions, BfsOutput, HwCounterStatus, Scheduling};
 pub use pbv::PbvEncoding;
 pub use session::BfsSession;
 pub use stats::TraversalStats;

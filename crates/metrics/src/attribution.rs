@@ -38,6 +38,21 @@ pub struct PhaseAttribution {
     pub measured_gbps: Option<f64>,
     /// Bandwidth the §IV model predicts the phase sustains on this machine.
     pub predicted_gbps: Option<f64>,
+    /// Hardware cycles spent in this phase (perf counter groups sampled at
+    /// the engine's phase seams). `None` when counters were unavailable,
+    /// not requested, or the phase has no seam (barrier).
+    pub hw_cycles: Option<u64>,
+    /// Instructions retired in this phase.
+    pub hw_instructions: Option<u64>,
+    /// LLC load misses in this phase.
+    pub hw_llc_misses: Option<u64>,
+    /// dTLB load misses in this phase.
+    pub hw_dtlb_misses: Option<u64>,
+    /// Achieved DDR bandwidth from *measured* traffic:
+    /// `hw_llc_misses × cache_line` bytes over the phase's mean per-thread
+    /// time — the counter-backed counterpart of the model-derived
+    /// `measured_gbps`, letting the two estimates cross-check each other.
+    pub hw_gbps: Option<f64>,
 }
 
 /// One step's measured-vs-modelled row (needs a trace; `fastbfs metrics`
@@ -98,6 +113,17 @@ pub struct AttributionReport {
     pub sockets: Vec<SocketLoad>,
     /// Worst worker's busy time over the mean (1.0 = perfectly even).
     pub thread_imbalance: f64,
+    /// `Some(reason)` when hardware counters were requested but could not
+    /// be opened (permission, no vPMU, non-Linux host); rendered as an
+    /// explicit marker so model-only rows are never mistaken for measured
+    /// ones. `None` when counters ran or were never requested.
+    pub hw_unavailable: Option<String>,
+    /// Phase I dTLB load misses per scattered neighbor. §III-C's argument
+    /// for frontier rearrangement is that sorting the boundary vertices
+    /// makes the scatter walk pages in order, collapsing this rate toward
+    /// zero; runs with rearrangement disabled show the "before" rate.
+    /// `None` without hardware counters or scatter work.
+    pub dtlb_per_scatter: Option<f64>,
     /// The underlying model prediction, in full.
     pub prediction: Prediction,
 }
@@ -114,6 +140,12 @@ pub struct AttributionContext<'a> {
     pub lanes_per_socket: usize,
     /// Access skew `α_Adj` for the multi-socket composition.
     pub alpha: f64,
+    /// Cache-line size in bytes (from the live topology); converts
+    /// measured LLC misses into DDR bytes.
+    pub cache_line: usize,
+    /// `Some(reason)` when hardware counters were requested but
+    /// unavailable on this host; copied into the report verbatim.
+    pub hw_unavailable: Option<String>,
 }
 
 impl AttributionReport {
@@ -152,8 +184,22 @@ impl AttributionReport {
         };
 
         let workers = snap.workers.max(1) as f64;
-        // (name, time counter, unit counter, model bytes/unit, predicted GB/s)
-        type PhaseRow = (&'static str, Counter, Counter, Option<f64>, Option<f64>);
+        // Hardware counters accumulate only when the engine opened perf
+        // groups; an all-zero block means model-only rows.
+        let hw_measured = Counter::HW_BY_PHASE
+            .iter()
+            .flatten()
+            .any(|&c| snap.total(c) > 0);
+        // (name, time counter, unit counter, model bytes/unit,
+        //  predicted GB/s, HW_BY_PHASE row)
+        type PhaseRow = (
+            &'static str,
+            Counter,
+            Counter,
+            Option<f64>,
+            Option<f64>,
+            Option<usize>,
+        );
         let phase_rows: [PhaseRow; 5] = [
             (
                 "phase1",
@@ -161,6 +207,7 @@ impl AttributionReport {
                 Counter::ScatteredEdges,
                 Some(p.phase1_ddr_bpe),
                 Some(p.phase1_gbps(freq, sockets)),
+                Some(0),
             ),
             (
                 "phase2",
@@ -168,15 +215,18 @@ impl AttributionReport {
                 Counter::BinEntries,
                 Some(p.phase2_ddr_bpe),
                 Some(p.phase2_gbps(freq, sockets)),
+                Some(1),
             ),
-            // The §IV model predates direction optimization: probes have no
-            // bytes-per-edge term, so bottom-up rows carry time only.
+            // The paper's §IV predates direction optimization; the
+            // bytes-per-probe term is this repo's model extension
+            // (`bfs_model::traffic::bottom_up_ddr`).
             (
                 "bottom_up",
                 Counter::BottomUpNs,
                 Counter::EdgeChecks,
-                None,
-                None,
+                Some(p.bottom_up_bpe),
+                Some(p.bottom_up_gbps(freq, sockets)),
+                Some(2),
             ),
             (
                 "rearrange",
@@ -184,6 +234,7 @@ impl AttributionReport {
                 Counter::Enqueued,
                 Some(p.rearrange_bpe),
                 Some(p.rearrange_gbps(freq, sockets)),
+                Some(3),
             ),
             (
                 "barrier",
@@ -191,12 +242,13 @@ impl AttributionReport {
                 Counter::BarrierNs,
                 None,
                 None,
+                None,
             ),
         ];
         let total_ns: u64 = phase_rows.iter().map(|r| snap.total(r.1)).sum();
-        let phases = phase_rows
+        let phases: Vec<PhaseAttribution> = phase_rows
             .iter()
-            .map(|(name, time_c, unit_c, bpe, predicted)| {
+            .map(|(name, time_c, unit_c, bpe, predicted, hw_row)| {
                 let busy_ns = snap.total(*time_c);
                 let units = if *name == "barrier" {
                     0
@@ -212,6 +264,21 @@ impl AttributionReport {
                     }
                     _ => None,
                 };
+                let hw = hw_row.filter(|_| hw_measured).map(|i| {
+                    let [cy, ins, llc, dtlb] = Counter::HW_BY_PHASE[i];
+                    (
+                        snap.total(cy),
+                        snap.total(ins),
+                        snap.total(llc),
+                        snap.total(dtlb),
+                    )
+                });
+                let hw_gbps = hw.and_then(|(_, _, llc, _)| {
+                    (busy_ns > 0).then(|| {
+                        let bytes = llc as f64 * ctx.cache_line as f64;
+                        bytes / (busy_ns as f64 / workers)
+                    })
+                });
                 PhaseAttribution {
                     phase: name.to_string(),
                     busy_ns,
@@ -224,9 +291,18 @@ impl AttributionReport {
                     model_bpe: *bpe,
                     measured_gbps,
                     predicted_gbps: *predicted,
+                    hw_cycles: hw.map(|h| h.0),
+                    hw_instructions: hw.map(|h| h.1),
+                    hw_llc_misses: hw.map(|h| h.2),
+                    hw_dtlb_misses: hw.map(|h| h.3),
+                    hw_gbps,
                 }
             })
             .collect();
+        let dtlb_per_scatter = phases[0]
+            .hw_dtlb_misses
+            .filter(|_| phases[0].units > 0)
+            .map(|m| m as f64 / phases[0].units as f64);
 
         let td_bpe = p.phase1_ddr_bpe + p.phase2_ddr_bpe + p.rearrange_bpe;
         let c = p.cycles_for(sockets);
@@ -307,6 +383,8 @@ impl AttributionReport {
             step_detail,
             sockets: sockets_out,
             thread_imbalance,
+            hw_unavailable: ctx.hw_unavailable.clone(),
+            dtlb_per_scatter,
             prediction: p,
         }
     }
@@ -337,6 +415,39 @@ impl AttributionReport {
                 ph.measured_gbps.map_or("-".into(), |v| format!("{v:.2}")),
                 ph.predicted_gbps.map_or("-".into(), |v| format!("{v:.2}")),
             );
+        }
+        if let Some(reason) = &self.hw_unavailable {
+            let _ = writeln!(out, "hw: unavailable ({reason}) — model-only rows");
+        } else if self.phases.iter().any(|p| p.hw_cycles.is_some()) {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>14} {:>14} {:>6} {:>12} {:>11} {:>12}",
+                "phase", "hw_cycles", "hw_instr", "ipc", "llc_miss", "hw_GB/s", "dtlb_miss"
+            );
+            for ph in self.phases.iter().filter(|p| p.hw_cycles.is_some()) {
+                let cy = ph.hw_cycles.unwrap_or(0);
+                let ipc = ph
+                    .hw_instructions
+                    .filter(|_| cy > 0)
+                    .map(|i| i as f64 / cy as f64);
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:>14} {:>14} {:>6} {:>12} {:>11} {:>12}",
+                    ph.phase,
+                    cy,
+                    ph.hw_instructions.unwrap_or(0),
+                    ipc.map_or("-".into(), |v| format!("{v:.2}")),
+                    ph.hw_llc_misses.unwrap_or(0),
+                    ph.hw_gbps.map_or("-".into(), |v| format!("{v:.2}")),
+                    ph.hw_dtlb_misses.unwrap_or(0),
+                );
+            }
+            if let Some(rate) = self.dtlb_per_scatter {
+                let _ = writeln!(
+                    out,
+                    "dTLB/scattered entry (phase1): {rate:.4} — §III-C rearrangement drives this toward 0"
+                );
+            }
         }
         if !self.step_detail.is_empty() {
             let _ = writeln!(
@@ -422,6 +533,8 @@ mod tests {
             num_vertices: 1 << 20,
             lanes_per_socket: 1,
             alpha: 0.6,
+            cache_line: 64,
+            hw_unavailable: None,
         }
     }
 
@@ -446,9 +559,16 @@ mod tests {
         let expect = r.prediction.phase1_ddr_bpe * 800_000.0 / 4_000_000.0;
         assert!((p1.measured_gbps.unwrap() - expect).abs() < 1e-9);
         assert!(p1.predicted_gbps.unwrap() > 0.0);
-        // Bottom-up and barrier rows carry no model term.
-        assert!(r.phases[2].model_bpe.is_none());
+        // Bottom-up rows carry the model-extension term; barrier has none.
+        let bu = &r.phases[2];
+        assert_eq!(bu.phase, "bottom_up");
+        assert!((bu.model_bpe.unwrap() - r.prediction.bottom_up_bpe).abs() < 1e-12);
+        assert!(bu.predicted_gbps.unwrap() > 0.0);
+        assert!(r.phases[4].model_bpe.is_none());
         assert!(r.phases[4].measured_gbps.is_none());
+        // No hw counters in the synthetic snapshot → hw columns absent.
+        assert!(r.phases.iter().all(|p| p.hw_cycles.is_none()));
+        assert!(r.dtlb_per_scatter.is_none());
         let share_sum: f64 = r.phases.iter().map(|p| p.share).sum();
         assert!((share_sum - 1.0).abs() < 1e-9);
         // Even synthetic load → both sockets at 1.0.
@@ -495,6 +615,65 @@ mod tests {
         let text = r.render_text(&snap);
         assert!(text.contains("phase1"), "{text}");
         assert!(text.contains("top-down"), "{text}");
+    }
+
+    #[test]
+    fn hw_counters_populate_phase_rows_and_dtlb_rate() {
+        let m = MachineSpec::xeon_x5570_2s();
+        let mut reg = MetricsRegistry::new(2);
+        for t in 0..2 {
+            let mut w = reg.writer(t);
+            w.add(Counter::Phase1Ns, 4_000_000);
+            w.add(Counter::ScatteredEdges, 400_000);
+            w.add(Counter::Phase1HwCycles, 10_000_000);
+            w.add(Counter::Phase1HwInstructions, 8_000_000);
+            w.add(Counter::Phase1LlcMisses, 50_000);
+            w.add(Counter::Phase1DtlbMisses, 2_000);
+        }
+        {
+            let mut d = reg.driver();
+            d.add(Counter::Queries, 1);
+            d.add(Counter::QueryNs, 9_000_000);
+            d.add(Counter::Steps, 8);
+            d.add(Counter::VisitedVertices, 120_000);
+            d.add(Counter::TraversedEdges, 800_000);
+        }
+        let snap = reg.snapshot();
+        let r = AttributionReport::build(&snap, &[], &ctx(&m));
+        let p1 = &r.phases[0];
+        assert_eq!(p1.hw_cycles, Some(20_000_000));
+        assert_eq!(p1.hw_instructions, Some(16_000_000));
+        assert_eq!(p1.hw_llc_misses, Some(100_000));
+        assert_eq!(p1.hw_dtlb_misses, Some(4_000));
+        // 100k misses × 64 B over 4 ms mean per-thread time.
+        let expect = 100_000.0 * 64.0 / 4_000_000.0;
+        assert!((p1.hw_gbps.unwrap() - expect).abs() < 1e-9);
+        // 4k misses over 800k scattered neighbors.
+        assert!((r.dtlb_per_scatter.unwrap() - 0.005).abs() < 1e-12);
+        // Phases that never ran with counters still carry Some(0) — the
+        // block as a whole was measured; barrier stays None.
+        assert_eq!(r.phases[1].hw_cycles, Some(0));
+        assert!(r.phases[4].hw_cycles.is_none());
+        let text = r.render_text(&snap);
+        assert!(text.contains("hw_cycles"), "{text}");
+        assert!(text.contains("dTLB/scattered entry"), "{text}");
+        assert!(!text.contains("hw: unavailable"), "{text}");
+    }
+
+    #[test]
+    fn unavailable_reason_is_surfaced_not_mistaken_for_zero() {
+        let m = MachineSpec::xeon_x5570_2s();
+        let snap = synthetic_snapshot();
+        let mut c = ctx(&m);
+        c.hw_unavailable = Some("PMU not available on this host".into());
+        let r = AttributionReport::build(&snap, &[], &c);
+        assert!(r.phases.iter().all(|p| p.hw_cycles.is_none()));
+        let text = r.render_text(&snap);
+        assert!(
+            text.contains("hw: unavailable (PMU not available on this host)"),
+            "{text}"
+        );
+        assert!(!text.contains("hw_cycles"), "{text}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! experiment:
 //!
 //! * [`registry`] — the sharded [`MetricsRegistry`]: a fixed vocabulary of
-//!   19 counters + 3 power-of-two histograms, stored in one
+//!   35 counters + 3 power-of-two histograms, stored in one
 //!   cache-line-padded slot per engine thread (plus a driver slot). A
 //!   hot-path increment is a plain unsynchronized `u64` add into the
 //!   thread's own slot — no atomics, no locks, no allocation — which is
@@ -42,10 +42,11 @@ pub use attribution::{
 pub use registry::{Counter, Hist, MetricsRegistry, MetricsWriter};
 pub use snapshot::{CounterSample, HistogramSnapshot, MetricsSnapshot, ThreadCounters};
 
-use bfs_trace::{MetricSample, MetricsEvent};
+use bfs_trace::{HistSummarySample, MetricSample, MetricsEvent};
 
-/// Converts a snapshot's aggregated counters into a trace event, so JSONL
-/// traces can carry the registry totals alongside the per-step timeline.
+/// Converts a snapshot's aggregated counters and histogram summaries
+/// into a trace event, so JSONL traces can carry the registry totals
+/// (plus p50/p99 of each histogram) alongside the per-step timeline.
 pub fn snapshot_to_trace_event(snap: &MetricsSnapshot, scope: &str) -> MetricsEvent {
     MetricsEvent {
         scope: scope.to_string(),
@@ -57,6 +58,17 @@ pub fn snapshot_to_trace_event(snap: &MetricsSnapshot, scope: &str) -> MetricsEv
                 value: c.value,
             })
             .collect(),
+        hists: Some(
+            snap.histograms
+                .iter()
+                .map(|h| HistSummarySample {
+                    name: h.name.clone(),
+                    count: h.count,
+                    p50: h.quantile(0.5),
+                    p99: h.quantile(0.99),
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -76,5 +88,30 @@ mod tests {
         assert_eq!(ev.samples.len(), registry::NUM_COUNTERS);
         let q = ev.samples.iter().find(|s| s.name == "queries").unwrap();
         assert_eq!(q.value, 4);
+        let hists = ev.hists.as_ref().expect("histogram summaries attached");
+        assert_eq!(hists.len(), registry::NUM_HISTS);
+        assert!(hists.iter().any(|h| h.name == "step_ns"));
+    }
+
+    #[test]
+    fn trace_event_hists_carry_quantiles() {
+        let mut reg = MetricsRegistry::new(1);
+        {
+            let mut w = reg.writer(0);
+            for v in [100u64, 200, 300, 400] {
+                w.observe(Hist::StepNs, v);
+            }
+        }
+        let snap = reg.snapshot();
+        let ev = snapshot_to_trace_event(&snap, "run");
+        let h = ev
+            .hists
+            .unwrap()
+            .into_iter()
+            .find(|h| h.name == "step_ns")
+            .unwrap();
+        assert_eq!(h.count, 4);
+        assert!((h.p50 - snap.histogram(Hist::StepNs).quantile(0.5)).abs() < 1e-12);
+        assert!(h.p50 > 0.0 && h.p50 <= h.p99);
     }
 }

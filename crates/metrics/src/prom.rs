@@ -88,6 +88,26 @@ fn help(c: Counter) -> &'static str {
         Counter::EdgeChecks => "Bottom-up neighbor probes",
         Counter::Enqueued => "Successful depth claims (duplicates included)",
         Counter::BinningOps => "SIMD bin-index kernel operations",
+        Counter::Phase1HwCycles => "Hardware cycles in Phase I (0 when perf is unavailable)",
+        Counter::Phase1HwInstructions => "Hardware instructions retired in Phase I",
+        Counter::Phase1LlcMisses => "LLC load misses in Phase I",
+        Counter::Phase1DtlbMisses => "dTLB load misses in Phase I",
+        Counter::Phase2HwCycles => "Hardware cycles in Phase II (0 when perf is unavailable)",
+        Counter::Phase2HwInstructions => "Hardware instructions retired in Phase II",
+        Counter::Phase2LlcMisses => "LLC load misses in Phase II",
+        Counter::Phase2DtlbMisses => "dTLB load misses in Phase II",
+        Counter::BottomUpHwCycles => {
+            "Hardware cycles in bottom-up scans (0 when perf is unavailable)"
+        }
+        Counter::BottomUpHwInstructions => "Hardware instructions retired in bottom-up scans",
+        Counter::BottomUpLlcMisses => "LLC load misses in bottom-up scans",
+        Counter::BottomUpDtlbMisses => "dTLB load misses in bottom-up scans",
+        Counter::RearrangeHwCycles => {
+            "Hardware cycles in rearrangement (0 when perf is unavailable)"
+        }
+        Counter::RearrangeHwInstructions => "Hardware instructions retired in rearrangement",
+        Counter::RearrangeLlcMisses => "LLC load misses in rearrangement",
+        Counter::RearrangeDtlbMisses => "dTLB load misses in rearrangement",
     }
 }
 

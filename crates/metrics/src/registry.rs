@@ -72,11 +72,45 @@ pub enum Counter {
     Enqueued,
     /// SIMD bin-index kernel operations (thread scope).
     BinningOps,
+    /// Hardware CPU cycles retired during Phase I (thread scope; zero
+    /// when perf counters are unavailable — see `bfs-perf`).
+    Phase1HwCycles,
+    /// Hardware instructions retired during Phase I (thread scope).
+    Phase1HwInstructions,
+    /// LLC load misses during Phase I (thread scope). Each miss is one
+    /// cache line of measured DDR read traffic.
+    Phase1LlcMisses,
+    /// dTLB load misses during Phase I (thread scope).
+    Phase1DtlbMisses,
+    /// Hardware CPU cycles retired during Phase II (thread scope).
+    Phase2HwCycles,
+    /// Hardware instructions retired during Phase II (thread scope).
+    Phase2HwInstructions,
+    /// LLC load misses during Phase II (thread scope).
+    Phase2LlcMisses,
+    /// dTLB load misses during Phase II (thread scope).
+    Phase2DtlbMisses,
+    /// Hardware CPU cycles retired during bottom-up scans (thread scope).
+    BottomUpHwCycles,
+    /// Hardware instructions retired during bottom-up scans (thread scope).
+    BottomUpHwInstructions,
+    /// LLC load misses during bottom-up scans (thread scope).
+    BottomUpLlcMisses,
+    /// dTLB load misses during bottom-up scans (thread scope).
+    BottomUpDtlbMisses,
+    /// Hardware CPU cycles retired during rearrangement (thread scope).
+    RearrangeHwCycles,
+    /// Hardware instructions retired during rearrangement (thread scope).
+    RearrangeHwInstructions,
+    /// LLC load misses during rearrangement (thread scope).
+    RearrangeLlcMisses,
+    /// dTLB load misses during rearrangement (thread scope).
+    RearrangeDtlbMisses,
 }
 
 impl Counter {
     /// Every counter, in stable index order (`c as usize` indexes this).
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 35] = [
         Counter::Queries,
         Counter::QueryNs,
         Counter::Steps,
@@ -96,6 +130,22 @@ impl Counter {
         Counter::EdgeChecks,
         Counter::Enqueued,
         Counter::BinningOps,
+        Counter::Phase1HwCycles,
+        Counter::Phase1HwInstructions,
+        Counter::Phase1LlcMisses,
+        Counter::Phase1DtlbMisses,
+        Counter::Phase2HwCycles,
+        Counter::Phase2HwInstructions,
+        Counter::Phase2LlcMisses,
+        Counter::Phase2DtlbMisses,
+        Counter::BottomUpHwCycles,
+        Counter::BottomUpHwInstructions,
+        Counter::BottomUpLlcMisses,
+        Counter::BottomUpDtlbMisses,
+        Counter::RearrangeHwCycles,
+        Counter::RearrangeHwInstructions,
+        Counter::RearrangeLlcMisses,
+        Counter::RearrangeDtlbMisses,
     ];
 
     /// Stable snake_case name used in JSON and Prometheus exposition.
@@ -120,8 +170,55 @@ impl Counter {
             Counter::EdgeChecks => "edge_checks",
             Counter::Enqueued => "enqueued",
             Counter::BinningOps => "binning_ops",
+            Counter::Phase1HwCycles => "phase1_hw_cycles",
+            Counter::Phase1HwInstructions => "phase1_hw_instructions",
+            Counter::Phase1LlcMisses => "phase1_llc_misses",
+            Counter::Phase1DtlbMisses => "phase1_dtlb_misses",
+            Counter::Phase2HwCycles => "phase2_hw_cycles",
+            Counter::Phase2HwInstructions => "phase2_hw_instructions",
+            Counter::Phase2LlcMisses => "phase2_llc_misses",
+            Counter::Phase2DtlbMisses => "phase2_dtlb_misses",
+            Counter::BottomUpHwCycles => "bottom_up_hw_cycles",
+            Counter::BottomUpHwInstructions => "bottom_up_hw_instructions",
+            Counter::BottomUpLlcMisses => "bottom_up_llc_misses",
+            Counter::BottomUpDtlbMisses => "bottom_up_dtlb_misses",
+            Counter::RearrangeHwCycles => "rearrange_hw_cycles",
+            Counter::RearrangeHwInstructions => "rearrange_hw_instructions",
+            Counter::RearrangeLlcMisses => "rearrange_llc_misses",
+            Counter::RearrangeDtlbMisses => "rearrange_dtlb_misses",
         }
     }
+
+    /// The four hardware counters for one engine phase, in
+    /// `bfs-perf::ENGINE_EVENTS` order (cycles, instructions, LLC load
+    /// misses, dTLB load misses). Phase index: 0 = Phase I, 1 = Phase II,
+    /// 2 = bottom-up, 3 = rearrangement.
+    pub const HW_BY_PHASE: [[Counter; 4]; 4] = [
+        [
+            Counter::Phase1HwCycles,
+            Counter::Phase1HwInstructions,
+            Counter::Phase1LlcMisses,
+            Counter::Phase1DtlbMisses,
+        ],
+        [
+            Counter::Phase2HwCycles,
+            Counter::Phase2HwInstructions,
+            Counter::Phase2LlcMisses,
+            Counter::Phase2DtlbMisses,
+        ],
+        [
+            Counter::BottomUpHwCycles,
+            Counter::BottomUpHwInstructions,
+            Counter::BottomUpLlcMisses,
+            Counter::BottomUpDtlbMisses,
+        ],
+        [
+            Counter::RearrangeHwCycles,
+            Counter::RearrangeHwInstructions,
+            Counter::RearrangeLlcMisses,
+            Counter::RearrangeDtlbMisses,
+        ],
+    ];
 }
 
 /// The histogram vocabulary.

@@ -35,6 +35,10 @@ pub struct Prediction {
     pub phase2_ddr_bpe: f64,
     pub phase2_llc_bpe: f64,
     pub rearrange_bpe: f64,
+    /// DDR bytes per bottom-up edge probe (model extension — see
+    /// [`traffic::bottom_up_ddr`]; the paper's §IV predates direction
+    /// optimization).
+    pub bottom_up_bpe: f64,
     /// Eqn IV.2 on one socket of the machine.
     pub single_socket: PhaseCycles,
     /// Appendix C/D composition on all sockets at access skew `alpha`.
@@ -94,6 +98,20 @@ impl Prediction {
             freq_ghz,
         )
     }
+
+    /// Predicted aggregate DDR bandwidth (GB/s) during bottom-up scans.
+    /// The model has no bottom-up cycle equation, so the Phase II
+    /// cycles/edge stand in: a probe walks the same random-access VIS/DP
+    /// substrate as a Phase II bin entry (first-order assumption, stated
+    /// so measured-vs-predicted gaps on bottom-up rows are read with
+    /// that grain of salt).
+    pub fn bottom_up_gbps(&self, freq_ghz: f64, sockets: usize) -> f64 {
+        phase_gbps(
+            self.bottom_up_bpe,
+            self.cycles_for(sockets).phase2,
+            freq_ghz,
+        )
+    }
 }
 
 /// `bpe` bytes/edge over `cpe` whole-machine cycles/edge at `freq_ghz`:
@@ -131,6 +149,7 @@ pub fn predict(machine: &MachineSpec, g: &GraphParams, alpha: f64) -> Prediction
         phase2_ddr_bpe: t.phase2_ddr,
         phase2_llc_bpe: t.phase2_llc,
         rearrange_bpe: t.rearrange_ddr,
+        bottom_up_bpe: t.bottom_up_ddr,
         single_socket: single.into(),
         multi_socket: multi.into(),
         mteps_single: runtime::mteps(machine, single.total()),
@@ -193,6 +212,7 @@ mod tests {
             p.phase1_gbps(m.freq_ghz, m.sockets),
             p.phase2_gbps(m.freq_ghz, m.sockets),
             p.rearrange_gbps(m.freq_ghz, m.sockets),
+            p.bottom_up_gbps(m.freq_ghz, m.sockets),
         ] {
             assert!(gbps > 0.0, "{gbps}");
             // No phase may be modelled above the machine's aggregate peak

@@ -33,6 +33,10 @@ pub struct PhaseTraffic {
     pub phase2_llc: f64,
     /// `DT_M^{Rearrange}` (IV.1d), DDR bytes/edge.
     pub rearrange_ddr: f64,
+    /// `DT_M^{BU}`: DDR bytes per bottom-up edge probe (extension — the
+    /// paper's §IV predates direction optimization; see
+    /// [`bottom_up_ddr`]).
+    pub bottom_up_ddr: f64,
 }
 
 impl PhaseTraffic {
@@ -81,6 +85,29 @@ pub fn rearrange_ddr(g: &GraphParams) -> f64 {
     24.0 / g.rho_prime()
 }
 
+/// DDR bytes per bottom-up edge probe (model extension; the paper's §IV
+/// predates direction optimization, so this follows its amortization
+/// style rather than a published equation).
+///
+/// The bottom-up kernel scans each socket's vertex range in ascending
+/// order and, for every not-yet-visited vertex, probes neighbors against
+/// the frontier bitmap until first hit. Per *probe*: the 4 B neighbor id,
+/// read sequentially from `Adj`. Per *scanned vertex*, amortized over its
+/// probes (≈ ρ′, the same per-vertex→per-edge amortization the IV.1
+/// equations use): the 8 B `DP` visited check plus the 8 B adjacency
+/// offset, both sequential, plus a 16 B write-allocate `DP` claim
+/// (8 B store + RFO fill) for the `|V′|/|V|` fraction that gets claimed.
+/// The frontier-bitmap probe itself is random-access but — like VIS in
+/// IV.1c — the |V|/8-byte bitmap is LLC-resident at the scales the model
+/// targets, so it contributes no DDR term:
+///
+/// `DT_M^BU = 4 + (16 + 16·|V′|/|V|) / ρ′`.
+pub fn bottom_up_ddr(g: &GraphParams) -> f64 {
+    let rho = g.rho_prime();
+    let claimed_fraction = g.visited_vertices as f64 / g.num_vertices as f64;
+    4.0 + (16.0 + 16.0 * claimed_fraction) / rho
+}
+
 /// All four quantities at once.
 pub fn phase_traffic(machine: &MachineSpec, g: &GraphParams) -> PhaseTraffic {
     g.validate();
@@ -90,6 +117,7 @@ pub fn phase_traffic(machine: &MachineSpec, g: &GraphParams) -> PhaseTraffic {
         phase2_ddr: phase2_ddr(machine, g),
         phase2_llc: phase2_llc(machine, g),
         rearrange_ddr: rearrange_ddr(g),
+        bottom_up_ddr: bottom_up_ddr(g),
     }
 }
 
@@ -162,6 +190,31 @@ mod tests {
         let big = GraphParams::uniform_ideal(256 << 20, 8, 10);
         assert!(m.n_pbv(big.num_vertices) > m.n_pbv(small.num_vertices));
         assert!(phase1_ddr(&m, &big) > phase1_ddr(&m, &small));
+    }
+
+    #[test]
+    fn bottom_up_probe_is_cheaper_than_a_top_down_edge() {
+        let (m, g) = worked_example();
+        let bu = bottom_up_ddr(&g);
+        assert!(bu > 4.0, "at least the sequential neighbor read: {bu}");
+        // A bottom-up probe touches no PBV bins and no scatter traffic, so
+        // it must move far fewer DDR bytes than a full top-down edge
+        // (Phase I + Phase II) — the reason bottom-up wins fat levels.
+        assert!(
+            bu < phase1_ddr(&m, &g) + phase2_ddr(&m, &g),
+            "{bu} vs TD {}",
+            phase1_ddr(&m, &g) + phase2_ddr(&m, &g)
+        );
+    }
+
+    #[test]
+    fn bottom_up_traffic_decreases_with_degree() {
+        let lo = bottom_up_ddr(&GraphParams::uniform_ideal(16 << 20, 4, 10));
+        let hi = bottom_up_ddr(&GraphParams::uniform_ideal(16 << 20, 32, 10));
+        assert!(
+            hi < lo,
+            "per-probe cost must shrink as degree amortizes the per-vertex scan"
+        );
     }
 
     #[test]

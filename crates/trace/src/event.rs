@@ -134,6 +134,21 @@ pub struct MetricSample {
     pub value: u64,
 }
 
+/// Summary of one registry histogram inside a [`MetricsEvent`]: the
+/// count plus bucket-interpolated quantiles, computed at snapshot time
+/// so trace consumers need no bucket geometry.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistSummarySample {
+    /// Stable snake_case histogram name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Median observed value (bucket-interpolated).
+    pub p50: f64,
+    /// 99th-percentile observed value (bucket-interpolated).
+    pub p99: f64,
+}
+
 /// A metrics-registry snapshot attached to a trace: emitted after the
 /// steps it covers (typically once, at end of run), so a JSONL trace can
 /// carry the counter totals alongside the per-step timeline.
@@ -143,6 +158,9 @@ pub struct MetricsEvent {
     pub scope: String,
     /// Aggregated counter totals at snapshot time.
     pub samples: Vec<MetricSample>,
+    /// Histogram summaries at snapshot time. `None` in traces written
+    /// before the field existed.
+    pub hists: Option<Vec<HistSummarySample>>,
 }
 
 /// One superstep of the distributed driver.
@@ -292,6 +310,12 @@ mod tests {
                         value: 12345,
                     },
                 ],
+                hists: Some(vec![HistSummarySample {
+                    name: "step_ns".into(),
+                    count: 12,
+                    p50: 800.0,
+                    p99: 4000.0,
+                }]),
             }),
         ];
         for e in &events {
@@ -329,6 +353,22 @@ mod tests {
                 assert_eq!(s.direction, None);
                 assert_eq!(s.scattered, None);
                 assert_eq!(s.frontier, 4);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn metrics_event_without_hists_still_deserializes() {
+        // Traces written before the histogram-summary extension carry no
+        // `hists` field; the Option absorbs the omission.
+        let json = "{\"event\":\"metrics\",\"scope\":\"run\",\
+                    \"samples\":[{\"name\":\"queries\",\"value\":2}]}";
+        let e: TraceEvent = serde_json::from_str(json).unwrap();
+        match e {
+            TraceEvent::Metrics(m) => {
+                assert_eq!(m.hists, None);
+                assert_eq!(m.samples.len(), 1);
             }
             _ => unreachable!(),
         }

@@ -46,8 +46,8 @@ pub mod sink;
 pub mod summary;
 
 pub use event::{
-    MemStepEvent, MetricSample, MetricsEvent, RunEvent, StepEvent, SuperstepEvent, ThreadStep,
-    TraceEvent,
+    HistSummarySample, MemStepEvent, MetricSample, MetricsEvent, RunEvent, StepEvent,
+    SuperstepEvent, ThreadStep, TraceEvent,
 };
 pub use sink::{JsonlSink, NoopSink, RingSink, TeeSink, TraceSink};
 pub use summary::{summarize, TraceSummary};

@@ -13,7 +13,7 @@
 
 use std::fmt;
 
-use crate::event::{StepEvent, TraceEvent};
+use crate::event::{MetricsEvent, StepEvent, TraceEvent};
 
 /// Aggregates computed from the [`StepEvent`]s of one trace.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -44,6 +44,10 @@ pub struct TraceSummary {
     pub duplicate_rate: f64,
     /// Worst single-step duplicates / enqueues.
     pub max_step_duplicate_rate: f64,
+    /// The trailing [`TraceEvent::Metrics`] snapshot, when the trace
+    /// carries one (the last wins if several do): registry counter
+    /// totals plus histogram p50/p99 summaries.
+    pub metrics: Option<MetricsEvent>,
 }
 
 /// Nearest-rank percentile of a sorted slice (`p` in 0..=100).
@@ -113,6 +117,13 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
             .filter(|s| s.frontier > 0)
             .map(|s| s.duplicates as f64 / s.frontier as f64)
             .fold(0.0, f64::max),
+        metrics: events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Metrics(m) => Some(m.clone()),
+                _ => None,
+            })
+            .next_back(),
     }
 }
 
@@ -151,14 +162,52 @@ impl fmt::Display for TraceSummary {
             self.total_duplicates,
             self.duplicate_rate * 100.0,
             self.max_step_duplicate_rate * 100.0
-        )
+        )?;
+        if let Some(m) = &self.metrics {
+            let totals: Vec<String> = m
+                .samples
+                .iter()
+                .filter(|s| s.value != 0)
+                .map(|s| format!("{}={}", s.name, s.value))
+                .collect();
+            write!(
+                f,
+                "\ncounters ({}):   {}",
+                m.scope,
+                if totals.is_empty() {
+                    "(all zero)".to_string()
+                } else {
+                    totals.join(" ")
+                }
+            )?;
+            // Only time-valued histograms get ns/µs/ms formatting; counts
+            // (e.g. frontier_size) print as plain numbers.
+            let quant = |name: &str, v: f64| {
+                if name.ends_with("_ns") {
+                    fmt_ns(v as u64)
+                } else {
+                    format!("{v:.0}")
+                }
+            };
+            for h in m.hists.iter().flatten() {
+                write!(
+                    f,
+                    "\nhist {:<12} n={}  p50 {}  p99 {}",
+                    format!("{}:", h.name),
+                    h.count,
+                    quant(&h.name, h.p50),
+                    quant(&h.name, h.p99)
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{RunEvent, ThreadStep};
+    use crate::event::{HistSummarySample, MetricSample, RunEvent, ThreadStep};
 
     fn step(step: u32, frontier: u64, dups: u64, p1: &[u64], p2: &[u64]) -> TraceEvent {
         TraceEvent::Step(StepEvent {
@@ -195,6 +244,73 @@ mod tests {
         assert_eq!(s.max_step_ns, 0);
         assert_eq!(s.imbalance_phase1, 1.0);
         assert_eq!(s.duplicate_rate, 0.0);
+        assert_eq!(s.metrics, None);
+    }
+
+    #[test]
+    fn trailing_metrics_event_is_surfaced() {
+        let events = vec![
+            step(1, 10, 0, &[100], &[100]),
+            TraceEvent::Metrics(MetricsEvent {
+                scope: "run".into(),
+                samples: vec![
+                    MetricSample {
+                        name: "queries".into(),
+                        value: 1,
+                    },
+                    MetricSample {
+                        name: "binning_ops".into(),
+                        value: 0,
+                    },
+                    MetricSample {
+                        name: "scattered_edges".into(),
+                        value: 42,
+                    },
+                ],
+                hists: Some(vec![
+                    HistSummarySample {
+                        name: "step_ns".into(),
+                        count: 4,
+                        p50: 1_500.0,
+                        p99: 90_000.0,
+                    },
+                    HistSummarySample {
+                        name: "frontier_size".into(),
+                        count: 4,
+                        p50: 12.0,
+                        p99: 40.0,
+                    },
+                ]),
+            }),
+        ];
+        let s = summarize(&events);
+        let m = s.metrics.as_ref().expect("metrics event captured");
+        assert_eq!(m.scope, "run");
+        let text = s.to_string();
+        // Nonzero counters appear, zero-valued ones are elided.
+        assert!(text.contains("counters (run)"), "{text}");
+        assert!(text.contains("queries=1"), "{text}");
+        assert!(text.contains("scattered_edges=42"), "{text}");
+        assert!(!text.contains("binning_ops"), "{text}");
+        // Histogram summaries: time-valued get unit formatting, counts
+        // stay plain.
+        assert!(text.contains("hist step_ns:"), "{text}");
+        assert!(text.contains("p99 90.00 µs"), "{text}");
+        assert!(text.contains("hist frontier_size:"), "{text}");
+        assert!(text.contains("p50 12  p99 40"), "{text}");
+    }
+
+    #[test]
+    fn last_of_several_metrics_events_wins() {
+        let mk = |scope: &str| {
+            TraceEvent::Metrics(MetricsEvent {
+                scope: scope.into(),
+                samples: Vec::new(),
+                hists: None,
+            })
+        };
+        let s = summarize(&[mk("query"), mk("session")]);
+        assert_eq!(s.metrics.unwrap().scope, "session");
     }
 
     #[test]

@@ -37,4 +37,11 @@ if [ ! -s "$OUT" ]; then
     exit 1
 fi
 
+# The environment header records whether perf hardware events backed this
+# run ("hw_events": "available: ..." vs "unavailable: ...").
+# bench-compare warns when a counter-backed snapshot is diffed against a
+# model-only one, so surface the provenance at capture time too.
+HW_EVENTS="$(grep -o '"hw_events": "[^"]*"' "$OUT" | head -1 || true)"
+echo "==> hw events: ${HW_EVENTS:-not recorded}"
+
 echo "==> snapshot written to $OUT"

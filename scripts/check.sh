@@ -36,6 +36,53 @@ else
     echo "    (no BENCH_*.json baseline committed; skipping)"
 fi
 
+echo "==> serve smoke (live Prometheus exporter)"
+SERVE_GRAPH="$(mktemp /tmp/check_serve_XXXXXX.fbfs)"
+ADDR_FILE="$(mktemp /tmp/check_serve_XXXXXX.addr)"
+SERVE_PID=""
+# Replaces (and extends) any trap the bench-compare smoke installed.
+trap 'rm -f "${SMOKE_GRAPH:-}" "${SMOKE_OUT:-}" "$SERVE_GRAPH" "$ADDR_FILE"; [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+target/release/fastbfs gen --family rmat --scale 10 --edge-factor 8 --seed 42 -o "$SERVE_GRAPH"
+: > "$ADDR_FILE"
+# Ephemeral port; the exporter writes the bound address to --addr-file.
+target/release/fastbfs serve -i "$SERVE_GRAPH" --metrics-addr 127.0.0.1:0 \
+    --addr-file "$ADDR_FILE" --sources 8 --seed 7 --queries 150 --threads 2 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$ADDR_FILE" ] && break; sleep 0.1; done
+[ -s "$ADDR_FILE" ] || { echo "error: serve never wrote its address" >&2; exit 1; }
+ADDR="$(cat "$ADDR_FILE")"
+curl -fsS "http://$ADDR/healthz" | grep -qx ok
+# The session must stay up across >= 100 queries...
+Q=0
+for _ in $(seq 1 300); do
+    Q="$(curl -fsS "http://$ADDR/metrics" | awk '$1 == "fastbfs_queries_total" {print $2}')"
+    [ "${Q:-0}" -ge 100 ] && break
+    sleep 0.1
+done
+[ "${Q:-0}" -ge 100 ] || { echo "error: only $Q queries served" >&2; exit 1; }
+# ...with monotonically non-decreasing counters across scrapes...
+Q2="$(curl -fsS "http://$ADDR/metrics" | awk '$1 == "fastbfs_queries_total" {print $2}')"
+[ "$Q2" -ge "$Q" ] || { echo "error: counter went backwards: $Q -> $Q2" >&2; exit 1; }
+# ...valid Prometheus 0.0.4 text exposition...
+curl -fsS "http://$ADDR/metrics" | python3 -c '
+import re, sys
+lines = [l for l in sys.stdin.read().splitlines() if l]
+metric = re.compile(r"^[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$")
+bad = [l for l in lines if not (l.startswith("# HELP ") or l.startswith("# TYPE ") or metric.match(l))]
+assert not bad, f"malformed exposition lines: {bad[:3]}"
+assert any(l.startswith("fastbfs_queries_total ") for l in lines)
+'
+# ...and a JSON snapshot carrying hw-counter provenance.
+curl -fsS "http://$ADDR/snapshot" | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+assert d["queries"] >= 100, d["queries"]
+assert "hw" in d and "metrics" in d, sorted(d)
+'
+curl -fsS "http://$ADDR/quitquitquit" >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -1,0 +1,119 @@
+//! Hardware-counter degradation: requesting perf counters must never
+//! change traversal results or panic, whatever the host supports.
+//!
+//! The engine probes `perf_event_open` availability once at construction;
+//! on hosts where it fails (non-Linux, `kernel.perf_event_paranoid`,
+//! containers without a vPMU) every traversal must run identically to an
+//! engine that never asked, with the typed reason carried on
+//! [`BfsEngine::hw_status`] and the hardware counters left at zero.
+
+use bfs_core::engine::{BfsEngine, BfsOptions, HwCounterStatus};
+use bfs_core::session::BfsSession;
+use bfs_graph::gen::uniform::uniform_random;
+use bfs_graph::rng::rng_from_seed;
+use bfs_metrics::Counter;
+use bfs_platform::Topology;
+
+#[test]
+fn requesting_counters_never_changes_results() {
+    let g = uniform_random(2000, 7, &mut rng_from_seed(11));
+    let topo = Topology::synthetic(2, 2);
+    let plain = BfsEngine::new(&g, topo, BfsOptions::default());
+    let opts = BfsOptions {
+        hw_counters: true,
+        ..Default::default()
+    };
+    let mut with_hw = BfsEngine::new(&g, topo, opts);
+    // The probe must resolve to a real outcome, never stay Disabled.
+    assert_ne!(*with_hw.hw_status(), HwCounterStatus::Disabled);
+    for source in [0u32, 999, 1999] {
+        let a = plain.run(source);
+        let b = with_hw.run(source);
+        // Depths and traversal totals are deterministic; parents and
+        // duplicate counts are schedule-dependent (§III-A benign race).
+        assert_eq!(a.depths, b.depths, "source {source}");
+        assert_eq!(
+            a.stats.visited_vertices, b.stats.visited_vertices,
+            "source {source}"
+        );
+        assert_eq!(
+            a.stats.traversed_edges, b.stats.traversed_edges,
+            "source {source}"
+        );
+        assert_eq!(a.stats.steps, b.stats.steps, "source {source}");
+    }
+    let snap = with_hw.metrics_snapshot();
+    let hw_total: u64 = Counter::HW_BY_PHASE
+        .iter()
+        .flatten()
+        .map(|&c| snap.total(c))
+        .sum();
+    match with_hw.hw_status() {
+        HwCounterStatus::Enabled => {
+            // Counters may still read zero on exotic PMUs, but the common
+            // case is real cycle counts; either way nothing crashed.
+        }
+        HwCounterStatus::Unavailable(reason) => {
+            assert_eq!(hw_total, 0, "unavailable host must accumulate nothing");
+            assert!(!reason.to_string().is_empty());
+        }
+        HwCounterStatus::Disabled => unreachable!("checked above"),
+    }
+}
+
+#[test]
+fn disabled_by_default_and_counters_stay_zero() {
+    let g = uniform_random(600, 5, &mut rng_from_seed(3));
+    let mut engine = BfsEngine::new(&g, Topology::synthetic(1, 2), BfsOptions::default());
+    assert_eq!(*engine.hw_status(), HwCounterStatus::Disabled);
+    engine.run(0);
+    let snap = engine.metrics_snapshot();
+    for &c in Counter::HW_BY_PHASE.iter().flatten() {
+        assert_eq!(snap.total(c), 0, "{c:?} without hw_counters");
+    }
+}
+
+#[test]
+fn warm_session_queries_with_counters_requested_are_stable() {
+    // The session path exercises the persistent-pool SPMD region; the
+    // per-thread sampler must re-open and re-accumulate per query without
+    // disturbing the epoch-stamped resets.
+    let g = uniform_random(1500, 6, &mut rng_from_seed(21));
+    let opts = BfsOptions {
+        hw_counters: true,
+        ..Default::default()
+    };
+    let mut session = BfsSession::new(&g, Topology::synthetic(2, 2), opts);
+    let reference = session.run(42);
+    for _ in 0..3 {
+        let again = session.run(42);
+        assert_eq!(again.depths, reference.depths);
+        assert_eq!(again.stats.steps, reference.stats.steps);
+    }
+    assert_eq!(session.runs(), 4);
+}
+
+/// Counter sanity on hosts that actually have a PMU. The container CI
+/// fleet mostly doesn't (the degradation path above is what runs there),
+/// so this is opt-in: `cargo test -- --ignored hw_counters`.
+#[test]
+#[ignore = "requires perf_event_open access (run on bare metal)"]
+fn counters_accumulate_when_perf_is_available() {
+    let g = uniform_random(4000, 8, &mut rng_from_seed(5));
+    let opts = BfsOptions {
+        hw_counters: true,
+        ..Default::default()
+    };
+    let mut engine = BfsEngine::new(&g, Topology::synthetic(1, 2), opts);
+    assert_eq!(
+        *engine.hw_status(),
+        HwCounterStatus::Enabled,
+        "this test only makes sense where perf_event_open works"
+    );
+    engine.run(0);
+    let first = engine.metrics_snapshot().total(Counter::Phase1HwCycles);
+    assert!(first > 0, "a traversal burns cycles in Phase I");
+    engine.run(0);
+    let second = engine.metrics_snapshot().total(Counter::Phase1HwCycles);
+    assert!(second > first, "counters are cumulative across queries");
+}

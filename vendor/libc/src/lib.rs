@@ -1,14 +1,29 @@
-//! Offline stand-in for `libc`: just the CPU-affinity surface that
-//! `bfs-platform::pin` uses on Linux. The `sched_setaffinity` symbol is
-//! provided by the system C library at link time; `cpu_set_t` mirrors the
-//! glibc layout (a 1024-bit mask of unsigned longs).
+//! Offline stand-in for `libc`: just the surface this workspace uses —
+//! the CPU-affinity calls for `bfs-platform::pin` plus the raw
+//! `syscall`/`ioctl`/`read`/`close` quartet that `bfs-perf` needs for
+//! `perf_event_open`. All symbols are provided by the system C library at
+//! link time; `cpu_set_t` mirrors the glibc layout (a 1024-bit mask of
+//! unsigned longs).
 #![allow(non_snake_case)] // CPU_SET & friends keep their C names
 #![allow(non_camel_case_types)]
 
 pub type pid_t = i32;
 pub type size_t = usize;
+pub type ssize_t = isize;
 pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
 pub type c_ulong = u64;
+
+/// Opaque C `void` for raw-pointer signatures (the classic
+/// uninhabited-enum encoding, same as the real `libc` crate).
+#[repr(u8)]
+pub enum c_void {
+    #[doc(hidden)]
+    __variant1,
+    #[doc(hidden)]
+    __variant2,
+}
 
 const CPU_SETSIZE: usize = 1024;
 const BITS_PER_WORD: usize = 8 * std::mem::size_of::<c_ulong>();
@@ -51,6 +66,22 @@ pub unsafe fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
 extern "C" {
     pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
     pub fn sched_getaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *mut cpu_set_t) -> c_int;
+    /// Variadic raw syscall entry (glibc); `bfs-perf` uses it for
+    /// `perf_event_open`, which has no libc wrapper.
+    pub fn syscall(num: c_long, ...) -> c_long;
+    pub fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    pub fn close(fd: c_int) -> c_int;
+}
+
+/// `errno` for the current thread (via the thread-local glibc accessor).
+#[cfg(target_os = "linux")]
+pub fn errno() -> c_int {
+    extern "C" {
+        fn __errno_location() -> *mut c_int;
+    }
+    // SAFETY: glibc guarantees a valid thread-local pointer.
+    unsafe { *__errno_location() }
 }
 
 #[cfg(test)]
