@@ -1,9 +1,10 @@
-//! The `fastbfs-run-v1` JSON report: schema types, environment capture,
-//! and the regression-gate comparison behind `fastbfs bench-compare`.
+//! The `fastbfs-run-v1` and `fastbfs-load-v1` JSON reports: schema types,
+//! environment capture, and the regression-gate comparisons behind
+//! `fastbfs bench-compare`.
 //!
 //! Schema evolution is additive-only: every field added after the first
 //! committed baseline is `Option<T>`, so PR-era reports keep parsing
-//! forever (the golden-file test pins this). The comparison never requires
+//! forever (the golden-file tests pin this). The comparisons never require
 //! the optional fields.
 
 use serde::{Deserialize, Serialize};
@@ -11,8 +12,12 @@ use serde::{Deserialize, Serialize};
 use bfs_core::TraversalStats;
 use bfs_metrics::MetricsSnapshot;
 
-/// Report schema identifier; bump only for breaking changes (so far: never).
+/// Run-report schema identifier; bump only for breaking changes (so far:
+/// never).
 pub const SCHEMA: &str = "fastbfs-run-v1";
+
+/// Load-report schema identifier (`fastbfs loadgen`).
+pub const LOAD_SCHEMA: &str = "fastbfs-load-v1";
 
 /// One query's row.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -59,6 +64,14 @@ pub struct BatchReport {
     pub queries_per_sec: f64,
     pub mean_mteps: f64,
     pub harmonic_mteps: f64,
+    /// Nearest-rank p50 of per-query latency (additive, PR 6; derivable
+    /// from the query rows — precomputed so dashboards and the gate need
+    /// not carry them).
+    pub latency_p50_ms: Option<f64>,
+    /// Nearest-rank p99 of per-query latency (additive, PR 6).
+    pub latency_p99_ms: Option<f64>,
+    /// Nearest-rank p99.9 of per-query latency (additive, PR 6).
+    pub latency_p999_ms: Option<f64>,
 }
 
 /// Top-level report for `fastbfs run --json` (and the committed `BENCH_*`
@@ -100,8 +113,8 @@ impl RunReport {
     /// a repo), rustc version, and host core count. Failures leave fields
     /// `None` — the report stays valid on hosts without git/rustc.
     pub fn capture_environment(&mut self) {
-        self.git_rev = capture_cmd("git", &["rev-parse", "--short", "HEAD"]);
-        self.rustc = capture_cmd("rustc", &["--version"]);
+        self.git_rev = git_revision();
+        self.rustc = rustc_version();
         self.host_cores = Some(bfs_platform::pin::host_cores());
         self.hw_events = Some(bfs_perf::availability_string());
     }
@@ -177,6 +190,144 @@ fn capture_cmd(cmd: &str, args: &[&str]) -> Option<String> {
     (!s.is_empty()).then_some(s)
 }
 
+/// Short git revision of the working tree, when it is a repo.
+pub fn git_revision() -> Option<String> {
+    capture_cmd("git", &["rev-parse", "--short", "HEAD"])
+}
+
+/// `rustc --version` of the environment, when rustc is on PATH.
+pub fn rustc_version() -> Option<String> {
+    capture_cmd("rustc", &["--version"])
+}
+
+/// Reads just the `schema` field of a report file, so callers can route a
+/// path to the right parser without deserializing the whole document.
+pub fn schema_of(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let v = serde_json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    v.get("schema")
+        .and_then(|s| s.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("{path}: no schema field"))
+}
+
+/// Latency summary of an open-loop load run. All values are milliseconds;
+/// percentiles are nearest-rank over the per-request samples, each sample
+/// measured from the request's *scheduled* arrival time (coordinated-
+/// omission-safe: a stalled server inflates every queued request's
+/// latency, exactly as a real client population would experience it).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LatencySummary {
+    pub p50_ms: f64,
+    pub p90_ms: f64,
+    pub p99_ms: f64,
+    pub p999_ms: f64,
+    pub max_ms: f64,
+    pub mean_ms: f64,
+}
+
+impl LatencySummary {
+    /// Builds the summary from ascending per-request latencies in
+    /// nanoseconds; `None` when there are no samples.
+    pub fn from_sorted_ns(sorted: &[u64]) -> Option<Self> {
+        if sorted.is_empty() {
+            return None;
+        }
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let pct = |p: f64| {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+            sorted[rank.min(sorted.len()) - 1] as f64 / 1e6
+        };
+        let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
+        Some(LatencySummary {
+            p50_ms: pct(50.0),
+            p90_ms: pct(90.0),
+            p99_ms: pct(99.0),
+            p999_ms: pct(99.9),
+            max_ms: sorted[sorted.len() - 1] as f64 / 1e6,
+            mean_ms: sum as f64 / sorted.len() as f64 / 1e6,
+        })
+    }
+}
+
+/// Top-level report for `fastbfs loadgen` (`fastbfs-load-v1`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LoadReport {
+    pub schema: String,
+    /// Base URL the generator drove.
+    pub url: String,
+    /// Query endpoint exercised: `"query"` or `"path"`.
+    pub endpoint: String,
+    /// Arrival process: `"poisson"` or `"uniform"`.
+    pub arrival: String,
+    /// Open-loop target rate in requests/second.
+    pub offered_qps: f64,
+    /// Configured run length in seconds.
+    pub duration_s: f64,
+    /// Requests the schedule contained.
+    pub scheduled: u64,
+    /// Requests that completed with HTTP 200.
+    pub completed: u64,
+    /// Requests that failed (connect error, non-200, short read).
+    pub errors: u64,
+    /// Wall-clock from first scheduled arrival to last response.
+    pub elapsed_s: f64,
+    /// `completed / elapsed_s` — compare against `offered_qps` to see
+    /// whether the server kept up.
+    pub achieved_qps: f64,
+    /// Latency distribution; `None` when nothing completed.
+    pub latency: Option<LatencySummary>,
+    /// Git revision of the producing build.
+    pub git_rev: Option<String>,
+    /// `rustc --version` of the producing build.
+    pub rustc: Option<String>,
+}
+
+impl LoadReport {
+    /// Fills the environment header (same rules as
+    /// [`RunReport::capture_environment`]).
+    pub fn capture_environment(&mut self) {
+        self.git_rev = git_revision();
+        self.rustc = rustc_version();
+    }
+
+    /// Serializes to pretty JSON with a trailing newline.
+    pub fn to_json(&self) -> Result<String, String> {
+        let mut text =
+            serde_json::to_string_pretty(self).map_err(|e| format!("load report to JSON: {e}"))?;
+        text.push('\n');
+        Ok(text)
+    }
+
+    /// Writes the report to `path`.
+    pub fn write(&self, path: &str) -> Result<(), String> {
+        std::fs::write(path, self.to_json()?).map_err(|e| format!("write {path}: {e}"))
+    }
+
+    /// Reads and validates a report from `path`.
+    pub fn read(path: &str) -> Result<LoadReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let r: LoadReport =
+            serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+        if r.schema != LOAD_SCHEMA {
+            return Err(format!(
+                "{path}: schema {:?}, expected {LOAD_SCHEMA:?}",
+                r.schema
+            ));
+        }
+        Ok(r)
+    }
+
+    /// Fraction of scheduled requests that failed.
+    pub fn error_rate(&self) -> f64 {
+        if self.scheduled == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.scheduled as f64
+        }
+    }
+}
+
 /// Gate thresholds for [`compare`]. All are fractions (0.10 = 10%).
 #[derive(Clone, Copy, Debug)]
 pub struct CompareThresholds {
@@ -187,6 +338,9 @@ pub struct CompareThresholds {
     /// Max allowed absolute change in the bottom-up step fraction (a drift
     /// here means the direction heuristic started deciding differently).
     pub max_direction_drift: f64,
+    /// Max allowed drop in sustained query throughput (batch
+    /// `queries_per_sec` for run reports, `achieved_qps` for load reports).
+    pub max_qps_drop: f64,
 }
 
 impl Default for CompareThresholds {
@@ -195,6 +349,7 @@ impl Default for CompareThresholds {
             max_mteps_drop: 0.10,
             max_latency_rise: 0.25,
             max_direction_drift: 0.25,
+            max_qps_drop: 0.10,
         }
     }
 }
@@ -311,6 +466,36 @@ pub fn compare(
             pass: ratio_rise(b, n) <= t.max_latency_rise,
         });
     }
+    // Tail gate (PR 6): prefer the precomputed batch field, fall back to
+    // recomputing from the query rows so pre-PR6 baselines still gate.
+    let p999 = |r: &RunReport| {
+        r.batch
+            .as_ref()
+            .and_then(|b| b.latency_p999_ms)
+            .unwrap_or_else(|| r.latency_percentile_ms(99.9))
+    };
+    let (b, n) = (p999(base), p999(new));
+    checks.push(CompareCheck {
+        name: "latency_p999_ms".into(),
+        baseline: b,
+        new: n,
+        delta: ratio_rise(b, n),
+        limit: t.max_latency_rise,
+        pass: ratio_rise(b, n) <= t.max_latency_rise,
+    });
+    // Throughput gate (PR 6): only when both reports carry a batch block —
+    // single-query runs have no sustained-QPS notion.
+    if let (Some(bb), Some(nb)) = (&base.batch, &new.batch) {
+        let (b, n) = (bb.queries_per_sec, nb.queries_per_sec);
+        checks.push(CompareCheck {
+            name: "queries_per_sec".into(),
+            baseline: b,
+            new: n,
+            delta: ratio_drop(b, n),
+            limit: t.max_qps_drop,
+            pass: ratio_drop(b, n) <= t.max_qps_drop,
+        });
+    }
     let (b, n) = (base.bottom_up_fraction(), new.bottom_up_fraction());
     let drift = (n - b).abs();
     checks.push(CompareCheck {
@@ -344,6 +529,84 @@ pub fn compare(
         checks,
         workload_mismatch: mismatch,
         hw_warning,
+        pass,
+    }
+}
+
+/// The load-test regression gate: diffs two `fastbfs-load-v1` reports.
+/// Identity fields are the offered workload (endpoint, arrival process,
+/// rate, duration); gated metrics are achieved throughput and the
+/// CO-safe latency percentiles. Reuses [`CompareThresholds`]:
+/// `max_qps_drop` bounds the achieved-QPS drop, `max_latency_rise` bounds
+/// the p50/p99/p999 rises.
+pub fn compare_load(
+    base: &LoadReport,
+    new: &LoadReport,
+    t: &CompareThresholds,
+    allow_mismatch: bool,
+) -> CompareOutcome {
+    let mut mismatch = Vec::new();
+    let mut ident = |name: &str, a: &dyn std::fmt::Display, b: &dyn std::fmt::Display| {
+        let (a, b) = (a.to_string(), b.to_string());
+        if a != b {
+            mismatch.push(format!("{name}: baseline {a:?} vs new {b:?}"));
+        }
+    };
+    ident("endpoint", &base.endpoint, &new.endpoint);
+    ident("arrival", &base.arrival, &new.arrival);
+    ident("offered_qps", &base.offered_qps, &new.offered_qps);
+    ident("duration_s", &base.duration_s, &new.duration_s);
+
+    let mut checks = Vec::new();
+    let ratio_drop = |b: f64, n: f64| if b > 0.0 { (b - n) / b } else { 0.0 };
+    let ratio_rise = |b: f64, n: f64| if b > 0.0 { (n - b) / b } else { 0.0 };
+
+    let (b, n) = (base.achieved_qps, new.achieved_qps);
+    checks.push(CompareCheck {
+        name: "achieved_qps".into(),
+        baseline: b,
+        new: n,
+        delta: ratio_drop(b, n),
+        limit: t.max_qps_drop,
+        pass: ratio_drop(b, n) <= t.max_qps_drop,
+    });
+    // A run with no completed requests has no latency block; gate on the
+    // percentiles only when both sides have one (the achieved-QPS check
+    // already catches a server that stopped answering).
+    if let (Some(bl), Some(nl)) = (&base.latency, &new.latency) {
+        for (name, b, n) in [
+            ("load_p50_ms", bl.p50_ms, nl.p50_ms),
+            ("load_p99_ms", bl.p99_ms, nl.p99_ms),
+            ("load_p999_ms", bl.p999_ms, nl.p999_ms),
+        ] {
+            checks.push(CompareCheck {
+                name: name.into(),
+                baseline: b,
+                new: n,
+                delta: ratio_rise(b, n),
+                limit: t.max_latency_rise,
+                pass: ratio_rise(b, n) <= t.max_latency_rise,
+            });
+        }
+    }
+    let (b, n) = (base.error_rate(), new.error_rate());
+    let rise = n - b;
+    checks.push(CompareCheck {
+        name: "error_rate".into(),
+        baseline: b,
+        new: n,
+        delta: rise,
+        // Absolute, not relative: a 0%→5% error-rate jump must trip even
+        // though the relative rise from zero is undefined.
+        limit: 0.05,
+        pass: rise <= 0.05,
+    });
+
+    let pass = checks.iter().all(|c| c.pass) && (allow_mismatch || mismatch.is_empty());
+    CompareOutcome {
+        checks,
+        workload_mismatch: mismatch,
+        hw_warning: None,
         pass,
     }
 }
@@ -487,8 +750,206 @@ mod tests {
             queries_per_sec: 1000.0,
             mean_mteps: 125.0,
             harmonic_mteps: 80.0,
+            latency_p50_ms: None,
+            latency_p99_ms: None,
+            latency_p999_ms: None,
         });
         assert_eq!(r.harmonic_mteps(), 80.0);
+    }
+
+    fn load_report(achieved: f64, lat: Option<LatencySummary>) -> LoadReport {
+        LoadReport {
+            schema: LOAD_SCHEMA.into(),
+            url: "http://127.0.0.1:9999".into(),
+            endpoint: "query".into(),
+            arrival: "poisson".into(),
+            offered_qps: 100.0,
+            duration_s: 2.0,
+            scheduled: 200,
+            completed: 200,
+            errors: 0,
+            elapsed_s: 200.0 / achieved,
+            achieved_qps: achieved,
+            latency: lat,
+            git_rev: None,
+            rustc: None,
+        }
+    }
+
+    fn summary(p50: f64, p99: f64, p999: f64) -> LatencySummary {
+        LatencySummary {
+            p50_ms: p50,
+            p90_ms: p50,
+            p99_ms: p99,
+            p999_ms: p999,
+            max_ms: p999,
+            mean_ms: p50,
+        }
+    }
+
+    #[test]
+    fn latency_summary_from_sorted_ns() {
+        assert!(LatencySummary::from_sorted_ns(&[]).is_none());
+        let ns: Vec<u64> = (1..=1000).map(|i| i * 1_000_000).collect();
+        let s = LatencySummary::from_sorted_ns(&ns).unwrap();
+        assert!((s.p50_ms - 500.0).abs() < 1e-9);
+        assert!((s.p99_ms - 990.0).abs() < 1e-9);
+        // ceil(0.999*1000) lands on 999 or 1000 depending on FP rounding.
+        assert!(s.p999_ms >= 999.0 && s.p999_ms <= 1000.0, "{}", s.p999_ms);
+        assert!((s.max_ms - 1000.0).abs() < 1e-9);
+        assert!((s.mean_ms - 500.5).abs() < 1e-9);
+        assert!(s.p50_ms <= s.p99_ms && s.p99_ms <= s.p999_ms && s.p999_ms <= s.max_ms);
+    }
+
+    #[test]
+    fn load_report_roundtrips_and_schema_is_checked() {
+        let dir = std::env::temp_dir().join("fastbfs-load-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("load.json");
+        let path = path.to_str().unwrap();
+
+        let r = load_report(98.5, Some(summary(1.0, 4.0, 9.0)));
+        r.write(path).unwrap();
+        assert_eq!(schema_of(path).unwrap(), LOAD_SCHEMA);
+        let back = LoadReport::read(path).unwrap();
+        assert_eq!(back.scheduled, 200);
+        assert!((back.achieved_qps - 98.5).abs() < 1e-9);
+        assert!((back.latency.unwrap().p999_ms - 9.0).abs() < 1e-9);
+
+        // Wrong schema is rejected with a useful message.
+        let mut wrong = load_report(98.5, None);
+        wrong.schema = "fastbfs-run-v1".into();
+        std::fs::write(path, wrong.to_json().unwrap()).unwrap();
+        let err = LoadReport::read(path).unwrap_err();
+        assert!(err.contains("fastbfs-load-v1"), "{err}");
+    }
+
+    #[test]
+    fn compare_load_gates_qps_tail_and_errors() {
+        let base = load_report(100.0, Some(summary(1.0, 4.0, 8.0)));
+
+        // Identical → pass, all deltas ~0.
+        let out = compare_load(&base, &base, &CompareThresholds::default(), false);
+        assert!(out.pass, "{}", out.render_text());
+
+        // 20% achieved-QPS drop trips the 10% gate.
+        let slow = load_report(80.0, Some(summary(1.0, 4.0, 8.0)));
+        let out = compare_load(&base, &slow, &CompareThresholds::default(), false);
+        assert!(!out.pass);
+        assert!(out
+            .checks
+            .iter()
+            .any(|c| c.name == "achieved_qps" && !c.pass));
+
+        // p999 went 8 → 12 ms (+50%): past the 25% tail gate.
+        let tail = load_report(100.0, Some(summary(1.0, 4.0, 12.0)));
+        let out = compare_load(&base, &tail, &CompareThresholds::default(), false);
+        assert!(!out.pass);
+        assert!(out
+            .checks
+            .iter()
+            .any(|c| c.name == "load_p999_ms" && !c.pass));
+
+        // Error rate 0% → 10% trips the absolute 5-point gate.
+        let mut flaky = load_report(100.0, Some(summary(1.0, 4.0, 8.0)));
+        flaky.errors = 20;
+        flaky.completed = 180;
+        let out = compare_load(&base, &flaky, &CompareThresholds::default(), false);
+        assert!(!out.pass);
+        assert!(out.checks.iter().any(|c| c.name == "error_rate" && !c.pass));
+
+        // Different offered workload fails closed unless allowed.
+        let mut other = load_report(100.0, Some(summary(1.0, 4.0, 8.0)));
+        other.offered_qps = 200.0;
+        let strict = compare_load(&base, &other, &CompareThresholds::default(), false);
+        assert!(!strict.pass);
+        assert_eq!(strict.workload_mismatch.len(), 1);
+        assert!(compare_load(&base, &other, &CompareThresholds::default(), true).pass);
+    }
+
+    #[test]
+    fn qps_gate_requires_batch_blocks_and_trips_on_drop() {
+        let mk = |qps: f64| {
+            let mut r = report(&[100.0, 100.0], &[1.0, 1.0], &[0, 0]);
+            r.batch = Some(BatchReport {
+                queries: 2,
+                elapsed_ms: 2000.0 / qps,
+                queries_per_sec: qps,
+                mean_mteps: 100.0,
+                harmonic_mteps: 100.0,
+                latency_p50_ms: Some(1.0),
+                latency_p99_ms: Some(1.0),
+                latency_p999_ms: Some(1.0),
+            });
+            r
+        };
+        // No batch on either side → no QPS check at all.
+        let nobatch = report(&[100.0], &[1.0], &[0]);
+        let out = compare(&nobatch, &nobatch, &CompareThresholds::default(), false);
+        assert!(out.checks.iter().all(|c| c.name != "queries_per_sec"));
+        // p999 still gated via the query-row fallback.
+        assert!(out.checks.iter().any(|c| c.name == "latency_p999_ms"));
+
+        let out = compare(
+            &mk(1000.0),
+            &mk(850.0),
+            &CompareThresholds::default(),
+            false,
+        );
+        assert!(!out.pass, "15% QPS drop past the 10% gate");
+        let c = out
+            .checks
+            .iter()
+            .find(|c| c.name == "queries_per_sec")
+            .unwrap();
+        assert!(!c.pass);
+        assert!((c.delta - 0.15).abs() < 1e-9);
+        // Improvement passes.
+        assert!(
+            compare(
+                &mk(1000.0),
+                &mk(1200.0),
+                &CompareThresholds::default(),
+                false
+            )
+            .pass
+        );
+    }
+
+    #[test]
+    fn batch_p999_field_preferred_over_row_fallback() {
+        let mut base = report(&[100.0; 4], &[1.0, 1.0, 1.0, 2.0], &[0; 4]);
+        let mut new = report(&[100.0; 4], &[1.0, 1.0, 1.0, 2.0], &[0; 4]);
+        let batch = |p999: Option<f64>| BatchReport {
+            queries: 4,
+            elapsed_ms: 4.0,
+            queries_per_sec: 1000.0,
+            mean_mteps: 100.0,
+            harmonic_mteps: 100.0,
+            latency_p50_ms: None,
+            latency_p99_ms: None,
+            latency_p999_ms: p999,
+        };
+        base.batch = Some(batch(Some(2.0)));
+        // Batch field says 10 ms even though the rows say 2 ms: the field
+        // must win, tripping the 25% rise gate.
+        new.batch = Some(batch(Some(10.0)));
+        let out = compare(&base, &new, &CompareThresholds::default(), false);
+        let c = out
+            .checks
+            .iter()
+            .find(|c| c.name == "latency_p999_ms")
+            .unwrap();
+        assert!((c.baseline - 2.0).abs() < 1e-9);
+        assert!((c.new - 10.0).abs() < 1e-9);
+        assert!(!c.pass);
+        // Absent field falls back to the rows (2.0) and passes.
+        new.batch = Some(batch(None));
+        let out = compare(&base, &new, &CompareThresholds::default(), false);
+        assert!(out
+            .checks
+            .iter()
+            .any(|c| c.name == "latency_p999_ms" && c.pass));
     }
 
     #[test]

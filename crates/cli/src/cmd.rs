@@ -3,7 +3,9 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
-use bfs_bench::report::{compare, BatchReport, CompareThresholds, QueryReport, RunReport, SCHEMA};
+use bfs_bench::report::{
+    self, compare, BatchReport, CompareThresholds, QueryReport, RunReport, SCHEMA,
+};
 use bfs_core::direction::{DEFAULT_ALPHA, DEFAULT_BETA};
 use bfs_core::engine::{BfsEngine, BfsOptions, BfsOutput, Scheduling};
 use bfs_core::serial::serial_bfs;
@@ -60,27 +62,40 @@ subcommands:
                                    join the always-on metrics registry against the §IV
                                    model: achieved vs predicted GB/s per phase and per
                                    step, per-socket load imbalance
-  serve    live metrics exporter  (-i FILE | --family ... [gen flags]) [same engine flags]
-                                   [--metrics-addr HOST:PORT] — long-running session
-                                   answering batched queries (round-robin roots) with a
-                                   background HTTP thread serving /metrics (Prometheus
-                                   0.0.4), /healthz, /snapshot (JSON), /quitquitquit
-                                   [--sources N] [--seed K] [--queries N] — stop querying
-                                   after N (0 = unlimited; exporter stays up either way)
+  serve    instrumented query     (-i FILE | --family ... [gen flags]) [same engine flags]
+           server                  [--metrics-addr HOST:PORT] — HTTP query server over one
+                                   warm session: GET /query?src=N[&dst=M], GET
+                                   /path?src=A&dst=B, POST /query {\"sources\":[...]},
+                                   GET /graph, plus /metrics (Prometheus 0.0.4 with
+                                   request-lifecycle spans, queue/in-flight gauges,
+                                   build info), /healthz, /snapshot, /quitquitquit
+                                   [--queries N] — warmup traversals before serving
+                                   [--sources N] [--seed K] — warmup root pool
+                                   [--http-threads T] [--queue-cap N] — admission layer
                                    [--addr-file PATH] — write the bound address (use with
                                    port 0 for scripts)
+  loadgen  open-loop load test     [URL] --rate R --duration S — coordinated-omission-safe
+                                   generator against a running serve: arrivals drawn up
+                                   front ([--arrival poisson|uniform]), latency measured
+                                   from each request's *scheduled* arrival
+                                   [--endpoint query|path] [--connections C] [--seed K]
+                                   [--out FILE] — write a fastbfs-load-v1 JSON report
+                                   [--max-p99-ms X] — exit nonzero when p99 breaches
   sim      simulated X5570 run   -i FILE [--source V] [--shrink F] [same engine flags]
   model    analytical prediction   --vertices N --degree D --depth DEP
                                    [--visited N] [--edges E] [--alpha A] [--sockets S]
   dist     multi-node traversal    -i FILE [--nodes N] [--no-dedup] [--source V] [--validate]
   convert  text <-> binary         -i FILE -o FILE
   bench-compare                    BASELINE.json NEW.json — regression gate over two
-           perf regression gate    fastbfs-run-v1 reports (from run --json): harmonic
-                                   MTEPS, p50/p99 latency, direction-decision drift;
-                                   exits nonzero past threshold
+           perf regression gate    reports of the same schema. fastbfs-run-v1 (from run
+                                   --json): harmonic MTEPS, p50/p99/p99.9 latency, batch
+                                   QPS, direction-decision drift. fastbfs-load-v1 (from
+                                   loadgen --out): achieved QPS, p50/p99/p99.9, error
+                                   rate. Exits nonzero past threshold
                                    [--max-mteps-drop F] [--max-latency-rise F]
-                                   [--max-direction-drift F] (fractions, defaults
-                                   0.10/0.25/0.25) [--allow-mismatch] [--quiet]
+                                   [--max-direction-drift F] [--max-qps-drop F]
+                                   (fractions, defaults 0.10/0.25/0.25/0.10)
+                                   [--allow-mismatch] [--quiet]
 ";
 
 pub(crate) fn load_graph(path: &str) -> Result<CsrGraph, String> {
@@ -395,6 +410,9 @@ fn run_batch(g: &CsrGraph, topo: Topology, o: &Opts) -> Result<(), String> {
             queries_per_sec: roots.len() as f64 / elapsed.as_secs_f64(),
             mean_mteps: mean,
             harmonic_mteps: harmonic,
+            latency_p50_ms: Some(report.latency_percentile_ms(50.0)),
+            latency_p99_ms: Some(report.latency_percentile_ms(99.0)),
+            latency_p999_ms: Some(report.latency_percentile_ms(99.9)),
         });
         report.metrics = Some(session.metrics_snapshot());
         write_report(&report, path)?;
@@ -584,10 +602,32 @@ pub fn bench_compare(args: &[String]) -> Result<(), String> {
             "max-direction-drift",
             CompareThresholds::default().max_direction_drift,
         )?,
+        max_qps_drop: o.num("max-qps-drop", CompareThresholds::default().max_qps_drop)?,
     };
-    let baseline = RunReport::read(baseline_path)?;
-    let new = RunReport::read(new_path)?;
-    let outcome = compare(&baseline, &new, &thresholds, o.has("allow-mismatch"));
+    // Route by schema: two load reports gate on QPS/tail, two run reports
+    // on MTEPS/latency/direction. A mixed pair is apples-to-oranges.
+    let schemas = (
+        report::schema_of(baseline_path)?,
+        report::schema_of(new_path)?,
+    );
+    let outcome = match (schemas.0.as_str(), schemas.1.as_str()) {
+        (report::LOAD_SCHEMA, report::LOAD_SCHEMA) => {
+            let baseline = report::LoadReport::read(baseline_path)?;
+            let new = report::LoadReport::read(new_path)?;
+            report::compare_load(&baseline, &new, &thresholds, o.has("allow-mismatch"))
+        }
+        (report::SCHEMA, report::SCHEMA) => {
+            let baseline = RunReport::read(baseline_path)?;
+            let new = RunReport::read(new_path)?;
+            compare(&baseline, &new, &thresholds, o.has("allow-mismatch"))
+        }
+        (a, b) => {
+            return Err(format!(
+                "cannot compare schema {a:?} against {b:?}: both reports must be \
+                 fastbfs-run-v1 or both fastbfs-load-v1"
+            ))
+        }
+    };
     if !o.has("quiet") {
         print!("{}", outcome.render_text());
     }

@@ -1,0 +1,288 @@
+//! `fastbfs loadgen`: an open-loop, coordinated-omission-safe load
+//! generator for the `fastbfs serve` query endpoints.
+//!
+//! **Open loop**: request arrival times are drawn up front from the
+//! configured process (Poisson by default — independent exponential
+//! gaps — or fixed-interval) and never adjusted to the server's pace. A
+//! closed-loop generator that waits for each response before sending the
+//! next one measures the *server's* preferred rate, silently omitting
+//! exactly the requests that would have seen the worst latency
+//! (coordinated omission). Here, every request's latency is measured
+//! from its *scheduled* arrival: if the server stalls for a second,
+//! every request scheduled during that second has the stall charged to
+//! it, which is what a real client population would experience.
+//!
+//! Workers send over fresh connections (`Connection: close`), striped
+//! round-robin across `--connections` threads so one slow response only
+//! delays 1/C of the schedule — raise `--connections` until offered ≈
+//! achieved QPS if the workers themselves become the bottleneck.
+//!
+//! The run emits a `fastbfs-load-v1` JSON report (offered vs achieved
+//! QPS, error counts, p50/p90/p99/p99.9 latency) that
+//! `fastbfs bench-compare` gates on, and `--max-p99-ms` turns the run
+//! itself into a pass/fail SLO check.
+
+use std::time::{Duration, Instant};
+
+use bfs_bench::report::{LatencySummary, LoadReport, LOAD_SCHEMA};
+use bfs_graph::rng::rng_from_seed;
+use rand::Rng;
+
+use crate::http;
+use crate::opts::Opts;
+
+/// Per-request client timeout. Far above any sane SLO: a hung server
+/// should show up as tail latency, not as an error masking it.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One scheduled request.
+struct Arrival {
+    /// Offset from the schedule origin.
+    offset: Duration,
+    /// Request path (source vertices are pre-drawn so workers share no
+    /// RNG state).
+    path: String,
+}
+
+/// `fastbfs loadgen`
+pub fn loadgen(args: &[String]) -> Result<(), String> {
+    let positional: Vec<&String> = args.iter().take_while(|a| !a.starts_with('-')).collect();
+    if positional.len() > 1 {
+        return Err("loadgen takes at most one URL (try --help)".into());
+    }
+    let url = positional
+        .first()
+        .map(|s| s.as_str())
+        .unwrap_or("http://127.0.0.1:9464")
+        .to_string();
+    let o = Opts::parse(&args[positional.len()..], &[])?;
+    let rate: f64 = o.num("rate", 100.0)?;
+    let duration: f64 = o.num("duration", 5.0)?;
+    if rate <= 0.0 || duration <= 0.0 {
+        return Err("--rate and --duration must be positive".into());
+    }
+    let arrival = o.get("arrival").unwrap_or("poisson").to_string();
+    if arrival != "poisson" && arrival != "uniform" {
+        return Err(format!("unknown --arrival {arrival:?} (poisson|uniform)"));
+    }
+    let endpoint = o.get("endpoint").unwrap_or("query").to_string();
+    if endpoint != "query" && endpoint != "path" {
+        return Err(format!("unknown --endpoint {endpoint:?} (query|path)"));
+    }
+    let connections: usize = o.num("connections", 8)?.max(1);
+    let seed: u64 = o.num("seed", 42)?;
+
+    let host = http::host_of(&url)?;
+    // Size the source range from the live server.
+    let graph = http::get(&host, "/graph", REQUEST_TIMEOUT)
+        .map_err(|e| format!("{e} (is `fastbfs serve` running at {url}?)"))?;
+    if !graph.ok() {
+        return Err(format!("GET /graph returned {}", graph.status));
+    }
+    let vertices = serde_json::parse(&graph.body)
+        .ok()
+        .and_then(|v| v.get("vertices").and_then(|n| n.as_u64()))
+        .ok_or("GET /graph returned no vertex count")?;
+    if vertices == 0 {
+        return Err("server graph has no vertices".into());
+    }
+
+    let schedule = build_schedule(rate, duration, &arrival, &endpoint, vertices, seed);
+    println!(
+        "loadgen: {} requests to {url}{} over {duration}s ({arrival} arrivals, offered {rate} QPS, {connections} connections)",
+        schedule.len(),
+        if endpoint == "path" { " /path" } else { " /query" },
+    );
+
+    // Stripe round-robin: per-worker offsets stay monotonic, so each
+    // worker only ever sleeps forward.
+    let mut lanes: Vec<Vec<&Arrival>> = vec![Vec::new(); connections];
+    for (i, a) in schedule.iter().enumerate() {
+        lanes[i % connections].push(a);
+    }
+
+    let scheduled = schedule.len() as u64;
+    let start = Instant::now();
+    let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = lanes
+            .iter()
+            .map(|lane| {
+                let host = host.as_str();
+                scope.spawn(move || run_lane(host, lane, start))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(schedule.len());
+    let mut errors = 0u64;
+    for (lat, errs) in results {
+        latencies.extend(lat);
+        errors += errs;
+    }
+    latencies.sort_unstable();
+    let completed = latencies.len() as u64;
+
+    let mut report = LoadReport {
+        schema: LOAD_SCHEMA.into(),
+        url,
+        endpoint,
+        arrival,
+        offered_qps: rate,
+        duration_s: duration,
+        scheduled,
+        completed,
+        errors,
+        elapsed_s,
+        achieved_qps: if elapsed_s > 0.0 {
+            completed as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        latency: LatencySummary::from_sorted_ns(&latencies),
+        git_rev: None,
+        rustc: None,
+    };
+    report.capture_environment();
+
+    println!(
+        "loadgen: {completed}/{scheduled} ok, {errors} errors, achieved {:.1}/{rate} QPS in {elapsed_s:.2}s",
+        report.achieved_qps,
+    );
+    if let Some(l) = &report.latency {
+        println!(
+            "latency (from scheduled arrival): p50 {:.3} ms, p90 {:.3}, p99 {:.3}, p99.9 {:.3}, max {:.3}",
+            l.p50_ms, l.p90_ms, l.p99_ms, l.p999_ms, l.max_ms
+        );
+    }
+    if let Some(path) = o.get("out") {
+        report.write(path)?;
+        println!("report: {path}");
+    }
+
+    // SLO mode: a missing latency block (nothing completed) is a breach
+    // too, not a silent pass.
+    if o.get("max-p99-ms").is_some() {
+        let limit: f64 = o.num("max-p99-ms", 0.0)?;
+        let p99 = report
+            .latency
+            .as_ref()
+            .map(|l| l.p99_ms)
+            .ok_or("SLO check: no requests completed")?;
+        if p99 > limit {
+            return Err(format!("SLO breach: p99 {p99:.3} ms > {limit} ms"));
+        }
+        println!("SLO ok: p99 {p99:.3} ms <= {limit} ms");
+    }
+    Ok(())
+}
+
+/// Draws the full arrival schedule (offsets ascending by construction).
+fn build_schedule(
+    rate: f64,
+    duration: f64,
+    arrival: &str,
+    endpoint: &str,
+    vertices: u64,
+    seed: u64,
+) -> Vec<Arrival> {
+    let n = (rate * duration).ceil().max(1.0) as usize;
+    let mut rng = rng_from_seed(seed);
+    let mut offsets = Vec::with_capacity(n);
+    if arrival == "poisson" {
+        let mut t = 0.0f64;
+        for _ in 0..n {
+            let u: f64 = rng.random();
+            // Exponential inter-arrival gap; clamp the log argument away
+            // from 0 (u is in [0,1)).
+            t += -(1.0 - u).max(f64::MIN_POSITIVE).ln() / rate;
+            offsets.push(t);
+        }
+    } else {
+        for i in 0..n {
+            offsets.push(i as f64 / rate);
+        }
+    }
+    offsets
+        .into_iter()
+        .map(|t| {
+            let src = rng.random_range(0..vertices);
+            let path = if endpoint == "path" {
+                let dst = rng.random_range(0..vertices);
+                format!("/path?src={src}&dst={dst}")
+            } else {
+                format!("/query?src={src}")
+            };
+            Arrival {
+                offset: Duration::from_secs_f64(t),
+                path,
+            }
+        })
+        .collect()
+}
+
+/// One worker: fire each request at its scheduled time (immediately when
+/// behind — the backlog is *charged to the latency*, never skipped) and
+/// measure completion against the schedule.
+fn run_lane(host: &str, lane: &[&Arrival], start: Instant) -> (Vec<u64>, u64) {
+    let mut latencies = Vec::with_capacity(lane.len());
+    let mut errors = 0u64;
+    for a in lane {
+        let target = start + a.offset;
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        let ok = matches!(http::get(host, &a.path, REQUEST_TIMEOUT), Ok(r) if r.ok());
+        if ok {
+            // Coordinated-omission-safe: latency from the scheduled
+            // arrival, not from when the send actually happened.
+            let since_target = (start + a.offset).elapsed();
+            latencies.push(u64::try_from(since_target.as_nanos()).unwrap_or(u64::MAX));
+        } else {
+            errors += 1;
+        }
+    }
+    (latencies, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_schedule_is_monotonic_and_sized() {
+        let s = build_schedule(200.0, 1.0, "poisson", "query", 100, 7);
+        assert_eq!(s.len(), 200);
+        for w in s.windows(2) {
+            assert!(w[0].offset <= w[1].offset);
+        }
+        // Mean gap ≈ 1/rate: the last offset lands near the duration.
+        let last = s.last().unwrap().offset.as_secs_f64();
+        assert!(last > 0.5 && last < 2.0, "{last}");
+        // Deterministic for a given seed.
+        let s2 = build_schedule(200.0, 1.0, "poisson", "query", 100, 7);
+        assert_eq!(s.last().unwrap().offset, s2.last().unwrap().offset);
+        assert_eq!(s[0].path, s2[0].path);
+    }
+
+    #[test]
+    fn uniform_schedule_uses_fixed_gaps() {
+        let s = build_schedule(100.0, 0.5, "uniform", "path", 64, 1);
+        assert_eq!(s.len(), 50);
+        let gap = s[1].offset - s[0].offset;
+        assert_eq!(gap, Duration::from_millis(10));
+        assert!(s.iter().all(|a| a.path.starts_with("/path?src=")));
+        assert!(s[0].path.contains("&dst="));
+    }
+
+    #[test]
+    fn loadgen_rejects_bad_flags_early() {
+        let args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert!(loadgen(&args(&["--rate", "0"])).is_err());
+        assert!(loadgen(&args(&["--arrival", "bursty"])).is_err());
+        assert!(loadgen(&args(&["--endpoint", "teleport"])).is_err());
+        assert!(loadgen(&args(&["http://a", "http://b"])).is_err());
+    }
+}

@@ -7,6 +7,7 @@
 //! fastbfs trace --family rmat --scale 16 --out trace.jsonl
 //! fastbfs metrics --family rmat --scale 16 --sources 8 --format json
 //! fastbfs serve --family rmat --scale 16 --metrics-addr 127.0.0.1:9464
+//! fastbfs loadgen http://127.0.0.1:9464 --rate 200 --duration 10 --out load.json
 //! fastbfs bench-compare baseline.json new.json --max-mteps-drop 0.1
 //! fastbfs sim   -i graph.fbfs --scheduling load-balanced
 //! fastbfs model --vertices 8388608 --degree 8 --depth 6 --alpha 0.6
@@ -15,6 +16,8 @@
 //! ```
 
 mod cmd;
+mod http;
+mod loadgen;
 mod opts;
 mod serve;
 
@@ -34,6 +37,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("trace") => cmd::trace(&args[1..]),
         Some("metrics") => cmd::metrics(&args[1..]),
         Some("serve") => serve::serve(&args[1..]),
+        Some("loadgen") => loadgen::loadgen(&args[1..]),
         Some("bench-compare") => cmd::bench_compare(&args[1..]),
         Some("sim") => cmd::sim(&args[1..]),
         Some("model") => cmd::model(&args[1..]),

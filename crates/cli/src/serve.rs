@@ -1,59 +1,187 @@
-//! `fastbfs serve`: a long-running query session with a live Prometheus
-//! exporter.
+//! `fastbfs serve`: an instrumented BFS query server over one warm
+//! session, with an SLO-proving observability layer.
 //!
-//! The driver thread answers batched BFS queries over one parked
-//! [`BfsSession`] (round-robin over Graph500-style random roots, hardware
-//! counters enabled when the host allows them); a background listener
-//! thread serves the session's always-on metrics registry over plain
-//! HTTP/1.1 — no async runtime, one `std::net::TcpListener`, short-lived
-//! `Connection: close` responses:
+//! Architecture — three kinds of threads over plain `std::net` (no async
+//! runtime, one request per connection, `Connection: close`):
 //!
-//! * `/metrics`  — Prometheus text exposition (format 0.0.4), scrapeable
-//!   directly by a `static_configs` Prometheus job;
-//! * `/healthz`  — liveness probe, plain `ok`;
-//! * `/snapshot` — the full registry snapshot as JSON, plus the query
-//!   count and hardware-counter availability;
-//! * `/quitquitquit` — graceful shutdown: stops the listener and the
-//!   query loop, so scripts never have to `kill` the process.
+//! * **HTTP workers** (`--http-threads`) share the listener. They parse
+//!   and *validate* requests (`QueryKind::validate`), so a malformed or
+//!   out-of-range request costs an HTTP 400/422 before it ever touches
+//!   the admission queue, then block awaiting their response.
+//! * **The admission queue** is a bounded channel (`--queue-cap`).
+//!   `try_send` sheds load: a full queue answers 503 immediately instead
+//!   of building an unbounded backlog in front of the engine.
+//! * **The dispatch thread** (the main thread) owns the [`BfsSession`]
+//!   and is the only writer of the serve-lifecycle metrics — queries stay
+//!   serialized (`&mut self`), which is exactly the discipline that keeps
+//!   the warm-session reset protocol and the metrics registry free of
+//!   synchronization. The engine's parked SPMD pool does the actual
+//!   traversal work.
 //!
-//! The driver re-renders both documents after every query, so scrapes are
-//! lock-cheap string copies and counter values are monotonically
-//! non-decreasing across scrapes (the registry only ever accumulates).
+//! Every admitted request carries a lifecycle span: request id plus
+//! parse, queue-wait, execute, and serialize segments. The first three
+//! are echoed in the response JSON; all four accumulate into the
+//! registry's `serve_*` counters and the queue/request-latency
+//! histograms, so `/metrics` proves the latency budget.
+//!
+//! Endpoints:
+//!
+//! * `GET /query?src=N[&dst=M]` — BFS from `src`; with `dst`, also that
+//!   vertex's depth/parent in the resulting tree;
+//! * `GET /path?src=A&dst=B`   — BFS plus tree-path reconstruction;
+//! * `POST /query` (`{"sources":[...]}`) — batched multi-source BFS;
+//! * `GET /graph`    — vertex/edge counts (load generators size their
+//!   source range from this);
+//! * `GET /metrics`  — Prometheus 0.0.4 exposition: registry counters
+//!   and histograms, plus live `fastbfs_queue_depth`/`fastbfs_in_flight`
+//!   gauges, `fastbfs_uptime_seconds`, and `fastbfs_build_info`;
+//! * `GET /healthz`  — liveness probe, plain `ok`;
+//! * `GET /snapshot` — registry snapshot as JSON with structured
+//!   hardware-counter availability;
+//! * `GET /quitquitquit` — graceful shutdown.
+//!
+//! Errors are JSON (`{"error": "..."}`): 400 malformed, 422 valid syntax
+//! but impossible vertices, 405 wrong method, 503 queue full, 504
+//! dispatch timeout. Unknown paths stay plain-text 404.
 
-use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bfs_core::engine::{BfsOptions, BfsOutput};
+use bfs_core::query::{self, QueryKind, QueryOutcome};
 use bfs_core::session::BfsSession;
 use bfs_graph::stats::random_roots;
-use bfs_metrics::MetricsSnapshot;
+use bfs_metrics::{prom, Counter, Hist, MetricsSnapshot};
 use bfs_platform::Topology;
 use serde::Serialize;
 
 use crate::cmd;
+use crate::http::{self, Request, RequestError};
 use crate::opts::Opts;
 
-/// What the listener thread hands out; the driver swaps in fresh strings
-/// after every query.
-struct Shared {
+/// How long an HTTP worker waits for the dispatch thread before giving
+/// up with a 504. Generous: a cold huge-graph query plus a deep queue can
+/// legitimately take seconds.
+const DISPATCH_TIMEOUT: Duration = Duration::from_secs(60);
+/// Minimum interval between scrape-document re-renders; bounds the
+/// per-query overhead of serving `/metrics` under load.
+const REFRESH_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Scrape documents, re-rendered by the dispatch thread.
+struct Docs {
     prom: String,
     snapshot_json: String,
 }
 
+/// State shared between the HTTP workers and the dispatch thread.
+struct ServerState {
+    stop: AtomicBool,
+    /// Jobs admitted but not yet picked up by dispatch.
+    queue_depth: AtomicU64,
+    /// Jobs executing right now (0 or 1: one dispatch thread).
+    in_flight: AtomicU64,
+    /// Requests answered 4xx/5xx by the workers; the dispatch thread
+    /// drains this into `Counter::ServeErrors` (single-writer rule).
+    http_errors: AtomicU64,
+    next_id: AtomicU64,
+    started: Instant,
+    docs: Mutex<Docs>,
+    /// Static `/graph` body.
+    graph_json: String,
+    local: std::net::SocketAddr,
+    version: &'static str,
+    git_rev: Option<String>,
+    rustc: Option<String>,
+}
+
+/// One admitted query, owned by the dispatch thread from dequeue on.
+struct Job {
+    id: u64,
+    kind: QueryKind,
+    arrival: Instant,
+    parse_ns: u64,
+    enqueued: Instant,
+    resp: mpsc::Sender<String>,
+}
+
 /// `/snapshot` document. Owns its fields: the vendored serde derive has
-/// no lifetime-parameter support, and the doc is rebuilt per refresh
-/// anyway.
+/// no lifetime-parameter support, and the doc is rebuilt per refresh.
 #[derive(Serialize)]
 struct SnapshotDoc {
-    /// Queries the session has served so far.
+    /// Traversals the session has run (warmup + served queries).
     queries: u64,
-    /// Hardware-counter availability: `"available"` or
-    /// `"unavailable: <reason>"`.
+    uptime_s: f64,
+    queue_depth: u64,
+    in_flight: u64,
+    /// Legacy combined string (`"available"` / `"unavailable: ..."`),
+    /// kept for pre-PR6 consumers.
     hw: String,
+    /// Structured availability: whether per-phase hardware counters are
+    /// actually being sampled.
+    hw_available: bool,
+    /// Machine-readable degradation tag (`"permission_denied"`, ...);
+    /// `None` when counters are available.
+    hw_kind: Option<String>,
+    /// Human-readable degradation reason; `None` when available.
+    hw_reason: Option<String>,
     metrics: MetricsSnapshot,
+}
+
+/// Spans echoed in each response (nanoseconds). The serialize span is
+/// measured around building this very document, so it lands only in the
+/// registry counters, not here.
+#[derive(Serialize)]
+struct SpanDoc {
+    parse_ns: u64,
+    queue_ns: u64,
+    execute_ns: u64,
+}
+
+#[derive(Serialize)]
+struct VertexDoc {
+    vertex: u32,
+    depth: Option<u32>,
+    parent: Option<u32>,
+}
+
+#[derive(Serialize)]
+struct ReachRowDoc {
+    src: u32,
+    depth: u32,
+    visited_vertices: u64,
+    traversed_edges: u64,
+    dst: Option<VertexDoc>,
+}
+
+#[derive(Serialize)]
+struct ReachDoc {
+    id: u64,
+    src: u32,
+    depth: u32,
+    visited_vertices: u64,
+    traversed_edges: u64,
+    dst: Option<VertexDoc>,
+    spans: SpanDoc,
+}
+
+#[derive(Serialize)]
+struct PathDoc {
+    id: u64,
+    src: u32,
+    dst: u32,
+    reached: bool,
+    path: Vec<u32>,
+    spans: SpanDoc,
+}
+
+#[derive(Serialize)]
+struct BatchDoc {
+    id: u64,
+    results: Vec<ReachRowDoc>,
+    spans: SpanDoc,
 }
 
 /// `fastbfs serve`
@@ -67,22 +195,23 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     let sockets: usize = o.num("sockets", 1)?;
     let threads: usize = o.num("threads", bfs_platform::pin::host_cores())?;
     let topo = Topology::synthetic(sockets, threads.div_ceil(sockets).max(1));
+    // Warmup traversals before serving (round-robin over random roots):
+    // primes the session's high-water buffers so the first real request
+    // sees warm-path latency.
+    let warmup: u64 = o.num("queries", 0u64)?;
     let count: usize = o.num("sources", 16)?;
     let seed: u64 = o.num("seed", 42)?;
-    let roots = random_roots(&g, count, seed);
-    if roots.is_empty() {
-        return Err("graph has no edges".into());
-    }
-    // 0 = keep answering queries until shut down.
-    let query_limit: u64 = o.num("queries", 0u64)?;
     let addr = o.get("metrics-addr").unwrap_or("127.0.0.1:9464");
+    let http_threads: usize = o.num("http-threads", 4)?.max(1);
+    let queue_cap: usize = o.num("queue-cap", 1024)?.max(1);
 
     let opts = BfsOptions {
         hw_counters: true,
         ..cmd::engine_options(&o)?
     };
     let mut session = BfsSession::new(&g, topo, opts);
-    let hw = match session.engine().hw_status().unavailable_reason() {
+    let hw_reason = session.engine().hw_status().unavailable_reason().cloned();
+    let hw = match &hw_reason {
         Some(r) => format!("unavailable: {r}"),
         None => "available".to_string(),
     };
@@ -91,199 +220,519 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     let local = listener
         .local_addr()
         .map_err(|e| format!("local_addr: {e}"))?;
-    // Port 0 binds an ephemeral port; the printed (and optionally written)
-    // address is the one that actually resolved.
-    println!("serving http://{local}/metrics (also /healthz /snapshot /quitquitquit)");
     println!(
-        "session: {} sockets x {} lanes, {} roots, hw counters {hw}",
-        topo.sockets,
-        topo.lanes_per_socket,
-        roots.len()
+        "serving http://{local}/query (also /path /graph /metrics /healthz /snapshot /quitquitquit)"
     );
+    println!(
+        "session: {} sockets x {} lanes, queue cap {queue_cap}, {http_threads} http threads, hw counters {hw}",
+        topo.sockets, topo.lanes_per_socket,
+    );
+    // Port 0 binds an ephemeral port; the written address is the one that
+    // actually resolved.
     if let Some(path) = o.get("addr-file") {
         std::fs::write(path, local.to_string()).map_err(|e| format!("write {path}: {e}"))?;
     }
 
-    let shared = Arc::new(Mutex::new(Shared {
-        prom: String::new(),
-        snapshot_json: String::new(),
-    }));
-    let stop = Arc::new(AtomicBool::new(false));
-    // Render once before accepting: the first scrape sees a real (all-zero)
-    // registry, never an empty body.
-    refresh(&mut session, &hw, &shared)?;
-    let http = {
-        let shared = Arc::clone(&shared);
-        let stop = Arc::clone(&stop);
-        std::thread::spawn(move || http_loop(&listener, &shared, &stop))
-    };
+    let state = Arc::new(ServerState {
+        stop: AtomicBool::new(false),
+        queue_depth: AtomicU64::new(0),
+        in_flight: AtomicU64::new(0),
+        http_errors: AtomicU64::new(0),
+        next_id: AtomicU64::new(0),
+        started: Instant::now(),
+        docs: Mutex::new(Docs {
+            prom: String::new(),
+            snapshot_json: String::new(),
+        }),
+        graph_json: format!(
+            "{{\"vertices\":{},\"edges\":{}}}",
+            g.num_vertices(),
+            g.num_edges()
+        ),
+        local,
+        version: env!("CARGO_PKG_VERSION"),
+        git_rev: bfs_bench::report::git_revision(),
+        rustc: bfs_bench::report::rustc_version(),
+    });
 
+    // Render once before accepting: the first scrape sees a real
+    // (all-zero) registry, never an empty body.
+    refresh(&mut session, &hw, &hw_reason, &state)?;
+
+    let (tx, rx) = mpsc::sync_channel::<Job>(queue_cap);
+    let num_vertices = g.num_vertices();
+    std::thread::scope(|scope| -> Result<(), String> {
+        for _ in 0..http_threads {
+            let state = Arc::clone(&state);
+            let tx = tx.clone();
+            let listener = &listener;
+            scope.spawn(move || http_worker(listener, &state, &tx, num_vertices));
+        }
+        drop(tx); // dispatch's rx sees Disconnected once every worker exits
+
+        if warmup > 0 {
+            let roots = random_roots(&g, count, seed);
+            if roots.is_empty() {
+                state.stop.store(true, Ordering::Relaxed);
+                wake_workers(&state, http_threads);
+                return Err("graph has no edges".into());
+            }
+            let mut out = BfsOutput::default();
+            for q in 0..warmup {
+                session.run_reusing(roots[(q % roots.len() as u64) as usize], &mut out);
+                if q % 16 == 15 {
+                    refresh(&mut session, &hw, &hw_reason, &state)?;
+                }
+            }
+            refresh(&mut session, &hw, &hw_reason, &state)?;
+            println!("{warmup} warmup queries done; serving");
+        }
+
+        let served = dispatch_loop(&mut session, &rx, &state, &hw, &hw_reason)?;
+        wake_workers(&state, http_threads);
+        println!(
+            "shutdown after {served} served requests, {} traversals",
+            session.runs()
+        );
+        Ok(())
+    })
+}
+
+/// Unblocks workers parked in `accept` after `stop` is set.
+fn wake_workers(state: &ServerState, n: usize) {
+    for _ in 0..n {
+        let _ = TcpStream::connect(state.local);
+    }
+}
+
+/// The dispatch thread's main loop: executes admitted jobs against the
+/// session, records the lifecycle spans, and re-renders the scrape
+/// documents at a bounded rate. Returns the number of requests served.
+fn dispatch_loop(
+    session: &mut BfsSession<'_>,
+    rx: &Receiver<Job>,
+    state: &ServerState,
+    hw: &str,
+    hw_reason: &Option<bfs_perf::PerfUnavailable>,
+) -> Result<u64, String> {
     let mut out = BfsOutput::default();
     let mut served = 0u64;
-    while !stop.load(Ordering::Relaxed) {
-        if query_limit > 0 && served >= query_limit {
-            // Batch done; stay up for scrapes until told to quit.
-            std::thread::sleep(Duration::from_millis(20));
-            continue;
+    let mut last_refresh = Instant::now();
+    loop {
+        if state.stop.load(Ordering::Relaxed) {
+            // Serve whatever was already admitted, then exit.
+            while let Ok(job) = rx.try_recv() {
+                let (resp, body) = serve_job(session, job, &mut out, state);
+                let _ = resp.send(body);
+                served += 1;
+            }
+            refresh(session, hw, hw_reason, state)?;
+            return Ok(served);
         }
-        let root = roots[(served % roots.len() as u64) as usize];
-        session.run_reusing(root, &mut out);
-        served += 1;
-        refresh(&mut session, &hw, &shared)?;
-        if served == query_limit {
-            println!("{served} queries served; still exporting (GET /quitquitquit to stop)");
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(job) => {
+                let (resp, body) = serve_job(session, job, &mut out, state);
+                // Refresh *before* replying when the queue is idle (or the
+                // rate limit allows): a client that has its response is
+                // guaranteed the next scrape already includes its request.
+                // Under sustained load the interval bounds the overhead.
+                if state.queue_depth.load(Ordering::Relaxed) == 0
+                    || last_refresh.elapsed() >= REFRESH_INTERVAL
+                {
+                    refresh(session, hw, hw_reason, state)?;
+                    last_refresh = Instant::now();
+                }
+                let _ = resp.send(body);
+                served += 1;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if last_refresh.elapsed() >= REFRESH_INTERVAL {
+                    refresh(session, hw, hw_reason, state)?;
+                    last_refresh = Instant::now();
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                refresh(session, hw, hw_reason, state)?;
+                return Ok(served);
+            }
         }
     }
-    http.join()
-        .map_err(|_| "listener thread panicked".to_string())?;
-    println!("shutdown after {served} queries");
-    Ok(())
+}
+
+/// Executes one job and records its full lifecycle span; returns the
+/// reply channel and body (the caller sends, possibly after a refresh).
+fn serve_job(
+    session: &mut BfsSession<'_>,
+    job: Job,
+    out: &mut BfsOutput,
+    state: &ServerState,
+) -> (mpsc::Sender<String>, String) {
+    state.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    state.in_flight.store(1, Ordering::Relaxed);
+    let queue_ns = elapsed_ns(job.enqueued);
+
+    let exec_start = Instant::now();
+    let outcome = query::execute(session, &job.kind, out);
+    let execute_ns = elapsed_ns(exec_start);
+
+    let ser_start = Instant::now();
+    let spans = SpanDoc {
+        parse_ns: job.parse_ns,
+        queue_ns,
+        execute_ns,
+    };
+    let body = render_outcome(job.id, outcome, spans);
+    let serialize_ns = elapsed_ns(ser_start);
+    let total_ns = elapsed_ns(job.arrival);
+
+    // Single-writer: only this thread touches the serve counters, and
+    // worker-side error tallies arrive via the drained atomic.
+    let errors = state.http_errors.swap(0, Ordering::Relaxed);
+    {
+        let mut d = session.metrics_mut().driver();
+        d.add(Counter::ServeRequests, 1);
+        d.add(Counter::ServeErrors, errors);
+        d.add(Counter::ServeParseNs, job.parse_ns);
+        d.add(Counter::ServeQueueNs, queue_ns);
+        d.add(Counter::ServeExecNs, execute_ns);
+        d.add(Counter::ServeSerializeNs, serialize_ns);
+        d.observe(Hist::ServeQueueNs, queue_ns);
+        d.observe(Hist::ServeRequestNs, total_ns);
+    }
+    state.in_flight.store(0, Ordering::Relaxed);
+    (job.resp, body)
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn render_outcome(id: u64, outcome: QueryOutcome, spans: SpanDoc) -> String {
+    let vertex_doc = |v: query::VertexInfo| VertexDoc {
+        vertex: v.vertex,
+        depth: v.depth,
+        parent: v.parent,
+    };
+    let row_doc = |r: query::ReachResult| ReachRowDoc {
+        src: r.src,
+        depth: r.depth,
+        visited_vertices: r.visited_vertices,
+        traversed_edges: r.traversed_edges,
+        dst: r.dst.map(vertex_doc),
+    };
+    let rendered = match outcome {
+        QueryOutcome::Reach(r) => serde_json::to_string(&ReachDoc {
+            id,
+            src: r.src,
+            depth: r.depth,
+            visited_vertices: r.visited_vertices,
+            traversed_edges: r.traversed_edges,
+            dst: r.dst.map(vertex_doc),
+            spans,
+        }),
+        QueryOutcome::Path(p) => serde_json::to_string(&PathDoc {
+            id,
+            src: p.src,
+            dst: p.dst,
+            reached: p.reached(),
+            path: p.path,
+            spans,
+        }),
+        QueryOutcome::Batch(rows) => serde_json::to_string(&BatchDoc {
+            id,
+            results: rows.into_iter().map(row_doc).collect(),
+            spans,
+        }),
+    };
+    rendered.unwrap_or_else(|e| format!("{{\"error\":\"serialize: {e}\"}}"))
 }
 
 /// Re-renders the two scrape documents from a fresh registry snapshot.
-fn refresh(session: &mut BfsSession<'_>, hw: &str, shared: &Mutex<Shared>) -> Result<(), String> {
+fn refresh(
+    session: &mut BfsSession<'_>,
+    hw: &str,
+    hw_reason: &Option<bfs_perf::PerfUnavailable>,
+    state: &ServerState,
+) -> Result<(), String> {
     let snap = session.metrics_snapshot();
-    let prom = bfs_metrics::prom::render(&snap);
+    let prom_text = prom::render(&snap);
     let doc = SnapshotDoc {
         queries: session.runs(),
+        uptime_s: state.started.elapsed().as_secs_f64(),
+        queue_depth: state.queue_depth.load(Ordering::Relaxed),
+        in_flight: state.in_flight.load(Ordering::Relaxed),
         hw: hw.to_string(),
+        hw_available: hw_reason.is_none(),
+        hw_kind: hw_reason.as_ref().map(|r| r.kind().to_string()),
+        hw_reason: hw_reason.as_ref().map(|r| r.to_string()),
         metrics: snap,
     };
     let json = serde_json::to_string(&doc).map_err(|e| format!("snapshot to JSON: {e}"))?;
-    let mut s = shared.lock().map_err(|_| "shared state poisoned")?;
-    s.prom = prom;
-    s.snapshot_json = json;
+    let mut docs = state.docs.lock().map_err(|_| "docs lock poisoned")?;
+    docs.prom = prom_text;
+    docs.snapshot_json = json;
     Ok(())
 }
 
-/// Accept loop: one request per connection, until `/quitquitquit`.
-fn http_loop(listener: &TcpListener, shared: &Mutex<Shared>, stop: &AtomicBool) {
-    for conn in listener.incoming() {
-        let Ok(mut stream) = conn else { continue };
-        if respond(&mut stream, shared) {
-            stop.store(true, Ordering::Relaxed);
-            break;
-        }
-    }
-}
-
-/// Serves one request; returns true when it was the shutdown endpoint.
-fn respond(stream: &mut TcpStream, shared: &Mutex<Shared>) -> bool {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-    let Some(path) = read_request_path(stream) else {
-        return false;
-    };
-    let body_of = |f: fn(&Shared) -> String| {
-        shared
-            .lock()
-            .map(|s| f(&s))
-            .unwrap_or_else(|_| String::new())
-    };
-    let (status, ctype, body, quit) = match path.as_str() {
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            body_of(|s| s.prom.clone()),
-            false,
-        ),
-        "/snapshot" => (
-            "200 OK",
-            "application/json",
-            body_of(|s| s.snapshot_json.clone()),
-            false,
-        ),
-        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".into(), false),
-        "/quitquitquit" => ("200 OK", "text/plain; charset=utf-8", "bye\n".into(), true),
-        _ => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n".into(),
-            false,
-        ),
-    };
-    let _ = write!(
-        stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+/// The `/metrics` body: the dispatch thread's rendered exposition plus
+/// the live gauges and build-info series, appended at scrape time.
+fn metrics_body(state: &ServerState) -> String {
+    let mut body = state
+        .docs
+        .lock()
+        .map(|d| d.prom.clone())
+        .unwrap_or_default();
+    prom::render_gauge(
+        &mut body,
+        "fastbfs_queue_depth",
+        "Requests waiting in the admission queue",
+        &[],
+        state.queue_depth.load(Ordering::Relaxed) as f64,
     );
-    let _ = stream.write_all(body.as_bytes());
-    let _ = stream.flush();
-    quit
+    prom::render_gauge(
+        &mut body,
+        "fastbfs_in_flight",
+        "Queries executing right now (0 or 1: one dispatch thread)",
+        &[],
+        state.in_flight.load(Ordering::Relaxed) as f64,
+    );
+    prom::render_gauge(
+        &mut body,
+        "fastbfs_uptime_seconds",
+        "Seconds since the server started",
+        &[],
+        state.started.elapsed().as_secs_f64(),
+    );
+    prom::render_build_info(
+        &mut body,
+        state.version,
+        state.git_rev.as_deref(),
+        state.rustc.as_deref(),
+    );
+    body
 }
 
-/// Reads one request's head and extracts the path of a `GET`; `None` on
-/// anything malformed (the connection is just dropped).
-fn read_request_path(stream: &mut TcpStream) -> Option<String> {
-    let mut buf = [0u8; 1024];
-    let mut req: Vec<u8> = Vec::new();
+/// One HTTP worker: accept → parse → validate → enqueue → await reply.
+fn http_worker(
+    listener: &TcpListener,
+    state: &ServerState,
+    tx: &SyncSender<Job>,
+    num_vertices: usize,
+) {
     loop {
-        let n = stream.read(&mut buf).ok()?;
-        if n == 0 {
-            break;
+        if state.stop.load(Ordering::Relaxed) {
+            return;
         }
-        req.extend_from_slice(&buf[..n]);
-        if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 4096 {
-            break;
+        let Ok((mut stream, _)) = listener.accept() else {
+            continue;
+        };
+        if state.stop.load(Ordering::Relaxed) {
+            return; // woken by wake_workers
+        }
+        let arrival = Instant::now();
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+        let req = match http::read_request(&mut stream) {
+            Ok(r) => r,
+            Err(RequestError::Io) => continue,
+            Err(RequestError::Bad(msg)) => {
+                state.http_errors.fetch_add(1, Ordering::Relaxed);
+                http::write_json_error(&mut stream, "400 Bad Request", msg);
+                continue;
+            }
+        };
+        if handle(&req, &mut stream, arrival, state, tx, num_vertices) {
+            state.stop.store(true, Ordering::Relaxed);
+            // Unblock the sibling workers (and dispatch notices via its
+            // recv timeout).
+            wake_workers(state, 64);
+            return;
         }
     }
-    let line = req.split(|&b| b == b'\r').next()?;
-    let line = std::str::from_utf8(line).ok()?;
-    let mut parts = line.split_whitespace();
-    if parts.next()? != "GET" {
-        return None;
+}
+
+/// Routes one request; returns true when it was the shutdown endpoint.
+fn handle(
+    req: &Request,
+    stream: &mut TcpStream,
+    arrival: Instant,
+    state: &ServerState,
+    tx: &SyncSender<Job>,
+    num_vertices: usize,
+) -> bool {
+    let mut client_error = |status: &str, msg: &str| {
+        state.http_errors.fetch_add(1, Ordering::Relaxed);
+        http::write_json_error(stream, status, msg);
+        false
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            http::write_response(stream, "200 OK", "text/plain; charset=utf-8", b"ok\n");
+            false
+        }
+        ("GET", "/metrics") => {
+            http::write_response(
+                stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                metrics_body(state).as_bytes(),
+            );
+            false
+        }
+        ("GET", "/snapshot") => {
+            let body = state
+                .docs
+                .lock()
+                .map(|d| d.snapshot_json.clone())
+                .unwrap_or_default();
+            http::write_json(stream, "200 OK", &body);
+            false
+        }
+        ("GET", "/graph") => {
+            http::write_json(stream, "200 OK", &state.graph_json);
+            false
+        }
+        ("GET", "/quitquitquit") => {
+            http::write_response(stream, "200 OK", "text/plain; charset=utf-8", b"bye\n");
+            true
+        }
+        ("GET", "/query") | ("GET", "/path") | ("POST", "/query") => {
+            let kind = match parse_query_request(req) {
+                Ok(k) => k,
+                Err(msg) => return client_error("400 Bad Request", &msg),
+            };
+            if let Err(e) = kind.validate(num_vertices) {
+                return client_error("422 Unprocessable Entity", &e.to_string());
+            }
+            enqueue_and_reply(stream, arrival, state, tx, kind);
+            false
+        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/snapshot" | "/graph" | "/quitquitquit" | "/query" | "/path",
+        ) => client_error(
+            "405 Method Not Allowed",
+            &format!("{} not allowed", req.method),
+        ),
+        _ => {
+            state.http_errors.fetch_add(1, Ordering::Relaxed);
+            http::write_response(
+                stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                b"not found\n",
+            );
+            false
+        }
     }
-    parts.next().map(str::to_string)
+}
+
+/// Parses a query-path request into a [`QueryKind`] (syntax only; range
+/// checks are `validate`'s job).
+fn parse_query_request(req: &Request) -> Result<QueryKind, String> {
+    let vertex = |key: &str| -> Result<u32, String> {
+        let raw = req
+            .param(key)
+            .ok_or_else(|| format!("missing query parameter {key:?} (expect {key}=<vertex id>)"))?;
+        raw.parse()
+            .map_err(|_| format!("query parameter {key}={raw:?} is not a vertex id"))
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/query") => Ok(QueryKind::Reach {
+            src: vertex("src")?,
+            dst: match req.param("dst") {
+                Some(_) => Some(vertex("dst")?),
+                None => None,
+            },
+        }),
+        ("GET", "/path") => Ok(QueryKind::Path {
+            src: vertex("src")?,
+            dst: vertex("dst")?,
+        }),
+        ("POST", "/query") => {
+            let text =
+                std::str::from_utf8(&req.body).map_err(|_| "body is not UTF-8".to_string())?;
+            let v = serde_json::parse(text)
+                .map_err(|e| format!("body is not JSON ({e}); expect {{\"sources\":[...]}}"))?;
+            let arr = v
+                .get("sources")
+                .and_then(|s| s.as_array())
+                .ok_or_else(|| "body needs a \"sources\" array".to_string())?;
+            let sources = arr
+                .iter()
+                .map(|s| {
+                    s.as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| format!("source {s:?} is not a vertex id"))
+                })
+                .collect::<Result<Vec<u32>, String>>()?;
+            Ok(QueryKind::Batch { sources })
+        }
+        _ => unreachable!("routed in handle()"),
+    }
+}
+
+/// Admits the request (or sheds it) and relays the dispatch reply.
+fn enqueue_and_reply(
+    stream: &mut TcpStream,
+    arrival: Instant,
+    state: &ServerState,
+    tx: &SyncSender<Job>,
+    kind: QueryKind,
+) {
+    let parse_ns = elapsed_ns(arrival);
+    let id = state.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let (rtx, rrx) = mpsc::channel();
+    let job = Job {
+        id,
+        kind,
+        arrival,
+        parse_ns,
+        enqueued: Instant::now(),
+        resp: rtx,
+    };
+    match tx.try_send(job) {
+        Ok(()) => {
+            state.queue_depth.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(TrySendError::Full(_)) => {
+            state.http_errors.fetch_add(1, Ordering::Relaxed);
+            http::write_json_error(
+                stream,
+                "503 Service Unavailable",
+                "admission queue full; retry later",
+            );
+            return;
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            state.http_errors.fetch_add(1, Ordering::Relaxed);
+            http::write_json_error(stream, "503 Service Unavailable", "server shutting down");
+            return;
+        }
+    }
+    match rrx.recv_timeout(DISPATCH_TIMEOUT) {
+        Ok(body) => http::write_json(stream, "200 OK", &body),
+        Err(_) => {
+            state.http_errors.fetch_add(1, Ordering::Relaxed);
+            http::write_json_error(stream, "504 Gateway Timeout", "dispatch timed out");
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use serde::Value;
 
-    fn get(addr: std::net::SocketAddr, path: &str) -> String {
-        let mut s = TcpStream::connect(addr).unwrap();
-        write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
-        let mut out = String::new();
-        s.read_to_string(&mut out).unwrap();
-        out
-    }
-
-    #[test]
-    fn endpoints_serve_and_quit_stops_the_loop() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let shared = Arc::new(Mutex::new(Shared {
-            prom: "fastbfs_queries_total 7\n".into(),
-            snapshot_json: "{\"queries\":7}".into(),
-        }));
-        let stop = Arc::new(AtomicBool::new(false));
-        let http = {
-            let shared = Arc::clone(&shared);
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || http_loop(&listener, &shared, &stop))
-        };
-        let health = get(addr, "/healthz");
-        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
-        assert!(health.ends_with("ok\n"), "{health}");
-        let prom = get(addr, "/metrics");
-        assert!(prom.contains("text/plain; version=0.0.4"), "{prom}");
-        assert!(prom.contains("fastbfs_queries_total 7"), "{prom}");
-        let snap = get(addr, "/snapshot");
-        assert!(snap.contains("application/json"), "{snap}");
-        assert!(snap.ends_with("{\"queries\":7}"), "{snap}");
-        let missing = get(addr, "/nope");
-        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
-        let bye = get(addr, "/quitquitquit");
-        assert!(bye.ends_with("bye\n"), "{bye}");
-        http.join().unwrap();
-        assert!(stop.load(Ordering::Relaxed));
-    }
-
-    #[test]
-    fn serve_command_end_to_end_over_a_generated_graph() {
-        let addr_file =
-            std::env::temp_dir().join(format!("fastbfs_serve_test_{}", std::process::id()));
+    /// Starts `serve` on an ephemeral port and resolves the bound address.
+    fn start(extra: &[&str]) -> (std::thread::JoinHandle<Result<(), String>>, String) {
+        let addr_file = std::env::temp_dir().join(format!(
+            "fastbfs_serve_test_{}_{:p}",
+            std::process::id(),
+            extra
+        ));
         let addr_path = addr_file.to_str().unwrap().to_string();
-        let args: Vec<String> = [
+        let mut args: Vec<String> = [
             "--family",
             "ur",
             "--vertices",
@@ -292,8 +741,6 @@ mod tests {
             "4",
             "--threads",
             "2",
-            "--sources",
-            "3",
             "--metrics-addr",
             "127.0.0.1:0",
             "--addr-file",
@@ -302,38 +749,202 @@ mod tests {
         .iter()
         .map(|s| s.to_string())
         .collect();
+        args.extend(extra.iter().map(|s| s.to_string()));
         let driver = std::thread::spawn(move || serve(&args));
-        // The addr file appears once the listener is bound.
-        let addr: std::net::SocketAddr = {
+        let addr = {
             let mut tries = 0;
             loop {
                 match std::fs::read_to_string(&addr_file) {
-                    Ok(s) if !s.is_empty() => break s.parse().unwrap(),
+                    Ok(s) if !s.is_empty() => break s,
                     _ => {
                         tries += 1;
-                        assert!(tries < 500, "listener never came up");
+                        assert!(tries < 1000, "listener never came up");
                         std::thread::sleep(Duration::from_millis(10));
                     }
                 }
             }
         };
-        assert!(get(addr, "/healthz").ends_with("ok\n"));
-        // Unlimited queries: scrape twice and check the counter only grows.
-        let extract = |text: &str| -> u64 {
-            text.lines()
+        std::fs::remove_file(&addr_file).ok();
+        (driver, addr)
+    }
+
+    fn get(addr: &str, path: &str) -> http::Response {
+        http::get(addr, path, Duration::from_secs(30)).unwrap()
+    }
+
+    #[test]
+    fn query_endpoints_answer_with_spans_and_ids() {
+        let (driver, addr) = start(&[]);
+        assert!(get(&addr, "/healthz").body.ends_with("ok\n"));
+
+        // /graph advertises the source range.
+        let graph = get(&addr, "/graph");
+        let gv = serde_json::parse(&graph.body).unwrap();
+        assert_eq!(gv.get("vertices").and_then(|v| v.as_u64()), Some(400));
+
+        // Reachability query with a dst probe.
+        let r = get(&addr, "/query?src=0&dst=5");
+        assert!(r.ok(), "{} {}", r.status, r.body);
+        let v = serde_json::parse(&r.body).unwrap();
+        assert_eq!(v.get("src").and_then(|x| x.as_u64()), Some(0));
+        assert!(v.get("id").and_then(|x| x.as_u64()).unwrap_or(0) > 0);
+        assert!(
+            v.get("visited_vertices")
+                .and_then(|x| x.as_u64())
+                .unwrap_or(0)
+                > 0
+        );
+        let spans = v.get("spans").expect("lifecycle spans");
+        for key in ["parse_ns", "queue_ns", "execute_ns"] {
+            assert!(spans.get(key).and_then(|x| x.as_u64()).is_some(), "{key}");
+        }
+        assert!(spans.get("execute_ns").and_then(|x| x.as_u64()).unwrap() > 0);
+
+        // Path query: endpoints must match the request.
+        let p = get(&addr, "/path?src=0&dst=17");
+        assert!(p.ok(), "{} {}", p.status, p.body);
+        let v = serde_json::parse(&p.body).unwrap();
+        if v.get("reached").and_then(|x| x.as_bool()) == Some(true) {
+            let path = v.get("path").and_then(|x| x.as_array()).unwrap();
+            assert_eq!(path.first().and_then(Value::as_u64), Some(0));
+            assert_eq!(path.last().and_then(Value::as_u64), Some(17));
+        }
+
+        // Batched POST.
+        let b = http::post_json(
+            &addr,
+            "/query",
+            "{\"sources\":[0,7,399]}",
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert!(b.ok(), "{} {}", b.status, b.body);
+        let v = serde_json::parse(&b.body).unwrap();
+        let rows = v.get("results").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2].get("src").and_then(|x| x.as_u64()), Some(399));
+
+        // The lifecycle series made it into the exposition, along with
+        // the gauges and build info.
+        let m = get(&addr, "/metrics").body;
+        let series = |name: &str| -> u64 {
+            m.lines()
+                .find(|l| l.starts_with(name) && !l.starts_with('#'))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse::<f64>().ok())
+                .map(|v| v as u64)
+                .unwrap_or_else(|| panic!("{name} missing:\n{m}"))
+        };
+        // Three dispatched jobs: GET /query, GET /path, one batched POST
+        // (a batch is one admission-queue job however many sources it has).
+        assert!(series("fastbfs_serve_requests_total") >= 3);
+        assert!(series("fastbfs_serve_exec_ns_total") > 0);
+        assert!(series("fastbfs_serve_request_ns_count") >= 3);
+        assert!(m.contains("fastbfs_queue_depth"), "{m}");
+        assert!(m.contains("fastbfs_in_flight"), "{m}");
+        assert!(m.contains("fastbfs_uptime_seconds"), "{m}");
+        assert!(m.contains("fastbfs_build_info{version=\""), "{m}");
+
+        assert!(get(&addr, "/quitquitquit").body.ends_with("bye\n"));
+        driver.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn malformed_and_out_of_range_requests_get_json_errors() {
+        let (driver, addr) = start(&[]);
+
+        // 400: missing/malformed parameters.
+        for path in ["/query", "/query?src=banana", "/path?src=1"] {
+            let r = get(&addr, path);
+            assert_eq!(r.status, 400, "{path}: {}", r.body);
+            let v = serde_json::parse(&r.body).unwrap();
+            assert!(v.get("error").and_then(|e| e.as_str()).is_some(), "{path}");
+        }
+        // 400: bad POST bodies.
+        for body in ["not json", "{\"sources\":7}", "{\"sources\":[1,-2]}"] {
+            let r = http::post_json(&addr, "/query", body, Duration::from_secs(30)).unwrap();
+            assert_eq!(r.status, 400, "{body:?}: {}", r.body);
+        }
+        // 422: well-formed but impossible (graph has 400 vertices).
+        for path in ["/query?src=400", "/path?src=0&dst=9999"] {
+            let r = get(&addr, path);
+            assert_eq!(r.status, 422, "{path}: {}", r.body);
+            let msg = serde_json::parse(&r.body)
+                .unwrap()
+                .get("error")
+                .and_then(|e| e.as_str())
+                .unwrap()
+                .to_string();
+            assert!(msg.contains("out of range"), "{msg}");
+        }
+        let r =
+            http::post_json(&addr, "/query", "{\"sources\":[]}", Duration::from_secs(30)).unwrap();
+        assert_eq!(r.status, 422, "{}", r.body);
+
+        // 405 on wrong method, 404 on unknown paths.
+        let r = http::post_json(&addr, "/metrics", "", Duration::from_secs(30)).unwrap();
+        assert_eq!(r.status, 405, "{}", r.body);
+        assert_eq!(get(&addr, "/nope").status, 404);
+
+        // The failures are visible as serve_errors after the next
+        // successful request flushes the tally.
+        assert!(get(&addr, "/query?src=0").ok());
+        let m = get(&addr, "/metrics").body;
+        let errs: u64 = m
+            .lines()
+            .find(|l| l.starts_with("fastbfs_serve_errors_total"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(errs >= 9, "expected >= 9 recorded errors, got {errs}\n{m}");
+
+        assert!(get(&addr, "/quitquitquit").body.ends_with("bye\n"));
+        driver.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn warmup_queries_prime_the_session_and_snapshot_is_structured() {
+        let (driver, addr) = start(&["--queries", "12", "--sources", "3"]);
+        // Warmup traversals land in the registry before any request.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let m = get(&addr, "/metrics").body;
+            let q: u64 = m
+                .lines()
                 .find(|l| l.starts_with("fastbfs_queries_total"))
                 .and_then(|l| l.split_whitespace().nth(1))
                 .and_then(|v| v.parse().ok())
-                .expect("queries counter present")
-        };
-        let a = extract(&get(addr, "/metrics"));
-        std::thread::sleep(Duration::from_millis(50));
-        let b = extract(&get(addr, "/metrics"));
-        assert!(b >= a, "counter went backwards: {a} -> {b}");
-        let snap = get(addr, "/snapshot");
-        assert!(snap.contains("\"hw\":"), "{snap}");
-        assert!(get(addr, "/quitquitquit").ends_with("bye\n"));
+                .unwrap_or(0);
+            if q >= 12 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "warmup never finished: {m}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let snap = get(&addr, "/snapshot").body;
+        let v = serde_json::parse(&snap).unwrap();
+        assert!(v.get("queries").and_then(|x| x.as_u64()).unwrap() >= 12);
+        assert!(v.get("uptime_s").and_then(|x| x.as_f64()).unwrap() >= 0.0);
+        // Structured hw fields: available xor (kind + reason).
+        let available = v.get("hw_available").and_then(|x| x.as_bool()).unwrap();
+        let kind = v
+            .get("hw_kind")
+            .and_then(|x| x.as_str())
+            .map(str::to_string);
+        let reason = v
+            .get("hw_reason")
+            .and_then(|x| x.as_str())
+            .map(str::to_string);
+        if available {
+            assert!(kind.is_none() && reason.is_none(), "{snap}");
+        } else {
+            assert!(kind.is_some() && reason.is_some(), "{snap}");
+        }
+        // The legacy string stays consistent with the structured fields.
+        let hw = v.get("hw").and_then(|x| x.as_str()).unwrap();
+        assert_eq!(available, hw == "available", "{hw}");
+
+        assert!(get(&addr, "/quitquitquit").body.ends_with("bye\n"));
         driver.join().unwrap().unwrap();
-        std::fs::remove_file(&addr_file).ok();
     }
 }

@@ -468,6 +468,14 @@ impl<'g> BfsEngine<'g> {
         self.metrics.reset()
     }
 
+    /// Mutable access to the always-on registry, for drivers that record
+    /// their own driver-scope series next to the engine's (e.g. the serve
+    /// admission layer's request-lifecycle spans). `&mut self` proves no
+    /// traversal is in flight, so the single-writer discipline holds.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
     /// Runs a traversal from `source`.
     ///
     /// # Panics

@@ -30,6 +30,9 @@
 //! * [`engine`] — the complete two-phase traversal of Figure 3.
 //! * [`session`] — persistent query sessions: epoch-stamped O(touched)
 //!   state reset and batched multi-source BFS over one engine.
+//! * [`query`] — the dispatch seam servers build on: typed query kinds
+//!   (reach, path, multi-source batch) with validation separated from
+//!   execution, and tree-path reconstruction from the parent array.
 //! * [`serial`] — the textbook BFS of Figure 1, the correctness oracle.
 //! * [`baseline`] — re-implementations of prior work compared against in
 //!   Figures 4 and 6 (atomic-bitmap parallel BFS).
@@ -64,6 +67,7 @@ pub mod frontier;
 pub mod partitioned;
 pub mod pbv;
 pub mod prefetch;
+pub mod query;
 pub mod serial;
 pub mod session;
 pub mod sim;
@@ -76,6 +80,7 @@ pub use direction::{count_switches, Direction, DirectionPolicy, FrontierBitmap};
 pub use dp::{DepthParent, INF_DEPTH};
 pub use engine::{BfsEngine, BfsOptions, BfsOutput, HwCounterStatus, Scheduling};
 pub use pbv::PbvEncoding;
+pub use query::{QueryError, QueryKind, QueryOutcome};
 pub use session::BfsSession;
 pub use stats::TraversalStats;
 pub use vis::VisScheme;

@@ -109,6 +109,12 @@ impl<'g> BfsSession<'g> {
         self.engine.reset_metrics();
     }
 
+    /// Mutable access to the engine's metrics registry (see
+    /// [`BfsEngine::metrics_mut`]).
+    pub fn metrics_mut(&mut self) -> &mut bfs_metrics::MetricsRegistry {
+        self.engine.metrics_mut()
+    }
+
     /// Retained frontier/bin/scratch capacity in `u32` words — the
     /// high-water traversal footprint (excludes the fixed O(|V|) `DP`/`VIS`
     /// arrays).

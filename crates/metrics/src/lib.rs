@@ -8,7 +8,7 @@
 //! experiment:
 //!
 //! * [`registry`] — the sharded [`MetricsRegistry`]: a fixed vocabulary of
-//!   35 counters + 3 power-of-two histograms, stored in one
+//!   41 counters + 5 power-of-two histograms, stored in one
 //!   cache-line-padded slot per engine thread (plus a driver slot). A
 //!   hot-path increment is a plain unsynchronized `u64` add into the
 //!   thread's own slot — no atomics, no locks, no allocation — which is

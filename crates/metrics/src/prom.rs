@@ -108,7 +108,59 @@ fn help(c: Counter) -> &'static str {
         Counter::RearrangeHwInstructions => "Hardware instructions retired in rearrangement",
         Counter::RearrangeLlcMisses => "LLC load misses in rearrangement",
         Counter::RearrangeDtlbMisses => "dTLB load misses in rearrangement",
+        Counter::ServeRequests => "Query-path HTTP requests admitted",
+        Counter::ServeErrors => "Query-path HTTP requests rejected or failed",
+        Counter::ServeParseNs => "Request parse nanoseconds",
+        Counter::ServeQueueNs => "Admission-queue wait nanoseconds",
+        Counter::ServeExecNs => "Request traversal-execution nanoseconds",
+        Counter::ServeSerializeNs => "Response serialization nanoseconds",
     }
+}
+
+/// Appends one gauge sample (with `# HELP`/`# TYPE` preamble) to `out`.
+/// Label values are escaped per the exposition format (backslash, quote,
+/// newline).
+pub fn render_gauge(out: &mut String, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name} {value}");
+    } else {
+        let rendered: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
+        let _ = writeln!(out, "{name}{{{}}} {value}", rendered.join(","));
+    }
+}
+
+/// `fastbfs_build_info`: the conventional constant-`1` provenance gauge
+/// whose labels carry what `RunReport::capture_environment` records —
+/// scrapes become joinable with committed baselines by git revision.
+pub fn render_build_info(
+    out: &mut String,
+    version: &str,
+    git_rev: Option<&str>,
+    rustc: Option<&str>,
+) {
+    render_gauge(
+        out,
+        "fastbfs_build_info",
+        "Build provenance; value is always 1",
+        &[
+            ("version", version),
+            ("git_rev", git_rev.unwrap_or("unknown")),
+            ("rustc", rustc.unwrap_or("unknown")),
+        ],
+        1.0,
+    );
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 #[cfg(test)]
@@ -166,5 +218,48 @@ mod tests {
             assert_eq!(parts.len(), 4, "{line}");
             assert!(parts[3] == "counter" || parts[3] == "histogram", "{line}");
         }
+    }
+
+    #[test]
+    fn serve_lifecycle_series_are_rendered() {
+        let mut reg = MetricsRegistry::new(1);
+        {
+            let mut d = reg.driver();
+            d.add(Counter::ServeRequests, 9);
+            d.add(Counter::ServeQueueNs, 1234);
+            d.observe(Hist::ServeRequestNs, 1 << 20);
+        }
+        let text = render(&reg.snapshot());
+        assert!(text.contains("fastbfs_serve_requests_total 9"), "{text}");
+        assert!(text.contains("fastbfs_serve_queue_ns_total 1234"), "{text}");
+        assert!(text.contains("fastbfs_serve_request_ns_count 1"), "{text}");
+        assert!(
+            text.contains("# TYPE fastbfs_serve_request_ns histogram"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn gauges_and_build_info_render_with_escaped_labels() {
+        let mut out = String::new();
+        render_gauge(
+            &mut out,
+            "fastbfs_queue_depth",
+            "Requests waiting",
+            &[],
+            3.0,
+        );
+        assert!(out.contains("# TYPE fastbfs_queue_depth gauge"), "{out}");
+        assert!(out.contains("fastbfs_queue_depth 3"), "{out}");
+
+        let mut info = String::new();
+        render_build_info(&mut info, "0.1.0", Some("abc123"), Some("rustc \"x\""));
+        assert!(
+            info.contains("fastbfs_build_info{version=\"0.1.0\",git_rev=\"abc123\",rustc=\"rustc \\\"x\\\"\"} 1"),
+            "{info}"
+        );
+        let mut none = String::new();
+        render_build_info(&mut none, "0.1.0", None, None);
+        assert!(none.contains("git_rev=\"unknown\""), "{none}");
     }
 }

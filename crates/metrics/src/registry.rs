@@ -106,11 +106,28 @@ pub enum Counter {
     RearrangeLlcMisses,
     /// dTLB load misses during rearrangement (thread scope).
     RearrangeDtlbMisses,
+    /// Query-path HTTP requests admitted by `fastbfs serve` (driver scope;
+    /// the dispatch thread is the single writer for all `Serve*` counters).
+    ServeRequests,
+    /// Query-path requests that failed — malformed parameters, out-of-range
+    /// vertices, or a full admission queue (driver scope).
+    ServeErrors,
+    /// Nanoseconds spent parsing request lines and parameters (driver scope).
+    ServeParseNs,
+    /// Nanoseconds requests waited in the admission queue before the
+    /// dispatch thread picked them up (driver scope).
+    ServeQueueNs,
+    /// Nanoseconds executing traversals on behalf of requests (driver scope).
+    ServeExecNs,
+    /// Nanoseconds serializing response bodies (driver scope).
+    ServeSerializeNs,
 }
 
 impl Counter {
     /// Every counter, in stable index order (`c as usize` indexes this).
-    pub const ALL: [Counter; 35] = [
+    /// Additions are append-only so snapshots serialized by older builds
+    /// keep their positional meaning.
+    pub const ALL: [Counter; 41] = [
         Counter::Queries,
         Counter::QueryNs,
         Counter::Steps,
@@ -146,6 +163,12 @@ impl Counter {
         Counter::RearrangeHwInstructions,
         Counter::RearrangeLlcMisses,
         Counter::RearrangeDtlbMisses,
+        Counter::ServeRequests,
+        Counter::ServeErrors,
+        Counter::ServeParseNs,
+        Counter::ServeQueueNs,
+        Counter::ServeExecNs,
+        Counter::ServeSerializeNs,
     ];
 
     /// Stable snake_case name used in JSON and Prometheus exposition.
@@ -186,6 +209,12 @@ impl Counter {
             Counter::RearrangeHwInstructions => "rearrange_hw_instructions",
             Counter::RearrangeLlcMisses => "rearrange_llc_misses",
             Counter::RearrangeDtlbMisses => "rearrange_dtlb_misses",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeErrors => "serve_errors",
+            Counter::ServeParseNs => "serve_parse_ns",
+            Counter::ServeQueueNs => "serve_queue_ns",
+            Counter::ServeExecNs => "serve_exec_ns",
+            Counter::ServeSerializeNs => "serve_serialize_ns",
         }
     }
 
@@ -231,11 +260,23 @@ pub enum Hist {
     QueryNs,
     /// Per-step frontier size, enqueues with duplicates (driver scope).
     FrontierSize,
+    /// Admission-queue wait per query-path request in nanoseconds (driver
+    /// scope; `fastbfs serve` dispatch thread).
+    ServeQueueNs,
+    /// End-to-end request lifecycle (arrival to response ready) in
+    /// nanoseconds (driver scope; `fastbfs serve` dispatch thread).
+    ServeRequestNs,
 }
 
 impl Hist {
-    /// Every histogram, in stable index order.
-    pub const ALL: [Hist; 3] = [Hist::StepNs, Hist::QueryNs, Hist::FrontierSize];
+    /// Every histogram, in stable index order (append-only).
+    pub const ALL: [Hist; 5] = [
+        Hist::StepNs,
+        Hist::QueryNs,
+        Hist::FrontierSize,
+        Hist::ServeQueueNs,
+        Hist::ServeRequestNs,
+    ];
 
     /// Stable snake_case name used in JSON and Prometheus exposition.
     pub fn name(self) -> &'static str {
@@ -243,6 +284,8 @@ impl Hist {
             Hist::StepNs => "step_ns",
             Hist::QueryNs => "query_ns",
             Hist::FrontierSize => "frontier_size",
+            Hist::ServeQueueNs => "serve_queue_ns",
+            Hist::ServeRequestNs => "serve_request_ns",
         }
     }
 }

@@ -109,6 +109,20 @@ pub enum PerfUnavailable {
     OpenFailed { errno: i32 },
 }
 
+impl PerfUnavailable {
+    /// Stable machine-readable variant tag for structured reporting
+    /// (the `/snapshot` endpoint); the human-readable detail stays in
+    /// `Display`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PerfUnavailable::UnsupportedPlatform => "unsupported_platform",
+            PerfUnavailable::PermissionDenied { .. } => "permission_denied",
+            PerfUnavailable::NotSupported => "not_supported",
+            PerfUnavailable::OpenFailed { .. } => "open_failed",
+        }
+    }
+}
+
 impl fmt::Display for PerfUnavailable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -31,7 +31,8 @@ if [ -n "$BASELINE" ]; then
     target/release/fastbfs run -i "$SMOKE_GRAPH" --sources 4 --seed 7 --direction auto --json "$SMOKE_OUT"
     target/release/fastbfs bench-compare "$SMOKE_OUT" "$SMOKE_OUT" --quiet
     target/release/fastbfs bench-compare "$BASELINE" "$SMOKE_OUT" --allow-mismatch \
-        --max-mteps-drop 0.99 --max-latency-rise 100 --max-direction-drift 1.0
+        --max-mteps-drop 0.99 --max-latency-rise 100 --max-direction-drift 1.0 \
+        --max-qps-drop 0.99
 else
     echo "    (no BENCH_*.json baseline committed; skipping)"
 fi
@@ -72,13 +73,52 @@ bad = [l for l in lines if not (l.startswith("# HELP ") or l.startswith("# TYPE 
 assert not bad, f"malformed exposition lines: {bad[:3]}"
 assert any(l.startswith("fastbfs_queries_total ") for l in lines)
 '
-# ...and a JSON snapshot carrying hw-counter provenance.
+# ...and a JSON snapshot carrying structured hw-counter provenance.
 curl -fsS "http://$ADDR/snapshot" | python3 -c '
 import json, sys
 d = json.load(sys.stdin)
 assert d["queries"] >= 100, d["queries"]
 assert "hw" in d and "metrics" in d, sorted(d)
+assert isinstance(d["hw_available"], bool), d
+if not d["hw_available"]:
+    assert d["hw_kind"] and d["hw_reason"], d
 '
+
+echo "==> loadgen smoke (open-loop load against the live server)"
+LOAD_OUT="$(mktemp /tmp/check_load_XXXXXX.json)"
+LOAD_BAD="$(mktemp /tmp/check_load_XXXXXX.json)"
+trap 'rm -f "${SMOKE_GRAPH:-}" "${SMOKE_OUT:-}" "$SERVE_GRAPH" "$ADDR_FILE" "$LOAD_OUT" "$LOAD_BAD"; [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+target/release/fastbfs loadgen "http://$ADDR" --rate 120 --duration 2 \
+    --connections 4 --seed 7 --out "$LOAD_OUT"
+python3 - "$LOAD_OUT" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "fastbfs-load-v1", d["schema"]
+assert d["completed"] > 0 and d["errors"] == 0, (d["completed"], d["errors"])
+assert d["achieved_qps"] > 0, d["achieved_qps"]
+lat = d["latency"]
+assert lat is not None, "no latency summary"
+assert 0 < lat["p50_ms"] <= lat["p99_ms"] <= lat["p999_ms"], lat
+EOF
+# A breached p99 budget must exit nonzero.
+if target/release/fastbfs loadgen "http://$ADDR" --rate 50 --duration 1 \
+    --seed 7 --max-p99-ms 0.000001 >/dev/null 2>&1; then
+    echo "error: --max-p99-ms breach did not fail loadgen" >&2; exit 1
+fi
+# The load-report gate: identical reports pass, an injected tail
+# regression trips it.
+python3 - "$LOAD_OUT" "$LOAD_BAD" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+d["latency"]["p99_ms"] *= 10.0
+d["latency"]["p999_ms"] *= 10.0
+json.dump(d, open(sys.argv[2], "w"))
+EOF
+target/release/fastbfs bench-compare "$LOAD_OUT" "$LOAD_OUT" --quiet
+if target/release/fastbfs bench-compare "$LOAD_OUT" "$LOAD_BAD" --quiet; then
+    echo "error: inflated tail latency did not fail bench-compare" >&2; exit 1
+fi
+
 curl -fsS "http://$ADDR/quitquitquit" >/dev/null
 wait "$SERVE_PID"
 SERVE_PID=""

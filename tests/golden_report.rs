@@ -16,6 +16,11 @@ const GOLDEN: &str = concat!(
     "/../../tests/golden/run_report_v1_pr3.json"
 );
 
+const GOLDEN_PR5: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/run_report_v1_pr5.json"
+);
+
 #[test]
 fn pr3_era_report_still_parses() {
     let report = RunReport::read(GOLDEN).expect("PR 3 golden report must parse");
@@ -72,6 +77,61 @@ fn pr3_era_report_feeds_the_gate() {
         out.pass,
         "self-comparison must pass:\n{}",
         out.render_text()
+    );
+}
+
+#[test]
+fn pr5_era_report_still_parses() {
+    // A report emitted by the PR 5 binary: environment header and
+    // hw_events exist, but the batch latency percentiles added in PR 6 do
+    // not. They must deserialize as `None`, never as an error.
+    let report = RunReport::read(GOLDEN_PR5).expect("PR 5 golden report must parse");
+    assert_eq!(report.schema, SCHEMA);
+
+    // The PR 4/5 additions are populated in this era.
+    assert_eq!(report.git_rev.as_deref(), Some("4e8942c"));
+    assert!(report.rustc.as_deref().unwrap().starts_with("rustc 1."));
+    assert_eq!(report.host_cores, Some(8));
+    assert_eq!(report.llc_bytes, Some(33_554_432));
+    assert!(report
+        .hw_events
+        .as_deref()
+        .unwrap()
+        .starts_with("unavailable:"));
+    assert!(
+        report.metrics.is_none(),
+        "golden carried a null metrics block"
+    );
+
+    // The PR 6 additions must come back absent.
+    let batch = report.batch.as_ref().expect("golden was a batch run");
+    assert_eq!(batch.latency_p50_ms, None);
+    assert_eq!(batch.latency_p99_ms, None);
+    assert_eq!(batch.latency_p999_ms, None);
+}
+
+#[test]
+fn pr5_era_report_feeds_the_tail_gate() {
+    // The PR 6 gate additions (QPS drop, batch tail latency) must degrade
+    // gracefully on a baseline that predates the precomputed percentiles:
+    // the p99.9 check falls back to the per-query rows, and the QPS check
+    // uses the batch block that PR 5 already had.
+    let report = RunReport::read(GOLDEN_PR5).unwrap();
+    assert!(report.latency_percentile_ms(99.9) >= report.latency_percentile_ms(50.0));
+    let out = compare(&report, &report, &CompareThresholds::default(), false);
+    assert!(
+        out.pass,
+        "self-comparison must pass:\n{}",
+        out.render_text()
+    );
+    // Both tail and throughput checks actually ran against the old report.
+    assert!(
+        out.checks.iter().any(|c| c.name == "latency_p999_ms"),
+        "p999 check must fall back to query rows"
+    );
+    assert!(
+        out.checks.iter().any(|c| c.name == "queries_per_sec"),
+        "QPS check must use the PR 5 batch block"
     );
 }
 
