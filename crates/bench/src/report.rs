@@ -104,6 +104,14 @@ pub struct RunReport {
     /// `"unavailable: <reason>"` (additive, PR 5). Lets `bench-compare`
     /// warn when a counter-backed run is diffed against a model-only one.
     pub hw_events: Option<String>,
+    /// Whether the CSR was degree-order relabeled before the run
+    /// (additive, PR 7). `None` on pre-PR7 reports.
+    pub relabel: Option<bool>,
+    /// Hugepage-arena status on the producing host: `"enabled"`,
+    /// `"disabled"`, or `"unavailable: <reason>"` (additive, PR 7).
+    /// Carries the typed degradation reason so a host without THP is
+    /// never mistaken for a host that ran with hugepages.
+    pub hugepages: Option<String>,
     pub queries: Vec<QueryReport>,
     pub batch: Option<BatchReport>,
 }
@@ -379,6 +387,11 @@ pub struct CompareOutcome {
     /// model-only: the numbers are still comparable (the gate checks are
     /// all timing-derived), but provenance differs. Never fails the gate.
     pub hw_warning: Option<String>,
+    /// Advisory note when the two reports used different memory-layout
+    /// levers (`--relabel` / `--hugepages`): a throughput delta may be the
+    /// lever, not a code change. Silent when either side predates the
+    /// fields (additive, PR 7). Never fails the gate.
+    pub layout_warning: Option<String>,
     pub pass: bool,
 }
 
@@ -391,6 +404,9 @@ impl CompareOutcome {
             let _ = writeln!(out, "workload mismatch: {m}");
         }
         if let Some(w) = &self.hw_warning {
+            let _ = writeln!(out, "warning: {w}");
+        }
+        if let Some(w) = &self.layout_warning {
             let _ = writeln!(out, "warning: {w}");
         }
         let _ = writeln!(
@@ -524,11 +540,31 @@ pub fn compare(
         _ => None,
     };
 
+    // Memory-layout provenance (`--relabel` / `--hugepages`): advisory
+    // only, and silent when either report predates the fields — old
+    // baselines must keep diffing without noise.
+    let layout = |r: &RunReport| -> Option<String> {
+        let relabel = r.relabel?;
+        let hp = r.hugepages.as_deref()?;
+        Some(format!(
+            "relabel={relabel}, hugepages={}",
+            if hp == "enabled" { "on" } else { "off" }
+        ))
+    };
+    let layout_warning = match (layout(base), layout(new)) {
+        (Some(b), Some(n)) if b != n => Some(format!(
+            "memory-layout provenance differs: baseline ran with {b}, new with {n} \
+             — throughput deltas may reflect the layout levers, not a code change"
+        )),
+        _ => None,
+    };
+
     let pass = checks.iter().all(|c| c.pass) && (allow_mismatch || mismatch.is_empty());
     CompareOutcome {
         checks,
         workload_mismatch: mismatch,
         hw_warning,
+        layout_warning,
         pass,
     }
 }
@@ -607,6 +643,7 @@ pub fn compare_load(
         checks,
         workload_mismatch: mismatch,
         hw_warning: None,
+        layout_warning: None,
         pass,
     }
 }
@@ -633,6 +670,8 @@ mod tests {
             llc_bytes: None,
             metrics: None,
             hw_events: None,
+            relabel: None,
+            hugepages: None,
             queries: mteps
                 .iter()
                 .zip(latencies)
@@ -737,6 +776,41 @@ mod tests {
         // One known, one unknown → still silent (old-baseline noise guard).
         let out = compare(&counted, &base, &CompareThresholds::default(), false);
         assert!(out.hw_warning.is_none());
+    }
+
+    #[test]
+    fn layout_provenance_mismatch_warns_but_never_fails() {
+        // Both pre-PR7 (fields absent) → silent.
+        let old = report(&[100.0], &[1.0], &[0]);
+        let out = compare(&old, &old, &CompareThresholds::default(), false);
+        assert!(out.layout_warning.is_none());
+
+        let mut plain = report(&[100.0], &[1.0], &[0]);
+        plain.relabel = Some(false);
+        plain.hugepages = Some("disabled".into());
+        let mut tuned = report(&[100.0], &[1.0], &[0]);
+        tuned.relabel = Some(true);
+        tuned.hugepages = Some("enabled".into());
+        let out = compare(&plain, &tuned, &CompareThresholds::default(), false);
+        let w = out.layout_warning.as_deref().expect("levers differ");
+        assert!(
+            w.contains("relabel=true") && w.contains("hugepages=on"),
+            "{w}"
+        );
+        assert!(out.pass, "a layout warning must never fail the gate");
+        assert!(out.render_text().contains("warning: memory-layout"));
+
+        // A typed unavailable reason counts as "off", same as disabled —
+        // the arenas ended up on plain pages either way.
+        let mut degraded = report(&[100.0], &[1.0], &[0]);
+        degraded.relabel = Some(false);
+        degraded.hugepages = Some("unavailable: THP disabled on host".into());
+        let out = compare(&plain, &degraded, &CompareThresholds::default(), false);
+        assert!(out.layout_warning.is_none(), "{:?}", out.layout_warning);
+
+        // New report vs pre-PR7 baseline → silent (graceful degradation).
+        let out = compare(&old, &tuned, &CompareThresholds::default(), false);
+        assert!(out.layout_warning.is_none());
     }
 
     #[test]

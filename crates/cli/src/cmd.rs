@@ -7,7 +7,7 @@ use bfs_bench::report::{
     self, compare, BatchReport, CompareThresholds, QueryReport, RunReport, SCHEMA,
 };
 use bfs_core::direction::{DEFAULT_ALPHA, DEFAULT_BETA};
-use bfs_core::engine::{BfsEngine, BfsOptions, BfsOutput, Scheduling};
+use bfs_core::engine::{BfsEngine, BfsOptions, BfsOutput, HugepageStatus, Scheduling};
 use bfs_core::serial::serial_bfs;
 use bfs_core::session::BfsSession;
 use bfs_core::sim::{simulate_bfs, simulate_bfs_traced, SimBfsConfig};
@@ -48,6 +48,13 @@ subcommands:
                                    [--alpha A] [--beta B] — direction-optimizing
                                    switch thresholds (defaults 15/18)
                                    [--no-rearrange] [--validate]
+                                   [--relabel] — degree-order relabel the CSR before
+                                   running (build-time pass; answers stay in the
+                                   file's original vertex ids)
+                                   [--hugepages] — back the CSR neighbor array and the
+                                   VIS/DP/frontier arenas with 2 MiB transparent
+                                   hugepages (graceful fallback with a typed reason
+                                   on hosts without THP)
                                    [--json FILE] — per-query latency, MTEPS, and
                                    per-level direction decisions as JSON
                                    [--sources N [--seed K]] — batched multi-source
@@ -57,13 +64,18 @@ subcommands:
   trace    traced traversal        (-i FILE | --family ... [gen flags]) [same engine flags]
                                    [--out FILE.jsonl] [--with-sim] — per-step events + summary
   metrics  model-vs-measured       (-i FILE | --family ... [gen flags]) [same engine flags]
-           attribution             [--sources N] [--seed K] [--model-alpha A]
+           attribution             [--relabel] [--hugepages] — memory-layout levers
+                                   (compare measured Phase I bytes/edge with and
+                                   without them)
+                                   [--sources N] [--seed K] [--model-alpha A]
                                    [--format text|json|prom] — run a warm batch, then
                                    join the always-on metrics registry against the §IV
                                    model: achieved vs predicted GB/s per phase and per
                                    step, per-socket load imbalance
   serve    instrumented query     (-i FILE | --family ... [gen flags]) [same engine flags]
-           server                  [--metrics-addr HOST:PORT] — HTTP query server over one
+           server                  [--relabel] [--hugepages] — memory-layout levers;
+                                   endpoints keep answering in original vertex ids
+                                   [--metrics-addr HOST:PORT] — HTTP query server over one
                                    warm session: GET /query?src=N[&dst=M], GET
                                    /path?src=A&dst=B, POST /query {\"sources\":[...]},
                                    GET /graph, plus /metrics (Prometheus 0.0.4 with
@@ -159,8 +171,53 @@ pub(crate) fn engine_options(o: &Opts) -> Result<BfsOptions, String> {
         scheduling: parse_scheduling(o.get("scheduling").unwrap_or("load-balanced"))?,
         rearrange: !o.has("no-rearrange"),
         direction: parse_direction(o)?,
+        huge_pages: o.has("hugepages"),
         ..Default::default()
     })
+}
+
+/// Applies the memory-layout levers to a freshly loaded graph:
+/// `--relabel` rewrites the CSR in descending out-degree order (the
+/// session translates every answer back, so external vertex ids never
+/// change) and `--hugepages` migrates the CSR arrays onto 2 MiB
+/// transparent hugepages.
+///
+/// When `keep_original` is set and relabeling happened, the untouched
+/// graph rides along so `--validate` can run its serial oracle in the
+/// same id space the answers use — an end-to-end check of the
+/// translation layer, not just of the traversal.
+///
+/// Callers that pick sources or roots by degree must do so *before*
+/// this pass: degree queries on the relabeled CSR are in internal ids.
+pub(crate) fn prepare_graph(
+    g: CsrGraph,
+    o: &Opts,
+    keep_original: bool,
+) -> (CsrGraph, Option<CsrGraph>) {
+    let (mut g, original) = if o.has("relabel") {
+        let (relabeled, _) = bfs_graph::degree_order(&g);
+        (relabeled, keep_original.then_some(g))
+    } else {
+        (g, None)
+    };
+    if o.has("hugepages") && !g.migrate_to_hugepages() {
+        println!(
+            "hugepages: CSR stays on plain pages ({})",
+            bfs_platform::hugepage::availability_string()
+        );
+    }
+    (g, original)
+}
+
+/// The `hugepages` provenance string for reports: `"enabled"`,
+/// `"disabled"`, or `"unavailable: <reason>"` — the typed degradation
+/// reason travels with the numbers it explains.
+fn hugepage_provenance(status: &HugepageStatus) -> String {
+    match status {
+        HugepageStatus::Enabled => "enabled".to_string(),
+        HugepageStatus::Disabled => "disabled".to_string(),
+        HugepageStatus::Unavailable(reason) => format!("unavailable: {reason}"),
+    }
 }
 
 /// Compact per-level direction string: one `T`/`B` letter per BFS step.
@@ -256,7 +313,7 @@ pub fn info(args: &[String]) -> Result<(), String> {
 /// Seeds a [`RunReport`] (the shared `fastbfs-run-v1` schema from
 /// `bfs_bench::report`) from the CLI options, with the environment header —
 /// git revision, rustc, host cores, LLC size — already captured.
-fn new_report(o: &Opts, g: &CsrGraph, topo: Topology) -> RunReport {
+fn new_report(o: &Opts, g: &CsrGraph, topo: Topology, engine: &BfsEngine) -> RunReport {
     let mut r = RunReport {
         schema: SCHEMA.to_string(),
         graph: o.get("i").unwrap_or("").to_string(),
@@ -274,6 +331,8 @@ fn new_report(o: &Opts, g: &CsrGraph, topo: Topology) -> RunReport {
         llc_bytes: Some(topo.llc_bytes),
         metrics: None,
         hw_events: None,
+        relabel: Some(o.has("relabel")),
+        hugepages: Some(hugepage_provenance(engine.hugepage_status())),
         queries: Vec::new(),
         batch: None,
     };
@@ -289,27 +348,36 @@ fn write_report(report: &RunReport, path: &str) -> Result<(), String> {
 
 /// `fastbfs run`
 pub fn run(args: &[String]) -> Result<(), String> {
-    let o = Opts::parse(args, &["validate", "no-rearrange"])?;
-    let g = load_graph(o.require("i")?)?;
+    let o = Opts::parse(args, &["validate", "no-rearrange", "relabel", "hugepages"])?;
+    let loaded = load_graph(o.require("i")?)?;
     let sockets: usize = o.num("sockets", 1)?;
     let threads: usize = o.num("threads", bfs_platform::pin::host_cores())?;
     let topo = Topology::synthetic(sockets, threads.div_ceil(sockets).max(1));
     if o.get("sources").is_some() {
-        return run_batch(&g, topo, &o);
+        return run_batch(loaded, topo, &o);
     }
-    let src = pick_source(&g, &o)?;
+    // Source picked before relabeling: `--source` and the default
+    // non-isolated pick are both in the file's (external) id space.
+    let src = pick_source(&loaded, &o)?;
     let runs: usize = o.num("runs", 1)?;
-    let mut engine = BfsEngine::new(&g, topo, engine_options(&o)?);
+    let (g, original) = prepare_graph(loaded, &o, o.has("validate"));
+    // A session, not a bare engine: the session owns the external↔internal
+    // translation on relabeled graphs, so answers stay in the file's ids.
+    let mut session = BfsSession::new(&g, topo, engine_options(&o)?);
     println!(
         "engine: {} sockets x {} lanes, N_VIS {}, N_PBV {}",
         topo.sockets,
         topo.lanes_per_socket,
-        engine.geometry().n_vis,
-        engine.geometry().n_bins
+        session.engine().geometry().n_vis,
+        session.engine().geometry().n_bins
     );
-    let mut report = new_report(&o, &g, topo);
+    if let Some(reason) = session.engine().hugepage_status().unavailable_reason() {
+        println!("hugepages: traversal arenas on plain pages ({reason})");
+    }
+    let mut report = new_report(&o, &g, topo, session.engine());
+    let mut out = BfsOutput::default();
     for k in 0..runs {
-        let out = engine.run(src);
+        session.run_reusing(src, &mut out);
         println!(
             "run {k}: depth {}, |V'| {}, |E'| {}, {:.2} MTEPS (I {:?}, II {:?}, R {:?}), dirs {}",
             out.stats.steps,
@@ -322,18 +390,22 @@ pub fn run(args: &[String]) -> Result<(), String> {
             direction_string(&out.stats.step_directions),
         );
         if o.has("validate") {
-            let reference = serial_bfs(&g, src);
+            // The oracle traverses the graph whose ids the answers use:
+            // the pre-relabel original when --relabel is on. This checks
+            // the whole translation layer end to end.
+            let oracle = original.as_ref().unwrap_or(&g);
+            let reference = serial_bfs(oracle, src);
             if out.depths != reference.depths {
                 return Err("depths differ from serial BFS".into());
             }
-            validate_bfs_tree(&g, src, &out.depths, &out.parents)
+            validate_bfs_tree(oracle, src, &out.depths, &out.parents)
                 .map_err(|e| format!("invalid BFS tree: {e}"))?;
             println!("run {k}: validated");
         }
         report.queries.push(QueryReport::new(k, src, &out.stats));
     }
     if let Some(path) = o.get("json") {
-        report.metrics = Some(engine.metrics_snapshot());
+        report.metrics = Some(session.metrics_snapshot());
         write_report(&report, path)?;
     }
     Ok(())
@@ -344,14 +416,21 @@ pub fn run(args: &[String]) -> Result<(), String> {
 /// latency, and both mean and harmonic-mean MTEPS (the harmonic mean is the
 /// Graph500 aggregate: it weights every query's *time* equally, so slow
 /// outlier queries are not averaged away).
-fn run_batch(g: &CsrGraph, topo: Topology, o: &Opts) -> Result<(), String> {
+fn run_batch(loaded: CsrGraph, topo: Topology, o: &Opts) -> Result<(), String> {
     let count: usize = o.num("sources", 16)?;
     let seed: u64 = o.num("seed", 42)?;
-    let roots = random_roots(g, count, seed);
+    // Roots drawn before relabeling: the degree≥1 criterion must apply in
+    // the external id space the queries are issued in.
+    let roots = random_roots(&loaded, count, seed);
     if roots.is_empty() {
         return Err("graph has no edges".into());
     }
+    let (g, original) = prepare_graph(loaded, o, o.has("validate"));
+    let g = &g;
     let mut session = BfsSession::new(g, topo, engine_options(o)?);
+    if let Some(reason) = session.engine().hugepage_status().unavailable_reason() {
+        println!("hugepages: traversal arenas on plain pages ({reason})");
+    }
     println!(
         "session: {} sockets x {} lanes, N_VIS {}, N_PBV {}, {} sources (seed {seed})",
         topo.sockets,
@@ -362,7 +441,7 @@ fn run_batch(g: &CsrGraph, topo: Topology, o: &Opts) -> Result<(), String> {
     );
     let mut out = BfsOutput::default();
     let mut mteps = Vec::with_capacity(roots.len());
-    let mut report = new_report(o, g, topo);
+    let mut report = new_report(o, g, topo, session.engine());
     let batch_start = std::time::Instant::now();
     for (k, &root) in roots.iter().enumerate() {
         session.run_reusing(root, &mut out);
@@ -378,11 +457,12 @@ fn run_batch(g: &CsrGraph, topo: Topology, o: &Opts) -> Result<(), String> {
             direction_string(&out.stats.step_directions),
         );
         if o.has("validate") {
-            let reference = serial_bfs(g, root);
+            let oracle = original.as_ref().unwrap_or(g);
+            let reference = serial_bfs(oracle, root);
             if out.depths != reference.depths {
                 return Err(format!("query {k}: depths differ from serial BFS"));
             }
-            validate_bfs_tree(g, root, &out.depths, &out.parents)
+            validate_bfs_tree(oracle, root, &out.depths, &out.parents)
                 .map_err(|e| format!("query {k}: invalid BFS tree: {e}"))?;
         }
         report.queries.push(QueryReport::new(k, root, &out.stats));
@@ -502,8 +582,8 @@ struct MetricsCliReport {
 /// registry recording, trace the final query through a ring sink for
 /// per-step rows, then join everything against the §IV model.
 pub fn metrics(args: &[String]) -> Result<(), String> {
-    let o = Opts::parse(args, &["no-rearrange"])?;
-    let g = match o.get("i") {
+    let o = Opts::parse(args, &["no-rearrange", "relabel", "hugepages"])?;
+    let loaded = match o.get("i") {
         Some(path) => load_graph(path)?,
         None if o.get("family").is_some() => generate_family(&o)?,
         None => return Err("metrics needs -i FILE or --family ...".into()),
@@ -513,10 +593,12 @@ pub fn metrics(args: &[String]) -> Result<(), String> {
     let topo = Topology::synthetic(sockets, threads.div_ceil(sockets).max(1));
     let count: usize = o.num("sources", 8)?;
     let seed: u64 = o.num("seed", 42)?;
-    let roots = random_roots(&g, count, seed);
+    // Roots in external ids (drawn before any relabeling), same as run.
+    let roots = random_roots(&loaded, count, seed);
     if roots.is_empty() {
         return Err("graph has no edges".into());
     }
+    let (g, _) = prepare_graph(loaded, &o, false);
     let format = o.get("format").unwrap_or("text");
     if !matches!(format, "text" | "json" | "prom") {
         return Err(format!("unknown --format {format:?} (text|json|prom)"));
@@ -529,6 +611,10 @@ pub fn metrics(args: &[String]) -> Result<(), String> {
         ..engine_options(&o)?
     };
     let mut session = BfsSession::new(&g, topo, opts);
+    // stderr: --format json/prom keep stdout parseable.
+    if let Some(reason) = session.engine().hugepage_status().unavailable_reason() {
+        eprintln!("hugepages: traversal arenas on plain pages ({reason})");
+    }
     let hw_unavailable = session
         .engine()
         .hw_status()
@@ -796,6 +882,95 @@ mod tests {
         info(&s(&["-i", &path])).unwrap();
         run(&s(&["-i", &path, "--validate", "--runs", "2"])).unwrap();
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_relabel_and_hugepages_validate_against_original_ids() {
+        use serde::Value;
+        let path = tmp("g9.fbfs");
+        let json = tmp("r9.json");
+        gen(&s(&[
+            "--family",
+            "rmat",
+            "--scale",
+            "9",
+            "--edge-factor",
+            "6",
+            "-o",
+            &path,
+        ]))
+        .unwrap();
+        // --validate runs the serial oracle on the PRE-relabel graph, so a
+        // pass proves the session's id translation end to end. Both levers
+        // on, single-source and batch.
+        run(&s(&[
+            "-i",
+            &path,
+            "--relabel",
+            "--hugepages",
+            "--validate",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "-i",
+            &path,
+            "--relabel",
+            "--hugepages",
+            "--validate",
+            "--sources",
+            "3",
+            "--threads",
+            "2",
+            "--json",
+            &json,
+        ]))
+        .unwrap();
+        // Provenance lands in the report header.
+        let v = serde_json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(v.get("relabel").and_then(Value::as_bool), Some(true));
+        let hp = v.get("hugepages").and_then(Value::as_str).unwrap();
+        assert!(
+            hp == "enabled" || hp.starts_with("unavailable: "),
+            "requested hugepages must resolve to enabled or a typed reason, got {hp:?}"
+        );
+        // Flags off → provenance says so (not None, not a silent zero).
+        run(&s(&[
+            "-i",
+            &path,
+            "--sources",
+            "2",
+            "--threads",
+            "2",
+            "--json",
+            &json,
+        ]))
+        .unwrap();
+        let v = serde_json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(v.get("relabel").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("hugepages").and_then(Value::as_str), Some("disabled"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&json).ok();
+    }
+
+    #[test]
+    fn metrics_accepts_layout_levers() {
+        metrics(&s(&[
+            "--family",
+            "ur",
+            "--vertices",
+            "600",
+            "--degree",
+            "6",
+            "--sources",
+            "2",
+            "--threads",
+            "2",
+            "--relabel",
+            "--hugepages",
+        ]))
+        .unwrap();
     }
 
     #[test]

@@ -186,8 +186,8 @@ struct BatchDoc {
 
 /// `fastbfs serve`
 pub fn serve(args: &[String]) -> Result<(), String> {
-    let o = Opts::parse(args, &["no-rearrange"])?;
-    let g = match o.get("i") {
+    let o = Opts::parse(args, &["no-rearrange", "relabel", "hugepages"])?;
+    let loaded = match o.get("i") {
         Some(path) => cmd::load_graph(path)?,
         None if o.get("family").is_some() => cmd::generate_family(&o)?,
         None => return Err("serve needs -i FILE or --family ...".into()),
@@ -201,6 +201,10 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     let warmup: u64 = o.num("queries", 0u64)?;
     let count: usize = o.num("sources", 16)?;
     let seed: u64 = o.num("seed", 42)?;
+    // Warmup roots in external ids, drawn before any relabeling — the
+    // endpoints (and therefore the warmup) speak the file's id space.
+    let warmup_roots = random_roots(&loaded, count, seed);
+    let g = cmd::prepare_graph(loaded, &o, false).0;
     let addr = o.get("metrics-addr").unwrap_or("127.0.0.1:9464");
     let http_threads: usize = o.num("http-threads", 4)?.max(1);
     let queue_cap: usize = o.num("queue-cap", 1024)?.max(1);
@@ -210,6 +214,9 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         ..cmd::engine_options(&o)?
     };
     let mut session = BfsSession::new(&g, topo, opts);
+    if let Some(reason) = session.engine().hugepage_status().unavailable_reason() {
+        println!("hugepages: traversal arenas on plain pages ({reason})");
+    }
     let hw_reason = session.engine().hw_status().unavailable_reason().cloned();
     let hw = match &hw_reason {
         Some(r) => format!("unavailable: {r}"),
@@ -271,7 +278,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         drop(tx); // dispatch's rx sees Disconnected once every worker exits
 
         if warmup > 0 {
-            let roots = random_roots(&g, count, seed);
+            let roots = warmup_roots;
             if roots.is_empty() {
                 state.stop.store(true, Ordering::Relaxed);
                 wake_workers(&state, http_threads);

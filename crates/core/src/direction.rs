@@ -169,15 +169,28 @@ impl DirectionPolicy {
 /// vertex ranges in bin order keeps the probed window of the bitmap
 /// cache-resident alongside the bin's `VIS`/`DP` stripe (§III-A).
 pub struct FrontierBitmap {
-    words: Box<[AtomicU64]>,
+    words: bfs_platform::MaybeHuge<AtomicU64>,
 }
 
 impl FrontierBitmap {
-    /// A bitmap covering `n` vertices (all bits clear). `n = 0` is valid and
-    /// allocates nothing — the forced-top-down engine's case.
+    /// A bitmap covering `n` vertices (all bits clear), heap-backed. `n = 0`
+    /// is valid and allocates nothing — the forced-top-down engine's case.
     pub fn new(n: usize) -> Self {
-        let words = (0..n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
-        Self { words }
+        Self::new_backed(n, false)
+    }
+
+    /// [`FrontierBitmap::new`] with an explicit backing request: when
+    /// `huge`, the bitmap is placed in a 2 MiB-aligned hugepage arena if the
+    /// host supports it (silent heap fallback otherwise).
+    pub fn new_backed(n: usize, huge: bool) -> Self {
+        Self {
+            words: bfs_platform::MaybeHuge::zeroed(n.div_ceil(64), huge),
+        }
+    }
+
+    /// Whether the bitmap landed in a hugepage arena.
+    pub fn is_hugepage_backed(&self) -> bool {
+        self.words.is_huge()
     }
 
     /// Heap bytes held.

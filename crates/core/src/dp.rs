@@ -34,6 +34,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use bfs_platform::MaybeHuge;
+
 use crate::VertexId;
 
 /// Depth value meaning "not yet assigned" (the paper's INF).
@@ -45,7 +47,7 @@ pub const MAX_EPOCH_BITS: u32 = 16;
 
 /// The `DP` array: one atomic word per vertex plus the current run epoch.
 pub struct DepthParent {
-    words: Box<[AtomicU64]>,
+    words: MaybeHuge<AtomicU64>,
     /// Stamp field width in bits (1..=31). The depth field gets `32 − E`.
     epoch_bits: u32,
     /// Current run epoch, in `1..=2^E − 1` (stamp 0 is "zeroed, never
@@ -63,18 +65,35 @@ fn default_epoch_bits(n: usize) -> u32 {
 }
 
 impl DepthParent {
-    /// All-unassigned array for `n` vertices with the default stamp width.
+    /// All-unassigned array for `n` vertices with the default stamp width,
+    /// heap-backed.
     pub fn new(n: usize) -> Self {
-        Self::with_epoch_bits(n, default_epoch_bits(n))
+        Self::new_backed(n, false)
+    }
+
+    /// [`DepthParent::new`] with an explicit backing request: when `huge`,
+    /// the array is placed in a 2 MiB-aligned hugepage arena if the host
+    /// supports it (silent heap fallback otherwise — see
+    /// [`bfs_platform::MaybeHuge::zeroed`]).
+    pub fn new_backed(n: usize, huge: bool) -> Self {
+        Self::with_epoch_bits_backed(n, default_epoch_bits(n), huge)
     }
 
     /// All-unassigned array with an explicit stamp width (tests use tiny
-    /// widths to exercise wraparound).
+    /// widths to exercise wraparound), heap-backed.
     ///
     /// # Panics
     /// Panics unless `1 <= epoch_bits <= 31` and depths up to `n − 1` fit in
     /// the remaining `32 − epoch_bits` bits.
     pub fn with_epoch_bits(n: usize, epoch_bits: u32) -> Self {
+        Self::with_epoch_bits_backed(n, epoch_bits, false)
+    }
+
+    /// [`DepthParent::with_epoch_bits`] with an explicit backing request.
+    ///
+    /// # Panics
+    /// Same contract as [`DepthParent::with_epoch_bits`].
+    pub fn with_epoch_bits_backed(n: usize, epoch_bits: u32, huge: bool) -> Self {
         assert!(
             (1..=31).contains(&epoch_bits),
             "epoch_bits must be in 1..=31"
@@ -84,13 +103,16 @@ impl DepthParent {
             n.saturating_sub(1) < (1usize << depth_bits),
             "{n} vertices need deeper depth field than {depth_bits} bits"
         );
-        let mut v = Vec::with_capacity(n);
-        v.resize_with(n, || AtomicU64::new(0));
         Self {
-            words: v.into_boxed_slice(),
+            words: MaybeHuge::zeroed(n, huge),
             epoch_bits,
             epoch: 1,
         }
+    }
+
+    /// Whether the array landed in a hugepage arena.
+    pub fn is_hugepage_backed(&self) -> bool {
+        self.words.is_huge()
     }
 
     /// Stamp width in bits.

@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 use bfs_graph::CsrGraph;
 use bfs_metrics::{Counter as Metric, Hist as MetricHist, MetricsRegistry, MetricsSnapshot};
 use bfs_perf::{PerfCounts, PerfGroup, PerfUnavailable, ENGINE_EVENTS};
-use bfs_platform::{SocketPool, Topology};
+use bfs_platform::{HugepageUnavailable, SocketPool, Topology};
 use bfs_trace::{NoopSink, RunEvent, StepEvent, ThreadStep, TraceEvent, TraceSink};
 
 use crate::balance::{divide_even, divide_static, Segment, Stream};
@@ -88,6 +88,13 @@ pub struct BfsOptions {
     /// engine runs identically and [`BfsEngine::hw_status`] carries the
     /// typed reason.
     pub hw_counters: bool,
+    /// Back the `DP`/`VIS`/frontier-bitmap arenas with 2 MiB transparent
+    /// hugepages (§IV TLB pressure: fewer dTLB misses per scattered edge on
+    /// the large per-vertex arrays). Off by default. When requested but
+    /// unavailable (non-Linux, THP disabled) the engine runs identically on
+    /// the heap and [`BfsEngine::hugepage_status`] carries the typed
+    /// reason.
+    pub huge_pages: bool,
 }
 
 impl Default for BfsOptions {
@@ -102,6 +109,7 @@ impl Default for BfsOptions {
             encoding: PbvEncoding::Auto,
             direction: DirectionPolicy::ForcedTopDown,
             hw_counters: false,
+            huge_pages: false,
         }
     }
 }
@@ -126,6 +134,37 @@ impl HwCounterStatus {
             HwCounterStatus::Unavailable(r) => Some(r),
             _ => None,
         }
+    }
+}
+
+/// Hugepage-arena state, decided once at engine construction (the same
+/// request → probe → typed degradation ladder as [`HwCounterStatus`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HugepageStatus {
+    /// [`BfsOptions::huge_pages`] was false; no probe was attempted.
+    Disabled,
+    /// The probe succeeded: the `DP`/`VIS`/frontier-bitmap arenas are
+    /// allocated 2 MiB-aligned with `madvise(MADV_HUGEPAGE)` (arrays below
+    /// the size floor still fall back to the heap — see
+    /// [`bfs_platform::hugepage::HUGE_MIN_BYTES`]).
+    Enabled,
+    /// Requested but unavailable; the engine runs on the heap and the
+    /// reason is carried for reporting.
+    Unavailable(HugepageUnavailable),
+}
+
+impl HugepageStatus {
+    /// The degradation reason, when there is one.
+    pub fn unavailable_reason(&self) -> Option<&HugepageUnavailable> {
+        match self {
+            HugepageStatus::Unavailable(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether arenas should actually be placed in hugepages.
+    pub(crate) fn active(&self) -> bool {
+        *self == HugepageStatus::Enabled
     }
 }
 
@@ -273,12 +312,13 @@ impl RunState {
     ) -> Self {
         let n = engine.graph.num_vertices();
         let nthreads = engine.topology.total_threads();
+        let huge = engine.hugepages.active();
         Self {
             dp: match epoch_bits {
-                Some(bits) => DepthParent::with_epoch_bits(n, bits),
-                None => DepthParent::new(n),
+                Some(bits) => DepthParent::with_epoch_bits_backed(n, bits, huge),
+                None => DepthParent::new_backed(n, huge),
             },
-            vis: Vis::new(engine.options.vis, n),
+            vis: Vis::new_backed(engine.options.vis, n, huge),
             bv_cur: ThreadOwned::from_fn(nthreads, |_| Vec::new()),
             bv_next: ThreadOwned::from_fn(nthreads, |_| Vec::new()),
             bins: ThreadOwned::from_fn(nthreads, |_| {
@@ -286,11 +326,14 @@ impl RunState {
             }),
             scratch: ThreadOwned::from_fn(nthreads, |_| (Vec::new(), Vec::new())),
             step_scratch: ThreadOwned::from_fn(nthreads, |_| StepScratch::default()),
-            frontier_bitmap: FrontierBitmap::new(if engine.options.direction.may_go_bottom_up() {
-                n
-            } else {
-                0
-            }),
+            frontier_bitmap: FrontierBitmap::new_backed(
+                if engine.options.direction.may_go_bottom_up() {
+                    n
+                } else {
+                    0
+                },
+                huge,
+            ),
             frontier_log: ThreadOwned::from_fn(1, |_| Vec::new()),
             direction_log: ThreadOwned::from_fn(1, |_| Vec::new()),
             touched: ThreadOwned::from_fn(nthreads, |_| Vec::new()),
@@ -397,6 +440,9 @@ pub struct BfsEngine<'g> {
     /// Hardware-counter availability, probed once at construction when
     /// [`BfsOptions::hw_counters`] is set.
     hw: HwCounterStatus,
+    /// Hugepage-arena availability, probed once at construction when
+    /// [`BfsOptions::huge_pages`] is set.
+    hugepages: HugepageStatus,
 }
 
 impl<'g> BfsEngine<'g> {
@@ -423,6 +469,14 @@ impl<'g> BfsEngine<'g> {
         } else {
             HwCounterStatus::Disabled
         };
+        let hugepages = if options.huge_pages {
+            match bfs_platform::hugepage::availability() {
+                Ok(()) => HugepageStatus::Enabled,
+                Err(reason) => HugepageStatus::Unavailable(reason),
+            }
+        } else {
+            HugepageStatus::Disabled
+        };
         Self {
             graph,
             topology,
@@ -432,7 +486,13 @@ impl<'g> BfsEngine<'g> {
             encoding,
             metrics: MetricsRegistry::new(topology.total_threads()),
             hw,
+            hugepages,
         }
+    }
+
+    /// The graph this engine traverses.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.graph
     }
 
     /// The engine's bin geometry (N_VIS, N_PBV, bin↔socket map).
@@ -455,6 +515,20 @@ impl<'g> BfsEngine<'g> {
     /// [`BfsOptions::hw_counters`], then the probed outcome.
     pub fn hw_status(&self) -> &HwCounterStatus {
         &self.hw
+    }
+
+    /// Hugepage-arena availability for this engine:
+    /// [`HugepageStatus::Disabled`] unless requested via
+    /// [`BfsOptions::huge_pages`], then the probed outcome.
+    pub fn hugepage_status(&self) -> &HugepageStatus {
+        &self.hugepages
+    }
+
+    /// Whether the traversal arenas this engine builds actually land in
+    /// hugepage-backed memory (sufficiently large ones, when the probe
+    /// succeeded).
+    pub fn hugepages_active(&self) -> bool {
+        self.hugepages.active()
     }
 
     /// Merged view of the always-on metrics registry. `&mut self` proves no

@@ -78,7 +78,7 @@ pub mod vis;
 
 pub use direction::{count_switches, Direction, DirectionPolicy, FrontierBitmap};
 pub use dp::{DepthParent, INF_DEPTH};
-pub use engine::{BfsEngine, BfsOptions, BfsOutput, HwCounterStatus, Scheduling};
+pub use engine::{BfsEngine, BfsOptions, BfsOutput, HugepageStatus, HwCounterStatus, Scheduling};
 pub use pbv::PbvEncoding;
 pub use query::{QueryError, QueryKind, QueryOutcome};
 pub use session::BfsSession;

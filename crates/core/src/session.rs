@@ -41,10 +41,11 @@
 //! assert_eq!(session.runs(), 3);
 //! ```
 
-use bfs_graph::CsrGraph;
+use bfs_graph::{CsrGraph, VertexPermutation};
 use bfs_platform::Topology;
 use bfs_trace::{NoopSink, TraceSink};
 
+use crate::dp::INF_DEPTH;
 use crate::engine::{BfsEngine, BfsOptions, BfsOutput, RunState};
 use crate::VertexId;
 
@@ -54,9 +55,25 @@ use crate::VertexId;
 /// Queries take `&mut self` — the session serializes its own queries by
 /// construction, which is what lets the reset protocol skip all
 /// synchronization.
+///
+/// # Relabeled graphs
+///
+/// When the graph carries a [`VertexPermutation`] (it was rewritten by
+/// [`bfs_graph::degree_order`]), the session is the translation boundary:
+/// sources are mapped external → internal before the traversal and the
+/// returned `depths`/`parents` arrays are permuted back to external id
+/// order afterwards, with parents translated through the inverse map.
+/// Callers — the query layer, the serve endpoints, tests — never see
+/// internal ids. The translation buffers live on the session, so warm
+/// queries stay allocation-free; translation time is outside
+/// `stats.total_time` (it is answer formatting, not traversal).
 pub struct BfsSession<'g> {
     engine: BfsEngine<'g>,
     state: RunState,
+    /// Scratch pair for the external-order permute of `depths`/`parents`;
+    /// swapped with the output's vectors each query, so both sides keep
+    /// their high-water capacity.
+    translate: (Vec<u32>, Vec<VertexId>),
 }
 
 impl<'g> BfsSession<'g> {
@@ -68,7 +85,11 @@ impl<'g> BfsSession<'g> {
     /// Wraps an existing engine.
     pub fn from_engine(engine: BfsEngine<'g>) -> Self {
         let state = RunState::new(&engine, true);
-        Self { engine, state }
+        Self {
+            engine,
+            state,
+            translate: (Vec::new(), Vec::new()),
+        }
     }
 
     /// [`BfsSession::new`] with an explicit `DP` epoch-stamp width.
@@ -84,7 +105,11 @@ impl<'g> BfsSession<'g> {
     ) -> Self {
         let engine = BfsEngine::new(graph, topology, options);
         let state = RunState::with_epoch_bits(&engine, true, Some(epoch_bits));
-        Self { engine, state }
+        Self {
+            engine,
+            state,
+            translate: (Vec::new(), Vec::new()),
+        }
     }
 
     /// The wrapped engine.
@@ -170,8 +195,21 @@ impl<'g> BfsSession<'g> {
         sink: &dyn TraceSink,
         out: &mut BfsOutput,
     ) {
-        self.engine
-            .run_with_state(&mut self.state, source, sink, "session", out);
+        match self.engine.graph().permutation() {
+            None => {
+                self.engine
+                    .run_with_state(&mut self.state, source, sink, "session", out);
+            }
+            Some(perm) => {
+                // Source ids arrive in external space; reject before the
+                // forward map would turn the mistake into an index panic.
+                assert!((source as usize) < perm.len(), "source out of range");
+                let internal = perm.to_internal(source);
+                self.engine
+                    .run_with_state(&mut self.state, internal, sink, "session", out);
+                translate_output(perm, out, &mut self.translate);
+            }
+        }
     }
 
     /// Runs one query per source, in order, returning one output per source.
@@ -194,6 +232,34 @@ impl<'g> BfsSession<'g> {
     ) -> Vec<BfsOutput> {
         sources.iter().map(|&s| self.run_traced(s, sink)).collect()
     }
+}
+
+/// Permutes a finished traversal's `depths`/`parents` from internal layout
+/// order back to external id order, translating parent ids through the
+/// inverse map. Unreached sentinels (`INF_DEPTH` / `VertexId::MAX`) pass
+/// through unchanged. `scratch` supplies the destination buffers and is
+/// swapped with the output's, so neither side reallocates once warm.
+fn translate_output(
+    perm: &VertexPermutation,
+    out: &mut BfsOutput,
+    scratch: &mut (Vec<u32>, Vec<VertexId>),
+) {
+    let (depths, parents) = scratch;
+    depths.clear();
+    parents.clear();
+    depths.reserve(out.depths.len());
+    parents.reserve(out.parents.len());
+    for &internal in perm.forward() {
+        let depth = out.depths[internal as usize];
+        depths.push(depth);
+        parents.push(if depth == INF_DEPTH {
+            VertexId::MAX
+        } else {
+            perm.to_external(out.parents[internal as usize])
+        });
+    }
+    std::mem::swap(&mut out.depths, depths);
+    std::mem::swap(&mut out.parents, parents);
 }
 
 #[cfg(test)]
@@ -414,5 +480,56 @@ mod tests {
     fn rejects_bad_source() {
         let g = path(3);
         BfsSession::new(&g, Topology::synthetic(1, 1), BfsOptions::default()).run(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn rejects_bad_source_on_relabeled_graph() {
+        let g = uniform_random(100, 4, &mut rng_from_seed(2));
+        let (rg, _) = bfs_graph::degree_order(&g);
+        BfsSession::new(&rg, Topology::synthetic(1, 1), BfsOptions::default()).run(100);
+    }
+
+    #[test]
+    fn relabeled_session_answers_in_external_ids() {
+        let g = uniform_random(1200, 6, &mut rng_from_seed(44));
+        let (rg, perm) = bfs_graph::degree_order(&g);
+        let topo = Topology::synthetic(2, 2);
+        let mut relabeled = BfsSession::new(&rg, topo, BfsOptions::default());
+        let mut out = BfsOutput::default();
+        for source in [0u32, 600, 1199, 0] {
+            relabeled.run_reusing(source, &mut out);
+            // Depths must match a traversal of the *original* graph from the
+            // same external source, and parents must form a valid tree over
+            // the original graph's edges — both only possible if every id in
+            // the answer is external.
+            let reference = serial_bfs(&g, source);
+            assert_eq!(out.depths, reference.depths, "source {source}");
+            validate_bfs_tree(&g, source, &out.depths, &out.parents).unwrap();
+        }
+        assert!(perm.len() == g.num_vertices());
+    }
+
+    #[test]
+    fn hugepage_request_degrades_with_typed_reason_or_enables() {
+        use crate::engine::HugepageStatus;
+        let g = uniform_random(500, 4, &mut rng_from_seed(6));
+        let opts = BfsOptions {
+            huge_pages: true,
+            ..Default::default()
+        };
+        let mut session = BfsSession::new(&g, Topology::synthetic(1, 2), opts);
+        match session.engine().hugepage_status() {
+            HugepageStatus::Disabled => panic!("huge_pages was requested"),
+            HugepageStatus::Enabled => {}
+            HugepageStatus::Unavailable(reason) => {
+                // Typed, human-readable degradation — never a silent zero.
+                assert!(!reason.to_string().is_empty());
+            }
+        }
+        // Traversal is identical either way.
+        let out = session.run(0);
+        let reference = serial_bfs(&g, 0);
+        assert_eq!(out.depths, reference.depths);
     }
 }

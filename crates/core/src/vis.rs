@@ -25,6 +25,7 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
+use bfs_platform::MaybeHuge;
 use serde::{Deserialize, Serialize};
 
 use crate::VertexId;
@@ -73,21 +74,30 @@ impl VisScheme {
 /// A VIS instance: shared, concurrently updated visited filter.
 pub struct Vis {
     scheme: VisScheme,
-    bytes: Box<[AtomicU8]>,
+    bytes: MaybeHuge<AtomicU8>,
     n: usize,
 }
 
 impl Vis {
-    /// Zeroed filter for `n` vertices under `scheme`.
+    /// Zeroed filter for `n` vertices under `scheme`, heap-backed.
     pub fn new(scheme: VisScheme, n: usize) -> Self {
-        let len = scheme.storage_bytes(n);
-        let mut v = Vec::with_capacity(len);
-        v.resize_with(len, || AtomicU8::new(0));
+        Self::new_backed(scheme, n, false)
+    }
+
+    /// [`Vis::new`] with an explicit backing request: when `huge`, the
+    /// filter is placed in a 2 MiB-aligned hugepage arena if the host
+    /// supports it (silent heap fallback otherwise).
+    pub fn new_backed(scheme: VisScheme, n: usize, huge: bool) -> Self {
         Self {
             scheme,
-            bytes: v.into_boxed_slice(),
+            bytes: MaybeHuge::zeroed(scheme.storage_bytes(n), huge),
             n,
         }
+    }
+
+    /// Whether the filter landed in a hugepage arena.
+    pub fn is_hugepage_backed(&self) -> bool {
+        self.bytes.is_huge()
     }
 
     /// The scheme in use.

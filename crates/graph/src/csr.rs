@@ -8,55 +8,80 @@
 
 use serde::{Deserialize, Serialize};
 
+use bfs_platform::hugepage::MaybeHuge;
+
+use crate::relabel::VertexPermutation;
 use crate::VertexId;
 
 /// An immutable directed graph in CSR form. For undirected inputs, both
 /// orientations of each edge are stored (the convention used by the paper and
 /// by Graph500).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// A graph produced by [`crate::relabel::degree_order`] additionally carries
+/// the [`VertexPermutation`] mapping client-facing external ids to the
+/// relabeled internal layout; everything above the engine translates through
+/// it. Storage may be migrated onto transparent hugepages with
+/// [`CsrGraph::migrate_to_hugepages`] — both are layout concerns invisible
+/// to the traversal kernels.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CsrGraph {
-    offsets: Box<[u64]>,
-    neighbors: Box<[VertexId]>,
+    offsets: MaybeHuge<u64>,
+    neighbors: MaybeHuge<VertexId>,
+    /// External↔internal id mapping when the graph was relabeled.
+    permutation: Option<VertexPermutation>,
 }
 
 impl CsrGraph {
     /// Builds a graph directly from CSR arrays.
     ///
     /// # Panics
-    /// Panics if the arrays are inconsistent: `offsets` must be non-empty,
-    /// non-decreasing, start at 0 and end at `neighbors.len()`, and every
-    /// neighbor id must be `< offsets.len() - 1`.
+    /// Panics if the arrays are inconsistent (see [`CsrGraph::try_from_parts`]
+    /// for the fallible version and the exact invariants).
     pub fn from_parts(offsets: Vec<u64>, neighbors: Vec<VertexId>) -> Self {
-        assert!(
-            !offsets.is_empty(),
-            "offsets must contain at least one entry"
-        );
-        assert_eq!(offsets[0], 0, "offsets must start at 0");
-        assert_eq!(
-            *offsets.last().unwrap(),
-            neighbors.len() as u64,
-            "offsets must end at neighbors.len()"
-        );
-        assert!(
-            offsets.windows(2).all(|w| w[0] <= w[1]),
-            "offsets must be non-decreasing"
-        );
-        let n = (offsets.len() - 1) as u64;
-        assert!(
-            neighbors.iter().all(|&v| (v as u64) < n),
-            "neighbor id out of range"
-        );
-        Self {
-            offsets: offsets.into_boxed_slice(),
-            neighbors: neighbors.into_boxed_slice(),
+        Self::try_from_parts(offsets, neighbors).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a graph from CSR arrays, validating every structural
+    /// invariant: `offsets` must be non-empty, non-decreasing, start at 0
+    /// and end at `neighbors.len()`, and every neighbor id must be
+    /// `< offsets.len() - 1`. This is the single checkpoint all untrusted
+    /// inputs (deserialization included) route through, so a corrupt
+    /// payload is rejected here instead of panicking deep in a kernel.
+    pub fn try_from_parts(offsets: Vec<u64>, neighbors: Vec<VertexId>) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("offsets must contain at least one entry".to_string());
         }
+        if offsets[0] != 0 {
+            return Err(format!("offsets must start at 0, got {}", offsets[0]));
+        }
+        let last = *offsets.last().unwrap();
+        if last != neighbors.len() as u64 {
+            return Err(format!(
+                "offsets must end at neighbors.len(): {} vs {}",
+                last,
+                neighbors.len()
+            ));
+        }
+        if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("offsets must be non-decreasing".to_string());
+        }
+        let n = (offsets.len() - 1) as u64;
+        if !neighbors.iter().all(|&v| (v as u64) < n) {
+            return Err(format!("neighbor id out of range (|V| = {n})"));
+        }
+        Ok(Self {
+            offsets: MaybeHuge::heap(offsets.into_boxed_slice()),
+            neighbors: MaybeHuge::heap(neighbors.into_boxed_slice()),
+            permutation: None,
+        })
     }
 
     /// A graph with `n` vertices and no edges.
     pub fn empty(n: usize) -> Self {
         Self {
-            offsets: vec![0u64; n + 1].into_boxed_slice(),
-            neighbors: Box::new([]),
+            offsets: MaybeHuge::heap(vec![0u64; n + 1].into_boxed_slice()),
+            neighbors: MaybeHuge::heap(Box::new([])),
+            permutation: None,
         }
     }
 
@@ -113,6 +138,41 @@ impl CsrGraph {
         &self.neighbors
     }
 
+    /// The external↔internal permutation retained by a relabeling pass,
+    /// `None` for graphs in their loaded (external) layout.
+    #[inline]
+    pub fn permutation(&self) -> Option<&VertexPermutation> {
+        self.permutation.as_ref()
+    }
+
+    /// Attaches (or clears) the retained permutation. Crate-internal: only
+    /// the relabeling pass and deserialization may set it, keeping the
+    /// invariant that the permutation length always matches `|V|`.
+    pub(crate) fn set_permutation(&mut self, perm: Option<VertexPermutation>) {
+        if let Some(p) = &perm {
+            assert_eq!(p.len(), self.num_vertices(), "permutation length != |V|");
+        }
+        self.permutation = perm;
+    }
+
+    /// Re-backs the offsets and neighbor arrays with 2 MiB transparent
+    /// hugepages where the host allows and the arrays are large enough
+    /// (§III-C: the scatter's dTLB misses concentrate in `Adj`). Falls back
+    /// to the existing heap storage per-array on any refusal; returns
+    /// whether at least one array ended up hugepage-backed. The typed
+    /// host-level reason is available from
+    /// [`bfs_platform::hugepage::availability`].
+    pub fn migrate_to_hugepages(&mut self) -> bool {
+        self.offsets = MaybeHuge::from_vec(self.offsets.to_vec(), true);
+        self.neighbors = MaybeHuge::from_vec(self.neighbors.to_vec(), true);
+        self.is_hugepage_backed()
+    }
+
+    /// Whether any CSR array is currently hugepage-backed.
+    pub fn is_hugepage_backed(&self) -> bool {
+        self.offsets.is_huge() || self.neighbors.is_huge()
+    }
+
     /// Average out-degree over all vertices (the paper's ρ when restricted to
     /// the reachable set; see [`crate::stats`] for ρ′).
     pub fn average_degree(&self) -> f64 {
@@ -146,6 +206,42 @@ impl CsrGraph {
     }
 }
 
+impl Serialize for CsrGraph {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("offsets".to_string(), self.offsets[..].to_value()),
+            ("neighbors".to_string(), self.neighbors[..].to_value()),
+            ("permutation".to_string(), self.permutation.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for CsrGraph {
+    /// Deserialization routes through [`CsrGraph::try_from_parts`], so a
+    /// corrupt serialized graph is rejected with a message instead of
+    /// violating CSR invariants (pre-PR7 payloads without the
+    /// `permutation` field load with `permutation = None`).
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let offsets: Vec<u64> = Deserialize::from_value(serde::de_field(v, "offsets")?)?;
+        let neighbors: Vec<VertexId> = Deserialize::from_value(serde::de_field(v, "neighbors")?)?;
+        let mut graph =
+            CsrGraph::try_from_parts(offsets, neighbors).map_err(serde::Error::custom)?;
+        let permutation: Option<VertexPermutation> =
+            Deserialize::from_value(serde::de_field(v, "permutation")?)?;
+        if let Some(p) = &permutation {
+            if p.len() != graph.num_vertices() {
+                return Err(serde::Error::custom(format!(
+                    "permutation covers {} vertices, graph has {}",
+                    p.len(),
+                    graph.num_vertices()
+                )));
+            }
+        }
+        graph.permutation = permutation;
+        Ok(graph)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +260,7 @@ mod tests {
         assert_eq!(g.neighbors(0), &[1, 2]);
         assert_eq!(g.neighbors(3), &[1, 2]);
         assert!((g.average_degree() - 2.0).abs() < 1e-12);
+        assert!(g.permutation().is_none());
     }
 
     #[test]
@@ -241,11 +338,63 @@ mod tests {
     }
 
     #[test]
+    fn try_from_parts_reports_instead_of_panicking() {
+        assert!(CsrGraph::try_from_parts(vec![], vec![]).is_err());
+        assert!(CsrGraph::try_from_parts(vec![1, 2], vec![0, 0]).is_err());
+        assert!(CsrGraph::try_from_parts(vec![0, 1], vec![7]).is_err());
+        assert!(CsrGraph::try_from_parts(vec![0, 2, 1, 2], vec![0, 1]).is_err());
+        assert!(CsrGraph::try_from_parts(vec![0, 1], vec![0, 0]).is_err());
+        assert!(CsrGraph::try_from_parts(vec![0, 1, 2], vec![1, 0]).is_ok());
+    }
+
+    #[test]
     fn serde_roundtrip() {
         let g = diamond();
         let s = serde_json::to_string(&g).unwrap();
         let g2: CsrGraph = serde_json::from_str(&s).unwrap();
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_permutation() {
+        let (rg, perm) = crate::relabel::degree_order(&diamond());
+        let s = serde_json::to_string(&rg).unwrap();
+        let back: CsrGraph = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.permutation(), Some(&perm));
+        assert_eq!(rg, back);
+    }
+
+    #[test]
+    fn deserialize_validates_invariants() {
+        // Neighbor id out of range: must be an error, not a panic (and not
+        // a silently corrupt graph). Pre-PR7 payload shape (no permutation
+        // field) must still load.
+        let ok: CsrGraph = serde_json::from_str(r#"{"offsets":[0,1],"neighbors":[0]}"#).unwrap();
+        assert!(ok.permutation().is_none());
+        assert_eq!(ok.num_edges(), 1);
+        for bad in [
+            r#"{"offsets":[0,1],"neighbors":[7]}"#,
+            r#"{"offsets":[0,2,1],"neighbors":[0,0]}"#,
+            r#"{"offsets":[1,1],"neighbors":[]}"#,
+            r#"{"offsets":[],"neighbors":[]}"#,
+            r#"{"offsets":[0,1],"neighbors":[0],"permutation":{"forward":[0,1],"inverse":[0,1]}}"#,
+        ] {
+            assert!(
+                serde_json::from_str::<CsrGraph>(bad).is_err(),
+                "accepted corrupt payload: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn hugepage_migration_preserves_contents() {
+        let g = diamond();
+        let mut h = g.clone();
+        let _ = h.migrate_to_hugepages();
+        // Tiny arrays stay on the heap by policy, but contents and equality
+        // are backing-independent either way.
+        assert_eq!(g, h);
+        assert_eq!(h.neighbors(0), &[1, 2]);
     }
 
     #[test]

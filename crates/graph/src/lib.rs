@@ -17,6 +17,9 @@
 //! * [`stats`] — degree and eccentricity statistics used to reproduce
 //!   Table II.
 //! * [`io`] — text and binary edge-list serialization.
+//! * [`relabel`] — the degree-ordered layout pass (§III-C read locality):
+//!   rewrites the CSR under descending-out-degree ids and retains the
+//!   external↔internal [`VertexPermutation`] on the graph.
 //!
 //! Vertex ids are `u32` throughout, as in the paper (4-byte frontier and bin
 //! entries are load-bearing constants in the §IV traffic model).
@@ -26,11 +29,13 @@ pub mod builder;
 pub mod csr;
 pub mod gen;
 pub mod io;
+pub mod relabel;
 pub mod rng;
 pub mod stats;
 
 pub use builder::{BuildOptions, GraphBuilder};
 pub use csr::CsrGraph;
+pub use relabel::{degree_order, VertexPermutation};
 
 /// Vertex identifier. The paper's model charges 4 bytes per frontier / bin
 /// entry, so 32-bit ids are part of the reproduced design, not an arbitrary

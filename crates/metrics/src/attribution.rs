@@ -53,6 +53,13 @@ pub struct PhaseAttribution {
     /// time — the counter-backed counterpart of the model-derived
     /// `measured_gbps`, letting the two estimates cross-check each other.
     pub hw_gbps: Option<f64>,
+    /// *Measured* DDR bytes per work unit: `hw_llc_misses × cache_line`
+    /// over `units` — directly comparable to `model_bpe` on the same row.
+    /// This is the column the layout levers move: degree-ordered relabeling
+    /// and hugepage-backed arenas should push the Phase I measured value
+    /// below the model's §IV.1a prediction. `None` without hardware
+    /// counters or units.
+    pub measured_bpe: Option<f64>,
 }
 
 /// One step's measured-vs-modelled row (needs a trace; `fastbfs metrics`
@@ -279,6 +286,9 @@ impl AttributionReport {
                         bytes / (busy_ns as f64 / workers)
                     })
                 });
+                let measured_bpe = hw.and_then(|(_, _, llc, _)| {
+                    (units > 0).then(|| llc as f64 * ctx.cache_line as f64 / units as f64)
+                });
                 PhaseAttribution {
                     phase: name.to_string(),
                     busy_ns,
@@ -296,6 +306,7 @@ impl AttributionReport {
                     hw_llc_misses: hw.map(|h| h.2),
                     hw_dtlb_misses: hw.map(|h| h.3),
                     hw_gbps,
+                    measured_bpe,
                 }
             })
             .collect();
@@ -421,8 +432,15 @@ impl AttributionReport {
         } else if self.phases.iter().any(|p| p.hw_cycles.is_some()) {
             let _ = writeln!(
                 out,
-                "{:<10} {:>14} {:>14} {:>6} {:>12} {:>11} {:>12}",
-                "phase", "hw_cycles", "hw_instr", "ipc", "llc_miss", "hw_GB/s", "dtlb_miss"
+                "{:<10} {:>14} {:>14} {:>6} {:>12} {:>11} {:>12} {:>9}",
+                "phase",
+                "hw_cycles",
+                "hw_instr",
+                "ipc",
+                "llc_miss",
+                "hw_GB/s",
+                "dtlb_miss",
+                "meas_B/e"
             );
             for ph in self.phases.iter().filter(|p| p.hw_cycles.is_some()) {
                 let cy = ph.hw_cycles.unwrap_or(0);
@@ -432,7 +450,7 @@ impl AttributionReport {
                     .map(|i| i as f64 / cy as f64);
                 let _ = writeln!(
                     out,
-                    "{:<10} {:>14} {:>14} {:>6} {:>12} {:>11} {:>12}",
+                    "{:<10} {:>14} {:>14} {:>6} {:>12} {:>11} {:>12} {:>9}",
                     ph.phase,
                     cy,
                     ph.hw_instructions.unwrap_or(0),
@@ -440,6 +458,7 @@ impl AttributionReport {
                     ph.hw_llc_misses.unwrap_or(0),
                     ph.hw_gbps.map_or("-".into(), |v| format!("{v:.2}")),
                     ph.hw_dtlb_misses.unwrap_or(0),
+                    ph.measured_bpe.map_or("-".into(), |v| format!("{v:.2}")),
                 );
             }
             if let Some(rate) = self.dtlb_per_scatter {
@@ -648,6 +667,14 @@ mod tests {
         // 100k misses × 64 B over 4 ms mean per-thread time.
         let expect = 100_000.0 * 64.0 / 4_000_000.0;
         assert!((p1.hw_gbps.unwrap() - expect).abs() < 1e-9);
+        // 100k misses × 64 B over 800k scattered neighbors = 8 B/edge,
+        // directly comparable to model_bpe on the same row.
+        assert!(
+            (p1.measured_bpe.unwrap() - 8.0).abs() < 1e-9,
+            "{:?}",
+            p1.measured_bpe
+        );
+        assert!(p1.model_bpe.is_some());
         // 4k misses over 800k scattered neighbors.
         assert!((r.dtlb_per_scatter.unwrap() - 0.005).abs() < 1e-12);
         // Phases that never ran with counters still carry Some(0) — the

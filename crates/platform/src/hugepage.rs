@@ -1,0 +1,443 @@
+//! Transparent-hugepage-backed buffer storage for the traversal arenas.
+//!
+//! §III-C of the paper argues that BFS on large graphs is TLB-bound as much
+//! as cache-bound: the Phase I scatter and the bottom-up probes walk the
+//! `Adj` array and the VIS/DP families with little page reuse, so every
+//! 4 KiB page boundary costs a dTLB fill. Backing those buffers with 2 MiB
+//! transparent hugepages divides the page-walk count by 512 without touching
+//! the kernels — the `bfs-perf` dTLB-miss counters measure the effect
+//! directly.
+//!
+//! Like hardware counters, hugepages are a best-effort acceleration, never a
+//! correctness dependency. The degradation ladder mirrors
+//! `bfs_perf::PerfUnavailable`:
+//!
+//! 1. Non-Linux host → [`HugepageUnavailable::UnsupportedPlatform`].
+//! 2. Kernel built without THP, or `/sys/kernel/mm/transparent_hugepage/enabled`
+//!    set to `never` → [`HugepageUnavailable::ThpDisabled`].
+//! 3. The 2 MiB-aligned allocation itself failing →
+//!    [`HugepageUnavailable::AllocFailed`].
+//! 4. `madvise(MADV_HUGEPAGE)` rejected → [`HugepageUnavailable::MadviseFailed`].
+//!
+//! Every failure falls back to ordinary heap storage ([`MaybeHuge::Heap`]);
+//! callers surface the typed reason in status output instead of silently
+//! degrading.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8};
+use std::sync::OnceLock;
+
+/// Size and alignment of one transparent hugepage on x86-64/aarch64 Linux.
+pub const HUGE_PAGE_BYTES: usize = 2 * 1024 * 1024;
+
+/// Buffers smaller than this stay on the ordinary heap even when hugepages
+/// were requested: a 2 MiB-aligned allocation reserves a full hugepage of
+/// address space, so promoting tiny buffers wastes memory for at most one
+/// saved TLB entry. An eighth of a hugepage keeps the waste bounded while
+/// still promoting every per-|V| array at the benchmark scales.
+pub const HUGE_MIN_BYTES: usize = HUGE_PAGE_BYTES / 8;
+
+/// Why hugepage backing could not be provided. Carried into engine status
+/// and bench-report provenance so reports print an explicit
+/// `hugepages: unavailable (<reason>)` marker instead of silently running
+/// on 4 KiB pages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HugepageUnavailable {
+    /// Not Linux: `madvise(MADV_HUGEPAGE)` does not exist.
+    UnsupportedPlatform,
+    /// Transparent hugepages are compiled out or administratively disabled
+    /// (`/sys/kernel/mm/transparent_hugepage/enabled` missing or `[never]`).
+    /// `mode` carries the sysfs line when it was readable.
+    ThpDisabled { mode: Option<String> },
+    /// The 2 MiB-aligned zeroed allocation failed.
+    AllocFailed { bytes: usize },
+    /// `madvise(MADV_HUGEPAGE)` returned an error for the range.
+    MadviseFailed { errno: i32 },
+}
+
+impl HugepageUnavailable {
+    /// Stable machine-readable variant tag for structured reporting; the
+    /// human-readable detail stays in `Display`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HugepageUnavailable::UnsupportedPlatform => "unsupported_platform",
+            HugepageUnavailable::ThpDisabled { .. } => "thp_disabled",
+            HugepageUnavailable::AllocFailed { .. } => "alloc_failed",
+            HugepageUnavailable::MadviseFailed { .. } => "madvise_failed",
+        }
+    }
+}
+
+impl fmt::Display for HugepageUnavailable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HugepageUnavailable::UnsupportedPlatform => {
+                write!(f, "transparent hugepages require Linux")
+            }
+            HugepageUnavailable::ThpDisabled { mode: Some(m) } => {
+                write!(f, "transparent hugepages disabled (sysfs: {m})")
+            }
+            HugepageUnavailable::ThpDisabled { mode: None } => {
+                write!(f, "transparent hugepages not available (no THP sysfs)")
+            }
+            HugepageUnavailable::AllocFailed { bytes } => {
+                write!(f, "aligned allocation of {bytes} bytes failed")
+            }
+            HugepageUnavailable::MadviseFailed { errno } => {
+                write!(f, "madvise(MADV_HUGEPAGE) failed (errno {errno})")
+            }
+        }
+    }
+}
+
+/// One-shot host probe: can this process request hugepage backing at all?
+/// The sysfs read happens once per process; allocation-time failures
+/// ([`HugepageUnavailable::AllocFailed`]/[`MadviseFailed`]) can still occur
+/// after an `Ok` here.
+///
+/// [`MadviseFailed`]: HugepageUnavailable::MadviseFailed
+pub fn availability() -> Result<(), HugepageUnavailable> {
+    static PROBE: OnceLock<Result<(), HugepageUnavailable>> = OnceLock::new();
+    PROBE.get_or_init(probe_host).clone()
+}
+
+/// `availability()` rendered for report provenance headers:
+/// `"available"` or `"unavailable: <reason>"`.
+pub fn availability_string() -> String {
+    match availability() {
+        Ok(()) => "available".to_string(),
+        Err(reason) => format!("unavailable: {reason}"),
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn probe_host() -> Result<(), HugepageUnavailable> {
+    let path = "/sys/kernel/mm/transparent_hugepage/enabled";
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let mode = text.trim().to_string();
+            // The active mode is bracketed: "always [madvise] never".
+            if mode.contains("[never]") {
+                Err(HugepageUnavailable::ThpDisabled { mode: Some(mode) })
+            } else {
+                Ok(())
+            }
+        }
+        Err(_) => Err(HugepageUnavailable::ThpDisabled { mode: None }),
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn probe_host() -> Result<(), HugepageUnavailable> {
+    Err(HugepageUnavailable::UnsupportedPlatform)
+}
+
+/// Marker for types whose all-zero bit pattern is a valid value, so buffers
+/// of them may be created with `alloc_zeroed`.
+///
+/// # Safety
+/// Implementors must guarantee the all-zero bit pattern is a valid `Self`.
+pub unsafe trait Zeroable {}
+
+// SAFETY: the all-zero bit pattern is the integer 0 for each of these.
+unsafe impl Zeroable for u8 {}
+// SAFETY: as above.
+unsafe impl Zeroable for u16 {}
+// SAFETY: as above.
+unsafe impl Zeroable for u32 {}
+// SAFETY: as above.
+unsafe impl Zeroable for u64 {}
+// SAFETY: as above.
+unsafe impl Zeroable for usize {}
+// SAFETY: atomics have the same layout and validity as their integer.
+unsafe impl Zeroable for AtomicU8 {}
+// SAFETY: as above.
+unsafe impl Zeroable for AtomicU32 {}
+// SAFETY: as above.
+unsafe impl Zeroable for AtomicU64 {}
+
+/// An owned slice allocated at 2 MiB alignment with
+/// `madvise(MADV_HUGEPAGE)` applied to the whole mapping.
+///
+/// `Box<[T]>` cannot own this memory: `Box` deallocates with `T`'s natural
+/// alignment, and deallocating an over-aligned allocation with the wrong
+/// layout is undefined behavior. So the slice keeps its own pointer +
+/// [`Layout`] pair and frees with exactly the layout it allocated.
+pub struct HugeSlice<T> {
+    ptr: NonNull<T>,
+    len: usize,
+    layout: Layout,
+}
+
+// SAFETY: HugeSlice owns its allocation exclusively; sending it moves sole
+// ownership, exactly like Box<[T]>.
+unsafe impl<T: Send> Send for HugeSlice<T> {}
+// SAFETY: shared access only hands out &[T]; aliasing rules match Box<[T]>.
+unsafe impl<T: Sync> Sync for HugeSlice<T> {}
+
+impl<T: Zeroable> HugeSlice<T> {
+    /// Allocates `len` zeroed elements, 2 MiB-aligned and rounded up to a
+    /// whole number of hugepages, then advises the kernel to back the range
+    /// with transparent hugepages. Any failure returns the typed reason and
+    /// leaves nothing allocated.
+    pub fn zeroed(len: usize) -> Result<Self, HugepageUnavailable> {
+        availability()?;
+        let bytes = len
+            .checked_mul(std::mem::size_of::<T>())
+            .expect("hugepage buffer size overflow");
+        assert!(bytes > 0, "hugepage buffers must be non-empty");
+        let size = bytes.div_ceil(HUGE_PAGE_BYTES) * HUGE_PAGE_BYTES;
+        let layout = Layout::from_size_align(size, HUGE_PAGE_BYTES)
+            .map_err(|_| HugepageUnavailable::AllocFailed { bytes: size })?;
+        // SAFETY: layout has non-zero size (bytes > 0, rounded up).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw as *mut T) else {
+            return Err(HugepageUnavailable::AllocFailed { bytes: size });
+        };
+        #[cfg(target_os = "linux")]
+        {
+            // SAFETY: [raw, raw+size) is exactly the mapping returned by
+            // alloc_zeroed above, and raw is 2 MiB-aligned (page-aligned).
+            let rc = unsafe { libc::madvise(raw as *mut libc::c_void, size, libc::MADV_HUGEPAGE) };
+            if rc != 0 {
+                let errno = libc::errno();
+                // SAFETY: raw came from alloc_zeroed with this exact layout.
+                unsafe { dealloc(raw, layout) };
+                return Err(HugepageUnavailable::MadviseFailed { errno });
+            }
+        }
+        Ok(HugeSlice { ptr, len, layout })
+    }
+}
+
+impl<T> HugeSlice<T> {
+    /// Bytes of address space this slice reserves (a hugepage multiple —
+    /// may exceed `len × size_of::<T>()` by up to one hugepage).
+    pub fn reserved_bytes(&self) -> usize {
+        self.layout.size()
+    }
+}
+
+impl<T> Deref for HugeSlice<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        // SAFETY: ptr is valid for len initialized (zeroed) elements.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T> DerefMut for HugeSlice<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        // SAFETY: as above, plus &mut self guarantees exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T> Drop for HugeSlice<T> {
+    fn drop(&mut self) {
+        // All Zeroable element types are plain integers/atomics with no drop
+        // glue, so freeing the storage is all the cleanup there is.
+        // SAFETY: ptr came from alloc_zeroed with exactly this layout.
+        unsafe { dealloc(self.ptr.as_ptr() as *mut u8, self.layout) };
+    }
+}
+
+/// Buffer storage that is either an ordinary heap slice or a
+/// hugepage-backed [`HugeSlice`], chosen at allocation time. Derefs to
+/// `[T]` so the traversal kernels are oblivious to the backing.
+pub enum MaybeHuge<T> {
+    Heap(Box<[T]>),
+    Huge(HugeSlice<T>),
+}
+
+impl<T> MaybeHuge<T> {
+    /// Wraps an existing heap slice (the always-available path).
+    pub fn heap(buf: Box<[T]>) -> Self {
+        MaybeHuge::Heap(buf)
+    }
+
+    /// Whether this buffer ended up hugepage-backed.
+    pub fn is_huge(&self) -> bool {
+        matches!(self, MaybeHuge::Huge(_))
+    }
+}
+
+impl<T: Zeroable> MaybeHuge<T> {
+    /// `len` zeroed elements. With `huge` set, tries hugepage backing when
+    /// the buffer meets [`HUGE_MIN_BYTES`]; any refusal falls back to the
+    /// heap (callers report the probe-level reason via [`availability`]).
+    pub fn zeroed(len: usize, huge: bool) -> Self {
+        if huge && len * std::mem::size_of::<T>() >= HUGE_MIN_BYTES {
+            if let Ok(slice) = HugeSlice::zeroed(len) {
+                return MaybeHuge::Huge(slice);
+            }
+        }
+        MaybeHuge::Heap(heap_zeroed(len))
+    }
+}
+
+impl<T: Zeroable + Copy> MaybeHuge<T> {
+    /// Takes ownership of `data`, migrating it into a hugepage-backed
+    /// buffer under the same policy as [`MaybeHuge::zeroed`].
+    pub fn from_vec(data: Vec<T>, huge: bool) -> Self {
+        if huge && std::mem::size_of_val(&data[..]) >= HUGE_MIN_BYTES {
+            if let Ok(mut slice) = HugeSlice::zeroed(data.len()) {
+                slice.copy_from_slice(&data);
+                return MaybeHuge::Huge(slice);
+            }
+        }
+        MaybeHuge::Heap(data.into_boxed_slice())
+    }
+}
+
+/// Zeroed heap slice without an initialization pass (`alloc_zeroed` pages
+/// arrive zero from the kernel); also the only way to build `Box<[Atomic*]>`
+/// without a per-element constructor loop.
+fn heap_zeroed<T: Zeroable>(len: usize) -> Box<[T]> {
+    if len == 0 {
+        return Vec::new().into_boxed_slice();
+    }
+    let layout = Layout::array::<T>(len).expect("heap buffer size overflow");
+    // SAFETY: layout has non-zero size (len > 0, T is never zero-sized here).
+    let raw = unsafe { alloc_zeroed(layout) as *mut T };
+    if raw.is_null() {
+        handle_alloc_error(layout);
+    }
+    // SAFETY: raw points to len zeroed T (valid by Zeroable) with the exact
+    // layout Box<[T]> will deallocate with.
+    unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(raw, len)) }
+}
+
+impl<T> Deref for MaybeHuge<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        match self {
+            MaybeHuge::Heap(b) => b,
+            MaybeHuge::Huge(h) => h,
+        }
+    }
+}
+
+impl<T> DerefMut for MaybeHuge<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        match self {
+            MaybeHuge::Heap(b) => b,
+            MaybeHuge::Huge(h) => h,
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MaybeHuge<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MaybeHuge")
+            .field("huge", &self.is_huge())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T: PartialEq> PartialEq for MaybeHuge<T> {
+    fn eq(&self, other: &Self) -> bool {
+        // Backing is a placement detail; equality is over the contents.
+        self[..] == other[..]
+    }
+}
+
+impl<T: Eq> Eq for MaybeHuge<T> {}
+
+impl<T: Zeroable + Copy> Clone for MaybeHuge<T> {
+    fn clone(&self) -> Self {
+        MaybeHuge::from_vec(self.to_vec(), self.is_huge())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unavailable_reasons_render_and_tag() {
+        for r in [
+            HugepageUnavailable::UnsupportedPlatform,
+            HugepageUnavailable::ThpDisabled {
+                mode: Some("always madvise [never]".into()),
+            },
+            HugepageUnavailable::ThpDisabled { mode: None },
+            HugepageUnavailable::AllocFailed { bytes: 1 << 21 },
+            HugepageUnavailable::MadviseFailed { errno: 22 },
+        ] {
+            assert!(!r.to_string().is_empty());
+            assert!(!r.kind().is_empty());
+        }
+        let s = availability_string();
+        assert!(s == "available" || s.starts_with("unavailable:"), "{s}");
+        assert_eq!(s == "available", availability().is_ok());
+    }
+
+    #[test]
+    fn zeroed_heap_fallback_small_and_empty() {
+        // Below the size threshold: never hugepage-backed, even if asked.
+        let b = MaybeHuge::<u64>::zeroed(8, true);
+        assert!(!b.is_huge());
+        assert_eq!(b.len(), 8);
+        assert!(b.iter().all(|&x| x == 0));
+
+        let empty = MaybeHuge::<u32>::zeroed(0, true);
+        assert!(!empty.is_huge());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn zeroed_atomics_are_valid() {
+        let b = MaybeHuge::<AtomicU64>::zeroed(1024, false);
+        b[7].store(42, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(b[7].load(std::sync::atomic::Ordering::Relaxed), 42);
+        assert_eq!(b[8].load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn huge_request_succeeds_or_degrades() {
+        // Large enough to qualify; whether it lands huge depends on the
+        // host — both outcomes must produce a usable zeroed buffer.
+        let n = HUGE_MIN_BYTES / std::mem::size_of::<u64>();
+        let mut b = MaybeHuge::<u64>::zeroed(n, true);
+        assert_eq!(b.len(), n);
+        assert!(b.iter().all(|&x| x == 0));
+        b[0] = 1;
+        b[n - 1] = 2;
+        assert_eq!(b[0] + b[n - 1], 3);
+        if b.is_huge() {
+            assert!(availability().is_ok());
+        }
+    }
+
+    #[test]
+    fn from_vec_preserves_contents() {
+        let data: Vec<u32> = (0..100_000).collect();
+        for huge in [false, true] {
+            let b = MaybeHuge::from_vec(data.clone(), huge);
+            assert_eq!(&b[..], &data[..]);
+            let c = b.clone();
+            assert_eq!(b, c);
+        }
+    }
+
+    #[test]
+    fn huge_slice_is_aligned_and_zeroed() {
+        let n = (HUGE_MIN_BYTES * 2) / std::mem::size_of::<u64>();
+        match HugeSlice::<u64>::zeroed(n) {
+            Ok(s) => {
+                assert_eq!(s.as_ptr() as usize % HUGE_PAGE_BYTES, 0);
+                assert!(s.reserved_bytes() % HUGE_PAGE_BYTES == 0);
+                assert!(s.reserved_bytes() >= n * 8);
+                assert!(s.iter().all(|&x| x == 0));
+            }
+            Err(reason) => assert!(!reason.to_string().is_empty()),
+        }
+    }
+}

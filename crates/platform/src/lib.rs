@@ -30,12 +30,14 @@
 
 pub mod arena;
 pub mod barrier;
+pub mod hugepage;
 pub mod padded;
 pub mod pin;
 pub mod pool;
 pub mod topology;
 
 pub use barrier::SenseBarrier;
+pub use hugepage::{HugepageUnavailable, MaybeHuge};
 pub use padded::{CachePadded, PerThreadSlots};
 pub use pool::{SocketPool, ThreadCtx};
 pub use topology::{SocketId, Topology};

@@ -5,9 +5,12 @@
 # BENCH_<timestamp>.json in the repo root. Keep a snapshot per machine /
 # per change to track MTEPS and per-level direction decisions over time.
 #
-# Usage: scripts/bench_snapshot.sh [scale] [sources]
+# Usage: scripts/bench_snapshot.sh [scale] [sources] [extra run flags...]
 #   scale    RMAT scale (default 16 → 65k vertices, ~1M directed edges)
 #   sources  batched multi-source query count (default 16)
+#   extra    forwarded to `fastbfs run` — e.g. --relabel --hugepages to
+#            snapshot with the memory-layout levers on (the report's
+#            relabel/hugepages provenance fields record the choice)
 # Sockets/threads default to the host topology. Compare two snapshots with
 # `fastbfs bench-compare OLD.json NEW.json`.
 set -euo pipefail
@@ -15,6 +18,7 @@ cd "$(dirname "$0")/.."
 
 SCALE="${1:-16}"
 SOURCES="${2:-16}"
+shift "$(( $# > 2 ? 2 : $# ))"
 STAMP="$(date -u +%Y%m%dT%H%M%SZ)"
 GRAPH="$(mktemp /tmp/bench_snapshot_XXXXXX.fbfs)"
 OUT="BENCH_${STAMP}.json"
@@ -28,8 +32,8 @@ FASTBFS=target/release/fastbfs
 echo "==> generating RMAT scale $SCALE"
 "$FASTBFS" gen --family rmat --scale "$SCALE" --edge-factor 8 --seed 42 -o "$GRAPH"
 
-echo "==> running $SOURCES sources with --direction auto"
-"$FASTBFS" run -i "$GRAPH" --sources "$SOURCES" --seed 7 --direction auto --json "$OUT"
+echo "==> running $SOURCES sources with --direction auto $*"
+"$FASTBFS" run -i "$GRAPH" --sources "$SOURCES" --seed 7 --direction auto "$@" --json "$OUT"
 
 if [ ! -s "$OUT" ]; then
     echo "error: $OUT missing or empty — the run produced no report" >&2
@@ -43,5 +47,12 @@ fi
 # model-only one, so surface the provenance at capture time too.
 HW_EVENTS="$(grep -o '"hw_events": "[^"]*"' "$OUT" | head -1 || true)"
 echo "==> hw events: ${HW_EVENTS:-not recorded}"
+
+# Memory-layout provenance: whether the snapshot ran degree-order
+# relabeled and whether the arenas actually landed on hugepages (the
+# value carries the typed reason when the host has no THP).
+RELABEL="$(grep -o '"relabel": [a-z]*' "$OUT" | head -1 || true)"
+HUGEPAGES="$(grep -o '"hugepages": "[^"]*"' "$OUT" | head -1 || true)"
+echo "==> layout: ${RELABEL:-not recorded}, ${HUGEPAGES:-not recorded}"
 
 echo "==> snapshot written to $OUT"

@@ -26,11 +26,25 @@ if [ -n "$BASELINE" ]; then
     # committed baseline was recorded at full scale on another machine).
     SMOKE_GRAPH="$(mktemp /tmp/check_smoke_XXXXXX.fbfs)"
     SMOKE_OUT="$(mktemp /tmp/check_smoke_XXXXXX.json)"
-    trap 'rm -f "$SMOKE_GRAPH" "$SMOKE_OUT"' EXIT
+    SMOKE_TUNED="$(mktemp /tmp/check_smoke_XXXXXX.json)"
+    trap 'rm -f "$SMOKE_GRAPH" "$SMOKE_OUT" "$SMOKE_TUNED"' EXIT
     target/release/fastbfs gen --family rmat --scale 10 --edge-factor 8 --seed 42 -o "$SMOKE_GRAPH"
     target/release/fastbfs run -i "$SMOKE_GRAPH" --sources 4 --seed 7 --direction auto --json "$SMOKE_OUT"
     target/release/fastbfs bench-compare "$SMOKE_OUT" "$SMOKE_OUT" --quiet
     target/release/fastbfs bench-compare "$BASELINE" "$SMOKE_OUT" --allow-mismatch \
+        --max-mteps-drop 0.99 --max-latency-rise 100 --max-direction-drift 1.0 \
+        --max-qps-drop 0.99
+    # Memory-layout levers: --validate runs the serial oracle on the
+    # PRE-relabel graph, so a pass proves the id-translation layer end to
+    # end; the gate then confirms the both-flags report still satisfies
+    # the comparison plumbing against the committed baseline.
+    target/release/fastbfs run -i "$SMOKE_GRAPH" --sources 4 --seed 7 --direction auto \
+        --relabel --hugepages --validate --json "$SMOKE_TUNED"
+    grep -q '"relabel": true' "$SMOKE_TUNED" || {
+        echo "error: tuned report lacks relabel provenance" >&2; exit 1; }
+    grep -q '"hugepages": "' "$SMOKE_TUNED" || {
+        echo "error: tuned report lacks hugepages provenance" >&2; exit 1; }
+    target/release/fastbfs bench-compare "$BASELINE" "$SMOKE_TUNED" --allow-mismatch \
         --max-mteps-drop 0.99 --max-latency-rise 100 --max-direction-drift 1.0 \
         --max-qps-drop 0.99
 else
@@ -42,7 +56,7 @@ SERVE_GRAPH="$(mktemp /tmp/check_serve_XXXXXX.fbfs)"
 ADDR_FILE="$(mktemp /tmp/check_serve_XXXXXX.addr)"
 SERVE_PID=""
 # Replaces (and extends) any trap the bench-compare smoke installed.
-trap 'rm -f "${SMOKE_GRAPH:-}" "${SMOKE_OUT:-}" "$SERVE_GRAPH" "$ADDR_FILE"; [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+trap 'rm -f "${SMOKE_GRAPH:-}" "${SMOKE_OUT:-}" "${SMOKE_TUNED:-}" "$SERVE_GRAPH" "$ADDR_FILE"; [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
 target/release/fastbfs gen --family rmat --scale 10 --edge-factor 8 --seed 42 -o "$SERVE_GRAPH"
 : > "$ADDR_FILE"
 # Ephemeral port; the exporter writes the bound address to --addr-file.
@@ -87,7 +101,7 @@ if not d["hw_available"]:
 echo "==> loadgen smoke (open-loop load against the live server)"
 LOAD_OUT="$(mktemp /tmp/check_load_XXXXXX.json)"
 LOAD_BAD="$(mktemp /tmp/check_load_XXXXXX.json)"
-trap 'rm -f "${SMOKE_GRAPH:-}" "${SMOKE_OUT:-}" "$SERVE_GRAPH" "$ADDR_FILE" "$LOAD_OUT" "$LOAD_BAD"; [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+trap 'rm -f "${SMOKE_GRAPH:-}" "${SMOKE_OUT:-}" "${SMOKE_TUNED:-}" "$SERVE_GRAPH" "$ADDR_FILE" "$LOAD_OUT" "$LOAD_BAD"; [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
 target/release/fastbfs loadgen "http://$ADDR" --rate 120 --duration 2 \
     --connections 4 --seed 7 --out "$LOAD_OUT"
 python3 - "$LOAD_OUT" <<'EOF'

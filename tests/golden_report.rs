@@ -135,6 +135,55 @@ fn pr5_era_report_feeds_the_tail_gate() {
     );
 }
 
+const GOLDEN_PR6: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/run_report_v1_pr6.json"
+);
+
+#[test]
+fn pr6_era_report_still_parses() {
+    // A report emitted by the PR 6 binary: batch latency percentiles
+    // exist, but the PR 7 memory-layout provenance (`relabel`,
+    // `hugepages`) does not. The new fields must deserialize as `None`,
+    // never as an error.
+    let report = RunReport::read(GOLDEN_PR6).expect("PR 6 golden report must parse");
+    assert_eq!(report.schema, SCHEMA);
+    assert_eq!(report.git_rev.as_deref(), Some("3f95ba5"));
+    let batch = report.batch.as_ref().expect("golden was a batch run");
+    assert!(batch.latency_p50_ms.is_some());
+    assert!(batch.latency_p999_ms.is_some());
+
+    // The PR 7 additions must come back absent.
+    assert_eq!(report.relabel, None);
+    assert_eq!(report.hugepages, None);
+}
+
+#[test]
+fn pr6_era_report_diffs_without_layout_noise() {
+    // `bench-compare` against a pre-PR7 baseline must degrade gracefully:
+    // no layout-provenance warning (one side is unknown, not different),
+    // and the gate itself never depends on the new fields.
+    let old = RunReport::read(GOLDEN_PR6).unwrap();
+    let mut new = old.clone();
+    new.relabel = Some(true);
+    new.hugepages = Some("enabled".to_string());
+    let out = compare(&old, &new, &CompareThresholds::default(), false);
+    assert!(out.pass, "{}", out.render_text());
+    assert!(
+        out.layout_warning.is_none(),
+        "unknown-vs-known provenance must stay silent: {:?}",
+        out.layout_warning
+    );
+
+    // Two post-PR7 reports that disagree DO warn (and still pass).
+    let mut plain = old.clone();
+    plain.relabel = Some(false);
+    plain.hugepages = Some("disabled".to_string());
+    let out = compare(&plain, &new, &CompareThresholds::default(), false);
+    assert!(out.pass);
+    assert!(out.layout_warning.is_some());
+}
+
 #[test]
 fn reserialized_golden_roundtrips() {
     // Writing a parsed old report back out and re-reading it must preserve

@@ -1,0 +1,183 @@
+//! Degree-ordered relabeling must be externally invisible: a `BfsSession`
+//! over a relabeled graph answers in the ORIGINAL id space, so its depths
+//! must match a fresh engine over the unrelabeled graph, and its parent
+//! array must form a valid BFS forest of the unrelabeled graph — for every
+//! Scheduling × VisScheme × PbvEncoding × DirectionPolicy combination, and
+//! for arbitrary (messy, possibly disconnected) graphs under proptest.
+//!
+//! Parents are not compared element-wise: the §III-A benign race makes the
+//! chosen parent schedule-dependent even between two runs of the same
+//! engine. Tree validity against the original graph is the invariant that
+//! proves every parent came back through the permutation correctly.
+//!
+//! Hugepage-backed arenas ride along as a sampled boolean: whether the
+//! request resolves to `Enabled` or degrades with a typed reason, the
+//! traversal must be bit-identical on depths.
+
+use bfs_core::engine::{BfsEngine, BfsOptions, Scheduling};
+use bfs_core::pbv::PbvEncoding;
+use bfs_core::session::BfsSession;
+use bfs_core::validate::validate_bfs_tree;
+use bfs_core::{DirectionPolicy, VisScheme};
+use bfs_graph::builder::{BuildOptions, GraphBuilder};
+use bfs_graph::{degree_order, CsrGraph};
+use bfs_platform::Topology;
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (1..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(
+                n,
+                BuildOptions {
+                    symmetrize: true,
+                    dedup: false,
+                    drop_self_loops: false,
+                    sort_neighbors: false,
+                },
+            );
+            b.add_edges(edges);
+            b.build()
+        })
+    })
+}
+
+fn arb_options() -> impl Strategy<Value = BfsOptions> {
+    (
+        prop_oneof![
+            Just(VisScheme::None),
+            Just(VisScheme::AtomicBit),
+            Just(VisScheme::AtomicBitTest),
+            Just(VisScheme::Byte),
+            Just(VisScheme::Bit),
+        ],
+        prop_oneof![
+            Just(Scheduling::NoMultiSocketOpt),
+            Just(Scheduling::SocketAwareStatic),
+            Just(Scheduling::LoadBalanced),
+        ],
+        prop_oneof![
+            Just(PbvEncoding::Auto),
+            Just(PbvEncoding::Markers),
+            Just(PbvEncoding::Pairs),
+        ],
+        prop_oneof![
+            Just(DirectionPolicy::ForcedTopDown),
+            Just(DirectionPolicy::ForcedBottomUp),
+            Just(DirectionPolicy::auto()),
+        ],
+        any::<bool>(), // rearrange
+        any::<bool>(), // huge_pages
+    )
+        .prop_map(
+            |(vis, scheduling, encoding, direction, rearrange, huge_pages)| BfsOptions {
+                vis,
+                scheduling,
+                encoding,
+                direction,
+                rearrange,
+                huge_pages,
+                ..Default::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// For any graph, configuration, and source sequence: the relabeled
+    /// warm session and a fresh unrelabeled engine are observably
+    /// identical in the external id space.
+    #[test]
+    fn relabeled_session_is_externally_invisible(
+        g in arb_graph(100, 300),
+        opts in arb_options(),
+        picks in proptest::collection::vec(0usize..64, 2..=4),
+    ) {
+        let (relabeled, perm) = degree_order(&g);
+        prop_assert_eq!(perm.len(), g.num_vertices());
+        let topo = Topology::synthetic(2, 2);
+        let mut session = BfsSession::new(&relabeled, topo, opts);
+        // The oracle never uses hugepages: the comparison must hold across
+        // differently backed arenas, not just identically backed ones.
+        let oracle_opts = BfsOptions { huge_pages: false, ..opts };
+        for pick in picks {
+            let src = (pick % g.num_vertices()) as u32;
+            let fresh = BfsEngine::new(&g, topo, oracle_opts).run(src);
+            let warm = session.run(src);
+            prop_assert_eq!(&warm.depths, &fresh.depths);
+            prop_assert!(validate_bfs_tree(&g, src, &warm.depths, &warm.parents).is_ok());
+            prop_assert_eq!(warm.stats.visited_vertices, fresh.stats.visited_vertices);
+            prop_assert_eq!(warm.stats.steps, fresh.stats.steps);
+        }
+    }
+}
+
+/// The deterministic backstop: every Scheduling × VisScheme × PbvEncoding
+/// × DirectionPolicy combination on a fixed graph, sources repeating so a
+/// stale translation scratch buffer from query 1 cannot hide.
+#[test]
+fn every_combo_answers_in_original_ids_after_relabeling() {
+    use bfs_graph::gen::uniform::uniform_random;
+    use bfs_graph::rng::rng_from_seed;
+
+    let g = uniform_random(600, 5, &mut rng_from_seed(7));
+    let (relabeled, _) = degree_order(&g);
+    let topo = Topology::synthetic(2, 2);
+    for vis in VisScheme::ALL {
+        for scheduling in [
+            Scheduling::NoMultiSocketOpt,
+            Scheduling::SocketAwareStatic,
+            Scheduling::LoadBalanced,
+        ] {
+            for encoding in [PbvEncoding::Auto, PbvEncoding::Markers, PbvEncoding::Pairs] {
+                for direction in [
+                    DirectionPolicy::ForcedTopDown,
+                    DirectionPolicy::ForcedBottomUp,
+                    DirectionPolicy::auto(),
+                ] {
+                    let opts = BfsOptions {
+                        vis,
+                        scheduling,
+                        encoding,
+                        direction,
+                        ..Default::default()
+                    };
+                    let mut session = BfsSession::new(&relabeled, topo, opts);
+                    for src in [0u32, 123, 599, 0] {
+                        let fresh = BfsEngine::new(&g, topo, opts).run(src);
+                        let out = session.run(src);
+                        assert_eq!(
+                            out.depths, fresh.depths,
+                            "{vis:?} {scheduling:?} {encoding:?} {direction:?} source {src}"
+                        );
+                        validate_bfs_tree(&g, src, &out.depths, &out.parents).unwrap();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Relabeling an already-relabeled graph composes the permutations, so a
+/// session over the twice-relabeled CSR still answers in the original ids.
+#[test]
+fn double_relabeling_still_answers_in_original_ids() {
+    use bfs_core::serial::serial_bfs;
+    use bfs_graph::gen::rmat::{rmat, RmatConfig};
+    use bfs_graph::rng::rng_from_seed;
+
+    let g = rmat(&RmatConfig::paper(9, 6), &mut rng_from_seed(11));
+    let (once, _) = degree_order(&g);
+    let (twice, _) = degree_order(&once);
+    let mut session = BfsSession::new(&twice, Topology::synthetic(2, 2), BfsOptions::default());
+    for src in [0u32, 57, 300] {
+        let reference = serial_bfs(&g, src);
+        let out = session.run(src);
+        assert_eq!(out.depths, reference.depths, "source {src}");
+        validate_bfs_tree(&g, src, &out.depths, &out.parents).unwrap();
+    }
+}

@@ -62,6 +62,11 @@ pub unsafe fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
     cpu < CPU_SETSIZE && set.bits[cpu / BITS_PER_WORD] & (1 << (cpu % BITS_PER_WORD)) != 0
 }
 
+/// `madvise(2)` advice value requesting transparent-hugepage collapse for a
+/// range (`MADV_HUGEPAGE`, Linux-only). Used by `bfs-platform::hugepage`.
+#[cfg(target_os = "linux")]
+pub const MADV_HUGEPAGE: c_int = 14;
+
 #[cfg(target_os = "linux")]
 extern "C" {
     pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
@@ -72,6 +77,9 @@ extern "C" {
     pub fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
     pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
     pub fn close(fd: c_int) -> c_int;
+    /// Memory advice for hugepage-backed arenas (`bfs-platform::hugepage`);
+    /// `addr` must be page-aligned.
+    pub fn madvise(addr: *mut c_void, length: size_t, advice: c_int) -> c_int;
 }
 
 /// `errno` for the current thread (via the thread-local glibc accessor).
