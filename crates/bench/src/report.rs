@@ -289,6 +289,19 @@ pub struct LoadReport {
     pub git_rev: Option<String>,
     /// `rustc --version` of the producing build.
     pub rustc: Option<String>,
+    /// Warmup window in seconds: requests scheduled inside it were sent
+    /// and discarded — they appear in no count above (additive, PR 8).
+    /// `None` on pre-PR8 reports (no warmup support).
+    pub warmup_s: Option<f64>,
+    /// Of `errors`, how many were HTTP 504 — requests the server
+    /// admitted but dropped (deadline expired while queued) or timed out
+    /// on, as opposed to shed (503) or transport failures (additive,
+    /// PR 8).
+    pub dropped_504: Option<u64>,
+    /// Size of the server's session pool, read from `/snapshot` after
+    /// the run; `None` when the endpoint predates the field (additive,
+    /// PR 8).
+    pub server_sessions: Option<u64>,
 }
 
 impl LoadReport {
@@ -847,6 +860,9 @@ mod tests {
             latency: lat,
             git_rev: None,
             rustc: None,
+            warmup_s: None,
+            dropped_504: None,
+            server_sessions: None,
         }
     }
 
@@ -896,6 +912,47 @@ mod tests {
         std::fs::write(path, wrong.to_json().unwrap()).unwrap();
         let err = LoadReport::read(path).unwrap_err();
         assert!(err.contains("fastbfs-load-v1"), "{err}");
+    }
+
+    /// Schema evolution contract: `fastbfs-load-v1` reports written
+    /// before the PR 8 fields existed (no `warmup_s` / `dropped_504` /
+    /// `server_sessions` keys) must still parse, with those fields `None`.
+    #[test]
+    fn load_report_accepts_pre_pr8_documents() {
+        let dir = std::env::temp_dir().join("fastbfs-load-report-compat-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("old.json");
+        let path = path.to_str().unwrap();
+
+        let old = r#"{
+            "schema": "fastbfs-load-v1",
+            "url": "http://127.0.0.1:9464",
+            "endpoint": "query",
+            "arrival": "poisson",
+            "offered_qps": 100.0,
+            "duration_s": 2.0,
+            "scheduled": 200,
+            "completed": 200,
+            "errors": 0,
+            "elapsed_s": 2.0,
+            "achieved_qps": 100.0,
+            "latency": null,
+            "git_rev": null,
+            "rustc": null
+        }"#;
+        std::fs::write(path, old).unwrap();
+        let back = LoadReport::read(path).unwrap();
+        assert_eq!(back.completed, 200);
+        assert_eq!(back.warmup_s, None);
+        assert_eq!(back.dropped_504, None);
+        assert_eq!(back.server_sessions, None);
+
+        // And a pre-PR8 reader's view of a new report still has every
+        // old field: the new ones are strictly additive.
+        let new = load_report(98.5, None).to_json().unwrap();
+        for key in ["\"warmup_s\"", "\"dropped_504\"", "\"server_sessions\""] {
+            assert!(new.contains(key), "missing {key} in {new}");
+        }
     }
 
     #[test]

@@ -83,6 +83,12 @@ subcommands:
                                    build info), /healthz, /snapshot, /quitquitquit
                                    [--queries N] — warmup traversals before serving
                                    [--sources N] [--seed K] — warmup root pool
+                                   [--sessions N] — parked warm-session pool size
+                                   (default min(4, cores/8)); queued single-source
+                                   queries coalesce into waves when a session frees up
+                                   [--deadline-ms D] — default per-request deadline;
+                                   requests that expire while queued get 504 without
+                                   executing (per-request Deadline-Ms header overrides)
                                    [--http-threads T] [--queue-cap N] — admission layer
                                    [--addr-file PATH] — write the bound address (use with
                                    port 0 for scripts)
@@ -91,7 +97,10 @@ subcommands:
                                    front ([--arrival poisson|uniform]), latency measured
                                    from each request's *scheduled* arrival
                                    [--endpoint query|path] [--connections C] [--seed K]
+                                   [--warmup S] — S seconds of same-rate throwaway
+                                   traffic before the measured window
                                    [--out FILE] — write a fastbfs-load-v1 JSON report
+                                   (errors split out deadline-dropped 504s)
                                    [--max-p99-ms X] — exit nonzero when p99 breaches
   sim      simulated X5570 run   -i FILE [--source V] [--shrink F] [same engine flags]
   model    analytical prediction   --vertices N --degree D --depth DEP

@@ -26,6 +26,9 @@ pub struct Request {
     /// Query parameters in order of appearance, raw (no percent-decoding:
     /// every parameter this server defines is numeric).
     pub params: Vec<(String, String)>,
+    /// Headers in order of appearance, names lowercased, values trimmed
+    /// (header names are case-insensitive per RFC 9110).
+    pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
 }
 
@@ -35,6 +38,14 @@ impl Request {
         self.params
             .iter()
             .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of header `name` (matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
     }
 }
@@ -85,6 +96,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
     }
 
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -93,6 +105,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
                     .parse()
                     .map_err(|_| RequestError::Bad("bad Content-Length"))?;
             }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
         }
     }
     if content_length > MAX_BODY {
@@ -117,6 +130,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
         method,
         path,
         params,
+        headers,
         body,
     })
 }
@@ -190,7 +204,20 @@ pub fn host_of(url: &str) -> Result<String, String> {
 
 /// One GET over a fresh connection; reads to EOF (`Connection: close`).
 pub fn get(host: &str, path: &str, timeout: Duration) -> Result<Response, String> {
-    request(host, "GET", path, None, timeout)
+    request(host, "GET", path, &[], None, timeout)
+}
+
+/// [`get`] with extra request headers (e.g. a per-request `Deadline-Ms`
+/// budget for the query server's admission layer). Production traffic
+/// sends plain GETs; the serve tests exercise the header path.
+#[cfg_attr(not(test), allow(dead_code))]
+pub fn get_with_headers(
+    host: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    timeout: Duration,
+) -> Result<Response, String> {
+    request(host, "GET", path, headers, None, timeout)
 }
 
 /// One POST with a JSON body over a fresh connection. The production
@@ -203,13 +230,14 @@ pub fn post_json(
     body: &str,
     timeout: Duration,
 ) -> Result<Response, String> {
-    request(host, "POST", path, Some(body), timeout)
+    request(host, "POST", path, &[], Some(body), timeout)
 }
 
 fn request(
     host: &str,
     method: &str,
     path: &str,
+    headers: &[(&str, &str)],
     body: Option<&str>,
     timeout: Duration,
 ) -> Result<Response, String> {
@@ -217,9 +245,13 @@ fn request(
     stream.set_read_timeout(Some(timeout)).ok();
     stream.set_write_timeout(Some(timeout)).ok();
     let body = body.unwrap_or("");
+    let extra: String = headers
+        .iter()
+        .map(|(k, v)| format!("{k}: {v}\r\n"))
+        .collect();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n{body}",
         body.len()
     )
     .map_err(|e| format!("send {path}: {e}"))?;
@@ -256,6 +288,11 @@ mod tests {
             assert_eq!(req.param("src"), Some("17"));
             assert_eq!(req.param("dst"), Some("4"));
             assert_eq!(req.param("missing"), None);
+            // Header names match case-insensitively; values are trimmed.
+            assert_eq!(req.header("content-length"), Some("17"));
+            assert_eq!(req.header("HOST"), req.header("host"));
+            assert!(req.header("host").is_some());
+            assert_eq!(req.header("deadline-ms"), None);
             assert_eq!(req.body, b"{\"sources\":[1,2]}");
             write_json(&mut s, "200 OK", "{\"ok\":true}");
         });
@@ -284,6 +321,27 @@ mod tests {
         server.join().unwrap();
         assert_eq!(resp.status, 400);
         assert_eq!(resp.body, "{\"error\":\"bad \\\"src\\\" value\"}");
+    }
+
+    #[test]
+    fn client_extra_headers_reach_the_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let req = read_request(&mut s).unwrap();
+            assert_eq!(req.header("deadline-ms"), Some("25"));
+            write_json(&mut s, "200 OK", "{}");
+        });
+        let resp = get_with_headers(
+            &addr.to_string(),
+            "/query?src=1",
+            &[("Deadline-Ms", "25")],
+            Duration::from_secs(2),
+        )
+        .unwrap();
+        server.join().unwrap();
+        assert!(resp.ok());
     }
 
     #[test]

@@ -17,10 +17,20 @@
 //! delays 1/C of the schedule — raise `--connections` until offered ≈
 //! achieved QPS if the workers themselves become the bottleneck.
 //!
+//! `--warmup S` prepends S seconds of throwaway traffic at the same
+//! offered rate: those requests are sent (heating the server's sessions,
+//! page cache, and branch predictors) but appear in no count — scheduled,
+//! completed, errors, latency, and achieved QPS all describe only the
+//! measured window after the warmup boundary.
+//!
 //! The run emits a `fastbfs-load-v1` JSON report (offered vs achieved
-//! QPS, error counts, p50/p90/p99/p99.9 latency) that
-//! `fastbfs bench-compare` gates on, and `--max-p99-ms` turns the run
-//! itself into a pass/fail SLO check.
+//! QPS, error counts split out by deadline drops, p50/p90/p99/p99.9
+//! latency) that `fastbfs bench-compare` gates on, and `--max-p99-ms`
+//! turns the run itself into a pass/fail SLO check. HTTP 504 responses —
+//! the server's "admitted but dropped" verdict from its deadline
+//! admission layer — are counted as errors *and* reported separately as
+//! `dropped_504`, so an overload run can distinguish deliberate load
+//! shedding from transport failures.
 
 use std::time::{Duration, Instant};
 
@@ -61,6 +71,10 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
     if rate <= 0.0 || duration <= 0.0 {
         return Err("--rate and --duration must be positive".into());
     }
+    let warmup: f64 = o.num("warmup", 0.0)?;
+    if warmup < 0.0 || !warmup.is_finite() {
+        return Err("--warmup must be a non-negative number of seconds".into());
+    }
     let arrival = o.get("arrival").unwrap_or("poisson").to_string();
     if arrival != "poisson" && arrival != "uniform" {
         return Err(format!("unknown --arrival {arrival:?} (poisson|uniform)"));
@@ -87,11 +101,19 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
         return Err("server graph has no vertices".into());
     }
 
-    let schedule = build_schedule(rate, duration, &arrival, &endpoint, vertices, seed);
+    // One schedule spans warmup + measurement so the arrival process is
+    // continuous across the boundary — the server never sees a rate step.
+    let schedule = build_schedule(rate, warmup + duration, &arrival, &endpoint, vertices, seed);
+    let warmup_d = Duration::from_secs_f64(warmup);
+    let scheduled = schedule.iter().filter(|a| a.offset >= warmup_d).count() as u64;
     println!(
-        "loadgen: {} requests to {url}{} over {duration}s ({arrival} arrivals, offered {rate} QPS, {connections} connections)",
-        schedule.len(),
+        "loadgen: {scheduled} requests to {url}{} over {duration}s{} ({arrival} arrivals, offered {rate} QPS, {connections} connections)",
         if endpoint == "path" { " /path" } else { " /query" },
+        if warmup > 0.0 {
+            format!(" after {warmup}s warmup")
+        } else {
+            String::new()
+        },
     );
 
     // Stripe round-robin: per-worker offsets stay monotonic, so each
@@ -101,28 +123,40 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
         lanes[i % connections].push(a);
     }
 
-    let scheduled = schedule.len() as u64;
     let start = Instant::now();
-    let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|scope| {
+    let results: Vec<(Vec<u64>, u64, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = lanes
             .iter()
             .map(|lane| {
                 let host = host.as_str();
-                scope.spawn(move || run_lane(host, lane, start))
+                scope.spawn(move || run_lane(host, lane, start, warmup_d))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    let elapsed_s = start.elapsed().as_secs_f64();
+    // Achieved QPS describes the measured window only: wall-clock from
+    // the warmup boundary (the first measured arrival) to the last
+    // response.
+    let elapsed_s = (start.elapsed().as_secs_f64() - warmup).max(0.0);
 
     let mut latencies: Vec<u64> = Vec::with_capacity(schedule.len());
     let mut errors = 0u64;
-    for (lat, errs) in results {
+    let mut dropped_504 = 0u64;
+    for (lat, errs, dropped) in results {
         latencies.extend(lat);
         errors += errs;
+        dropped_504 += dropped;
     }
     latencies.sort_unstable();
     let completed = latencies.len() as u64;
+
+    // Best-effort: the session-pool size ties the report to the server
+    // configuration it measured. Absent on pre-pool servers.
+    let server_sessions = http::get(&host, "/snapshot", REQUEST_TIMEOUT)
+        .ok()
+        .filter(|r| r.ok())
+        .and_then(|r| serde_json::parse(&r.body).ok())
+        .and_then(|v| v.get("sessions").and_then(|n| n.as_u64()));
 
     let mut report = LoadReport {
         schema: LOAD_SCHEMA.into(),
@@ -143,12 +177,19 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
         latency: LatencySummary::from_sorted_ns(&latencies),
         git_rev: None,
         rustc: None,
+        warmup_s: Some(warmup),
+        dropped_504: Some(dropped_504),
+        server_sessions,
     };
     report.capture_environment();
 
     println!(
-        "loadgen: {completed}/{scheduled} ok, {errors} errors, achieved {:.1}/{rate} QPS in {elapsed_s:.2}s",
+        "loadgen: {completed}/{scheduled} ok, {errors} errors ({dropped_504} deadline-dropped 504s), achieved {:.1}/{rate} QPS in {elapsed_s:.2}s{}",
         report.achieved_qps,
+        match server_sessions {
+            Some(n) => format!(" against {n} server sessions"),
+            None => String::new(),
+        },
     );
     if let Some(l) = &report.latency {
         println!(
@@ -224,27 +265,47 @@ fn build_schedule(
 
 /// One worker: fire each request at its scheduled time (immediately when
 /// behind — the backlog is *charged to the latency*, never skipped) and
-/// measure completion against the schedule.
-fn run_lane(host: &str, lane: &[&Arrival], start: Instant) -> (Vec<u64>, u64) {
+/// measure completion against the schedule. Returns
+/// `(latencies_ns, errors, dropped_504)`; requests scheduled inside the
+/// warmup window are sent but contribute to none of the three.
+fn run_lane(
+    host: &str,
+    lane: &[&Arrival],
+    start: Instant,
+    warmup: Duration,
+) -> (Vec<u64>, u64, u64) {
     let mut latencies = Vec::with_capacity(lane.len());
     let mut errors = 0u64;
+    let mut dropped_504 = 0u64;
     for a in lane {
         let target = start + a.offset;
         let now = Instant::now();
         if target > now {
             std::thread::sleep(target - now);
         }
-        let ok = matches!(http::get(host, &a.path, REQUEST_TIMEOUT), Ok(r) if r.ok());
-        if ok {
-            // Coordinated-omission-safe: latency from the scheduled
-            // arrival, not from when the send actually happened.
-            let since_target = (start + a.offset).elapsed();
-            latencies.push(u64::try_from(since_target.as_nanos()).unwrap_or(u64::MAX));
-        } else {
-            errors += 1;
+        let resp = http::get(host, &a.path, REQUEST_TIMEOUT);
+        if a.offset < warmup {
+            continue;
+        }
+        match resp {
+            Ok(r) if r.ok() => {
+                // Coordinated-omission-safe: latency from the scheduled
+                // arrival, not from when the send actually happened.
+                let since_target = (start + a.offset).elapsed();
+                latencies.push(u64::try_from(since_target.as_nanos()).unwrap_or(u64::MAX));
+            }
+            Ok(r) => {
+                errors += 1;
+                // 504 is the server's deadline admission layer speaking:
+                // admitted, queued past its budget, dropped unexecuted.
+                if r.status == 504 {
+                    dropped_504 += 1;
+                }
+            }
+            Err(_) => errors += 1,
         }
     }
-    (latencies, errors)
+    (latencies, errors, dropped_504)
 }
 
 #[cfg(test)]
@@ -284,5 +345,23 @@ mod tests {
         assert!(loadgen(&args(&["--arrival", "bursty"])).is_err());
         assert!(loadgen(&args(&["--endpoint", "teleport"])).is_err());
         assert!(loadgen(&args(&["http://a", "http://b"])).is_err());
+        assert!(loadgen(&args(&["--warmup", "-1"])).is_err());
+        assert!(loadgen(&args(&["--warmup", "soon"])).is_err());
+    }
+
+    /// The warmup boundary partitions one continuous schedule: measured
+    /// requests are exactly those at or past the boundary, and a uniform
+    /// schedule yields the expected measured count.
+    #[test]
+    fn warmup_boundary_partitions_the_schedule() {
+        let warmup = Duration::from_secs(1);
+        let s = build_schedule(100.0, 1.0 + 2.0, "uniform", "query", 64, 9);
+        assert_eq!(s.len(), 300);
+        let measured = s.iter().filter(|a| a.offset >= warmup).count();
+        assert_eq!(measured, 200);
+        // The boundary is a partition, not a filter with gaps: every
+        // arrival is on exactly one side.
+        let warm = s.iter().filter(|a| a.offset < warmup).count();
+        assert_eq!(warm + measured, s.len());
     }
 }

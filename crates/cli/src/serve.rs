@@ -1,5 +1,6 @@
-//! `fastbfs serve`: an instrumented BFS query server over one warm
-//! session, with an SLO-proving observability layer.
+//! `fastbfs serve`: an instrumented BFS query server over a pool of
+//! parked warm sessions, with batch-coalescing admission and
+//! per-request deadlines.
 //!
 //! Architecture — three kinds of threads over plain `std::net` (no async
 //! runtime, one request per connection, `Connection: close`):
@@ -7,22 +8,35 @@
 //! * **HTTP workers** (`--http-threads`) share the listener. They parse
 //!   and *validate* requests (`QueryKind::validate`), so a malformed or
 //!   out-of-range request costs an HTTP 400/422 before it ever touches
-//!   the admission queue, then block awaiting their response.
-//! * **The admission queue** is a bounded channel (`--queue-cap`).
-//!   `try_send` sheds load: a full queue answers 503 immediately instead
-//!   of building an unbounded backlog in front of the engine.
-//! * **The dispatch thread** (the main thread) owns the [`BfsSession`]
-//!   and is the only writer of the serve-lifecycle metrics — queries stay
-//!   serialized (`&mut self`), which is exactly the discipline that keeps
-//!   the warm-session reset protocol and the metrics registry free of
-//!   synchronization. The engine's parked SPMD pool does the actual
-//!   traversal work.
+//!   the admission queue; they stamp each query with its deadline (the
+//!   client's `Deadline-Ms` header, falling back to the server-wide
+//!   `--deadline-ms` budget), enqueue, and block awaiting the reply.
+//!   Each worker owns one serialization buffer that rides along inside
+//!   the job and comes back with the reply, so steady-state response
+//!   writing reuses the same allocation across requests.
+//! * **The admission queue** is one mutex-guarded `VecDeque` bounded by
+//!   `--queue-cap`; a full (or stopping) queue sheds load with an
+//!   immediate 503. Queue depth and in-flight counts live under the
+//!   same lock and are sampled together at scrape time, so the two
+//!   gauges can never over-count a request mid-handoff.
+//! * **Session dispatchers** (`--sessions`, default `min(4, cores/8)`)
+//!   each own one warm [`BfsSession`] and are each the single writer of
+//!   their own registry — queries on a session stay serialized
+//!   (`&mut self`), preserving the warm-reset protocol and the
+//!   synchronization-free metrics slots. A dispatcher that frees up
+//!   pops a *wave*: a head single-source reach query coalesces with the
+//!   consecutive reach queries queued behind it (up to [`MAX_WAVE`])
+//!   into one `run_batch`-equivalent dispatch via
+//!   [`query::execute_wave`], and the per-request results fan back to
+//!   the individual waiters. Requests whose deadline passed while they
+//!   waited are answered 504 at pop time without ever executing.
 //!
 //! Every admitted request carries a lifecycle span: request id plus
-//! parse, queue-wait, execute, and serialize segments. The first three
-//! are echoed in the response JSON; all four accumulate into the
-//! registry's `serve_*` counters and the queue/request-latency
-//! histograms, so `/metrics` proves the latency budget.
+//! parse, queue-wait, and execute segments, the session that ran it and
+//! the size of the wave it rode in. Spans are echoed in the response
+//! JSON and accumulate into the per-session registries; `/metrics`
+//! merges those registries into one fleet-wide exposition
+//! ([`MetricsSnapshot::merge`]) plus per-session busy/served series.
 //!
 //! Endpoints:
 //!
@@ -32,22 +46,28 @@
 //! * `POST /query` (`{"sources":[...]}`) — batched multi-source BFS;
 //! * `GET /graph`    — vertex/edge counts (load generators size their
 //!   source range from this);
-//! * `GET /metrics`  — Prometheus 0.0.4 exposition: registry counters
-//!   and histograms, plus live `fastbfs_queue_depth`/`fastbfs_in_flight`
+//! * `GET /metrics`  — Prometheus 0.0.4 exposition: merged registry
+//!   counters and histograms, `fastbfs_sessions`, per-session
+//!   busy/served series, live `fastbfs_queue_depth`/`fastbfs_in_flight`
 //!   gauges, `fastbfs_uptime_seconds`, and `fastbfs_build_info`;
 //! * `GET /healthz`  — liveness probe, plain `ok`;
-//! * `GET /snapshot` — registry snapshot as JSON with structured
-//!   hardware-counter availability;
-//! * `GET /quitquitquit` — graceful shutdown.
+//! * `GET /snapshot` — merged registry snapshot as JSON with structured
+//!   hardware-counter availability and per-session request counts;
+//! * `GET /quitquitquit` — graceful shutdown (drains admitted jobs).
 //!
-//! Errors are JSON (`{"error": "..."}`): 400 malformed, 422 valid syntax
-//! but impossible vertices, 405 wrong method, 503 queue full, 504
-//! dispatch timeout. Unknown paths stay plain-text 404.
+//! Error taxonomy (DESIGN.md §14): 400 malformed, 422 valid syntax but
+//! impossible vertices, 405 wrong method; **503** means *shed before
+//! queueing* (queue full, or shutting down) — retry elsewhere/later;
+//! **504** means *admitted but not executed in time* (deadline expired
+//! while queued, or the dispatch timeout fired) — the work was never
+//! (deadline) or only partially (timeout) worth doing. Unknown paths
+//! stay plain-text 404.
 
+use std::collections::VecDeque;
+use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use bfs_core::engine::{BfsOptions, BfsOutput};
@@ -62,60 +82,122 @@ use crate::cmd;
 use crate::http::{self, Request, RequestError};
 use crate::opts::Opts;
 
-/// How long an HTTP worker waits for the dispatch thread before giving
-/// up with a 504. Generous: a cold huge-graph query plus a deep queue can
+/// How long an HTTP worker waits for a dispatcher before giving up with
+/// a 504. Generous: a cold huge-graph query plus a deep queue can
 /// legitimately take seconds.
 const DISPATCH_TIMEOUT: Duration = Duration::from_secs(60);
-/// Minimum interval between scrape-document re-renders; bounds the
-/// per-query overhead of serving `/metrics` under load.
-const REFRESH_INTERVAL: Duration = Duration::from_millis(50);
+/// Minimum interval between a busy dispatcher's snapshot publishes;
+/// bounds the per-wave metrics overhead under load. An idle queue always
+/// publishes before replying (see [`serve_wave`]).
+const PUBLISH_INTERVAL: Duration = Duration::from_millis(50);
+/// Most queued single-source reach queries one wave coalesces. Bounds
+/// how long the wave's first waiter can be delayed behind its peers and
+/// how stale the published metrics can get mid-wave.
+const MAX_WAVE: usize = 16;
 
-/// Scrape documents, re-rendered by the dispatch thread.
-struct Docs {
-    prom: String,
-    snapshot_json: String,
+/// The admission queue and its occupancy accounting. One lock holds all
+/// three so scrapes read a consistent picture: a request is *either*
+/// queued *or* in flight, never both, and the transition happens under
+/// this lock.
+struct Admission {
+    queue: VecDeque<Job>,
+    /// Jobs popped by a dispatcher and not yet answered.
+    in_flight: u64,
+    /// Mirrors `ServerState::stop` so dispatchers blocked on the condvar
+    /// observe shutdown without racing the atomic.
+    stop: bool,
 }
 
-/// State shared between the HTTP workers and the dispatch thread.
+/// Per-session state shared with the scrape path. The dispatcher owns
+/// the registry; scrapes read the last *published* snapshot.
+struct SessionShared {
+    /// Last published registry snapshot (merged fleet-wide at scrape).
+    snapshot: Mutex<MetricsSnapshot>,
+    /// Traversals run, as of the last publish.
+    traversals: AtomicU64,
+    /// 1 while warming up or executing a wave, 0 while parked.
+    busy: AtomicU64,
+    /// Requests this session answered (executed or deadline-dropped).
+    served: AtomicU64,
+}
+
+/// State shared between the HTTP workers and the session dispatchers.
 struct ServerState {
     stop: AtomicBool,
-    /// Jobs admitted but not yet picked up by dispatch.
-    queue_depth: AtomicU64,
-    /// Jobs executing right now (0 or 1: one dispatch thread).
-    in_flight: AtomicU64,
-    /// Requests answered 4xx/5xx by the workers; the dispatch thread
-    /// drains this into `Counter::ServeErrors` (single-writer rule).
+    admission: Mutex<Admission>,
+    /// Signals dispatchers that the queue gained a job (or stop was set).
+    available: Condvar,
+    queue_cap: usize,
+    /// Server-wide deadline budget; `Deadline-Ms` overrides per request.
+    default_deadline_ms: Option<u64>,
+    /// Requests answered 4xx/5xx by the workers; dispatchers drain this
+    /// into `Counter::ServeErrors` (single-writer rule).
     http_errors: AtomicU64,
     next_id: AtomicU64,
     started: Instant,
-    docs: Mutex<Docs>,
+    sessions: Vec<SessionShared>,
     /// Static `/graph` body.
     graph_json: String,
+    /// Legacy combined hw string (`"available"` / `"unavailable: ..."`).
+    hw: String,
+    hw_kind: Option<String>,
+    hw_reason: Option<String>,
     local: std::net::SocketAddr,
     version: &'static str,
     git_rev: Option<String>,
     rustc: Option<String>,
 }
 
-/// One admitted query, owned by the dispatch thread from dequeue on.
+/// One admitted query, owned by a dispatcher from dequeue on.
 struct Job {
     id: u64,
     kind: QueryKind,
     arrival: Instant,
     parse_ns: u64,
     enqueued: Instant,
-    resp: mpsc::Sender<String>,
+    /// Answer-by instant; `None` means no budget. Checked when a
+    /// dispatcher pops the job: expired jobs get a 504 and never run.
+    deadline: Option<Instant>,
+    /// The worker's serialization buffer; the response body is rendered
+    /// into it and it travels back via the reply.
+    buf: Vec<u8>,
+    resp: mpsc::Sender<Reply>,
+}
+
+/// A dispatcher's answer to one request.
+struct Reply {
+    status: &'static str,
+    body: Vec<u8>,
+}
+
+/// Lifecycle span echoed in each response (nanoseconds, plus wave
+/// placement). The serialize segment is measured around rendering this
+/// very document, so it lands only in the registry counters, not here.
+struct Span {
+    parse_ns: u64,
+    queue_ns: u64,
+    /// 0 for deadline-dropped requests: no execute phase ever ran.
+    execute_ns: u64,
+    /// Which session answered.
+    session: usize,
+    /// Executed queries in the wave this request rode in; 0 for
+    /// deadline-dropped requests (they were never part of one).
+    wave: usize,
 }
 
 /// `/snapshot` document. Owns its fields: the vendored serde derive has
-/// no lifetime-parameter support, and the doc is rebuilt per refresh.
+/// no lifetime-parameter support, and the doc is rebuilt per scrape.
 #[derive(Serialize)]
 struct SnapshotDoc {
-    /// Traversals the session has run (warmup + served queries).
+    /// Traversals across all sessions (warmup + served queries).
     queries: u64,
     uptime_s: f64,
     queue_depth: u64,
     in_flight: u64,
+    /// Size of the session pool.
+    sessions: u64,
+    /// Per-session requests answered, indexed by session id.
+    session_requests: Vec<u64>,
     /// Legacy combined string (`"available"` / `"unavailable: ..."`),
     /// kept for pre-PR6 consumers.
     hw: String,
@@ -130,58 +212,9 @@ struct SnapshotDoc {
     metrics: MetricsSnapshot,
 }
 
-/// Spans echoed in each response (nanoseconds). The serialize span is
-/// measured around building this very document, so it lands only in the
-/// registry counters, not here.
-#[derive(Serialize)]
-struct SpanDoc {
-    parse_ns: u64,
-    queue_ns: u64,
-    execute_ns: u64,
-}
-
-#[derive(Serialize)]
-struct VertexDoc {
-    vertex: u32,
-    depth: Option<u32>,
-    parent: Option<u32>,
-}
-
-#[derive(Serialize)]
-struct ReachRowDoc {
-    src: u32,
-    depth: u32,
-    visited_vertices: u64,
-    traversed_edges: u64,
-    dst: Option<VertexDoc>,
-}
-
-#[derive(Serialize)]
-struct ReachDoc {
-    id: u64,
-    src: u32,
-    depth: u32,
-    visited_vertices: u64,
-    traversed_edges: u64,
-    dst: Option<VertexDoc>,
-    spans: SpanDoc,
-}
-
-#[derive(Serialize)]
-struct PathDoc {
-    id: u64,
-    src: u32,
-    dst: u32,
-    reached: bool,
-    path: Vec<u32>,
-    spans: SpanDoc,
-}
-
-#[derive(Serialize)]
-struct BatchDoc {
-    id: u64,
-    results: Vec<ReachRowDoc>,
-    spans: SpanDoc,
+/// Poison-tolerant lock: a panicked holder must not wedge the server.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// `fastbfs serve`
@@ -194,16 +227,35 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     };
     let sockets: usize = o.num("sockets", 1)?;
     let threads: usize = o.num("threads", bfs_platform::pin::host_cores())?;
-    let topo = Topology::synthetic(sockets, threads.div_ceil(sockets).max(1));
-    // Warmup traversals before serving (round-robin over random roots):
-    // primes the session's high-water buffers so the first real request
-    // sees warm-path latency.
+    // Session pool: each session gets its own parked SPMD pool carved
+    // out of the thread budget. The default keeps the pool small enough
+    // that sessions don't fight for lanes.
+    let default_sessions = (bfs_platform::pin::host_cores() / 8).clamp(1, 4);
+    let num_sessions: usize = o.num("sessions", default_sessions)?.max(1);
+    let per_session = (threads / num_sessions).max(1);
+    let topo = Topology::synthetic(sockets, per_session.div_ceil(sockets).max(1));
+    let default_deadline_ms: Option<u64> = match o.get("deadline-ms") {
+        Some(_) => Some(o.num("deadline-ms", 0u64)?),
+        None => None,
+    };
+    // Warmup traversals before serving (round-robin over random roots,
+    // striped across the session pool): primes every session's
+    // high-water buffers so the first real request sees warm-path
+    // latency.
     let warmup: u64 = o.num("queries", 0u64)?;
     let count: usize = o.num("sources", 16)?;
     let seed: u64 = o.num("seed", 42)?;
     // Warmup roots in external ids, drawn before any relabeling — the
     // endpoints (and therefore the warmup) speak the file's id space.
     let warmup_roots = random_roots(&loaded, count, seed);
+    if warmup > 0 && warmup_roots.is_empty() {
+        return Err("graph has no edges".into());
+    }
+    let mut warmup_slices: Vec<Vec<u32>> = vec![Vec::new(); num_sessions];
+    for q in 0..warmup {
+        let root = warmup_roots[(q % warmup_roots.len() as u64) as usize];
+        warmup_slices[(q as usize) % num_sessions].push(root);
+    }
     let g = cmd::prepare_graph(loaded, &o, false).0;
     let addr = o.get("metrics-addr").unwrap_or("127.0.0.1:9464");
     let http_threads: usize = o.num("http-threads", 4)?.max(1);
@@ -213,12 +265,18 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         hw_counters: true,
         ..cmd::engine_options(&o)?
     };
-    let mut session = BfsSession::new(&g, topo, opts);
-    if let Some(reason) = session.engine().hugepage_status().unavailable_reason() {
+    let mut sessions: Vec<BfsSession> = (0..num_sessions)
+        .map(|_| BfsSession::new(&g, topo, opts))
+        .collect();
+    if let Some(reason) = sessions[0].engine().hugepage_status().unavailable_reason() {
         println!("hugepages: traversal arenas on plain pages ({reason})");
     }
-    let hw_reason = session.engine().hw_status().unavailable_reason().cloned();
-    let hw = match &hw_reason {
+    let hw_status = sessions[0]
+        .engine()
+        .hw_status()
+        .unavailable_reason()
+        .cloned();
+    let hw = match &hw_status {
         Some(r) => format!("unavailable: {r}"),
         None => "available".to_string(),
     };
@@ -231,8 +289,13 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         "serving http://{local}/query (also /path /graph /metrics /healthz /snapshot /quitquitquit)"
     );
     println!(
-        "session: {} sockets x {} lanes, queue cap {queue_cap}, {http_threads} http threads, hw counters {hw}",
-        topo.sockets, topo.lanes_per_socket,
+        "pool: {num_sessions} sessions x ({} sockets x {} lanes), queue cap {queue_cap}, {http_threads} http threads, deadline {}, hw counters {hw}",
+        topo.sockets,
+        topo.lanes_per_socket,
+        match default_deadline_ms {
+            Some(ms) => format!("{ms}ms"),
+            None => "none".into(),
+        },
     );
     // Port 0 binds an ephemeral port; the written address is the one that
     // actually resolved.
@@ -240,66 +303,74 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         std::fs::write(path, local.to_string()).map_err(|e| format!("write {path}: {e}"))?;
     }
 
-    let state = Arc::new(ServerState {
+    // Publish each session's (all-zero) registry before accepting: the
+    // first scrape merges real snapshots, never an empty body.
+    let shared: Vec<SessionShared> = sessions
+        .iter_mut()
+        .map(|s| SessionShared {
+            snapshot: Mutex::new(s.metrics_snapshot()),
+            traversals: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+        })
+        .collect();
+    let state = ServerState {
         stop: AtomicBool::new(false),
-        queue_depth: AtomicU64::new(0),
-        in_flight: AtomicU64::new(0),
+        admission: Mutex::new(Admission {
+            queue: VecDeque::new(),
+            in_flight: 0,
+            stop: false,
+        }),
+        available: Condvar::new(),
+        queue_cap,
+        default_deadline_ms,
         http_errors: AtomicU64::new(0),
         next_id: AtomicU64::new(0),
         started: Instant::now(),
-        docs: Mutex::new(Docs {
-            prom: String::new(),
-            snapshot_json: String::new(),
-        }),
+        sessions: shared,
         graph_json: format!(
             "{{\"vertices\":{},\"edges\":{}}}",
             g.num_vertices(),
             g.num_edges()
         ),
+        hw,
+        hw_kind: hw_status.as_ref().map(|r| r.kind().to_string()),
+        hw_reason: hw_status.as_ref().map(|r| r.to_string()),
         local,
         version: env!("CARGO_PKG_VERSION"),
         git_rev: bfs_bench::report::git_revision(),
         rustc: bfs_bench::report::rustc_version(),
-    });
+    };
 
-    // Render once before accepting: the first scrape sees a real
-    // (all-zero) registry, never an empty body.
-    refresh(&mut session, &hw, &hw_reason, &state)?;
-
-    let (tx, rx) = mpsc::sync_channel::<Job>(queue_cap);
     let num_vertices = g.num_vertices();
     std::thread::scope(|scope| -> Result<(), String> {
+        let state = &state;
+        let listener = &listener;
         for _ in 0..http_threads {
-            let state = Arc::clone(&state);
-            let tx = tx.clone();
-            let listener = &listener;
-            scope.spawn(move || http_worker(listener, &state, &tx, num_vertices));
-        }
-        drop(tx); // dispatch's rx sees Disconnected once every worker exits
-
-        if warmup > 0 {
-            let roots = warmup_roots;
-            if roots.is_empty() {
-                state.stop.store(true, Ordering::Relaxed);
-                wake_workers(&state, http_threads);
-                return Err("graph has no edges".into());
-            }
-            let mut out = BfsOutput::default();
-            for q in 0..warmup {
-                session.run_reusing(roots[(q % roots.len() as u64) as usize], &mut out);
-                if q % 16 == 15 {
-                    refresh(&mut session, &hw, &hw_reason, &state)?;
-                }
-            }
-            refresh(&mut session, &hw, &hw_reason, &state)?;
-            println!("{warmup} warmup queries done; serving");
+            scope.spawn(move || http_worker(listener, state, num_vertices));
         }
 
-        let served = dispatch_loop(&mut session, &rx, &state, &hw, &hw_reason)?;
-        wake_workers(&state, http_threads);
+        // Sessions 1.. dispatch on spawned threads; session 0 on this one.
+        let mut session0 = sessions.remove(0);
+        let handles: Vec<_> = sessions
+            .into_iter()
+            .enumerate()
+            .map(|(j, mut s)| {
+                let idx = j + 1;
+                let slice = std::mem::take(&mut warmup_slices[idx]);
+                scope.spawn(move || run_session(idx, &mut s, state, &slice))
+            })
+            .collect();
+        let slice0 = std::mem::take(&mut warmup_slices[0]);
+        let (mut served, mut traversals) = run_session(0, &mut session0, state, &slice0);
+        for h in handles {
+            let (s, t) = h.join().map_err(|_| "session dispatcher panicked")?;
+            served += s;
+            traversals += t;
+        }
+        wake_workers(state, http_threads);
         println!(
-            "shutdown after {served} served requests, {} traversals",
-            session.runs()
+            "shutdown after {served} served requests across {num_sessions} sessions, {traversals} traversals"
         );
         Ok(())
     })
@@ -312,196 +383,380 @@ fn wake_workers(state: &ServerState, n: usize) {
     }
 }
 
-/// The dispatch thread's main loop: executes admitted jobs against the
-/// session, records the lifecycle spans, and re-renders the scrape
-/// documents at a bounded rate. Returns the number of requests served.
-fn dispatch_loop(
+/// One session dispatcher: warms its slice of the warmup roots, then
+/// pops coalesced waves off the admission queue until shutdown. Returns
+/// `(requests answered, traversals run)`.
+fn run_session(
+    idx: usize,
     session: &mut BfsSession<'_>,
-    rx: &Receiver<Job>,
     state: &ServerState,
-    hw: &str,
-    hw_reason: &Option<bfs_perf::PerfUnavailable>,
-) -> Result<u64, String> {
+    warmup_roots: &[u32],
+) -> (u64, u64) {
+    let shared = &state.sessions[idx];
     let mut out = BfsOutput::default();
+    if !warmup_roots.is_empty() {
+        shared.busy.store(1, Ordering::Relaxed);
+        for (q, &root) in warmup_roots.iter().enumerate() {
+            session.run_reusing(root, &mut out);
+            if q % 16 == 15 {
+                publish(idx, session, state);
+            }
+        }
+        shared.busy.store(0, Ordering::Relaxed);
+        if idx == 0 {
+            println!("warmup done; serving");
+        }
+    }
+    publish(idx, session, state);
+
     let mut served = 0u64;
-    let mut last_refresh = Instant::now();
+    let mut last_publish = Instant::now();
+    let mut wave: Vec<Job> = Vec::new();
     loop {
-        if state.stop.load(Ordering::Relaxed) {
-            // Serve whatever was already admitted, then exit.
-            while let Ok(job) = rx.try_recv() {
-                let (resp, body) = serve_job(session, job, &mut out, state);
-                let _ = resp.send(body);
-                served += 1;
-            }
-            refresh(session, hw, hw_reason, state)?;
-            return Ok(served);
-        }
-        match rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(job) => {
-                let (resp, body) = serve_job(session, job, &mut out, state);
-                // Refresh *before* replying when the queue is idle (or the
-                // rate limit allows): a client that has its response is
-                // guaranteed the next scrape already includes its request.
-                // Under sustained load the interval bounds the overhead.
-                if state.queue_depth.load(Ordering::Relaxed) == 0
-                    || last_refresh.elapsed() >= REFRESH_INTERVAL
-                {
-                    refresh(session, hw, hw_reason, state)?;
-                    last_refresh = Instant::now();
+        {
+            let mut adm = lock(&state.admission);
+            loop {
+                if let Some(head) = adm.queue.pop_front() {
+                    // Coalesce: a reach head absorbs the consecutive
+                    // reach queries queued behind it. Path/batch jobs
+                    // dispatch alone (their latency profile differs).
+                    let coalesce = matches!(head.kind, QueryKind::Reach { .. });
+                    wave.push(head);
+                    while coalesce
+                        && wave.len() < MAX_WAVE
+                        && matches!(
+                            adm.queue.front().map(|j| &j.kind),
+                            Some(QueryKind::Reach { .. })
+                        )
+                    {
+                        let next = adm.queue.pop_front().expect("front was Some");
+                        wave.push(next);
+                    }
+                    adm.in_flight += wave.len() as u64;
+                    break;
                 }
-                let _ = resp.send(body);
-                served += 1;
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if last_refresh.elapsed() >= REFRESH_INTERVAL {
-                    refresh(session, hw, hw_reason, state)?;
-                    last_refresh = Instant::now();
+                if adm.stop {
+                    drop(adm);
+                    publish(idx, session, state);
+                    return (served, session.runs());
                 }
-            }
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                refresh(session, hw, hw_reason, state)?;
-                return Ok(served);
+                adm = state
+                    .available
+                    .wait_timeout(adm, Duration::from_millis(100))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
             }
         }
+        shared.busy.store(1, Ordering::Relaxed);
+        served += serve_wave(idx, session, &mut wave, &mut out, state, &mut last_publish);
+        shared.busy.store(0, Ordering::Relaxed);
     }
 }
 
-/// Executes one job and records its full lifecycle span; returns the
-/// reply channel and body (the caller sends, possibly after a refresh).
-fn serve_job(
+/// Serves one popped wave: triages deadlines, executes the survivors as
+/// one batch-equivalent dispatch, records every lifecycle span, and
+/// fans the replies back. Returns the number of requests answered.
+fn serve_wave(
+    idx: usize,
     session: &mut BfsSession<'_>,
-    job: Job,
+    wave: &mut Vec<Job>,
     out: &mut BfsOutput,
     state: &ServerState,
-) -> (mpsc::Sender<String>, String) {
-    state.queue_depth.fetch_sub(1, Ordering::Relaxed);
-    state.in_flight.store(1, Ordering::Relaxed);
-    let queue_ns = elapsed_ns(job.enqueued);
+    last_publish: &mut Instant,
+) -> u64 {
+    // Deadline triage at pop time: a request whose budget lapsed while
+    // it waited is answered 504 and never reaches the engine.
+    let popped = Instant::now();
+    let mut dropped: Vec<(Job, u64)> = Vec::new();
+    let mut live: Vec<(Job, u64)> = Vec::new();
+    for job in wave.drain(..) {
+        let queue_ns = elapsed_ns(job.enqueued);
+        match job.deadline {
+            Some(d) if d <= popped => dropped.push((job, queue_ns)),
+            _ => live.push((job, queue_ns)),
+        }
+    }
+    let wave_size = live.len();
+    for (job, queue_ns) in dropped.iter_mut() {
+        let span = Span {
+            parse_ns: job.parse_ns,
+            queue_ns: *queue_ns,
+            execute_ns: 0,
+            session: idx,
+            wave: 0,
+        };
+        job.buf.clear();
+        let _ = write!(
+            job.buf,
+            "{{\"error\":\"deadline expired while queued; request dropped without executing\",\"id\":{},",
+            job.id
+        );
+        write_span(&mut job.buf, &span);
+        job.buf.push(b'}');
+    }
 
-    let exec_start = Instant::now();
-    let outcome = query::execute(session, &job.kind, out);
-    let execute_ns = elapsed_ns(exec_start);
+    // Execute the survivors as one wave; each result renders into its
+    // waiter's buffer as the traversal completes.
+    let kinds: Vec<QueryKind> = live.iter().map(|(j, _)| j.kind.clone()).collect();
+    let mut timings: Vec<(u64, u64, u64)> = vec![(0, 0, 0); live.len()];
+    let mut seg = Instant::now();
+    query::execute_wave(session, &kinds, out, |i, outcome| {
+        let execute_ns = elapsed_ns(seg);
+        let (job, queue_ns) = &mut live[i];
+        let ser = Instant::now();
+        let span = Span {
+            parse_ns: job.parse_ns,
+            queue_ns: *queue_ns,
+            execute_ns,
+            session: idx,
+            wave: wave_size,
+        };
+        render_outcome(&mut job.buf, job.id, &outcome, &span);
+        let serialize_ns = elapsed_ns(ser);
+        timings[i] = (execute_ns, serialize_ns, elapsed_ns(job.arrival));
+        seg = Instant::now();
+    });
 
-    let ser_start = Instant::now();
-    let spans = SpanDoc {
-        parse_ns: job.parse_ns,
-        queue_ns,
-        execute_ns,
-    };
-    let body = render_outcome(job.id, outcome, spans);
-    let serialize_ns = elapsed_ns(ser_start);
-    let total_ns = elapsed_ns(job.arrival);
-
-    // Single-writer: only this thread touches the serve counters, and
-    // worker-side error tallies arrive via the drained atomic.
+    // Single-writer metrics: only this dispatcher touches this session's
+    // registry, and worker-side error tallies arrive via the drained
+    // atomic.
     let errors = state.http_errors.swap(0, Ordering::Relaxed);
     {
         let mut d = session.metrics_mut().driver();
-        d.add(Counter::ServeRequests, 1);
         d.add(Counter::ServeErrors, errors);
-        d.add(Counter::ServeParseNs, job.parse_ns);
-        d.add(Counter::ServeQueueNs, queue_ns);
-        d.add(Counter::ServeExecNs, execute_ns);
-        d.add(Counter::ServeSerializeNs, serialize_ns);
-        d.observe(Hist::ServeQueueNs, queue_ns);
-        d.observe(Hist::ServeRequestNs, total_ns);
+        for (job, queue_ns) in &dropped {
+            d.add(Counter::ServeRequests, 1);
+            d.add(Counter::ServeDeadlineDropped, 1);
+            d.add(Counter::ServeParseNs, job.parse_ns);
+            d.add(Counter::ServeQueueNs, *queue_ns);
+            d.observe(Hist::ServeQueueNs, *queue_ns);
+        }
+        for ((job, queue_ns), (execute_ns, serialize_ns, total_ns)) in
+            live.iter().zip(timings.iter())
+        {
+            d.add(Counter::ServeRequests, 1);
+            d.add(Counter::ServeParseNs, job.parse_ns);
+            d.add(Counter::ServeQueueNs, *queue_ns);
+            d.add(Counter::ServeExecNs, *execute_ns);
+            d.add(Counter::ServeSerializeNs, *serialize_ns);
+            d.observe(Hist::ServeQueueNs, *queue_ns);
+            d.observe(Hist::ServeRequestNs, *total_ns);
+        }
+        if wave_size >= 2 {
+            d.add(Counter::ServeCoalescedWaves, 1);
+            d.add(Counter::ServeCoalescedRequests, wave_size as u64);
+        }
     }
-    state.in_flight.store(0, Ordering::Relaxed);
-    (job.resp, body)
+
+    let answered = (dropped.len() + live.len()) as u64;
+    let idle = {
+        let mut adm = lock(&state.admission);
+        adm.in_flight -= answered;
+        adm.queue.is_empty()
+    };
+    // Publish *before* replying when the queue is idle (or the rate
+    // limit allows): a client that has its response is guaranteed the
+    // next scrape already includes its request. Under sustained load the
+    // interval bounds the overhead and staleness is capped by MAX_WAVE.
+    if idle || last_publish.elapsed() >= PUBLISH_INTERVAL {
+        publish(idx, session, state);
+        *last_publish = Instant::now();
+    }
+    let shared = &state.sessions[idx];
+    for (job, _) in dropped {
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        let _ = job.resp.send(Reply {
+            status: "504 Gateway Timeout",
+            body: job.buf,
+        });
+    }
+    for (job, _) in live {
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        let _ = job.resp.send(Reply {
+            status: "200 OK",
+            body: job.buf,
+        });
+    }
+    answered
 }
 
 fn elapsed_ns(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
-fn render_outcome(id: u64, outcome: QueryOutcome, spans: SpanDoc) -> String {
-    let vertex_doc = |v: query::VertexInfo| VertexDoc {
-        vertex: v.vertex,
-        depth: v.depth,
-        parent: v.parent,
-    };
-    let row_doc = |r: query::ReachResult| ReachRowDoc {
-        src: r.src,
-        depth: r.depth,
-        visited_vertices: r.visited_vertices,
-        traversed_edges: r.traversed_edges,
-        dst: r.dst.map(vertex_doc),
-    };
-    let rendered = match outcome {
-        QueryOutcome::Reach(r) => serde_json::to_string(&ReachDoc {
-            id,
-            src: r.src,
-            depth: r.depth,
-            visited_vertices: r.visited_vertices,
-            traversed_edges: r.traversed_edges,
-            dst: r.dst.map(vertex_doc),
-            spans,
-        }),
-        QueryOutcome::Path(p) => serde_json::to_string(&PathDoc {
-            id,
-            src: p.src,
-            dst: p.dst,
-            reached: p.reached(),
-            path: p.path,
-            spans,
-        }),
-        QueryOutcome::Batch(rows) => serde_json::to_string(&BatchDoc {
-            id,
-            results: rows.into_iter().map(row_doc).collect(),
-            spans,
-        }),
-    };
-    rendered.unwrap_or_else(|e| format!("{{\"error\":\"serialize: {e}\"}}"))
-}
-
-/// Re-renders the two scrape documents from a fresh registry snapshot.
-fn refresh(
-    session: &mut BfsSession<'_>,
-    hw: &str,
-    hw_reason: &Option<bfs_perf::PerfUnavailable>,
-    state: &ServerState,
-) -> Result<(), String> {
+/// Publishes the session's registry snapshot for the scrape path.
+fn publish(idx: usize, session: &mut BfsSession<'_>, state: &ServerState) {
+    let shared = &state.sessions[idx];
     let snap = session.metrics_snapshot();
-    let prom_text = prom::render(&snap);
-    let doc = SnapshotDoc {
-        queries: session.runs(),
-        uptime_s: state.started.elapsed().as_secs_f64(),
-        queue_depth: state.queue_depth.load(Ordering::Relaxed),
-        in_flight: state.in_flight.load(Ordering::Relaxed),
-        hw: hw.to_string(),
-        hw_available: hw_reason.is_none(),
-        hw_kind: hw_reason.as_ref().map(|r| r.kind().to_string()),
-        hw_reason: hw_reason.as_ref().map(|r| r.to_string()),
-        metrics: snap,
-    };
-    let json = serde_json::to_string(&doc).map_err(|e| format!("snapshot to JSON: {e}"))?;
-    let mut docs = state.docs.lock().map_err(|_| "docs lock poisoned")?;
-    docs.prom = prom_text;
-    docs.snapshot_json = json;
-    Ok(())
+    shared.traversals.store(session.runs(), Ordering::Relaxed);
+    *lock(&shared.snapshot) = snap;
 }
 
-/// The `/metrics` body: the dispatch thread's rendered exposition plus
-/// the live gauges and build-info series, appended at scrape time.
+// ---- response rendering -------------------------------------------------
+//
+// Responses are rendered by hand into the job's reusable buffer: every
+// field is numeric or a fixed literal, so this stays byte-deterministic
+// and the steady-state serve loop performs no per-response allocation
+// once buffers reach their high-water capacity (the vendored
+// serde_json builds an intermediate String per call, which is fine for
+// scrape documents but not for the hot path).
+
+fn write_span(buf: &mut Vec<u8>, s: &Span) {
+    let _ = write!(
+        buf,
+        "\"spans\":{{\"parse_ns\":{},\"queue_ns\":{},\"execute_ns\":{},\"session\":{},\"wave\":{}}}",
+        s.parse_ns, s.queue_ns, s.execute_ns, s.session, s.wave
+    );
+}
+
+fn write_u32_opt(buf: &mut Vec<u8>, v: Option<u32>) {
+    match v {
+        Some(x) => {
+            let _ = write!(buf, "{x}");
+        }
+        None => buf.extend_from_slice(b"null"),
+    }
+}
+
+fn write_reach_fields(buf: &mut Vec<u8>, r: &query::ReachResult) {
+    let _ = write!(
+        buf,
+        "\"src\":{},\"depth\":{},\"visited_vertices\":{},\"traversed_edges\":{},\"dst\":",
+        r.src, r.depth, r.visited_vertices, r.traversed_edges
+    );
+    match &r.dst {
+        Some(v) => {
+            let _ = write!(buf, "{{\"vertex\":{},\"depth\":", v.vertex);
+            write_u32_opt(buf, v.depth);
+            buf.extend_from_slice(b",\"parent\":");
+            write_u32_opt(buf, v.parent);
+            buf.push(b'}');
+        }
+        None => buf.extend_from_slice(b"null"),
+    }
+}
+
+/// Renders one outcome (plus id and spans) into `buf`, replacing its
+/// contents but reusing its capacity.
+fn render_outcome(buf: &mut Vec<u8>, id: u64, outcome: &QueryOutcome, span: &Span) {
+    buf.clear();
+    match outcome {
+        QueryOutcome::Reach(r) => {
+            let _ = write!(buf, "{{\"id\":{id},");
+            write_reach_fields(buf, r);
+            buf.push(b',');
+            write_span(buf, span);
+            buf.push(b'}');
+        }
+        QueryOutcome::Path(p) => {
+            let _ = write!(
+                buf,
+                "{{\"id\":{id},\"src\":{},\"dst\":{},\"reached\":{},\"path\":[",
+                p.src,
+                p.dst,
+                p.reached()
+            );
+            for (i, v) in p.path.iter().enumerate() {
+                if i > 0 {
+                    buf.push(b',');
+                }
+                let _ = write!(buf, "{v}");
+            }
+            buf.extend_from_slice(b"],");
+            write_span(buf, span);
+            buf.push(b'}');
+        }
+        QueryOutcome::Batch(rows) => {
+            let _ = write!(buf, "{{\"id\":{id},\"results\":[");
+            for (i, r) in rows.iter().enumerate() {
+                if i > 0 {
+                    buf.push(b',');
+                }
+                buf.push(b'{');
+                write_reach_fields(buf, r);
+                buf.push(b'}');
+            }
+            buf.extend_from_slice(b"],");
+            write_span(buf, span);
+            buf.push(b'}');
+        }
+    }
+}
+
+// ---- scrape path --------------------------------------------------------
+
+/// Merges every session's last published snapshot into one fleet view.
+fn merged_snapshot(state: &ServerState) -> MetricsSnapshot {
+    let mut merged: Option<MetricsSnapshot> = None;
+    for s in &state.sessions {
+        let snap = lock(&s.snapshot);
+        match merged.as_mut() {
+            None => merged = Some(snap.clone()),
+            Some(m) => m.merge(&snap),
+        }
+    }
+    merged.expect("pool has at least one session")
+}
+
+/// Queue depth and in-flight count sampled together under the admission
+/// lock, so `depth + in_flight` never over-counts a request that is
+/// mid-handoff between the queue and a session.
+fn admission_levels(state: &ServerState) -> (u64, u64) {
+    let adm = lock(&state.admission);
+    (adm.queue.len() as u64, adm.in_flight)
+}
+
+/// The `/metrics` body, rendered at scrape time from the published
+/// per-session snapshots plus the live gauges and build-info series.
 fn metrics_body(state: &ServerState) -> String {
-    let mut body = state
-        .docs
-        .lock()
-        .map(|d| d.prom.clone())
-        .unwrap_or_default();
+    let mut body = prom::render(&merged_snapshot(state));
+    let (depth, in_flight) = admission_levels(state);
+    prom::render_gauge(
+        &mut body,
+        "fastbfs_sessions",
+        "Parked warm sessions serving the admission queue",
+        &[],
+        state.sessions.len() as f64,
+    );
+    let busy: Vec<(String, f64)> = state
+        .sessions
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i.to_string(), s.busy.load(Ordering::Relaxed) as f64))
+        .collect();
+    prom::render_labeled_gauge(
+        &mut body,
+        "fastbfs_session_busy",
+        "1 while the session is warming up or executing a wave, 0 while parked",
+        "session",
+        &busy,
+    );
+    let served: Vec<(String, u64)> = state
+        .sessions
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i.to_string(), s.served.load(Ordering::Relaxed)))
+        .collect();
+    prom::render_labeled_counter(
+        &mut body,
+        "fastbfs_session_requests_total",
+        "Requests answered by this session (executed or deadline-dropped)",
+        "session",
+        &served,
+    );
     prom::render_gauge(
         &mut body,
         "fastbfs_queue_depth",
         "Requests waiting in the admission queue",
         &[],
-        state.queue_depth.load(Ordering::Relaxed) as f64,
+        depth as f64,
     );
     prom::render_gauge(
         &mut body,
         "fastbfs_in_flight",
-        "Queries executing right now (0 or 1: one dispatch thread)",
+        "Requests popped by a session and not yet answered",
         &[],
-        state.in_flight.load(Ordering::Relaxed) as f64,
+        in_flight as f64,
     );
     prom::render_gauge(
         &mut body,
@@ -519,13 +774,40 @@ fn metrics_body(state: &ServerState) -> String {
     body
 }
 
+/// The `/snapshot` body, rendered at scrape time.
+fn snapshot_body(state: &ServerState) -> Result<String, String> {
+    let (depth, in_flight) = admission_levels(state);
+    let doc = SnapshotDoc {
+        queries: state
+            .sessions
+            .iter()
+            .map(|s| s.traversals.load(Ordering::Relaxed))
+            .sum(),
+        uptime_s: state.started.elapsed().as_secs_f64(),
+        queue_depth: depth,
+        in_flight,
+        sessions: state.sessions.len() as u64,
+        session_requests: state
+            .sessions
+            .iter()
+            .map(|s| s.served.load(Ordering::Relaxed))
+            .collect(),
+        hw: state.hw.clone(),
+        hw_available: state.hw_kind.is_none(),
+        hw_kind: state.hw_kind.clone(),
+        hw_reason: state.hw_reason.clone(),
+        metrics: merged_snapshot(state),
+    };
+    serde_json::to_string(&doc).map_err(|e| format!("snapshot to JSON: {e}"))
+}
+
+// ---- HTTP workers -------------------------------------------------------
+
 /// One HTTP worker: accept → parse → validate → enqueue → await reply.
-fn http_worker(
-    listener: &TcpListener,
-    state: &ServerState,
-    tx: &SyncSender<Job>,
-    num_vertices: usize,
-) {
+/// Owns the serialization buffer that rides along inside each admitted
+/// job and is recycled across this worker's requests.
+fn http_worker(listener: &TcpListener, state: &ServerState, num_vertices: usize) {
+    let mut buf: Vec<u8> = Vec::new();
     loop {
         if state.stop.load(Ordering::Relaxed) {
             return;
@@ -548,10 +830,12 @@ fn http_worker(
                 continue;
             }
         };
-        if handle(&req, &mut stream, arrival, state, tx, num_vertices) {
+        if handle(&req, &mut stream, arrival, state, num_vertices, &mut buf) {
             state.stop.store(true, Ordering::Relaxed);
-            // Unblock the sibling workers (and dispatch notices via its
-            // recv timeout).
+            lock(&state.admission).stop = true;
+            state.available.notify_all();
+            // Unblock the sibling workers (dispatchers notice via the
+            // condvar and drain whatever was admitted).
             wake_workers(state, 64);
             return;
         }
@@ -564,8 +848,8 @@ fn handle(
     stream: &mut TcpStream,
     arrival: Instant,
     state: &ServerState,
-    tx: &SyncSender<Job>,
     num_vertices: usize,
+    buf: &mut Vec<u8>,
 ) -> bool {
     let mut client_error = |status: &str, msg: &str| {
         state.http_errors.fetch_add(1, Ordering::Relaxed);
@@ -587,12 +871,10 @@ fn handle(
             false
         }
         ("GET", "/snapshot") => {
-            let body = state
-                .docs
-                .lock()
-                .map(|d| d.snapshot_json.clone())
-                .unwrap_or_default();
-            http::write_json(stream, "200 OK", &body);
+            match snapshot_body(state) {
+                Ok(body) => http::write_json(stream, "200 OK", &body),
+                Err(e) => http::write_json_error(stream, "500 Internal Server Error", &e),
+            }
             false
         }
         ("GET", "/graph") => {
@@ -611,7 +893,25 @@ fn handle(
             if let Err(e) = kind.validate(num_vertices) {
                 return client_error("422 Unprocessable Entity", &e.to_string());
             }
-            enqueue_and_reply(stream, arrival, state, tx, kind);
+            // Per-request deadline: the client's Deadline-Ms header wins
+            // over the server-wide --deadline-ms default. A budget of 0
+            // is already expired at the next pop — useful for tests and
+            // for "only if free right now" probes.
+            let deadline_ms = match req.header("deadline-ms") {
+                Some(raw) => match raw.parse::<u64>() {
+                    Ok(ms) => Some(ms),
+                    Err(_) => {
+                        return client_error(
+                            "400 Bad Request",
+                            &format!("Deadline-Ms header {raw:?} is not a millisecond count"),
+                        )
+                    }
+                },
+                None => state.default_deadline_ms,
+            };
+            let deadline =
+                deadline_ms.and_then(|ms| arrival.checked_add(Duration::from_millis(ms)));
+            enqueue_and_reply(stream, arrival, state, kind, deadline, buf);
             false
         }
         (
@@ -679,46 +979,52 @@ fn parse_query_request(req: &Request) -> Result<QueryKind, String> {
     }
 }
 
-/// Admits the request (or sheds it) and relays the dispatch reply.
+/// Admits the request (or sheds it with 503) and relays the session's
+/// reply, reclaiming the serialization buffer for the next request.
 fn enqueue_and_reply(
     stream: &mut TcpStream,
     arrival: Instant,
     state: &ServerState,
-    tx: &SyncSender<Job>,
     kind: QueryKind,
+    deadline: Option<Instant>,
+    buf: &mut Vec<u8>,
 ) {
     let parse_ns = elapsed_ns(arrival);
     let id = state.next_id.fetch_add(1, Ordering::Relaxed) + 1;
     let (rtx, rrx) = mpsc::channel();
-    let job = Job {
-        id,
-        kind,
-        arrival,
-        parse_ns,
-        enqueued: Instant::now(),
-        resp: rtx,
-    };
-    match tx.try_send(job) {
-        Ok(()) => {
-            state.queue_depth.fetch_add(1, Ordering::Relaxed);
-        }
-        Err(TrySendError::Full(_)) => {
+    {
+        let mut adm = lock(&state.admission);
+        if adm.stop || adm.queue.len() >= state.queue_cap {
+            let msg = if adm.stop {
+                "server shutting down"
+            } else {
+                "admission queue full; retry later"
+            };
+            drop(adm);
             state.http_errors.fetch_add(1, Ordering::Relaxed);
-            http::write_json_error(
-                stream,
-                "503 Service Unavailable",
-                "admission queue full; retry later",
-            );
+            http::write_json_error(stream, "503 Service Unavailable", msg);
             return;
         }
-        Err(TrySendError::Disconnected(_)) => {
-            state.http_errors.fetch_add(1, Ordering::Relaxed);
-            http::write_json_error(stream, "503 Service Unavailable", "server shutting down");
-            return;
-        }
+        buf.clear();
+        adm.queue.push_back(Job {
+            id,
+            kind,
+            arrival,
+            parse_ns,
+            enqueued: Instant::now(),
+            deadline,
+            buf: std::mem::take(buf),
+            resp: rtx,
+        });
     }
+    state.available.notify_one();
     match rrx.recv_timeout(DISPATCH_TIMEOUT) {
-        Ok(body) => http::write_json(stream, "200 OK", &body),
+        Ok(reply) => {
+            http::write_response(stream, reply.status, "application/json", &reply.body);
+            // Recycle the buffer (and its high-water capacity) for this
+            // worker's next response.
+            *buf = reply.body;
+        }
         Err(_) => {
             state.http_errors.fetch_add(1, Ordering::Relaxed);
             http::write_json_error(stream, "504 Gateway Timeout", "dispatch timed out");
@@ -779,6 +1085,24 @@ mod tests {
         http::get(addr, path, Duration::from_secs(30)).unwrap()
     }
 
+    /// First sample of a series in an exposition body (0 when absent).
+    fn series_value(m: &str, name: &str) -> u64 {
+        m.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse::<f64>().ok())
+            .map(|v| v as u64)
+            .unwrap_or(0)
+    }
+
+    /// The result payload of a /query response body: everything between
+    /// the id (varies per request) and the spans (vary per execution).
+    fn core_of(body: &str) -> String {
+        let start = body.find("\"src\"").expect("src field");
+        let end = body.find(",\"spans\"").expect("spans field");
+        body[start..end].to_string()
+    }
+
     #[test]
     fn query_endpoints_answer_with_spans_and_ids() {
         let (driver, addr) = start(&[]);
@@ -802,10 +1126,12 @@ mod tests {
                 > 0
         );
         let spans = v.get("spans").expect("lifecycle spans");
-        for key in ["parse_ns", "queue_ns", "execute_ns"] {
+        for key in ["parse_ns", "queue_ns", "execute_ns", "session", "wave"] {
             assert!(spans.get(key).and_then(|x| x.as_u64()).is_some(), "{key}");
         }
         assert!(spans.get("execute_ns").and_then(|x| x.as_u64()).unwrap() > 0);
+        // A lone request executes as a wave of one.
+        assert_eq!(spans.get("wave").and_then(|x| x.as_u64()), Some(1));
 
         // Path query: endpoints must match the request.
         let p = get(&addr, "/path?src=0&dst=17");
@@ -832,21 +1158,22 @@ mod tests {
         assert_eq!(rows[2].get("src").and_then(|x| x.as_u64()), Some(399));
 
         // The lifecycle series made it into the exposition, along with
-        // the gauges and build info.
+        // the pool series, gauges, and build info.
         let m = get(&addr, "/metrics").body;
-        let series = |name: &str| -> u64 {
-            m.lines()
-                .find(|l| l.starts_with(name) && !l.starts_with('#'))
-                .and_then(|l| l.split_whitespace().nth(1))
-                .and_then(|v| v.parse::<f64>().ok())
-                .map(|v| v as u64)
-                .unwrap_or_else(|| panic!("{name} missing:\n{m}"))
-        };
         // Three dispatched jobs: GET /query, GET /path, one batched POST
         // (a batch is one admission-queue job however many sources it has).
-        assert!(series("fastbfs_serve_requests_total") >= 3);
-        assert!(series("fastbfs_serve_exec_ns_total") > 0);
-        assert!(series("fastbfs_serve_request_ns_count") >= 3);
+        assert!(series_value(&m, "fastbfs_serve_requests_total") >= 3, "{m}");
+        assert!(series_value(&m, "fastbfs_serve_exec_ns_total") > 0, "{m}");
+        assert!(
+            series_value(&m, "fastbfs_serve_request_ns_count") >= 3,
+            "{m}"
+        );
+        assert!(series_value(&m, "fastbfs_sessions") >= 1, "{m}");
+        assert!(m.contains("fastbfs_session_busy{session=\"0\"}"), "{m}");
+        assert!(
+            m.contains("fastbfs_session_requests_total{session=\"0\"}"),
+            "{m}"
+        );
         assert!(m.contains("fastbfs_queue_depth"), "{m}");
         assert!(m.contains("fastbfs_in_flight"), "{m}");
         assert!(m.contains("fastbfs_uptime_seconds"), "{m}");
@@ -897,12 +1224,7 @@ mod tests {
         // successful request flushes the tally.
         assert!(get(&addr, "/query?src=0").ok());
         let m = get(&addr, "/metrics").body;
-        let errs: u64 = m
-            .lines()
-            .find(|l| l.starts_with("fastbfs_serve_errors_total"))
-            .and_then(|l| l.split_whitespace().nth(1))
-            .and_then(|v| v.parse().ok())
-            .unwrap();
+        let errs = series_value(&m, "fastbfs_serve_errors_total");
         assert!(errs >= 9, "expected >= 9 recorded errors, got {errs}\n{m}");
 
         assert!(get(&addr, "/quitquitquit").body.ends_with("bye\n"));
@@ -916,13 +1238,7 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(30);
         loop {
             let m = get(&addr, "/metrics").body;
-            let q: u64 = m
-                .lines()
-                .find(|l| l.starts_with("fastbfs_queries_total"))
-                .and_then(|l| l.split_whitespace().nth(1))
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(0);
-            if q >= 12 {
+            if series_value(&m, "fastbfs_queries_total") >= 12 {
                 break;
             }
             assert!(Instant::now() < deadline, "warmup never finished: {m}");
@@ -932,6 +1248,15 @@ mod tests {
         let v = serde_json::parse(&snap).unwrap();
         assert!(v.get("queries").and_then(|x| x.as_u64()).unwrap() >= 12);
         assert!(v.get("uptime_s").and_then(|x| x.as_f64()).unwrap() >= 0.0);
+        // Pool accounting: a session count and a per-session request row
+        // for each member.
+        let sessions = v.get("sessions").and_then(|x| x.as_u64()).unwrap();
+        assert!(sessions >= 1, "{snap}");
+        let rows = v
+            .get("session_requests")
+            .and_then(|x| x.as_array())
+            .unwrap();
+        assert_eq!(rows.len() as u64, sessions, "{snap}");
         // Structured hw fields: available xor (kind + reason).
         let available = v.get("hw_available").and_then(|x| x.as_bool()).unwrap();
         let kind = v
@@ -950,6 +1275,207 @@ mod tests {
         // The legacy string stays consistent with the structured fields.
         let hw = v.get("hw").and_then(|x| x.as_str()).unwrap();
         assert_eq!(available, hw == "available", "{hw}");
+
+        assert!(get(&addr, "/quitquitquit").body.ends_with("bye\n"));
+        driver.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn deadline_expired_requests_are_dropped_without_executing() {
+        let (driver, addr) = start(&["--sessions", "1"]);
+        // A zero budget has always lapsed by the time a session pops the
+        // job: deterministic 504, and the span proves nothing executed.
+        let r = http::get_with_headers(
+            &addr,
+            "/query?src=0&dst=5",
+            &[("Deadline-Ms", "0")],
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert_eq!(r.status, 504, "{} {}", r.status, r.body);
+        let v = serde_json::parse(&r.body).unwrap();
+        assert!(
+            v.get("error")
+                .and_then(|e| e.as_str())
+                .unwrap()
+                .contains("deadline"),
+            "{}",
+            r.body
+        );
+        assert!(v.get("id").and_then(|x| x.as_u64()).unwrap() > 0);
+        let spans = v.get("spans").expect("dropped requests keep their spans");
+        assert_eq!(spans.get("execute_ns").and_then(|x| x.as_u64()), Some(0));
+        assert_eq!(spans.get("wave").and_then(|x| x.as_u64()), Some(0));
+        assert!(spans.get("queue_ns").and_then(|x| x.as_u64()).is_some());
+
+        // A malformed header is a client error, not a query.
+        let r = http::get_with_headers(
+            &addr,
+            "/query?src=0",
+            &[("Deadline-Ms", "soon")],
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert_eq!(r.status, 400, "{}", r.body);
+
+        // A generous budget executes normally.
+        let r = http::get_with_headers(
+            &addr,
+            "/query?src=0",
+            &[("Deadline-Ms", "30000")],
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert!(r.ok(), "{} {}", r.status, r.body);
+        let v = serde_json::parse(&r.body).unwrap();
+        let spans = v.get("spans").unwrap();
+        assert!(spans.get("execute_ns").and_then(|x| x.as_u64()).unwrap() > 0);
+
+        let m = get(&addr, "/metrics").body;
+        assert!(
+            series_value(&m, "fastbfs_serve_deadline_dropped_total") >= 1,
+            "{m}"
+        );
+
+        assert!(get(&addr, "/quitquitquit").body.ends_with("bye\n"));
+        driver.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn server_default_deadline_applies_when_no_header_is_sent() {
+        let (driver, addr) = start(&["--sessions", "1", "--deadline-ms", "0"]);
+        let r = get(&addr, "/query?src=1");
+        assert_eq!(r.status, 504, "{} {}", r.status, r.body);
+        // The client's header overrides the server default upward.
+        let r = http::get_with_headers(
+            &addr,
+            "/query?src=1",
+            &[("Deadline-Ms", "30000")],
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert!(r.ok(), "{} {}", r.status, r.body);
+        assert!(get(&addr, "/quitquitquit").body.ends_with("bye\n"));
+        driver.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn coalesced_waves_answer_identically_to_solo_queries() {
+        // One session, one lane: parents are deterministic, so answers
+        // can be compared byte-for-byte (minus per-request id/spans).
+        let (driver, addr) = start(&["--sessions", "1", "--threads", "1"]);
+        let queries: Vec<(u32, u32)> = (0..8u32)
+            .map(|i| (i * 13 % 400, (i * 37 + 5) % 400))
+            .collect();
+        let solo: Vec<String> = queries
+            .iter()
+            .map(|(s, d)| {
+                let r = get(&addr, &format!("/query?src={s}&dst={d}"));
+                assert!(r.ok(), "{} {}", r.status, r.body);
+                core_of(&r.body)
+            })
+            .collect();
+
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            // Occupy the lone session with a slow batch, then burst the
+            // reach queries so they pile up behind it and coalesce.
+            let addr2 = addr.clone();
+            let batch = std::thread::spawn(move || {
+                let sources: Vec<String> = (0..400u32).map(|i| i.to_string()).collect();
+                let body = format!("{{\"sources\":[{}]}}", sources.join(","));
+                http::post_json(&addr2, "/query", &body, Duration::from_secs(30)).unwrap()
+            });
+            let burst: Vec<_> = queries
+                .iter()
+                .map(|&(s, d)| {
+                    let addr = addr.clone();
+                    std::thread::spawn(move || {
+                        http::get(
+                            &addr,
+                            &format!("/query?src={s}&dst={d}"),
+                            Duration::from_secs(30),
+                        )
+                        .unwrap()
+                    })
+                })
+                .collect();
+            assert!(batch.join().unwrap().ok());
+            for (h, want) in burst.into_iter().zip(&solo) {
+                let r = h.join().unwrap();
+                assert!(r.ok(), "{} {}", r.status, r.body);
+                assert_eq!(&core_of(&r.body), want, "coalesced answer differs");
+            }
+            let m = get(&addr, "/metrics").body;
+            if series_value(&m, "fastbfs_serve_coalesced_requests_total") >= 2 {
+                assert!(series_value(&m, "fastbfs_serve_coalesced_waves_total") >= 1);
+                break;
+            }
+            assert!(Instant::now() < deadline, "no wave ever coalesced:\n{m}");
+        }
+        assert!(get(&addr, "/quitquitquit").body.ends_with("bye\n"));
+        driver.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn multi_session_pool_merges_metrics_and_exposes_per_session_series() {
+        let (driver, addr) = start(&["--sessions", "2", "--queries", "8", "--sources", "4"]);
+        // Warmup is striped across both sessions; the merged exposition
+        // still accounts for all of it.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let m = get(&addr, "/metrics").body;
+            if series_value(&m, "fastbfs_queries_total") >= 8 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "warmup never finished: {m}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        for i in 0..6 {
+            assert!(get(&addr, &format!("/query?src={i}")).ok());
+        }
+        let labeled = |m: &str, name: &str, session: &str| -> u64 {
+            let prefix = format!("{name}{{session=\"{session}\"}}");
+            m.lines()
+                .find(|l| l.starts_with(&prefix))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse::<f64>().ok())
+                .map(|v| v as u64)
+                .unwrap_or_else(|| panic!("{prefix} missing:\n{m}"))
+        };
+        let m1 = get(&addr, "/metrics").body;
+        assert_eq!(series_value(&m1, "fastbfs_sessions"), 2, "{m1}");
+        for s in ["0", "1"] {
+            assert!(labeled(&m1, "fastbfs_session_busy", s) <= 1);
+        }
+        let served1: u64 = (0..2)
+            .map(|s| labeled(&m1, "fastbfs_session_requests_total", &s.to_string()))
+            .sum();
+        assert!(served1 >= 6, "{m1}");
+        let q1 = series_value(&m1, "fastbfs_queries_total");
+
+        // Per-session counters and the merged totals are monotonic
+        // across scrapes while traffic continues.
+        for i in 0..4 {
+            assert!(get(&addr, &format!("/query?src={}", i + 100)).ok());
+        }
+        let m2 = get(&addr, "/metrics").body;
+        let served2: u64 = (0..2)
+            .map(|s| labeled(&m2, "fastbfs_session_requests_total", &s.to_string()))
+            .sum();
+        assert!(served2 >= served1 + 4, "{served1} -> {served2}");
+        assert!(series_value(&m2, "fastbfs_queries_total") >= q1);
+
+        let snap = get(&addr, "/snapshot").body;
+        let v = serde_json::parse(&snap).unwrap();
+        assert_eq!(v.get("sessions").and_then(|x| x.as_u64()), Some(2));
+        assert_eq!(
+            v.get("session_requests")
+                .and_then(|x| x.as_array())
+                .unwrap()
+                .len(),
+            2
+        );
 
         assert!(get(&addr, "/quitquitquit").body.ends_with("bye\n"));
         driver.join().unwrap().unwrap();

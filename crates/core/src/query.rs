@@ -206,6 +206,35 @@ pub fn execute(
     }
 }
 
+/// Runs a coalesced wave of validated requests, handing each outcome to
+/// `on_done(index, outcome)` as soon as it is ready.
+///
+/// This is the admission-coalescing seam: a server that finds several
+/// single-source requests queued when a session frees up batches them
+/// into one wave instead of round-tripping the dispatch machinery per
+/// request. The traversal sequence is exactly what [`BfsSession::run_batch`]
+/// would issue for the same sources — one warm `run_reusing` per request,
+/// in order, against the same session state — so each outcome is
+/// *identical* to serving that request alone (depths, counts, and parent
+/// validity; parents themselves are §III-A's schedule-dependent benign
+/// race with more than one lane). Unlike `run_batch` the wave reuses one
+/// `BfsOutput` and fans results out incrementally, so waiters early in
+/// the wave are answered before the tail finishes.
+///
+/// # Panics
+/// Panics if any request was not validated and names an out-of-range
+/// vertex.
+pub fn execute_wave(
+    session: &mut BfsSession<'_>,
+    wave: &[QueryKind],
+    out: &mut BfsOutput,
+    mut on_done: impl FnMut(usize, QueryOutcome),
+) {
+    for (i, kind) in wave.iter().enumerate() {
+        on_done(i, execute(session, kind, out));
+    }
+}
+
 /// Walks the parent chain from `dst` back to `src` over a finished
 /// traversal rooted at `src`. Returns the path source-first, or empty when
 /// `dst` was not reached. The walk is bounded by `depths[dst] + 1` hops,
@@ -376,6 +405,215 @@ mod tests {
                 }
             } else {
                 assert_eq!(out.depths[dst as usize], INF_DEPTH);
+            }
+        }
+    }
+
+    #[test]
+    fn extract_path_handles_src_equals_dst_and_unreachable() {
+        let g = path_graph(5);
+        let mut s = session(&g);
+        let mut out = BfsOutput::default();
+        s.run_reusing(2, &mut out);
+        // src == dst: the one-vertex path, even though the source's parent
+        // is itself (the walk must stop on the vertex match, not the
+        // parent chain).
+        assert_eq!(extract_path(&out, 2, 2), vec![2]);
+        assert_eq!(extract_path(&out, 2, 0), vec![2, 1, 0]);
+
+        // Unreachable dst: INF_DEPTH short-circuits to an empty path.
+        let g2 = two_cliques(3, 3);
+        let mut s2 = session(&g2);
+        s2.run_reusing(0, &mut out);
+        assert_eq!(out.depths[4] as u32, INF_DEPTH);
+        assert!(extract_path(&out, 0, 4).is_empty());
+    }
+
+    #[test]
+    fn batch_and_path_edge_cases_survive_relabeling() {
+        // Two cliques bridged at one end: vertices 0..=5 and 6..=11, with
+        // the bridge 5-6, so every dst is reachable but through a graph
+        // whose degree-ordered internal layout differs from external ids.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                edges.push((a, b));
+                edges.push((a + 6, b + 6));
+            }
+        }
+        edges.push((5, 6));
+        let mut b = bfs_graph::builder::GraphBuilder::new(
+            12,
+            bfs_graph::builder::BuildOptions {
+                symmetrize: true,
+                dedup: true,
+                drop_self_loops: true,
+                sort_neighbors: true,
+            },
+        );
+        b.add_edges(edges);
+        let g = b.build();
+        let (rg, perm) = bfs_graph::degree_order(&g);
+        assert!(
+            perm.forward()
+                .iter()
+                .enumerate()
+                .any(|(e, &i)| e as u32 != i),
+            "degree ordering must actually move vertices for this test"
+        );
+
+        let mut plain = session(&g);
+        let mut relabeled = session(&rg);
+        let mut out = BfsOutput::default();
+
+        // The batch path answers in external ids: every row must match the
+        // un-relabeled session's row exactly.
+        let batch = QueryKind::Batch {
+            sources: vec![0, 11, 5, 0],
+        };
+        let expect = execute(&mut plain, &batch, &mut out);
+        let got = execute(&mut relabeled, &batch, &mut out);
+        assert_eq!(got, expect);
+
+        // dst reachable only through the bridge: the reconstructed path
+        // must speak external ids (cross the 5-6 bridge), not internal
+        // layout order.
+        let QueryOutcome::Path(p) = execute(
+            &mut relabeled,
+            &QueryKind::Path { src: 0, dst: 11 },
+            &mut out,
+        ) else {
+            panic!("wrong outcome kind")
+        };
+        assert!(p.reached());
+        assert_eq!(p.path.first(), Some(&0));
+        assert_eq!(p.path.last(), Some(&11));
+        assert!(
+            p.path.windows(2).any(|w| w == [5, 6]),
+            "path must cross the external-id bridge: {:?}",
+            p.path
+        );
+        for w in p.path.windows(2) {
+            assert!(g.neighbors(w[0]).contains(&w[1]), "{:?} not an edge", w);
+        }
+
+        // src == dst and unreachable dst behave identically relabeled.
+        let QueryOutcome::Path(p) = execute(
+            &mut relabeled,
+            &QueryKind::Path { src: 7, dst: 7 },
+            &mut out,
+        ) else {
+            panic!("wrong outcome kind")
+        };
+        assert_eq!(p.path, vec![7]);
+
+        let g2 = two_cliques(4, 4);
+        let (rg2, _) = bfs_graph::degree_order(&g2);
+        let mut s2 = session(&rg2);
+        let QueryOutcome::Path(p) = execute(&mut s2, &QueryKind::Path { src: 0, dst: 7 }, &mut out)
+        else {
+            panic!("wrong outcome kind")
+        };
+        assert!(!p.reached());
+    }
+
+    #[test]
+    fn wave_fans_out_each_outcome_in_order() {
+        let g = path_graph(10);
+        let mut s = session(&g);
+        let mut out = BfsOutput::default();
+        let wave = vec![
+            QueryKind::Reach { src: 0, dst: None },
+            QueryKind::Reach {
+                src: 9,
+                dst: Some(0),
+            },
+            QueryKind::Path { src: 3, dst: 6 },
+        ];
+        let mut seen = Vec::new();
+        execute_wave(&mut s, &wave, &mut out, |i, o| seen.push((i, o)));
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0].0, 0);
+        assert_eq!(seen[2].0, 2);
+        let QueryOutcome::Reach(r) = &seen[1].1 else {
+            panic!("wrong outcome kind")
+        };
+        assert_eq!(r.dst.unwrap().depth, Some(9));
+        let QueryOutcome::Path(p) = &seen[2].1 else {
+            panic!("wrong outcome kind")
+        };
+        assert_eq!(p.path, vec![3, 4, 5, 6]);
+        // One traversal per wave entry, same as run_batch would issue.
+        assert_eq!(s.runs(), 3);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig {
+            cases: 24,
+            ..Default::default()
+        })]
+        /// The coalescing guarantee the admission layer leans on: a wave's
+        /// outcomes are identical to serving the same queries one at a time
+        /// on a fresh warm session, across sampled engine option combos and
+        /// with or without degree-ordered relabeling. Single-lane topology:
+        /// with one worker the §III-A parent race is quiesced, so "identical"
+        /// here includes the parent arrays (and therefore the serialized
+        /// response bytes a server would emit).
+        #[test]
+        fn wave_outcomes_match_individual_service(
+            seed in 0u64..1000,
+            relabel in proptest::any::<bool>(),
+            vis_byte in proptest::any::<bool>(),
+            forced_td in proptest::any::<bool>(),
+            // dst values past the vertex count mean "no dst probe".
+            picks in proptest::collection::vec((0u32..300, 0u32..330), 1..12),
+        ) {
+            use crate::engine::Scheduling;
+            use crate::{DirectionPolicy, VisScheme};
+            let g = uniform_random(300, 4, &mut rng_from_seed(seed));
+            let (rg, _perm);
+            let graph = if relabel {
+                (rg, _perm) = bfs_graph::degree_order(&g);
+                &rg
+            } else {
+                &g
+            };
+            let opts = crate::engine::BfsOptions {
+                vis: if vis_byte { VisScheme::Byte } else { VisScheme::Bit },
+                scheduling: if vis_byte {
+                    Scheduling::NoMultiSocketOpt
+                } else {
+                    Scheduling::LoadBalanced
+                },
+                direction: if forced_td {
+                    DirectionPolicy::ForcedTopDown
+                } else {
+                    DirectionPolicy::auto()
+                },
+                ..Default::default()
+            };
+            let topo = Topology::synthetic(1, 1);
+            let wave: Vec<QueryKind> = picks
+                .iter()
+                .map(|&(src, dst)| match dst {
+                    d if d >= 300 => QueryKind::Reach { src, dst: None },
+                    d if d % 3 == 0 => QueryKind::Path { src, dst: d },
+                    d => QueryKind::Reach { src, dst: Some(d) },
+                })
+                .collect();
+
+            let mut coalesced = BfsSession::new(graph, topo, opts);
+            let mut out = BfsOutput::default();
+            let mut wave_outcomes: Vec<Option<QueryOutcome>> = vec![None; wave.len()];
+            execute_wave(&mut coalesced, &wave, &mut out, |i, o| {
+                wave_outcomes[i] = Some(o);
+            });
+
+            let mut solo = BfsSession::new(graph, topo, opts);
+            for (kind, got) in wave.iter().zip(wave_outcomes.iter()) {
+                let mut fresh = BfsOutput::default();
+                let expect = execute(&mut solo, kind, &mut fresh);
+                proptest::prop_assert_eq!(got.as_ref(), Some(&expect));
             }
         }
     }

@@ -114,6 +114,11 @@ fn help(c: Counter) -> &'static str {
         Counter::ServeQueueNs => "Admission-queue wait nanoseconds",
         Counter::ServeExecNs => "Request traversal-execution nanoseconds",
         Counter::ServeSerializeNs => "Response serialization nanoseconds",
+        Counter::ServeCoalescedWaves => "Dispatch waves that batched two or more queued requests",
+        Counter::ServeCoalescedRequests => "Requests served inside a coalesced wave",
+        Counter::ServeDeadlineDropped => {
+            "Requests answered 504 after their deadline expired in the queue"
+        }
     }
 }
 
@@ -132,6 +137,52 @@ pub fn render_gauge(out: &mut String, name: &str, help: &str, labels: &[(&str, &
             .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
             .collect();
         let _ = writeln!(out, "{name}{{{}}} {value}", rendered.join(","));
+    }
+}
+
+/// Appends one labeled gauge family (with `# HELP`/`# TYPE` preamble) to
+/// `out`: one sample line per `(label value, sample)` pair. The preamble
+/// is written once for the whole family — repeating it per sample, as
+/// calling [`render_gauge`] in a loop would, is malformed exposition.
+pub fn render_labeled_gauge(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    label: &str,
+    series: &[(String, f64)],
+) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    for (value, sample) in series {
+        let _ = writeln!(
+            out,
+            "{name}{{{label}=\"{}\"}} {sample}",
+            escape_label(value)
+        );
+    }
+}
+
+/// Appends one labeled counter family (with `# HELP`/`# TYPE` preamble)
+/// to `out`: one sample line per `(label value, sample)` pair, all under
+/// the same label name. Used by the multi-session server for per-session
+/// monotonic series like `fastbfs_session_requests_total{session="0"}`.
+pub fn render_labeled_counter(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    label: &str,
+    series: &[(String, u64)],
+) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    for (value, sample) in series {
+        let _ = writeln!(
+            out,
+            "{name}{{{label}=\"{}\"}} {sample}",
+            escape_label(value)
+        );
     }
 }
 
@@ -261,5 +312,29 @@ mod tests {
         let mut none = String::new();
         render_build_info(&mut none, "0.1.0", None, None);
         assert!(none.contains("git_rev=\"unknown\""), "{none}");
+    }
+
+    #[test]
+    fn labeled_counter_renders_one_line_per_series() {
+        let mut out = String::new();
+        render_labeled_counter(
+            &mut out,
+            "fastbfs_session_requests_total",
+            "Requests dispatched per session",
+            "session",
+            &[("0".to_string(), 12), ("1".to_string(), 7)],
+        );
+        assert!(
+            out.contains("# TYPE fastbfs_session_requests_total counter"),
+            "{out}"
+        );
+        assert!(
+            out.contains("fastbfs_session_requests_total{session=\"0\"} 12"),
+            "{out}"
+        );
+        assert!(
+            out.contains("fastbfs_session_requests_total{session=\"1\"} 7"),
+            "{out}"
+        );
     }
 }

@@ -121,13 +121,23 @@ pub enum Counter {
     ServeExecNs,
     /// Nanoseconds serializing response bodies (driver scope).
     ServeSerializeNs,
+    /// Waves that coalesced two or more queued single-source requests
+    /// into one batched dispatch (driver scope; per-session dispatcher).
+    ServeCoalescedWaves,
+    /// Requests served as part of a coalesced (multi-request) wave
+    /// (driver scope; per-session dispatcher).
+    ServeCoalescedRequests,
+    /// Requests answered 504 because their deadline passed while queued —
+    /// dropped without ever executing (driver scope; per-session
+    /// dispatcher).
+    ServeDeadlineDropped,
 }
 
 impl Counter {
     /// Every counter, in stable index order (`c as usize` indexes this).
     /// Additions are append-only so snapshots serialized by older builds
     /// keep their positional meaning.
-    pub const ALL: [Counter; 41] = [
+    pub const ALL: [Counter; 44] = [
         Counter::Queries,
         Counter::QueryNs,
         Counter::Steps,
@@ -169,6 +179,9 @@ impl Counter {
         Counter::ServeQueueNs,
         Counter::ServeExecNs,
         Counter::ServeSerializeNs,
+        Counter::ServeCoalescedWaves,
+        Counter::ServeCoalescedRequests,
+        Counter::ServeDeadlineDropped,
     ];
 
     /// Stable snake_case name used in JSON and Prometheus exposition.
@@ -215,6 +228,9 @@ impl Counter {
             Counter::ServeQueueNs => "serve_queue_ns",
             Counter::ServeExecNs => "serve_exec_ns",
             Counter::ServeSerializeNs => "serve_serialize_ns",
+            Counter::ServeCoalescedWaves => "serve_coalesced_waves",
+            Counter::ServeCoalescedRequests => "serve_coalesced_requests",
+            Counter::ServeDeadlineDropped => "serve_deadline_dropped",
         }
     }
 

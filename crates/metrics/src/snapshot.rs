@@ -148,6 +148,48 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Folds `other` into `self`: counter totals and histograms sum, and
+    /// `other`'s per-thread rows are appended with their thread ids
+    /// shifted past `self`'s workers so every row stays distinct. This is
+    /// how a multi-session server presents one fleet-wide exposition from
+    /// per-session registries: counters from the same build share the
+    /// vocabulary, so positional summing is exact.
+    ///
+    /// # Panics
+    /// Panics if the two snapshots disagree on counter or histogram
+    /// vocabulary (different builds).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        assert_eq!(
+            self.counters.len(),
+            other.counters.len(),
+            "snapshot counter vocabularies differ"
+        );
+        assert_eq!(
+            self.histograms.len(),
+            other.histograms.len(),
+            "snapshot histogram vocabularies differ"
+        );
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            debug_assert_eq!(a.name, b.name);
+            a.value += b.value;
+        }
+        for (a, b) in self.histograms.iter_mut().zip(other.histograms.iter()) {
+            debug_assert_eq!(a.name, b.name);
+            a.count += b.count;
+            a.sum += b.sum;
+            for (x, y) in a.buckets.iter_mut().zip(b.buckets.iter()) {
+                *x += y;
+            }
+        }
+        let base = self.workers;
+        self.per_thread.extend(other.per_thread.iter().map(|t| {
+            let mut t = t.clone();
+            t.thread += base;
+            t
+        }));
+        self.workers += other.workers;
+    }
+
     /// Aggregated total of one counter.
     pub fn total(&self, c: Counter) -> u64 {
         self.counters[c as usize].value
@@ -240,6 +282,28 @@ mod tests {
         let s = reg.snapshot();
         assert_eq!(s.histogram(Hist::StepNs).quantile(0.5), 0.0);
         assert_eq!(s.histogram(Hist::StepNs).mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_totals_and_renumbers_threads() {
+        let mut a = filled();
+        let b = filled();
+        a.merge(&b);
+        assert_eq!(a.workers, 8);
+        assert_eq!(a.total(Counter::Queries), 4);
+        assert_eq!(a.total(Counter::Phase1Ns), 2000);
+        assert_eq!(a.per_thread.len(), 8);
+        // b's thread 0 landed at thread id 4 with its row intact.
+        assert_eq!(a.thread_total(4, Counter::Phase1Ns), 100);
+        let h = a.histogram(Hist::StepNs);
+        assert_eq!(h.count, 8);
+        assert_eq!(h.sum, 2 * (700 + 1400 + 2100 + 2800));
+        // Merging an empty snapshot is the identity on totals.
+        let mut reg = MetricsRegistry::new(1);
+        let empty = reg.snapshot();
+        let before = a.total(Counter::Queries);
+        a.merge(&empty);
+        assert_eq!(a.total(Counter::Queries), before);
     }
 
     #[test]
