@@ -302,6 +302,11 @@ pub struct LoadReport {
     /// the run; `None` when the endpoint predates the field (additive,
     /// PR 8).
     pub server_sessions: Option<u64>,
+    /// Trace ids of the worst-percentile requests (slowest first, at
+    /// most 5): each resolves at the server's `/debug/trace/<id>`, so a
+    /// gated regression links directly to explanatory flight-recorder
+    /// traces. `None` on pre-PR9 reports (additive, PR 9).
+    pub slowest_trace_ids: Option<Vec<String>>,
 }
 
 impl LoadReport {
@@ -863,6 +868,7 @@ mod tests {
             warmup_s: None,
             dropped_504: None,
             server_sessions: None,
+            slowest_trace_ids: None,
         }
     }
 
@@ -953,6 +959,55 @@ mod tests {
         for key in ["\"warmup_s\"", "\"dropped_504\"", "\"server_sessions\""] {
             assert!(new.contains(key), "missing {key} in {new}");
         }
+    }
+
+    /// Schema evolution contract, continued for PR 9: reports written
+    /// before `slowest_trace_ids` existed (i.e. with the PR 8 fields but
+    /// not the PR 9 one) must still parse, with the field `None`.
+    #[test]
+    fn load_report_accepts_pre_pr9_documents() {
+        let dir = std::env::temp_dir().join("fastbfs-load-report-compat9-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pr8.json");
+        let path = path.to_str().unwrap();
+
+        let pr8 = r#"{
+            "schema": "fastbfs-load-v1",
+            "url": "http://127.0.0.1:9464",
+            "endpoint": "query",
+            "arrival": "poisson",
+            "offered_qps": 100.0,
+            "duration_s": 2.0,
+            "scheduled": 200,
+            "completed": 199,
+            "errors": 1,
+            "elapsed_s": 2.0,
+            "achieved_qps": 99.5,
+            "latency": null,
+            "git_rev": null,
+            "rustc": null,
+            "warmup_s": 1.0,
+            "dropped_504": 1,
+            "server_sessions": 2
+        }"#;
+        std::fs::write(path, pr8).unwrap();
+        let back = LoadReport::read(path).unwrap();
+        assert_eq!(back.completed, 199);
+        assert_eq!(back.warmup_s, Some(1.0));
+        assert_eq!(back.slowest_trace_ids, None);
+
+        // Round-trip: a report carrying ids keeps them, and a report
+        // without them serializes the key explicitly (additive schema).
+        let mut with_ids = load_report(98.5, None);
+        with_ids.slowest_trace_ids = Some(vec!["lg2a-17".into(), "lg2a-3".into()]);
+        std::fs::write(path, with_ids.to_json().unwrap()).unwrap();
+        let back = LoadReport::read(path).unwrap();
+        assert_eq!(
+            back.slowest_trace_ids.as_deref(),
+            Some(&["lg2a-17".to_string(), "lg2a-3".to_string()][..])
+        );
+        let without = load_report(98.5, None).to_json().unwrap();
+        assert!(without.contains("\"slowest_trace_ids\""), "{without}");
     }
 
     #[test]

@@ -90,6 +90,14 @@ subcommands:
                                    requests that expire while queued get 504 without
                                    executing (per-request Deadline-Ms header overrides)
                                    [--http-threads T] [--queue-cap N] — admission layer
+                                   flight recorder: every request gets a trace id
+                                   (Trace-Id header or generated); slow/errored traces
+                                   kept in full at GET /debug/slow and
+                                   GET /debug/trace/<id>
+                                   [--slow-ms MS] — absolute keep floor (0 keeps all;
+                                   default: rolling p99 tail sampling only)
+                                   [--trace-ring N] — retained full traces (default 64)
+                                   [--trace-log PATH] — append sampled traces as JSONL
                                    [--addr-file PATH] — write the bound address (use with
                                    port 0 for scripts)
   loadgen  open-loop load test     [URL] --rate R --duration S — coordinated-omission-safe
@@ -100,7 +108,9 @@ subcommands:
                                    [--warmup S] — S seconds of same-rate throwaway
                                    traffic before the measured window
                                    [--out FILE] — write a fastbfs-load-v1 JSON report
-                                   (errors split out deadline-dropped 504s)
+                                   (errors split out deadline-dropped 504s; the worst-
+                                   percentile requests' trace ids link to the server's
+                                   /debug/trace/<id>)
                                    [--max-p99-ms X] — exit nonzero when p99 breaches
   sim      simulated X5570 run   -i FILE [--source V] [--shrink F] [same engine flags]
   model    analytical prediction   --vertices N --degree D --depth DEP

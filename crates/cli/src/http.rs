@@ -207,10 +207,9 @@ pub fn get(host: &str, path: &str, timeout: Duration) -> Result<Response, String
     request(host, "GET", path, &[], None, timeout)
 }
 
-/// [`get`] with extra request headers (e.g. a per-request `Deadline-Ms`
-/// budget for the query server's admission layer). Production traffic
-/// sends plain GETs; the serve tests exercise the header path.
-#[cfg_attr(not(test), allow(dead_code))]
+/// [`get`] with extra request headers: `loadgen` stamps its `Trace-Id`
+/// on every request, and the serve tests send per-request `Deadline-Ms`
+/// budgets this way.
 pub fn get_with_headers(
     host: &str,
     path: &str,

@@ -52,7 +52,15 @@ struct Arrival {
     /// Request path (source vertices are pre-drawn so workers share no
     /// RNG state).
     path: String,
+    /// Client-stamped `Trace-Id` (`lg<seed>-<index>`): the report's
+    /// worst-percentile ids resolve directly at `/debug/trace/<id>` on
+    /// the server that served the run.
+    trace_id: String,
 }
+
+/// One lane's outcome: measured `(latency_ns, trace id)` samples plus
+/// error and deadline-dropped-504 tallies.
+type LaneResult<'a> = (Vec<(u64, &'a str)>, u64, u64);
 
 /// `fastbfs loadgen`
 pub fn loadgen(args: &[String]) -> Result<(), String> {
@@ -124,7 +132,7 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
     }
 
     let start = Instant::now();
-    let results: Vec<(Vec<u64>, u64, u64)> = std::thread::scope(|scope| {
+    let results: Vec<LaneResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = lanes
             .iter()
             .map(|lane| {
@@ -139,15 +147,25 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
     // response.
     let elapsed_s = (start.elapsed().as_secs_f64() - warmup).max(0.0);
 
-    let mut latencies: Vec<u64> = Vec::with_capacity(schedule.len());
+    let mut samples: Vec<(u64, &str)> = Vec::with_capacity(schedule.len());
     let mut errors = 0u64;
     let mut dropped_504 = 0u64;
     for (lat, errs, dropped) in results {
-        latencies.extend(lat);
+        samples.extend(lat);
         errors += errs;
         dropped_504 += dropped;
     }
-    latencies.sort_unstable();
+    samples.sort_unstable_by_key(|(ns, _)| *ns);
+    // The worst-percentile requests, by id: these resolve at the served
+    // server's `/debug/trace/<id>`, linking a gated regression straight
+    // to its explanatory traces.
+    let slowest_trace_ids: Vec<String> = samples
+        .iter()
+        .rev()
+        .take(5)
+        .map(|(_, id)| id.to_string())
+        .collect();
+    let latencies: Vec<u64> = samples.iter().map(|(ns, _)| *ns).collect();
     let completed = latencies.len() as u64;
 
     // Best-effort: the session-pool size ties the report to the server
@@ -180,6 +198,7 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
         warmup_s: Some(warmup),
         dropped_504: Some(dropped_504),
         server_sessions,
+        slowest_trace_ids: Some(slowest_trace_ids),
     };
     report.capture_environment();
 
@@ -195,6 +214,13 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
         println!(
             "latency (from scheduled arrival): p50 {:.3} ms, p90 {:.3}, p99 {:.3}, p99.9 {:.3}, max {:.3}",
             l.p50_ms, l.p90_ms, l.p99_ms, l.p999_ms, l.max_ms
+        );
+    }
+    if let Some(ids) = report.slowest_trace_ids.as_ref().filter(|v| !v.is_empty()) {
+        println!(
+            "slowest requests ({}/debug/trace/<id>): {}",
+            report.url,
+            ids.join(" ")
         );
     }
     if let Some(path) = o.get("out") {
@@ -247,7 +273,8 @@ fn build_schedule(
     }
     offsets
         .into_iter()
-        .map(|t| {
+        .enumerate()
+        .map(|(i, t)| {
             let src = rng.random_range(0..vertices);
             let path = if endpoint == "path" {
                 let dst = rng.random_range(0..vertices);
@@ -258,6 +285,7 @@ fn build_schedule(
             Arrival {
                 offset: Duration::from_secs_f64(t),
                 path,
+                trace_id: format!("lg{seed:x}-{i}"),
             }
         })
         .collect()
@@ -266,14 +294,15 @@ fn build_schedule(
 /// One worker: fire each request at its scheduled time (immediately when
 /// behind — the backlog is *charged to the latency*, never skipped) and
 /// measure completion against the schedule. Returns
-/// `(latencies_ns, errors, dropped_504)`; requests scheduled inside the
-/// warmup window are sent but contribute to none of the three.
-fn run_lane(
+/// `(latency_ns + trace id per completion, errors, dropped_504)`;
+/// requests scheduled inside the warmup window are sent but contribute
+/// to none of the three.
+fn run_lane<'a>(
     host: &str,
-    lane: &[&Arrival],
+    lane: &[&'a Arrival],
     start: Instant,
     warmup: Duration,
-) -> (Vec<u64>, u64, u64) {
+) -> LaneResult<'a> {
     let mut latencies = Vec::with_capacity(lane.len());
     let mut errors = 0u64;
     let mut dropped_504 = 0u64;
@@ -283,7 +312,8 @@ fn run_lane(
         if target > now {
             std::thread::sleep(target - now);
         }
-        let resp = http::get(host, &a.path, REQUEST_TIMEOUT);
+        let resp =
+            http::get_with_headers(host, &a.path, &[("Trace-Id", &a.trace_id)], REQUEST_TIMEOUT);
         if a.offset < warmup {
             continue;
         }
@@ -292,7 +322,10 @@ fn run_lane(
                 // Coordinated-omission-safe: latency from the scheduled
                 // arrival, not from when the send actually happened.
                 let since_target = (start + a.offset).elapsed();
-                latencies.push(u64::try_from(since_target.as_nanos()).unwrap_or(u64::MAX));
+                latencies.push((
+                    u64::try_from(since_target.as_nanos()).unwrap_or(u64::MAX),
+                    a.trace_id.as_str(),
+                ));
             }
             Ok(r) => {
                 errors += 1;
@@ -326,6 +359,10 @@ mod tests {
         let s2 = build_schedule(200.0, 1.0, "poisson", "query", 100, 7);
         assert_eq!(s.last().unwrap().offset, s2.last().unwrap().offset);
         assert_eq!(s[0].path, s2[0].path);
+        // Trace ids are deterministic, unique, and tied to the seed.
+        assert_eq!(s[0].trace_id, "lg7-0");
+        assert_eq!(s[199].trace_id, "lg7-199");
+        assert_eq!(s[5].trace_id, s2[5].trace_id);
     }
 
     #[test]

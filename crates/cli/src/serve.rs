@@ -53,7 +53,23 @@
 //! * `GET /healthz`  — liveness probe, plain `ok`;
 //! * `GET /snapshot` — merged registry snapshot as JSON with structured
 //!   hardware-counter availability and per-session request counts;
+//! * `GET /debug/slow` — the flight recorder's retained slow traces,
+//!   ranked slowest-first (`?n=` caps the list);
+//! * `GET /debug/trace/<id>` — one trace by id: the full span+level
+//!   document if the tail sampler kept it, the id+latency digest
+//!   otherwise;
 //! * `GET /quitquitquit` — graceful shutdown (drains admitted jobs).
+//!
+//! Every request additionally carries a **flight-recorder trace id**
+//! (the client's `Trace-Id` header, or a generated `req-<id>`), echoed
+//! in the response JSON. Completed requests land in a fixed-capacity
+//! ring: failures and tail-latency outliers keep their full trace —
+//! spans joined with the executing session's per-level digest
+//! (direction, frontier, phase nanoseconds) — everything else keeps an
+//! id+latency digest (DESIGN.md §15). Diagnostic reads (`/metrics`,
+//! `/snapshot`, `/debug/*`) are answered on the listener thread and
+//! never pass through the admission queue, so they stay responsive
+//! exactly when the queue is saturated.
 //!
 //! Error taxonomy (DESIGN.md §14): 400 malformed, 422 valid syntax but
 //! impossible vertices, 405 wrong method; **503** means *shed before
@@ -76,6 +92,9 @@ use bfs_core::session::BfsSession;
 use bfs_graph::stats::random_roots;
 use bfs_metrics::{prom, Counter, Hist, MetricsSnapshot};
 use bfs_platform::Topology;
+use bfs_trace::{
+    FlightRecorder, FlightStats, LevelDigest, RequestTrace, TailSampler, TraceDigest, TraceLookup,
+};
 use serde::Serialize;
 
 use crate::cmd;
@@ -133,6 +152,21 @@ struct ServerState {
     /// Requests answered 4xx/5xx by the workers; dispatchers drain this
     /// into `Counter::ServeErrors` (single-writer rule).
     http_errors: AtomicU64,
+    /// Failure traces recorded worker-side (4xx, shed, dispatch timeout);
+    /// dispatchers drain this into `Counter::ServeTraceSampled` the same
+    /// way `http_errors` feeds `ServeErrors`.
+    trace_sampled_errors: AtomicU64,
+    /// Completed-request flight recorder (DESIGN.md §15). `Mutex`-guarded
+    /// internally: workers and dispatchers both record into it — it is a
+    /// diagnostic ring, not a metrics registry, so the single-writer rule
+    /// does not apply.
+    recorder: FlightRecorder,
+    /// Tail-sampling policy: full trace vs id+latency digest.
+    sampler: Mutex<TailSampler>,
+    /// `--slow-ms` as configured (echoed by `/debug/slow`).
+    slow_ms: Option<u64>,
+    /// `--trace-log` JSONL sink for sampled traces.
+    trace_log: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
     next_id: AtomicU64,
     started: Instant,
     sessions: Vec<SessionShared>,
@@ -151,6 +185,11 @@ struct ServerState {
 /// One admitted query, owned by a dispatcher from dequeue on.
 struct Job {
     id: u64,
+    /// Flight-recorder trace id: the client's `Trace-Id` header or the
+    /// generated `req-<id>`.
+    trace_id: String,
+    /// Human-readable descriptor for the recorded trace.
+    query_desc: String,
     kind: QueryKind,
     arrival: Instant,
     parse_ns: u64,
@@ -212,6 +251,21 @@ struct SnapshotDoc {
     metrics: MetricsSnapshot,
 }
 
+/// `/debug/slow` document: the recorder's slowest retained traces plus
+/// the sampling policy that kept them.
+#[derive(Serialize)]
+struct SlowDoc {
+    /// Current rolling keep-threshold (`None` while the sampler warms
+    /// up): successful requests strictly above it keep full traces.
+    threshold_ns: Option<u64>,
+    /// The configured absolute floor, as given (`--slow-ms`).
+    slow_ms: Option<u64>,
+    /// Ring occupancy and eviction churn.
+    stats: FlightStats,
+    /// Retained full traces ranked slowest-first.
+    slow: Vec<RequestTrace>,
+}
+
 /// Poison-tolerant lock: a panicked holder must not wedge the server.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
@@ -260,6 +314,21 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     let addr = o.get("metrics-addr").unwrap_or("127.0.0.1:9464");
     let http_threads: usize = o.num("http-threads", 4)?.max(1);
     let queue_cap: usize = o.num("queue-cap", 1024)?.max(1);
+    // Flight recorder: `--slow-ms` is the absolute keep floor (0 keeps
+    // every trace — useful for smokes), `--trace-ring` sizes the full-
+    // trace ring (the digest ring is 16x, at least 1024), `--trace-log`
+    // appends every sampled trace as JSONL.
+    let slow_ms: Option<u64> = match o.get("slow-ms") {
+        Some(_) => Some(o.num("slow-ms", 0u64)?),
+        None => None,
+    };
+    let trace_ring: usize = o.num("trace-ring", 64)?.max(1);
+    let trace_log = match o.get("trace-log") {
+        Some(path) => Some(Mutex::new(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?,
+        ))),
+        None => None,
+    };
 
     let opts = BfsOptions {
         hw_counters: true,
@@ -286,7 +355,17 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         .local_addr()
         .map_err(|e| format!("local_addr: {e}"))?;
     println!(
-        "serving http://{local}/query (also /path /graph /metrics /healthz /snapshot /quitquitquit)"
+        "serving http://{local}/query (also /path /graph /metrics /healthz /snapshot \
+         /debug/slow /debug/trace/<id> /quitquitquit)"
+    );
+    println!(
+        "flight recorder: {trace_ring} full traces (+{} digests), slow floor {}, trace log {}",
+        trace_ring.saturating_mul(16).max(1024),
+        match slow_ms {
+            Some(ms) => format!("{ms}ms"),
+            None => "rolling p99 only".into(),
+        },
+        o.get("trace-log").unwrap_or("off"),
     );
     println!(
         "pool: {num_sessions} sessions x ({} sockets x {} lanes), queue cap {queue_cap}, {http_threads} http threads, deadline {}, hw counters {hw}",
@@ -325,6 +404,11 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         queue_cap,
         default_deadline_ms,
         http_errors: AtomicU64::new(0),
+        trace_sampled_errors: AtomicU64::new(0),
+        recorder: FlightRecorder::new(trace_ring, trace_ring.saturating_mul(16).max(1024)),
+        sampler: Mutex::new(TailSampler::new(slow_ms)),
+        slow_ms,
+        trace_log,
         next_id: AtomicU64::new(0),
         started: Instant::now(),
         sessions: shared,
@@ -488,19 +572,22 @@ fn serve_wave(
         job.buf.clear();
         let _ = write!(
             job.buf,
-            "{{\"error\":\"deadline expired while queued; request dropped without executing\",\"id\":{},",
-            job.id
+            "{{\"error\":\"deadline expired while queued; request dropped without executing\",\"id\":{},\"trace_id\":\"{}\",",
+            job.id, job.trace_id
         );
         write_span(&mut job.buf, &span);
         job.buf.push(b'}');
     }
 
     // Execute the survivors as one wave; each result renders into its
-    // waiter's buffer as the traversal completes.
+    // waiter's buffer as the traversal completes, and the sampler rules
+    // on the trace *inside* the callback — the executing session's level
+    // digest must be copied out before the next wave member overwrites
+    // it.
     let kinds: Vec<QueryKind> = live.iter().map(|(j, _)| j.kind.clone()).collect();
-    let mut timings: Vec<(u64, u64, u64)> = vec![(0, 0, 0); live.len()];
+    let mut timings: Vec<LiveTiming> = (0..live.len()).map(|_| LiveTiming::default()).collect();
     let mut seg = Instant::now();
-    query::execute_wave(session, &kinds, out, |i, outcome| {
+    query::execute_wave(session, &kinds, out, |sess, i, outcome| {
         let execute_ns = elapsed_ns(seg);
         let (job, queue_ns) = &mut live[i];
         let ser = Instant::now();
@@ -511,19 +598,40 @@ fn serve_wave(
             session: idx,
             wave: wave_size,
         };
-        render_outcome(&mut job.buf, job.id, &outcome, &span);
+        render_outcome(&mut job.buf, job.id, &job.trace_id, &outcome, &span);
         let serialize_ns = elapsed_ns(ser);
-        timings[i] = (execute_ns, serialize_ns, elapsed_ns(job.arrival));
+        let total_ns = elapsed_ns(job.arrival);
+        let keep = lock(&state.sampler).decide(total_ns, false);
+        let (levels, levels_truncated) = if keep {
+            sess.with_level_digest(|log| (log.entries().to_vec(), log.truncated()))
+        } else {
+            (Vec::new(), 0)
+        };
+        timings[i] = LiveTiming {
+            execute_ns,
+            serialize_ns,
+            total_ns,
+            keep,
+            levels,
+            levels_truncated,
+        };
         seg = Instant::now();
     });
 
     // Single-writer metrics: only this dispatcher touches this session's
-    // registry, and worker-side error tallies arrive via the drained
-    // atomic.
+    // registry, and worker-side error/trace tallies arrive via the
+    // drained atomics.
     let errors = state.http_errors.swap(0, Ordering::Relaxed);
+    let worker_traces = state.trace_sampled_errors.swap(0, Ordering::Relaxed);
     {
+        let kept = timings.iter().filter(|t| t.keep).count() as u64;
         let mut d = session.metrics_mut().driver();
         d.add(Counter::ServeErrors, errors);
+        d.add(
+            Counter::ServeTraceSampled,
+            worker_traces + dropped.len() as u64 + kept,
+        );
+        d.add(Counter::ServeTraceDigest, timings.len() as u64 - kept);
         for (job, queue_ns) in &dropped {
             d.add(Counter::ServeRequests, 1);
             d.add(Counter::ServeDeadlineDropped, 1);
@@ -531,16 +639,14 @@ fn serve_wave(
             d.add(Counter::ServeQueueNs, *queue_ns);
             d.observe(Hist::ServeQueueNs, *queue_ns);
         }
-        for ((job, queue_ns), (execute_ns, serialize_ns, total_ns)) in
-            live.iter().zip(timings.iter())
-        {
+        for ((job, queue_ns), t) in live.iter().zip(timings.iter()) {
             d.add(Counter::ServeRequests, 1);
             d.add(Counter::ServeParseNs, job.parse_ns);
             d.add(Counter::ServeQueueNs, *queue_ns);
-            d.add(Counter::ServeExecNs, *execute_ns);
-            d.add(Counter::ServeSerializeNs, *serialize_ns);
+            d.add(Counter::ServeExecNs, t.execute_ns);
+            d.add(Counter::ServeSerializeNs, t.serialize_ns);
             d.observe(Hist::ServeQueueNs, *queue_ns);
-            d.observe(Hist::ServeRequestNs, *total_ns);
+            d.observe(Hist::ServeRequestNs, t.total_ns);
         }
         if wave_size >= 2 {
             d.add(Counter::ServeCoalescedWaves, 1);
@@ -563,14 +669,65 @@ fn serve_wave(
         *last_publish = Instant::now();
     }
     let shared = &state.sessions[idx];
-    for (job, _) in dropped {
+    for (mut job, queue_ns) in dropped {
+        // A deadline drop is a failure: its full trace is always kept.
+        record_full_trace(
+            state,
+            RequestTrace {
+                id: std::mem::take(&mut job.trace_id),
+                query: std::mem::take(&mut job.query_desc),
+                status: 504,
+                outcome: "deadline_dropped".to_string(),
+                error: Some("deadline expired while queued".to_string()),
+                sampled: true,
+                parse_ns: job.parse_ns,
+                queue_ns,
+                execute_ns: 0,
+                serialize_ns: 0,
+                total_ns: elapsed_ns(job.arrival),
+                session: Some(idx as u64),
+                wave: 0,
+                levels: Vec::new(),
+                levels_truncated: 0,
+            },
+        );
         shared.served.fetch_add(1, Ordering::Relaxed);
         let _ = job.resp.send(Reply {
             status: "504 Gateway Timeout",
             body: job.buf,
         });
     }
-    for (job, _) in live {
+    for ((mut job, queue_ns), t) in live.into_iter().zip(timings) {
+        let trace_id = std::mem::take(&mut job.trace_id);
+        if t.keep {
+            record_full_trace(
+                state,
+                RequestTrace {
+                    id: trace_id,
+                    query: std::mem::take(&mut job.query_desc),
+                    status: 200,
+                    outcome: "ok".to_string(),
+                    error: None,
+                    sampled: true,
+                    parse_ns: job.parse_ns,
+                    queue_ns,
+                    execute_ns: t.execute_ns,
+                    serialize_ns: t.serialize_ns,
+                    total_ns: t.total_ns,
+                    session: Some(idx as u64),
+                    wave: wave_size as u64,
+                    levels: t.levels,
+                    levels_truncated: t.levels_truncated,
+                },
+            );
+        } else {
+            state.recorder.record_digest(TraceDigest {
+                id: trace_id,
+                status: 200,
+                total_ns: t.total_ns,
+                sampled: false,
+            });
+        }
         shared.served.fetch_add(1, Ordering::Relaxed);
         let _ = job.resp.send(Reply {
             status: "200 OK",
@@ -578,6 +735,79 @@ fn serve_wave(
         });
     }
     answered
+}
+
+/// Per-live-request measurements and the sampler's verdict, captured
+/// inside the wave callback (the level digest is only valid until the
+/// next wave member runs).
+#[derive(Default)]
+struct LiveTiming {
+    execute_ns: u64,
+    serialize_ns: u64,
+    total_ns: u64,
+    keep: bool,
+    levels: Vec<LevelDigest>,
+    levels_truncated: u64,
+}
+
+/// Stores a sampled trace in the full ring and, when `--trace-log` is
+/// set, appends it as one JSON line.
+fn record_full_trace(state: &ServerState, trace: RequestTrace) {
+    if let Some(log) = &state.trace_log {
+        if let Ok(line) = serde_json::to_string(&trace) {
+            let mut w = lock(log);
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+    }
+    state.recorder.record_full(trace);
+}
+
+/// Records a worker-side failure (4xx, shed, dispatch timeout) as an
+/// always-kept trace. Workers may not touch a session registry, so the
+/// sampled count rides the drained `trace_sampled_errors` atomic.
+#[allow(clippy::too_many_arguments)]
+fn record_failure_trace(
+    state: &ServerState,
+    trace_id: String,
+    query: String,
+    status: u16,
+    outcome: &str,
+    error: &str,
+    arrival: Instant,
+    parse_ns: u64,
+) {
+    state.trace_sampled_errors.fetch_add(1, Ordering::Relaxed);
+    record_full_trace(
+        state,
+        RequestTrace {
+            id: trace_id,
+            query,
+            status,
+            outcome: outcome.to_string(),
+            error: Some(error.to_string()),
+            sampled: true,
+            parse_ns,
+            queue_ns: 0,
+            execute_ns: 0,
+            serialize_ns: 0,
+            total_ns: elapsed_ns(arrival),
+            session: None,
+            wave: 0,
+            levels: Vec::new(),
+            levels_truncated: 0,
+        },
+    );
+}
+
+/// Accepts client-supplied trace ids that are short and shell/JSON-safe:
+/// 1–64 characters from `[A-Za-z0-9_.-]`.
+fn valid_trace_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-'))
 }
 
 fn elapsed_ns(since: Instant) -> u64 {
@@ -636,13 +866,14 @@ fn write_reach_fields(buf: &mut Vec<u8>, r: &query::ReachResult) {
     }
 }
 
-/// Renders one outcome (plus id and spans) into `buf`, replacing its
-/// contents but reusing its capacity.
-fn render_outcome(buf: &mut Vec<u8>, id: u64, outcome: &QueryOutcome, span: &Span) {
+/// Renders one outcome (plus id, trace id, and spans) into `buf`,
+/// replacing its contents but reusing its capacity. Trace ids are
+/// validated to `[A-Za-z0-9_.-]`, so emitting one needs no escaping.
+fn render_outcome(buf: &mut Vec<u8>, id: u64, trace_id: &str, outcome: &QueryOutcome, span: &Span) {
     buf.clear();
     match outcome {
         QueryOutcome::Reach(r) => {
-            let _ = write!(buf, "{{\"id\":{id},");
+            let _ = write!(buf, "{{\"id\":{id},\"trace_id\":\"{trace_id}\",");
             write_reach_fields(buf, r);
             buf.push(b',');
             write_span(buf, span);
@@ -651,7 +882,7 @@ fn render_outcome(buf: &mut Vec<u8>, id: u64, outcome: &QueryOutcome, span: &Spa
         QueryOutcome::Path(p) => {
             let _ = write!(
                 buf,
-                "{{\"id\":{id},\"src\":{},\"dst\":{},\"reached\":{},\"path\":[",
+                "{{\"id\":{id},\"trace_id\":\"{trace_id}\",\"src\":{},\"dst\":{},\"reached\":{},\"path\":[",
                 p.src,
                 p.dst,
                 p.reached()
@@ -667,7 +898,10 @@ fn render_outcome(buf: &mut Vec<u8>, id: u64, outcome: &QueryOutcome, span: &Spa
             buf.push(b'}');
         }
         QueryOutcome::Batch(rows) => {
-            let _ = write!(buf, "{{\"id\":{id},\"results\":[");
+            let _ = write!(
+                buf,
+                "{{\"id\":{id},\"trace_id\":\"{trace_id}\",\"results\":["
+            );
             for (i, r) in rows.iter().enumerate() {
                 if i > 0 {
                     buf.push(b',');
@@ -885,13 +1119,100 @@ fn handle(
             http::write_response(stream, "200 OK", "text/plain; charset=utf-8", b"bye\n");
             true
         }
+        // Diagnostic reads are answered on the listener thread, same as
+        // /metrics and /snapshot: they must stay reachable when the
+        // admission queue is saturated — that is exactly when they are
+        // needed.
+        ("GET", "/debug/slow") => {
+            let limit = req
+                .param("n")
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(20);
+            let doc = SlowDoc {
+                threshold_ns: lock(&state.sampler).rolling_threshold_ns(),
+                slow_ms: state.slow_ms,
+                stats: state.recorder.stats(),
+                slow: state.recorder.slow_ranked(limit),
+            };
+            match serde_json::to_string(&doc) {
+                Ok(body) => http::write_json(stream, "200 OK", &body),
+                Err(e) => http::write_json_error(
+                    stream,
+                    "500 Internal Server Error",
+                    &format!("slow doc to JSON: {e}"),
+                ),
+            }
+            false
+        }
+        ("GET", p) if p.starts_with("/debug/trace/") => {
+            let tid = &p["/debug/trace/".len()..];
+            let rendered = match state.recorder.lookup(tid) {
+                Some(TraceLookup::Full(t)) => serde_json::to_string(&t),
+                Some(TraceLookup::Digest(d)) => serde_json::to_string(&d),
+                None => {
+                    return client_error(
+                        "404 Not Found",
+                        &format!("no retained trace with id {tid:?} (evicted or never recorded)"),
+                    )
+                }
+            };
+            match rendered {
+                Ok(body) => http::write_json(stream, "200 OK", &body),
+                Err(e) => http::write_json_error(
+                    stream,
+                    "500 Internal Server Error",
+                    &format!("trace to JSON: {e}"),
+                ),
+            }
+            false
+        }
         ("GET", "/query") | ("GET", "/path") | ("POST", "/query") => {
+            // Trace id first: the failure paths below record traces under
+            // it. Client-supplied ids are validated; otherwise the id is
+            // derived from the request id the response echoes anyway.
+            let id = state.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+            let trace_id = match req.header("trace-id") {
+                Some(raw) if !valid_trace_id(raw) => {
+                    return client_error(
+                        "400 Bad Request",
+                        &format!(
+                            "Trace-Id header {raw:?} invalid (want 1-64 chars of [A-Za-z0-9_.-])"
+                        ),
+                    )
+                }
+                Some(raw) => raw.to_string(),
+                None => format!("req-{id}"),
+            };
+            let query_desc = format!("{} {}", req.method, req.path);
             let kind = match parse_query_request(req) {
                 Ok(k) => k,
-                Err(msg) => return client_error("400 Bad Request", &msg),
+                Err(msg) => {
+                    record_failure_trace(
+                        state,
+                        trace_id,
+                        query_desc,
+                        400,
+                        "client_error",
+                        &msg,
+                        arrival,
+                        elapsed_ns(arrival),
+                    );
+                    return client_error("400 Bad Request", &msg);
+                }
             };
             if let Err(e) = kind.validate(num_vertices) {
-                return client_error("422 Unprocessable Entity", &e.to_string());
+                let msg = e.to_string();
+                record_failure_trace(
+                    state,
+                    trace_id,
+                    query_desc,
+                    422,
+                    "client_error",
+                    &msg,
+                    arrival,
+                    elapsed_ns(arrival),
+                );
+                return client_error("422 Unprocessable Entity", &msg);
             }
             // Per-request deadline: the client's Deadline-Ms header wins
             // over the server-wide --deadline-ms default. A budget of 0
@@ -901,23 +1222,37 @@ fn handle(
                 Some(raw) => match raw.parse::<u64>() {
                     Ok(ms) => Some(ms),
                     Err(_) => {
-                        return client_error(
-                            "400 Bad Request",
-                            &format!("Deadline-Ms header {raw:?} is not a millisecond count"),
-                        )
+                        let msg = format!("Deadline-Ms header {raw:?} is not a millisecond count");
+                        record_failure_trace(
+                            state,
+                            trace_id,
+                            query_desc,
+                            400,
+                            "client_error",
+                            &msg,
+                            arrival,
+                            elapsed_ns(arrival),
+                        );
+                        return client_error("400 Bad Request", &msg);
                     }
                 },
                 None => state.default_deadline_ms,
             };
             let deadline =
                 deadline_ms.and_then(|ms| arrival.checked_add(Duration::from_millis(ms)));
-            enqueue_and_reply(stream, arrival, state, kind, deadline, buf);
+            enqueue_and_reply(
+                stream, arrival, state, id, trace_id, query_desc, kind, deadline, buf,
+            );
             false
         }
         (
             _,
             "/healthz" | "/metrics" | "/snapshot" | "/graph" | "/quitquitquit" | "/query" | "/path",
         ) => client_error(
+            "405 Method Not Allowed",
+            &format!("{} not allowed", req.method),
+        ),
+        (_, p) if p == "/debug/slow" || p.starts_with("/debug/trace/") => client_error(
             "405 Method Not Allowed",
             &format!("{} not allowed", req.method),
         ),
@@ -981,16 +1316,19 @@ fn parse_query_request(req: &Request) -> Result<QueryKind, String> {
 
 /// Admits the request (or sheds it with 503) and relays the session's
 /// reply, reclaiming the serialization buffer for the next request.
+#[allow(clippy::too_many_arguments)]
 fn enqueue_and_reply(
     stream: &mut TcpStream,
     arrival: Instant,
     state: &ServerState,
+    id: u64,
+    trace_id: String,
+    query_desc: String,
     kind: QueryKind,
     deadline: Option<Instant>,
     buf: &mut Vec<u8>,
 ) {
     let parse_ns = elapsed_ns(arrival);
-    let id = state.next_id.fetch_add(1, Ordering::Relaxed) + 1;
     let (rtx, rrx) = mpsc::channel();
     {
         let mut adm = lock(&state.admission);
@@ -1001,6 +1339,9 @@ fn enqueue_and_reply(
                 "admission queue full; retry later"
             };
             drop(adm);
+            record_failure_trace(
+                state, trace_id, query_desc, 503, "shed", msg, arrival, parse_ns,
+            );
             state.http_errors.fetch_add(1, Ordering::Relaxed);
             http::write_json_error(stream, "503 Service Unavailable", msg);
             return;
@@ -1008,6 +1349,10 @@ fn enqueue_and_reply(
         buf.clear();
         adm.queue.push_back(Job {
             id,
+            // The job carries clones so the dispatch-timeout arm below
+            // can still record a trace after handing the originals off.
+            trace_id: trace_id.clone(),
+            query_desc: query_desc.clone(),
             kind,
             arrival,
             parse_ns,
@@ -1026,6 +1371,16 @@ fn enqueue_and_reply(
             *buf = reply.body;
         }
         Err(_) => {
+            record_failure_trace(
+                state,
+                trace_id,
+                query_desc,
+                504,
+                "timeout",
+                "dispatch timed out",
+                arrival,
+                parse_ns,
+            );
             state.http_errors.fetch_add(1, Ordering::Relaxed);
             http::write_json_error(stream, "504 Gateway Timeout", "dispatch timed out");
         }
@@ -1412,6 +1767,282 @@ mod tests {
                 break;
             }
             assert!(Instant::now() < deadline, "no wave ever coalesced:\n{m}");
+        }
+        assert!(get(&addr, "/quitquitquit").body.ends_with("bye\n"));
+        driver.join().unwrap().unwrap();
+    }
+
+    /// The tentpole, end to end: a request is retrievable by its trace
+    /// id with lifecycle spans, placement, and the executing session's
+    /// per-level digest; `/debug/slow` ranks retained traces.
+    #[test]
+    fn slow_traces_resolve_end_to_end_with_level_digests() {
+        let (driver, addr) = start(&["--slow-ms", "0", "--sessions", "1"]);
+
+        // Client-stamped Trace-Id echoes in the response JSON.
+        let r = http::get_with_headers(
+            &addr,
+            "/query?src=0&dst=5",
+            &[("Trace-Id", "triage-1")],
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert!(r.ok(), "{} {}", r.status, r.body);
+        let v = serde_json::parse(&r.body).unwrap();
+        assert_eq!(v.get("trace_id").and_then(|x| x.as_str()), Some("triage-1"));
+
+        // Without the header the server generates one tied to the id.
+        let r = get(&addr, "/query?src=1");
+        assert!(r.ok(), "{} {}", r.status, r.body);
+        let v = serde_json::parse(&r.body).unwrap();
+        let generated = v
+            .get("trace_id")
+            .and_then(|x| x.as_str())
+            .unwrap()
+            .to_string();
+        assert!(generated.starts_with("req-"), "{generated}");
+
+        // --slow-ms 0 keeps every trace: the full document resolves by
+        // id, spans nest inside the total, and the per-level digest
+        // carries direction/frontier/phase breakdowns.
+        let t = get(&addr, "/debug/trace/triage-1");
+        assert!(t.ok(), "{} {}", t.status, t.body);
+        let tv = serde_json::parse(&t.body).unwrap();
+        assert_eq!(tv.get("status").and_then(|x| x.as_u64()), Some(200));
+        assert_eq!(tv.get("outcome").and_then(|x| x.as_str()), Some("ok"));
+        assert_eq!(tv.get("sampled").and_then(|x| x.as_bool()), Some(true));
+        assert_eq!(tv.get("query").and_then(|x| x.as_str()), Some("GET /query"));
+        assert_eq!(tv.get("session").and_then(|x| x.as_u64()), Some(0));
+        assert_eq!(tv.get("wave").and_then(|x| x.as_u64()), Some(1));
+        let total = tv.get("total_ns").and_then(|x| x.as_u64()).unwrap();
+        let span_sum: u64 = ["parse_ns", "queue_ns", "execute_ns", "serialize_ns"]
+            .iter()
+            .map(|k| tv.get(k).and_then(|x| x.as_u64()).unwrap())
+            .sum();
+        assert!(span_sum <= total, "spans {span_sum} exceed total {total}");
+        assert!(tv.get("execute_ns").and_then(|x| x.as_u64()).unwrap() > 0);
+        let levels = tv.get("levels").and_then(|x| x.as_array()).unwrap();
+        assert!(!levels.is_empty(), "{}", t.body);
+        for key in ["step", "frontier", "phase1_ns", "phase2_ns", "rearrange_ns"] {
+            assert!(
+                levels[0].get(key).and_then(|x| x.as_u64()).is_some(),
+                "{key}"
+            );
+        }
+        assert!(levels[0]
+            .get("top_down")
+            .and_then(|x| x.as_bool())
+            .is_some());
+        assert!(levels[0].get("frontier").and_then(|x| x.as_u64()).unwrap() > 0);
+
+        // /debug/slow ranks the retained traces slowest-first and both
+        // ids appear.
+        let s = get(&addr, "/debug/slow");
+        assert!(s.ok(), "{} {}", s.status, s.body);
+        let sv = serde_json::parse(&s.body).unwrap();
+        let slow = sv.get("slow").and_then(|x| x.as_array()).unwrap();
+        assert!(slow.len() >= 2, "{}", s.body);
+        let totals: Vec<u64> = slow
+            .iter()
+            .map(|t| t.get("total_ns").and_then(|x| x.as_u64()).unwrap())
+            .collect();
+        assert!(totals.windows(2).all(|w| w[0] >= w[1]), "{totals:?}");
+        let ids: Vec<&str> = slow
+            .iter()
+            .map(|t| t.get("id").and_then(|x| x.as_str()).unwrap())
+            .collect();
+        assert!(ids.contains(&"triage-1"), "{ids:?}");
+        assert!(ids.contains(&generated.as_str()), "{ids:?}");
+        assert!(sv
+            .get("stats")
+            .and_then(|x| x.get("retained_full"))
+            .is_some());
+
+        // Sampler decisions are visible in the exposition.
+        let m = get(&addr, "/metrics").body;
+        assert!(
+            series_value(&m, "fastbfs_serve_trace_sampled_total") >= 2,
+            "{m}"
+        );
+
+        // Guard rails: invalid client ids are rejected, unknown ids 404,
+        // wrong methods 405.
+        let bad = http::get_with_headers(
+            &addr,
+            "/query?src=0",
+            &[("Trace-Id", "has spaces")],
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert_eq!(bad.status, 400, "{}", bad.body);
+        assert_eq!(get(&addr, "/debug/trace/never-recorded").status, 404);
+        let r = http::post_json(&addr, "/debug/slow", "", Duration::from_secs(30)).unwrap();
+        assert_eq!(r.status, 405, "{}", r.body);
+
+        assert!(get(&addr, "/quitquitquit").body.ends_with("bye\n"));
+        driver.join().unwrap().unwrap();
+    }
+
+    /// Tail-sampling policy: failures (422, deadline drops) always keep
+    /// full traces, while a fast success under a cold sampler (no
+    /// `--slow-ms`, fewer observations than warmup) retains only the
+    /// id+latency digest.
+    #[test]
+    fn failures_keep_full_traces_and_fast_successes_stay_digest_only() {
+        let (driver, addr) = start(&["--sessions", "1"]);
+
+        // 422: recorded worker-side, before any session was involved.
+        let r = http::get_with_headers(
+            &addr,
+            "/query?src=99999",
+            &[("Trace-Id", "bad.vertex")],
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert_eq!(r.status, 422, "{}", r.body);
+        let t = get(&addr, "/debug/trace/bad.vertex");
+        assert!(t.ok(), "{} {}", t.status, t.body);
+        let tv = serde_json::parse(&t.body).unwrap();
+        assert_eq!(tv.get("status").and_then(|x| x.as_u64()), Some(422));
+        assert_eq!(
+            tv.get("outcome").and_then(|x| x.as_str()),
+            Some("client_error")
+        );
+        assert!(tv.get("error").and_then(|x| x.as_str()).is_some());
+        assert!(tv.get("session").and_then(|x| x.as_u64()).is_none());
+
+        // Deadline-dropped: 504 at pop time, executed nothing, but the
+        // trace names the session that dropped it.
+        let r = http::get_with_headers(
+            &addr,
+            "/query?src=0",
+            &[("Trace-Id", "doomed"), ("Deadline-Ms", "0")],
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert_eq!(r.status, 504, "{}", r.body);
+        let t = get(&addr, "/debug/trace/doomed");
+        assert!(t.ok(), "{} {}", t.status, t.body);
+        let tv = serde_json::parse(&t.body).unwrap();
+        assert_eq!(tv.get("status").and_then(|x| x.as_u64()), Some(504));
+        assert_eq!(
+            tv.get("outcome").and_then(|x| x.as_str()),
+            Some("deadline_dropped")
+        );
+        assert_eq!(tv.get("execute_ns").and_then(|x| x.as_u64()), Some(0));
+        assert_eq!(tv.get("wave").and_then(|x| x.as_u64()), Some(0));
+        assert_eq!(tv.get("session").and_then(|x| x.as_u64()), Some(0));
+
+        // A fast success: the sampler has seen fewer than its warmup
+        // window of observations and no absolute floor is set, so the
+        // trace lands in the digest tier (id + latency only, no levels).
+        let r = http::get_with_headers(
+            &addr,
+            "/query?src=1",
+            &[("Trace-Id", "routine")],
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert!(r.ok(), "{} {}", r.status, r.body);
+        let t = get(&addr, "/debug/trace/routine");
+        assert!(t.ok(), "{} {}", t.status, t.body);
+        let tv = serde_json::parse(&t.body).unwrap();
+        assert_eq!(tv.get("sampled").and_then(|x| x.as_bool()), Some(false));
+        assert_eq!(tv.get("status").and_then(|x| x.as_u64()), Some(200));
+        assert!(tv.get("levels").is_none(), "digest tier: {}", t.body);
+
+        let m = get(&addr, "/metrics").body;
+        assert!(
+            series_value(&m, "fastbfs_serve_trace_sampled_total") >= 2,
+            "{m}"
+        );
+        assert!(
+            series_value(&m, "fastbfs_serve_trace_digest_total") >= 1,
+            "{m}"
+        );
+
+        assert!(get(&addr, "/quitquitquit").body.ends_with("bye\n"));
+        driver.join().unwrap().unwrap();
+    }
+
+    /// The satellite fix as a regression test: `/metrics` and `/debug/*`
+    /// answer from the listener thread and never pass through the
+    /// admission queue — a saturated queue (proved by a 503-shed probe)
+    /// must not stop them.
+    #[test]
+    fn debug_and_metrics_bypass_a_saturated_admission_queue() {
+        let (driver, addr) = start(&[
+            "--sessions",
+            "1",
+            "--threads",
+            "1",
+            "--queue-cap",
+            "1",
+            "--vertices",
+            "2000",
+        ]);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        'attempt: loop {
+            // Park the lone session on a long batch, then lodge one
+            // query in the queue (cap 1) behind it.
+            let addr2 = addr.clone();
+            let batch = std::thread::spawn(move || {
+                let sources: Vec<String> = (0..512u32).map(|i| i.to_string()).collect();
+                let body = format!("{{\"sources\":[{}]}}", sources.join(","));
+                http::post_json(&addr2, "/query", &body, Duration::from_secs(60)).unwrap()
+            });
+            // Give the dispatcher a moment to pop the batch so the
+            // filler lands in the emptied queue (shed is tolerated: the
+            // queue was full either way).
+            std::thread::sleep(Duration::from_millis(20));
+            let addr3 = addr.clone();
+            let filler = std::thread::spawn(move || {
+                http::get(&addr3, "/query?src=0", Duration::from_secs(60)).unwrap()
+            });
+            // Wait until the queue is visibly full, then prove it: a
+            // probe is shed with 503 and its trace records the shed.
+            let mut saturated = false;
+            while Instant::now() < deadline {
+                let m = get(&addr, "/metrics").body;
+                if series_value(&m, "fastbfs_queue_depth") >= 1 {
+                    saturated = true;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if saturated {
+                let probe = http::get_with_headers(
+                    &addr,
+                    "/query?src=1",
+                    &[("Trace-Id", "shed-probe")],
+                    Duration::from_secs(30),
+                )
+                .unwrap();
+                if probe.status == 503 {
+                    // Queue saturated *right now* — the diagnostic reads
+                    // must still answer immediately.
+                    assert!(get(&addr, "/metrics").ok());
+                    assert!(get(&addr, "/snapshot").ok());
+                    assert!(get(&addr, "/debug/slow").ok());
+                    let t = get(&addr, "/debug/trace/shed-probe");
+                    assert!(t.ok(), "{} {}", t.status, t.body);
+                    let tv = serde_json::parse(&t.body).unwrap();
+                    assert_eq!(tv.get("status").and_then(|x| x.as_u64()), Some(503));
+                    assert_eq!(tv.get("outcome").and_then(|x| x.as_str()), Some("shed"));
+                    assert!(batch.join().unwrap().ok());
+                    let f = filler.join().unwrap();
+                    assert!(f.ok() || f.status == 503, "{} {}", f.status, f.body);
+                    break 'attempt;
+                }
+            }
+            // The batch outran us; drain this attempt and retry.
+            assert!(batch.join().unwrap().ok());
+            let f = filler.join().unwrap();
+            assert!(f.ok() || f.status == 503, "{} {}", f.status, f.body);
+            assert!(
+                Instant::now() < deadline,
+                "queue never stayed saturated long enough to probe"
+            );
         }
         assert!(get(&addr, "/quitquitquit").body.ends_with("bye\n"));
         driver.join().unwrap().unwrap();

@@ -286,6 +286,11 @@ pub(crate) struct RunState {
     /// Leader-only per-depth direction log (aligned with
     /// `frontier_sizes[1..]`).
     direction_log: ThreadOwned<Vec<Direction>>,
+    /// Leader-only per-level digest (direction, frontier size, critical-
+    /// path phase ns), aligned with `direction_log`. Fixed capacity,
+    /// preallocated at construction: warm-path recording never allocates
+    /// (the flight-recorder seam — see DESIGN.md §15).
+    level_log: ThreadOwned<bfs_trace::LevelDigestLog>,
     /// Per-thread log of every vertex the run enqueued (sessions only):
     /// exactly the set whose VIS storage the next `prepare` must clear.
     touched: ThreadOwned<Vec<VertexId>>,
@@ -336,6 +341,9 @@ impl RunState {
             ),
             frontier_log: ThreadOwned::from_fn(1, |_| Vec::new()),
             direction_log: ThreadOwned::from_fn(1, |_| Vec::new()),
+            level_log: ThreadOwned::from_fn(1, |_| {
+                bfs_trace::LevelDigestLog::with_capacity(bfs_trace::LEVEL_DIGEST_CAP)
+            }),
             touched: ThreadOwned::from_fn(nthreads, |_| Vec::new()),
             track_touched,
             runs: 0,
@@ -346,6 +354,16 @@ impl RunState {
     /// Number of runs this state has served.
     pub(crate) fn runs(&self) -> u64 {
         self.runs
+    }
+
+    /// Read access to the last run's per-level digest (the flight-
+    /// recorder seam). Entries align with `TraversalStats::step_directions`
+    /// up to the log's fixed capacity.
+    pub(crate) fn with_level_digest<R>(
+        &self,
+        f: impl FnOnce(&bfs_trace::LevelDigestLog) -> R,
+    ) -> R {
+        self.level_log.read(0, f)
     }
 
     /// Sum of frontier/bin/scratch/touched buffer capacities in `u32`
@@ -413,6 +431,9 @@ impl RunState {
                 log.clear();
             }
             for log in self.direction_log.iter_mut() {
+                log.clear();
+            }
+            for log in self.level_log.iter_mut() {
                 log.clear();
             }
         }
@@ -820,18 +841,19 @@ impl<'g> BfsEngine<'g> {
                 };
                 c.enqueued += mine;
                 mw.observe(MetricHist::StepNs, (d1 + d2 + dr).as_nanos() as u64);
-                if tracing {
-                    state.step_scratch.with_mut(tid, |s| {
-                        *s = StepScratch {
-                            phase1_ns: d1.as_nanos() as u64,
-                            phase2_ns: d2.as_nanos() as u64,
-                            rearrange_ns: dr.as_nanos() as u64,
-                            enqueued: mine,
-                            edge_checks: c.edge_checks - checks_before,
-                            scattered: c.scattered - scattered_before,
-                        };
-                    });
-                }
+                // Unconditional (six stores per thread per step): the
+                // leader's level digest reads these even when full
+                // tracing is off.
+                state.step_scratch.with_mut(tid, |s| {
+                    *s = StepScratch {
+                        phase1_ns: d1.as_nanos() as u64,
+                        phase2_ns: d2.as_nanos() as u64,
+                        rearrange_ns: dr.as_nanos() as u64,
+                        enqueued: mine,
+                        edge_checks: c.edge_checks - checks_before,
+                        scattered: c.scattered - scattered_before,
+                    };
+                });
                 totals[(step & 1) as usize].fetch_add(mine, Ordering::Relaxed);
                 if adaptive {
                     edge_totals[(step & 1) as usize].fetch_add(mine_edges, Ordering::Relaxed);
@@ -842,6 +864,28 @@ impl<'g> BfsEngine<'g> {
                 if tid == 0 && total > 0 {
                     state.frontier_log.with_mut(0, |log| log.push(total));
                     state.direction_log.with_mut(0, |log| log.push(dir));
+                    // Bounded-overhead level digest: critical-path (max
+                    // over threads) phase times from the step scratch,
+                    // recorded into a preallocated fixed-capacity log —
+                    // no allocation, no DP scan (unlike `emit_step_event`).
+                    let (mut p1, mut p2, mut pr) = (0u64, 0u64, 0u64);
+                    for t in 0..nthreads {
+                        state.step_scratch.read(t, |s| {
+                            p1 = p1.max(s.phase1_ns);
+                            p2 = p2.max(s.phase2_ns);
+                            pr = pr.max(s.rearrange_ns);
+                        });
+                    }
+                    state.level_log.with_mut(0, |log| {
+                        log.record(bfs_trace::LevelDigest {
+                            step,
+                            top_down: dir == Direction::TopDown,
+                            frontier: total,
+                            phase1_ns: p1,
+                            phase2_ns: p2,
+                            rearrange_ns: pr,
+                        });
+                    });
                     if tracing {
                         self.emit_step_event(
                             sink,

@@ -207,7 +207,11 @@ pub fn execute(
 }
 
 /// Runs a coalesced wave of validated requests, handing each outcome to
-/// `on_done(index, outcome)` as soon as it is ready.
+/// `on_done(session, index, outcome)` as soon as it is ready. The shared
+/// session reference lets the callback read per-request execution state
+/// — in particular the just-finished traversal's level digest
+/// ([`BfsSession::with_level_digest`]) before the next wave member
+/// overwrites it (the flight-recorder hook).
 ///
 /// This is the admission-coalescing seam: a server that finds several
 /// single-source requests queued when a session frees up batches them
@@ -228,10 +232,11 @@ pub fn execute_wave(
     session: &mut BfsSession<'_>,
     wave: &[QueryKind],
     out: &mut BfsOutput,
-    mut on_done: impl FnMut(usize, QueryOutcome),
+    mut on_done: impl FnMut(&BfsSession<'_>, usize, QueryOutcome),
 ) {
     for (i, kind) in wave.iter().enumerate() {
-        on_done(i, execute(session, kind, out));
+        let outcome = execute(session, kind, out);
+        on_done(session, i, outcome);
     }
 }
 
@@ -531,7 +536,12 @@ mod tests {
             QueryKind::Path { src: 3, dst: 6 },
         ];
         let mut seen = Vec::new();
-        execute_wave(&mut s, &wave, &mut out, |i, o| seen.push((i, o)));
+        execute_wave(&mut s, &wave, &mut out, |session, i, o| {
+            // The digest hook: each callback sees the traversal that
+            // produced this outcome, before the next one overwrites it.
+            assert!(session.with_level_digest(|log| !log.entries().is_empty()));
+            seen.push((i, o));
+        });
         assert_eq!(seen.len(), 3);
         assert_eq!(seen[0].0, 0);
         assert_eq!(seen[2].0, 2);
@@ -605,7 +615,7 @@ mod tests {
             let mut coalesced = BfsSession::new(graph, topo, opts);
             let mut out = BfsOutput::default();
             let mut wave_outcomes: Vec<Option<QueryOutcome>> = vec![None; wave.len()];
-            execute_wave(&mut coalesced, &wave, &mut out, |i, o| {
+            execute_wave(&mut coalesced, &wave, &mut out, |_, i, o| {
                 wave_outcomes[i] = Some(o);
             });
 

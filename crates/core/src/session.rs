@@ -212,6 +212,17 @@ impl<'g> BfsSession<'g> {
         }
     }
 
+    /// Read access to the last run's per-level digest: direction,
+    /// frontier size, and critical-path phase nanoseconds per BFS level,
+    /// recorded allocation-free into a fixed-capacity log (the flight-
+    /// recorder seam, DESIGN.md §15). Level sizes and directions are id-
+    /// space-agnostic, so the digest needs no permutation translation on
+    /// relabeled graphs. Empty before the first run; overwritten by each
+    /// run, so a batch leaves the digest of its last source's traversal.
+    pub fn with_level_digest<R>(&self, f: impl FnOnce(&bfs_trace::LevelDigestLog) -> R) -> R {
+        self.state.with_level_digest(f)
+    }
+
     /// Runs one query per source, in order, returning one output per source.
     ///
     /// # Panics

@@ -119,6 +119,10 @@ fn help(c: Counter) -> &'static str {
         Counter::ServeDeadlineDropped => {
             "Requests answered 504 after their deadline expired in the queue"
         }
+        Counter::ServeTraceSampled => {
+            "Requests whose flight-recorder trace was kept in full by the tail sampler"
+        }
+        Counter::ServeTraceDigest => "Requests retained as an id+latency trace digest only",
     }
 }
 

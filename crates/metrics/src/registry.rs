@@ -131,13 +131,21 @@ pub enum Counter {
     /// dropped without ever executing (driver scope; per-session
     /// dispatcher).
     ServeDeadlineDropped,
+    /// Requests whose flight-recorder trace the tail sampler kept in
+    /// full — slow, errored, or deadline-dropped (driver scope; worker-
+    /// side error traces drain through the dispatcher like
+    /// `ServeErrors`).
+    ServeTraceSampled,
+    /// Requests retained as an id+latency digest only — fast, successful
+    /// requests the tail sampler declined (driver scope).
+    ServeTraceDigest,
 }
 
 impl Counter {
     /// Every counter, in stable index order (`c as usize` indexes this).
     /// Additions are append-only so snapshots serialized by older builds
     /// keep their positional meaning.
-    pub const ALL: [Counter; 44] = [
+    pub const ALL: [Counter; 46] = [
         Counter::Queries,
         Counter::QueryNs,
         Counter::Steps,
@@ -182,6 +190,8 @@ impl Counter {
         Counter::ServeCoalescedWaves,
         Counter::ServeCoalescedRequests,
         Counter::ServeDeadlineDropped,
+        Counter::ServeTraceSampled,
+        Counter::ServeTraceDigest,
     ];
 
     /// Stable snake_case name used in JSON and Prometheus exposition.
@@ -231,6 +241,8 @@ impl Counter {
             Counter::ServeCoalescedWaves => "serve_coalesced_waves",
             Counter::ServeCoalescedRequests => "serve_coalesced_requests",
             Counter::ServeDeadlineDropped => "serve_deadline_dropped",
+            Counter::ServeTraceSampled => "serve_trace_sampled",
+            Counter::ServeTraceDigest => "serve_trace_digest",
         }
     }
 

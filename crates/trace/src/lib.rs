@@ -18,6 +18,10 @@
 //!   [`TeeSink`] (fan-out).
 //! * [`summary`] — analytics over a recorded trace: step-latency
 //!   percentiles, per-phase load-imbalance factors, duplicate rates.
+//! * [`flight`] — the always-on serving counterpart: allocation-free
+//!   per-level digests ([`LevelDigestLog`]), tail-based sampling
+//!   ([`TailSampler`]), and bounded rings of completed request traces
+//!   ([`FlightRecorder`]).
 //!
 //! # Example
 //!
@@ -42,12 +46,17 @@
 //! ```
 
 pub mod event;
+pub mod flight;
 pub mod sink;
 pub mod summary;
 
 pub use event::{
     HistSummarySample, MemStepEvent, MetricSample, MetricsEvent, RunEvent, StepEvent,
     SuperstepEvent, ThreadStep, TraceEvent,
+};
+pub use flight::{
+    FlightRecorder, FlightStats, LevelDigest, LevelDigestLog, RequestTrace, TailSampler,
+    TraceDigest, TraceLookup, LEVEL_DIGEST_CAP,
 };
 pub use sink::{JsonlSink, NoopSink, RingSink, TeeSink, TraceSink};
 pub use summary::{summarize, TraceSummary};

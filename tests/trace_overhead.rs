@@ -10,12 +10,12 @@
 //! region exit is allowed to build its `Vec`s.
 //!
 //! A counting global allocator observes every allocation in the process,
-//! so the tests serialize on a mutex (parallel tests would pollute the
-//! counter) and use a single-threaded topology for determinism.
+//! so this file holds a single `#[test]` (even with serialized bodies,
+//! the libtest harness thread can allocate while a sibling's counted
+//! region runs) and uses a single-threaded topology for determinism.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use bfs_core::engine::{BfsEngine, BfsOptions};
 use bfs_graph::gen::uniform::uniform_random;
@@ -53,12 +53,13 @@ fn counted(f: impl FnOnce()) -> u64 {
     ALLOCS.load(Ordering::Relaxed) - before
 }
 
-/// Serializes the tests sharing the process-global allocation counter.
-static SERIAL: Mutex<()> = Mutex::new(());
-
 #[test]
+fn tracing_and_metrics_hot_paths_do_not_allocate() {
+    noop_sink_does_not_allocate_beyond_an_untraced_run();
+    always_on_metrics_hot_path_does_not_allocate();
+}
+
 fn noop_sink_does_not_allocate_beyond_an_untraced_run() {
-    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let g = uniform_random(4000, 8, &mut rng_from_seed(11));
     let engine = BfsEngine::new(&g, Topology::synthetic(1, 1), BfsOptions::default());
     // Warm up once: lazy one-time allocations (thread-pool state, etc.)
@@ -87,10 +88,7 @@ fn noop_sink_does_not_allocate_beyond_an_untraced_run() {
     assert!(!ring.is_empty());
 }
 
-#[test]
 fn always_on_metrics_hot_path_does_not_allocate() {
-    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-
     // The registry itself: worker and driver recording must be allocation-
     // free no matter how many samples land (the slots are preallocated and
     // the histograms are fixed arrays).
