@@ -307,6 +307,51 @@ pub struct LoadReport {
     /// gated regression links directly to explanatory flight-recorder
     /// traces. `None` on pre-PR9 reports (additive, PR 9).
     pub slowest_trace_ids: Option<Vec<String>>,
+    /// Version label of the *server* build the run measured, scraped
+    /// once from its `fastbfs_build_info` gauge — the producing
+    /// generator's own provenance lives in `git_rev`/`rustc` above.
+    /// `None` on pre-PR10 reports or when the scrape failed (additive,
+    /// PR 10).
+    pub server_version: Option<String>,
+    /// Git revision label of the server build, from the same scrape;
+    /// `None` when absent, unscraped, or the server reported `unknown`
+    /// (additive, PR 10).
+    pub server_git_rev: Option<String>,
+    /// Per-second slices of the measured window, bucketed by each
+    /// request's *scheduled* arrival: a run that was only healthy on
+    /// average shows its sick seconds here, and [`compare_load`] gates
+    /// on the worst slice when both reports carry one. `None` on
+    /// pre-PR10 reports (additive, PR 10).
+    pub timeseries: Option<Vec<LoadSlice>>,
+}
+
+/// One per-second slice of a load run's measured window (additive,
+/// PR 10). Requests belong to the slice their *scheduled* arrival falls
+/// in, matching the report's coordinated-omission-safe latency rule.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LoadSlice {
+    /// Slice start, in whole seconds from the measured-window origin.
+    pub start_s: u64,
+    /// Requests completing with HTTP 200.
+    pub completed: u64,
+    /// Requests failing (connect error, non-200, short read).
+    pub errors: u64,
+    /// Slice-local p50 latency; `None` when nothing completed.
+    pub p50_ms: Option<f64>,
+    /// Slice-local p99 latency; `None` when nothing completed.
+    pub p99_ms: Option<f64>,
+}
+
+impl LoadSlice {
+    /// Fraction of the slice's finished requests that failed.
+    pub fn error_rate(&self) -> f64 {
+        let total = self.completed + self.errors;
+        if total == 0 {
+            0.0
+        } else {
+            self.errors as f64 / total as f64
+        }
+    }
 }
 
 impl LoadReport {
@@ -351,6 +396,27 @@ impl LoadReport {
         } else {
             self.errors as f64 / self.scheduled as f64
         }
+    }
+
+    /// Worst slice-local p99 across the timeseries; `None` when the
+    /// report carries no timeseries or no slice completed anything.
+    pub fn worst_slice_p99_ms(&self) -> Option<f64> {
+        self.timeseries
+            .as_ref()?
+            .iter()
+            .filter_map(|s| s.p99_ms)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Worst slice-local error rate across the timeseries; `None` when
+    /// the report carries no timeseries.
+    pub fn worst_slice_error_rate(&self) -> Option<f64> {
+        let ts = self.timeseries.as_ref()?;
+        Some(
+            ts.iter()
+                .map(|s| s.error_rate())
+                .fold(0.0f64, |a, v| a.max(v)),
+        )
     }
 }
 
@@ -656,6 +722,37 @@ pub fn compare_load(
         pass: rise <= 0.05,
     });
 
+    // Worst-slice gates (PR 10): the since-run aggregates above pass a
+    // server that is sick for one second and healthy on average; the
+    // timeseries exposes the sick second. Gated only when both reports
+    // carry a timeseries — old baselines keep diffing without noise.
+    // The worst slice is noisier than the run aggregate (each slice is
+    // ~rate samples, and slice p99 rides the scheduler), so it gets
+    // double the aggregate headroom rather than a same-sized gate.
+    if let (Some(b), Some(n)) = (base.worst_slice_p99_ms(), new.worst_slice_p99_ms()) {
+        let limit = 2.0 * t.max_latency_rise;
+        checks.push(CompareCheck {
+            name: "worst_slice_p99_ms".into(),
+            baseline: b,
+            new: n,
+            delta: ratio_rise(b, n),
+            limit,
+            pass: ratio_rise(b, n) <= limit,
+        });
+    }
+    if let (Some(b), Some(n)) = (base.worst_slice_error_rate(), new.worst_slice_error_rate()) {
+        let rise = n - b;
+        checks.push(CompareCheck {
+            name: "worst_slice_error_rate".into(),
+            baseline: b,
+            new: n,
+            delta: rise,
+            // Absolute, like `error_rate`, with slice-sized headroom.
+            limit: 0.10,
+            pass: rise <= 0.10,
+        });
+    }
+
     let pass = checks.iter().all(|c| c.pass) && (allow_mismatch || mismatch.is_empty());
     CompareOutcome {
         checks,
@@ -869,6 +966,19 @@ mod tests {
             dropped_504: None,
             server_sessions: None,
             slowest_trace_ids: None,
+            server_version: None,
+            server_git_rev: None,
+            timeseries: None,
+        }
+    }
+
+    fn slice(start_s: u64, completed: u64, errors: u64, p99: Option<f64>) -> LoadSlice {
+        LoadSlice {
+            start_s,
+            completed,
+            errors,
+            p50_ms: p99.map(|v| v / 2.0),
+            p99_ms: p99,
         }
     }
 
@@ -1008,6 +1118,115 @@ mod tests {
         );
         let without = load_report(98.5, None).to_json().unwrap();
         assert!(without.contains("\"slowest_trace_ids\""), "{without}");
+    }
+
+    /// Schema evolution contract, continued for PR 10: reports written
+    /// before `server_version` / `server_git_rev` / `timeseries` existed
+    /// must still parse, with the fields `None`; a report carrying them
+    /// round-trips; and reports without them still serialize the keys.
+    #[test]
+    fn load_report_accepts_pre_pr10_documents() {
+        let dir = std::env::temp_dir().join("fastbfs-load-report-compat10-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pr9.json");
+        let path = path.to_str().unwrap();
+
+        let pr9 = r#"{
+            "schema": "fastbfs-load-v1",
+            "url": "http://127.0.0.1:9464",
+            "endpoint": "query",
+            "arrival": "poisson",
+            "offered_qps": 100.0,
+            "duration_s": 2.0,
+            "scheduled": 200,
+            "completed": 199,
+            "errors": 1,
+            "elapsed_s": 2.0,
+            "achieved_qps": 99.5,
+            "latency": null,
+            "git_rev": null,
+            "rustc": null,
+            "warmup_s": 1.0,
+            "dropped_504": 1,
+            "server_sessions": 2,
+            "slowest_trace_ids": ["lg2a-17"]
+        }"#;
+        std::fs::write(path, pr9).unwrap();
+        let back = LoadReport::read(path).unwrap();
+        assert_eq!(back.completed, 199);
+        assert_eq!(back.slowest_trace_ids.as_deref().map(|v| v.len()), Some(1));
+        assert_eq!(back.server_version, None);
+        assert_eq!(back.server_git_rev, None);
+        assert!(back.timeseries.is_none());
+        assert_eq!(back.worst_slice_p99_ms(), None);
+        assert_eq!(back.worst_slice_error_rate(), None);
+
+        // Round-trip with the new fields populated.
+        let mut full = load_report(98.5, None);
+        full.server_version = Some("0.1.0".into());
+        full.server_git_rev = Some("abc123".into());
+        full.timeseries = Some(vec![
+            slice(0, 99, 1, Some(4.0)),
+            slice(1, 100, 0, Some(2.0)),
+        ]);
+        std::fs::write(path, full.to_json().unwrap()).unwrap();
+        let back = LoadReport::read(path).unwrap();
+        assert_eq!(back.server_version.as_deref(), Some("0.1.0"));
+        assert_eq!(back.server_git_rev.as_deref(), Some("abc123"));
+        let ts = back.timeseries.as_ref().unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].completed, 99);
+        assert!((back.worst_slice_p99_ms().unwrap() - 4.0).abs() < 1e-9);
+        assert!((back.worst_slice_error_rate().unwrap() - 0.01).abs() < 1e-9);
+
+        // Additive: reports without the fields still emit the keys.
+        let without = load_report(98.5, None).to_json().unwrap();
+        for key in ["\"server_version\"", "\"server_git_rev\"", "\"timeseries\""] {
+            assert!(without.contains(key), "missing {key} in {without}");
+        }
+    }
+
+    /// The worst-slice gates reject a run that is only healthy on
+    /// average: identical aggregates, one sick second in the timeseries.
+    #[test]
+    fn compare_load_gates_on_the_worst_slice() {
+        let mut base = load_report(100.0, Some(summary(1.0, 4.0, 8.0)));
+        base.timeseries = Some(vec![
+            slice(0, 100, 0, Some(4.0)),
+            slice(1, 100, 0, Some(4.0)),
+        ]);
+        let mut sick = base.clone();
+        // Aggregates identical; second slice has a 10x p99 and 20% errors.
+        sick.timeseries = Some(vec![
+            slice(0, 100, 0, Some(4.0)),
+            slice(1, 80, 20, Some(40.0)),
+        ]);
+
+        let out = compare_load(&base, &base, &CompareThresholds::default(), false);
+        assert!(out.pass, "{}", out.render_text());
+        assert!(out.checks.iter().any(|c| c.name == "worst_slice_p99_ms"));
+
+        let out = compare_load(&base, &sick, &CompareThresholds::default(), false);
+        assert!(!out.pass, "{}", out.render_text());
+        for name in ["worst_slice_p99_ms", "worst_slice_error_rate"] {
+            let c = out.checks.iter().find(|c| c.name == name).unwrap();
+            assert!(!c.pass, "{name} should fail: {c:?}");
+        }
+        // Aggregate checks still pass — only the slice gates trip.
+        assert!(
+            out.checks
+                .iter()
+                .find(|c| c.name == "load_p99_ms")
+                .unwrap()
+                .pass
+        );
+
+        // One-sided timeseries (old baseline): slice gates silently absent.
+        let mut old = base.clone();
+        old.timeseries = None;
+        let out = compare_load(&old, &sick, &CompareThresholds::default(), false);
+        assert!(out.pass, "{}", out.render_text());
+        assert!(!out.checks.iter().any(|c| c.name.starts_with("worst_slice")));
     }
 
     #[test]

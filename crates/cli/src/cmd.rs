@@ -100,6 +100,15 @@ subcommands:
                                    [--trace-log PATH] — append sampled traces as JSONL
                                    [--addr-file PATH] — write the bound address (use with
                                    port 0 for scripts)
+                                   windowed rollups: a ticker snapshots counter/histogram
+                                   deltas into a ring; GET /debug/health (SLO verdict,
+                                   503 while breaching) and GET /debug/timeseries[?n=K]
+                                   [--rollup-interval-ms MS] — tick period (default 1000)
+                                   [--slo-fast-s S] [--slo-slow-s S] — burn-rate windows
+                                   (defaults 60/300); fast breach ⇒ breaching, slow-only
+                                   ⇒ degraded
+                                   [--slo-p99-ms X] [--slo-error-rate F] [--slo-drop-rate F]
+                                   — SLO thresholds (unset SLOs are not evaluated)
   loadgen  open-loop load test     [URL] --rate R --duration S — coordinated-omission-safe
                                    generator against a running serve: arrivals drawn up
                                    front ([--arrival poisson|uniform]), latency measured
@@ -112,6 +121,14 @@ subcommands:
                                    percentile requests' trace ids link to the server's
                                    /debug/trace/<id>)
                                    [--max-p99-ms X] — exit nonzero when p99 breaches
+  monitor  live server view        [URL] — poll /debug/health + /metrics of a running
+                                   serve and render a terminal dashboard: verdict,
+                                   windowed QPS/p50/p99/error/drop/coalesce rates,
+                                   direction mix, per-session busy, slowest traces
+                                   [--interval-ms MS] — poll period (default 1000)
+                                   [--once] — single frame, then exit
+                                   [--format text|json] — json is a stable envelope
+                                   embedding the /debug/health body for scripting
   sim      simulated X5570 run   -i FILE [--source V] [--shrink F] [same engine flags]
   model    analytical prediction   --vertices N --degree D --depth DEP
                                    [--visited N] [--edges E] [--alpha A] [--sockets S]

@@ -152,9 +152,23 @@ fn parse_query(q: &str) -> Vec<(String, String)> {
 /// Writes one complete response and flushes. Errors are swallowed: the
 /// peer hanging up mid-response is its problem, not the server's.
 pub fn write_response(stream: &mut TcpStream, status: &str, ctype: &str, body: &[u8]) {
+    write_response_with_headers(stream, status, ctype, &[], body);
+}
+
+/// [`write_response`] with extra response headers (e.g. `Retry-After` on
+/// shed responses). Header names and values must already be valid header
+/// text; this layer does no escaping.
+pub fn write_response_with_headers(
+    stream: &mut TcpStream,
+    status: &str,
+    ctype: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) {
+    let extra: String = extra.iter().map(|(k, v)| format!("{k}: {v}\r\n")).collect();
     let _ = write!(
         stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n",
         body.len()
     );
     let _ = stream.write_all(body);
@@ -168,23 +182,54 @@ pub fn write_json(stream: &mut TcpStream, status: &str, body: &str) {
 
 /// JSON error body `{"error": "..."}` with the given status.
 pub fn write_json_error(stream: &mut TcpStream, status: &str, message: &str) {
+    write_json_error_with_headers(stream, status, message, &[]);
+}
+
+/// [`write_json_error`] with extra response headers: the 503 shed path
+/// attaches `Retry-After` computed from the windowed drain rate.
+pub fn write_json_error_with_headers(
+    stream: &mut TcpStream,
+    status: &str,
+    message: &str,
+    extra: &[(&str, &str)],
+) {
     let escaped = message
         .replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n");
-    write_json(stream, status, &format!("{{\"error\":\"{escaped}\"}}"));
+    write_response_with_headers(
+        stream,
+        status,
+        "application/json",
+        extra,
+        format!("{{\"error\":\"{escaped}\"}}").as_bytes(),
+    );
 }
 
 /// A client-side response.
 #[derive(Debug)]
 pub struct Response {
     pub status: u16,
+    /// Response headers in order of appearance, names lowercased. Only
+    /// the tests read headers today (`Retry-After` assertions); the
+    /// production clients key off status and body.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub headers: Vec<(String, String)>,
     pub body: String,
 }
 
 impl Response {
     pub fn ok(&self) -> bool {
         self.status == 200
+    }
+
+    /// First value of response header `name` (case-insensitive).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -263,11 +308,21 @@ fn request(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("malformed response to {path}"))?;
-    let body = raw
+    let (head, body) = raw
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    Ok(Response { status, body })
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or((raw.clone(), String::new()));
+    let headers = head
+        .split("\r\n")
+        .skip(1)
+        .filter_map(|line| line.split_once(':'))
+        .map(|(k, v)| (k.to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
 }
 
 #[cfg(test)]
@@ -341,6 +396,30 @@ mod tests {
         .unwrap();
         server.join().unwrap();
         assert!(resp.ok());
+    }
+
+    #[test]
+    fn extra_response_headers_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = read_request(&mut s);
+            write_json_error_with_headers(
+                &mut s,
+                "503 Service Unavailable",
+                "shed",
+                &[("Retry-After", "3")],
+            );
+        });
+        let resp = get(&addr.to_string(), "/query", Duration::from_secs(2)).unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("3"));
+        assert_eq!(resp.header("RETRY-AFTER"), Some("3"));
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.header("absent"), None);
+        assert_eq!(resp.body, "{\"error\":\"shed\"}");
     }
 
     #[test]

@@ -34,7 +34,7 @@
 
 use std::time::{Duration, Instant};
 
-use bfs_bench::report::{LatencySummary, LoadReport, LOAD_SCHEMA};
+use bfs_bench::report::{LatencySummary, LoadReport, LoadSlice, LOAD_SCHEMA};
 use bfs_graph::rng::rng_from_seed;
 use rand::Rng;
 
@@ -58,9 +58,13 @@ struct Arrival {
     trace_id: String,
 }
 
-/// One lane's outcome: measured `(latency_ns, trace id)` samples plus
-/// error and deadline-dropped-504 tallies.
-type LaneResult<'a> = (Vec<(u64, &'a str)>, u64, u64);
+/// One lane's outcome: measured `(latency_ns, scheduled offset in
+/// seconds past the warmup boundary, trace id)` samples, error offsets
+/// on the same clock (length = error count), and the
+/// deadline-dropped-504 tally. Offsets let the report bucket both
+/// completions and errors into per-second slices by *scheduled* arrival
+/// — the same clock the latency rule charges.
+type LaneResult<'a> = (Vec<(u64, f64, &'a str)>, Vec<f64>, u64);
 
 /// `fastbfs loadgen`
 pub fn loadgen(args: &[String]) -> Result<(), String> {
@@ -108,6 +112,24 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
     if vertices == 0 {
         return Err("server graph has no vertices".into());
     }
+    // One startup scrape of `fastbfs_build_info` ties the report to the
+    // *server* build it measured; the generator's own provenance is
+    // captured separately by `capture_environment`. Best-effort: absent
+    // on servers without a metrics exposition.
+    let (server_version, server_git_rev) = http::get(&host, "/metrics", REQUEST_TIMEOUT)
+        .ok()
+        .filter(|r| r.ok())
+        .map(|r| parse_build_info(&r.body))
+        .unwrap_or((None, None));
+    if let Some(v) = &server_version {
+        println!(
+            "loadgen: server build {v}{}",
+            match &server_git_rev {
+                Some(rev) => format!(" ({rev})"),
+                None => String::new(),
+            },
+        );
+    }
 
     // One schedule spans warmup + measurement so the arrival process is
     // continuous across the boundary — the server never sees a rate step.
@@ -147,15 +169,18 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
     // response.
     let elapsed_s = (start.elapsed().as_secs_f64() - warmup).max(0.0);
 
-    let mut samples: Vec<(u64, &str)> = Vec::with_capacity(schedule.len());
-    let mut errors = 0u64;
+    let mut samples: Vec<(u64, f64, &str)> = Vec::with_capacity(schedule.len());
+    let mut error_offsets: Vec<f64> = Vec::new();
     let mut dropped_504 = 0u64;
     for (lat, errs, dropped) in results {
         samples.extend(lat);
-        errors += errs;
+        error_offsets.extend(errs);
         dropped_504 += dropped;
     }
-    samples.sort_unstable_by_key(|(ns, _)| *ns);
+    let errors = error_offsets.len() as u64;
+    // Per-second slices before the latency sort destroys arrival order.
+    let timeseries = build_slices(&samples, &error_offsets, duration);
+    samples.sort_unstable_by_key(|(ns, _, _)| *ns);
     // The worst-percentile requests, by id: these resolve at the served
     // server's `/debug/trace/<id>`, linking a gated regression straight
     // to its explanatory traces.
@@ -163,9 +188,9 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
         .iter()
         .rev()
         .take(5)
-        .map(|(_, id)| id.to_string())
+        .map(|(_, _, id)| id.to_string())
         .collect();
-    let latencies: Vec<u64> = samples.iter().map(|(ns, _)| *ns).collect();
+    let latencies: Vec<u64> = samples.iter().map(|(ns, _, _)| *ns).collect();
     let completed = latencies.len() as u64;
 
     // Best-effort: the session-pool size ties the report to the server
@@ -199,6 +224,9 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
         dropped_504: Some(dropped_504),
         server_sessions,
         slowest_trace_ids: Some(slowest_trace_ids),
+        server_version,
+        server_git_rev,
+        timeseries: Some(timeseries),
     };
     report.capture_environment();
 
@@ -304,7 +332,7 @@ fn run_lane<'a>(
     warmup: Duration,
 ) -> LaneResult<'a> {
     let mut latencies = Vec::with_capacity(lane.len());
-    let mut errors = 0u64;
+    let mut error_offsets = Vec::new();
     let mut dropped_504 = 0u64;
     for a in lane {
         let target = start + a.offset;
@@ -317,6 +345,9 @@ fn run_lane<'a>(
         if a.offset < warmup {
             continue;
         }
+        // Both the latency rule and the timeseries bucket on the
+        // scheduled arrival, rebased to the warmup boundary.
+        let measured_offset = (a.offset - warmup).as_secs_f64();
         match resp {
             Ok(r) if r.ok() => {
                 // Coordinated-omission-safe: latency from the scheduled
@@ -324,21 +355,79 @@ fn run_lane<'a>(
                 let since_target = (start + a.offset).elapsed();
                 latencies.push((
                     u64::try_from(since_target.as_nanos()).unwrap_or(u64::MAX),
+                    measured_offset,
                     a.trace_id.as_str(),
                 ));
             }
             Ok(r) => {
-                errors += 1;
+                error_offsets.push(measured_offset);
                 // 504 is the server's deadline admission layer speaking:
                 // admitted, queued past its budget, dropped unexecuted.
                 if r.status == 504 {
                     dropped_504 += 1;
                 }
             }
-            Err(_) => errors += 1,
+            Err(_) => error_offsets.push(measured_offset),
         }
     }
-    (latencies, errors, dropped_504)
+    (latencies, error_offsets, dropped_504)
+}
+
+/// Buckets measured completions and errors into per-second
+/// [`LoadSlice`]s by scheduled arrival. Offsets past the configured
+/// duration (Poisson tails overshoot) fold into the last slice rather
+/// than minting a sliver slice with three samples.
+fn build_slices(
+    samples: &[(u64, f64, &str)],
+    error_offsets: &[f64],
+    duration: f64,
+) -> Vec<LoadSlice> {
+    let n = duration.ceil().max(1.0) as usize;
+    let idx = |off: f64| (off.max(0.0) as usize).min(n - 1);
+    let mut lat: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let mut errors = vec![0u64; n];
+    for &(ns, off, _) in samples {
+        lat[idx(off)].push(ns);
+    }
+    for &off in error_offsets {
+        errors[idx(off)] += 1;
+    }
+    lat.into_iter()
+        .zip(errors)
+        .enumerate()
+        .map(|(i, (mut l, errs))| {
+            l.sort_unstable();
+            let s = LatencySummary::from_sorted_ns(&l);
+            LoadSlice {
+                start_s: i as u64,
+                completed: l.len() as u64,
+                errors: errs,
+                p50_ms: s.as_ref().map(|s| s.p50_ms),
+                p99_ms: s.as_ref().map(|s| s.p99_ms),
+            }
+        })
+        .collect()
+}
+
+/// Parses the `version` and `git_rev` labels off the server's
+/// `fastbfs_build_info{...} 1` exposition line. A `git_rev="unknown"`
+/// label maps to `None`: absence of provenance, not a revision.
+fn parse_build_info(metrics: &str) -> (Option<String>, Option<String>) {
+    let Some(line) = metrics
+        .lines()
+        .find(|l| l.starts_with("fastbfs_build_info{"))
+    else {
+        return (None, None);
+    };
+    let label = |name: &str| -> Option<String> {
+        let pat = format!("{name}=\"");
+        let start = line.find(&pat)? + pat.len();
+        let end = line[start..].find('"')? + start;
+        Some(line[start..end].to_string())
+    };
+    let version = label("version");
+    let git_rev = label("git_rev").filter(|v| v != "unknown");
+    (version, git_rev)
 }
 
 #[cfg(test)]
@@ -384,6 +473,54 @@ mod tests {
         assert!(loadgen(&args(&["http://a", "http://b"])).is_err());
         assert!(loadgen(&args(&["--warmup", "-1"])).is_err());
         assert!(loadgen(&args(&["--warmup", "soon"])).is_err());
+    }
+
+    /// Slices bucket by scheduled second, fold the Poisson overshoot
+    /// into the last slice, and keep completions and errors separate.
+    #[test]
+    fn slices_bucket_by_scheduled_second() {
+        let samples: Vec<(u64, f64, &str)> = vec![
+            (1_000_000, 0.1, "a"), // 1 ms in second 0
+            (3_000_000, 0.9, "b"), // 3 ms in second 0
+            (2_000_000, 1.5, "c"), // 2 ms in second 1
+            (9_000_000, 2.4, "d"), // overshoot → folds into second 1
+        ];
+        let errors = vec![0.2, 1.7, 5.0];
+        let slices = build_slices(&samples, &errors, 2.0);
+        assert_eq!(slices.len(), 2);
+        assert_eq!(
+            (slices[0].start_s, slices[0].completed, slices[0].errors),
+            (0, 2, 1)
+        );
+        assert_eq!(
+            (slices[1].start_s, slices[1].completed, slices[1].errors),
+            (1, 2, 2)
+        );
+        assert!((slices[0].p99_ms.unwrap() - 3.0).abs() < 1e-9);
+        assert!((slices[1].p99_ms.unwrap() - 9.0).abs() < 1e-9);
+        assert!((slices[1].error_rate() - 0.5).abs() < 1e-9);
+
+        // An empty second has no latency summary but still appears.
+        let slices = build_slices(&samples[..2], &[], 3.0);
+        assert_eq!(slices.len(), 3);
+        assert_eq!(slices[2].completed, 0);
+        assert_eq!(slices[2].p99_ms, None);
+    }
+
+    #[test]
+    fn build_info_labels_parse_from_exposition_text() {
+        let m = "# HELP fastbfs_build_info Build provenance; value is always 1\n\
+                 # TYPE fastbfs_build_info gauge\n\
+                 fastbfs_build_info{version=\"0.1.0\",git_rev=\"abc123\",rustc=\"rustc 1.75\"} 1\n";
+        assert_eq!(
+            parse_build_info(m),
+            (Some("0.1.0".into()), Some("abc123".into()))
+        );
+        // `unknown` provenance maps to absence, and a scrape without the
+        // gauge yields nothing.
+        let m = "fastbfs_build_info{version=\"0.1.0\",git_rev=\"unknown\",rustc=\"unknown\"} 1\n";
+        assert_eq!(parse_build_info(m), (Some("0.1.0".into()), None));
+        assert_eq!(parse_build_info("fastbfs_queries_total 3\n"), (None, None));
     }
 
     /// The warmup boundary partitions one continuous schedule: measured

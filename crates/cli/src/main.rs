@@ -8,6 +8,7 @@
 //! fastbfs metrics --family rmat --scale 16 --sources 8 --format json
 //! fastbfs serve --family rmat --scale 16 --metrics-addr 127.0.0.1:9464
 //! fastbfs loadgen http://127.0.0.1:9464 --rate 200 --duration 10 --out load.json
+//! fastbfs monitor http://127.0.0.1:9464 --interval-ms 1000
 //! fastbfs bench-compare baseline.json new.json --max-mteps-drop 0.1
 //! fastbfs sim   -i graph.fbfs --scheduling load-balanced
 //! fastbfs model --vertices 8388608 --degree 8 --depth 6 --alpha 0.6
@@ -18,6 +19,7 @@
 mod cmd;
 mod http;
 mod loadgen;
+mod monitor;
 mod opts;
 mod serve;
 
@@ -38,6 +40,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("metrics") => cmd::metrics(&args[1..]),
         Some("serve") => serve::serve(&args[1..]),
         Some("loadgen") => loadgen::loadgen(&args[1..]),
+        Some("monitor") => monitor::monitor(&args[1..]),
         Some("bench-compare") => cmd::bench_compare(&args[1..]),
         Some("sim") => cmd::sim(&args[1..]),
         Some("model") => cmd::model(&args[1..]),

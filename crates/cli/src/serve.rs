@@ -54,11 +54,31 @@
 //! * `GET /snapshot` — merged registry snapshot as JSON with structured
 //!   hardware-counter availability and per-session request counts;
 //! * `GET /debug/slow` — the flight recorder's retained slow traces,
-//!   ranked slowest-first (`?n=` caps the list);
+//!   ranked slowest-first (`?n=` caps the list; a malformed `n` is a
+//!   400, not silently ignored);
 //! * `GET /debug/trace/<id>` — one trace by id: the full span+level
 //!   document if the tail sampler kept it, the id+latency digest
 //!   otherwise;
+//! * `GET /debug/health` — windowed SLO verdict (DESIGN.md §16):
+//!   `ok`/`degraded`/`breaching` per configured SLO (`--slo-p99-ms`,
+//!   `--slo-error-rate`, `--slo-drop-rate`) over the fast and slow
+//!   burn-rate windows, windowed rate/latency summaries for both
+//!   windows, `queue_wedged` readiness, and the slowest retained trace
+//!   ids as exemplars. Answers **503** while any SLO is breaching so
+//!   external probes can act on it (`/healthz` stays pure liveness);
+//! * `GET /debug/timeseries` — the retained rollup ring as JSON frames,
+//!   oldest first (`?n=` caps the list);
 //! * `GET /quitquitquit` — graceful shutdown (drains admitted jobs).
+//!
+//! A dedicated **rollup ticker** thread diffs the merged published
+//! snapshots every `--rollup-interval-ms` into a preallocated ring of
+//! per-interval delta frames ([`bfs_metrics::rollup`]) — counter deltas
+//! plus histogram-bucket deltas, so `/debug/health` reports *windowed*
+//! rates and true windowed p50/p99, not since-boot aggregates. The tick
+//! itself is allocation-free; ticks continue while the server is idle,
+//! so windowed rates decay to zero (and verdicts recover) during quiet
+//! periods without traffic. 503 sheds carry a `Retry-After` header
+//! derived from the fast window's drain rate.
 //!
 //! Every request additionally carries a **flight-recorder trace id**
 //! (the client's `Trace-Id` header, or a generated `req-<id>`), echoed
@@ -90,6 +110,7 @@ use bfs_core::engine::{BfsOptions, BfsOutput};
 use bfs_core::query::{self, QueryKind, QueryOutcome};
 use bfs_core::session::BfsSession;
 use bfs_graph::stats::random_roots;
+use bfs_metrics::rollup::{self, RollupRing, SloConfig, SloState, WindowStats};
 use bfs_metrics::{prom, Counter, Hist, MetricsSnapshot};
 use bfs_platform::Topology;
 use bfs_trace::{
@@ -180,6 +201,20 @@ struct ServerState {
     version: &'static str,
     git_rev: Option<String>,
     rustc: Option<String>,
+    /// Windowed delta frames over the merged published snapshots, fed by
+    /// the rollup ticker thread (DESIGN.md §16).
+    rollup: Mutex<RollupRing>,
+    /// SLO thresholds evaluated over the burn-rate windows.
+    slo: SloConfig,
+    /// Tick cadence of the rollup ring.
+    rollup_interval: Duration,
+    /// Fast (acute) burn-rate window, in ticks.
+    fast_ticks: usize,
+    /// Slow (budget) burn-rate window, in ticks.
+    slow_ticks: usize,
+    /// Consecutive ticks the admission queue has been at capacity;
+    /// `queue_wedged` once it covers a full fast window.
+    wedged_ticks: AtomicU64,
 }
 
 /// One admitted query, owned by a dispatcher from dequeue on.
@@ -266,6 +301,104 @@ struct SlowDoc {
     slow: Vec<RequestTrace>,
 }
 
+/// `/debug/health` document: the burn-rate SLO verdict plus windowed
+/// summaries and flight-recorder exemplars (DESIGN.md §16).
+#[derive(Serialize)]
+struct HealthDoc {
+    /// Worst per-SLO state: `ok`, `degraded`, or `breaching` (the HTTP
+    /// status is 503 iff this is `breaching`).
+    state: String,
+    /// True when the admission queue has sat at capacity for a full
+    /// fast window of consecutive rollup ticks.
+    queue_wedged: bool,
+    uptime_s: f64,
+    /// Rollup ticks so far (the first tick is the diffing baseline).
+    ticks: u64,
+    interval_ms: u64,
+    fast_window_s: f64,
+    slow_window_s: f64,
+    /// Per-SLO verdicts, in `--slo-p99-ms`/`--slo-error-rate`/
+    /// `--slo-drop-rate` order; empty when no SLO is configured.
+    slos: Vec<SloDoc>,
+    fast: WindowDoc,
+    slow: WindowDoc,
+    queue_depth: u64,
+    in_flight: u64,
+    /// Slowest retained full traces (id + total ns), the exemplars to
+    /// pull through `/debug/trace/<id>` when a verdict is bad.
+    exemplars: Vec<ExemplarDoc>,
+}
+
+/// One SLO's evaluation in `/debug/health`.
+#[derive(Serialize)]
+struct SloDoc {
+    name: String,
+    threshold: f64,
+    /// Windowed value over the fast window.
+    fast: f64,
+    /// Windowed value over the slow window.
+    slow: f64,
+    state: String,
+}
+
+/// Windowed rate/latency summary for one burn-rate window.
+#[derive(Serialize)]
+struct WindowDoc {
+    /// Delta frames summed (fewer than configured until the ring fills).
+    frames: u64,
+    elapsed_s: f64,
+    requests: u64,
+    errors: u64,
+    dropped: u64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    error_rate: f64,
+    drop_rate: f64,
+    coalesce_rate: f64,
+    top_down_steps: u64,
+    bottom_up_steps: u64,
+}
+
+/// One exemplar trace reference in `/debug/health`.
+#[derive(Serialize)]
+struct ExemplarDoc {
+    trace_id: String,
+    total_ns: u64,
+}
+
+/// `/debug/timeseries` document: the retained rollup frames.
+#[derive(Serialize)]
+struct TimeseriesDoc {
+    interval_ms: u64,
+    /// Ring capacity in frames (= the slow window).
+    capacity: u64,
+    /// Rollup ticks so far.
+    ticks: u64,
+    /// Retained frames, oldest first.
+    frames: Vec<FrameDoc>,
+}
+
+/// One per-interval delta frame in `/debug/timeseries`.
+#[derive(Serialize)]
+struct FrameDoc {
+    seq: u64,
+    uptime_s: f64,
+    interval_s: f64,
+    requests: u64,
+    errors: u64,
+    dropped: u64,
+    coalesced: u64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    queries: u64,
+    top_down_steps: u64,
+    bottom_up_steps: u64,
+    queue_depth: u64,
+    in_flight: u64,
+}
+
 /// Poison-tolerant lock: a panicked holder must not wedge the server.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
@@ -329,6 +462,31 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         ))),
         None => None,
     };
+    // Rollup ring + SLO engine: the ticker diffs the merged snapshots
+    // every interval; verdicts compare windowed values against the
+    // thresholds over a fast (acute, default 1 min) and a slow (budget,
+    // default 5 min) window. Short intervals/windows are allowed — the
+    // check.sh smoke runs 100ms ticks with seconds-long windows.
+    let rollup_interval_ms: u64 = o.num("rollup-interval-ms", 1000u64)?.max(10);
+    let fast_window_s = o.num::<f64>("slo-fast-s", 60.0)?.max(0.001);
+    let slow_window_s = o.num::<f64>("slo-slow-s", 300.0)?.max(fast_window_s);
+    let interval_s = rollup_interval_ms as f64 / 1000.0;
+    let fast_ticks = ((fast_window_s / interval_s).ceil() as usize).max(1);
+    let slow_ticks = ((slow_window_s / interval_s).ceil() as usize).max(fast_ticks);
+    let slo = SloConfig {
+        p99_ms: match o.get("slo-p99-ms") {
+            Some(_) => Some(o.num("slo-p99-ms", 0.0f64)?),
+            None => None,
+        },
+        error_rate: match o.get("slo-error-rate") {
+            Some(_) => Some(o.num("slo-error-rate", 0.0f64)?),
+            None => None,
+        },
+        drop_rate: match o.get("slo-drop-rate") {
+            Some(_) => Some(o.num("slo-drop-rate", 0.0f64)?),
+            None => None,
+        },
+    };
 
     let opts = BfsOptions {
         hw_counters: true,
@@ -356,7 +514,23 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("local_addr: {e}"))?;
     println!(
         "serving http://{local}/query (also /path /graph /metrics /healthz /snapshot \
-         /debug/slow /debug/trace/<id> /quitquitquit)"
+         /debug/slow /debug/trace/<id> /debug/health /debug/timeseries /quitquitquit)"
+    );
+    println!(
+        "rollup: {rollup_interval_ms}ms ticks, fast window {fast_window_s}s ({fast_ticks} ticks), \
+         slow window {slow_window_s}s ({slow_ticks} ticks), slo p99 {} error-rate {} drop-rate {}",
+        match slo.p99_ms {
+            Some(v) => format!("{v}ms"),
+            None => "off".into(),
+        },
+        match slo.error_rate {
+            Some(v) => format!("{v}"),
+            None => "off".into(),
+        },
+        match slo.drop_rate {
+            Some(v) => format!("{v}"),
+            None => "off".into(),
+        },
     );
     println!(
         "flight recorder: {trace_ring} full traces (+{} digests), slow floor {}, trace log {}",
@@ -424,6 +598,15 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         version: env!("CARGO_PKG_VERSION"),
         git_rev: bfs_bench::report::git_revision(),
         rustc: bfs_bench::report::rustc_version(),
+        // The ring retains exactly the slow window (frame count is
+        // clamped inside RollupRing::new; /debug/timeseries serves what
+        // is retained).
+        rollup: Mutex::new(RollupRing::new(slow_ticks)),
+        slo,
+        rollup_interval: Duration::from_millis(rollup_interval_ms),
+        fast_ticks,
+        slow_ticks,
+        wedged_ticks: AtomicU64::new(0),
     };
 
     let num_vertices = g.num_vertices();
@@ -433,6 +616,10 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         for _ in 0..http_threads {
             scope.spawn(move || http_worker(listener, state, num_vertices));
         }
+        // The rollup ticker keeps appending frames while the server is
+        // idle: quiet intervals carry zero deltas, which is what lets
+        // windowed rates (and SLO verdicts) decay back to ok.
+        scope.spawn(move || rollup_ticker(state));
 
         // Sessions 1.. dispatch on spawned threads; session 0 on this one.
         let mut session0 = sessions.remove(0);
@@ -940,6 +1127,179 @@ fn admission_levels(state: &ServerState) -> (u64, u64) {
     (adm.queue.len() as u64, adm.in_flight)
 }
 
+// ---- rollup ticker ------------------------------------------------------
+
+/// The rollup ticker: every `--rollup-interval-ms` it merges the
+/// published per-session snapshots, diffs them into the next ring frame
+/// (allocation-free inside [`RollupRing::tick`]), and tracks how long
+/// the admission queue has been wedged at capacity. Runs until stop;
+/// sleeps in short slices so shutdown is never delayed by a long
+/// interval.
+fn rollup_ticker(state: &ServerState) {
+    let interval = state.rollup_interval;
+    let mut next = Instant::now() + interval;
+    loop {
+        loop {
+            if state.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let now = Instant::now();
+            if now >= next {
+                break;
+            }
+            std::thread::sleep((next - now).min(Duration::from_millis(25)));
+        }
+        let snap = merged_snapshot(state);
+        let (depth, in_flight) = admission_levels(state);
+        if depth >= state.queue_cap as u64 {
+            state.wedged_ticks.fetch_add(1, Ordering::Relaxed);
+        } else {
+            state.wedged_ticks.store(0, Ordering::Relaxed);
+        }
+        let uptime_s = state.started.elapsed().as_secs_f64();
+        lock(&state.rollup).tick(&snap, uptime_s, depth, in_flight);
+        next += interval;
+        // If the tick itself (or a scheduler stall) overran the cadence,
+        // resynchronize instead of firing a catch-up burst.
+        let now = Instant::now();
+        if next < now {
+            next = now + interval;
+        }
+    }
+}
+
+/// True when the queue has been at capacity for every tick of a full
+/// fast window.
+fn queue_wedged(state: &ServerState) -> bool {
+    state.wedged_ticks.load(Ordering::Relaxed) >= state.fast_ticks as u64
+}
+
+fn window_doc(w: &WindowStats) -> WindowDoc {
+    let (top_down, bottom_up) = w.direction_mix();
+    WindowDoc {
+        frames: w.frames as u64,
+        elapsed_s: w.elapsed_s,
+        requests: w.counter(Counter::ServeRequests),
+        errors: w.counter(Counter::ServeErrors),
+        dropped: w.counter(Counter::ServeDeadlineDropped),
+        qps: w.qps(),
+        p50_ms: w.latency_ms(0.5),
+        p99_ms: w.latency_ms(0.99),
+        error_rate: w.error_rate(),
+        drop_rate: w.drop_rate(),
+        coalesce_rate: w.coalesce_rate(),
+        top_down_steps: top_down,
+        bottom_up_steps: bottom_up,
+    }
+}
+
+/// The `/debug/health` body and its HTTP status: 503 while any SLO is
+/// breaching, 200 otherwise (including `degraded` — probes that only
+/// act on hard failure keep routing traffic while the budget recovers).
+fn health_body(state: &ServerState) -> Result<(&'static str, String), String> {
+    let (fast, slow, ticks) = {
+        let ring = lock(&state.rollup);
+        (
+            ring.window(state.fast_ticks),
+            ring.window(state.slow_ticks),
+            ring.ticks(),
+        )
+    };
+    let verdict = rollup::evaluate(&state.slo, &fast, &slow);
+    let (depth, in_flight) = admission_levels(state);
+    let doc = HealthDoc {
+        state: verdict.state.name().to_string(),
+        queue_wedged: queue_wedged(state),
+        uptime_s: state.started.elapsed().as_secs_f64(),
+        ticks,
+        interval_ms: state.rollup_interval.as_millis() as u64,
+        fast_window_s: state.fast_ticks as f64 * state.rollup_interval.as_secs_f64(),
+        slow_window_s: state.slow_ticks as f64 * state.rollup_interval.as_secs_f64(),
+        slos: verdict
+            .slos
+            .iter()
+            .map(|s| SloDoc {
+                name: s.name.to_string(),
+                threshold: s.threshold,
+                fast: s.fast,
+                slow: s.slow,
+                state: s.state.name().to_string(),
+            })
+            .collect(),
+        fast: window_doc(&fast),
+        slow: window_doc(&slow),
+        queue_depth: depth,
+        in_flight,
+        exemplars: state
+            .recorder
+            .slowest_ids(5)
+            .into_iter()
+            .map(|(trace_id, total_ns)| ExemplarDoc { trace_id, total_ns })
+            .collect(),
+    };
+    let status = if verdict.state == SloState::Breaching {
+        "503 Service Unavailable"
+    } else {
+        "200 OK"
+    };
+    let body = serde_json::to_string(&doc).map_err(|e| format!("health doc to JSON: {e}"))?;
+    Ok((status, body))
+}
+
+/// The `/debug/timeseries` body: at most `limit` retained frames,
+/// oldest first.
+fn timeseries_body(state: &ServerState, limit: usize) -> Result<String, String> {
+    let ring = lock(&state.rollup);
+    let skip = ring.len().saturating_sub(limit);
+    let doc = TimeseriesDoc {
+        interval_ms: state.rollup_interval.as_millis() as u64,
+        capacity: ring.capacity() as u64,
+        ticks: ring.ticks(),
+        frames: ring
+            .frames_oldest_first()
+            .skip(skip)
+            .map(|f| {
+                let requests = f.counter(Counter::ServeRequests);
+                FrameDoc {
+                    seq: f.seq,
+                    uptime_s: f.uptime_s,
+                    interval_s: f.interval_s,
+                    requests,
+                    errors: f.counter(Counter::ServeErrors),
+                    dropped: f.counter(Counter::ServeDeadlineDropped),
+                    coalesced: f.counter(Counter::ServeCoalescedRequests),
+                    qps: if f.interval_s > 0.0 {
+                        requests as f64 / f.interval_s
+                    } else {
+                        0.0
+                    },
+                    p50_ms: f.quantile(Hist::ServeRequestNs, 0.5) / 1e6,
+                    p99_ms: f.quantile(Hist::ServeRequestNs, 0.99) / 1e6,
+                    queries: f.counter(Counter::Queries),
+                    top_down_steps: f.counter(Counter::TopDownSteps),
+                    bottom_up_steps: f.counter(Counter::BottomUpSteps),
+                    queue_depth: f.queue_depth,
+                    in_flight: f.in_flight,
+                }
+            })
+            .collect(),
+    };
+    serde_json::to_string(&doc).map_err(|e| format!("timeseries doc to JSON: {e}"))
+}
+
+/// Seconds a shed client should wait before retrying, from the fast
+/// window's drain rate: the time to drain the queue at the current
+/// answered-requests rate, clamped to `1..=60`. With no drain signal
+/// (cold ring, idle window) the floor of 1s applies.
+fn retry_after_s(state: &ServerState, depth: u64) -> u64 {
+    let drain = lock(&state.rollup).window(state.fast_ticks).qps();
+    if drain > 0.0 {
+        (depth as f64 / drain).ceil().clamp(1.0, 60.0) as u64
+    } else {
+        1
+    }
+}
+
 /// The `/metrics` body, rendered at scrape time from the published
 /// per-session snapshots plus the live gauges and build-info series.
 fn metrics_body(state: &ServerState) -> String {
@@ -1124,10 +1484,10 @@ fn handle(
         // admission queue is saturated — that is exactly when they are
         // needed.
         ("GET", "/debug/slow") => {
-            let limit = req
-                .param("n")
-                .and_then(|s| s.parse::<usize>().ok())
-                .unwrap_or(20);
+            let limit = match parse_limit(req, 20) {
+                Ok(n) => n,
+                Err(msg) => return client_error("400 Bad Request", &msg),
+            };
             let doc = SlowDoc {
                 threshold_ns: lock(&state.sampler).rolling_threshold_ns(),
                 slow_ms: state.slow_ms,
@@ -1141,6 +1501,24 @@ fn handle(
                     "500 Internal Server Error",
                     &format!("slow doc to JSON: {e}"),
                 ),
+            }
+            false
+        }
+        ("GET", "/debug/health") => {
+            match health_body(state) {
+                Ok((status, body)) => http::write_json(stream, status, &body),
+                Err(e) => http::write_json_error(stream, "500 Internal Server Error", &e),
+            }
+            false
+        }
+        ("GET", "/debug/timeseries") => {
+            let limit = match parse_limit(req, usize::MAX) {
+                Ok(n) => n,
+                Err(msg) => return client_error("400 Bad Request", &msg),
+            };
+            match timeseries_body(state, limit) {
+                Ok(body) => http::write_json(stream, "200 OK", &body),
+                Err(e) => http::write_json_error(stream, "500 Internal Server Error", &e),
             }
             false
         }
@@ -1252,10 +1630,17 @@ fn handle(
             "405 Method Not Allowed",
             &format!("{} not allowed", req.method),
         ),
-        (_, p) if p == "/debug/slow" || p.starts_with("/debug/trace/") => client_error(
-            "405 Method Not Allowed",
-            &format!("{} not allowed", req.method),
-        ),
+        (_, p)
+            if p == "/debug/slow"
+                || p == "/debug/health"
+                || p == "/debug/timeseries"
+                || p.starts_with("/debug/trace/") =>
+        {
+            client_error(
+                "405 Method Not Allowed",
+                &format!("{} not allowed", req.method),
+            )
+        }
         _ => {
             state.http_errors.fetch_add(1, Ordering::Relaxed);
             http::write_response(
@@ -1266,6 +1651,19 @@ fn handle(
             );
             false
         }
+    }
+}
+
+/// Parses the `?n=` list cap shared by `/debug/slow` and
+/// `/debug/timeseries`. Absent means `default`; malformed is a 400 —
+/// a diagnostic endpoint silently ignoring its only parameter hides
+/// operator typos exactly when the answer matters.
+fn parse_limit(req: &Request, default: usize) -> Result<usize, String> {
+    match req.param("n") {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse::<usize>()
+            .map_err(|_| format!("query parameter n={raw:?} is not a count")),
     }
 }
 
@@ -1338,12 +1736,21 @@ fn enqueue_and_reply(
             } else {
                 "admission queue full; retry later"
             };
+            let depth = adm.queue.len() as u64;
             drop(adm);
             record_failure_trace(
                 state, trace_id, query_desc, 503, "shed", msg, arrival, parse_ns,
             );
             state.http_errors.fetch_add(1, Ordering::Relaxed);
-            http::write_json_error(stream, "503 Service Unavailable", msg);
+            // Retry-After from the windowed drain rate: how long the
+            // current queue takes to clear at the fast window's qps.
+            let retry = retry_after_s(state, depth);
+            http::write_json_error_with_headers(
+                stream,
+                "503 Service Unavailable",
+                msg,
+                &[("Retry-After", &retry.to_string())],
+            );
             return;
         }
         buf.clear();
@@ -2108,6 +2515,304 @@ mod tests {
             2
         );
 
+        assert!(get(&addr, "/quitquitquit").body.ends_with("bye\n"));
+        driver.join().unwrap().unwrap();
+    }
+
+    /// The tentpole, end to end: with fast rollup ticks and a drop-rate
+    /// SLO, `/debug/health` starts `ok`, flips to `breaching` (HTTP 503)
+    /// under a `Deadline-Ms: 0` storm within the fast window, and
+    /// recovers to non-breaching after a quiet slow window — while the
+    /// since-boot aggregates in `/metrics` keep the storm forever.
+    #[test]
+    fn health_verdicts_flip_under_a_deadline_storm_and_recover() {
+        let (driver, addr) = start(&[
+            "--sessions",
+            "1",
+            "--rollup-interval-ms",
+            "50",
+            "--slo-fast-s",
+            "0.5",
+            "--slo-slow-s",
+            "2",
+            "--slo-drop-rate",
+            "0.2",
+        ]);
+
+        // Clean traffic first, then wait out a full fast window so the
+        // verdict is measured over post-traffic frames.
+        for i in 0..4 {
+            assert!(get(&addr, &format!("/query?src={i}")).ok());
+        }
+        std::thread::sleep(Duration::from_millis(700));
+        let h = get(&addr, "/debug/health");
+        assert!(h.ok(), "{} {}", h.status, h.body);
+        let v = serde_json::parse(&h.body).unwrap();
+        assert_eq!(v.get("state").and_then(|x| x.as_str()), Some("ok"));
+        assert_eq!(v.get("queue_wedged").and_then(|x| x.as_bool()), Some(false));
+        let slos = v.get("slos").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(slos.len(), 1, "{}", h.body);
+        assert_eq!(
+            slos[0].get("name").and_then(|x| x.as_str()),
+            Some("drop_rate")
+        );
+        assert!(v.get("ticks").and_then(|x| x.as_u64()).unwrap() >= 2);
+        for w in ["fast", "slow"] {
+            let wd = v.get(w).expect(w);
+            for key in ["qps", "p50_ms", "p99_ms", "error_rate", "drop_rate"] {
+                assert!(wd.get(key).and_then(|x| x.as_f64()).is_some(), "{w}.{key}");
+            }
+        }
+
+        // The storm: every request expires at pop time, so the windowed
+        // drop rate goes to ~1.0 >> 0.2.
+        for i in 0..12 {
+            let r = http::get_with_headers(
+                &addr,
+                &format!("/query?src={i}"),
+                &[("Deadline-Ms", "0")],
+                Duration::from_secs(30),
+            )
+            .unwrap();
+            assert_eq!(r.status, 504, "{} {}", r.status, r.body);
+        }
+        // Breach must surface within two fast windows (ISSUE: two fast-
+        // window ticks); poll generously for CI but assert the flip.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let breached = loop {
+            let h = get(&addr, "/debug/health");
+            if h.status == 503 {
+                break h;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "health never breached: {}",
+                h.body
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        };
+        let v = serde_json::parse(&breached.body).unwrap();
+        assert_eq!(v.get("state").and_then(|x| x.as_str()), Some("breaching"));
+        let slos = v.get("slos").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(
+            slos[0].get("state").and_then(|x| x.as_str()),
+            Some("breaching")
+        );
+        assert!(slos[0].get("fast").and_then(|x| x.as_f64()).unwrap() > 0.2);
+        // The breach carries exemplars resolvable by trace id (deadline
+        // drops always keep full traces).
+        let exemplars = v.get("exemplars").and_then(|x| x.as_array()).unwrap();
+        assert!(!exemplars.is_empty(), "{}", breached.body);
+        let eid = exemplars[0]
+            .get("trace_id")
+            .and_then(|x| x.as_str())
+            .unwrap();
+        assert!(get(&addr, &format!("/debug/trace/{eid}")).ok());
+
+        // Since-boot aggregates still carry the storm (no reset): the
+        // windowed layer is what recovers, not the counters.
+        let m = get(&addr, "/metrics").body;
+        assert!(
+            series_value(&m, "fastbfs_serve_deadline_dropped_total") >= 12,
+            "{m}"
+        );
+
+        // Quiet recovery: after the slow window passes with zero-delta
+        // frames, the verdict returns to ok and /debug/health is 200.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            let h = get(&addr, "/debug/health");
+            if h.ok() {
+                let v = serde_json::parse(&h.body).unwrap();
+                assert_ne!(
+                    v.get("state").and_then(|x| x.as_str()),
+                    Some("breaching"),
+                    "200 with breaching state"
+                );
+                if v.get("state").and_then(|x| x.as_str()) == Some("ok") {
+                    break;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "health never recovered: {}",
+                h.body
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        assert!(get(&addr, "/quitquitquit").body.ends_with("bye\n"));
+        driver.join().unwrap().unwrap();
+    }
+
+    /// `/debug/timeseries` serves the retained delta frames with sane
+    /// shapes, `?n=` caps the list, and malformed `n` is a 400 on both
+    /// debug list endpoints (the satellite fix).
+    #[test]
+    fn timeseries_frames_and_limit_validation() {
+        let (driver, addr) = start(&["--sessions", "1", "--rollup-interval-ms", "50"]);
+        // Let the baseline tick land first: traffic served before it is
+        // absorbed into the diffing baseline and belongs to no frame.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let t = get(&addr, "/debug/timeseries");
+            assert!(t.ok(), "{} {}", t.status, t.body);
+            let v = serde_json::parse(&t.body).unwrap();
+            if !v
+                .get("frames")
+                .and_then(|x| x.as_array())
+                .unwrap()
+                .is_empty()
+            {
+                break;
+            }
+            assert!(Instant::now() < deadline, "ring never started: {}", t.body);
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        for i in 0..5 {
+            assert!(get(&addr, &format!("/query?src={i}")).ok());
+        }
+        // Wait until the frames have accumulated the served requests.
+        let v = loop {
+            let t = get(&addr, "/debug/timeseries");
+            assert!(t.ok(), "{} {}", t.status, t.body);
+            let v = serde_json::parse(&t.body).unwrap();
+            let served: u64 = v
+                .get("frames")
+                .and_then(|x| x.as_array())
+                .unwrap()
+                .iter()
+                .map(|f| f.get("requests").and_then(|x| x.as_u64()).unwrap_or(0))
+                .sum();
+            if served >= 5 && v.get("frames").and_then(|x| x.as_array()).unwrap().len() >= 3 {
+                break v;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "frames never caught up: {}",
+                t.body
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        };
+        assert_eq!(v.get("interval_ms").and_then(|x| x.as_u64()), Some(50));
+        assert!(v.get("capacity").and_then(|x| x.as_u64()).unwrap() >= 1);
+        let frames = v.get("frames").and_then(|x| x.as_array()).unwrap();
+        // Frames are seq-ordered oldest-first with non-negative deltas
+        // and sane intervals; the served requests appear in some frame.
+        let seqs: Vec<u64> = frames
+            .iter()
+            .map(|f| f.get("seq").and_then(|x| x.as_u64()).unwrap())
+            .collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+        let mut requests = 0u64;
+        for f in frames {
+            assert!(f.get("interval_s").and_then(|x| x.as_f64()).unwrap() > 0.0);
+            for key in ["requests", "errors", "dropped", "queue_depth", "in_flight"] {
+                assert!(f.get(key).and_then(|x| x.as_u64()).is_some(), "{key}");
+            }
+            requests += f.get("requests").and_then(|x| x.as_u64()).unwrap();
+        }
+        assert!(requests >= 5, "served requests missing from frames");
+
+        // ?n= caps the list from the newest end: the capped list's last
+        // frame is at least as new as the uncapped list's last frame.
+        let t = get(&addr, "/debug/timeseries?n=2");
+        let tv = serde_json::parse(&t.body).unwrap();
+        let capped = tv.get("frames").and_then(|x| x.as_array()).unwrap();
+        assert!(!capped.is_empty() && capped.len() <= 2);
+        let newest_capped = capped
+            .last()
+            .and_then(|f| f.get("seq"))
+            .and_then(|x| x.as_u64())
+            .unwrap();
+        assert!(newest_capped >= *seqs.last().unwrap(), "{newest_capped}");
+
+        // Malformed ?n=: 400 from both list endpoints, not a silent
+        // fallback to the default.
+        for path in ["/debug/timeseries?n=banana", "/debug/slow?n=-3"] {
+            let r = get(&addr, path);
+            assert_eq!(r.status, 400, "{path}: {}", r.body);
+            let e = serde_json::parse(&r.body).unwrap();
+            assert!(
+                e.get("error")
+                    .and_then(|x| x.as_str())
+                    .unwrap()
+                    .contains("n="),
+                "{path}: {}",
+                r.body
+            );
+        }
+        // A wrong method on the new endpoints is 405, not 404.
+        for path in ["/debug/health", "/debug/timeseries"] {
+            let r = http::post_json(&addr, path, "", Duration::from_secs(30)).unwrap();
+            assert_eq!(r.status, 405, "{path}: {}", r.body);
+        }
+
+        assert!(get(&addr, "/quitquitquit").body.ends_with("bye\n"));
+        driver.join().unwrap().unwrap();
+    }
+
+    /// 503 sheds advertise a windowed-drain-rate `Retry-After`; the
+    /// saturation setup mirrors the bypass test above.
+    #[test]
+    fn shed_responses_carry_retry_after() {
+        let (driver, addr) = start(&[
+            "--sessions",
+            "1",
+            "--threads",
+            "1",
+            "--queue-cap",
+            "1",
+            "--vertices",
+            "2000",
+            "--rollup-interval-ms",
+            "50",
+        ]);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        'attempt: loop {
+            let addr2 = addr.clone();
+            let batch = std::thread::spawn(move || {
+                let sources: Vec<String> = (0..512u32).map(|i| i.to_string()).collect();
+                let body = format!("{{\"sources\":[{}]}}", sources.join(","));
+                http::post_json(&addr2, "/query", &body, Duration::from_secs(60)).unwrap()
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            let addr3 = addr.clone();
+            let filler = std::thread::spawn(move || {
+                http::get(&addr3, "/query?src=0", Duration::from_secs(60)).unwrap()
+            });
+            let mut saturated = false;
+            while Instant::now() < deadline {
+                let m = get(&addr, "/metrics").body;
+                if series_value(&m, "fastbfs_queue_depth") >= 1 {
+                    saturated = true;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if saturated {
+                let probe = get(&addr, "/query?src=1");
+                if probe.status == 503 {
+                    let retry: u64 = probe
+                        .header("retry-after")
+                        .unwrap_or_else(|| panic!("no Retry-After: {:?}", probe.headers))
+                        .parse()
+                        .expect("Retry-After is integer seconds");
+                    assert!((1..=60).contains(&retry), "retry {retry}");
+                    assert!(batch.join().unwrap().ok());
+                    let f = filler.join().unwrap();
+                    assert!(f.ok() || f.status == 503, "{} {}", f.status, f.body);
+                    break 'attempt;
+                }
+            }
+            assert!(batch.join().unwrap().ok());
+            let f = filler.join().unwrap();
+            assert!(f.ok() || f.status == 503, "{} {}", f.status, f.body);
+            assert!(
+                Instant::now() < deadline,
+                "queue never stayed saturated long enough to probe"
+            );
+        }
         assert!(get(&addr, "/quitquitquit").body.ends_with("bye\n"));
         driver.join().unwrap().unwrap();
     }

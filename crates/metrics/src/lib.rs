@@ -34,12 +34,16 @@
 pub mod attribution;
 pub mod prom;
 pub mod registry;
+pub mod rollup;
 pub mod snapshot;
 
 pub use attribution::{
     AttributionContext, AttributionReport, PhaseAttribution, SocketLoad, StepAttribution,
 };
 pub use registry::{Counter, Hist, MetricsRegistry, MetricsWriter};
+pub use rollup::{
+    HealthVerdict, RollupFrame, RollupRing, SloConfig, SloEval, SloState, WindowStats,
+};
 pub use snapshot::{CounterSample, HistogramSnapshot, MetricsSnapshot, ThreadCounters};
 
 use bfs_trace::{HistSummarySample, MetricSample, MetricsEvent};

@@ -358,6 +358,28 @@ impl FlightRecorder {
         traces
     }
 
+    /// Ids and total latencies of the slowest retained full traces,
+    /// slowest first, at most `limit`. Unlike [`slow_ranked`], this does
+    /// not clone whole traces — it is cheap enough for health-probe
+    /// exemplars (`/debug/health` links each verdict to the traces that
+    /// best explain it, resolvable via `/debug/trace?id=`).
+    ///
+    /// [`slow_ranked`]: FlightRecorder::slow_ranked
+    pub fn slowest_ids(&self, limit: usize) -> Vec<(String, u64)> {
+        let inner = self.lock();
+        let mut ranked: Vec<(&str, u64)> = inner
+            .full
+            .iter()
+            .map(|t| (t.id.as_str(), t.total_ns))
+            .collect();
+        ranked.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
+        ranked.truncate(limit);
+        ranked
+            .into_iter()
+            .map(|(id, ns)| (id.to_string(), ns))
+            .collect()
+    }
+
     /// Ring occupancy and eviction counts.
     pub fn stats(&self) -> FlightStats {
         let inner = self.lock();
@@ -538,5 +560,33 @@ mod tests {
             s.decide(16_000, false);
         }
         assert!(s.rolling_threshold_ns().unwrap() >= 16_383);
+    }
+
+    /// `slowest_ids` must agree with the full `slow_ranked` ordering —
+    /// it is the cheap exemplar path `/debug/health` relies on.
+    #[test]
+    fn slowest_ids_match_slow_ranked() {
+        let rec = FlightRecorder::new(8, 8);
+        for (i, ns) in [500u64, 9_000, 100, 7_000, 3_000].iter().enumerate() {
+            rec.record_full(trace(&format!("t{i}"), *ns));
+        }
+        let ids = rec.slowest_ids(3);
+        assert_eq!(
+            ids,
+            vec![
+                ("t1".to_string(), 9_000),
+                ("t3".to_string(), 7_000),
+                ("t4".to_string(), 3_000)
+            ]
+        );
+        let ranked: Vec<(String, u64)> = rec
+            .slow_ranked(3)
+            .into_iter()
+            .map(|t| (t.id, t.total_ns))
+            .collect();
+        assert_eq!(ids, ranked);
+        assert!(rec.slowest_ids(0).is_empty());
+        assert_eq!(rec.slowest_ids(100).len(), 5);
+        assert!(FlightRecorder::new(4, 4).slowest_ids(3).is_empty());
     }
 }

@@ -295,6 +295,119 @@ curl -fsS "http://$FADDR/quitquitquit" >/dev/null
 wait "$FR_PID"
 FR_PID=""
 
+echo "==> monitor smoke (windowed rollups, SLO verdicts, fastbfs monitor)"
+MON_ADDR_FILE="$(mktemp /tmp/check_mon_XXXXXX.addr)"
+MON_OUT="$(mktemp /tmp/check_mon_XXXXXX.json)"
+MON_PID=""
+trap '[ -n "${BATCH_STOP:-}" ] && touch "$BATCH_STOP" 2>/dev/null; rm -f "${SMOKE_GRAPH:-}" "${SMOKE_OUT:-}" "${SMOKE_TUNED:-}" "$SERVE_GRAPH" "$ADDR_FILE" "$LOAD_OUT" "$LOAD_BAD" "$POOL_ADDR_FILE" "$POOL_OVER" "$POOL_A" "$POOL_B" "$FR_ADDR_FILE" "$FR_LOG" "$FR_OUT" "$MON_ADDR_FILE" "$MON_OUT"; [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true; [ -n "$POOL_PID" ] && kill "$POOL_PID" 2>/dev/null || true; [ -n "$FR_PID" ] && kill "$FR_PID" 2>/dev/null || true; [ -n "$MON_PID" ] && kill "$MON_PID" 2>/dev/null || true' EXIT
+: > "$MON_ADDR_FILE"
+# Short windows so the smoke sees a full breach/recover cycle: 100 ms
+# ticks, 2 s fast window, 8 s slow window, drop-rate SLO at 20%.
+target/release/fastbfs serve -i "$SERVE_GRAPH" --metrics-addr 127.0.0.1:0 \
+    --addr-file "$MON_ADDR_FILE" --sessions 1 --threads 2 \
+    --rollup-interval-ms 100 --slo-fast-s 2 --slo-slow-s 8 --slo-drop-rate 0.2 &
+MON_PID=$!
+for _ in $(seq 1 100); do [ -s "$MON_ADDR_FILE" ] && break; sleep 0.1; done
+[ -s "$MON_ADDR_FILE" ] || { echo "error: rollup serve never wrote its address" >&2; exit 1; }
+MADDR="$(cat "$MON_ADDR_FILE")"
+# Let the ring's baseline tick land before driving traffic: requests
+# served before it are diffed into the baseline and belong to no frame.
+for _ in $(seq 1 100); do
+    FRAMES="$(curl -sS "http://$MADDR/debug/timeseries?n=1" | python3 -c 'import json,sys; print(len(json.load(sys.stdin)["frames"]))' 2>/dev/null || echo 0)"
+    [ "${FRAMES:-0}" -ge 1 ] && break
+    sleep 0.1
+done
+[ "${FRAMES:-0}" -ge 1 ] || { echo "error: rollup ticker produced no frames" >&2; exit 1; }
+# Clean traffic: the verdict is ok, and the load report embeds the
+# per-second timeseries plus the server's build provenance.
+target/release/fastbfs loadgen "http://$MADDR" --rate 100 --duration 2 \
+    --connections 4 --seed 7 --out "$MON_OUT"
+python3 - "$MON_OUT" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["server_version"], "report lacks scraped server_version"
+ts = d["timeseries"]
+assert ts and len(ts) >= 2, ts
+assert sum(s["completed"] for s in ts) == d["completed"], ts
+assert sum(s["errors"] for s in ts) == d["errors"], ts
+assert any(s["p99_ms"] is not None for s in ts), ts
+EOF
+# The scripting face: one JSON frame, health verdict embedded verbatim,
+# per-session rows parsed from /metrics.
+target/release/fastbfs monitor "http://$MADDR" --once --format json | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+assert d["http_status"] == 200, d["http_status"]
+h = d["health"]
+assert h["state"] == "ok", h["state"]
+assert [s["name"] for s in h["slos"]] == ["drop_rate"], h["slos"]
+assert h["slow"]["requests"] > 0, h["slow"]
+assert d["sessions"] and d["sessions"][0]["session"] == 0, d["sessions"]
+'
+# Text mode renders a frame without error.
+target/release/fastbfs monitor "http://$MADDR" --once >/dev/null
+# Deadline storm: every request expires in the queue, so the windowed
+# drop rate pins to 1.0 and must flip the verdict to breaching (503)
+# within the fast window.
+for _ in $(seq 1 20); do
+    curl -sS -H 'Deadline-Ms: 0' "http://$MADDR/query?src=1" >/dev/null
+done
+BREACH_BODY=""
+for _ in $(seq 1 100); do
+    H="$(curl -sS -w '\n%{http_code}' "http://$MADDR/debug/health")"
+    CODE="$(echo "$H" | tail -1)"
+    if [ "$CODE" = "503" ]; then BREACH_BODY="$(echo "$H" | head -n -1)"; break; fi
+    sleep 0.1
+done
+[ -n "$BREACH_BODY" ] || { echo "error: deadline storm never flipped /debug/health to 503" >&2; exit 1; }
+echo "$BREACH_BODY" | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+assert d["state"] == "breaching", d["state"]
+slo = [s for s in d["slos"] if s["name"] == "drop_rate"][0]
+assert slo["state"] == "breaching" and slo["fast"] > slo["threshold"], slo
+assert d["exemplars"], "breaching verdict carries no trace exemplars"
+'
+# The windowed verdict sees what the since-boot aggregates average away:
+# liveness stays pure, and the boot-wide drop rate is still under the
+# SLO threshold that the fast window is breaching right now.
+curl -fsS "http://$MADDR/healthz" | grep -qx ok
+curl -fsS "http://$MADDR/metrics" | python3 -c '
+import sys
+vals = {}
+for l in sys.stdin:
+    p = l.split()
+    if len(p) == 2 and not l.startswith("#"):
+        vals[p[0]] = float(p[1])
+req = vals["fastbfs_serve_requests_total"]
+drop = vals["fastbfs_serve_deadline_dropped_total"]
+assert drop >= 20 and req > 0 and drop / req < 0.2, (drop, req)
+'
+# The monitor reports the breach as data, not an error.
+target/release/fastbfs monitor "http://$MADDR" --once --format json | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+assert d["http_status"] == 503 and d["health"]["state"] == "breaching", d
+'
+# Quiet window: idle ticks roll the storm out of both windows and the
+# verdict recovers to ok (200) without a restart.
+RECOVERED=""
+for _ in $(seq 1 300); do
+    H="$(curl -sS -w '\n%{http_code}' "http://$MADDR/debug/health")"
+    CODE="$(echo "$H" | tail -1)"
+    if [ "$CODE" = "200" ] && echo "$H" | head -n -1 | grep -q '"state":"ok"'; then
+        RECOVERED=1; break
+    fi
+    sleep 0.1
+done
+[ -n "$RECOVERED" ] || { echo "error: verdict never recovered after the quiet window" >&2; exit 1; }
+# Malformed ?n= is a 400 at parse time, not a 500 or a silent default.
+N_CODE="$(curl -sS -o /dev/null -w '%{http_code}' "http://$MADDR/debug/timeseries?n=banana")"
+[ "$N_CODE" = "400" ] || { echo "error: malformed ?n= answered $N_CODE, want 400" >&2; exit 1; }
+curl -fsS "http://$MADDR/quitquitquit" >/dev/null
+wait "$MON_PID"
+MON_PID=""
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

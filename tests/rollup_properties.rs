@@ -1,0 +1,171 @@
+//! Property-based tests of the rollup seam and its neighbors: windowed
+//! counter/bucket deltas must stay non-negative and sum-consistent when
+//! frames are diffed from *merged* multi-session snapshots and when the
+//! ring wraps, and the flight recorder's tail sampler must keep its
+//! invariants across the window-decay boundary.
+
+use bfs_metrics::registry::{Counter, Hist, MetricsRegistry};
+use bfs_metrics::rollup::RollupRing;
+use bfs_trace::TailSampler;
+use proptest::prelude::*;
+
+/// Mirrors the sampler's private bucket geometry: inclusive upper bound
+/// of the bit-length bucket holding `v`.
+fn bit_length_upper_bound(v: u64) -> u64 {
+    let idx = (64 - v.leading_zeros() as usize).min(63);
+    (1u64 << idx).wrapping_sub(1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Two independent session registries grow by arbitrary increments;
+    /// each tick diffs the *merged* snapshot. Every frame's deltas must
+    /// equal that tick's summed increments, windows must equal the sum
+    /// of their newest frames (also across wraparound), and every
+    /// derived rate must be non-negative and bounded where bounded.
+    #[test]
+    fn windowed_deltas_survive_merges_and_wraparound(
+        ticks in proptest::collection::vec(
+            (
+                (0u64..40, proptest::collection::vec(1u64..10_000_000, 0..5)),
+                (0u64..40, proptest::collection::vec(1u64..10_000_000, 0..5)),
+            ),
+            1..10,
+        ),
+        capacity in 1usize..5,
+    ) {
+        let mut a = MetricsRegistry::new(1);
+        let mut b = MetricsRegistry::new(1);
+        let mut ring = RollupRing::new(capacity);
+
+        // Baseline tick: establishes totals, yields no frame.
+        let mut base = a.snapshot();
+        base.merge(&b.snapshot());
+        prop_assert!(!ring.tick(&base, 0.0, 0, 0));
+
+        // (requests delta, observation delta) expected per tick.
+        let mut expected: Vec<(u64, u64)> = Vec::new();
+        for (i, ((ra, la), (rb, lb))) in ticks.iter().enumerate() {
+            {
+                let mut d = a.driver();
+                d.add(Counter::ServeRequests, *ra);
+                for &ns in la {
+                    d.observe(Hist::ServeRequestNs, ns);
+                }
+            }
+            {
+                let mut d = b.driver();
+                d.add(Counter::ServeRequests, *rb);
+                for &ns in lb {
+                    d.observe(Hist::ServeRequestNs, ns);
+                }
+            }
+            let mut snap = a.snapshot();
+            snap.merge(&b.snapshot());
+            prop_assert!(ring.tick(&snap, (i + 1) as f64, 0, 0));
+            expected.push((ra + rb, (la.len() + lb.len()) as u64));
+        }
+
+        prop_assert_eq!(ring.len(), ticks.len().min(capacity));
+
+        // Frame-level: seq identifies the tick; deltas match exactly.
+        let mut prev_seq = 0u64;
+        for f in ring.frames_oldest_first() {
+            prop_assert!(f.seq > prev_seq || prev_seq == 0);
+            prev_seq = f.seq;
+            let (reqs, obs) = expected[(f.seq - 1) as usize];
+            prop_assert_eq!(f.counter(Counter::ServeRequests), reqs);
+            prop_assert_eq!(f.hist_count(Hist::ServeRequestNs), obs);
+            prop_assert!(f.interval_s >= 0.0);
+        }
+
+        // Window-level: every window size sums exactly its newest
+        // frames, and the derived rates stay in range.
+        for k in 1..=ring.len() {
+            let w = ring.window(k);
+            prop_assert_eq!(w.frames, k);
+            let tail = &expected[expected.len() - k..];
+            let reqs: u64 = tail.iter().map(|t| t.0).sum();
+            let obs: u64 = tail.iter().map(|t| t.1).sum();
+            prop_assert_eq!(w.counter(Counter::ServeRequests), reqs);
+            prop_assert_eq!(w.hist_count(Hist::ServeRequestNs), obs);
+            prop_assert!((w.elapsed_s - k as f64).abs() < 1e-9);
+            prop_assert!(w.qps() >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&w.error_rate()));
+            prop_assert!(w.drop_rate() >= 0.0);
+            // Quantiles: zero iff no observations, monotone in q, and
+            // never past the largest observed value's bucket bound.
+            let p50 = w.quantile(Hist::ServeRequestNs, 0.5);
+            let p99 = w.quantile(Hist::ServeRequestNs, 0.99);
+            prop_assert!(p50 >= 0.0 && p50 <= p99);
+            if obs == 0 {
+                prop_assert_eq!(p99, 0.0);
+            } else {
+                let max_ns = ticks[expected.len() - k..]
+                    .iter()
+                    .flat_map(|((_, la), (_, lb))| la.iter().chain(lb))
+                    .copied()
+                    .max()
+                    .unwrap();
+                prop_assert!(p99 <= bit_length_upper_bound(max_ns) as f64);
+            }
+        }
+    }
+
+    /// The tail sampler across its decay boundary: failures are always
+    /// kept (and never pollute the window), the rolling threshold stays
+    /// hidden through warmup, and once visible it is always a bucket
+    /// upper bound no higher than the largest observed latency's bucket
+    /// — before, at, and after the halving.
+    #[test]
+    fn tail_sampler_keeps_invariants_across_decay(
+        lats in proptest::collection::vec(1u64..100_000_000, 64..256),
+        warm_ns in 1_000u64..1_000_000,
+    ) {
+        let mut s = TailSampler::new(None);
+
+        // Warmup: under 64 successful observations there is no
+        // threshold, so nothing is kept on latency grounds...
+        for _ in 0..63 {
+            prop_assert!(!s.decide(warm_ns, false));
+            prop_assert!(s.rolling_threshold_ns().is_none());
+        }
+        // ...while failures are kept from the very first request.
+        prop_assert!(s.decide(u64::MAX, true));
+        prop_assert!(s.rolling_threshold_ns().is_none(), "failures must not feed the window");
+
+        // Drive far past the decay boundary (window decays at 8192
+        // observations; cross it at least twice).
+        let mut max_seen = warm_ns;
+        for k in 0..(2 * 8192usize + 7) {
+            let ns = lats[k % lats.len()];
+            max_seen = max_seen.max(ns);
+            s.decide(ns, false);
+            let t = s.rolling_threshold_ns();
+            // Decay halves the window but can never empty it below the
+            // warmup bar once crossed, so the threshold stays visible.
+            prop_assert!(t.is_some());
+            let t = t.unwrap();
+            prop_assert!(
+                t == u64::MAX || (t + 1).is_power_of_two(),
+                "threshold {t} is not a bucket upper bound"
+            );
+            prop_assert!(
+                t <= bit_length_upper_bound(max_seen),
+                "threshold {t} above the max observed latency's bucket ({max_seen})"
+            );
+            prop_assert!(s.decide(1, true));
+        }
+    }
+
+    /// A zero-millisecond absolute floor keeps every successful trace
+    /// regardless of what the rolling window says.
+    #[test]
+    fn zero_floor_keeps_everything(lats in proptest::collection::vec(0u64..u64::MAX, 1..128)) {
+        let mut s = TailSampler::new(Some(0));
+        for &ns in &lats {
+            prop_assert!(s.decide(ns, false));
+        }
+    }
+}
